@@ -1,0 +1,62 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Shared helpers for the benchmark binaries.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OSC_BENCH_BENCHCOMMON_H
+#define OSC_BENCH_BENCHCOMMON_H
+
+#include "support/Diag.h"
+#include "vm/Interp.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace osc::bench {
+
+/// Evaluates \p Src, aborting the benchmark on error (a benchmark that
+/// silently measures an error path is worse than no benchmark).
+inline Value mustEval(Interp &I, const std::string &Src) {
+  Interp::Result R = I.eval(Src);
+  if (!R.Ok)
+    oscFatal(("benchmark workload failed: " + R.Error).c_str());
+  return R.Val;
+}
+
+/// True when OSC_BENCH_FAST is set: trims the largest configurations so the
+/// whole suite runs in seconds (shapes are preserved, absolute magnitudes
+/// shrink).
+inline bool fastMode() { return std::getenv("OSC_BENCH_FAST") != nullptr; }
+
+/// Snapshot of the counters that matter for the paper's comparisons.
+struct CounterSnapshot {
+  uint64_t Bytes, WordsCopied, OneShotInvokes, MultiShotInvokes, Overflows,
+      SegAllocs, CacheHits, Instructions, Calls, Closures;
+
+  static CounterSnapshot take(const Interp &I, const Stats &S) {
+    (void)I;
+    return {S.BytesAllocated, S.WordsCopied,   S.OneShotInvokes,
+            S.MultiShotInvokes, S.Overflows,   S.SegmentsAllocated,
+            S.SegmentCacheHits, S.Instructions, S.ProcedureCalls,
+            S.ClosuresAllocated};
+  }
+  CounterSnapshot delta(const CounterSnapshot &Later) const {
+    return {Later.Bytes - Bytes,
+            Later.WordsCopied - WordsCopied,
+            Later.OneShotInvokes - OneShotInvokes,
+            Later.MultiShotInvokes - MultiShotInvokes,
+            Later.Overflows - Overflows,
+            Later.SegAllocs - SegAllocs,
+            Later.CacheHits - CacheHits,
+            Later.Instructions - Instructions,
+            Later.Calls - Calls,
+            Later.Closures - Closures};
+  }
+};
+
+} // namespace osc::bench
+
+#endif // OSC_BENCH_BENCHCOMMON_H

@@ -1,0 +1,396 @@
+#include "Workloads.h"
+
+using namespace osc;
+
+const char *workloads::threadSchedulerCommon() {
+  return R"SCM(
+;; Round-robin thread scheduler on a two-list FIFO queue.  The capture
+;; operator %yield-capture is bound by the variant loaded before this file.
+
+(define %tq-front '())
+(define %tq-back '())
+(define (%tq-push! t) (set! %tq-back (cons t %tq-back)))
+(define (%tq-empty?) (and (null? %tq-front) (null? %tq-back)))
+(define (%tq-pop!)
+  (when (null? %tq-front)
+    (set! %tq-front (reverse %tq-back))
+    (set! %tq-back '()))
+  (let ((t (car %tq-front)))
+    (set! %tq-front (cdr %tq-front))
+    t))
+
+(define %fuel 0)
+(define %interval 0)
+(define %remaining 0)
+(define %checksum 0)
+(define %finish #f)
+
+(define (%run-next)
+  (set! %fuel %interval)
+  ((%tq-pop!)))
+
+;; Suspend the running thread: capture its continuation, queue the
+;; resumption, and transfer to the next thread.
+(define (%yield)
+  (%yield-capture (lambda (k)
+    (%tq-push! (lambda () (k #f)))
+    (%run-next))))
+
+;; fib instrumented with a decrement-per-call fuel counter, as in Figure 5:
+;; a context switch every %interval procedure calls.
+(define (%thread-fib n)
+  (set! %fuel (- %fuel 1))
+  (if (<= %fuel 0) (%yield) #f)
+  (if (< n 2)
+      n
+      (+ (%thread-fib (- n 1)) (%thread-fib (- n 2)))))
+
+(define (%thread-done r)
+  (set! %checksum (+ %checksum r))
+  (set! %remaining (- %remaining 1))
+  (if (%tq-empty?)
+      (%finish %checksum)
+      (%run-next)))
+
+;; Runs n threads, each computing fib(fib-n), switching every interval
+;; calls.  Returns n * fib(fib-n) as a checksum.
+(define (run-threads n fib-n interval)
+  (set! %tq-front '())
+  (set! %tq-back '())
+  (set! %interval interval)
+  (set! %remaining n)
+  (set! %checksum 0)
+  (%yield-capture (lambda (finish)
+    (set! %finish finish)
+    (let loop ((i 0))
+      (if (< i n)
+          (begin
+            (%tq-push! (lambda () (%thread-done (%thread-fib fib-n))))
+            (loop (+ i 1)))
+          (%run-next))))))
+)SCM";
+}
+
+const char *workloads::threadsCallCC() {
+  return "(define %yield-capture call/cc)";
+}
+
+const char *workloads::threadsCall1CC() {
+  return "(define %yield-capture call/1cc)";
+}
+
+const char *workloads::threadsCPS() {
+  return R"SCM(
+;; The CPS thread system: the continuation of every fib step is an explicit
+;; heap-allocated closure, simulating a heap-based representation of
+;; control.  Scheduling is the same FIFO queue and the same fuel counter.
+
+(define %ctq-front '())
+(define %ctq-back '())
+(define (%ctq-push! t) (set! %ctq-back (cons t %ctq-back)))
+(define (%ctq-empty?) (and (null? %ctq-front) (null? %ctq-back)))
+(define (%ctq-pop!)
+  (when (null? %ctq-front)
+    (set! %ctq-front (reverse %ctq-back))
+    (set! %ctq-back '()))
+  (let ((t (car %ctq-front)))
+    (set! %ctq-front (cdr %ctq-front))
+    t))
+
+(define %cfuel 0)
+(define %cinterval 0)
+(define %cremaining 0)
+(define %cchecksum 0)
+
+(define (%crun-next)
+  (set! %cfuel %cinterval)
+  ((%ctq-pop!)))
+
+(define (%fib-cps n k)
+  (set! %cfuel (- %cfuel 1))
+  (if (<= %cfuel 0)
+      (begin
+        (%ctq-push! (lambda () (%fib-cps-body n k)))
+        (%crun-next))
+      (%fib-cps-body n k)))
+
+(define (%fib-cps-body n k)
+  (if (< n 2)
+      (k n)
+      (%fib-cps (- n 1)
+        (lambda (a)
+          (%fib-cps (- n 2)
+            (lambda (b) (k (+ a b))))))))
+
+(define (run-threads-cps n fib-n interval)
+  (set! %ctq-front '())
+  (set! %ctq-back '())
+  (set! %cinterval interval)
+  (set! %cremaining n)
+  (set! %cchecksum 0)
+  (let loop ((i 0))
+    (if (< i n)
+        (begin
+          (%ctq-push!
+           (lambda ()
+             (%fib-cps fib-n
+               (lambda (r)
+                 (set! %cchecksum (+ %cchecksum r))
+                 (set! %cremaining (- %cremaining 1))
+                 (if (zero? %cremaining)
+                     %cchecksum
+                     (%crun-next))))))
+          (loop (+ i 1)))
+        (%crun-next))))
+)SCM";
+}
+
+const char *workloads::threadsEngines() {
+  return R"SCM(
+;; Preemptive round-robin threads on engines: the VM timer interrupts after
+;; `interval` procedure calls and the expired computation is re-queued as a
+;; new engine (a one-shot continuation under the hood).
+
+(define %eq-front '())
+(define %eq-back '())
+(define (%eq-push! t) (set! %eq-back (cons t %eq-back)))
+(define (%eq-pop!)
+  (when (null? %eq-front)
+    (set! %eq-front (reverse %eq-back))
+    (set! %eq-back '()))
+  (let ((t (car %eq-front)))
+    (set! %eq-front (cdr %eq-front))
+    t))
+
+(define (%engine-fib n)
+  (if (< n 2) n (+ (%engine-fib (- n 1)) (%engine-fib (- n 2)))))
+
+(define (run-threads-engines n fib-n interval)
+  (set! %eq-front '())
+  (set! %eq-back '())
+  (let spawn ((i 0))
+    (when (< i n)
+      (%eq-push! (make-engine (lambda () (%engine-fib fib-n))))
+      (spawn (+ i 1))))
+  (let ((total 0) (remaining n))
+    (let drive ()
+      (if (zero? remaining)
+          total
+          ((%eq-pop!) interval
+           (lambda (left r)
+             (set! total (+ total r))
+             (set! remaining (- remaining 1))
+             (drive))
+           (lambda (e2)
+             (%eq-push! e2)
+             (drive)))))))
+)SCM";
+}
+
+const char *workloads::takVariants() {
+  return R"SCM(
+;; §4: "we modified the call-intensive tak program so that each call
+;; captures and invokes a continuation, either with call/cc or call/1cc".
+
+(define (tak-plain x y z)
+  (if (not (< y x))
+      z
+      (tak-plain (tak-plain (- x 1) y z)
+                 (tak-plain (- y 1) z x)
+                 (tak-plain (- z 1) x y))))
+
+(define (tak-cc x y z)
+  (call/cc
+   (lambda (k)
+     (k (if (not (< y x))
+            z
+            (tak-cc (tak-cc (- x 1) y z)
+                    (tak-cc (- y 1) z x)
+                    (tak-cc (- z 1) x y)))))))
+
+(define (tak-1cc x y z)
+  (call/1cc
+   (lambda (k)
+     (k (if (not (< y x))
+            z
+            (tak-1cc (tak-1cc (- x 1) y z)
+                     (tak-1cc (- y 1) z x)
+                     (tak-1cc (- z 1) x y)))))))
+
+;; Gabriel's ctak: continuations used as pure escapes (captured at entry,
+;; invoked to return).  Unlike tak-cc/tak-1cc above it escapes from inside
+;; the recursion, so the k invocations discard pending frames.
+(define (ctak x y z)
+  (call/cc (lambda (k) (ctak-aux k x y z))))
+(define (ctak-aux k x y z)
+  (if (not (< y x))
+      (k z)
+      (ctak-aux k
+                (call/cc (lambda (k2) (ctak-aux k2 (- x 1) y z)))
+                (call/cc (lambda (k2) (ctak-aux k2 (- y 1) z x)))
+                (call/cc (lambda (k2) (ctak-aux k2 (- z 1) x y))))))
+
+(define (ctak-1cc x y z)
+  (call/1cc (lambda (k) (ctak-aux-1cc k x y z))))
+(define (ctak-aux-1cc k x y z)
+  (if (not (< y x))
+      (k z)
+      (ctak-aux-1cc k
+        (call/1cc (lambda (k2) (ctak-aux-1cc k2 (- x 1) y z)))
+        (call/1cc (lambda (k2) (ctak-aux-1cc k2 (- y 1) z x)))
+        (call/1cc (lambda (k2) (ctak-aux-1cc k2 (- z 1) x y))))))
+)SCM";
+}
+
+const char *workloads::deepRecursion() {
+  return R"SCM(
+;; §4: a program that repeatedly recurs deeply while doing very little work
+;; between calls — the stack-overflow stress.
+
+(define (deep n)
+  (if (zero? n) 0 (+ 1 (deep (- n 1)))))
+
+(define (deep-repeat reps n)
+  (let loop ((r reps) (acc 0))
+    (if (zero? r) acc (loop (- r 1) (+ acc (deep n))))))
+)SCM";
+}
+
+const char *workloads::boyer() {
+  return R"SCM(
+;; Gabriel's Boyer benchmark, reduced rule set.  Deliberately written in
+;; the original's closure-free direct style: the only closures created are
+;; the top-level definitions themselves, so the steady state allocates no
+;; closures at all (§5).
+
+(define *lemmas* '())   ;; alist: function symbol -> list of (equal lhs rhs)
+
+(define (get-lemmas s)
+  (let ((e (assq s *lemmas*)))
+    (if e (cdr e) '())))
+
+(define (add-lemma! term)
+  (let ((f (car (cadr term))))
+    (let ((e (assq f *lemmas*)))
+      (if e
+          (set-cdr! e (cons term (cdr e)))
+          (set! *lemmas* (cons (list f term) *lemmas*))))))
+
+(define (add-lemmas! terms)
+  (for-each add-lemma! terms))
+
+;; One-way unification: pattern variables are the non-pair atoms of term2.
+(define (one-way-unify term1 term2 subst)
+  (cond ((not (pair? term2))
+         (let ((b (assq term2 subst)))
+           (if b
+               (if (equal? term1 (cdr b)) subst #f)
+               (cons (cons term2 term1) subst))))
+        ((not (pair? term1)) #f)
+        ((eq? (car term1) (car term2))
+         (one-way-unify-lst (cdr term1) (cdr term2) subst))
+        (else #f)))
+
+(define (one-way-unify-lst l1 l2 subst)
+  (cond ((and (null? l1) (null? l2)) subst)
+        ((or (null? l1) (null? l2)) #f)
+        (else
+         (let ((s (one-way-unify (car l1) (car l2) subst)))
+           (if s (one-way-unify-lst (cdr l1) (cdr l2) s) #f)))))
+
+(define (apply-subst subst term)
+  (if (pair? term)
+      (cons (car term) (apply-subst-lst subst (cdr term)))
+      (let ((b (assq term subst)))
+        (if b (cdr b) term))))
+
+(define (apply-subst-lst subst l)
+  (if (null? l)
+      '()
+      (cons (apply-subst subst (car l)) (apply-subst-lst subst (cdr l)))))
+
+(define (rewrite term)
+  (if (pair? term)
+      (rewrite-with-lemmas (cons (car term) (rewrite-args (cdr term)))
+                           (get-lemmas (car term)))
+      term))
+
+(define (rewrite-args l)
+  (if (null? l) '() (cons (rewrite (car l)) (rewrite-args (cdr l)))))
+
+(define (rewrite-with-lemmas term lemmas)
+  (if (null? lemmas)
+      term
+      (let ((s (one-way-unify term (cadr (car lemmas)) '())))
+        (if s
+            (rewrite (apply-subst s (caddr (car lemmas))))
+            (rewrite-with-lemmas term (cdr lemmas))))))
+
+(define (truep x lst) (if (equal? x '(t)) #t (if (member x lst) #t #f)))
+(define (falsep x lst) (if (equal? x '(f)) #t (if (member x lst) #t #f)))
+
+(define (tautologyp x true-lst false-lst)
+  (cond ((truep x true-lst) #t)
+        ((falsep x false-lst) #f)
+        ((not (pair? x)) #f)
+        ((eq? (car x) 'if)
+         (cond ((truep (cadr x) true-lst)
+                (tautologyp (caddr x) true-lst false-lst))
+               ((falsep (cadr x) false-lst)
+                (tautologyp (cadddr x) true-lst false-lst))
+               (else
+                (and (tautologyp (caddr x)
+                                 (cons (cadr x) true-lst) false-lst)
+                     (tautologyp (cadddr x)
+                                 true-lst (cons (cadr x) false-lst))))))
+        (else #f)))
+
+(define (tautp x) (tautologyp (rewrite x) '() '()))
+
+(define (boyer-setup!)
+  (set! *lemmas* '())
+  (add-lemmas!
+   '((equal (if (if a b c) d e) (if a (if b d e) (if c d e)))
+     (equal (and p q) (if p (if q (t) (f)) (f)))
+     (equal (or p q) (if p (t) (if q (t) (f))))
+     (equal (not p) (if p (f) (t)))
+     (equal (implies p q) (if p (if q (t) (f)) (t)))
+     (equal (iff x y) (and (implies x y) (implies y x)))
+     (equal (plus (plus x y) z) (plus x (plus y z)))
+     (equal (equal (plus a b) (zero)) (and (zerop a) (zerop b)))
+     (equal (difference x x) (zero))
+     (equal (equal (plus a b) (plus a c)) (equal b c))
+     (equal (equal (zero) (difference x y)) (not (lessp y x)))
+     (equal (equal x (difference x y)) (and (numberp x)
+                                            (or (equal x (zero))
+                                                (zerop y))))
+     (equal (append (append x y) z) (append x (append y z)))
+     (equal (reverse (append a b)) (append (reverse b) (reverse a)))
+     (equal (times x (plus y z)) (plus (times x y) (times x z)))
+     (equal (times (times x y) z) (times x (times y z)))
+     (equal (equal (times x y) (zero)) (or (zerop x) (zerop y)))
+     (equal (length (append a b)) (plus (length a) (length b)))
+     (equal (remainder x x) (zero))
+     (equal (remainder (times x y) x) (zero))
+     (equal (lessp (remainder x y) y) (not (zerop y)))
+     (equal (member x (append a b)) (or (member x a) (member x b)))
+     (equal (member x (reverse y)) (member x y))
+     (equal (zerop (plus a b)) (and (zerop a) (zerop b)))
+     (equal (equal (append a b) (append a c)) (equal b c))
+     (equal (meaning (plus-tree (append x y)) a)
+            (plus (meaning (plus-tree x) a) (meaning (plus-tree y) a))))))
+
+(define (boyer-run)
+  (tautp
+   (apply-subst
+    '((x . (f (plus (plus a b) (plus c (zero)))))
+      (y . (f (times (times a b) (plus c d))))
+      (z . (f (reverse (append (append a b) (nil)))))
+      (u . (equal (plus a b) (difference x y)))
+      (w . (lessp (remainder a b) (member a (length b)))))
+    '(implies (and (implies x y)
+                   (and (implies y z)
+                        (and (implies z u) (implies u w))))
+              (implies x w)))))
+)SCM";
+}

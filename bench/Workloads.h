@@ -1,0 +1,64 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Scheme sources for the paper's evaluation workloads (§4), shared by the
+/// benchmark harness and the integration tests.
+///
+/// The three thread systems mirror the paper's: one built on call/cc, one
+/// on call/1cc, and one in continuation-passing style (simulating a
+/// heap-based representation of control).  Each runs N threads computing
+/// fib(F) with the simple doubly recursive algorithm, context-switching
+/// every I procedure calls via a decrement-per-call fuel counter — the
+/// instrumentation is identical across the three systems so only the
+/// control representation differs.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OSC_BENCH_WORKLOADS_H
+#define OSC_BENCH_WORKLOADS_H
+
+namespace osc::workloads {
+
+/// Round-robin scheduler + instrumented fib on stack continuations.
+/// Defines (run-threads n fib-n interval) returning the number of threads
+/// completed; the capture operator is %yield-capture, bound by the two
+/// variants below.
+const char *threadSchedulerCommon();
+
+/// Binds %yield-capture to call/cc (multi-shot transfers, Fig. 3 copying
+/// on every resume).
+const char *threadsCallCC();
+
+/// Binds %yield-capture to call/1cc (one-shot transfers, Fig. 4 zero-copy
+/// segment swaps).
+const char *threadsCall1CC();
+
+/// The CPS thread system: control lives in heap-allocated closures; defines
+/// (run-threads-cps n fib-n interval).
+const char *threadsCPS();
+
+/// Extension: preemptive threads on engines (Dybvig & Hieb).  The VM timer
+/// counts every procedure call, so "interval" is exactly the paper's
+/// context-switch frequency; each preemption is a one-shot capture.
+/// Defines (run-threads-engines n fib-n interval).
+const char *threadsEngines();
+
+/// §4 first experiment: tak where every call captures and invokes a
+/// continuation.  Defines (tak-plain x y z), (tak-cc x y z) and
+/// (tak-1cc x y z).
+const char *takVariants();
+
+/// §4 third experiment: repeated deep non-tail recursion exercising the
+/// overflow machinery.  Defines (deep n) and (deep-repeat reps n).
+const char *deepRecursion();
+
+/// Gabriel's Boyer benchmark (reduced rule set): the rewrite-based
+/// tautology checker §5 discusses — Appel & Shao report 5.75 closure
+/// instructions per frame for it, while the stack representation allocates
+/// no closures at all.  Defines (boyer-setup!) and (boyer-run), the latter
+/// returning #t (the theorem proves).
+const char *boyer();
+
+} // namespace osc::workloads
+
+#endif // OSC_BENCH_WORKLOADS_H

@@ -1,0 +1,155 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Experiment E5 (§5): per-frame overhead of the stack representation vs a
+/// heap/CPS representation of control.
+///
+/// Paper: Appel & Shao report ~7.4 instructions/frame for a simulated
+/// stack model, attributing 3.4 to closure creation; the authors measure
+/// ~0.1 instructions/frame of continuation-related overhead in their
+/// stack-based system, and zero closure allocation for Boyer-class code.
+///
+/// Our analog on the VM: run the same workloads in direct style and in
+/// CPS, and report per-procedure-call allocation (bytes/call) and executed
+/// instructions/call.  Direct style on the segmented stack should allocate
+/// ~0 bytes per call; CPS pays a closure per non-tail continuation.
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+#include "Workloads.h"
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+
+using namespace osc;
+using namespace osc::bench;
+
+namespace {
+
+const char *directFib = "(define (fib n)"
+                        "  (if (< n 2) n (+ (fib (- n 1)) (fib (- n 2)))))";
+
+const char *cpsFib =
+    "(define (fib-k n k)"
+    "  (if (< n 2)"
+    "      (k n)"
+    "      (fib-k (- n 1)"
+    "             (lambda (a) (fib-k (- n 2) (lambda (b) (k (+ a b))))))))"
+    "(define (fib n) (fib-k n (lambda (r) r)))";
+
+// A Boyer-flavoured workload: heavy list rewriting with helper calls that
+// are live across calls (the case where Appel & Shao's model must copy
+// variables into closures while a true stack leaves them in place).
+const char *directRewrite =
+    "(define (rewrite t d)"
+    "  (if (zero? d)"
+    "      t"
+    "      (if (pair? t)"
+    "          (cons (rewrite (car t) (- d 1)) (rewrite (cdr t) (- d 1)))"
+    "          (if (null? t) t (if (eq? t 'a) 'b 'a)))))"
+    "(define (drive n)"
+    "  (let loop ((i 0) (acc 0))"
+    "    (if (= i n)"
+    "        acc"
+    "        (loop (+ i 1)"
+    "              (+ acc (length (rewrite '((a b) (c (a b)) a) 6)))))))";
+
+const char *cpsRewrite =
+    "(define (rewrite-k t d k)"
+    "  (if (zero? d)"
+    "      (k t)"
+    "      (if (pair? t)"
+    "          (rewrite-k (car t) (- d 1)"
+    "            (lambda (x) (rewrite-k (cdr t) (- d 1)"
+    "              (lambda (y) (k (cons x y))))))"
+    "          (k (if (null? t) t (if (eq? t 'a) 'b 'a))))))"
+    "(define (drive n)"
+    "  (let loop ((i 0) (acc 0))"
+    "    (if (= i n)"
+    "        acc"
+    "        (loop (+ i 1)"
+    "              (+ acc (length (rewrite-k '((a b) (c (a b)) a) 6"
+    "                                        (lambda (r) r))))))))";
+
+struct Overheads {
+  double BytesPerCall;
+  double InstrsPerCall;
+  double Ms;
+  double ClosuresPerCall;
+};
+
+Overheads measure(const char *Setup, const std::string &Call) {
+  Interp I;
+  mustEval(I, Setup);
+  mustEval(I, Call); // Warm up (and take one-time GC growth out).
+  CounterSnapshot Start = CounterSnapshot::take(I, I.stats());
+  auto T0 = std::chrono::steady_clock::now();
+  mustEval(I, Call);
+  auto T1 = std::chrono::steady_clock::now();
+  CounterSnapshot D = Start.delta(CounterSnapshot::take(I, I.stats()));
+  Overheads O;
+  O.BytesPerCall = static_cast<double>(D.Bytes) / D.Calls;
+  O.InstrsPerCall = static_cast<double>(D.Instructions) / D.Calls;
+  O.Ms = std::chrono::duration<double>(T1 - T0).count() * 1e3;
+  O.ClosuresPerCall = static_cast<double>(D.Closures) / D.Calls;
+  return O;
+}
+
+void report(const char *Name, const Overheads &Direct, const Overheads &Cps) {
+  std::printf("%-10s %10.2f %12.2f %10.1f | %10.2f %12.2f %10.1f\n", Name,
+              Direct.BytesPerCall, Direct.InstrsPerCall, Direct.Ms,
+              Cps.BytesPerCall, Cps.InstrsPerCall, Cps.Ms);
+}
+
+} // namespace
+
+int main() {
+  const bool Fast = fastMode();
+  std::string FibCall = Fast ? "(fib 20)" : "(fib 25)";
+  std::string RewriteCall = Fast ? "(drive 2000)" : "(drive 20000)";
+
+  std::printf("E5: per-procedure-call overhead, direct style (segmented "
+              "stack) vs CPS (heap closures).\n\n");
+  std::printf("%-10s %10s %12s %10s | %10s %12s %10s\n", "workload",
+              "dir B/call", "dir ins/call", "dir ms", "cps B/call",
+              "cps ins/call", "cps ms");
+
+  report("fib", measure(directFib, FibCall), measure(cpsFib, FibCall));
+  report("rewrite", measure(directRewrite, RewriteCall),
+         measure(cpsRewrite, RewriteCall));
+
+  // The paper's own data point: for Boyer, Appel & Shao report 5.75
+  // closure-creation instructions per frame in the heap model; the
+  // stack-based implementation "allocates no closures at all".
+  {
+    Interp I;
+    mustEval(I, osc::workloads::boyer());
+    mustEval(I, "(boyer-setup!)");
+    mustEval(I, "(boyer-run)"); // Warm up.
+    CounterSnapshot Start = CounterSnapshot::take(I, I.stats());
+    auto T0 = std::chrono::steady_clock::now();
+    Value R = mustEval(I, "(boyer-run)");
+    auto T1 = std::chrono::steady_clock::now();
+    CounterSnapshot D = Start.delta(CounterSnapshot::take(I, I.stats()));
+    if (!R.isTrue())
+      oscFatal("boyer failed to prove its theorem");
+    std::printf("%-10s %10s %12s %10s | closures/call = %.4f over %llu "
+                "calls  (paper: 0)\n",
+                "boyer", "-", "-", "-",
+                static_cast<double>(D.Closures) / D.Calls,
+                static_cast<unsigned long long>(D.Calls));
+    std::printf("%-10s boyer direct-style: %.2f B/call, %.2f ins/call, "
+                "%.1f ms\n", "",
+                static_cast<double>(D.Bytes) / D.Calls,
+                static_cast<double>(D.Instructions) / D.Calls,
+                std::chrono::duration<double>(T1 - T0).count() * 1e3);
+  }
+
+  std::printf("\nShape check (paper/§5): the stack representation allocates "
+              "~0 bytes per call for\nthese programs, while the CPS/heap "
+              "representation pays a closure per non-tail call\n(Appel & "
+              "Shao's 3.4+ closure-creation instructions per frame).\n");
+  return 0;
+}

@@ -1,0 +1,132 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Experiment E1 (§4, first paragraph): the continuation-intensive tak.
+///
+/// Paper: "we modified the call-intensive tak program so that each call
+/// captures and invokes a continuation, either with call/cc or with
+/// call/1cc.  The version using call/1cc is 13% faster than the version
+/// using call/cc and allocates 23% less memory."
+///
+/// This binary measures tak(18,12,6) in three variants (plain, call/cc,
+/// call/1cc) with wall time plus allocation and copy counters, then prints
+/// the paper-vs-measured summary rows.
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+#include "Workloads.h"
+
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+
+using namespace osc;
+using namespace osc::bench;
+
+namespace {
+
+struct VariantResult {
+  double SecondsPerOp = 0;
+  double BytesPerOp = 0;
+  double WordsCopiedPerOp = 0;
+};
+
+void runTak(benchmark::State &State, const char *Call) {
+  Interp I;
+  mustEval(I, workloads::takVariants());
+  uint64_t Ops = 0;
+  CounterSnapshot Start = CounterSnapshot::take(I, I.stats());
+  for (auto _ : State) {
+    Value V = mustEval(I, Call);
+    benchmark::DoNotOptimize(V);
+    ++Ops;
+  }
+  CounterSnapshot D = Start.delta(CounterSnapshot::take(I, I.stats()));
+  State.counters["bytes/op"] =
+      benchmark::Counter(static_cast<double>(D.Bytes) / Ops);
+  State.counters["words-copied/op"] =
+      benchmark::Counter(static_cast<double>(D.WordsCopied) / Ops);
+  State.counters["1cc-invokes/op"] =
+      benchmark::Counter(static_cast<double>(D.OneShotInvokes) / Ops);
+  State.counters["cc-invokes/op"] =
+      benchmark::Counter(static_cast<double>(D.MultiShotInvokes) / Ops);
+}
+
+void BM_TakPlain(benchmark::State &State) {
+  runTak(State, "(tak-plain 18 12 6)");
+}
+void BM_TakCallCC(benchmark::State &State) {
+  runTak(State, "(tak-cc 18 12 6)");
+}
+void BM_TakCall1CC(benchmark::State &State) {
+  runTak(State, "(tak-1cc 18 12 6)");
+}
+// Gabriel's ctak (continuations as escapes) for context: here every k2 is
+// invoked exactly once too, so call/1cc applies; escapes discard frames
+// rather than returning through a seal.
+void BM_CtakCallCC(benchmark::State &State) {
+  runTak(State, "(ctak 18 12 6)");
+}
+void BM_CtakCall1CC(benchmark::State &State) {
+  runTak(State, "(ctak-1cc 18 12 6)");
+}
+
+BENCHMARK(BM_TakPlain)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_TakCallCC)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_TakCall1CC)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_CtakCallCC)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_CtakCall1CC)->Unit(benchmark::kMillisecond);
+
+/// Re-measures the two continuation variants head-to-head with identical
+/// iteration counts and prints the summary the paper reports.
+void printSummary() {
+  auto Measure = [](const char *Call) {
+    Interp I;
+    mustEval(I, workloads::takVariants());
+    mustEval(I, Call); // Warm up.
+    CounterSnapshot Start = CounterSnapshot::take(I, I.stats());
+    auto T0 = std::chrono::steady_clock::now();
+    constexpr int Reps = 25;
+    for (int R = 0; R != Reps; ++R)
+      mustEval(I, Call);
+    auto T1 = std::chrono::steady_clock::now();
+    CounterSnapshot D = Start.delta(CounterSnapshot::take(I, I.stats()));
+    VariantResult V;
+    V.SecondsPerOp = std::chrono::duration<double>(T1 - T0).count() / Reps;
+    V.BytesPerOp = static_cast<double>(D.Bytes) / Reps;
+    V.WordsCopiedPerOp = static_cast<double>(D.WordsCopied) / Reps;
+    return V;
+  };
+
+  VariantResult CC = Measure("(tak-cc 18 12 6)");
+  VariantResult OneCC = Measure("(tak-1cc 18 12 6)");
+
+  double SpeedupPct = (CC.SecondsPerOp / OneCC.SecondsPerOp - 1.0) * 100.0;
+  double AllocSavePct = (1.0 - OneCC.BytesPerOp / CC.BytesPerOp) * 100.0;
+
+  std::printf("\n--- E1: tak(18,12,6), one continuation capture+invoke per "
+              "call ---\n");
+  std::printf("%-12s %14s %16s %18s\n", "variant", "time/run (ms)",
+              "alloc/run (KB)", "words copied/run");
+  std::printf("%-12s %14.2f %16.1f %18.0f\n", "call/cc",
+              CC.SecondsPerOp * 1e3, CC.BytesPerOp / 1024.0,
+              CC.WordsCopiedPerOp);
+  std::printf("%-12s %14.2f %16.1f %18.0f\n", "call/1cc",
+              OneCC.SecondsPerOp * 1e3, OneCC.BytesPerOp / 1024.0,
+              OneCC.WordsCopiedPerOp);
+  std::printf("call/1cc speedup over call/cc: %.1f%%   (paper: 13%%)\n",
+              SpeedupPct);
+  std::printf("call/1cc allocation reduction: %.1f%%   (paper: 23%%)\n",
+              AllocSavePct);
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  printSummary();
+  return 0;
+}

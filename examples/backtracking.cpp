@@ -1,0 +1,115 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Nondeterministic search (amb) on multi-shot continuations, solving
+/// n-queens — the workload class for which one-shot continuations are NOT
+/// sufficient (§2: "one-shot continuations cannot be used to implement
+/// nondeterminism ... multi-shot continuations must still be used"), run
+/// inside a one-shot early-exit so both varieties interoperate (promotion,
+/// §3.3, keeps this sound).  Run: ./build/examples/backtracking
+///
+//===----------------------------------------------------------------------===//
+
+#include "vm/Interp.h"
+
+#include <cstdio>
+
+using namespace osc;
+
+namespace {
+
+const char *AmbLib = R"SCM(
+;; Failure continuation stack; each amb choice point pushes a retry.
+(define %fail #f)
+
+(define (amb-init! on-exhausted)
+  (set! %fail (lambda () (on-exhausted))))
+
+(define (amb-list choices)
+  (call/cc (lambda (k)
+    (let ((prev-fail %fail))
+      (let try ((cs choices))
+        (if (null? cs)
+            (begin (set! %fail prev-fail) (%fail))
+            (begin
+              ;; Multi-shot: the retry continuation is re-entered once per
+              ;; remaining choice.
+              (call/cc (lambda (retry)
+                (set! %fail (lambda () (retry #f)))
+                (k (car cs))))
+              (try (cdr cs)))))))))
+
+(define (require p) (if p #t (%fail)))
+
+;; --- n-queens on amb ---------------------------------------------------------
+(define (range a b) (if (>= a b) '() (cons a (range (+ a 1) b))))
+
+(define (safe? col placed)
+  (let loop ((ps placed) (d 1))
+    (cond ((null? ps) #t)
+          ((= (car ps) col) #f)
+          ((= (abs (- (car ps) col)) d) #f)
+          (else (loop (cdr ps) (+ d 1))))))
+
+(define (queens n)
+  (call/1cc (lambda (return)          ;; one-shot early exit around the
+    (call/cc (lambda (top)            ;; multi-shot search (promoted)
+      (amb-init! (lambda () (top 'no-solution)))
+      (let place ((row 0) (placed '()))
+        (if (= row n)
+            (return (reverse placed))
+            (let ((col (amb-list (range 0 n))))
+              (require (safe? col placed))
+              (place (+ row 1) (cons col placed))))))))))
+
+;; Count all solutions by failing back into the search after each one.
+(define (count-queens n)
+  (let ((count 0))
+    (call/cc (lambda (done)
+      (amb-init! (lambda () (done count)))
+      (let place ((row 0) (placed '()))
+        (if (= row n)
+            (begin (set! count (+ count 1)) (%fail))
+            (let ((col (amb-list (range 0 n))))
+              (require (safe? col placed))
+              (place (+ row 1) (cons col placed)))))))))
+
+;; Pythagorean triples, the classic amb demo.
+(define (triple limit)
+  (call/cc (lambda (done)
+    (amb-init! (lambda () (done 'none)))
+    (let ((a (amb-list (range 1 limit))))
+      (let ((b (amb-list (range a limit))))
+        (let ((c (amb-list (range b limit))))
+          (require (= (+ (* a a) (* b b)) (* c c)))
+          (done (list a b c))))))))
+)SCM";
+
+} // namespace
+
+int main() {
+  Interp I;
+  if (!I.eval(AmbLib).Ok) {
+    std::fprintf(stderr, "failed to load amb library\n");
+    return 1;
+  }
+
+  std::printf("pythagorean triple < 20 : %s\n",
+              I.evalToString("(triple 20)").c_str());
+  std::printf("6-queens solution       : %s\n",
+              I.evalToString("(queens 6)").c_str());
+  std::printf("8-queens solution       : %s\n",
+              I.evalToString("(queens 8)").c_str());
+  std::printf("6-queens solution count : %s (expected 4)\n",
+              I.evalToString("(count-queens 6)").c_str());
+  std::printf("no 3-queens             : %s\n",
+              I.evalToString("(queens 3)").c_str());
+
+  const Stats &S = I.stats();
+  std::printf("\nmulti-shot: %llu captures, %llu re-entries; promotions of "
+              "one-shots below call/cc: %llu\n",
+              (unsigned long long)S.MultiShotCaptures,
+              (unsigned long long)S.MultiShotInvokes,
+              (unsigned long long)S.Promotions);
+  return 0;
+}

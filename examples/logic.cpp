@@ -1,0 +1,238 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's §2 scenario, end to end: "a Prolog interpreter might use
+/// multi-shot continuations to support nondeterminism while employing a
+/// thread system based on one-shot continuations at a lower level."
+///
+/// This example builds a micro-Prolog (unification, clause database,
+/// backtracking search over amb/call-cc) and runs two independent logic
+/// queries as cooperative threads whose scheduler transfers control with
+/// call/1cc.  The solver yields mid-search, so multi-shot retry
+/// continuations and one-shot thread transfers interleave in the same
+/// chain — the interoperation that promotion (§3.3) makes sound.
+///
+/// Run: ./build/examples/logic
+///
+//===----------------------------------------------------------------------===//
+
+#include "vm/Interp.h"
+
+#include <cstdio>
+
+using namespace osc;
+
+namespace {
+
+const char *MicroProlog = R"SCM(
+;; --- unification -----------------------------------------------------------
+;; Logic variables are symbols starting with '?'.
+(define (var? t)
+  (and (symbol? t)
+       (let ((s (symbol->string t)))
+         (and (> (string-length s) 0)
+              (char=? (string-ref s 0) #\?)))))
+
+(define (walk t s)
+  (if (var? t)
+      (let ((b (assq t s)))
+        (if b (walk (cdr b) s) t))
+      t))
+
+(define (unify a b s)
+  (let ((a (walk a s)) (b (walk b s)))
+    (cond ((eq? a b) s)
+          ((var? a) (cons (cons a b) s))
+          ((var? b) (cons (cons b a) s))
+          ((and (pair? a) (pair? b))
+           (let ((s2 (unify (car a) (car b) s)))
+             (if s2 (unify (cdr a) (cdr b) s2) #f)))
+          ((equal? a b) s)
+          (else #f))))
+
+;; Resolve a term fully against a substitution (for reporting solutions).
+(define (reify t s)
+  (let ((t (walk t s)))
+    (if (pair? t)
+        (cons (reify (car t) s) (reify (cdr t) s))
+        t)))
+
+;; --- clause database ---------------------------------------------------------
+;; A clause is (head . body-goals); facts have an empty body.
+(define *db* '())
+(define (fact! h) (set! *db* (append *db* (list (cons h '())))))
+(define (rule! h . body) (set! *db* (append *db* (list (cons h body)))))
+
+;; Fresh-rename a clause's variables for each use.
+(define *fresh-counter* 0)
+(define (rename-clause c)
+  (let ((mapping '()))
+    (define (fresh v)
+      (let ((b (assq v mapping)))
+        (if b
+            (cdr b)
+            (let ((nv (string->symbol
+                       (string-append "?g" (number->string *fresh-counter*)
+                                      "." (symbol->string v)))))
+              (set! *fresh-counter* (+ *fresh-counter* 1))
+              (set! mapping (cons (cons v nv) mapping))
+              nv))))
+    (let copy ((t c))
+      (cond ((var? t) (fresh t))
+            ((pair? t) (cons (copy (car t)) (copy (cdr t))))
+            (else t)))))
+
+;; --- nondeterminism on multi-shot continuations --------------------------------
+(define %fail #f)
+(define (amb-init! on-exhausted) (set! %fail on-exhausted))
+(define (amb-list choices)
+  (call/cc (lambda (k)
+    (let ((prev %fail))
+      (let try ((cs choices))
+        (if (null? cs)
+            (begin (set! %fail prev) (%fail))
+            (begin
+              (call/cc (lambda (retry)
+                (set! %fail (lambda () (retry #f)))
+                (k (car cs))))
+              (try (cdr cs)))))))))
+(define (require p) (if p #t (%fail)))
+
+;; --- the solver -----------------------------------------------------------------
+;; Depth-first SLD resolution; each clause choice is an amb choice point,
+;; so failure backtracks by re-entering the retry continuation.  The solver
+;; calls (logic-yield!) before each resolution step, handing control to the
+;; scheduler below: nondeterministic search interleaved across threads.
+(define (clauses-for goal)
+  (filter (lambda (c)
+            (let ((h (car c)))
+              (and (pair? h) (pair? goal) (eq? (car h) (car goal)))))
+          *db*))
+
+(define (solve goals s yield)
+  (if (null? goals)
+      s
+      (begin
+        (yield)
+        (let ((goal (reify (car goals) s)))
+          (let ((cs (clauses-for goal)))
+            (require (not (null? cs)))
+            (let ((c (rename-clause (amb-list cs))))
+              (let ((s2 (unify goal (car c) s)))
+                (require s2)
+                (solve (append (cdr c) (cdr goals)) s2 yield))))))))
+
+;; All solutions for query term q under goals, by failure-driven search.
+(define (solve-all q goals yield)
+  (let ((solutions '()))
+    (call/cc (lambda (done)
+      (amb-init! (lambda () (done (reverse solutions))))
+      (let ((s (solve goals '() yield)))
+        (set! solutions (cons (reify q s) solutions))
+        (%fail))))))
+
+;; --- the one-shot thread system underneath ----------------------------------------
+(define %rq-front '())
+(define %rq-back '())
+(define (%rq-push! t) (set! %rq-back (cons t %rq-back)))
+(define (%rq-empty?) (and (null? %rq-front) (null? %rq-back)))
+(define (%rq-pop!)
+  (when (null? %rq-front)
+    (set! %rq-front (reverse %rq-back))
+    (set! %rq-back '()))
+  (let ((t (car %rq-front)))
+    (set! %rq-front (cdr %rq-front))
+    t))
+(define %sched-exit #f)
+(define (%schedule!)
+  (if (%rq-empty?) (%sched-exit 'done) ((%rq-pop!))))
+(define (spawn! thunk) (%rq-push! (lambda () (thunk) (%schedule!))))
+(define (yield!)
+  (call/1cc (lambda (k)
+    (%rq-push! (lambda () (k #f)))
+    (%schedule!))))
+(define (run-scheduler)
+  (call/1cc (lambda (exit)
+    (set! %sched-exit exit)
+    (%schedule!))))
+
+;; Interleave-counting instrumentation.  The failure continuation %fail is
+;; per-search state: save it across the suspension and restore it when the
+;; scheduler resumes this thread, so interleaved searches do not clobber
+;; each other's backtracking.
+(define *schedule-trace* '())
+(define (traced-yield! tag)
+  (set! *schedule-trace* (cons tag *schedule-trace*))
+  (let ((saved-fail %fail))
+    (yield!)
+    (set! %fail saved-fail)))
+)SCM";
+
+const char *Database = R"SCM(
+;; A genealogy...
+(fact! '(parent abraham isaac))
+(fact! '(parent isaac jacob))
+(fact! '(parent jacob joseph))
+(fact! '(parent jacob benjamin))
+(fact! '(parent sarah isaac))
+(rule! '(ancestor ?x ?y) '(parent ?x ?y))
+(rule! '(ancestor ?x ?z) '(parent ?x ?y) '(ancestor ?y ?z))
+
+;; ...and list append as a relation.
+(fact! '(appendo () ?ys ?ys))
+(rule! '(appendo (?x . ?xs) ?ys (?x . ?zs)) '(appendo ?xs ?ys ?zs))
+)SCM";
+
+const char *Demo = R"SCM(
+(define ancestors #f)
+(define splits #f)
+
+;; Two logic queries run as interleaved threads; each solver step yields
+;; through a one-shot continuation.
+(spawn! (lambda ()
+  (set! ancestors (solve-all '?x (list '(ancestor ?x joseph))
+                             (lambda () (traced-yield! 'a))))))
+(spawn! (lambda ()
+  (set! splits (solve-all '(?l ?r)
+                          (list '(appendo ?l ?r (1 2 3)))
+                          (lambda () (traced-yield! 'b))))))
+(run-scheduler)
+
+;; How interleaved was the schedule?
+(define (alternations l)
+  (cond ((null? l) 0)
+        ((null? (cdr l)) 0)
+        ((eq? (car l) (cadr l)) (alternations (cdr l)))
+        (else (+ 1 (alternations (cdr l))))))
+
+(list ancestors splits (alternations (reverse *schedule-trace*)))
+)SCM";
+
+} // namespace
+
+int main() {
+  Interp I;
+  if (!I.eval(MicroProlog).Ok || !I.eval(Database).Ok) {
+    std::fprintf(stderr, "failed to load micro-Prolog\n");
+    return 1;
+  }
+  Interp::Result R = I.eval(Demo);
+  if (!R.Ok) {
+    std::fprintf(stderr, "demo failed: %s\n", R.Error.c_str());
+    return 1;
+  }
+  std::printf("[ancestors-of-joseph  appendo-splits-of-(1 2 3)  "
+              "thread-alternations]\n%s\n",
+              I.valueToString(R.Val).c_str());
+
+  const Stats &S = I.stats();
+  std::printf("\nmulti-shot: %llu captures / %llu re-entries (backtracking)"
+              "\none-shot:   %llu captures / %llu transfers (threads)"
+              "\npromotions of one-shots captured under call/cc: %llu\n",
+              (unsigned long long)S.MultiShotCaptures,
+              (unsigned long long)S.MultiShotInvokes,
+              (unsigned long long)S.OneShotCaptures,
+              (unsigned long long)S.OneShotInvokes,
+              (unsigned long long)S.Promotions);
+  return 0;
+}

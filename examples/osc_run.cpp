@@ -1,0 +1,90 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A Scheme file runner: `osc_run [flags] file.scm ...` evaluates each
+/// file in one interpreter and prints the value of its last expression.
+/// Sample programs live in examples/scheme/.
+///
+///   ./build/examples/osc_run examples/scheme/*.scm
+///   ./build/examples/osc_run --stats examples/scheme/queens.scm
+///
+/// Flags: the control-representation knobs of examples/repl.cpp plus
+/// --stats (dump VM counters after the run).
+///
+//===----------------------------------------------------------------------===//
+
+#include "vm/Interp.h"
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+using namespace osc;
+
+namespace {
+
+bool parseFlag(const char *Arg, const char *Name, std::string &Out) {
+  size_t Len = std::strlen(Name);
+  if (std::strncmp(Arg, Name, Len) != 0 || Arg[Len] != '=')
+    return false;
+  Out = Arg + Len + 1;
+  return true;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  Config Cfg;
+  bool DumpStats = false;
+  std::vector<std::string> Files;
+
+  for (int A = 1; A < argc; ++A) {
+    std::string V;
+    if (parseFlag(argv[A], "--overflow", V))
+      Cfg.Overflow = V == "multishot" ? OverflowPolicy::MultiShot
+                                      : OverflowPolicy::OneShot;
+    else if (parseFlag(argv[A], "--segment-words", V))
+      Cfg.SegmentWords = Cfg.InitialSegmentWords = std::stoul(V);
+    else if (parseFlag(argv[A], "--copy-bound", V))
+      Cfg.CopyBoundWords = std::stoul(V);
+    else if (parseFlag(argv[A], "--seal-displacement", V))
+      Cfg.SealDisplacementWords = std::stoul(V);
+    else if (std::strcmp(argv[A], "--no-cache") == 0)
+      Cfg.SegmentCacheEnabled = false;
+    else if (std::strcmp(argv[A], "--stats") == 0)
+      DumpStats = true;
+    else if (argv[A][0] == '-') {
+      std::fprintf(stderr, "unknown flag: %s\n", argv[A]);
+      return 1;
+    } else
+      Files.push_back(argv[A]);
+  }
+  if (Files.empty()) {
+    std::fprintf(stderr, "usage: osc_run [flags] file.scm ...\n");
+    return 1;
+  }
+
+  Interp I(Cfg);
+  for (const std::string &Path : Files) {
+    std::ifstream In(Path);
+    if (!In) {
+      std::fprintf(stderr, "cannot open %s\n", Path.c_str());
+      return 1;
+    }
+    std::ostringstream Buf;
+    Buf << In.rdbuf();
+    Interp::Result R = I.eval(Buf.str());
+    if (!R.Ok) {
+      std::fprintf(stderr, "%s: %s\n", Path.c_str(), R.Error.c_str());
+      return 1;
+    }
+    std::printf(";; %s => %s\n", Path.c_str(),
+                I.valueToString(R.Val).c_str());
+  }
+  if (DumpStats)
+    std::printf("%s", I.stats().toString().c_str());
+  return 0;
+}

@@ -1,0 +1,107 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// An interactive REPL over the interpreter, with :stats, :gc and
+/// configuration flags for the control-representation knobs.
+///
+///   ./build/examples/repl [--overflow=oneshot|multishot]
+///                         [--segment-words=N] [--copy-bound=N]
+///                         [--seal-displacement=N] [--no-cache]
+///                         [--promotion=linear|sharedflag]
+///
+//===----------------------------------------------------------------------===//
+
+#include "vm/Interp.h"
+
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <string>
+
+using namespace osc;
+
+namespace {
+
+bool parseFlag(const char *Arg, const char *Name, std::string &Out) {
+  size_t Len = std::strlen(Name);
+  if (std::strncmp(Arg, Name, Len) != 0 || Arg[Len] != '=')
+    return false;
+  Out = Arg + Len + 1;
+  return true;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  Config Cfg;
+  for (int A = 1; A < argc; ++A) {
+    std::string V;
+    if (parseFlag(argv[A], "--overflow", V))
+      Cfg.Overflow = V == "multishot" ? OverflowPolicy::MultiShot
+                                      : OverflowPolicy::OneShot;
+    else if (parseFlag(argv[A], "--segment-words", V))
+      Cfg.SegmentWords = Cfg.InitialSegmentWords = std::stoul(V);
+    else if (parseFlag(argv[A], "--copy-bound", V))
+      Cfg.CopyBoundWords = std::stoul(V);
+    else if (parseFlag(argv[A], "--seal-displacement", V))
+      Cfg.SealDisplacementWords = std::stoul(V);
+    else if (parseFlag(argv[A], "--promotion", V))
+      Cfg.Promotion = V == "sharedflag" ? PromotionStrategy::SharedFlag
+                                        : PromotionStrategy::Linear;
+    else if (std::strcmp(argv[A], "--no-cache") == 0)
+      Cfg.SegmentCacheEnabled = false;
+    else {
+      std::fprintf(stderr, "unknown flag: %s\n", argv[A]);
+      return 1;
+    }
+  }
+
+  Interp I(Cfg);
+  std::printf("one-shot continuations REPL — :help for commands\n");
+
+  std::string Line;
+  std::string Pending;
+  while (true) {
+    std::printf("%s", Pending.empty() ? "osc> " : "...> ");
+    std::fflush(stdout);
+    if (!std::getline(std::cin, Line))
+      break;
+    if (Pending.empty()) {
+      if (Line == ":quit" || Line == ":q")
+        break;
+      if (Line == ":help") {
+        std::printf("  :stats   dump VM counters\n"
+                    "  :gc      force a collection\n"
+                    "  :quit    exit\n");
+        continue;
+      }
+      if (Line == ":stats") {
+        std::printf("%s", I.stats().toString().c_str());
+        continue;
+      }
+      if (Line == ":gc") {
+        I.collect();
+        std::printf("collected; live bytes %llu\n",
+                    (unsigned long long)I.heap().liveBytesAfterLastGC());
+        continue;
+      }
+    }
+    Pending += Line;
+    Pending += '\n';
+    // Continue reading if parens are unbalanced (cheap heuristic that
+    // ignores parens in strings/comments on purpose — good enough for a
+    // demo REPL).
+    int Depth = 0;
+    for (char C : Pending)
+      Depth += C == '(' || C == '[' ? 1 : (C == ')' || C == ']' ? -1 : 0);
+    if (Depth > 0)
+      continue;
+    Interp::Result R = I.eval(Pending);
+    Pending.clear();
+    if (!R.Ok)
+      std::printf("error: %s\n", R.Error.c_str());
+    else
+      std::printf("%s\n", I.valueToString(R.Val).c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,44 @@
+;; Preemptive threads via engines: four fib computations time-sliced by the
+;; VM call-count timer, every switch a one-shot continuation.
+;; Run: ./build/examples/osc_run --stats examples/scheme/fib-threads.scm
+
+(define (fib n) (if (< n 2) n (+ (fib (- n 1)) (fib (- n 2)))))
+
+(define front '())
+(define back '())
+(define (push! t) (set! back (cons t back)))
+(define (pop!)
+  (when (null? front) (set! front (reverse back)) (set! back '()))
+  (let ((t (car front))) (set! front (cdr front)) t))
+
+(define results '())
+(define remaining 0)
+(define switches 0)
+
+(define (spawn! tag n)
+  (set! remaining (+ remaining 1))
+  (push! (cons tag (make-engine (lambda () (fib n))))))
+
+(define (drive)
+  (if (zero? remaining)
+      (reverse results)
+      (let ((entry (pop!)))
+        ((cdr entry) 120
+         (lambda (left r)
+           (set! results (cons (list (car entry) r) results))
+           (set! remaining (- remaining 1))
+           (drive))
+         (lambda (e2)
+           (set! switches (+ switches 1))
+           (push! (cons (car entry) e2))
+           (drive))))))
+
+(spawn! 'a 14)
+(spawn! 'b 15)
+(spawn! 'c 16)
+(spawn! 'd 17)
+
+(define final (drive))
+(display "results:  ") (display final) (newline)
+(display "switches: ") (display switches) (newline)
+(list final (> switches 10))

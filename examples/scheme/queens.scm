@@ -1,0 +1,54 @@
+;; n-queens by nondeterministic search on multi-shot continuations,
+;; wrapped in a one-shot early exit.
+;; Run: ./build/examples/osc_run examples/scheme/queens.scm
+
+(define %fail #f)
+(define (amb-init! on-exhausted) (set! %fail on-exhausted))
+(define (amb-list choices)
+  (call/cc (lambda (k)
+    (let ((prev %fail))
+      (let try ((cs choices))
+        (if (null? cs)
+            (begin (set! %fail prev) (%fail))
+            (begin
+              (call/cc (lambda (retry)
+                (set! %fail (lambda () (retry #f)))
+                (k (car cs))))
+              (try (cdr cs)))))))))
+(define (require p) (if p #t (%fail)))
+
+(define (range a b) (if (>= a b) '() (cons a (range (+ a 1) b))))
+
+(define (safe? col placed)
+  (let loop ((ps placed) (d 1))
+    (cond ((null? ps) #t)
+          ((= (car ps) col) #f)
+          ((= (abs (- (car ps) col)) d) #f)
+          (else (loop (cdr ps) (+ d 1))))))
+
+(define (queens n)
+  (call/1cc (lambda (return)
+    (call/cc (lambda (top)
+      (amb-init! (lambda () (top 'no-solution)))
+      (let place ((row 0) (placed '()))
+        (if (= row n)
+            (return (reverse placed))
+            (let ((col (amb-list (range 0 n))))
+              (require (safe? col placed))
+              (place (+ row 1) (cons col placed))))))))))
+
+(define (count-solutions n)
+  (let ((count 0))
+    (call/cc (lambda (done)
+      (amb-init! (lambda () (done count)))
+      (let place ((row 0) (placed '()))
+        (if (= row n)
+            (begin (set! count (+ count 1)) (%fail))
+            (let ((col (amb-list (range 0 n))))
+              (require (safe? col placed))
+              (place (+ row 1) (cons col placed)))))))))
+
+(display "8-queens: ") (display (queens 8)) (newline)
+(display "solutions for n=6: ") (display (count-solutions 6)) (newline)
+
+(list (queens 8) (count-solutions 6) (count-solutions 7))

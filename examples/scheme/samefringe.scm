@@ -1,0 +1,45 @@
+;; same-fringe on one-shot coroutines: decide whether two trees have the
+;; same leaves in the same order, walking both lazily in lock step.  Every
+;; suspension is a call/1cc capture; every resumption a zero-copy segment
+;; swap.  Run: ./build/examples/osc_run examples/scheme/samefringe.scm
+
+(define (make-leaf-gen tree)
+  (define caller #f)
+  (define resume #f)
+  (define (yield v)
+    (call/1cc (lambda (k)
+      (set! resume k)
+      (caller v))))
+  (define (walk t)
+    (cond ((pair? t) (walk (car t)) (walk (cdr t)))
+          ((null? t) #f)
+          (else (yield t))))
+  (lambda ()
+    (call/1cc (lambda (back)
+      (set! caller back)
+      (if resume
+          (resume #f)
+          (begin (walk tree) (caller 'done)))))))
+
+(define (same-fringe? t1 t2)
+  (let ((g1 (make-leaf-gen t1))
+        (g2 (make-leaf-gen t2)))
+    (let loop ()
+      (let ((a (g1)) (b (g2)))
+        (cond ((and (eq? a 'done) (eq? b 'done)) #t)
+              ((or (eq? a 'done) (eq? b 'done)) #f)
+              ((eqv? a b) (loop))
+              (else #f))))))
+
+(display "same shape:      ")
+(display (same-fringe? '((1 2) (3 (4 5))) '((1 2) (3 (4 5)))))
+(newline)
+(display "reshaped:        ")
+(display (same-fringe? '((1 2) (3 (4 5))) '(1 (2 3 (4) 5))))
+(newline)
+(display "different leaf:  ")
+(display (same-fringe? '(1 2 3) '(1 2 4)))
+(newline)
+
+(list (same-fringe? '((a) b (c (d))) '(a (b (c) d)))
+      (same-fringe? '((a) b (c (d))) '(a (b (c) e))))

@@ -1,0 +1,96 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Bytecode instruction set.
+///
+/// Instructions are sequences of 32-bit words: one opcode word followed by
+/// its operand words.  The Call encoding is load-bearing for the control
+/// representation: `Call n D` occupies three words and the return pc points
+/// *after* D, so `Instrs[RetPc - 1]` is the frame-size word the paper
+/// places in the code stream immediately before the return point (§3.1).
+/// Stack walkers (frame splitting, overflow copy-up, continuation resume)
+/// rely on exactly this.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OSC_COMPILER_BYTECODE_H
+#define OSC_COMPILER_BYTECODE_H
+
+#include "object/Objects.h"
+
+#include <cstdint>
+#include <string>
+
+namespace osc {
+
+enum class Op : uint32_t {
+  /// acc = Consts[k]
+  Const,
+  /// acc = frame[off]
+  GetLocal,
+  /// acc = cell-at-frame[off].value
+  GetLocalCell,
+  /// cell-at-frame[off].value = acc
+  SetLocalCell,
+  /// acc = global of symbol Consts[k]; error if undefined
+  GetGlobal,
+  /// global of symbol Consts[k] = acc; error if not yet defined
+  SetGlobal,
+  /// define global of symbol Consts[k] = acc
+  DefGlobal,
+  /// stack[Top++] = acc
+  Push,
+  /// frame[off] = new cell(frame[off])   (boxed bindings)
+  MakeCell,
+  /// acc = closure of Consts[k], capturing nfree pushed values
+  MakeClosure,
+  /// pc = target
+  Jump,
+  /// if acc is #f: pc = target
+  JumpIfFalse,
+  /// Top = Fp + d   (leaving a non-tail let scope)
+  SetTop,
+  /// Reserve the two callee frame header slots: Top += 2
+  Frame,
+  /// Call n D: invoke acc with n args at [Fp+D+2, Fp+D+2+n)
+  Call,
+  /// TailCall n: move n args to Fp+2 and invoke acc, reusing the frame
+  TailCall,
+  /// Return acc to the frame's return address (may underflow)
+  Return,
+  /// Resume point of the call-with-values stub: apply the consumer stored
+  /// in this frame to the values just returned
+  CwvApply,
+
+  // Open-coded primitives (binary ops pop one operand; acc is the right
+  // operand and receives the result).
+  Add,
+  Sub,
+  Mul,
+  NumLt,
+  NumLe,
+  NumGt,
+  NumGe,
+  NumEq,
+  Cons,
+  Car,
+  Cdr,
+  IsNull,
+  IsPair,
+  Not,
+  IsZero,
+  IsEq,
+};
+
+/// Number of operand words following each opcode.
+unsigned opOperandCount(Op O);
+
+/// Opcode mnemonic for the disassembler.
+const char *opName(Op O);
+
+/// Renders \p C's instruction stream, one instruction per line.
+std::string disassemble(const Code *C);
+
+} // namespace osc
+
+#endif // OSC_COMPILER_BYTECODE_H

@@ -1,0 +1,620 @@
+#include "compiler/CodeGen.h"
+
+#include "compiler/Bytecode.h"
+#include "core/FrameWalk.h"
+#include "object/ListUtil.h"
+#include "sexp/Printer.h"
+#include "support/Diag.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+using namespace osc;
+
+namespace {
+
+struct LocalBinding {
+  Symbol *Name;
+  uint32_t Offset; ///< Slot offset from the frame base.
+  bool Boxed;
+};
+
+/// Per-lambda compilation context.
+///
+/// Captured variables are copied into frame slots at entry (the slots after
+/// the parameters), so a running frame is self-contained: continuation
+/// capture and GC tracing never need a closure register.  A lambda's code
+/// therefore references captured variables as ordinary locals; the Frees
+/// list only drives closure creation in the parent.
+struct FnCtx {
+  FnCtx *Parent = nullptr;
+  std::vector<LocalBinding> Locals;
+  std::vector<Symbol *> FreeNames; ///< In closure slot order.
+  std::vector<uint32_t> Instrs;
+  std::vector<Value> Consts;
+  std::unordered_map<uint64_t, uint32_t> ConstIndex;
+  uint32_t Depth = FrameHeaderWords;
+  uint32_t MaxDepth = FrameHeaderWords;
+
+  void bumpDepth(uint32_t N = 1) {
+    Depth += N;
+    if (Depth > MaxDepth)
+      MaxDepth = Depth;
+  }
+};
+
+enum class RefKind { Local, Global };
+
+struct Resolved {
+  RefKind Kind;
+  uint32_t Offset = 0;
+  bool Boxed = false;
+};
+
+struct PrimSpec {
+  Op Opcode;
+  unsigned Arity;
+};
+
+class Compiler {
+public:
+  explicit Compiler(Heap &H) : H(H) {
+    auto S = [&](const char *N) { return H.intern(N); };
+    SQuote = S("quote");
+    SIf = S("if");
+    SSet = S("set!");
+    SLambda = S("lambda");
+    SBegin = S("begin");
+    SLet = S("let");
+    SDefine = S("define");
+    Prims = {
+        {S("+"), {Op::Add, 2}},        {S("-"), {Op::Sub, 2}},
+        {S("*"), {Op::Mul, 2}},        {S("<"), {Op::NumLt, 2}},
+        {S("<="), {Op::NumLe, 2}},     {S(">"), {Op::NumGt, 2}},
+        {S(">="), {Op::NumGe, 2}},     {S("="), {Op::NumEq, 2}},
+        {S("cons"), {Op::Cons, 2}},    {S("eq?"), {Op::IsEq, 2}},
+        {S("car"), {Op::Car, 1}},      {S("cdr"), {Op::Cdr, 1}},
+        {S("null?"), {Op::IsNull, 1}}, {S("pair?"), {Op::IsPair, 1}},
+        {S("not"), {Op::Not, 1}},      {S("zero?"), {Op::IsZero, 1}},
+    };
+  }
+
+  Code *run(Value Form, std::string &Err) {
+    FnCtx Top;
+    // Entry frame-size word: code execution begins at pc 1, so (code, 1)
+    // is a valid resume point meaning "run this frame from its entry" —
+    // used by the engine timer to suspend at procedure entry.
+    Top.Instrs.push_back(FrameHeaderWords);
+    compileToplevelForm(Form, Top, /*Tail=*/true);
+    if (Failed) {
+      Err = Error;
+      return nullptr;
+    }
+    return finishCode(Top, Value::object(H.intern("toplevel")), 0, false);
+  }
+
+private:
+  // --- Emission helpers ------------------------------------------------------
+
+  void emit(FnCtx &C, Op O) { C.Instrs.push_back(static_cast<uint32_t>(O)); }
+  void emit1(FnCtx &C, Op O, uint32_t A) {
+    emit(C, O);
+    C.Instrs.push_back(A);
+  }
+  void emit2(FnCtx &C, Op O, uint32_t A, uint32_t B) {
+    emit(C, O);
+    C.Instrs.push_back(A);
+    C.Instrs.push_back(B);
+  }
+  uint32_t emitJump(FnCtx &C, Op O) {
+    emit(C, O);
+    C.Instrs.push_back(0);
+    return static_cast<uint32_t>(C.Instrs.size()) - 1;
+  }
+  void patchJump(FnCtx &C, uint32_t At) {
+    C.Instrs[At] = static_cast<uint32_t>(C.Instrs.size());
+  }
+
+  uint32_t constIndex(FnCtx &C, Value V) {
+    bool EqAble = V.isFixnum() || V.isImm() || isObj<Symbol>(V);
+    if (EqAble) {
+      auto It = C.ConstIndex.find(V.raw());
+      if (It != C.ConstIndex.end())
+        return It->second;
+    }
+    C.Consts.push_back(V);
+    uint32_t Idx = static_cast<uint32_t>(C.Consts.size()) - 1;
+    if (EqAble)
+      C.ConstIndex.emplace(V.raw(), Idx);
+    return Idx;
+  }
+  void emitConst(FnCtx &C, Value V) { emit1(C, Op::Const, constIndex(C, V)); }
+
+  void fail(const std::string &Msg) {
+    if (!Failed) {
+      Failed = true;
+      Error = "compile error: " + Msg;
+    }
+  }
+
+  // --- Name resolution --------------------------------------------------------
+
+  Resolved resolve(FnCtx &C, Symbol *S) {
+    for (auto It = C.Locals.rbegin(); It != C.Locals.rend(); ++It)
+      if (It->Name == S)
+        return {RefKind::Local, It->Offset, It->Boxed};
+    return {RefKind::Global, 0, false};
+  }
+
+  /// True if \p S is bound as a local anywhere up the context chain,
+  /// i.e. a reference to it inside a nested lambda must be captured.
+  static bool boundInChain(FnCtx *C, Symbol *S) {
+    for (; C; C = C->Parent)
+      for (auto It = C->Locals.rbegin(); It != C->Locals.rend(); ++It)
+        if (It->Name == S)
+          return true;
+    return false;
+  }
+
+  // --- Free-variable and assignment analysis ------------------------------------
+
+  static bool formalsContain(Value Formals, Value S) {
+    while (isObj<Pair>(Formals)) {
+      if (car(Formals).identical(S))
+        return true;
+      Formals = cdr(Formals);
+    }
+    return Formals.identical(S);
+  }
+
+  /// Collects, in first-reference order, the symbols free in \p Form given
+  /// the bound-name stack \p Bound.
+  void freeSymbols(Value Form, std::vector<Symbol *> &Bound,
+                   std::vector<Symbol *> &Out,
+                   std::unordered_set<Symbol *> &Seen) {
+    if (isObj<Symbol>(Form)) {
+      Symbol *S = castObj<Symbol>(Form);
+      if (std::find(Bound.rbegin(), Bound.rend(), S) == Bound.rend() &&
+          Seen.insert(S).second)
+        Out.push_back(S);
+      return;
+    }
+    if (!isObj<Pair>(Form))
+      return;
+    Value Head = car(Form);
+    if (Head.identical(Value::object(SQuote)))
+      return;
+    if (Head.identical(Value::object(SLambda))) {
+      size_t Mark = Bound.size();
+      Value F = car(cdr(Form));
+      while (isObj<Pair>(F)) {
+        Bound.push_back(castObj<Symbol>(car(F)));
+        F = cdr(F);
+      }
+      if (isObj<Symbol>(F))
+        Bound.push_back(castObj<Symbol>(F));
+      freeSymbols(car(cdr(cdr(Form))), Bound, Out, Seen);
+      Bound.resize(Mark);
+      return;
+    }
+    if (Head.identical(Value::object(SLet))) {
+      Value Bindings = car(cdr(Form));
+      size_t Mark = Bound.size();
+      for (Value B = Bindings; isObj<Pair>(B); B = cdr(B))
+        freeSymbols(car(cdr(car(B))), Bound, Out, Seen);
+      for (Value B = Bindings; isObj<Pair>(B); B = cdr(B))
+        Bound.push_back(castObj<Symbol>(car(car(B))));
+      freeSymbols(car(cdr(cdr(Form))), Bound, Out, Seen);
+      Bound.resize(Mark);
+      return;
+    }
+    if (Head.identical(Value::object(SSet))) {
+      freeSymbols(car(cdr(Form)), Bound, Out, Seen);
+      freeSymbols(car(cdr(cdr(Form))), Bound, Out, Seen);
+      return;
+    }
+    // if / begin / application: scan every subform.
+    for (Value Cur = Form; isObj<Pair>(Cur); Cur = cdr(Cur))
+      freeSymbols(car(Cur), Bound, Out, Seen);
+  }
+
+  /// True if a (set! S ...) targeting this binding of S occurs in \p Form.
+  bool assignedIn(Value Form, Value S) {
+    if (!isObj<Pair>(Form))
+      return false;
+    Value Head = car(Form);
+    if (Head.identical(Value::object(SQuote)))
+      return false;
+    if (Head.identical(Value::object(SSet))) {
+      if (car(cdr(Form)).identical(S))
+        return true;
+      return assignedIn(car(cdr(cdr(Form))), S);
+    }
+    if (Head.identical(Value::object(SLambda))) {
+      if (formalsContain(car(cdr(Form)), S))
+        return false;
+      return assignedIn(car(cdr(cdr(Form))), S);
+    }
+    if (Head.identical(Value::object(SLet))) {
+      Value Bindings = car(cdr(Form));
+      Value Body = car(cdr(cdr(Form)));
+      bool Shadowed = false;
+      for (Value B = Bindings; isObj<Pair>(B); B = cdr(B)) {
+        if (assignedIn(car(cdr(car(B))), S))
+          return true;
+        if (car(car(B)).identical(S))
+          Shadowed = true;
+      }
+      return !Shadowed && assignedIn(Body, S);
+    }
+    for (Value Cur = Form; isObj<Pair>(Cur); Cur = cdr(Cur))
+      if (assignedIn(car(Cur), S))
+        return true;
+    return false;
+  }
+
+  // --- Expression compilation -----------------------------------------------------
+
+  void maybeReturn(FnCtx &C, bool Tail) {
+    if (Tail)
+      emit(C, Op::Return);
+  }
+
+  void compileRef(FnCtx &C, Symbol *S) {
+    Resolved R = resolve(C, S);
+    if (R.Kind == RefKind::Local) {
+      emit1(C, R.Boxed ? Op::GetLocalCell : Op::GetLocal, R.Offset);
+      return;
+    }
+    emit1(C, Op::GetGlobal, constIndex(C, Value::object(S)));
+  }
+
+  void compileExpr(Value E, FnCtx &C, bool Tail) {
+    if (Failed)
+      return;
+    if (isObj<Symbol>(E)) {
+      compileRef(C, castObj<Symbol>(E));
+      maybeReturn(C, Tail);
+      return;
+    }
+    if (!isObj<Pair>(E)) {
+      emitConst(C, E);
+      maybeReturn(C, Tail);
+      return;
+    }
+
+    Value Head = car(E);
+    if (isObj<Symbol>(Head)) {
+      Symbol *HS = castObj<Symbol>(Head);
+      if (HS == SQuote) {
+        emitConst(C, car(cdr(E)));
+        maybeReturn(C, Tail);
+        return;
+      }
+      if (HS == SIf) {
+        compileIf(E, C, Tail);
+        return;
+      }
+      if (HS == SSet) {
+        compileSet(E, C, Tail);
+        return;
+      }
+      if (HS == SLambda) {
+        compileLambda(E, C, Value::falseV());
+        maybeReturn(C, Tail);
+        return;
+      }
+      if (HS == SBegin) {
+        compileBegin(cdr(E), C, Tail);
+        return;
+      }
+      if (HS == SLet) {
+        compileLet(E, C, Tail);
+        return;
+      }
+      if (HS == SDefine) {
+        fail("define is not allowed in an expression context");
+        return;
+      }
+    }
+    compileApp(E, C, Tail);
+  }
+
+  void compileIf(Value E, FnCtx &C, bool Tail) {
+    Value Rest = cdr(E);
+    compileExpr(car(Rest), C, false);
+    uint32_t ElseJump = emitJump(C, Op::JumpIfFalse);
+    compileExpr(car(cdr(Rest)), C, Tail);
+    if (Tail) {
+      patchJump(C, ElseJump);
+      compileExpr(car(cdr(cdr(Rest))), C, true);
+      return;
+    }
+    uint32_t EndJump = emitJump(C, Op::Jump);
+    patchJump(C, ElseJump);
+    compileExpr(car(cdr(cdr(Rest))), C, false);
+    patchJump(C, EndJump);
+  }
+
+  void compileSet(Value E, FnCtx &C, bool Tail) {
+    Value Name = car(cdr(E));
+    Value Init = car(cdr(cdr(E)));
+    if (isObj<Pair>(Init) && isObj<Symbol>(car(Init)) &&
+        castObj<Symbol>(car(Init)) == SLambda)
+      compileLambda(Init, C, Name);
+    else
+      compileExpr(Init, C, false);
+    Symbol *S = castObj<Symbol>(Name);
+    Resolved R = resolve(C, S);
+    if (R.Kind == RefKind::Local) {
+      assert(R.Boxed && "assignment analysis must box assigned locals");
+      emit1(C, Op::SetLocalCell, R.Offset);
+    } else {
+      emit1(C, Op::SetGlobal, constIndex(C, Value::object(S)));
+    }
+    emitConst(C, Value::unspecified());
+    maybeReturn(C, Tail);
+  }
+
+  void compileBegin(Value Forms, FnCtx &C, bool Tail) {
+    if (Forms.isNil()) {
+      emitConst(C, Value::unspecified());
+      maybeReturn(C, Tail);
+      return;
+    }
+    while (isObj<Pair>(cdr(Forms))) {
+      compileExpr(car(Forms), C, false);
+      Forms = cdr(Forms);
+    }
+    compileExpr(car(Forms), C, Tail);
+  }
+
+  void compileLet(Value E, FnCtx &C, bool Tail) {
+    Value Bindings = car(cdr(E));
+    Value Body = car(cdr(cdr(E)));
+    uint32_t DepthBefore = C.Depth;
+    size_t NLocalsBefore = C.Locals.size();
+
+    std::vector<Value> Names;
+    for (Value B = Bindings; isObj<Pair>(B); B = cdr(B)) {
+      Value Name = car(car(B));
+      Value Init = car(cdr(car(B)));
+      Names.push_back(Name);
+      if (isObj<Pair>(Init) && isObj<Symbol>(car(Init)) &&
+          castObj<Symbol>(car(Init)) == SLambda)
+        compileLambda(Init, C, Name);
+      else
+        compileExpr(Init, C, false);
+      emit(C, Op::Push);
+      C.bumpDepth();
+    }
+    for (size_t I = 0; I != Names.size(); ++I) {
+      uint32_t Off = DepthBefore + static_cast<uint32_t>(I);
+      bool Boxed = assignedIn(Body, Names[I]);
+      if (Boxed)
+        emit1(C, Op::MakeCell, Off);
+      C.Locals.push_back({castObj<Symbol>(Names[I]), Off, Boxed});
+    }
+
+    compileExpr(Body, C, Tail);
+
+    C.Locals.resize(NLocalsBefore);
+    if (!Tail && !Names.empty()) {
+      emit1(C, Op::SetTop, DepthBefore);
+      C.Depth = DepthBefore;
+    }
+  }
+
+  void compileLambda(Value E, FnCtx &C, Value NameHint) {
+    Value Formals = car(cdr(E));
+    Value Body = car(cdr(cdr(E)));
+
+    FnCtx Child;
+    Child.Parent = &C;
+
+    uint32_t NParams = 0;
+    bool HasRest = false;
+    std::vector<Value> ParamNames;
+    Value F = Formals;
+    while (isObj<Pair>(F)) {
+      ParamNames.push_back(car(F));
+      ++NParams;
+      F = cdr(F);
+    }
+    if (isObj<Symbol>(F)) {
+      HasRest = true;
+      ParamNames.push_back(F);
+    }
+    uint32_t NSlots = NParams + (HasRest ? 1 : 0);
+
+    // Which outer bindings does the body capture?  Free symbols that are
+    // bound somewhere up the context chain become closure captures, copied
+    // into the slots right after the parameters at entry; the rest are
+    // globals.
+    std::vector<Symbol *> Bound;
+    for (Value P : ParamNames)
+      Bound.push_back(castObj<Symbol>(P));
+    std::vector<Symbol *> FreeCandidates;
+    std::unordered_set<Symbol *> Seen;
+    freeSymbols(Body, Bound, FreeCandidates, Seen);
+
+    for (Symbol *S : FreeCandidates)
+      if (boundInChain(&C, S))
+        Child.FreeNames.push_back(S);
+
+    Child.Depth = Child.MaxDepth =
+        FrameHeaderWords + NSlots +
+        static_cast<uint32_t>(Child.FreeNames.size());
+    // Entry frame-size word (see run()): the frame extent right after
+    // entry, i.e. header + parameters (+ rest slot) + captured variables.
+    Child.Instrs.push_back(Child.Depth);
+
+    for (uint32_t I = 0; I != NSlots; ++I) {
+      uint32_t Off = FrameHeaderWords + I;
+      bool Boxed = assignedIn(Body, ParamNames[I]);
+      if (Boxed)
+        emit1(Child, Op::MakeCell, Off);
+      Child.Locals.push_back({castObj<Symbol>(ParamNames[I]), Off, Boxed});
+    }
+    for (uint32_t I = 0; I != Child.FreeNames.size(); ++I) {
+      uint32_t Off = FrameHeaderWords + NSlots + I;
+      // A captured binding's boxedness comes from its defining scope; the
+      // cell (not its contents) was captured, so accesses go through it.
+      Resolved Src = resolveInChain(C, Child.FreeNames[I]);
+      Child.Locals.push_back({Child.FreeNames[I], Off, Src.Boxed});
+    }
+
+    compileExpr(Body, Child, /*Tail=*/true);
+    if (Failed)
+      return;
+
+    Code *ChildCode = finishCode(Child, NameHint, NParams, HasRest);
+
+    // Capture: push each free variable's slot raw (cells included) in the
+    // parent, then close over them.
+    for (Symbol *S : Child.FreeNames) {
+      Resolved R = resolve(C, S);
+      if (R.Kind != RefKind::Local) {
+        oscUnreachable("captured variable not bound in parent context");
+      }
+      emit1(C, Op::GetLocal, R.Offset);
+      emit(C, Op::Push);
+      C.bumpDepth();
+    }
+    emit2(C, Op::MakeClosure, constIndex(C, Value::object(ChildCode)),
+          static_cast<uint32_t>(Child.FreeNames.size()));
+    C.Depth -= static_cast<uint32_t>(Child.FreeNames.size());
+  }
+
+  /// Resolves \p S against \p C and its ancestors for boxedness.
+  Resolved resolveInChain(FnCtx &C, Symbol *S) {
+    for (FnCtx *Ctx = &C; Ctx; Ctx = Ctx->Parent) {
+      Resolved R = resolve(*Ctx, S);
+      if (R.Kind == RefKind::Local)
+        return R;
+    }
+    return {RefKind::Global, 0, false};
+  }
+
+  void compileApp(Value E, FnCtx &C, bool Tail) {
+    std::vector<Value> Parts;
+    if (!listToVector(E, Parts) || Parts.empty()) {
+      fail("bad application: " + writeToString(E));
+      return;
+    }
+    Value Operator = Parts[0];
+    uint32_t NArgs = static_cast<uint32_t>(Parts.size()) - 1;
+
+    // Open-coded primitives: only when the operator symbol is not lexically
+    // bound (rebinding a builtin global does not affect already-compiled
+    // open-coded call sites; see README).
+    if (isObj<Symbol>(Operator)) {
+      Symbol *S = castObj<Symbol>(Operator);
+      auto It = Prims.find(S);
+      if (It != Prims.end() && It->second.Arity == NArgs &&
+          resolveInChain(C, S).Kind == RefKind::Global) {
+        if (NArgs == 1) {
+          compileExpr(Parts[1], C, false);
+        } else {
+          compileExpr(Parts[1], C, false);
+          emit(C, Op::Push);
+          C.bumpDepth();
+          compileExpr(Parts[2], C, false);
+          C.Depth -= 1;
+        }
+        emit(C, It->second.Opcode);
+        maybeReturn(C, Tail);
+        return;
+      }
+    }
+
+    if (Tail) {
+      for (uint32_t I = 1; I <= NArgs; ++I) {
+        compileExpr(Parts[I], C, false);
+        emit(C, Op::Push);
+        C.bumpDepth();
+      }
+      compileExpr(Operator, C, false);
+      emit1(C, Op::TailCall, NArgs);
+      C.Depth -= NArgs;
+      return;
+    }
+
+    uint32_t D = C.Depth;
+    emit(C, Op::Frame);
+    C.bumpDepth(FrameHeaderWords);
+    for (uint32_t I = 1; I <= NArgs; ++I) {
+      compileExpr(Parts[I], C, false);
+      emit(C, Op::Push);
+      C.bumpDepth();
+    }
+    compileExpr(Operator, C, false);
+    emit2(C, Op::Call, NArgs, D);
+    C.Depth = D;
+  }
+
+  // --- Top level -------------------------------------------------------------------
+
+  void compileToplevelForm(Value E, FnCtx &C, bool Tail) {
+    if (Failed)
+      return;
+    if (isObj<Pair>(E) && isObj<Symbol>(car(E))) {
+      Symbol *HS = castObj<Symbol>(car(E));
+      if (HS == SDefine) {
+        Value Name = car(cdr(E));
+        Value Init = car(cdr(cdr(E)));
+        if (isObj<Pair>(Init) && isObj<Symbol>(car(Init)) &&
+            castObj<Symbol>(car(Init)) == SLambda)
+          compileLambda(Init, C, Name);
+        else
+          compileExpr(Init, C, false);
+        emit1(C, Op::DefGlobal, constIndex(C, Name));
+        emitConst(C, Value::unspecified());
+        maybeReturn(C, Tail);
+        return;
+      }
+      if (HS == SBegin) {
+        Value Forms = cdr(E);
+        if (Forms.isNil()) {
+          emitConst(C, Value::unspecified());
+          maybeReturn(C, Tail);
+          return;
+        }
+        while (isObj<Pair>(cdr(Forms))) {
+          compileToplevelForm(car(Forms), C, false);
+          Forms = cdr(Forms);
+        }
+        compileToplevelForm(car(Forms), C, Tail);
+        return;
+      }
+    }
+    compileExpr(E, C, Tail);
+  }
+
+  Code *finishCode(FnCtx &C, Value Name, uint32_t NParams, bool HasRest) {
+    Vector *Consts =
+        H.allocVector(static_cast<uint32_t>(C.Consts.size()), Value::nil());
+    for (uint32_t I = 0; I != C.Consts.size(); ++I)
+      Consts->set(I, C.Consts[I]);
+    return H.allocCode(Name, Value::object(Consts), NParams, HasRest,
+                       C.MaxDepth, C.Instrs.data(),
+                       static_cast<uint32_t>(C.Instrs.size()));
+  }
+
+  Heap &H;
+  bool Failed = false;
+  std::string Error;
+  Symbol *SQuote, *SIf, *SSet, *SLambda, *SBegin, *SLet, *SDefine;
+  std::unordered_map<Symbol *, PrimSpec> Prims;
+};
+
+} // namespace
+
+CodeGen::CodeGen(Heap &H) : H(H) {}
+
+Code *CodeGen::compileToplevel(Value Form, std::string &Error) {
+  Compiler C(H);
+  return C.run(Form, Error);
+}

@@ -1,0 +1,46 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Direct-style bytecode generation from expanded core forms.
+///
+/// Responsibilities that matter to the control representation:
+///   * proper tail calls (TailCall reuses the caller's frame, so tail
+///     recursion runs in constant stack space and the empty-segment capture
+///     case of §3.2 is reachable);
+///   * the frame-size word: every Call is emitted as [Call][n][D] where D
+///     is the static depth of the caller frame at the call, so
+///     Instrs[RetPc-1] recovers the caller frame extent (§3.1);
+///   * MaxDepth: the static maximum frame extent, used by the VM for the
+///     segment-overflow check;
+///   * assignment conversion: assigned bindings live in heap cells so flat
+///     closures can share mutable state.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OSC_COMPILER_CODEGEN_H
+#define OSC_COMPILER_CODEGEN_H
+
+#include "object/Heap.h"
+#include "object/Value.h"
+
+#include <string>
+
+namespace osc {
+
+struct Code;
+
+class CodeGen {
+public:
+  explicit CodeGen(Heap &H);
+
+  /// Compiles one fully expanded top-level form into a zero-argument code
+  /// object.  Returns nullptr and fills \p Error on failure.
+  Code *compileToplevel(Value Form, std::string &Error);
+
+private:
+  Heap &H;
+};
+
+} // namespace osc
+
+#endif // OSC_COMPILER_CODEGEN_H

@@ -1,0 +1,564 @@
+#include "compiler/Expander.h"
+
+#include "object/ListUtil.h"
+#include "sexp/Printer.h"
+
+using namespace osc;
+
+Expander::Expander(Heap &H) : H(H) {
+  auto S = [&](const char *N) { return Value::object(H.intern(N)); };
+  SQuote = S("quote");
+  SQuasiquote = S("quasiquote");
+  SUnquote = S("unquote");
+  SUnquoteSplicing = S("unquote-splicing");
+  SIf = S("if");
+  SSet = S("set!");
+  SLambda = S("lambda");
+  SBegin = S("begin");
+  SLet = S("let");
+  SLetStar = S("let*");
+  SLetrec = S("letrec");
+  SLetrecStar = S("letrec*");
+  SDefine = S("define");
+  SCond = S("cond");
+  SCase = S("case");
+  SAnd = S("and");
+  SOr = S("or");
+  SWhen = S("when");
+  SUnless = S("unless");
+  SDo = S("do");
+  SElse = S("else");
+  SArrow = S("=>");
+  SNot = S("not");
+  SCons = S("cons");
+  SAppend = S("append");
+  SListToVector = S("list->vector");
+  SList = S("list");
+  SMemv = S("memv");
+  SEqv = S("eqv?");
+}
+
+Value Expander::fail(const std::string &Msg) {
+  if (!Failed) {
+    Failed = true;
+    Error = "syntax error: " + Msg;
+  }
+  return Value::unspecified();
+}
+
+Value Expander::list1(Value A) { return cons(H, A, Value::nil()); }
+Value Expander::list2(Value A, Value B) { return cons(H, A, list1(B)); }
+Value Expander::list3(Value A, Value B, Value C) {
+  return cons(H, A, list2(B, C));
+}
+Value Expander::list4(Value A, Value B, Value C, Value D) {
+  return cons(H, A, list3(B, C, D));
+}
+
+Symbol *Expander::gensym(const char *Hint) {
+  // The leading space cannot appear in read symbols, so these are fresh.
+  return H.intern(" " + std::string(Hint) + std::to_string(GensymCounter++));
+}
+
+bool Expander::expandToplevel(Value Form, Value &Out, std::string &Err) {
+  Failed = false;
+  Error.clear();
+
+  // (define (f . args) body...) sugar and plain (define x e) are only legal
+  // at top level (or inside bodies, where expandBody handles them).
+  if (isObj<Pair>(Form) && car(Form).identical(SDefine)) {
+    Value Rest = cdr(Form);
+    if (!isObj<Pair>(Rest)) {
+      Err = "syntax error: bad define";
+      return false;
+    }
+    Value Target = car(Rest);
+    if (isObj<Pair>(Target)) {
+      // (define (f . formals) body...) => (define f (lambda formals body...))
+      Value Name = car(Target);
+      Value Formals = cdr(Target);
+      Value Lam = cons(H, SLambda, cons(H, Formals, cdr(Rest)));
+      Form = list3(SDefine, Name, Lam);
+      Rest = cdr(Form);
+      Target = Name;
+    }
+    if (!isObj<Symbol>(Target) || !isObj<Pair>(cdr(Rest)) ||
+        !cdr(cdr(Rest)).isNil()) {
+      Err = "syntax error: bad define";
+      return false;
+    }
+    Value Init = expand(car(cdr(Rest)));
+    if (Failed) {
+      Err = Error;
+      return false;
+    }
+    Out = list3(SDefine, Target, Init);
+    return true;
+  }
+
+  // (begin form...) at top level: expand each form at top level so defines
+  // inside are still top-level defines.
+  if (isObj<Pair>(Form) && car(Form).identical(SBegin)) {
+    std::vector<Value> Forms;
+    if (!listToVector(cdr(Form), Forms)) {
+      Err = "syntax error: bad begin";
+      return false;
+    }
+    std::vector<Value> Expanded;
+    for (Value F : Forms) {
+      Value E;
+      if (!expandToplevel(F, E, Err))
+        return false;
+      Expanded.push_back(E);
+    }
+    Out = cons(H, SBegin, listFromVector(H, Expanded));
+    return true;
+  }
+
+  Out = expand(Form);
+  if (Failed) {
+    Err = Error;
+    return false;
+  }
+  return true;
+}
+
+Value Expander::expandList(Value Forms) {
+  std::vector<Value> Out;
+  if (!listToVector(Forms, Out))
+    return fail("improper form list");
+  for (Value &V : Out)
+    V = expand(V);
+  return listFromVector(H, Out);
+}
+
+Value Expander::expand(Value Form) {
+  if (Failed)
+    return Form;
+  if (!isObj<Pair>(Form))
+    return Form; // Symbols and literals expand to themselves.
+
+  Value Head = car(Form);
+  if (isObj<Symbol>(Head)) {
+    if (Head.identical(SQuote))
+      return Form;
+    if (Head.identical(SIf)) {
+      Value Rest = cdr(Form);
+      int64_t N = listLength(Rest);
+      if (N != 2 && N != 3)
+        return fail("if expects 2 or 3 subforms");
+      Value C = expand(car(Rest));
+      Value T = expand(car(cdr(Rest)));
+      Value E = N == 3 ? expand(car(cdr(cdr(Rest))))
+                       : list2(SQuote, Value::unspecified());
+      return list4(SIf, C, T, E);
+    }
+    if (Head.identical(SSet)) {
+      Value Rest = cdr(Form);
+      if (listLength(Rest) != 2 || !isObj<Symbol>(car(Rest)))
+        return fail("bad set!");
+      return list3(SSet, car(Rest), expand(car(cdr(Rest))));
+    }
+    if (Head.identical(SLambda))
+      return expandLambda(Form);
+    if (Head.identical(SBegin)) {
+      Value Body = cdr(Form);
+      if (Body.isNil())
+        return list2(SQuote, Value::unspecified());
+      return expandBody(Body);
+    }
+    if (Head.identical(SLet))
+      return expandLet(Form);
+    if (Head.identical(SLetStar))
+      return expandLetStar(Form);
+    if (Head.identical(SLetrec) || Head.identical(SLetrecStar))
+      return expandLetrec(Form);
+    if (Head.identical(SCond))
+      return expandCond(Form);
+    if (Head.identical(SCase))
+      return expandCase(Form);
+    if (Head.identical(SAnd))
+      return expandAnd(cdr(Form));
+    if (Head.identical(SOr))
+      return expandOr(cdr(Form));
+    if (Head.identical(SWhen)) {
+      Value Rest = cdr(Form);
+      if (!isObj<Pair>(Rest) || !isObj<Pair>(cdr(Rest)))
+        return fail("bad when");
+      return list4(SIf, expand(car(Rest)), expandBody(cdr(Rest)),
+                   list2(SQuote, Value::unspecified()));
+    }
+    if (Head.identical(SUnless)) {
+      Value Rest = cdr(Form);
+      if (!isObj<Pair>(Rest) || !isObj<Pair>(cdr(Rest)))
+        return fail("bad unless");
+      return list4(SIf, expand(car(Rest)),
+                   list2(SQuote, Value::unspecified()),
+                   expandBody(cdr(Rest)));
+    }
+    if (Head.identical(SDo))
+      return expandDo(Form);
+    if (Head.identical(SQuasiquote)) {
+      if (listLength(cdr(Form)) != 1)
+        return fail("bad quasiquote");
+      return expand(expandQuasi(car(cdr(Form)), 1));
+    }
+    if (Head.identical(SDefine))
+      return fail("define is only allowed at top level or body start");
+  }
+  // Application.
+  return expandList(Form);
+}
+
+Value Expander::expandLambda(Value Form) {
+  Value Rest = cdr(Form);
+  if (!isObj<Pair>(Rest))
+    return fail("bad lambda");
+  Value Formals = car(Rest);
+  Value Body = cdr(Rest);
+  if (Body.isNil())
+    return fail("lambda body is empty");
+  // Validate formals: symbol | (sym ...) | (sym ... . sym)
+  Value F = Formals;
+  while (isObj<Pair>(F)) {
+    if (!isObj<Symbol>(car(F)))
+      return fail("lambda formal is not a symbol");
+    F = cdr(F);
+  }
+  if (!F.isNil() && !isObj<Symbol>(F))
+    return fail("bad lambda formals");
+  return cons(H, SLambda, cons(H, Formals, list1(expandBody(Body))));
+}
+
+Value Expander::expandBody(Value Forms) {
+  std::vector<Value> Body;
+  if (!listToVector(Forms, Body) || Body.empty())
+    return fail("bad body");
+
+  // Collect leading internal defines.
+  std::vector<Value> Names;
+  std::vector<Value> Inits;
+  size_t I = 0;
+  for (; I != Body.size(); ++I) {
+    Value F = Body[I];
+    if (!isObj<Pair>(F) || !car(F).identical(SDefine))
+      break;
+    Value Rest = cdr(F);
+    if (!isObj<Pair>(Rest))
+      return fail("bad internal define");
+    Value Target = car(Rest);
+    if (isObj<Pair>(Target)) {
+      Value Name = car(Target);
+      Value Lam = cons(H, SLambda, cons(H, cdr(Target), cdr(Rest)));
+      Names.push_back(Name);
+      Inits.push_back(Lam);
+      continue;
+    }
+    if (!isObj<Symbol>(Target) || listLength(cdr(Rest)) != 1)
+      return fail("bad internal define");
+    Names.push_back(Target);
+    Inits.push_back(car(cdr(Rest)));
+  }
+  if (I == Body.size())
+    return fail("body has no expression after internal defines");
+
+  std::vector<Value> Tail(Body.begin() + I, Body.end());
+  if (Names.empty()) {
+    if (Tail.size() == 1)
+      return expand(Tail[0]);
+    std::vector<Value> Expanded;
+    for (Value F : Tail)
+      Expanded.push_back(expand(F));
+    return cons(H, SBegin, listFromVector(H, Expanded));
+  }
+
+  // (letrec* ((n i)...) tail...) rewritten directly here as
+  // (let ((n <undefined>)...) (set! n i)... tail...)
+  std::vector<Value> Bindings;
+  for (Value N : Names)
+    Bindings.push_back(list2(N, Value::undefined()));
+  std::vector<Value> NewBody;
+  for (size_t J = 0; J != Names.size(); ++J)
+    NewBody.push_back(list3(SSet, Names[J], Inits[J]));
+  NewBody.insert(NewBody.end(), Tail.begin(), Tail.end());
+  Value LetForm =
+      cons(H, SLet, cons(H, listFromVector(H, Bindings),
+                         listFromVector(H, NewBody)));
+  return expand(LetForm);
+}
+
+Value Expander::expandLet(Value Form) {
+  Value Rest = cdr(Form);
+  if (!isObj<Pair>(Rest))
+    return fail("bad let");
+  if (isObj<Symbol>(car(Rest))) {
+    // Named let.
+    if (!isObj<Pair>(cdr(Rest)))
+      return fail("bad named let");
+    return expandNamedLet(car(Rest), car(cdr(Rest)), cdr(cdr(Rest)));
+  }
+  Value Bindings = car(Rest);
+  Value Body = cdr(Rest);
+  std::vector<Value> Bs;
+  if (!listToVector(Bindings, Bs))
+    return fail("bad let bindings");
+  std::vector<Value> Out;
+  for (Value B : Bs) {
+    if (listLength(B) != 2 || !isObj<Symbol>(car(B)))
+      return fail("bad let binding");
+    Out.push_back(list2(car(B), expand(car(cdr(B)))));
+  }
+  return cons(H, SLet,
+              cons(H, listFromVector(H, Out), list1(expandBody(Body))));
+}
+
+Value Expander::expandNamedLet(Value Name, Value Bindings, Value Body) {
+  std::vector<Value> Bs;
+  if (!listToVector(Bindings, Bs))
+    return fail("bad named-let bindings");
+  std::vector<Value> Vars;
+  std::vector<Value> Inits;
+  for (Value B : Bs) {
+    if (listLength(B) != 2 || !isObj<Symbol>(car(B)))
+      return fail("bad named-let binding");
+    Vars.push_back(car(B));
+    Inits.push_back(car(cdr(B)));
+  }
+  // ((letrec ((name (lambda (vars...) body...))) name) inits...)
+  Value Lam =
+      cons(H, SLambda, cons(H, listFromVector(H, Vars), Body));
+  Value LetrecForm =
+      list3(SLetrec, list1(list2(Name, Lam)), Name);
+  return expand(cons(H, LetrecForm, listFromVector(H, Inits)));
+}
+
+Value Expander::expandLetStar(Value Form) {
+  Value Rest = cdr(Form);
+  if (!isObj<Pair>(Rest))
+    return fail("bad let*");
+  Value Bindings = car(Rest);
+  Value Body = cdr(Rest);
+  if (Bindings.isNil())
+    return expand(cons(H, SLet, cons(H, Value::nil(), Body)));
+  if (!isObj<Pair>(Bindings))
+    return fail("bad let* bindings");
+  Value First = car(Bindings);
+  Value RestBindings = cdr(Bindings);
+  if (RestBindings.isNil())
+    return expand(cons(H, SLet, cons(H, list1(First), Body)));
+  Value Inner = cons(H, SLetStar, cons(H, RestBindings, Body));
+  return expand(cons(H, SLet, cons(H, list1(First), list1(Inner))));
+}
+
+Value Expander::expandLetrec(Value Form) {
+  // Both letrec and letrec* get the sequential (letrec*) semantics, which
+  // is a valid implementation of letrec for procedure initializers.
+  Value Rest = cdr(Form);
+  if (!isObj<Pair>(Rest))
+    return fail("bad letrec");
+  Value Bindings = car(Rest);
+  Value Body = cdr(Rest);
+  std::vector<Value> Bs;
+  if (!listToVector(Bindings, Bs))
+    return fail("bad letrec bindings");
+  std::vector<Value> NewBindings;
+  std::vector<Value> NewBody;
+  for (Value B : Bs) {
+    if (listLength(B) != 2 || !isObj<Symbol>(car(B)))
+      return fail("bad letrec binding");
+    NewBindings.push_back(list2(car(B), Value::undefined()));
+    NewBody.push_back(list3(SSet, car(B), car(cdr(B))));
+  }
+  std::vector<Value> BodyForms;
+  if (!listToVector(Body, BodyForms) || BodyForms.empty())
+    return fail("letrec body is empty");
+  NewBody.insert(NewBody.end(), BodyForms.begin(), BodyForms.end());
+  return expand(cons(H, SLet, cons(H, listFromVector(H, NewBindings),
+                                   listFromVector(H, NewBody))));
+}
+
+Value Expander::expandCond(Value Form) {
+  std::vector<Value> Clauses;
+  if (!listToVector(cdr(Form), Clauses))
+    return fail("bad cond");
+  Value Result = list2(SQuote, Value::unspecified());
+  for (auto It = Clauses.rbegin(); It != Clauses.rend(); ++It) {
+    Value C = *It;
+    if (!isObj<Pair>(C))
+      return fail("bad cond clause");
+    Value Test = car(C);
+    Value Rest = cdr(C);
+    if (Test.identical(SElse)) {
+      if (It != Clauses.rbegin())
+        return fail("cond else clause must be last");
+      Result = expandBody(Rest);
+      continue;
+    }
+    if (isObj<Pair>(Rest) && car(Rest).identical(SArrow)) {
+      // (test => receiver)
+      if (listLength(Rest) != 2)
+        return fail("bad cond => clause");
+      Value T = Value::object(gensym("t"));
+      Value Recv = car(cdr(Rest));
+      Value Inner =
+          list4(SIf, T, list2(Recv, T), Result);
+      Result = cons(H, SLet, cons(H, list1(list2(T, Test)), list1(Inner)));
+      continue;
+    }
+    if (Rest.isNil()) {
+      // (test): the test value itself.
+      Value T = Value::object(gensym("t"));
+      Value Inner = list4(SIf, T, T, Result);
+      Result = cons(H, SLet, cons(H, list1(list2(T, Test)), list1(Inner)));
+      continue;
+    }
+    Result = list4(SIf, Test, cons(H, SBegin, Rest), Result);
+  }
+  return expand(Result);
+}
+
+Value Expander::expandCase(Value Form) {
+  Value Rest = cdr(Form);
+  if (!isObj<Pair>(Rest))
+    return fail("bad case");
+  Value Key = car(Rest);
+  std::vector<Value> Clauses;
+  if (!listToVector(cdr(Rest), Clauses))
+    return fail("bad case");
+  Value T = Value::object(gensym("k"));
+  Value Result = list2(SQuote, Value::unspecified());
+  for (auto It = Clauses.rbegin(); It != Clauses.rend(); ++It) {
+    Value C = *It;
+    if (!isObj<Pair>(C))
+      return fail("bad case clause");
+    if (car(C).identical(SElse)) {
+      Result = cons(H, SBegin, cdr(C));
+      continue;
+    }
+    Value Data = car(C);
+    Value Test = list3(SMemv, T, list2(SQuote, Data));
+    Result = list4(SIf, Test, cons(H, SBegin, cdr(C)), Result);
+  }
+  Value LetForm =
+      cons(H, SLet, cons(H, list1(list2(T, Key)), list1(Result)));
+  return expand(LetForm);
+}
+
+Value Expander::expandAnd(Value Args) {
+  if (Args.isNil())
+    return list2(SQuote, Value::trueV());
+  if (!isObj<Pair>(Args))
+    return fail("bad and");
+  if (cdr(Args).isNil())
+    return expand(car(Args));
+  Value Rest = expandAnd(cdr(Args));
+  if (Failed)
+    return Rest;
+  return list4(SIf, expand(car(Args)), Rest,
+               list2(SQuote, Value::falseV()));
+}
+
+Value Expander::expandOr(Value Args) {
+  if (Args.isNil())
+    return list2(SQuote, Value::falseV());
+  if (!isObj<Pair>(Args))
+    return fail("bad or");
+  if (cdr(Args).isNil())
+    return expand(car(Args));
+  Value T = Value::object(gensym("t"));
+  Value Rest = expandOr(cdr(Args));
+  if (Failed)
+    return Rest;
+  Value Inner = list4(SIf, T, T, Rest);
+  return expand(
+      cons(H, SLet, cons(H, list1(list2(T, car(Args))), list1(Inner))));
+}
+
+Value Expander::expandDo(Value Form) {
+  // (do ((var init step)...) (test result...) body...)
+  Value Rest = cdr(Form);
+  if (listLength(Rest) < 2)
+    return fail("bad do");
+  std::vector<Value> Specs;
+  if (!listToVector(car(Rest), Specs))
+    return fail("bad do bindings");
+  Value TestClause = car(cdr(Rest));
+  Value Body = cdr(cdr(Rest));
+  if (!isObj<Pair>(TestClause))
+    return fail("bad do test clause");
+
+  std::vector<Value> Vars, Inits, Steps;
+  for (Value Spec : Specs) {
+    int64_t N = listLength(Spec);
+    if ((N != 2 && N != 3) || !isObj<Symbol>(car(Spec)))
+      return fail("bad do binding");
+    Vars.push_back(car(Spec));
+    Inits.push_back(car(cdr(Spec)));
+    Steps.push_back(N == 3 ? car(cdr(cdr(Spec))) : car(Spec));
+  }
+
+  Value Loop = Value::object(gensym("do-loop"));
+  Value Test = car(TestClause);
+  Value Results = cdr(TestClause);
+  Value ResultExpr = Results.isNil()
+                         ? list2(SQuote, Value::unspecified())
+                         : cons(H, SBegin, Results);
+
+  // (loop step...)
+  Value Recur = cons(H, Loop, listFromVector(H, Steps));
+  Value LoopBody;
+  if (Body.isNil())
+    LoopBody = Recur;
+  else {
+    std::vector<Value> Seq;
+    listToVector(Body, Seq);
+    Seq.push_back(Recur);
+    LoopBody = cons(H, SBegin, listFromVector(H, Seq));
+  }
+  Value IfForm = list4(SIf, Test, ResultExpr, LoopBody);
+
+  // (let loop ((var init)...) if-form)
+  std::vector<Value> Bindings;
+  for (size_t I = 0; I != Vars.size(); ++I)
+    Bindings.push_back(list2(Vars[I], Inits[I]));
+  Value NamedLet =
+      cons(H, SLet,
+           cons(H, Loop, cons(H, listFromVector(H, Bindings), list1(IfForm))));
+  return expand(NamedLet);
+}
+
+Value Expander::expandQuasi(Value Tmpl, int Depth) {
+  if (isObj<Pair>(Tmpl)) {
+    Value Head = car(Tmpl);
+    if (Head.identical(SUnquote)) {
+      if (listLength(cdr(Tmpl)) != 1)
+        return fail("bad unquote");
+      if (Depth == 1)
+        return car(cdr(Tmpl));
+      return list3(SList, list2(SQuote, SUnquote),
+                   expandQuasi(car(cdr(Tmpl)), Depth - 1));
+    }
+    if (Head.identical(SQuasiquote)) {
+      if (listLength(cdr(Tmpl)) != 1)
+        return fail("bad nested quasiquote");
+      return list3(SList, list2(SQuote, SQuasiquote),
+                   expandQuasi(car(cdr(Tmpl)), Depth + 1));
+    }
+    if (isObj<Pair>(Head) && car(Head).identical(SUnquoteSplicing) &&
+        Depth == 1) {
+      if (listLength(cdr(Head)) != 1)
+        return fail("bad unquote-splicing");
+      return list3(SAppend, car(cdr(Head)), expandQuasi(cdr(Tmpl), Depth));
+    }
+    return list3(SCons, expandQuasi(Head, Depth),
+                 expandQuasi(cdr(Tmpl), Depth));
+  }
+  if (isObj<Vector>(Tmpl)) {
+    auto *V = castObj<Vector>(Tmpl);
+    Value L = Value::nil();
+    for (uint32_t I = V->Len; I-- > 0;)
+      L = cons(H, V->Elems[I], L);
+    return list2(SListToVector, expandQuasi(L, Depth));
+  }
+  return list2(SQuote, Tmpl);
+}

@@ -1,0 +1,72 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Macro-expansion of derived forms into the core language.
+///
+/// Core forms after expansion: quote, if, set!, lambda, begin, let
+/// (parallel, compiled without closure allocation), define (top level
+/// only), literals, variable references and applications.
+///
+/// Derived forms handled: let*, letrec, letrec*, named let, cond (incl. =>
+/// and else), case, and, or, when, unless, do, quasiquote, internal
+/// defines (rewritten to letrec*), and the (define (f . args) ...) sugar.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OSC_COMPILER_EXPANDER_H
+#define OSC_COMPILER_EXPANDER_H
+
+#include "object/Heap.h"
+#include "object/Value.h"
+
+#include <string>
+#include <vector>
+
+namespace osc {
+
+class Expander {
+public:
+  explicit Expander(Heap &H);
+
+  /// Expands one top-level form.  Returns false and fills \p Error on a
+  /// syntax error.
+  bool expandToplevel(Value Form, Value &Out, std::string &Error);
+
+private:
+  Value expand(Value Form);
+  Value expandBody(Value Forms); ///< Body with internal defines -> one expr.
+  Value expandLambda(Value Form);
+  Value expandLet(Value Form);
+  Value expandNamedLet(Value Name, Value Bindings, Value Body);
+  Value expandLetStar(Value Form);
+  Value expandLetrec(Value Form);
+  Value expandCond(Value Form);
+  Value expandCase(Value Form);
+  Value expandAnd(Value Args);
+  Value expandOr(Value Args);
+  Value expandDo(Value Form);
+  Value expandQuasi(Value Tmpl, int Depth);
+  Value expandList(Value Forms); ///< Expands each element of a list.
+
+  Value fail(const std::string &Msg); ///< Records the first error.
+  Value list1(Value A);
+  Value list2(Value A, Value B);
+  Value list3(Value A, Value B, Value C);
+  Value list4(Value A, Value B, Value C, Value D);
+  Symbol *gensym(const char *Hint);
+
+  Heap &H;
+  bool Failed = false;
+  std::string Error;
+  uint64_t GensymCounter = 0;
+
+  // Interned keyword symbols.
+  Value SQuote, SQuasiquote, SUnquote, SUnquoteSplicing, SIf, SSet, SLambda,
+      SBegin, SLet, SLetStar, SLetrec, SLetrecStar, SDefine, SCond, SCase,
+      SAnd, SOr, SWhen, SUnless, SDo, SElse, SArrow, SNot, SCons, SAppend,
+      SListToVector, SList, SMemv, SEqv;
+};
+
+} // namespace osc
+
+#endif // OSC_COMPILER_EXPANDER_H

@@ -1,0 +1,74 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tunables for the segmented-stack control representation.
+///
+/// Every design choice the paper discusses is a knob here so the benchmark
+/// harness can ablate them: copy bound (Fig. 3), overflow policy with
+/// copy-up hysteresis (§3.2), promotion strategy (§3.3), seal displacement
+/// (§3.4) and the segment cache (§3.2).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OSC_CORE_CONFIG_H
+#define OSC_CORE_CONFIG_H
+
+#include <cstdint>
+
+namespace osc {
+
+/// How a stack-segment overflow is handled (§3.2).
+enum class OverflowPolicy : uint8_t {
+  /// Overflow is an implicit call/cc: the occupied portion is sealed into a
+  /// multi-shot continuation and a fresh segment is allocated.  Returning
+  /// through the seal copies frames back (bounded by the copy bound).
+  MultiShot,
+  /// Overflow is an implicit call/1cc: the whole segment is encapsulated in
+  /// a one-shot continuation, with the top OverflowCopyUpFrames frames
+  /// copied into the new segment for hysteresis.  Returning through the
+  /// seal reinstates the old segment with zero copying.
+  OneShot,
+};
+
+/// How one-shot continuations are promoted when a multi-shot continuation
+/// captures them (§3.3).
+enum class PromotionStrategy : uint8_t {
+  /// Walk the chain, promoting each one-shot until a multi-shot is found.
+  /// Amortized fine (each one-shot promoted at most once) but individual
+  /// call/cc operations have no hard bound.
+  Linear,
+  /// The paper's proposed O(1) scheme: all one-shots in a chain share a
+  /// boxed flag; setting it promotes them all simultaneously.
+  SharedFlag,
+};
+
+struct Config {
+  /// Default stack segment size in slots (the paper's default stack is
+  /// 16KB; with 8-byte slots that is 2048 words).
+  uint32_t SegmentWords = 2048;
+  /// The initial segment is made large to reduce overflow frequency for
+  /// deeply recursive programs and programs creating many continuations.
+  uint32_t InitialSegmentWords = 16384;
+  /// Upper bound on the words copied by one multi-shot reinstatement;
+  /// larger saved segments are split first (Fig. 3).
+  uint32_t CopyBoundWords = 512;
+  OverflowPolicy Overflow = OverflowPolicy::OneShot;
+  /// Frames copied into the fresh segment on one-shot overflow so that an
+  /// immediate return does not bounce straight back into another overflow.
+  uint32_t OverflowCopyUpFrames = 8;
+  PromotionStrategy Promotion = PromotionStrategy::Linear;
+  /// When nonzero, call/1cc seals the current segment this many slots above
+  /// the occupied portion and keeps using the remainder, bounding the free
+  /// space a dormant one-shot continuation pins (§3.4).  Zero disables.
+  uint32_t SealDisplacementWords = 0;
+  /// The stack-segment free-list cache (§3.2).  Disabling it makes
+  /// call/1cc-heavy programs "unacceptably slow" per the paper; the
+  /// ablation benchmark quantifies that.
+  bool SegmentCacheEnabled = true;
+  /// GC trigger: bytes allocated since the last collection.
+  uint64_t GcThresholdBytes = 8u << 20;
+};
+
+} // namespace osc
+
+#endif // OSC_CORE_CONFIG_H

@@ -1,0 +1,482 @@
+#include "core/ControlStack.h"
+
+#include "support/Diag.h"
+
+#include <algorithm>
+#include <cstring>
+
+using namespace osc;
+
+ControlStack::ControlStack(Heap &H, Stats &S, const Config &C)
+    : H(H), S(S), Cfg(C) {
+  H.addRootProvider(this);
+  reset();
+}
+
+ControlStack::~ControlStack() { H.removeRootProvider(this); }
+
+void ControlStack::reset() {
+  // The segment cache deliberately survives resets (it is a free list; the
+  // collector clears it at every GC anyway).
+  if (Seg)
+    discardCurrentWindow(nullptr);
+  Seg = nullptr; // Keep tracing sane while we allocate below.
+  Link = Value();
+  Halt = H.allocContinuation(); // Defaults are exactly the halt sentinel.
+  Link = Value::object(Halt);
+  CurrentFlag = Cfg.Promotion == PromotionStrategy::SharedFlag
+                    ? Value::object(H.allocCell(Value::falseV()))
+                    : Value::falseV();
+  Seg = newSegment(Cfg.InitialSegmentWords);
+  Start = 0;
+  Cap = Seg->Capacity;
+  Fp = 0;
+  Top = 0;
+}
+
+void ControlStack::plantBaseFrame() {
+  Value *Sl = slots();
+  Sl[FrameRetCode] = Value::underflowMarker();
+  Sl[FrameRetPc] = Value::fixnum(0);
+  Fp = 0;
+  Top = FrameHeaderWords;
+}
+
+// --- Segments and the cache (§3.2) ------------------------------------------
+
+StackSegment *ControlStack::newSegment(uint32_t MinWords) {
+  if (Cfg.SegmentCacheEnabled) {
+    for (size_t I = 0; I != Cache.size(); ++I) {
+      if (Cache[I]->Capacity >= MinWords) {
+        StackSegment *Hit = Cache[I];
+        Cache[I] = Cache.back();
+        Cache.pop_back();
+        S.SegmentCacheHits += 1;
+        Hit->Shared = false;
+        return Hit;
+      }
+    }
+  }
+  S.SegmentsAllocated += 1;
+  return H.allocSegment(MinWords);
+}
+
+void ControlStack::releaseSegment(StackSegment *Sg) {
+  if (!Cfg.SegmentCacheEnabled)
+    return;
+  Cache.push_back(Sg);
+  S.SegmentCacheReleases += 1;
+}
+
+void ControlStack::discardCurrentWindow(StackSegment *Keep) {
+  if (Seg && Seg != Keep && !Seg->Shared && Start == 0 &&
+      Cap == Seg->Capacity)
+    releaseSegment(Seg);
+}
+
+// --- Promotion (§3.3) ---------------------------------------------------------
+
+void ControlStack::promoteChain() {
+  if (Cfg.Promotion == PromotionStrategy::SharedFlag) {
+    // O(1): flip the flag every unpromoted one-shot in the chain shares.
+    if (auto *FlagCell = dynObj<Cell>(CurrentFlag))
+      if (!FlagCell->Val.isTrue()) {
+        FlagCell->Val = Value::trueV();
+        S.Promotions += 1;
+      }
+    CurrentFlag = Value::object(H.allocCell(Value::falseV()));
+    return;
+  }
+  // Linear walk down the chain until the first multi-shot continuation;
+  // everything below it was promoted when it was captured.
+  Value Cur = Link;
+  while (auto *K = dynObj<Continuation>(Cur)) {
+    S.PromotionWalkSteps += 1;
+    if (K->isHalt() || K->isShot() || K->Size == K->SegSize)
+      break;
+    K->SegSize = K->Size;
+    S.Promotions += 1;
+    Cur = K->Link;
+  }
+}
+
+// --- Capture (Fig. 2) ----------------------------------------------------------
+
+Continuation *ControlStack::makeContinuation(uint32_t Boundary, Value RetCode,
+                                             int64_t RetPc) {
+  Continuation *K = H.allocContinuation();
+  K->Seg = Value::object(Seg);
+  K->Start = Start;
+  K->Size = Boundary;
+  K->SegSize = Boundary; // Callers adjust for one-shot captures.
+  K->Link = Link;
+  K->RetCode = RetCode;
+  K->RetPc = RetPc;
+  K->Flag = Value::falseV();
+  return K;
+}
+
+Value ControlStack::captureMultiShot(uint32_t Boundary, Value RetCode,
+                                     int64_t RetPc) {
+  // call/cc is obligated to promote every one-shot continuation in the
+  // captured chain, including those created implicitly by overflow.
+  promoteChain();
+  if (Boundary == 0) {
+    // Tail-position capture with an empty segment: the link *is* the
+    // continuation; no sealing, preserving proper tail recursion.
+    S.EmptyCaptures += 1;
+    return Link;
+  }
+  Continuation *K = makeContinuation(Boundary, RetCode, RetPc);
+  if (Cfg.Promotion == PromotionStrategy::SharedFlag)
+    K->Flag = CurrentFlag; // Restored as the era flag if K is reinstated.
+  Seg->Shared = true;      // K and the shortened current window share it.
+  Start += Boundary;
+  Cap -= Boundary;
+  Link = Value::object(K);
+  S.MultiShotCaptures += 1;
+  return Value::object(K);
+}
+
+Value ControlStack::captureOneShot(uint32_t Boundary, Value RetCode,
+                                   int64_t RetPc) {
+  if (Boundary == 0) {
+    S.EmptyCaptures += 1;
+    return Link;
+  }
+  Continuation *K = makeContinuation(Boundary, RetCode, RetPc);
+  if (Cfg.Promotion == PromotionStrategy::SharedFlag)
+    K->Flag = CurrentFlag;
+
+  uint32_t SD = Cfg.SealDisplacementWords;
+  if (SD > 0 && Boundary + SD < Cap) {
+    // §3.4: seal a bounded distance above the occupied portion and keep
+    // using the remainder of this segment, so the dormant one-shot pins at
+    // most SD unoccupied words.
+    K->SegSize = Boundary + SD;
+    Seg->Shared = true; // K's view and the remainder share the buffer.
+    Start += Boundary + SD;
+    Cap -= Boundary + SD;
+  } else {
+    // Fig. 2: encapsulate the entire segment; take a fresh one (usually
+    // from the cache) as the current segment.
+    K->SegSize = Cap;
+    Seg = newSegment(Cfg.SegmentWords);
+    Start = 0;
+    Cap = Seg->Capacity;
+  }
+  Link = Value::object(K);
+  S.OneShotCaptures += 1;
+  return Value::object(K);
+}
+
+void ControlStack::beginBaseFrame(uint32_t Need) {
+  if (Cap < Need) {
+    discardCurrentWindow(nullptr);
+    Seg = newSegment(std::max(Cfg.SegmentWords, Need));
+    Start = 0;
+    Cap = Seg->Capacity;
+  }
+  Fp = 0;
+  Top = 0;
+}
+
+// --- Overflow (§3.2) ------------------------------------------------------------
+
+CallFramePlan ControlStack::overflowRelocate(Value CurCode, int64_t RetPc,
+                                             uint32_t Boundary,
+                                             uint32_t PendBegin,
+                                             uint32_t PendEnd,
+                                             uint32_t CalleeNeed,
+                                             bool HeaderLive) {
+  S.Overflows += 1;
+  Value *Old = slots();
+
+  Continuation *K = nullptr;
+  if (Boundary > 0) {
+    Value RC;
+    int64_t RP;
+    if (Boundary == PendBegin && !HeaderLive) {
+      RC = CurCode;
+      RP = RetPc;
+    } else {
+      RC = Old[Boundary + FrameRetCode];
+      RP = Old[Boundary + FrameRetPc].asFixnum();
+    }
+    assert(!RC.isUnderflowMarker() &&
+           "boundary 0 must be used for base-frame relocation");
+    K = makeContinuation(Boundary, RC, RP);
+    if (Cfg.Overflow == OverflowPolicy::MultiShot) {
+      // Implicit call/cc: seal as multi-shot; must promote the chain below.
+      promoteChain();
+      Seg->Shared = true;
+    } else {
+      // Implicit call/1cc: encapsulate the whole window, zero copy-back.
+      K->SegSize = Cap;
+      if (Cfg.Promotion == PromotionStrategy::SharedFlag)
+        K->Flag = CurrentFlag;
+    }
+  }
+
+  uint32_t MoveWords = PendEnd - Boundary;
+  StackSegment *OldSeg = Seg;
+  StackSegment *Fresh =
+      newSegment(std::max(Cfg.SegmentWords, MoveWords + CalleeNeed + 64));
+  std::memcpy(Fresh->Slots, Old + Boundary, MoveWords * sizeof(Value));
+  S.WordsCopied += MoveWords;
+
+  if (K) {
+    Fresh->Slots[FrameRetCode] = Value::underflowMarker();
+    Fresh->Slots[FrameRetPc] = Value::fixnum(0);
+    Link = Value::object(K);
+  } else {
+    // Boundary == 0: the entire window (including its base frame) moved;
+    // the link is unchanged and the old buffer may be recycled.
+    discardCurrentWindow(Fresh);
+  }
+  (void)OldSeg;
+
+  Seg = Fresh;
+  Start = 0;
+  Cap = Fresh->Capacity;
+  uint32_t NewFp = PendBegin - Boundary;
+  return {NewFp, /*BaseFrame=*/K != nullptr && Boundary == PendBegin &&
+                     !HeaderLive};
+}
+
+CallFramePlan ControlStack::prepareCall(Value CurCode, int64_t RetPc,
+                                        uint32_t D, uint32_t NArgs,
+                                        uint32_t CalleeNeed) {
+  uint32_t NewFp = Fp + D;
+  uint32_t Need = std::max(CalleeNeed, FrameHeaderWords + NArgs);
+  if (NewFp + Need <= Cap)
+    return {NewFp, false};
+
+  uint32_t Boundary = NewFp;
+  if (Cfg.Overflow == OverflowPolicy::OneShot &&
+      Cfg.OverflowCopyUpFrames > 0) {
+    // Copy up to OverflowCopyUpFrames completed frames for hysteresis: an
+    // immediate return then runs within the fresh segment instead of
+    // bouncing straight back into the (full) encapsulated one.
+    const Value *Sl = slots();
+    uint32_t F = Fp;
+    for (uint32_t I = 1; I < Cfg.OverflowCopyUpFrames && !isBaseFrame(Sl, F);
+         ++I)
+      F = previousFrame(Sl, F);
+    Boundary = isBaseFrame(Sl, F) ? 0 : F;
+  }
+  return overflowRelocate(CurCode, RetPc, Boundary, NewFp,
+                          NewFp + FrameHeaderWords + NArgs, Need,
+                          /*HeaderLive=*/false);
+}
+
+CallFramePlan ControlStack::prepareTailCall(uint32_t NArgs,
+                                            uint32_t CalleeNeed) {
+  uint32_t Need = std::max(CalleeNeed, FrameHeaderWords + NArgs);
+  if (Fp + Need <= Cap)
+    return {Fp, false};
+
+  uint32_t Boundary = Fp;
+  const Value *Sl = slots();
+  if (isBaseFrame(Sl, Fp)) {
+    Boundary = 0; // The reused frame is the base frame: move everything.
+  } else if (Cfg.Overflow == OverflowPolicy::OneShot &&
+             Cfg.OverflowCopyUpFrames > 0) {
+    uint32_t F = Fp;
+    for (uint32_t I = 0; I < Cfg.OverflowCopyUpFrames && !isBaseFrame(Sl, F);
+         ++I)
+      F = previousFrame(Sl, F);
+    Boundary = isBaseFrame(Sl, F) ? 0 : F;
+  }
+  return overflowRelocate(Value(), 0, Boundary, Fp,
+                          Fp + FrameHeaderWords + NArgs, Need,
+                          /*HeaderLive=*/true);
+}
+
+// --- Invocation (Figs. 3 and 4) ---------------------------------------------------
+
+void ControlStack::splitForCopyBound(Continuation *K) {
+  if (K->Size <= static_cast<int64_t>(Cfg.CopyBoundWords))
+    return;
+  Value *Sl = K->slots();
+  auto *TopCode = castObj<Code>(K->RetCode);
+  int64_t TopFrame = K->Size - TopCode->frameSizeAt(K->RetPc);
+  if (TopFrame <= 0)
+    return; // A single frame is the minimum reinstatement unit.
+
+  // Find the lowest frame base T with Size - T <= bound: copy as much as
+  // possible without exceeding the bound (splitting has overhead, §3.2).
+  int64_t T = TopFrame;
+  while (!isBaseFrame(Sl, static_cast<uint32_t>(T))) {
+    int64_t Prev = previousFrame(Sl, static_cast<uint32_t>(T));
+    if (K->Size - Prev > static_cast<int64_t>(Cfg.CopyBoundWords))
+      break;
+    T = Prev;
+  }
+  if (T <= 0 || isBaseFrame(Sl, static_cast<uint32_t>(T)))
+    return;
+
+  // The bottom piece is a zero-copy view of the same buffer.
+  Continuation *K2 = H.allocContinuation();
+  K2->Seg = K->Seg;
+  K2->Start = K->Start;
+  K2->Size = K2->SegSize = T;
+  K2->Link = K->Link;
+  K2->RetCode = Sl[T + FrameRetCode];
+  K2->RetPc = Sl[T + FrameRetPc].asFixnum();
+  K2->Flag = K->Flag;
+
+  // The split frame becomes the base frame of the top piece.  Views of a
+  // buffer are pairwise disjoint, so this mutation is invisible elsewhere.
+  Sl[T + FrameRetCode] = Value::underflowMarker();
+  Sl[T + FrameRetPc] = Value::fixnum(0);
+  K->Start += static_cast<uint32_t>(T);
+  K->Size -= T;
+  K->SegSize = K->Size;
+  K->Link = Value::object(K2);
+  S.Splits += 1;
+}
+
+ResumePoint ControlStack::resumeInto(Continuation *K) {
+  auto *C = castObj<Code>(K->RetCode);
+  uint32_t D = C->frameSizeAt(K->RetPc);
+  assert(D <= K->Size && "resume frame size exceeds sealed size");
+  ResumePoint RP;
+  RP.Code = K->RetCode;
+  RP.Pc = K->RetPc;
+  RP.Fp = static_cast<uint32_t>(K->Size) - D;
+  RP.Top = static_cast<uint32_t>(K->Size);
+  RP.Halted = false;
+  return RP;
+}
+
+ResumePoint ControlStack::invoke(Continuation *K) {
+  assert(!K->isShot() && "invoking a shot continuation");
+  assert(!K->isHalt() && "the halt continuation is handled by the VM");
+
+  bool MultiShot = K->Size == K->SegSize;
+  if (!MultiShot && isObj<Cell>(K->Flag) &&
+      castObj<Cell>(K->Flag)->Val.isTrue()) {
+    // Shared-flag promoted: normalize lazily and treat as multi-shot.
+    K->SegSize = K->Size;
+    MultiShot = true;
+  }
+
+  ResumePoint RP = resumeInto(K);
+
+  if (MultiShot) {
+    S.MultiShotInvokes += 1;
+    splitForCopyBound(K);
+    RP = resumeInto(K); // Splitting may have re-based K.
+    if (K->Size > static_cast<int64_t>(Cap)) {
+      discardCurrentWindow(K->segment());
+      Seg = newSegment(
+          std::max<uint32_t>(Cfg.SegmentWords, K->Size + 64));
+      Start = 0;
+      Cap = Seg->Capacity;
+    }
+    // Fig. 3: overwrite the current segment with the saved one.
+    std::memcpy(slots(), K->slots(), K->Size * sizeof(Value));
+    S.WordsCopied += K->Size;
+    Link = K->Link;
+  } else {
+    // Fig. 4: discard the current segment and return to the saved one.
+    S.OneShotInvokes += 1;
+    discardCurrentWindow(K->segment());
+    Seg = K->segment();
+    Start = K->Start;
+    Cap = static_cast<uint32_t>(K->SegSize);
+    Link = K->Link;
+    // Mark shot so subsequent invocations are detected and prevented.
+    K->Size = -1;
+    K->SegSize = -1;
+  }
+
+  if (Cfg.Promotion == PromotionStrategy::SharedFlag &&
+      isObj<Cell>(K->Flag))
+    CurrentFlag = K->Flag;
+
+  Fp = RP.Fp;
+  Top = RP.Top;
+  return RP;
+}
+
+ResumePoint ControlStack::underflow() {
+  S.Underflows += 1;
+  auto *K = castObj<Continuation>(Link);
+  ResumePoint RP;
+  if (K->isHalt()) {
+    RP.Halted = true;
+    RP.Code = Value();
+    RP.Pc = 0;
+    RP.Fp = RP.Top = 0;
+    return RP;
+  }
+  if (K->isShot())
+    oscFatal("underflow into a shot one-shot continuation "
+             "(checked by the VM before reaching here)");
+  return invoke(K);
+}
+
+void ControlStack::growWindow(uint32_t NeedCap) {
+  if (NeedCap <= Cap)
+    return;
+  StackSegment *Fresh = newSegment(std::max(Cfg.SegmentWords, NeedCap + 64));
+  std::memcpy(Fresh->Slots, slots(), Top * sizeof(Value));
+  S.WordsCopied += Top;
+  discardCurrentWindow(Fresh);
+  Seg = Fresh;
+  Start = 0;
+  Cap = Fresh->Capacity;
+}
+
+// --- Introspection -------------------------------------------------------------
+
+uint64_t ControlStack::residentSegmentWords() const {
+  std::vector<const StackSegment *> Seen;
+  uint64_t Words = 0;
+  auto Count = [&](const StackSegment *Sg) {
+    if (!Sg || std::find(Seen.begin(), Seen.end(), Sg) != Seen.end())
+      return;
+    Seen.push_back(Sg);
+    Words += Sg->Capacity;
+  };
+  Count(Seg);
+  Value Cur = Link;
+  while (auto *K = dynObj<Continuation>(Cur)) {
+    if (K->Seg.isObject())
+      Count(castObj<StackSegment>(K->Seg));
+    Cur = K->Link;
+  }
+  return Words;
+}
+
+uint32_t ControlStack::chainLength() const {
+  uint32_t N = 0;
+  Value Cur = Link;
+  while (auto *K = dynObj<Continuation>(Cur)) {
+    ++N;
+    if (K->isHalt())
+      break;
+    Cur = K->Link;
+  }
+  return N;
+}
+
+// --- GC integration -------------------------------------------------------------
+
+void ControlStack::traceRoots(GCVisitor &V) {
+  if (Seg) {
+    V.visit(Value::object(Seg));
+    V.visitRange(slots(), Top);
+  }
+  V.visit(Link);
+  V.visit(CurrentFlag);
+  if (Halt)
+    V.visit(Value::object(Halt));
+}
+
+void ControlStack::willCollect() {
+  // §3.2: the storage manager discards cached stack segments.
+  Cache.clear();
+}

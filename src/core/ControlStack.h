@@ -1,0 +1,194 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The segmented control stack: the paper's contribution (Sections 3.1–3.4).
+///
+/// The logical control stack is a chain: the *current* stack segment (a
+/// window [Start, Start+Cap) of a StackSegment buffer, with the live
+/// portion [0, Top) relative to Start), linked through continuation objects
+/// down to the distinguished halt continuation.  All capture, reinstatement,
+/// promotion, splitting, overflow and caching logic lives here; the VM only
+/// asks for a place to build frames and for resume points.
+///
+/// Invariants:
+///   * the frame at offset 0 of the current window is always a base frame
+///     (its ret-code slot holds the underflow marker);
+///   * every slot in [0, Top) holds a valid Value, so GC tracing of the
+///     window is precise;
+///   * Link is the continuation the base frame returns into.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OSC_CORE_CONTROLSTACK_H
+#define OSC_CORE_CONTROLSTACK_H
+
+#include "core/Config.h"
+#include "core/FrameWalk.h"
+#include "object/Heap.h"
+#include "object/Objects.h"
+#include "support/Stats.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace osc {
+
+/// Where the VM should resume execution after a continuation has been
+/// reinstated.
+struct ResumePoint {
+  Value Code;    ///< Code object to resume, or underflow marker for halt.
+  int64_t Pc;    ///< Resume pc.
+  uint32_t Fp;   ///< Frame pointer (offset in the current window).
+  uint32_t Top;  ///< Stack watermark on resume (== Fp + frame-size word).
+  bool Halted;   ///< True when the halt continuation was reached.
+};
+
+/// Placement of a callee frame computed by the overflow-aware call paths.
+struct CallFramePlan {
+  uint32_t NewFp;  ///< Where the callee frame begins.
+  bool BaseFrame;  ///< True if the frame landed at a fresh segment base and
+                   ///< the VM must write the underflow header instead of
+                   ///< the real return address (the real return address has
+                   ///< been captured into the overflow continuation).
+};
+
+class ControlStack : public RootProvider {
+public:
+  ControlStack(Heap &H, Stats &S, const Config &C);
+  ~ControlStack() override;
+  ControlStack(const ControlStack &) = delete;
+  ControlStack &operator=(const ControlStack &) = delete;
+
+  // --- Hot-path state (accessed directly by the interpreter loop) ---------
+
+  uint32_t Fp = 0;  ///< Current frame base, relative to the window start.
+  uint32_t Top = 0; ///< Watermark: one past the highest initialized slot.
+
+  /// Slot array of the current window.  Invalidated by any operation that
+  /// may switch segments (capture, invoke, prepare*Call, reset).
+  Value *slots() { return Seg->Slots + Start; }
+  const Value *slots() const { return Seg->Slots + Start; }
+  uint32_t capacity() const { return Cap; }
+  Value link() const { return Link; }
+
+  /// (Re)initializes to an empty stack: a fresh initial segment whose base
+  /// frame underflows into the halt continuation.  After reset the VM
+  /// builds the initial frame via plantBaseFrame.
+  void reset();
+
+  /// Writes the underflow header at offset 0 and positions Fp/Top so a
+  /// program frame can be built at the segment base.
+  void plantBaseFrame();
+
+  // --- Call-path room management (overflow, §3.2) --------------------------
+
+  /// Prepares room for a non-tail call.  On entry the pending callee frame
+  /// material sits at [Fp+D, Fp+D+2+NArgs): two uninitialized header slots
+  /// followed by the arguments; the callee needs \p CalleeNeed slots from
+  /// its frame base.  Returns where the callee frame now begins (segments
+  /// may have been switched per the overflow policy).  \p CurCode/\p RetPc
+  /// identify the return point for any continuation formed.
+  CallFramePlan prepareCall(Value CurCode, int64_t RetPc, uint32_t D,
+                            uint32_t NArgs, uint32_t CalleeNeed);
+
+  /// Same for a tail call: the pending frame reuses the current frame; the
+  /// arguments already sit at [Fp+2, Fp+2+NArgs) and the existing header at
+  /// Fp is kept.  Returns the (possibly relocated) frame base.
+  CallFramePlan prepareTailCall(uint32_t NArgs, uint32_t CalleeNeed);
+
+  // --- Capture (Fig. 2) -----------------------------------------------------
+
+  /// Captures the continuation of the call to call/cc whose pending frame
+  /// boundary is \p Boundary (= Fp+D for a non-tail call, Fp for a tail
+  /// call) and whose return point is (\p RetCode, \p RetPc); \p RetCode is
+  /// the underflow marker for the empty-segment case.  Seals the occupied
+  /// portion, shortens the current segment, and promotes all one-shot
+  /// continuations in the chain (§3.3).  Returns the continuation value.
+  Value captureMultiShot(uint32_t Boundary, Value RetCode, int64_t RetPc);
+
+  /// Captures a one-shot continuation: encapsulates the entire current
+  /// window and installs a fresh segment (or, with seal displacement, the
+  /// remainder of this one, §3.4).
+  Value captureOneShot(uint32_t Boundary, Value RetCode, int64_t RetPc);
+
+  /// Ensures the current window is an empty base: used after a capture to
+  /// guarantee room for \p Need slots before the VM plants the base frame
+  /// and calls the receiver.  May replace the window with a fresh segment.
+  void beginBaseFrame(uint32_t Need);
+
+  // --- Invocation (Figs. 3 and 4) -------------------------------------------
+
+  /// True if invoking \p K must fail because it was already shot.
+  static bool isShot(const Continuation *K) { return K->isShot(); }
+
+  /// Reinstates \p K (multi-shot: bounded copy with splitting; one-shot:
+  /// zero-copy segment swap + shot marking).  Pre: !isShot(K) && !K->isHalt().
+  ResumePoint invoke(Continuation *K);
+
+  /// Handles a return past the current segment base: implicitly invokes the
+  /// link continuation.  Returns a ResumePoint with Halted set when the
+  /// halt continuation is reached.
+  ResumePoint underflow();
+
+  /// Ensures the current window has at least \p NeedCap slots, relocating
+  /// the live contents [0, Top) into a larger segment if not.  Used when a
+  /// resumed frame's static extent exceeds the window it was reinstated
+  /// into (possible with §3.4 seal-displacement views and tightly sized
+  /// reinstatement windows); Fp and Top are preserved.
+  void growWindow(uint32_t NeedCap);
+
+  // --- Segment cache (§3.2) -------------------------------------------------
+
+  size_t cacheSize() const { return Cache.size(); }
+
+  // --- Introspection (tests, benchmarks) ------------------------------------
+
+  /// Total words of stack-segment buffer reachable from the current chain,
+  /// counting each buffer once.  Measures the fragmentation §3.4 discusses.
+  uint64_t residentSegmentWords() const;
+  /// Number of continuation links from the current segment down to halt.
+  uint32_t chainLength() const;
+  Continuation *haltContinuation() const { return Halt; }
+
+  // RootProvider:
+  void traceRoots(GCVisitor &V) override;
+  void willCollect() override;
+
+private:
+  StackSegment *newSegment(uint32_t MinWords);
+  void releaseSegment(StackSegment *S);
+  /// Discards the current window, caching the buffer when eligible.
+  /// \p Keep is the buffer about to become current (never cached).
+  void discardCurrentWindow(StackSegment *Keep);
+  Continuation *makeContinuation(uint32_t Boundary, Value RetCode,
+                                 int64_t RetPc);
+  void promoteChain();
+  void splitForCopyBound(Continuation *K);
+  ResumePoint resumeInto(Continuation *K);
+  /// Moves the pending call material into a fresh window per the overflow
+  /// policy.  \p PendBegin/\p PendEnd delimit the slots that must survive
+  /// (header + args); \p HeaderLive is true when the pending header at
+  /// \p PendBegin already holds a real return address (tail call) rather
+  /// than two uninitialized slots (non-tail call).
+  CallFramePlan overflowRelocate(Value CurCode, int64_t RetPc,
+                                 uint32_t Boundary, uint32_t PendBegin,
+                                 uint32_t PendEnd, uint32_t CalleeNeed,
+                                 bool HeaderLive);
+
+  Heap &H;
+  Stats &S;
+  const Config &Cfg;
+
+  StackSegment *Seg = nullptr;
+  uint32_t Start = 0;
+  uint32_t Cap = 0;
+  Value Link;        ///< Continuation below the current segment.
+  Continuation *Halt = nullptr;
+  Value CurrentFlag; ///< Shared promotion flag cell (SharedFlag mode).
+
+  std::vector<StackSegment *> Cache;
+};
+
+} // namespace osc
+
+#endif // OSC_CORE_CONTROLSTACK_H

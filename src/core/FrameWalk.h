@@ -1,0 +1,67 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Walking frames within a stack segment.
+///
+/// There are no dynamic links on the stack (§3.1).  A frame begins with its
+/// return address — a code object and a pc — and the *frame-size word*
+/// embedded in the code stream immediately before the return point gives
+/// the extent of the frame below it.  Walking from a frame to its
+/// predecessor is therefore: read the return address at the frame base,
+/// fetch Code::frameSizeAt(pc), and subtract.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OSC_CORE_FRAMEWALK_H
+#define OSC_CORE_FRAMEWALK_H
+
+#include "object/Objects.h"
+#include "object/Value.h"
+
+#include <cassert>
+#include <cstdint>
+
+namespace osc {
+
+/// Byte-offset layout of a frame (Fig. 1, with the return address split
+/// into two traceable words as explained in DESIGN.md).
+enum FrameSlot : uint32_t {
+  FrameRetCode = 0, ///< Code object, or the underflow marker at a base.
+  FrameRetPc = 1,   ///< Fixnum pc within RetCode.
+  FrameArgs = 2,    ///< First argument.
+};
+
+/// Number of header words at the base of every frame.
+constexpr uint32_t FrameHeaderWords = 2;
+
+/// True if the frame at \p FrameOff is a segment base frame (its return
+/// address was displaced by the underflow handler).
+inline bool isBaseFrame(const Value *Slots, uint32_t FrameOff) {
+  return Slots[FrameOff + FrameRetCode].isUnderflowMarker();
+}
+
+/// Returns the base offset of the frame preceding the one at \p FrameOff.
+/// Pre: the frame at \p FrameOff is not a base frame.
+inline uint32_t previousFrame(const Value *Slots, uint32_t FrameOff) {
+  Value RetCode = Slots[FrameOff + FrameRetCode];
+  assert(!RetCode.isUnderflowMarker() && "walked past a segment base frame");
+  auto *C = castObj<Code>(RetCode);
+  int64_t RetPc = Slots[FrameOff + FrameRetPc].asFixnum();
+  uint32_t FrameSize = C->frameSizeAt(RetPc);
+  assert(FrameSize <= FrameOff && "frame-size word inconsistent with stack");
+  return FrameOff - FrameSize;
+}
+
+/// Walks down from the frame at \p FrameOff, at most \p MaxFrames steps,
+/// stopping early at the segment base frame.  Returns the base offset of
+/// the lowest frame visited.  MaxFrames == 0 returns \p FrameOff.
+inline uint32_t walkDownFrames(const Value *Slots, uint32_t FrameOff,
+                               uint32_t MaxFrames) {
+  while (MaxFrames-- > 0 && !isBaseFrame(Slots, FrameOff))
+    FrameOff = previousFrame(Slots, FrameOff);
+  return FrameOff;
+}
+
+} // namespace osc
+
+#endif // OSC_CORE_FRAMEWALK_H

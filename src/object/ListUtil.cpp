@@ -1,0 +1,66 @@
+#include "object/ListUtil.h"
+
+using namespace osc;
+
+int64_t osc::listLength(Value L) {
+  int64_t N = 0;
+  // Brent-style cycle guard: bound the walk.
+  Value Slow = L;
+  bool Step = false;
+  while (isObj<Pair>(L)) {
+    L = cdr(L);
+    ++N;
+    if (Step) {
+      Slow = cdr(Slow);
+      if (Slow.identical(L))
+        return -1; // cyclic
+    }
+    Step = !Step;
+  }
+  return L.isNil() ? N : -1;
+}
+
+bool osc::isProperList(Value L) { return listLength(L) >= 0; }
+
+Value osc::listFromVector(Heap &H, const std::vector<Value> &Elems) {
+  Value L = Value::nil();
+  for (auto It = Elems.rbegin(); It != Elems.rend(); ++It)
+    L = cons(H, *It, L);
+  return L;
+}
+
+bool osc::listToVector(Value L, std::vector<Value> &Out) {
+  while (isObj<Pair>(L)) {
+    Out.push_back(car(L));
+    L = cdr(L);
+  }
+  return L.isNil();
+}
+
+bool osc::schemeEqv(Value A, Value B) {
+  if (A.identical(B))
+    return true;
+  if (isObj<Flonum>(A) && isObj<Flonum>(B))
+    return castObj<Flonum>(A)->D == castObj<Flonum>(B)->D;
+  return false;
+}
+
+bool osc::schemeEqual(Value A, Value B) {
+  if (schemeEqv(A, B))
+    return true;
+  if (isObj<Pair>(A) && isObj<Pair>(B))
+    return schemeEqual(car(A), car(B)) && schemeEqual(cdr(A), cdr(B));
+  if (isObj<String>(A) && isObj<String>(B))
+    return castObj<String>(A)->view() == castObj<String>(B)->view();
+  if (isObj<Vector>(A) && isObj<Vector>(B)) {
+    auto *VA = castObj<Vector>(A);
+    auto *VB = castObj<Vector>(B);
+    if (VA->Len != VB->Len)
+      return false;
+    for (uint32_t I = 0; I != VA->Len; ++I)
+      if (!schemeEqual(VA->Elems[I], VB->Elems[I]))
+        return false;
+    return true;
+  }
+  return false;
+}

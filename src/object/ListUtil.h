@@ -1,0 +1,46 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Helpers for working with Scheme lists from C++.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OSC_OBJECT_LISTUTIL_H
+#define OSC_OBJECT_LISTUTIL_H
+
+#include "object/Heap.h"
+#include "object/Objects.h"
+#include "object/Value.h"
+
+#include <vector>
+
+namespace osc {
+
+inline Value car(Value V) { return castObj<Pair>(V)->Car; }
+inline Value cdr(Value V) { return castObj<Pair>(V)->Cdr; }
+inline Value cons(Heap &H, Value A, Value D) {
+  return Value::object(H.allocPair(A, D));
+}
+
+/// Length of a proper list; -1 for improper/cyclic-free non-lists.
+int64_t listLength(Value L);
+
+/// True if \p L is a proper (nil-terminated, acyclic) list.
+bool isProperList(Value L);
+
+/// Builds a list from \p Elems (first element becomes the head).
+Value listFromVector(Heap &H, const std::vector<Value> &Elems);
+
+/// Flattens a proper list into \p Out; returns false on an improper list.
+bool listToVector(Value L, std::vector<Value> &Out);
+
+/// Structural equality (R4RS equal?): recursive over pairs, vectors and
+/// strings, eqv? on everything else.
+bool schemeEqual(Value A, Value B);
+
+/// eqv?: eq? plus numeric/char equality on fixnums, flonums, chars.
+bool schemeEqv(Value A, Value B);
+
+} // namespace osc
+
+#endif // OSC_OBJECT_LISTUTIL_H

@@ -1,0 +1,244 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Heap object layouts.
+///
+/// All heap objects begin with an ObjHeader carrying the kind, the mark bit
+/// for the non-moving mark-sweep collector, and an intrusive link used by
+/// the sweep phase.  Variable-length objects (strings, vectors, code,
+/// closures, stack segments) store their payload inline after the fixed
+/// fields.
+///
+/// StackSegment and Continuation are the data half of the paper's
+/// contribution; the operations on them live in src/core/ControlStack.h.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OSC_OBJECT_OBJECTS_H
+#define OSC_OBJECT_OBJECTS_H
+
+#include "object/Value.h"
+
+#include <cassert>
+#include <cstdint>
+#include <string_view>
+
+namespace osc {
+
+class VM;
+
+enum class ObjKind : uint8_t {
+  Pair,
+  Symbol,
+  String,
+  Vector,
+  Cell,
+  Flonum,
+  Closure,
+  Code,
+  Native,
+  Continuation,
+  StackSegment,
+};
+
+/// Returns a human-readable name for \p K ("pair", "vector", ...).
+const char *objKindName(ObjKind K);
+
+/// Common header of every heap object.
+struct ObjHeader {
+  ObjHeader *Next = nullptr; ///< Intrusive all-objects list for sweeping.
+  uint32_t SizeBytes = 0;    ///< Full allocation size, for accounting.
+  ObjKind Kind;
+  bool Mark = false;
+
+  ObjKind kind() const { return Kind; }
+};
+
+/// Obtains the object header behind \p V, asserting it is of kind \p K.
+template <typename T> T *castObj(Value V) {
+  assert(V.isObject() && V.asObject()->Kind == T::ClassKind &&
+         "value is not of the expected heap kind");
+  return static_cast<T *>(V.asObject());
+}
+
+template <typename T> bool isObj(Value V) {
+  return V.isObject() && V.asObject()->Kind == T::ClassKind;
+}
+
+template <typename T> T *dynObj(Value V) {
+  return isObj<T>(V) ? static_cast<T *>(V.asObject()) : nullptr;
+}
+
+// --- Simple objects ---------------------------------------------------------
+
+struct Pair : ObjHeader {
+  static constexpr ObjKind ClassKind = ObjKind::Pair;
+  Value Car;
+  Value Cdr;
+};
+
+struct Cell : ObjHeader {
+  static constexpr ObjKind ClassKind = ObjKind::Cell;
+  Value Val;
+};
+
+struct Flonum : ObjHeader {
+  static constexpr ObjKind ClassKind = ObjKind::Flonum;
+  double D;
+};
+
+/// Interned symbol.  Carries the global (top-level) binding inline so global
+/// reference is a single indirection.
+struct Symbol : ObjHeader {
+  static constexpr ObjKind ClassKind = ObjKind::Symbol;
+  Value Global; ///< Top-level binding; Undefined until defined.
+  uint32_t Len;
+  char Name[1]; ///< Inline, NUL-terminated.
+
+  std::string_view name() const { return {Name, Len}; }
+};
+
+struct String : ObjHeader {
+  static constexpr ObjKind ClassKind = ObjKind::String;
+  uint32_t Len;
+  char Data[1]; ///< Inline, NUL-terminated.
+
+  std::string_view view() const { return {Data, Len}; }
+};
+
+struct Vector : ObjHeader {
+  static constexpr ObjKind ClassKind = ObjKind::Vector;
+  uint32_t Len;
+  Value Elems[1]; ///< Inline.
+
+  Value get(uint32_t I) const {
+    assert(I < Len && "vector index out of range");
+    return Elems[I];
+  }
+  void set(uint32_t I, Value V) {
+    assert(I < Len && "vector index out of range");
+    Elems[I] = V;
+  }
+};
+
+// --- Code and procedures -----------------------------------------------------
+
+/// Compiled bytecode for one lambda.
+///
+/// The instruction stream is a flat array of 32-bit words.  Frame-size words
+/// are embedded in the stream immediately before each return point (§3.1 of
+/// the paper), so a stack walker can recover the extent of the frame below a
+/// return address from the address alone; see core/FrameWalk.h.
+struct Code : ObjHeader {
+  static constexpr ObjKind ClassKind = ObjKind::Code;
+  Value Name;       ///< Symbol or #f, for diagnostics.
+  Value Consts;     ///< Vector of literals/symbols referenced by index.
+  uint32_t NParams; ///< Required parameter count.
+  bool HasRest;     ///< Extra arguments collected into a list.
+  uint32_t MaxDepth; ///< Static max words this code pushes above its frame
+                     ///< base, used for the segment-overflow check.
+  uint32_t NInstrs;
+  uint32_t Instrs[1]; ///< Inline instruction words.
+
+  /// The frame-size word for the call whose return point is \p RetPc: the
+  /// number of words in the caller's frame below the callee's frame base.
+  uint32_t frameSizeAt(int64_t RetPc) const {
+    assert(RetPc >= 1 && static_cast<uint32_t>(RetPc) <= NInstrs &&
+           "return pc out of range");
+    return Instrs[RetPc - 1];
+  }
+};
+
+/// A closure: code plus captured free-variable values (flat closure).
+struct Closure : ObjHeader {
+  static constexpr ObjKind ClassKind = ObjKind::Closure;
+  Value CodeVal; ///< The Code object.
+  uint32_t NFree;
+  Value Free[1]; ///< Inline captured values.
+
+  Code *code() const { return castObj<Code>(CodeVal); }
+};
+
+/// Calling convention for natives: args live in a contiguous slice.  A
+/// native signals an error via VM::fail and returns the (ignored) result.
+using NativeFn = Value (*)(VM &Vm, Value *Args, uint32_t NArgs);
+
+/// Natives the interpreter loop must handle specially because they
+/// manipulate control (they cannot be expressed as a plain C++ call).
+enum class NativeSpecial : uint8_t {
+  None,
+  Apply,          ///< (apply f a b ... rest-list)
+  CallCC,         ///< %call/cc — multi-shot capture
+  Call1CC,        ///< %call/1cc — one-shot capture
+  CallWithValues, ///< %call-with-values
+  Values,         ///< values
+};
+
+struct Native : ObjHeader {
+  static constexpr ObjKind ClassKind = ObjKind::Native;
+  Value Name; ///< Symbol, for error messages.
+  NativeFn Fn;
+  uint16_t MinArgs;
+  int16_t MaxArgs; ///< -1 for variadic.
+  NativeSpecial Special;
+};
+
+// --- The segmented control stack (data half) ---------------------------------
+
+/// One stack segment: a GC-managed array of Value slots.
+///
+/// Fresh segments are zero-filled so that tracing never sees an
+/// uninitialized word (the zero pattern is the Empty immediate).  A segment
+/// may be *shared* between the current stack record and one or more
+/// continuations (multi-shot capture seals a prefix; §3.4 seal-displacement
+/// splits one buffer between a one-shot continuation and the current
+/// stack); shared segments are never returned to the segment cache.
+struct StackSegment : ObjHeader {
+  static constexpr ObjKind ClassKind = ObjKind::StackSegment;
+  uint32_t Capacity; ///< Total slots.
+  bool Shared;       ///< Referenced by >1 record/continuation view.
+  Value Slots[1];    ///< Inline.
+};
+
+/// A continuation object (the paper's converted stack record, Fig. 2).
+///
+/// Two size fields distinguish the flavors:
+///   multi-shot: Size == SegSize == number of sealed (occupied) words
+///   one-shot:   Size  < SegSize; SegSize is the encapsulated capacity
+///   shot:       Size == SegSize == -1 (a consumed one-shot)
+///
+/// Start supports sub-views of a shared buffer (splitting per Fig. 3 and
+/// §3.4 sealing).  RetCode/RetPc hold the return address displaced by the
+/// underflow marker.  Flag supports the shared-flag O(1) promotion scheme
+/// the paper proposes in §3.3: when the flag cell holds #t every one-shot
+/// continuation sharing it has been promoted.
+struct Continuation : ObjHeader {
+  static constexpr ObjKind ClassKind = ObjKind::Continuation;
+  Value Seg;     ///< StackSegment, or Empty for the halt continuation.
+  uint32_t Start; ///< First slot of this view within Seg.
+  int64_t Size;   ///< Occupied words (relative to Start); -1 once shot.
+  int64_t SegSize; ///< Encapsulated capacity (relative to Start); -1 shot.
+  Value Link;    ///< Next continuation in the chain, or Empty for halt.
+  Value RetCode; ///< Code object to resume, or the underflow marker for
+                 ///< the distinguished halt continuation.
+  int64_t RetPc; ///< Resume pc within RetCode.
+  Value Flag;    ///< Shared promotion flag Cell, or #f when unused.
+
+  bool isShot() const { return Size < 0; }
+  /// True for an un-promoted one-shot continuation.  With the shared-flag
+  /// scheme a #t flag means "promoted" even though SegSize still differs.
+  bool isOneShot() const {
+    if (isShot() || Size == SegSize)
+      return false;
+    if (isObj<Cell>(Flag) && castObj<Cell>(Flag)->Val.isTrue())
+      return false;
+    return true;
+  }
+  bool isHalt() const { return RetCode.isUnderflowMarker(); }
+  StackSegment *segment() const { return castObj<StackSegment>(Seg); }
+  Value *slots() const { return segment()->Slots + Start; }
+};
+
+} // namespace osc
+
+#endif // OSC_OBJECT_OBJECTS_H

@@ -1,0 +1,135 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tagged 64-bit Scheme values.
+///
+/// Encoding (low bits):
+///   xxxx...xxx1  fixnum, 63-bit two's complement payload in the high bits
+///   xxxx...x000  heap pointer (8-byte aligned, never zero)
+///   xxxx...x010  immediate constant; kind in bits [7:3], payload above
+///   0            the distinguished "empty slot" pattern; fresh stack
+///                segments are zero-filled, so a zero word is never a
+///                pointer and tracing uninitialized slots is safe
+///
+/// Every slot of a stack segment holds a Value (return addresses are stored
+/// as a code-object pointer plus a fixnum pc), which is what makes precise
+/// tracing of captured continuations possible.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OSC_OBJECT_VALUE_H
+#define OSC_OBJECT_VALUE_H
+
+#include <cassert>
+#include <cstdint>
+
+namespace osc {
+
+struct ObjHeader;
+
+/// Kinds of immediate (non-heap, non-fixnum) values.
+enum class ImmKind : uint8_t {
+  Empty = 0,       ///< The all-zero word; only found in untouched stack slots.
+  Nil,             ///< The empty list ().
+  False,           ///< #f
+  True,            ///< #t
+  Unspecified,     ///< Result of expressions with unspecified values.
+  Eof,             ///< End-of-file object.
+  Undefined,       ///< Unbound-variable / letrec-init marker.
+  Underflow,       ///< Return-address marker for segment base frames (§3.2).
+  Char,            ///< Character; code point in the payload.
+};
+
+/// A tagged Scheme value.  Trivially copyable; passed by value everywhere.
+class Value {
+  uint64_t Bits;
+
+  static constexpr uint64_t ImmTag = 0b010;
+
+  constexpr explicit Value(uint64_t Raw) : Bits(Raw) {}
+
+public:
+  /// Default-constructs the Empty pattern (zero word).
+  constexpr Value() : Bits(0) {}
+
+  static constexpr Value fromRaw(uint64_t Raw) { return Value(Raw); }
+  constexpr uint64_t raw() const { return Bits; }
+
+  // --- Constructors -------------------------------------------------------
+
+  static constexpr Value fixnum(int64_t N) {
+    return Value((static_cast<uint64_t>(N) << 1) | 1);
+  }
+  static constexpr Value imm(ImmKind K, uint64_t Payload = 0) {
+    return Value((Payload << 8) | (static_cast<uint64_t>(K) << 3) | ImmTag);
+  }
+  static constexpr Value nil() { return imm(ImmKind::Nil); }
+  static constexpr Value falseV() { return imm(ImmKind::False); }
+  static constexpr Value trueV() { return imm(ImmKind::True); }
+  static constexpr Value boolean(bool B) { return B ? trueV() : falseV(); }
+  static constexpr Value unspecified() { return imm(ImmKind::Unspecified); }
+  static constexpr Value eof() { return imm(ImmKind::Eof); }
+  static constexpr Value undefined() { return imm(ImmKind::Undefined); }
+  static constexpr Value underflowMarker() { return imm(ImmKind::Underflow); }
+  static constexpr Value charV(uint32_t CodePoint) {
+    return imm(ImmKind::Char, CodePoint);
+  }
+  static Value object(const ObjHeader *O) {
+    auto Raw = reinterpret_cast<uint64_t>(O);
+    assert((Raw & 7) == 0 && Raw != 0 && "heap objects must be 8-aligned");
+    return Value(Raw);
+  }
+
+  // --- Predicates ----------------------------------------------------------
+
+  constexpr bool isFixnum() const { return Bits & 1; }
+  constexpr bool isObject() const { return (Bits & 7) == 0 && Bits != 0; }
+  constexpr bool isImm() const { return (Bits & 7) == ImmTag; }
+  constexpr bool isImm(ImmKind K) const {
+    return isImm() && immKind() == K;
+  }
+  /// The all-zero word found in untouched stack slots.
+  constexpr bool isEmpty() const { return Bits == 0; }
+  constexpr bool isNil() const { return isImm(ImmKind::Nil); }
+  constexpr bool isFalse() const { return isImm(ImmKind::False); }
+  constexpr bool isTrue() const { return isImm(ImmKind::True); }
+  constexpr bool isBoolean() const { return isFalse() || isTrue(); }
+  constexpr bool isChar() const { return isImm(ImmKind::Char); }
+  constexpr bool isUndefined() const { return isImm(ImmKind::Undefined); }
+  constexpr bool isUnderflowMarker() const {
+    return isImm(ImmKind::Underflow);
+  }
+  /// Scheme truthiness: everything but #f is true.
+  constexpr bool isTruthy() const { return !isFalse(); }
+
+  // --- Accessors -----------------------------------------------------------
+
+  constexpr int64_t asFixnum() const {
+    assert(isFixnum() && "not a fixnum");
+    return static_cast<int64_t>(Bits) >> 1;
+  }
+  constexpr ImmKind immKind() const {
+    assert(isImm() && "not an immediate");
+    return static_cast<ImmKind>((Bits >> 3) & 0x1f);
+  }
+  constexpr uint32_t asChar() const {
+    assert(isChar() && "not a character");
+    return static_cast<uint32_t>(Bits >> 8);
+  }
+  ObjHeader *asObject() const {
+    assert(isObject() && "not a heap object");
+    return reinterpret_cast<ObjHeader *>(Bits);
+  }
+
+  // --- Identity ------------------------------------------------------------
+
+  /// Scheme eq?: pointer/bit identity.
+  constexpr bool identical(Value Other) const { return Bits == Other.Bits; }
+  constexpr bool operator==(const Value &Other) const = default;
+};
+
+static_assert(sizeof(Value) == 8, "Value must be a single machine word");
+
+} // namespace osc
+
+#endif // OSC_OBJECT_VALUE_H

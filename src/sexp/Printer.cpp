@@ -1,0 +1,199 @@
+#include "sexp/Printer.h"
+
+#include "object/Objects.h"
+#include "support/Diag.h"
+
+#include <cstdio>
+#include <sstream>
+
+using namespace osc;
+
+namespace {
+
+constexpr unsigned MaxPrintDepth = 512;
+
+void printValue(std::ostringstream &OS, Value V, bool Write, unsigned Depth) {
+  if (Depth > MaxPrintDepth) {
+    OS << "...";
+    return;
+  }
+  if (V.isFixnum()) {
+    OS << V.asFixnum();
+    return;
+  }
+  if (V.isImm()) {
+    switch (V.immKind()) {
+    case ImmKind::Empty:
+      OS << "#<empty>";
+      return;
+    case ImmKind::Nil:
+      OS << "()";
+      return;
+    case ImmKind::False:
+      OS << "#f";
+      return;
+    case ImmKind::True:
+      OS << "#t";
+      return;
+    case ImmKind::Unspecified:
+      OS << "#<unspecified>";
+      return;
+    case ImmKind::Eof:
+      OS << "#<eof>";
+      return;
+    case ImmKind::Undefined:
+      OS << "#<undefined>";
+      return;
+    case ImmKind::Underflow:
+      OS << "#<underflow>";
+      return;
+    case ImmKind::Char: {
+      uint32_t C = V.asChar();
+      if (!Write) {
+        OS << static_cast<char>(C);
+        return;
+      }
+      if (C == ' ')
+        OS << "#\\space";
+      else if (C == '\n')
+        OS << "#\\newline";
+      else if (C == '\t')
+        OS << "#\\tab";
+      else
+        OS << "#\\" << static_cast<char>(C);
+      return;
+    }
+    }
+    oscUnreachable("bad ImmKind");
+  }
+
+  ObjHeader *O = V.asObject();
+  switch (O->Kind) {
+  case ObjKind::Pair: {
+    OS << '(';
+    Value Cur = V;
+    bool First = true;
+    unsigned Guard = 0;
+    while (isObj<Pair>(Cur)) {
+      if (!First)
+        OS << ' ';
+      First = false;
+      printValue(OS, castObj<Pair>(Cur)->Car, Write, Depth + 1);
+      Cur = castObj<Pair>(Cur)->Cdr;
+      if (++Guard > 100000) {
+        OS << " ...";
+        Cur = Value::nil();
+        break;
+      }
+    }
+    if (!Cur.isNil()) {
+      OS << " . ";
+      printValue(OS, Cur, Write, Depth + 1);
+    }
+    OS << ')';
+    return;
+  }
+  case ObjKind::Symbol:
+    OS << castObj<Symbol>(V)->name();
+    return;
+  case ObjKind::String: {
+    auto View = castObj<String>(V)->view();
+    if (!Write) {
+      OS << View;
+      return;
+    }
+    OS << '"';
+    for (char C : View) {
+      if (C == '"' || C == '\\')
+        OS << '\\' << C;
+      else if (C == '\n')
+        OS << "\\n";
+      else if (C == '\t')
+        OS << "\\t";
+      else
+        OS << C;
+    }
+    OS << '"';
+    return;
+  }
+  case ObjKind::Vector: {
+    auto *Vec = castObj<Vector>(V);
+    OS << "#(";
+    for (uint32_t I = 0; I != Vec->Len; ++I) {
+      if (I)
+        OS << ' ';
+      printValue(OS, Vec->Elems[I], Write, Depth + 1);
+    }
+    OS << ')';
+    return;
+  }
+  case ObjKind::Cell:
+    OS << "#<cell ";
+    printValue(OS, castObj<osc::Cell>(V)->Val, Write, Depth + 1);
+    OS << '>';
+    return;
+  case ObjKind::Flonum: {
+    char Buf[32];
+    double D = castObj<Flonum>(V)->D;
+    std::snprintf(Buf, sizeof(Buf), "%g", D);
+    OS << Buf;
+    // Make flonums visibly distinct from fixnums.
+    std::string_view S(Buf);
+    if (S.find('.') == std::string_view::npos &&
+        S.find('e') == std::string_view::npos &&
+        S.find("inf") == std::string_view::npos &&
+        S.find("nan") == std::string_view::npos)
+      OS << ".0";
+    return;
+  }
+  case ObjKind::Closure: {
+    auto *C = castObj<Closure>(V);
+    Value Name = C->code()->Name;
+    OS << "#<procedure";
+    if (isObj<Symbol>(Name))
+      OS << ' ' << castObj<Symbol>(Name)->name();
+    OS << '>';
+    return;
+  }
+  case ObjKind::Code:
+    OS << "#<code>";
+    return;
+  case ObjKind::Native: {
+    auto *N = castObj<Native>(V);
+    OS << "#<native";
+    if (isObj<Symbol>(N->Name))
+      OS << ' ' << castObj<Symbol>(N->Name)->name();
+    OS << '>';
+    return;
+  }
+  case ObjKind::Continuation: {
+    auto *K = castObj<Continuation>(V);
+    if (K->isShot())
+      OS << "#<continuation shot>";
+    else if (K->isHalt())
+      OS << "#<continuation halt>";
+    else
+      OS << "#<continuation " << (K->Size == K->SegSize ? "multi" : "one")
+         << "-shot size=" << K->Size << '>';
+    return;
+  }
+  case ObjKind::StackSegment:
+    OS << "#<stack-segment " << castObj<StackSegment>(V)->Capacity << '>';
+    return;
+  }
+  oscUnreachable("bad ObjKind in printValue");
+}
+
+} // namespace
+
+std::string osc::writeToString(Value V) {
+  std::ostringstream OS;
+  printValue(OS, V, /*Write=*/true, 0);
+  return OS.str();
+}
+
+std::string osc::displayToString(Value V) {
+  std::ostringstream OS;
+  printValue(OS, V, /*Write=*/false, 0);
+  return OS.str();
+}

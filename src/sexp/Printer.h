@@ -1,0 +1,26 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Datum printer: renders Values in external (write) or display form.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OSC_SEXP_PRINTER_H
+#define OSC_SEXP_PRINTER_H
+
+#include "object/Value.h"
+
+#include <string>
+
+namespace osc {
+
+/// Renders \p V in machine-readable form (strings quoted/escaped,
+/// characters as #\x).  Cycle-safe up to a depth bound.
+std::string writeToString(Value V);
+
+/// Renders \p V in human form (strings raw, characters literal).
+std::string displayToString(Value V);
+
+} // namespace osc
+
+#endif // OSC_SEXP_PRINTER_H

@@ -1,0 +1,16 @@
+#include "support/Diag.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+using namespace osc;
+
+void osc::oscFatal(const char *Msg) {
+  std::fprintf(stderr, "osc fatal error: %s\n", Msg);
+  std::abort();
+}
+
+void osc::oscUnreachable(const char *Msg) {
+  std::fprintf(stderr, "osc unreachable executed: %s\n", Msg);
+  std::abort();
+}

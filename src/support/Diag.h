@@ -1,0 +1,25 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Diagnostics for internal invariant violations.  These mirror LLVM's
+/// report_fatal_error / llvm_unreachable split: oscFatal aborts with a
+/// message and oscUnreachable marks code paths that must never execute.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OSC_SUPPORT_DIAG_H
+#define OSC_SUPPORT_DIAG_H
+
+namespace osc {
+
+/// Print \p Msg to stderr and abort.  Used for violated internal invariants
+/// that cannot be expressed as an assert (e.g. they must fire in release
+/// builds too, such as heap exhaustion).
+[[noreturn]] void oscFatal(const char *Msg);
+
+/// Marks a point in the program that should never be reached.
+[[noreturn]] void oscUnreachable(const char *Msg);
+
+} // namespace osc
+
+#endif // OSC_SUPPORT_DIAG_H

@@ -1,0 +1,33 @@
+#include "support/Stats.h"
+
+#include <sstream>
+
+using namespace osc;
+
+std::string Stats::toString() const {
+  std::ostringstream OS;
+#define OSC_STAT(Name) OS << #Name << " " << Name << "\n"
+  OSC_STAT(BytesAllocated);
+  OSC_STAT(ObjectsAllocated);
+  OSC_STAT(GcCount);
+  OSC_STAT(GcBytesFreed);
+  OSC_STAT(ClosuresAllocated);
+  OSC_STAT(SegmentsAllocated);
+  OSC_STAT(SegmentCacheHits);
+  OSC_STAT(SegmentCacheReleases);
+  OSC_STAT(MultiShotCaptures);
+  OSC_STAT(OneShotCaptures);
+  OSC_STAT(MultiShotInvokes);
+  OSC_STAT(OneShotInvokes);
+  OSC_STAT(EmptyCaptures);
+  OSC_STAT(Promotions);
+  OSC_STAT(PromotionWalkSteps);
+  OSC_STAT(WordsCopied);
+  OSC_STAT(Underflows);
+  OSC_STAT(Overflows);
+  OSC_STAT(Splits);
+  OSC_STAT(Instructions);
+  OSC_STAT(ProcedureCalls);
+#undef OSC_STAT
+  return OS.str();
+}

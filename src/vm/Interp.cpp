@@ -1,0 +1,105 @@
+#include "vm/Interp.h"
+
+#include "compiler/CodeGen.h"
+#include "compiler/Expander.h"
+#include "sexp/Printer.h"
+#include "sexp/Reader.h"
+#include "support/Diag.h"
+
+using namespace osc;
+
+Interp::Interp(const Config &C) : Cfg(C) {
+  H = std::make_unique<Heap>(S, Cfg.GcThresholdBytes);
+  M = std::make_unique<VM>(*H, S, Cfg);
+  LastValue = std::make_unique<GCRoot>(*H);
+  installPrimitives(*M);
+  Result R = eval(preludeSource());
+  if (!R.Ok)
+    oscFatal(("prelude failed to load: " + R.Error).c_str());
+}
+
+Interp::~Interp() = default;
+
+Interp::Result Interp::eval(std::string_view Source) {
+  Result Res;
+
+  std::vector<Value> Forms;
+  {
+    Reader Rd(*H, Source);
+    std::string Err;
+    if (!Rd.readAll(Forms, Err)) {
+      Res.Error = Err;
+      return Res;
+    }
+  }
+  if (Forms.empty()) {
+    Res.Ok = true;
+    Res.Val = Value::unspecified();
+    return Res;
+  }
+
+  // Root the datums across compilation and execution of earlier forms.
+  GCRoot FormsRoot(*H);
+  {
+    Value L = Value::nil();
+    for (auto It = Forms.rbegin(); It != Forms.rend(); ++It)
+      L = Value::object(H->allocPair(*It, L));
+    FormsRoot.set(L);
+  }
+
+  // The whole unit is one program (load semantics): a continuation captured
+  // by one form includes the evaluation of the forms after it.
+  Value Unit =
+      Value::object(H->allocPair(Value::object(H->intern("begin")),
+                                 FormsRoot.get()));
+  GCRoot UnitRoot(*H, Unit);
+
+  Expander Ex(*H);
+  CodeGen Gen(*H);
+  Value Expanded;
+  std::string Err;
+  if (!Ex.expandToplevel(Unit, Expanded, Err)) {
+    Res.Error = Err;
+    return Res;
+  }
+  GCRoot ExpandedRoot(*H, Expanded);
+  Code *C = Gen.compileToplevel(Expanded, Err);
+  if (!C) {
+    Res.Error = Err;
+    return Res;
+  }
+  GCRoot CodeRoot(*H, Value::object(C));
+  VM::RunResult R = M->run(C);
+  if (!R.Ok) {
+    Res.Error = R.Error;
+    Res.Backtrace = std::move(R.Backtrace);
+    return Res;
+  }
+  LastValue->set(R.Val);
+  if (H->needsGC())
+    H->collect();
+
+  Res.Ok = true;
+  Res.Val = R.Val;
+  return Res;
+}
+
+std::string Interp::evalToString(std::string_view Source) {
+  Result R = eval(Source);
+  if (!R.Ok)
+    return "error: " + R.Error;
+  return writeToString(R.Val);
+}
+
+std::string Interp::valueToString(Value V, bool Write) const {
+  return Write ? writeToString(V) : displayToString(V);
+}
+
+void Interp::defineNative(std::string_view Name, NativeFn Fn,
+                          uint16_t MinArgs, int16_t MaxArgs) {
+  M->defineNative(Name, Fn, MinArgs, MaxArgs);
+}
+
+void Interp::defineGlobal(std::string_view Name, Value V) {
+  M->defineGlobal(Name, V);
+}

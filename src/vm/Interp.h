@@ -1,0 +1,95 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The embedding API: everything a host application needs to evaluate
+/// Scheme with one-shot and multi-shot continuations.
+///
+/// Typical use:
+/// \code
+///   osc::Config Cfg;
+///   Cfg.Overflow = osc::OverflowPolicy::OneShot;
+///   osc::Interp I(Cfg);
+///   auto R = I.eval("(call/1cc (lambda (k) (k 42)))");
+///   // R.Ok, R.Val, I.valueToString(R.Val)
+/// \endcode
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OSC_VM_INTERP_H
+#define OSC_VM_INTERP_H
+
+#include "core/Config.h"
+#include "core/ControlStack.h"
+#include "object/Heap.h"
+#include "support/Stats.h"
+#include "vm/VM.h"
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace osc {
+
+class Interp {
+public:
+  /// Constructs an interpreter with the given control-representation
+  /// configuration and loads the prelude.
+  explicit Interp(const Config &Cfg = Config());
+  ~Interp();
+  Interp(const Interp &) = delete;
+  Interp &operator=(const Interp &) = delete;
+
+  struct Result {
+    bool Ok = false;
+    Value Val;
+    std::string Error;
+    /// On runtime errors: innermost-first procedure names recovered by
+    /// walking the stack via the frame-size words (§3.1).
+    std::vector<std::string> Backtrace;
+  };
+
+  /// Reads every datum in \p Source and evaluates them in order; returns
+  /// the value of the last one.  The returned value stays GC-rooted until
+  /// the next eval.
+  Result eval(std::string_view Source);
+
+  /// Evaluates \p Source and renders the result (or error) as a string —
+  /// the one-liner most tests want.
+  std::string evalToString(std::string_view Source);
+
+  /// Renders a value in write (machine) or display (human) form.
+  std::string valueToString(Value V, bool Write = true) const;
+
+  /// Registers a host procedure callable from Scheme.
+  void defineNative(std::string_view Name, NativeFn Fn, uint16_t MinArgs,
+                    int16_t MaxArgs);
+  /// Binds a global variable.
+  void defineGlobal(std::string_view Name, Value V);
+
+  Heap &heap() { return *H; }
+  VM &vm() { return *M; }
+  ControlStack &control() { return M->control(); }
+  Stats &stats() { return S; }
+  const Config &config() const { return Cfg; }
+
+  /// Forces a full garbage collection.
+  void collect() { H->collect(); }
+
+  /// Redirects (display ...) / (write ...) / (newline) into a buffer
+  /// retrievable with takeOutput() — the hook tests and host apps use to
+  /// observe program output.
+  void captureOutput(bool Enable) { M->captureOutput(Enable); }
+  std::string takeOutput() { return M->takeOutput(); }
+
+private:
+  Config Cfg;
+  Stats S;
+  std::unique_ptr<Heap> H;
+  std::unique_ptr<VM> M;
+  std::unique_ptr<GCRoot> LastValue;
+};
+
+} // namespace osc
+
+#endif // OSC_VM_INTERP_H

@@ -1,0 +1,178 @@
+#include "vm/VM.h"
+
+using namespace osc;
+
+/// The Scheme prelude, evaluated when an Interp is constructed.
+///
+/// Most of it is ordinary library code; the load-bearing part is the
+/// dynamic-wind machinery: call/cc and call/1cc wrap the primitive captured
+/// continuation in a procedure that rewinds the winders chain before
+/// transferring control (the classic Scheme implementation the paper's
+/// system also maintains alongside one-shot continuations).
+const char *osc::preludeSource() {
+  return R"PRELUDE(
+;; --- cxr compositions -------------------------------------------------------
+(define (caar p) (car (car p)))
+(define (cadr p) (car (cdr p)))
+(define (cdar p) (cdr (car p)))
+(define (cddr p) (cdr (cdr p)))
+(define (caddr p) (car (cddr p)))
+(define (cdddr p) (cdr (cddr p)))
+(define (cadddr p) (car (cdddr p)))
+
+;; --- higher-order list utilities ---------------------------------------------
+(define (map1 f l)
+  (if (null? l) '() (cons (f (car l)) (map1 f (cdr l)))))
+(define (map2 f a b)
+  (if (or (null? a) (null? b))
+      '()
+      (cons (f (car a) (car b)) (map2 f (cdr a) (cdr b)))))
+(define (map f l . ls)
+  (if (null? ls) (map1 f l) (map2 f l (car ls))))
+(define (for-each f l . ls)
+  (if (null? ls)
+      (let loop ((l l))
+        (if (null? l) (if #f #f) (begin (f (car l)) (loop (cdr l)))))
+      (let loop ((a l) (b (car ls)))
+        (if (or (null? a) (null? b))
+            (if #f #f)
+            (begin (f (car a) (car b)) (loop (cdr a) (cdr b)))))))
+(define (filter pred l)
+  (cond ((null? l) '())
+        ((pred (car l)) (cons (car l) (filter pred (cdr l))))
+        (else (filter pred (cdr l)))))
+(define (fold-left f acc l)
+  (if (null? l) acc (fold-left f (f acc (car l)) (cdr l))))
+(define (fold-right f acc l)
+  (if (null? l) acc (f (car l) (fold-right f acc (cdr l)))))
+(define (iota n)
+  (let loop ((i (- n 1)) (acc '()))
+    (if (< i 0) acc (loop (- i 1) (cons i acc)))))
+(define (last-pair l)
+  (if (pair? (cdr l)) (last-pair (cdr l)) l))
+
+;; --- dynamic-wind and the continuation wrappers ---------------------------------
+;;
+;; *winders* is the stack of (before . after) pairs.  A captured
+;; continuation remembers the winders in effect at capture time; invoking it
+;; unwinds/rewinds to that point before transferring control.
+(define *winders* '())
+
+(define (%common-tail x y)
+  (let ((lx (length x)) (ly (length y)))
+    (let loop ((x (if (> lx ly) (list-tail x (- lx ly)) x))
+               (y (if (> ly lx) (list-tail y (- ly lx)) y)))
+      (if (eq? x y) x (loop (cdr x) (cdr y))))))
+
+(define (%do-wind new)
+  (let ((tail (%common-tail new *winders*)))
+    ;; Unwind out of the current extent...
+    (let f ((l *winders*))
+      (unless (eq? l tail)
+        (set! *winders* (cdr l))
+        ((cdr (car l)))
+        (f (cdr l))))
+    ;; ...then rewind into the target extent.
+    (let f ((l new))
+      (unless (eq? l tail)
+        (f (cdr l))
+        ((car (car l)))
+        (set! *winders* l)))))
+
+(define (call-with-current-continuation p)
+  (let ((saved *winders*))
+    (%call/cc
+     (lambda (k)
+       (p (lambda vals
+            (unless (eq? saved *winders*) (%do-wind saved))
+            (apply k vals)))))))
+(define call/cc call-with-current-continuation)
+
+(define (call/1cc p)
+  (let ((saved *winders*))
+    (%call/1cc
+     (lambda (k)
+       (p (lambda vals
+            (unless (eq? saved *winders*) (%do-wind saved))
+            (apply k vals)))))))
+
+(define (dynamic-wind before thunk after)
+  (before)
+  (set! *winders* (cons (cons before after) *winders*))
+  (call-with-values
+   thunk
+   (lambda results
+     (set! *winders* (cdr *winders*))
+     (after)
+     (apply values results))))
+
+(define call-with-values %call-with-values)
+
+;; --- engines (Dybvig & Hieb; the thread substrate the paper cites) -----------
+;;
+;; (make-engine thunk) -> engine; (engine ticks success expire) runs the
+;; computation for at most ticks procedure calls.  On completion, calls
+;; (success remaining-ticks result); on preemption, calls (expire
+;; new-engine).  Every suspension is a one-shot continuation captured by
+;; the VM timer; engines do not nest.
+
+(define %do-complete #f)
+(define %do-expire #f)
+(define %engine-base-winders '())
+
+;; Preemption does not run dynamic-wind thunks (an engine switch is not an
+;; escape); instead the engine's winders are suspended with it and restored
+;; on resume, and the scheduler gets its own winders back.
+(define (%engine-timer-handler k v)
+  (let ((w *winders*))
+    (set! *winders* %engine-base-winders)
+    (%do-expire
+     (lambda (ticks success expire)
+       (%run-engine (lambda () (set! *winders* w) (k v))
+                    ticks success expire)))))
+
+;; The escape continuation receives a *thunk* which is run after the
+;; engine's extent has been discarded; calling (success ...) or (expire
+;; ...) inside the extent would nest the client's scheduler under the
+;; handler and leak one pending escape (and its pinned segment) per slice.
+(define (%run-engine resume ticks success expire)
+  ((call/1cc
+    (lambda (escape)
+      (set! %engine-base-winders *winders*)
+      (set! %do-complete
+            (lambda (left result)
+              (escape (lambda () (success left result)))))
+      (set! %do-expire
+            (lambda (eng) (escape (lambda () (expire eng)))))
+      ;; +2 covers the scheduler's own resume calls below, so even a
+      ;; 1-tick slice makes real progress (otherwise a 1-tick engine would
+      ;; expire before reaching user code and loop forever).
+      (%set-timer! (+ ticks 2) %engine-timer-handler)
+      (resume)))))
+
+(define (make-engine thunk)
+  (lambda (ticks success expire)
+    (%run-engine
+     (lambda ()
+       (let ((result (thunk)))
+         (let ((left (%stop-timer!)))
+           (%do-complete left result))))
+     ticks success expire)))
+
+(define (positive? x) (> x 0))
+(define (negative? x) (< x 0))
+
+;; --- characters --------------------------------------------------------------------
+(define (char=? a b) (eq? a b))
+(define (char<? a b) (< (char->integer a) (char->integer b)))
+(define (char>? a b) (> (char->integer a) (char->integer b)))
+(define (char<=? a b) (<= (char->integer a) (char->integer b)))
+(define (char>=? a b) (>= (char->integer a) (char->integer b)))
+
+;; --- misc ------------------------------------------------------------------------
+(define (list-copy l)
+  (if (pair? l) (cons (car l) (list-copy (cdr l))) l))
+(define (vector-map f v)
+  (list->vector (map1 f (vector->list v))))
+)PRELUDE";
+}

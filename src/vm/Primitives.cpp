@@ -1,0 +1,829 @@
+#include "vm/VM.h"
+
+#include "object/ListUtil.h"
+#include "sexp/Printer.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <string>
+
+using namespace osc;
+
+namespace {
+
+// --- Numeric helpers ----------------------------------------------------------
+
+bool isNumber(Value V) { return V.isFixnum() || isObj<Flonum>(V); }
+
+double asDouble(Value V) {
+  return V.isFixnum() ? static_cast<double>(V.asFixnum())
+                      : castObj<Flonum>(V)->D;
+}
+
+Value requireNumber(VM &Vm, Value V, const char *Who) {
+  if (!isNumber(V))
+    return Vm.fail(std::string(Who) + ": not a number: " + writeToString(V));
+  return V;
+}
+
+template <typename FixOp, typename FloOp>
+Value numFold(VM &Vm, Value *Args, uint32_t N, int64_t Unit, FixOp Fx,
+              FloOp Fl, const char *Who) {
+  bool AnyFlo = false;
+  for (uint32_t I = 0; I != N; ++I) {
+    if (!isNumber(Args[I]))
+      return Vm.fail(std::string(Who) +
+                     ": not a number: " + writeToString(Args[I]));
+    AnyFlo |= isObj<Flonum>(Args[I]);
+  }
+  if (!AnyFlo) {
+    int64_t Acc = N ? Args[0].asFixnum() : Unit;
+    if (N == 1 && (Who[0] == '-' || Who[0] == '/'))
+      return Value::fixnum(Fx(Unit, Acc));
+    for (uint32_t I = 1; I < N; ++I)
+      Acc = Fx(Acc, Args[I].asFixnum());
+    return Value::fixnum(Acc);
+  }
+  double Acc = N ? asDouble(Args[0]) : static_cast<double>(Unit);
+  if (N == 1 && (Who[0] == '-' || Who[0] == '/'))
+    return Value::object(Vm.heap().allocFlonum(Fl(Unit, Acc)));
+  for (uint32_t I = 1; I < N; ++I)
+    Acc = Fl(Acc, asDouble(Args[I]));
+  return Value::object(Vm.heap().allocFlonum(Acc));
+}
+
+template <typename Cmp>
+Value numCompare(VM &Vm, Value *Args, uint32_t N, Cmp C, const char *Who) {
+  for (uint32_t I = 0; I != N; ++I)
+    if (!isNumber(Args[I]))
+      return Vm.fail(std::string(Who) +
+                     ": not a number: " + writeToString(Args[I]));
+  for (uint32_t I = 0; I + 1 < N; ++I) {
+    bool Ok;
+    if (Args[I].isFixnum() && Args[I + 1].isFixnum())
+      Ok = C(Args[I].asFixnum(), Args[I + 1].asFixnum());
+    else
+      Ok = C(asDouble(Args[I]), asDouble(Args[I + 1]));
+    if (!Ok)
+      return Value::falseV();
+  }
+  return Value::trueV();
+}
+
+// --- Numeric primitives ---------------------------------------------------------
+
+Value primAdd(VM &Vm, Value *A, uint32_t N) {
+  return numFold(
+      Vm, A, N, 0, [](int64_t X, int64_t Y) { return X + Y; },
+      [](double X, double Y) { return X + Y; }, "+");
+}
+Value primSub(VM &Vm, Value *A, uint32_t N) {
+  return numFold(
+      Vm, A, N, 0, [](int64_t X, int64_t Y) { return X - Y; },
+      [](double X, double Y) { return X - Y; }, "-");
+}
+Value primMul(VM &Vm, Value *A, uint32_t N) {
+  return numFold(
+      Vm, A, N, 1, [](int64_t X, int64_t Y) { return X * Y; },
+      [](double X, double Y) { return X * Y; }, "*");
+}
+Value primDiv(VM &Vm, Value *A, uint32_t N) {
+  double Acc = asDouble(requireNumber(Vm, A[0], "/"));
+  if (Vm.failed())
+    return Value::unspecified();
+  if (N == 1)
+    return Value::object(Vm.heap().allocFlonum(1.0 / Acc));
+  for (uint32_t I = 1; I != N; ++I) {
+    double D = asDouble(requireNumber(Vm, A[I], "/"));
+    if (Vm.failed())
+      return Value::unspecified();
+    Acc /= D;
+  }
+  return Value::object(Vm.heap().allocFlonum(Acc));
+}
+Value primQuotient(VM &Vm, Value *A, uint32_t) {
+  if (!A[0].isFixnum() || !A[1].isFixnum())
+    return Vm.fail("quotient: expects fixnums");
+  if (A[1].asFixnum() == 0)
+    return Vm.fail("quotient: division by zero");
+  return Value::fixnum(A[0].asFixnum() / A[1].asFixnum());
+}
+Value primRemainder(VM &Vm, Value *A, uint32_t) {
+  if (!A[0].isFixnum() || !A[1].isFixnum())
+    return Vm.fail("remainder: expects fixnums");
+  if (A[1].asFixnum() == 0)
+    return Vm.fail("remainder: division by zero");
+  return Value::fixnum(A[0].asFixnum() % A[1].asFixnum());
+}
+Value primModulo(VM &Vm, Value *A, uint32_t) {
+  if (!A[0].isFixnum() || !A[1].isFixnum())
+    return Vm.fail("modulo: expects fixnums");
+  int64_t X = A[0].asFixnum(), Y = A[1].asFixnum();
+  if (Y == 0)
+    return Vm.fail("modulo: division by zero");
+  int64_t M = X % Y;
+  if (M != 0 && ((M < 0) != (Y < 0)))
+    M += Y;
+  return Value::fixnum(M);
+}
+Value primLt(VM &Vm, Value *A, uint32_t N) {
+  return numCompare(Vm, A, N, [](auto X, auto Y) { return X < Y; }, "<");
+}
+Value primLe(VM &Vm, Value *A, uint32_t N) {
+  return numCompare(Vm, A, N, [](auto X, auto Y) { return X <= Y; }, "<=");
+}
+Value primGt(VM &Vm, Value *A, uint32_t N) {
+  return numCompare(Vm, A, N, [](auto X, auto Y) { return X > Y; }, ">");
+}
+Value primGe(VM &Vm, Value *A, uint32_t N) {
+  return numCompare(Vm, A, N, [](auto X, auto Y) { return X >= Y; }, ">=");
+}
+Value primNumEq(VM &Vm, Value *A, uint32_t N) {
+  return numCompare(Vm, A, N, [](auto X, auto Y) { return X == Y; }, "=");
+}
+Value primAbs(VM &Vm, Value *A, uint32_t) {
+  if (A[0].isFixnum())
+    return Value::fixnum(std::abs(A[0].asFixnum()));
+  if (auto *F = dynObj<Flonum>(A[0]))
+    return Value::object(Vm.heap().allocFlonum(std::fabs(F->D)));
+  return Vm.fail("abs: not a number: " + writeToString(A[0]));
+}
+Value primMin(VM &Vm, Value *A, uint32_t N) {
+  Value Best = A[0];
+  for (uint32_t I = 1; I != N; ++I) {
+    requireNumber(Vm, A[I], "min");
+    if (Vm.failed())
+      return Value::unspecified();
+    if (asDouble(A[I]) < asDouble(Best))
+      Best = A[I];
+  }
+  return Best;
+}
+Value primMax(VM &Vm, Value *A, uint32_t N) {
+  Value Best = A[0];
+  for (uint32_t I = 1; I != N; ++I) {
+    requireNumber(Vm, A[I], "max");
+    if (Vm.failed())
+      return Value::unspecified();
+    if (asDouble(A[I]) > asDouble(Best))
+      Best = A[I];
+  }
+  return Best;
+}
+Value primEven(VM &Vm, Value *A, uint32_t) {
+  if (!A[0].isFixnum())
+    return Vm.fail("even?: expects a fixnum");
+  return Value::boolean(A[0].asFixnum() % 2 == 0);
+}
+Value primOdd(VM &Vm, Value *A, uint32_t) {
+  if (!A[0].isFixnum())
+    return Vm.fail("odd?: expects a fixnum");
+  return Value::boolean(A[0].asFixnum() % 2 != 0);
+}
+
+// --- Type predicates --------------------------------------------------------------
+
+Value primNumberP(VM &, Value *A, uint32_t) {
+  return Value::boolean(isNumber(A[0]));
+}
+Value primIntegerP(VM &, Value *A, uint32_t) {
+  if (A[0].isFixnum())
+    return Value::trueV();
+  if (auto *F = dynObj<Flonum>(A[0]))
+    return Value::boolean(F->D == std::floor(F->D));
+  return Value::falseV();
+}
+Value primBooleanP(VM &, Value *A, uint32_t) {
+  return Value::boolean(A[0].isBoolean());
+}
+Value primSymbolP(VM &, Value *A, uint32_t) {
+  return Value::boolean(isObj<Symbol>(A[0]));
+}
+Value primStringP(VM &, Value *A, uint32_t) {
+  return Value::boolean(isObj<String>(A[0]));
+}
+Value primCharP(VM &, Value *A, uint32_t) {
+  return Value::boolean(A[0].isChar());
+}
+Value primVectorP(VM &, Value *A, uint32_t) {
+  return Value::boolean(isObj<Vector>(A[0]));
+}
+Value primProcedureP(VM &, Value *A, uint32_t) {
+  return Value::boolean(isObj<Closure>(A[0]) || isObj<Native>(A[0]) ||
+                        isObj<Continuation>(A[0]));
+}
+Value primListP(VM &, Value *A, uint32_t) {
+  return Value::boolean(isProperList(A[0]));
+}
+Value primEqv(VM &, Value *A, uint32_t) {
+  return Value::boolean(schemeEqv(A[0], A[1]));
+}
+Value primEqual(VM &, Value *A, uint32_t) {
+  return Value::boolean(schemeEqual(A[0], A[1]));
+}
+
+// --- Pairs and lists ----------------------------------------------------------------
+
+Value primSetCar(VM &Vm, Value *A, uint32_t) {
+  if (auto *P = dynObj<Pair>(A[0])) {
+    P->Car = A[1];
+    return Value::unspecified();
+  }
+  return Vm.fail("set-car!: not a pair");
+}
+Value primSetCdr(VM &Vm, Value *A, uint32_t) {
+  if (auto *P = dynObj<Pair>(A[0])) {
+    P->Cdr = A[1];
+    return Value::unspecified();
+  }
+  return Vm.fail("set-cdr!: not a pair");
+}
+Value primList(VM &Vm, Value *A, uint32_t N) {
+  Value L = Value::nil();
+  for (uint32_t I = N; I-- > 0;)
+    L = cons(Vm.heap(), A[I], L);
+  return L;
+}
+Value primLength(VM &Vm, Value *A, uint32_t) {
+  int64_t N = listLength(A[0]);
+  if (N < 0)
+    return Vm.fail("length: not a proper list: " + writeToString(A[0]));
+  return Value::fixnum(N);
+}
+Value primAppend(VM &Vm, Value *A, uint32_t N) {
+  if (N == 0)
+    return Value::nil();
+  Value Result = A[N - 1];
+  for (uint32_t I = N - 1; I-- > 0;) {
+    std::vector<Value> Elems;
+    if (!listToVector(A[I], Elems))
+      return Vm.fail("append: not a proper list: " + writeToString(A[I]));
+    for (auto It = Elems.rbegin(); It != Elems.rend(); ++It)
+      Result = cons(Vm.heap(), *It, Result);
+  }
+  return Result;
+}
+Value primReverse(VM &Vm, Value *A, uint32_t) {
+  Value L = A[0];
+  Value R = Value::nil();
+  while (isObj<Pair>(L)) {
+    R = cons(Vm.heap(), car(L), R);
+    L = cdr(L);
+  }
+  if (!L.isNil())
+    return Vm.fail("reverse: not a proper list");
+  return R;
+}
+Value primListTail(VM &Vm, Value *A, uint32_t) {
+  if (!A[1].isFixnum())
+    return Vm.fail("list-tail: bad index");
+  Value L = A[0];
+  for (int64_t I = A[1].asFixnum(); I-- > 0;) {
+    if (!isObj<Pair>(L))
+      return Vm.fail("list-tail: index out of range");
+    L = cdr(L);
+  }
+  return L;
+}
+Value primListRef(VM &Vm, Value *A, uint32_t N) {
+  Value Tail = primListTail(Vm, A, N);
+  if (Vm.failed())
+    return Tail;
+  if (!isObj<Pair>(Tail))
+    return Vm.fail("list-ref: index out of range");
+  return car(Tail);
+}
+
+template <bool UseEqv, bool UseEqual>
+Value memGeneric(VM &Vm, Value *A, const char *Who) {
+  Value L = A[1];
+  while (isObj<Pair>(L)) {
+    Value X = car(L);
+    bool Hit = UseEqual ? schemeEqual(X, A[0])
+                        : (UseEqv ? schemeEqv(X, A[0]) : X.identical(A[0]));
+    if (Hit)
+      return L;
+    L = cdr(L);
+  }
+  if (!L.isNil())
+    return Vm.fail(std::string(Who) + ": not a proper list");
+  return Value::falseV();
+}
+Value primMemq(VM &Vm, Value *A, uint32_t) {
+  return memGeneric<false, false>(Vm, A, "memq");
+}
+Value primMemv(VM &Vm, Value *A, uint32_t) {
+  return memGeneric<true, false>(Vm, A, "memv");
+}
+Value primMember(VM &Vm, Value *A, uint32_t) {
+  return memGeneric<false, true>(Vm, A, "member");
+}
+
+template <bool UseEqv, bool UseEqual>
+Value assGeneric(VM &Vm, Value *A, const char *Who) {
+  Value L = A[1];
+  while (isObj<Pair>(L)) {
+    Value Entry = car(L);
+    if (isObj<Pair>(Entry)) {
+      Value K = car(Entry);
+      bool Hit = UseEqual ? schemeEqual(K, A[0])
+                          : (UseEqv ? schemeEqv(K, A[0]) : K.identical(A[0]));
+      if (Hit)
+        return Entry;
+    }
+    L = cdr(L);
+  }
+  if (!L.isNil())
+    return Vm.fail(std::string(Who) + ": not a proper list");
+  return Value::falseV();
+}
+Value primAssq(VM &Vm, Value *A, uint32_t) {
+  return assGeneric<false, false>(Vm, A, "assq");
+}
+Value primAssv(VM &Vm, Value *A, uint32_t) {
+  return assGeneric<true, false>(Vm, A, "assv");
+}
+Value primAssoc(VM &Vm, Value *A, uint32_t) {
+  return assGeneric<false, true>(Vm, A, "assoc");
+}
+
+// --- Vectors --------------------------------------------------------------------------
+
+Value primMakeVector(VM &Vm, Value *A, uint32_t N) {
+  if (!A[0].isFixnum() || A[0].asFixnum() < 0)
+    return Vm.fail("make-vector: bad length");
+  Value Fill = N >= 2 ? A[1] : Value::unspecified();
+  return Value::object(
+      Vm.heap().allocVector(static_cast<uint32_t>(A[0].asFixnum()), Fill));
+}
+Value primVector(VM &Vm, Value *A, uint32_t N) {
+  Vector *V = Vm.heap().allocVector(N);
+  for (uint32_t I = 0; I != N; ++I)
+    V->set(I, A[I]);
+  return Value::object(V);
+}
+Value primVectorLength(VM &Vm, Value *A, uint32_t) {
+  if (auto *V = dynObj<Vector>(A[0]))
+    return Value::fixnum(V->Len);
+  return Vm.fail("vector-length: not a vector");
+}
+Value primVectorRef(VM &Vm, Value *A, uint32_t) {
+  auto *V = dynObj<Vector>(A[0]);
+  if (!V || !A[1].isFixnum())
+    return Vm.fail("vector-ref: bad arguments");
+  int64_t I = A[1].asFixnum();
+  if (I < 0 || I >= V->Len)
+    return Vm.fail("vector-ref: index out of range");
+  return V->Elems[I];
+}
+Value primVectorSet(VM &Vm, Value *A, uint32_t) {
+  auto *V = dynObj<Vector>(A[0]);
+  if (!V || !A[1].isFixnum())
+    return Vm.fail("vector-set!: bad arguments");
+  int64_t I = A[1].asFixnum();
+  if (I < 0 || I >= V->Len)
+    return Vm.fail("vector-set!: index out of range");
+  V->Elems[I] = A[2];
+  return Value::unspecified();
+}
+Value primVectorToList(VM &Vm, Value *A, uint32_t) {
+  auto *V = dynObj<Vector>(A[0]);
+  if (!V)
+    return Vm.fail("vector->list: not a vector");
+  Value L = Value::nil();
+  for (uint32_t I = V->Len; I-- > 0;)
+    L = cons(Vm.heap(), V->Elems[I], L);
+  return L;
+}
+Value primListToVector(VM &Vm, Value *A, uint32_t) {
+  std::vector<Value> Elems;
+  if (!listToVector(A[0], Elems))
+    return Vm.fail("list->vector: not a proper list");
+  Vector *V = Vm.heap().allocVector(static_cast<uint32_t>(Elems.size()));
+  for (uint32_t I = 0; I != Elems.size(); ++I)
+    V->set(I, Elems[I]);
+  return Value::object(V);
+}
+Value primVectorFill(VM &Vm, Value *A, uint32_t) {
+  auto *V = dynObj<Vector>(A[0]);
+  if (!V)
+    return Vm.fail("vector-fill!: not a vector");
+  for (uint32_t I = 0; I != V->Len; ++I)
+    V->Elems[I] = A[1];
+  return Value::unspecified();
+}
+
+// --- Strings, chars, symbols --------------------------------------------------------------
+
+Value primStringLength(VM &Vm, Value *A, uint32_t) {
+  if (auto *S = dynObj<String>(A[0]))
+    return Value::fixnum(S->Len);
+  return Vm.fail("string-length: not a string");
+}
+Value primStringAppend(VM &Vm, Value *A, uint32_t N) {
+  std::string Out;
+  for (uint32_t I = 0; I != N; ++I) {
+    auto *S = dynObj<String>(A[I]);
+    if (!S)
+      return Vm.fail("string-append: not a string");
+    Out += S->view();
+  }
+  return Value::object(Vm.heap().allocString(Out));
+}
+Value primSubstring(VM &Vm, Value *A, uint32_t) {
+  auto *S = dynObj<String>(A[0]);
+  if (!S || !A[1].isFixnum() || !A[2].isFixnum())
+    return Vm.fail("substring: bad arguments");
+  int64_t B = A[1].asFixnum(), E = A[2].asFixnum();
+  if (B < 0 || E < B || E > S->Len)
+    return Vm.fail("substring: index out of range");
+  return Value::object(Vm.heap().allocString(S->view().substr(B, E - B)));
+}
+Value primStringEq(VM &Vm, Value *A, uint32_t N) {
+  for (uint32_t I = 0; I != N; ++I)
+    if (!isObj<String>(A[I]))
+      return Vm.fail("string=?: not a string");
+  for (uint32_t I = 0; I + 1 < N; ++I)
+    if (castObj<String>(A[I])->view() != castObj<String>(A[I + 1])->view())
+      return Value::falseV();
+  return Value::trueV();
+}
+Value primStringLt(VM &Vm, Value *A, uint32_t) {
+  if (!isObj<String>(A[0]) || !isObj<String>(A[1]))
+    return Vm.fail("string<?: not a string");
+  return Value::boolean(castObj<String>(A[0])->view() <
+                        castObj<String>(A[1])->view());
+}
+Value primStringRef(VM &Vm, Value *A, uint32_t) {
+  auto *S = dynObj<String>(A[0]);
+  if (!S || !A[1].isFixnum())
+    return Vm.fail("string-ref: bad arguments");
+  int64_t I = A[1].asFixnum();
+  if (I < 0 || I >= S->Len)
+    return Vm.fail("string-ref: index out of range");
+  return Value::charV(static_cast<unsigned char>(S->Data[I]));
+}
+Value primStringToSymbol(VM &Vm, Value *A, uint32_t) {
+  auto *S = dynObj<String>(A[0]);
+  if (!S)
+    return Vm.fail("string->symbol: not a string");
+  return Value::object(Vm.heap().intern(S->view()));
+}
+Value primSymbolToString(VM &Vm, Value *A, uint32_t) {
+  auto *S = dynObj<Symbol>(A[0]);
+  if (!S)
+    return Vm.fail("symbol->string: not a symbol");
+  return Value::object(Vm.heap().allocString(S->name()));
+}
+Value primNumberToString(VM &Vm, Value *A, uint32_t) {
+  if (!isNumber(A[0]))
+    return Vm.fail("number->string: not a number");
+  return Value::object(Vm.heap().allocString(writeToString(A[0])));
+}
+Value primStringToNumber(VM &Vm, Value *A, uint32_t) {
+  auto *S = dynObj<String>(A[0]);
+  if (!S)
+    return Vm.fail("string->number: not a string");
+  errno = 0;
+  char *End = nullptr;
+  long long N = std::strtoll(S->Data, &End, 10);
+  if (errno == 0 && End == S->Data + S->Len && S->Len > 0)
+    return Value::fixnum(N);
+  errno = 0;
+  double D = std::strtod(S->Data, &End);
+  if (errno == 0 && End == S->Data + S->Len && S->Len > 0)
+    return Value::object(Vm.heap().allocFlonum(D));
+  return Value::falseV();
+}
+Value primCharToInteger(VM &Vm, Value *A, uint32_t) {
+  if (!A[0].isChar())
+    return Vm.fail("char->integer: not a character");
+  return Value::fixnum(A[0].asChar());
+}
+Value primIntegerToChar(VM &Vm, Value *A, uint32_t) {
+  if (!A[0].isFixnum() || A[0].asFixnum() < 0)
+    return Vm.fail("integer->char: bad code point");
+  return Value::charV(static_cast<uint32_t>(A[0].asFixnum()));
+}
+Value primGensym(VM &Vm, Value *, uint32_t) {
+  static uint64_t Counter = 0;
+  return Value::object(
+      Vm.heap().intern(" gensym" + std::to_string(Counter++)));
+}
+
+// --- Output ----------------------------------------------------------------------------------
+
+Value primDisplay(VM &Vm, Value *A, uint32_t) {
+  Vm.writeOutput(displayToString(A[0]));
+  return Value::unspecified();
+}
+Value primWrite(VM &Vm, Value *A, uint32_t) {
+  Vm.writeOutput(writeToString(A[0]));
+  return Value::unspecified();
+}
+Value primNewline(VM &Vm, Value *, uint32_t) {
+  Vm.writeOutput("\n");
+  return Value::unspecified();
+}
+Value primStringToList(VM &Vm, Value *A, uint32_t) {
+  auto *S = dynObj<String>(A[0]);
+  if (!S)
+    return Vm.fail("string->list: not a string");
+  Value L = Value::nil();
+  for (uint32_t I = S->Len; I-- > 0;)
+    L = cons(Vm.heap(), Value::charV(static_cast<unsigned char>(S->Data[I])),
+             L);
+  return L;
+}
+Value primListToString(VM &Vm, Value *A, uint32_t) {
+  std::vector<Value> Chars;
+  if (!listToVector(A[0], Chars))
+    return Vm.fail("list->string: not a proper list");
+  std::string Out;
+  for (Value C : Chars) {
+    if (!C.isChar())
+      return Vm.fail("list->string: not a character: " + writeToString(C));
+    Out.push_back(static_cast<char>(C.asChar()));
+  }
+  return Value::object(Vm.heap().allocString(Out));
+}
+/// (sort lst less?) with \p less? restricted to the builtin orderings the
+/// VM can call directly (<, >, string<?); general procedures would need a
+/// VM re-entry, which natives deliberately cannot do.
+Value primSortNumeric(VM &Vm, Value *A, uint32_t) {
+  std::vector<Value> Elems;
+  if (!listToVector(A[0], Elems))
+    return Vm.fail("sort-numbers: not a proper list");
+  for (Value V : Elems)
+    if (!V.isFixnum() && !isObj<Flonum>(V))
+      return Vm.fail("sort-numbers: not a number: " + writeToString(V));
+  std::stable_sort(Elems.begin(), Elems.end(), [](Value X, Value Y) {
+    double A = X.isFixnum() ? static_cast<double>(X.asFixnum())
+                            : castObj<Flonum>(X)->D;
+    double B = Y.isFixnum() ? static_cast<double>(Y.asFixnum())
+                            : castObj<Flonum>(Y)->D;
+    return A < B;
+  });
+  return listFromVector(Vm.heap(), Elems);
+}
+
+// --- Control / meta -----------------------------------------------------------------------------
+
+Value primError(VM &Vm, Value *A, uint32_t N) {
+  std::string Msg = "error: ";
+  Msg += displayToString(A[0]);
+  for (uint32_t I = 1; I != N; ++I)
+    Msg += " " + writeToString(A[I]);
+  return Vm.fail(Msg);
+}
+Value primGc(VM &Vm, Value *, uint32_t) {
+  Vm.heap().collect();
+  return Value::unspecified();
+}
+Value primContinuationP(VM &, Value *A, uint32_t) {
+  return Value::boolean(isObj<Continuation>(A[0]));
+}
+Value primContinuationOneShotP(VM &Vm, Value *A, uint32_t) {
+  auto *K = dynObj<Continuation>(A[0]);
+  if (!K)
+    return Vm.fail("%continuation-one-shot?: not a continuation");
+  return Value::boolean(K->isOneShot());
+}
+Value primContinuationShotP(VM &Vm, Value *A, uint32_t) {
+  auto *K = dynObj<Continuation>(A[0]);
+  if (!K)
+    return Vm.fail("%continuation-shot?: not a continuation");
+  return Value::boolean(K->isShot());
+}
+Value primSetTimer(VM &Vm, Value *A, uint32_t) {
+  if (!A[0].isFixnum() || A[0].asFixnum() <= 0)
+    return Vm.fail("%set-timer!: ticks must be a positive fixnum");
+  Vm.setTimer(A[0].asFixnum(), A[1]);
+  return Value::unspecified();
+}
+Value primStopTimer(VM &Vm, Value *, uint32_t) {
+  return Value::fixnum(Vm.stopTimer());
+}
+Value primCurrentTimeNs(VM &, Value *, uint32_t) {
+  auto Now = std::chrono::steady_clock::now().time_since_epoch();
+  return Value::fixnum(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(Now).count());
+}
+Value primVmStat(VM &Vm, Value *A, uint32_t) {
+  auto *Sym = dynObj<Symbol>(A[0]);
+  if (!Sym)
+    return Vm.fail("vm-stat: expects a symbol");
+  const Stats &St = Vm.stats();
+  std::string_view N = Sym->name();
+  uint64_t V;
+  if (N == "bytes-allocated")
+    V = St.BytesAllocated;
+  else if (N == "closures-allocated")
+    V = St.ClosuresAllocated;
+  else if (N == "gc-count")
+    V = St.GcCount;
+  else if (N == "segments-allocated")
+    V = St.SegmentsAllocated;
+  else if (N == "segment-cache-hits")
+    V = St.SegmentCacheHits;
+  else if (N == "multi-shot-captures")
+    V = St.MultiShotCaptures;
+  else if (N == "one-shot-captures")
+    V = St.OneShotCaptures;
+  else if (N == "multi-shot-invokes")
+    V = St.MultiShotInvokes;
+  else if (N == "one-shot-invokes")
+    V = St.OneShotInvokes;
+  else if (N == "promotions")
+    V = St.Promotions;
+  else if (N == "words-copied")
+    V = St.WordsCopied;
+  else if (N == "underflows")
+    V = St.Underflows;
+  else if (N == "overflows")
+    V = St.Overflows;
+  else if (N == "splits")
+    V = St.Splits;
+  else if (N == "instructions")
+    V = St.Instructions;
+  else if (N == "procedure-calls")
+    V = St.ProcedureCalls;
+  else if (N == "empty-captures")
+    V = St.EmptyCaptures;
+  else
+    return Vm.fail("vm-stat: unknown counter: " + std::string(N));
+  return Value::fixnum(static_cast<int64_t>(V));
+}
+Value primVmResidentStackWords(VM &Vm, Value *, uint32_t) {
+  return Value::fixnum(
+      static_cast<int64_t>(Vm.control().residentSegmentWords()));
+}
+Value primVmLiveSegmentWords(VM &Vm, Value *, uint32_t) {
+  Vm.heap().collect();
+  return Value::fixnum(static_cast<int64_t>(Vm.heap().segmentWordsInHeap()));
+}
+Value primVmChainLength(VM &Vm, Value *, uint32_t) {
+  return Value::fixnum(Vm.control().chainLength());
+}
+Value primVmCacheSize(VM &Vm, Value *, uint32_t) {
+  return Value::fixnum(static_cast<int64_t>(Vm.control().cacheSize()));
+}
+
+Value noFn(VM &Vm, Value *, uint32_t) {
+  return Vm.fail("special native invoked outside the dispatch loop");
+}
+
+} // namespace
+
+void osc::installPrimitives(VM &Vm) {
+  auto Def = [&](const char *Name, NativeFn Fn, uint16_t Min, int16_t Max) {
+    Vm.defineNative(Name, Fn, Min, Max);
+  };
+
+  // Control specials (dispatched in the VM loop, never via Fn).
+  Vm.defineNative("apply", noFn, 2, -1, NativeSpecial::Apply);
+  Vm.defineNative("%call/cc", noFn, 1, 1, NativeSpecial::CallCC);
+  Vm.defineNative("%call/1cc", noFn, 1, 1, NativeSpecial::Call1CC);
+  Vm.defineNative("%call-with-values", noFn, 2, 2,
+                  NativeSpecial::CallWithValues);
+  Vm.defineNative("values", noFn, 0, -1, NativeSpecial::Values);
+
+  // Numbers.
+  Def("+", primAdd, 0, -1);
+  Def("-", primSub, 1, -1);
+  Def("*", primMul, 0, -1);
+  Def("/", primDiv, 1, -1);
+  Def("quotient", primQuotient, 2, 2);
+  Def("remainder", primRemainder, 2, 2);
+  Def("modulo", primModulo, 2, 2);
+  Def("<", primLt, 2, -1);
+  Def("<=", primLe, 2, -1);
+  Def(">", primGt, 2, -1);
+  Def(">=", primGe, 2, -1);
+  Def("=", primNumEq, 2, -1);
+  Def("abs", primAbs, 1, 1);
+  Def("min", primMin, 1, -1);
+  Def("max", primMax, 1, -1);
+  Def("even?", primEven, 1, 1);
+  Def("odd?", primOdd, 1, 1);
+
+  // Predicates.
+  Def("number?", primNumberP, 1, 1);
+  Def("integer?", primIntegerP, 1, 1);
+  Def("boolean?", primBooleanP, 1, 1);
+  Def("symbol?", primSymbolP, 1, 1);
+  Def("string?", primStringP, 1, 1);
+  Def("char?", primCharP, 1, 1);
+  Def("vector?", primVectorP, 1, 1);
+  Def("procedure?", primProcedureP, 1, 1);
+  Def("list?", primListP, 1, 1);
+  Def("eqv?", primEqv, 2, 2);
+  Def("equal?", primEqual, 2, 2);
+
+  // Pairs and lists (car/cdr/cons/eq?/null?/pair? are also natives so they
+  // exist as first-class procedures; calls are usually open-coded).
+  Def("car", [](VM &Vm, Value *A, uint32_t) {
+        if (auto *P = dynObj<Pair>(A[0]))
+          return P->Car;
+        return Vm.fail("car: not a pair: " + writeToString(A[0]));
+      },
+      1, 1);
+  Def("cdr", [](VM &Vm, Value *A, uint32_t) {
+        if (auto *P = dynObj<Pair>(A[0]))
+          return P->Cdr;
+        return Vm.fail("cdr: not a pair: " + writeToString(A[0]));
+      },
+      1, 1);
+  Def("cons", [](VM &Vm, Value *A, uint32_t) {
+        return cons(Vm.heap(), A[0], A[1]);
+      },
+      2, 2);
+  Def("eq?", [](VM &, Value *A, uint32_t) {
+        return Value::boolean(A[0].identical(A[1]));
+      },
+      2, 2);
+  Def("null?", [](VM &, Value *A, uint32_t) {
+        return Value::boolean(A[0].isNil());
+      },
+      1, 1);
+  Def("pair?", [](VM &, Value *A, uint32_t) {
+        return Value::boolean(isObj<Pair>(A[0]));
+      },
+      1, 1);
+  Def("not", [](VM &, Value *A, uint32_t) {
+        return Value::boolean(A[0].isFalse());
+      },
+      1, 1);
+  Def("zero?", [](VM &Vm, Value *A, uint32_t) {
+        if (A[0].isFixnum())
+          return Value::boolean(A[0].asFixnum() == 0);
+        if (auto *F = dynObj<Flonum>(A[0]))
+          return Value::boolean(F->D == 0.0);
+        return Vm.fail("zero?: not a number");
+      },
+      1, 1);
+  Def("set-car!", primSetCar, 2, 2);
+  Def("set-cdr!", primSetCdr, 2, 2);
+  Def("list", primList, 0, -1);
+  Def("length", primLength, 1, 1);
+  Def("append", primAppend, 0, -1);
+  Def("reverse", primReverse, 1, 1);
+  Def("list-tail", primListTail, 2, 2);
+  Def("list-ref", primListRef, 2, 2);
+  Def("memq", primMemq, 2, 2);
+  Def("memv", primMemv, 2, 2);
+  Def("member", primMember, 2, 2);
+  Def("assq", primAssq, 2, 2);
+  Def("assv", primAssv, 2, 2);
+  Def("assoc", primAssoc, 2, 2);
+
+  // Vectors.
+  Def("make-vector", primMakeVector, 1, 2);
+  Def("vector", primVector, 0, -1);
+  Def("vector-length", primVectorLength, 1, 1);
+  Def("vector-ref", primVectorRef, 2, 2);
+  Def("vector-set!", primVectorSet, 3, 3);
+  Def("vector->list", primVectorToList, 1, 1);
+  Def("list->vector", primListToVector, 1, 1);
+  Def("vector-fill!", primVectorFill, 2, 2);
+
+  // Strings / chars / symbols.
+  Def("string-length", primStringLength, 1, 1);
+  Def("string-append", primStringAppend, 0, -1);
+  Def("substring", primSubstring, 3, 3);
+  Def("string=?", primStringEq, 2, -1);
+  Def("string<?", primStringLt, 2, 2);
+  Def("string-ref", primStringRef, 2, 2);
+  Def("string->symbol", primStringToSymbol, 1, 1);
+  Def("symbol->string", primSymbolToString, 1, 1);
+  Def("number->string", primNumberToString, 1, 1);
+  Def("string->number", primStringToNumber, 1, 1);
+  Def("char->integer", primCharToInteger, 1, 1);
+  Def("integer->char", primIntegerToChar, 1, 1);
+  Def("gensym", primGensym, 0, 0);
+  Def("string->list", primStringToList, 1, 1);
+  Def("list->string", primListToString, 1, 1);
+  Def("sort-numbers", primSortNumeric, 1, 1);
+
+  // Output.
+  Def("display", primDisplay, 1, 1);
+  Def("write", primWrite, 1, 1);
+  Def("newline", primNewline, 0, 0);
+
+  // Control / meta.
+  Def("error", primError, 1, -1);
+  Def("gc", primGc, 0, 0);
+  Def("continuation?", primContinuationP, 1, 1);
+  Def("%continuation-one-shot?", primContinuationOneShotP, 1, 1);
+  Def("%continuation-shot?", primContinuationShotP, 1, 1);
+  Def("current-time-ns", primCurrentTimeNs, 0, 0);
+  Def("%set-timer!", primSetTimer, 2, 2);
+  Def("%stop-timer!", primStopTimer, 0, 0);
+  Def("vm-stat", primVmStat, 1, 1);
+  Def("vm-resident-stack-words", primVmResidentStackWords, 0, 0);
+  Def("vm-live-segment-words", primVmLiveSegmentWords, 0, 0);
+  Def("vm-chain-length", primVmChainLength, 0, 0);
+  Def("vm-cache-size", primVmCacheSize, 0, 0);
+}

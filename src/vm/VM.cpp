@@ -1,0 +1,774 @@
+#include "vm/VM.h"
+
+#include "compiler/Bytecode.h"
+#include "core/FrameWalk.h"
+#include "object/ListUtil.h"
+#include "sexp/Printer.h"
+#include "support/Diag.h"
+
+#include <algorithm>
+#include <cstring>
+
+using namespace osc;
+
+VM::VM(Heap &H, Stats &S, const Config &Cfg)
+    : H(H), S(S), Cfg(Cfg), CS(H, S, this->Cfg) {
+  H.addRootProvider(this);
+
+  // The call-with-values resume stub: returning into (stub, pc=1) lands on
+  // CwvApply with the consumer in the stub frame's single slot.  Instrs[0]
+  // is the frame-size word for that return point: header + consumer = 3.
+  uint32_t StubInstrs[2] = {3, static_cast<uint32_t>(Op::CwvApply)};
+  Vector *NoConsts = H.allocVector(0);
+  Code *Stub = H.allocCode(Value::object(H.intern("call-with-values-stub")),
+                           Value::object(NoConsts), 0, false, /*MaxDepth=*/8,
+                           StubInstrs, 2);
+  CwvStub = Value::object(Stub);
+}
+
+VM::~VM() { H.removeRootProvider(this); }
+
+void VM::writeOutput(std::string_view Sv) {
+  if (Capturing) {
+    OutBuffer.append(Sv);
+    return;
+  }
+  std::fwrite(Sv.data(), 1, Sv.size(), stdout);
+}
+
+Value VM::fail(const std::string &Msg) {
+  if (!Failed) {
+    Failed = true;
+    ErrMsg = Msg;
+  }
+  return Value::unspecified();
+}
+
+void VM::defineGlobal(std::string_view Name, Value V) {
+  H.intern(Name)->Global = V;
+}
+
+void VM::defineNative(std::string_view Name, NativeFn Fn, uint16_t MinArgs,
+                      int16_t MaxArgs, NativeSpecial Special) {
+  Symbol *Sym = H.intern(Name);
+  Native *N =
+      H.allocNative(Value::object(Sym), Fn, MinArgs, MaxArgs, Special);
+  Sym->Global = Value::object(N);
+}
+
+void VM::traceRoots(GCVisitor &V) {
+  V.visit(Acc);
+  V.visit(CurCodeVal);
+  V.visit(CwvStub);
+  V.visit(FinalValue);
+  V.visit(TimerHandler);
+  V.visitRange(MultiVals.data(), MultiVals.size());
+}
+
+// --- Small helpers -----------------------------------------------------------
+
+namespace {
+
+bool isNumber(Value V) { return V.isFixnum() || isObj<Flonum>(V); }
+
+double asDouble(Value V) {
+  return V.isFixnum() ? static_cast<double>(V.asFixnum())
+                      : castObj<Flonum>(V)->D;
+}
+
+std::string arityMessage(Value Callee, uint32_t NArgs) {
+  return "wrong number of arguments (" + std::to_string(NArgs) + ") to " +
+         writeToString(Callee);
+}
+
+} // namespace
+
+std::vector<std::string> VM::captureBacktrace(unsigned MaxFrames) const {
+  std::vector<std::string> Out;
+  auto NameOf = [](Value CodeV) -> std::string {
+    auto *C = dynObj<Code>(CodeV);
+    if (!C)
+      return "<?>";
+    if (isObj<Symbol>(C->Name))
+      return std::string(castObj<Symbol>(C->Name)->name());
+    return "<anonymous>";
+  };
+  // Innermost frame: the code being executed right now.
+  if (Cur)
+    Out.push_back(NameOf(CurCodeVal));
+
+  // Walk callers via the frame-size words, hopping into the continuation
+  // chain at each segment base.  Errors can surface mid-surgery, so every
+  // step is defensively validated rather than asserted.
+  const Value *Sl = CS.slots();
+  uint32_t F = CS.Fp;
+  Value Link = CS.link();
+  while (Out.size() < MaxFrames) {
+    Value RetC = Sl[F + FrameRetCode];
+    if (RetC.isUnderflowMarker()) {
+      auto *K = dynObj<Continuation>(Link);
+      if (!K || K->isHalt() || K->isShot() || K->Size <= 0)
+        break;
+      auto *C = dynObj<Code>(K->RetCode);
+      if (!C || K->RetPc < 1 ||
+          static_cast<uint32_t>(K->RetPc) > C->NInstrs)
+        break;
+      Out.push_back(NameOf(K->RetCode));
+      uint32_t D = C->frameSizeAt(K->RetPc);
+      if (static_cast<int64_t>(D) > K->Size)
+        break;
+      Sl = K->slots();
+      F = static_cast<uint32_t>(K->Size) - D;
+      Link = K->Link;
+      continue;
+    }
+    auto *C = dynObj<Code>(RetC);
+    if (!C)
+      break;
+    Value RetPcV = Sl[F + FrameRetPc];
+    if (!RetPcV.isFixnum())
+      break;
+    int64_t RetPc = RetPcV.asFixnum();
+    if (RetPc < 1 || static_cast<uint32_t>(RetPc) > C->NInstrs)
+      break;
+    Out.push_back(NameOf(RetC));
+    uint32_t D = C->frameSizeAt(RetPc);
+    if (D > F)
+      break;
+    F -= D;
+  }
+  return Out;
+}
+
+uint32_t VM::calleeNeed(Value Callee, uint32_t NArgs) const {
+  uint32_t Base = FrameHeaderWords + NArgs;
+  if (auto *Cl = dynObj<Closure>(Callee))
+    return std::max(Cl->code()->MaxDepth, Base);
+  return Base;
+}
+
+void VM::setValues(const Value *Vals, uint32_t N) {
+  NumValues = N;
+  MultiVals.assign(Vals, Vals + N);
+  Acc = N >= 1 ? Vals[0] : Value::unspecified();
+}
+
+void VM::collectValues(std::vector<Value> &Out) const {
+  if (NumValues == 1) {
+    Out.assign(1, Acc);
+    return;
+  }
+  Out.assign(MultiVals.begin(), MultiVals.begin() + NumValues);
+}
+
+// --- Frame construction and procedure entry -------------------------------------
+
+uint32_t VM::buildFrame(Site St, const Value *Args, uint32_t NArgs,
+                        uint32_t Need) {
+  uint32_t NewFp;
+  if (St.Kind == SiteKind::NonTail) {
+    CallFramePlan Plan = CS.prepareCall(CurCodeVal, Pc, St.D, NArgs, Need);
+    Value *Sl = CS.slots();
+    NewFp = Plan.NewFp;
+    if (Plan.BaseFrame) {
+      Sl[NewFp + FrameRetCode] = Value::underflowMarker();
+      Sl[NewFp + FrameRetPc] = Value::fixnum(0);
+    } else {
+      Sl[NewFp + FrameRetCode] = CurCodeVal;
+      Sl[NewFp + FrameRetPc] = Value::fixnum(Pc);
+    }
+  } else {
+    // Tail: the existing header is kept (or was rewritten by relocation).
+    CallFramePlan Plan = CS.prepareTailCall(NArgs, Need);
+    NewFp = Plan.NewFp;
+  }
+  Value *Sl = CS.slots();
+  for (uint32_t I = 0; I != NArgs; ++I)
+    Sl[NewFp + FrameArgs + I] = Args[I];
+  CS.Fp = NewFp;
+  CS.Top = NewFp + FrameHeaderWords + NArgs;
+  return NewFp;
+}
+
+bool VM::enterClosure(Closure *Cl, uint32_t NArgs) {
+  Code *C = Cl->code();
+  uint32_t Req = C->NParams;
+  if (NArgs < Req || (!C->HasRest && NArgs > Req)) {
+    fail(arityMessage(Value::object(Cl), NArgs));
+    return false;
+  }
+  Value *Sl = CS.slots();
+  uint32_t Base = CS.Fp;
+  uint32_t NSlots = Req + (C->HasRest ? 1 : 0);
+  if (C->HasRest) {
+    Value Rest = Value::nil();
+    for (uint32_t I = NArgs; I-- > Req;)
+      Rest = cons(H, Sl[Base + FrameArgs + I], Rest);
+    Sl[Base + FrameArgs + Req] = Rest;
+  }
+  // Copy captured variables into their frame slots: frames are fully
+  // self-contained, so continuation capture and GC never need a closure
+  // register.
+  for (uint32_t I = 0; I != Cl->NFree; ++I)
+    Sl[Base + FrameArgs + NSlots + I] = Cl->Free[I];
+  CS.Top = Base + FrameHeaderWords + NSlots + Cl->NFree;
+  Cur = C;
+  CurCodeVal = Cl->CodeVal;
+  Pc = 1; // Pc 0 holds the entry frame-size word.
+  S.ProcedureCalls += 1;
+
+  if (TimerExpired) {
+    // Engine preemption at procedure entry: the frame is fully built and
+    // nothing has executed, so (code, pc=1) with the sealed stack is a
+    // complete representation of "run this procedure".  Tail loops are
+    // preempted here; non-tail code is also preempted at returns.
+    TimerExpired = false;
+    Fuel = -1;
+    Value Handler = TimerHandler;
+    TimerHandler = Value();
+    Value K = CS.captureOneShot(CS.Top, CurCodeVal, 1);
+    CS.beginBaseFrame(FrameHeaderWords + 2);
+    CS.plantBaseFrame();
+    enterCall(Handler, {K, Value::unspecified()}, Site{SiteKind::Tail, 0});
+  }
+  return true;
+}
+
+void VM::returnValues() {
+  Value *Sl = CS.slots();
+  Value RetC = Sl[CS.Fp + FrameRetCode];
+  if (RetC.isUnderflowMarker()) {
+    auto *K = castObj<Continuation>(CS.link());
+    if (K->isShot()) {
+      fail("one-shot continuation invoked a second time (via return)");
+      return;
+    }
+    ResumePoint RP = CS.underflow();
+    if (RP.Halted) {
+      Halted = true;
+      FinalValue = Acc;
+      return;
+    }
+    Cur = castObj<Code>(RP.Code);
+    CurCodeVal = RP.Code;
+    Pc = RP.Pc;
+    CS.growWindow(CS.Fp + Cur->MaxDepth);
+    return;
+  }
+  auto *C = castObj<Code>(RetC);
+  int64_t RetPc = Sl[CS.Fp + FrameRetPc].asFixnum();
+  uint32_t D = C->frameSizeAt(RetPc);
+  uint32_t OldFp = CS.Fp;
+  CS.Fp = OldFp - D;
+  CS.Top = OldFp;
+  Cur = C;
+  CurCodeVal = RetC;
+  Pc = RetPc;
+  CS.growWindow(CS.Fp + Cur->MaxDepth);
+}
+
+void VM::invokeContinuationWithValues(Continuation *K,
+                                      const std::vector<Value> &Vals) {
+  if (K->isHalt()) {
+    Halted = true;
+    FinalValue = Vals.empty() ? Value::unspecified() : Vals[0];
+    return;
+  }
+  if (K->isShot()) {
+    fail("one-shot continuation invoked a second time");
+    return;
+  }
+  ResumePoint RP = CS.invoke(K);
+  Cur = castObj<Code>(RP.Code);
+  CurCodeVal = RP.Code;
+  Pc = RP.Pc;
+  CS.growWindow(CS.Fp + Cur->MaxDepth);
+  setValues(Vals.data(), static_cast<uint32_t>(Vals.size()));
+}
+
+void VM::captureAndCall(bool OneShot, Value Receiver, Site St) {
+  uint32_t Boundary;
+  Value RetC;
+  int64_t RetP;
+  if (St.Kind == SiteKind::NonTail) {
+    Boundary = CS.Fp + St.D;
+    RetC = CurCodeVal;
+    RetP = Pc;
+  } else {
+    // Tail: the current frame is dead; its return address is the capture
+    // point.  At a segment base this degenerates to the empty-segment case.
+    Boundary = CS.Fp;
+    Value *Sl = CS.slots();
+    RetC = Sl[CS.Fp + FrameRetCode];
+    RetP = Sl[CS.Fp + FrameRetPc].isFixnum()
+               ? Sl[CS.Fp + FrameRetPc].asFixnum()
+               : 0;
+  }
+  Value K = OneShot ? CS.captureOneShot(Boundary, RetC, RetP)
+                    : CS.captureMultiShot(Boundary, RetC, RetP);
+  // Call the receiver on a fresh base frame: returning from it underflows
+  // into the captured continuation — the implicit invocation of Fig. 2.
+  CS.beginBaseFrame(FrameHeaderWords + 1);
+  CS.plantBaseFrame();
+  enterCall(Receiver, {K}, Site{SiteKind::Tail, 0});
+}
+
+void VM::doCallWithValues(Value Producer, Value Consumer, Site St) {
+  uint32_t ProdNeed = calleeNeed(Producer, 0);
+  uint32_t StubWords = FrameHeaderWords + 1; // header + consumer
+  uint32_t Need = StubWords + FrameHeaderWords + ProdNeed;
+  Value StubArgs[1] = {Consumer};
+  uint32_t StubFp = buildFrame(St, StubArgs, 1, Need);
+
+  // Producer frame above the stub; its return resumes the stub at pc=1.
+  Value *Sl = CS.slots();
+  uint32_t PFp = StubFp + StubWords;
+  Sl[PFp + FrameRetCode] = CwvStub;
+  Sl[PFp + FrameRetPc] = Value::fixnum(1);
+  CS.Fp = PFp;
+  CS.Top = PFp + FrameHeaderWords;
+
+  if (auto *Cl = dynObj<Closure>(Producer)) {
+    enterClosure(Cl, 0);
+    return;
+  }
+  if (auto *Nat = dynObj<Native>(Producer);
+      Nat && Nat->Special == NativeSpecial::None) {
+    if (Nat->MinArgs > 0) {
+      fail(arityMessage(Producer, 0));
+      return;
+    }
+    Acc = Nat->Fn(*this, nullptr, 0);
+    NumValues = 1;
+    if (!Failed)
+      returnValues();
+    return;
+  }
+  if (auto *K = dynObj<Continuation>(Producer)) {
+    invokeContinuationWithValues(K, {});
+    return;
+  }
+  // Special natives as producers (e.g. (call-with-values values list)):
+  // route through the general path with the producer frame as Tail site.
+  enterCall(Producer, {}, Site{SiteKind::Tail, 0});
+}
+
+void VM::enterCall(Value Callee, std::vector<Value> Args, Site St) {
+  for (;;) {
+    if (Failed || Halted)
+      return;
+    uint32_t N = static_cast<uint32_t>(Args.size());
+
+    if (auto *K = dynObj<Continuation>(Callee)) {
+      invokeContinuationWithValues(K, Args);
+      return;
+    }
+
+    if (auto *Nat = dynObj<Native>(Callee)) {
+      if (N < Nat->MinArgs ||
+          (Nat->MaxArgs >= 0 && N > static_cast<uint32_t>(Nat->MaxArgs))) {
+        fail(arityMessage(Callee, N));
+        return;
+      }
+      switch (Nat->Special) {
+      case NativeSpecial::None:
+        Acc = Nat->Fn(*this, Args.data(), N);
+        NumValues = 1;
+        if (Failed)
+          return;
+        if (St.Kind == SiteKind::NonTail) {
+          CS.Top = CS.Fp + St.D;
+          return;
+        }
+        returnValues();
+        return;
+      case NativeSpecial::Apply: {
+        // (apply f a b ... rest-list)
+        Value F = Args[0];
+        std::vector<Value> Flat(Args.begin() + 1, Args.end() - 1);
+        Value L = Args.back();
+        if (!listToVector(L, Flat)) {
+          fail("apply: last argument is not a proper list");
+          return;
+        }
+        Callee = F;
+        Args = std::move(Flat);
+        continue;
+      }
+      case NativeSpecial::Values:
+        setValues(Args.data(), N);
+        if (St.Kind == SiteKind::NonTail) {
+          CS.Top = CS.Fp + St.D;
+          return;
+        }
+        returnValues();
+        return;
+      case NativeSpecial::CallCC:
+        captureAndCall(/*OneShot=*/false, Args[0], St);
+        return;
+      case NativeSpecial::Call1CC:
+        captureAndCall(/*OneShot=*/true, Args[0], St);
+        return;
+      case NativeSpecial::CallWithValues:
+        doCallWithValues(Args[0], Args[1], St);
+        return;
+      }
+      oscUnreachable("bad NativeSpecial");
+    }
+
+    if (auto *Cl = dynObj<Closure>(Callee)) {
+      buildFrame(St, Args.data(), N, calleeNeed(Callee, N));
+      enterClosure(Cl, N);
+      return;
+    }
+
+    fail("attempt to apply non-procedure " + writeToString(Callee));
+    return;
+  }
+}
+
+// --- The interpreter loop ---------------------------------------------------------
+
+VM::RunResult VM::run(Code *Toplevel) {
+  Failed = false;
+  Halted = false;
+  ErrMsg.clear();
+  FinalValue = Value::unspecified();
+  Acc = Value::unspecified();
+  NumValues = 1;
+  Fuel = -1;
+  TimerExpired = false;
+  TimerHandler = Value();
+
+  CS.reset();
+  CS.beginBaseFrame(std::max(Toplevel->MaxDepth, 2u));
+  CS.plantBaseFrame();
+  Cur = Toplevel;
+  CurCodeVal = Value::object(Toplevel);
+  Pc = 1; // Pc 0 holds the entry frame-size word.
+
+  while (!Failed && !Halted) {
+    Value *Sl = CS.slots();
+    const Vector *Ko = castObj<Vector>(Cur->Consts);
+    assert(Pc >= 0 && static_cast<uint32_t>(Pc) < Cur->NInstrs &&
+           "pc out of range");
+    Op O = static_cast<Op>(Cur->Instrs[Pc++]);
+    S.Instructions += 1;
+
+    switch (O) {
+    case Op::Const:
+      Acc = Ko->Elems[Cur->Instrs[Pc++]];
+      break;
+    case Op::GetLocal:
+      Acc = Sl[CS.Fp + Cur->Instrs[Pc++]];
+      break;
+    case Op::GetLocalCell:
+      Acc = castObj<Cell>(Sl[CS.Fp + Cur->Instrs[Pc++]])->Val;
+      break;
+    case Op::SetLocalCell:
+      castObj<Cell>(Sl[CS.Fp + Cur->Instrs[Pc++]])->Val = Acc;
+      break;
+    case Op::GetGlobal: {
+      auto *Sym = castObj<Symbol>(Ko->Elems[Cur->Instrs[Pc++]]);
+      if (Sym->Global.isUndefined()) {
+        fail("unbound variable: " + std::string(Sym->name()));
+        break;
+      }
+      Acc = Sym->Global;
+      break;
+    }
+    case Op::SetGlobal: {
+      auto *Sym = castObj<Symbol>(Ko->Elems[Cur->Instrs[Pc++]]);
+      if (Sym->Global.isUndefined()) {
+        fail("set! of unbound variable: " + std::string(Sym->name()));
+        break;
+      }
+      Sym->Global = Acc;
+      break;
+    }
+    case Op::DefGlobal:
+      castObj<Symbol>(Ko->Elems[Cur->Instrs[Pc++]])->Global = Acc;
+      break;
+    case Op::Push:
+      assert(CS.Top < CS.capacity() && "push past window capacity");
+      Sl[CS.Top++] = Acc;
+      break;
+    case Op::MakeCell: {
+      uint32_t Off = Cur->Instrs[Pc++];
+      Sl[CS.Fp + Off] = Value::object(H.allocCell(Sl[CS.Fp + Off]));
+      break;
+    }
+    case Op::MakeClosure: {
+      Value CodeV = Ko->Elems[Cur->Instrs[Pc++]];
+      uint32_t NFree = Cur->Instrs[Pc++];
+      Closure *Cl = H.allocClosure(CodeV, NFree);
+      for (uint32_t I = 0; I != NFree; ++I)
+        Cl->Free[I] = Sl[CS.Top - NFree + I];
+      CS.Top -= NFree;
+      Acc = Value::object(Cl);
+      break;
+    }
+    case Op::Jump:
+      Pc = Cur->Instrs[Pc];
+      break;
+    case Op::JumpIfFalse: {
+      uint32_t Target = Cur->Instrs[Pc++];
+      if (Acc.isFalse())
+        Pc = Target;
+      break;
+    }
+    case Op::SetTop:
+      CS.Top = CS.Fp + Cur->Instrs[Pc++];
+      break;
+    case Op::Frame:
+      CS.Top += FrameHeaderWords;
+      break;
+
+    case Op::Call: {
+      uint32_t N = Cur->Instrs[Pc++];
+      uint32_t D = Cur->Instrs[Pc++];
+      if (Fuel > 0 && --Fuel == 0)
+        TimerExpired = true; // Serviced at the next Return.
+      if (H.needsGC())
+        H.collect();
+      Value Callee = Acc;
+      if (auto *Cl = dynObj<Closure>(Callee)) {
+        uint32_t Need = calleeNeed(Callee, N);
+        CallFramePlan Plan = CS.prepareCall(CurCodeVal, Pc, D, N, Need);
+        Value *Sl2 = CS.slots();
+        if (Plan.BaseFrame) {
+          Sl2[Plan.NewFp + FrameRetCode] = Value::underflowMarker();
+          Sl2[Plan.NewFp + FrameRetPc] = Value::fixnum(0);
+        } else {
+          Sl2[Plan.NewFp + FrameRetCode] = CurCodeVal;
+          Sl2[Plan.NewFp + FrameRetPc] = Value::fixnum(Pc);
+        }
+        CS.Fp = Plan.NewFp;
+        CS.Top = Plan.NewFp + FrameHeaderWords + N;
+        enterClosure(Cl, N);
+        break;
+      }
+      if (auto *Nat = dynObj<Native>(Callee);
+          Nat && Nat->Special == NativeSpecial::None) {
+        if (N < Nat->MinArgs ||
+            (Nat->MaxArgs >= 0 && N > static_cast<uint32_t>(Nat->MaxArgs))) {
+          fail(arityMessage(Callee, N));
+          break;
+        }
+        S.ProcedureCalls += 1;
+        Acc = Nat->Fn(*this, Sl + CS.Fp + D + FrameHeaderWords, N);
+        NumValues = 1;
+        CS.Top = CS.Fp + D;
+        break;
+      }
+      std::vector<Value> Args(Sl + CS.Fp + D + FrameHeaderWords,
+                              Sl + CS.Fp + D + FrameHeaderWords + N);
+      enterCall(Callee, std::move(Args), Site{SiteKind::NonTail, D});
+      break;
+    }
+
+    case Op::TailCall: {
+      uint32_t N = Cur->Instrs[Pc++];
+      if (Fuel > 0 && --Fuel == 0)
+        TimerExpired = true;
+      if (H.needsGC())
+        H.collect();
+      Sl = CS.slots();
+      std::memmove(Sl + CS.Fp + FrameHeaderWords, Sl + CS.Top - N,
+                   N * sizeof(Value));
+      CS.Top = CS.Fp + FrameHeaderWords + N;
+      Value Callee = Acc;
+      if (auto *Cl = dynObj<Closure>(Callee)) {
+        uint32_t Need = calleeNeed(Callee, N);
+        CallFramePlan Plan = CS.prepareTailCall(N, Need);
+        CS.Fp = Plan.NewFp;
+        CS.Top = Plan.NewFp + FrameHeaderWords + N;
+        enterClosure(Cl, N);
+        break;
+      }
+      if (auto *Nat = dynObj<Native>(Callee);
+          Nat && Nat->Special == NativeSpecial::None) {
+        if (N < Nat->MinArgs ||
+            (Nat->MaxArgs >= 0 && N > static_cast<uint32_t>(Nat->MaxArgs))) {
+          fail(arityMessage(Callee, N));
+          break;
+        }
+        S.ProcedureCalls += 1;
+        Acc = Nat->Fn(*this, CS.slots() + CS.Fp + FrameHeaderWords, N);
+        NumValues = 1;
+        if (!Failed)
+          returnValues();
+        break;
+      }
+      std::vector<Value> Args(Sl + CS.Fp + FrameHeaderWords,
+                              Sl + CS.Fp + FrameHeaderWords + N);
+      enterCall(Callee, std::move(Args), Site{SiteKind::Tail, 0});
+      break;
+    }
+
+    case Op::Return:
+      NumValues = 1;
+      if (TimerExpired) {
+        // Engine preemption: capture the rest of the computation — "return
+        // Acc from this frame onward" — as a one-shot continuation and
+        // hand it to the timer handler along with the value.  Invoking
+        // (k v) later resumes the preempted computation.
+        TimerExpired = false;
+        Fuel = -1;
+        Value Handler = TimerHandler;
+        TimerHandler = Value();
+        Value V = Acc;
+        Value RetC = Sl[CS.Fp + FrameRetCode];
+        int64_t RetP = Sl[CS.Fp + FrameRetPc].isFixnum()
+                           ? Sl[CS.Fp + FrameRetPc].asFixnum()
+                           : 0;
+        Value K = CS.captureOneShot(CS.Fp, RetC, RetP);
+        CS.beginBaseFrame(FrameHeaderWords + 2);
+        CS.plantBaseFrame();
+        enterCall(Handler, {K, V}, Site{SiteKind::Tail, 0});
+        break;
+      }
+      returnValues();
+      break;
+
+    case Op::CwvApply: {
+      Value Consumer = Sl[CS.Fp + FrameArgs];
+      std::vector<Value> Vals;
+      collectValues(Vals);
+      enterCall(Consumer, std::move(Vals), Site{SiteKind::Tail, 0});
+      break;
+    }
+
+    // --- Open-coded primitives ------------------------------------------
+
+    case Op::Add:
+    case Op::Sub:
+    case Op::Mul:
+    case Op::NumLt:
+    case Op::NumLe:
+    case Op::NumGt:
+    case Op::NumGe:
+    case Op::NumEq: {
+      Value L = Sl[CS.Top - 1];
+      --CS.Top;
+      Value R = Acc;
+      if (L.isFixnum() && R.isFixnum()) {
+        int64_t A = L.asFixnum(), B = R.asFixnum();
+        switch (O) {
+        case Op::Add:
+          Acc = Value::fixnum(A + B);
+          break;
+        case Op::Sub:
+          Acc = Value::fixnum(A - B);
+          break;
+        case Op::Mul:
+          Acc = Value::fixnum(A * B);
+          break;
+        case Op::NumLt:
+          Acc = Value::boolean(A < B);
+          break;
+        case Op::NumLe:
+          Acc = Value::boolean(A <= B);
+          break;
+        case Op::NumGt:
+          Acc = Value::boolean(A > B);
+          break;
+        case Op::NumGe:
+          Acc = Value::boolean(A >= B);
+          break;
+        default:
+          Acc = Value::boolean(A == B);
+          break;
+        }
+        break;
+      }
+      if (!isNumber(L) || !isNumber(R)) {
+        fail(std::string(opName(O)) + ": not a number: " +
+             writeToString(isNumber(L) ? R : L));
+        break;
+      }
+      double A = asDouble(L), B = asDouble(R);
+      switch (O) {
+      case Op::Add:
+        Acc = Value::object(H.allocFlonum(A + B));
+        break;
+      case Op::Sub:
+        Acc = Value::object(H.allocFlonum(A - B));
+        break;
+      case Op::Mul:
+        Acc = Value::object(H.allocFlonum(A * B));
+        break;
+      case Op::NumLt:
+        Acc = Value::boolean(A < B);
+        break;
+      case Op::NumLe:
+        Acc = Value::boolean(A <= B);
+        break;
+      case Op::NumGt:
+        Acc = Value::boolean(A > B);
+        break;
+      case Op::NumGe:
+        Acc = Value::boolean(A >= B);
+        break;
+      default:
+        Acc = Value::boolean(A == B);
+        break;
+      }
+      break;
+    }
+
+    case Op::Cons: {
+      Value L = Sl[CS.Top - 1];
+      --CS.Top;
+      Acc = cons(H, L, Acc);
+      break;
+    }
+    case Op::IsEq: {
+      Value L = Sl[CS.Top - 1];
+      --CS.Top;
+      Acc = Value::boolean(L.identical(Acc));
+      break;
+    }
+    case Op::Car:
+      if (auto *P = dynObj<Pair>(Acc))
+        Acc = P->Car;
+      else
+        fail("car: not a pair: " + writeToString(Acc));
+      break;
+    case Op::Cdr:
+      if (auto *P = dynObj<Pair>(Acc))
+        Acc = P->Cdr;
+      else
+        fail("cdr: not a pair: " + writeToString(Acc));
+      break;
+    case Op::IsNull:
+      Acc = Value::boolean(Acc.isNil());
+      break;
+    case Op::IsPair:
+      Acc = Value::boolean(isObj<Pair>(Acc));
+      break;
+    case Op::Not:
+      Acc = Value::boolean(Acc.isFalse());
+      break;
+    case Op::IsZero:
+      if (Acc.isFixnum())
+        Acc = Value::boolean(Acc.asFixnum() == 0);
+      else if (auto *F = dynObj<Flonum>(Acc))
+        Acc = Value::boolean(F->D == 0.0);
+      else
+        fail("zero?: not a number: " + writeToString(Acc));
+      break;
+    }
+  }
+
+  RunResult R;
+  if (Failed) {
+    R.Ok = false;
+    R.Error = ErrMsg;
+    R.Backtrace = captureBacktrace();
+    return R;
+  }
+  R.Ok = true;
+  R.Val = FinalValue;
+  return R;
+}

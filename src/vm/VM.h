@@ -1,0 +1,183 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The bytecode interpreter over the segmented control stack.
+///
+/// The VM executes frames on a ControlStack window exactly per the paper's
+/// model: a frame-pointer register, no stack pointer beyond the watermark,
+/// frame-size words read from the code stream, underflow markers at segment
+/// bases.  call/cc, call/1cc, call-with-values, values and apply are
+/// control-manipulating operations handled in the dispatch loop; everything
+/// else is an ordinary native.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OSC_VM_VM_H
+#define OSC_VM_VM_H
+
+#include "core/Config.h"
+#include "core/ControlStack.h"
+#include "object/Heap.h"
+#include "object/Objects.h"
+#include "support/Stats.h"
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace osc {
+
+class VM : public RootProvider {
+public:
+  VM(Heap &H, Stats &S, const Config &Cfg);
+  ~VM() override;
+  VM(const VM &) = delete;
+  VM &operator=(const VM &) = delete;
+
+  struct RunResult {
+    bool Ok = false;
+    Value Val;
+    std::string Error;
+    /// On error: innermost-first procedure names, reconstructed by walking
+    /// the frames of the current window and the continuation chain using
+    /// the frame-size words (§3.1 — the same mechanism exception handlers
+    /// and debuggers use in the paper's system).
+    std::vector<std::string> Backtrace;
+  };
+
+  /// Runs a compiled zero-argument top-level code object to completion
+  /// (the halt continuation) or error.
+  RunResult run(Code *Toplevel);
+
+  // --- Services for natives -------------------------------------------------
+
+  Heap &heap() { return H; }
+  Stats &stats() { return S; }
+  ControlStack &control() { return CS; }
+  const Config &config() const { return Cfg; }
+
+  /// Records a runtime error; the interpreter loop aborts at the next
+  /// check.  Returns unspecified so natives can `return Vm.fail(...)`.
+  Value fail(const std::string &Msg);
+  bool failed() const { return Failed; }
+
+  /// Writes \p S to the program's output: the capture buffer when capture
+  /// is enabled, stdout otherwise.  Used by display/write/newline.
+  void writeOutput(std::string_view S);
+  /// Redirects display/write/newline into an internal buffer.
+  void captureOutput(bool Enable) {
+    Capturing = Enable;
+    if (!Enable)
+      OutBuffer.clear();
+  }
+  /// Returns and clears the captured output.
+  std::string takeOutput() {
+    std::string S = std::move(OutBuffer);
+    OutBuffer.clear();
+    return S;
+  }
+
+  // --- Engine timer (extension; engines are the thread substrate the
+  // paper cites [9,15]) ------------------------------------------------------
+  //
+  // The timer decrements once per procedure call.  When it reaches zero
+  // the VM, at the next Return, captures the rest of the computation as a
+  // one-shot continuation and calls the handler with (k v): invoking
+  // (k v) resumes the preempted computation returning v.
+
+  /// Arms the timer: \p Ticks procedure calls, then \p Handler fires.
+  void setTimer(int64_t Ticks, Value Handler) {
+    Fuel = Ticks;
+    TimerHandler = Handler;
+  }
+  /// Disarms the timer; returns the unconsumed ticks.
+  int64_t stopTimer() {
+    int64_t Left = Fuel > 0 ? Fuel : 0;
+    Fuel = -1;
+    TimerExpired = false;
+    return Left;
+  }
+  int64_t remainingFuel() const { return Fuel; }
+
+  /// Binds \p Name's global to \p V.
+  void defineGlobal(std::string_view Name, Value V);
+  /// Registers a native procedure under \p Name.
+  void defineNative(std::string_view Name, NativeFn Fn, uint16_t MinArgs,
+                    int16_t MaxArgs,
+                    NativeSpecial Special = NativeSpecial::None);
+
+  // RootProvider:
+  void traceRoots(GCVisitor &V) override;
+
+private:
+  /// How a procedure is being entered.  Continuation receivers are entered
+  /// by first planting a fresh base frame and then using Tail (reusing it).
+  enum class SiteKind : uint8_t {
+    NonTail, ///< From Call; D identifies the caller frame extent.
+    Tail,    ///< From TailCall; the current frame is reused.
+  };
+  struct Site {
+    SiteKind Kind;
+    uint32_t D = 0;
+  };
+
+  bool enterClosure(Closure *Cl, uint32_t NArgs);
+  /// Builds a frame for \p Site and enters \p Callee with \p Args.  The
+  /// general path used for special natives, apply spreading, continuation
+  /// receivers and cwv; the hot paths in the loop bypass it.
+  void enterCall(Value Callee, std::vector<Value> Args, Site S);
+  void invokeContinuationWithValues(Continuation *K,
+                                    const std::vector<Value> &Vals);
+  /// Returns the current values to the current frame's return address;
+  /// handles underflow.  Sets Halted/FinalValue at the halt continuation.
+  void returnValues();
+  void captureAndCall(bool OneShot, Value Receiver, Site S);
+  void doCallWithValues(Value Producer, Value Consumer, Site S);
+  uint32_t calleeNeed(Value Callee, uint32_t NArgs) const;
+  /// Walks the logical stack innermost-first: current window frames, then
+  /// each continuation in the chain, bounded by \p MaxFrames.
+  std::vector<std::string> captureBacktrace(unsigned MaxFrames = 32) const;
+  uint32_t buildFrame(Site S, const Value *Args, uint32_t NArgs,
+                      uint32_t Need);
+  void setValues(const Value *Vals, uint32_t N);
+  void collectValues(std::vector<Value> &Out) const;
+
+  Heap &H;
+  Stats &S;
+  Config Cfg;
+  ControlStack CS;
+
+  // Registers.
+  Value Acc;
+  Value CurCodeVal;
+  Code *Cur = nullptr;
+  int64_t Pc = 0;
+  uint32_t NumValues = 1;
+  std::vector<Value> MultiVals;
+
+  bool Failed = false;
+  std::string ErrMsg;
+  bool Halted = false;
+  Value FinalValue;
+
+  // Engine timer state.
+  int64_t Fuel = -1;        ///< Ticks left; -1 when disarmed.
+  bool TimerExpired = false; ///< Set at 0; serviced at the next Return.
+  Value TimerHandler;
+
+  bool Capturing = false;
+  std::string OutBuffer;
+
+  Value CwvStub; ///< Code object whose pc=1 is the cwv resume point.
+};
+
+/// Installs the standard primitive library into \p Vm (Primitives.cpp).
+void installPrimitives(VM &Vm);
+
+/// Source text of the Scheme prelude (Prelude.cpp): list utilities,
+/// dynamic-wind, the call/cc and call/1cc wrappers, derived procedures.
+const char *preludeSource();
+
+} // namespace osc
+
+#endif // OSC_VM_VM_H

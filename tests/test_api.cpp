@@ -1,0 +1,174 @@
+// Embedding-API tests: Interp construction, native registration, error
+// propagation, output capture, GC rooting from the host, multiple
+// instances, and the stats surface a host application relies on.
+
+#include "vm/Interp.h"
+
+#include <gtest/gtest.h>
+
+using namespace osc;
+
+TEST(Api, EvalValueAndError) {
+  Interp I;
+  Interp::Result R = I.eval("(+ 1 2)");
+  ASSERT_TRUE(R.Ok);
+  EXPECT_TRUE(R.Val.isFixnum());
+  EXPECT_EQ(R.Val.asFixnum(), 3);
+
+  R = I.eval("(car 'nope)");
+  EXPECT_FALSE(R.Ok);
+  EXPECT_NE(R.Error.find("car"), std::string::npos);
+
+  R = I.eval("(1 2");
+  EXPECT_FALSE(R.Ok);
+  EXPECT_NE(R.Error.find("read error"), std::string::npos);
+
+  R = I.eval("(if)");
+  EXPECT_FALSE(R.Ok);
+  EXPECT_NE(R.Error.find("syntax error"), std::string::npos);
+}
+
+TEST(Api, EmptySourceIsOk) {
+  Interp I;
+  Interp::Result R = I.eval("  ; nothing here\n");
+  ASSERT_TRUE(R.Ok);
+  EXPECT_TRUE(R.Val.isImm(ImmKind::Unspecified));
+}
+
+TEST(Api, StatePersistsAcrossEvals) {
+  Interp I;
+  ASSERT_TRUE(I.eval("(define counter 0)").Ok);
+  ASSERT_TRUE(I.eval("(set! counter (+ counter 1))").Ok);
+  ASSERT_TRUE(I.eval("(set! counter (+ counter 1))").Ok);
+  EXPECT_EQ(I.evalToString("counter"), "2");
+}
+
+TEST(Api, ErrorsDoNotPoisonTheInterp) {
+  Interp I;
+  EXPECT_FALSE(I.eval("(vector-ref (vector) 0)").Ok);
+  EXPECT_EQ(I.evalToString("(* 6 7)"), "42");
+  EXPECT_FALSE(I.eval("(undefined)").Ok);
+  EXPECT_EQ(I.evalToString("(call/1cc (lambda (k) (k 'fine)))"), "fine");
+}
+
+TEST(Api, DefineNativeWithArityChecking) {
+  Interp I;
+  I.defineNative(
+      "clamp",
+      [](VM &Vm, Value *A, uint32_t) -> Value {
+        for (int J = 0; J != 3; ++J)
+          if (!A[J].isFixnum())
+            return Vm.fail("clamp: expects fixnums");
+        int64_t Lo = A[0].asFixnum(), X = A[1].asFixnum(),
+                Hi = A[2].asFixnum();
+        return Value::fixnum(X < Lo ? Lo : (X > Hi ? Hi : X));
+      },
+      3, 3);
+  EXPECT_EQ(I.evalToString("(clamp 0 99 10)"), "10");
+  EXPECT_EQ(I.evalToString("(clamp 0 -5 10)"), "0");
+  EXPECT_EQ(I.evalToString("(clamp 1 2)"),
+            "error: wrong number of arguments (2) to #<native clamp>");
+  EXPECT_EQ(I.evalToString("(clamp 'a 'b 'c)"), "error: clamp: expects fixnums");
+  // Natives are first-class: usable with map/apply.
+  EXPECT_EQ(I.evalToString("(map (lambda (x) (clamp 0 x 5)) '(-2 3 9))"),
+            "(0 3 5)");
+}
+
+TEST(Api, DefineGlobalValues) {
+  Interp I;
+  I.defineGlobal("host-limit", Value::fixnum(256));
+  EXPECT_EQ(I.evalToString("(* host-limit 2)"), "512");
+}
+
+TEST(Api, OutputCapture) {
+  Interp I;
+  I.captureOutput(true);
+  ASSERT_TRUE(I.eval("(display \"hi \") (display '(1 2)) (newline)"
+                     "(write \"quoted\")")
+                  .Ok);
+  EXPECT_EQ(I.takeOutput(), "hi (1 2)\n\"quoted\"");
+  // The buffer was drained.
+  EXPECT_EQ(I.takeOutput(), "");
+  ASSERT_TRUE(I.eval("(display 'again)").Ok);
+  EXPECT_EQ(I.takeOutput(), "again");
+}
+
+TEST(Api, HostHeldValuesSurviveGC) {
+  Interp I;
+  Interp::Result R = I.eval("(list 1 2 3)");
+  ASSERT_TRUE(R.Ok);
+  GCRoot Keep(I.heap(), R.Val);
+  // Churn the heap hard.
+  ASSERT_TRUE(I.eval("(define (burn n acc)"
+                     "  (if (zero? n) acc (burn (- n 1) (cons n acc))))"
+                     "(length (burn 100000 '()))")
+                  .Ok);
+  I.collect();
+  EXPECT_EQ(I.valueToString(Keep.get()), "(1 2 3)");
+}
+
+TEST(Api, LastEvalValueStaysRooted) {
+  Interp I;
+  Interp::Result R = I.eval("(vector 'a 'b)");
+  ASSERT_TRUE(R.Ok);
+  I.collect();
+  I.collect();
+  EXPECT_EQ(I.valueToString(R.Val), "#(a b)");
+}
+
+TEST(Api, MultipleIndependentInterps) {
+  Interp A, B;
+  ASSERT_TRUE(A.eval("(define x 'from-a)").Ok);
+  ASSERT_TRUE(B.eval("(define x 'from-b)").Ok);
+  EXPECT_EQ(A.evalToString("x"), "from-a");
+  EXPECT_EQ(B.evalToString("x"), "from-b");
+  // Heaps are disjoint: stats do not bleed.
+  uint64_t BytesA = A.stats().BytesAllocated;
+  ASSERT_TRUE(B.eval("(make-vector 10000)").Ok);
+  EXPECT_EQ(A.stats().BytesAllocated, BytesA);
+}
+
+TEST(Api, ValueToStringForms) {
+  Interp I;
+  Interp::Result R = I.eval("(list \"s\" #\\x 'sym)");
+  ASSERT_TRUE(R.Ok);
+  EXPECT_EQ(I.valueToString(R.Val, /*Write=*/true), "(\"s\" #\\x sym)");
+  EXPECT_EQ(I.valueToString(R.Val, /*Write=*/false), "(s x sym)");
+}
+
+TEST(Api, ConfigIsHonored) {
+  Config C;
+  C.SegmentWords = 777;
+  C.SegmentCacheEnabled = false;
+  Interp I(C);
+  EXPECT_EQ(I.config().SegmentWords, 777u);
+  ASSERT_TRUE(
+      I.eval("(car (list (call/1cc (lambda (k) (k 'v)))))").Ok);
+  EXPECT_EQ(I.stats().SegmentCacheHits, 0u);
+  EXPECT_EQ(I.control().cacheSize(), 0u);
+}
+
+TEST(Api, StatsSurface) {
+  Interp I;
+  ASSERT_TRUE(I.eval("(define (f n) (if (zero? n) 0 (f (- n 1)))) (f 100)")
+                  .Ok);
+  const Stats &S = I.stats();
+  EXPECT_GT(S.Instructions, 100u);
+  EXPECT_GT(S.ProcedureCalls, 100u);
+  EXPECT_GT(S.BytesAllocated, 1000u);
+  std::string Dump = S.toString();
+  EXPECT_NE(Dump.find("ProcedureCalls"), std::string::npos);
+  EXPECT_NE(Dump.find("WordsCopied"), std::string::npos);
+}
+
+TEST(Api, SchemeLevelStatsMatchHostStats) {
+  Interp I;
+  ASSERT_TRUE(I.eval("(define before (vm-stat 'procedure-calls))"
+                     "(define (f n) (if (zero? n) 0 (f (- n 1))))"
+                     "(f 1000)")
+                  .Ok);
+  Interp::Result R =
+      I.eval("(- (vm-stat 'procedure-calls) before)");
+  ASSERT_TRUE(R.Ok);
+  EXPECT_GE(R.Val.asFixnum(), 1000);
+}

@@ -1,0 +1,252 @@
+// Compiler unit tests: expander output, bytecode shape, the frame-size
+// words at return points (§3.1 — the control representation depends on
+// them), tail-call emission, MaxDepth and closure capture sets.
+
+#include "compiler/Bytecode.h"
+#include "compiler/CodeGen.h"
+#include "compiler/Expander.h"
+#include "core/FrameWalk.h"
+#include "object/Heap.h"
+#include "sexp/Printer.h"
+#include "sexp/Reader.h"
+#include "support/Stats.h"
+
+#include <gtest/gtest.h>
+
+using namespace osc;
+
+namespace {
+
+class CompilerTest : public ::testing::Test {
+protected:
+  CompilerTest() : H(S) {}
+
+  std::string expand(const std::string &Src) {
+    ReadResult R = readDatum(H, Src);
+    if (!R.Ok)
+      return "read error";
+    Expander Ex(H);
+    Value Out;
+    std::string Err;
+    if (!Ex.expandToplevel(R.Datum, Out, Err))
+      return Err;
+    return writeToString(Out);
+  }
+
+  Code *compile(const std::string &Src, std::string &Err) {
+    // Wrap every datum in one (begin ...) unit, as Interp::eval does.
+    Reader Rd(H, Src);
+    std::vector<Value> Forms;
+    if (!Rd.readAll(Forms, Err))
+      return nullptr;
+    Value Unit = Value::nil();
+    for (auto It = Forms.rbegin(); It != Forms.rend(); ++It)
+      Unit = Value::object(H.allocPair(*It, Unit));
+    Unit = Value::object(H.allocPair(Value::object(H.intern("begin")), Unit));
+    Expander Ex(H);
+    Value Expanded;
+    if (!Ex.expandToplevel(Unit, Expanded, Err))
+      return nullptr;
+    CodeGen Gen(H);
+    return Gen.compileToplevel(Expanded, Err);
+  }
+
+  /// Disassembles \p C and, recursively, every code object it references.
+  std::string disasmTree(const Code *C) {
+    std::string Out = disassemble(C);
+    const Vector *Consts = castObj<Vector>(C->Consts);
+    for (uint32_t I = 0; I != Consts->Len; ++I)
+      if (isObj<Code>(Consts->get(I)))
+        Out += disasmTree(castObj<Code>(Consts->get(I)));
+    return Out;
+  }
+
+  std::string disasm(const std::string &Src) {
+    std::string Err;
+    Code *C = compile(Src, Err);
+    return C ? disasmTree(C) : "error: " + Err;
+  }
+
+  Stats S;
+  Heap H;
+};
+
+} // namespace
+
+TEST_F(CompilerTest, ExpandDerivedForms) {
+  EXPECT_EQ(expand("(when a b c)"),
+            "(if a (begin b c) (quote #<unspecified>))");
+  EXPECT_EQ(expand("(and)"), "(quote #t)");
+  EXPECT_EQ(expand("(and x)"), "x");
+  EXPECT_EQ(expand("(or)"), "(quote #f)");
+  EXPECT_EQ(expand("(let* ((a 1)) a)"), "(let ((a 1)) a)");
+  // let* nests.
+  EXPECT_EQ(expand("(let* ((a 1) (b a)) b)"),
+            "(let ((a 1)) (let ((b a)) b))");
+}
+
+TEST_F(CompilerTest, ExpandLetrecToBoxes) {
+  std::string Out = expand("(letrec ((f (lambda () (f)))) (f))");
+  // letrec becomes let of undefined + set!.
+  EXPECT_NE(Out.find("#<undefined>"), std::string::npos) << Out;
+  EXPECT_NE(Out.find("(set! f"), std::string::npos) << Out;
+}
+
+TEST_F(CompilerTest, ExpandNamedLet) {
+  std::string Out = expand("(let loop ((i 0)) (loop (+ i 1)))");
+  EXPECT_NE(Out.find("lambda"), std::string::npos);
+  EXPECT_NE(Out.find("set! loop"), std::string::npos) << Out;
+}
+
+TEST_F(CompilerTest, ExpandQuasiquote) {
+  EXPECT_EQ(expand("`(a ,b)"),
+            "(cons (quote a) (cons b (quote ())))");
+  std::string Splice = expand("`(a ,@xs)");
+  EXPECT_NE(Splice.find("append"), std::string::npos) << Splice;
+}
+
+TEST_F(CompilerTest, ExpanderSyntaxErrors) {
+  EXPECT_NE(expand("(if)").find("syntax error"), std::string::npos);
+  EXPECT_NE(expand("(set! 5 x)").find("syntax error"), std::string::npos);
+  EXPECT_NE(expand("(lambda (x))").find("syntax error"), std::string::npos);
+  EXPECT_NE(expand("(let ((x)) x)").find("syntax error"), std::string::npos);
+  EXPECT_NE(expand("(lambda (1) x)").find("syntax error"),
+            std::string::npos);
+  EXPECT_NE(expand("(cond (else 1) (#t 2))").find("syntax error"),
+            std::string::npos);
+}
+
+TEST_F(CompilerTest, FrameSizeWordPrecedesReturnPoint) {
+  // For every Call instruction [Call n D] at index i, the word at the
+  // return point minus one (i+2) must be D, and D must be at least the
+  // frame header size.  This is the §3.1 invariant stack walking needs.
+  std::string Err;
+  Code *C = compile("(define (g x) x)(+ (g 1) (g (g 2)))", Err);
+  ASSERT_NE(C, nullptr) << Err;
+  // Instrs[0] is the entry frame-size word; decoding starts at pc 1.
+  EXPECT_EQ(C->frameSizeAt(1), FrameHeaderWords);
+  unsigned CallsSeen = 0;
+  for (uint32_t Pc = 1; Pc < C->NInstrs;) {
+    Op O = static_cast<Op>(C->Instrs[Pc]);
+    if (O == Op::Call) {
+      uint32_t D = C->Instrs[Pc + 2];
+      int64_t RetPc = Pc + 3;
+      EXPECT_EQ(C->frameSizeAt(RetPc), D);
+      EXPECT_GE(D, 2u);
+      EXPECT_LE(D, C->MaxDepth);
+      ++CallsSeen;
+    }
+    Pc += 1 + opOperandCount(O);
+  }
+  EXPECT_GE(CallsSeen, 3u);
+}
+
+TEST_F(CompilerTest, TailCallsEmitted) {
+  std::string D = disasm("(define (f n) (if (zero? n) 'done (f (- n 1))))");
+  // The recursive self-call inside the lambda must be a tail-call; the
+  // toplevel code has no `call` into f (only def-global machinery).
+  EXPECT_NE(D.find("tail-call"), std::string::npos) << D;
+}
+
+TEST_F(CompilerTest, NonTailCallsUseFrames) {
+  std::string D = disasm("(define (f n) (+ 1 (f n)))");
+  EXPECT_NE(D.find("frame"), std::string::npos) << D;
+  EXPECT_NE(D.find("call"), std::string::npos) << D;
+}
+
+TEST_F(CompilerTest, OpenCodedPrimitives) {
+  // (+ a b) compiles to the add opcode, not a procedure call.
+  std::string Err;
+  Code *C = compile("(define (f a b) (+ a b))", Err);
+  ASSERT_NE(C, nullptr);
+  // Find the inner lambda in the constants.
+  const Vector *Consts = castObj<Vector>(C->Consts);
+  Code *Inner = nullptr;
+  for (uint32_t I = 0; I != Consts->Len; ++I)
+    if (isObj<Code>(Consts->get(I)))
+      Inner = castObj<Code>(Consts->get(I));
+  ASSERT_NE(Inner, nullptr);
+  std::string D = disassemble(Inner);
+  EXPECT_NE(D.find("add"), std::string::npos) << D;
+  EXPECT_EQ(D.find("get-global"), std::string::npos) << D;
+}
+
+TEST_F(CompilerTest, ShadowedPrimitiveNotOpenCoded) {
+  std::string Err;
+  Code *C = compile("(define (f +) (+ 1 2))", Err);
+  ASSERT_NE(C, nullptr);
+  const Vector *Consts = castObj<Vector>(C->Consts);
+  Code *Inner = nullptr;
+  for (uint32_t I = 0; I != Consts->Len; ++I)
+    if (isObj<Code>(Consts->get(I)))
+      Inner = castObj<Code>(Consts->get(I));
+  ASSERT_NE(Inner, nullptr);
+  std::string D = disassemble(Inner);
+  // The shadowed + is a local; the call goes through tail-call dispatch.
+  EXPECT_NE(D.find("tail-call"), std::string::npos) << D;
+}
+
+TEST_F(CompilerTest, MaxDepthCoversArgumentsAndLocals) {
+  std::string Err;
+  Code *C = compile("(let ((a 1) (b 2) (c 3)) (list a b c (list a b c)))",
+                    Err);
+  ASSERT_NE(C, nullptr) << Err;
+  // Header(2) + 3 locals + inner frame(2) + args... comfortably > 7.
+  EXPECT_GE(C->MaxDepth, 8u);
+}
+
+TEST_F(CompilerTest, ClosureCaptureSlots) {
+  // The inner lambda captures x and y; its code gets two extra slots past
+  // the parameter, reflected in MaxDepth >= 2 (header) + 1 (param) + 2.
+  std::string Err;
+  Code *C = compile("(define (outer x y) (lambda (z) (+ x (+ y z))))", Err);
+  ASSERT_NE(C, nullptr);
+  const Vector *TopConsts = castObj<Vector>(C->Consts);
+  Code *Outer = nullptr;
+  for (uint32_t I = 0; I != TopConsts->Len; ++I)
+    if (isObj<Code>(TopConsts->get(I)))
+      Outer = castObj<Code>(TopConsts->get(I));
+  ASSERT_NE(Outer, nullptr);
+  const Vector *OuterConsts = castObj<Vector>(Outer->Consts);
+  Code *Inner = nullptr;
+  for (uint32_t I = 0; I != OuterConsts->Len; ++I)
+    if (isObj<Code>(OuterConsts->get(I)))
+      Inner = castObj<Code>(OuterConsts->get(I));
+  ASSERT_NE(Inner, nullptr);
+  EXPECT_GE(Inner->MaxDepth, 2u + 1u + 2u);
+  std::string D = disassemble(Outer);
+  EXPECT_NE(D.find("make-closure"), std::string::npos) << D;
+}
+
+TEST_F(CompilerTest, ConstantsDeduplicated) {
+  std::string Err;
+  Code *C = compile("(list 'a 'a 'a 1 1 1)", Err);
+  ASSERT_NE(C, nullptr);
+  const Vector *Consts = castObj<Vector>(C->Consts);
+  unsigned As = 0, Ones = 0;
+  for (uint32_t I = 0; I != Consts->Len; ++I) {
+    Value V = Consts->get(I);
+    if (isObj<Symbol>(V) && castObj<Symbol>(V)->name() == "a")
+      ++As;
+    if (V.isFixnum() && V.asFixnum() == 1)
+      ++Ones;
+  }
+  EXPECT_EQ(As, 1u);
+  EXPECT_EQ(Ones, 1u);
+}
+
+TEST_F(CompilerTest, CompileErrors) {
+  std::string Err;
+  EXPECT_EQ(compile("(lambda (x) (define y 1) 2 (define z 2) z)", Err),
+            nullptr);
+  Err.clear();
+  EXPECT_EQ(compile("(set! (f) 3)", Err), nullptr);
+}
+
+TEST_F(CompilerTest, DisassemblerOutput) {
+  std::string D = disasm("(if #t 1 2)");
+  EXPECT_NE(D.find("jump-if-false"), std::string::npos) << D;
+  EXPECT_NE(D.find("const"), std::string::npos);
+  EXPECT_NE(D.find("return"), std::string::npos);
+  EXPECT_NE(D.find("maxdepth="), std::string::npos);
+}

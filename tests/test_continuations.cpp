@@ -1,0 +1,231 @@
+// Multi-shot continuation semantics (call/cc): escapes, re-entry,
+// generators, loops, interaction with the segment machinery under small
+// segment sizes, and the counters that Figs. 2-3 imply.
+
+#include "vm/Interp.h"
+
+#include <gtest/gtest.h>
+
+using namespace osc;
+
+namespace {
+
+std::string run(Interp &I, const std::string &Src) {
+  return I.evalToString(Src);
+}
+
+} // namespace
+
+TEST(CallCC, EscapeFromMap) {
+  Interp I;
+  EXPECT_EQ(run(I, "(call/cc (lambda (k)"
+                   "  (for-each (lambda (x) (if (eq? x 'stop) (k x) #f))"
+                   "            '(a b stop c))"
+                   "  'fell-through))"),
+            "stop");
+}
+
+TEST(CallCC, ReturnNormallyWhenUnused) {
+  Interp I;
+  EXPECT_EQ(run(I, "(call/cc (lambda (k) 99))"), "99");
+}
+
+TEST(CallCC, ReenterContinuationMultipleTimes) {
+  Interp I;
+  // The classic re-entrant counter: k is invoked three times.
+  EXPECT_EQ(run(I, "(define k #f)"
+                   "(define n 0)"
+                   "(define r (+ 1 (call/cc (lambda (c) (set! k c) 0))))"
+                   "(set! n (+ n 1))"
+                   "(if (< r 4) (k r) (list r n))"),
+            "(4 4)");
+}
+
+TEST(CallCC, GeneratorViaMultiShot) {
+  Interp I;
+  ASSERT_EQ(run(I, "(define resume #f)"
+                   "(define (make-gen lst)"
+                   "  (lambda (return)"
+                   "    (for-each (lambda (x)"
+                   "                (set! return"
+                   "                      (call/cc (lambda (r)"
+                   "                                 (set! resume r)"
+                   "                                 (return x)))))"
+                   "              lst)"
+                   "    (return 'done)))"
+                   "(define (next)"
+                   "  (call/cc (lambda (k)"
+                   "    (if resume (resume k) ((make-gen '(1 2 3)) k)))))"
+                   "(list (next) (next) (next) (next))"),
+            "(1 2 3 done)");
+}
+
+TEST(CallCC, YinYangBounded) {
+  Interp I;
+  // The yin-yang puzzle run for a bounded number of steps: counts how many
+  // times control passes through; exercises repeated reinstatement of the
+  // same multi-shot continuations.
+  EXPECT_EQ(run(I, "(define count 0)"
+                   "(define out '())"
+                   "(call/cc (lambda (done)"
+                   "  (let* ((yin ((lambda (cc)"
+                   "                 (set! count (+ count 1))"
+                   "                 (if (> count 20) (done 'stop) #f)"
+                   "                 (set! out (cons 'yin out))"
+                   "                 cc)"
+                   "               (call/cc (lambda (c) c))))"
+                   "         (yang ((lambda (cc)"
+                   "                  (set! out (cons 'yang out))"
+                   "                  cc)"
+                   "                (call/cc (lambda (c) c)))))"
+                   "    (yin yang))))"
+                   "(> (length out) 20)"),
+            "#t");
+}
+
+TEST(CallCC, TailPositionCaptureEmptySegment) {
+  // A tail call to %call/cc whose frame sits at a segment base triggers the
+  // empty-segment short-circuit (§3.2): the link itself serves as the
+  // continuation and no new continuation object is sealed.
+  Interp I;
+  // (f) in tail position replaces the toplevel frame at the segment base;
+  // the capture inside is also in tail position, so the segment is empty.
+  EXPECT_EQ(run(I, "(define (f) (%call/cc (lambda (k) 42)))"
+                   "(f)"),
+            "42");
+  EXPECT_GT(I.stats().EmptyCaptures, 0u);
+  EXPECT_EQ(I.stats().MultiShotCaptures, 0u);
+}
+
+TEST(CallCC, CapturesShortenTheSegment) {
+  Interp I;
+  uint64_t Before = I.stats().MultiShotCaptures;
+  run(I, "(define (burn n)"
+         "  (if (zero? n) 0 (+ 1 (call/cc (lambda (k) (burn (- n 1)))))))"
+         "(burn 100)");
+  EXPECT_GE(I.stats().MultiShotCaptures - Before, 100u);
+}
+
+TEST(CallCC, LoopViaContinuation) {
+  Interp I;
+  EXPECT_EQ(run(I, "(define k #f)"
+                   "(define i 0)"
+                   "(call/cc (lambda (c) (set! k c)))"
+                   "(set! i (+ i 1))"
+                   "(if (< i 10) (k #f) i)"),
+            "10");
+}
+
+TEST(CallCC, ContinuationIsAProcedure) {
+  Interp I;
+  EXPECT_EQ(run(I, "(call/cc procedure?)"), "#t");
+  // The raw primitive continuation object:
+  EXPECT_EQ(run(I, "(%call/cc continuation?)"), "#t");
+  EXPECT_EQ(run(I, "(%call/cc (lambda (k) (%continuation-one-shot? k)))"),
+            "#f");
+}
+
+TEST(CallCC, MultiShotInvokeCopiesWords) {
+  Interp I;
+  run(I, "(define k #f)"
+         "(define n 0)"
+         "(define (deep d)"
+         "  (if (zero? d)"
+         "      (call/cc (lambda (c) (set! k c) 0))"
+         "      (+ 1 (deep (- d 1)))))"
+         "(deep 30)"
+         "(set! n (+ n 1))"
+         "(if (< n 5) (k 0) 'done)");
+  EXPECT_GE(I.stats().MultiShotInvokes, 4u);
+  EXPECT_GT(I.stats().WordsCopied, 0u);
+}
+
+TEST(CallCC, SplittingRespectsCopyBound) {
+  Config C;
+  C.InitialSegmentWords = 1 << 16;
+  C.CopyBoundWords = 64; // Tiny bound: deep continuations must split.
+  Interp I(C);
+  EXPECT_EQ(run(I, "(define k #f)"
+                   "(define n 0)"
+                   "(define (deep d)"
+                   "  (if (zero? d)"
+                   "      (call/cc (lambda (c) (set! k c) 0))"
+                   "      (+ 1 (deep (- d 1)))))"
+                   "(define r (deep 400))"
+                   "(set! n (+ n 1))"
+                   "(if (< n 3) (k 0) r)"),
+            "400");
+  EXPECT_GT(I.stats().Splits, 0u);
+}
+
+TEST(CallCC, DeepContinuationCorrectAcrossConfigs) {
+  for (uint32_t Bound : {32u, 128u, 4096u}) {
+    Config C;
+    C.CopyBoundWords = Bound;
+    Interp I(C);
+    EXPECT_EQ(run(I, "(define k #f)"
+                     "(define n 0)"
+                     "(define (deep d)"
+                     "  (if (zero? d)"
+                     "      (call/cc (lambda (c) (set! k c) 0))"
+                     "      (+ 1 (deep (- d 1)))))"
+                     "(define r (deep 500))"
+                     "(set! n (+ n 1))"
+                     "(if (< n 4) (k 0) (list r n))"),
+              "(500 4)")
+        << "copy bound " << Bound;
+  }
+}
+
+TEST(CallCC, NonLocalExitUnwindAndRedo) {
+  Interp I;
+  // Capture inside one eval, invoke within the same program, with state.
+  EXPECT_EQ(run(I, "(define log '())"
+                   "(define (note x) (set! log (cons x log)))"
+                   "(define result"
+                   "  (call/cc (lambda (exit)"
+                   "    (note 'a)"
+                   "    (exit 'early)"
+                   "    (note 'never)"
+                   "    'late)))"
+                   "(list result (reverse log))"),
+            "(early (a))");
+}
+
+TEST(CallCC, CallCCOfCallCC) {
+  Interp I;
+  // ((call/cc call/cc) id) patterns — stress continuation-as-receiver.
+  EXPECT_EQ(run(I, "(define (id x) x)"
+                   "(procedure? (call/cc call/cc))"),
+            "#t");
+  EXPECT_EQ(run(I, "((call/cc (lambda (k) k)) (lambda (x) 42))"), "42");
+}
+
+TEST(CallCC, InvokeWithMultipleValues) {
+  Interp I;
+  EXPECT_EQ(run(I, "(call-with-values"
+                   "  (lambda () (call/cc (lambda (k) (k 1 2 3))))"
+                   "  list)"),
+            "(1 2 3)");
+}
+
+TEST(CallCC, CapturedAcrossEvals) {
+  Interp I;
+  ASSERT_EQ(run(I, "(define k #f)"
+                   "(+ 100 (call/cc (lambda (c) (set! k c) 0)))"),
+            "100");
+  // Invoking k in a later eval resumes the *old* toplevel, which becomes
+  // the result of this eval.
+  EXPECT_EQ(run(I, "(k 5)"), "105");
+}
+
+TEST(CallCC, StatsAccounting) {
+  Interp I;
+  run(I, "(define ks '())"
+         "(define (cap) (call/cc (lambda (k) (set! ks (cons k ks)) 0)))"
+         "(+ (cap) (cap) (cap))");
+  // Non-tail captures seal real continuations; tail ones may short-circuit.
+  EXPECT_GE(I.stats().MultiShotCaptures + I.stats().EmptyCaptures, 3u);
+  EXPECT_GE(I.stats().MultiShotCaptures, 2u);
+  EXPECT_EQ(I.stats().OneShotInvokes, 0u);
+}

@@ -1,0 +1,153 @@
+// Delimited control (shift/reset) built on the undelimited continuations,
+// via Filinski's metacontinuation construction ("Representing Monads",
+// POPL 94).  This is a demanding workout for multi-shot capture: every
+// shift captures, and captured subcontinuations are re-entered freely.
+
+#include "vm/Interp.h"
+
+#include <gtest/gtest.h>
+
+using namespace osc;
+
+namespace {
+
+const char *DelimitedLib = R"SCM(
+;; reset* / shift* take thunks/procedures (we have no macros).
+(define *meta-k* (lambda (v) (error "shift outside reset")))
+
+(define (reset* thunk)
+  (call/cc (lambda (k)
+    (let ((saved *meta-k*))
+      (set! *meta-k* (lambda (v)
+                       (set! *meta-k* saved)
+                       (k v)))
+      (let ((v (thunk)))
+        (*meta-k* v))))))
+
+(define (shift* f)
+  (call/cc (lambda (k)
+    (*meta-k* (f (lambda (v)
+                   (reset* (lambda () (k v)))))))))
+)SCM";
+
+class DelimitedTest : public ::testing::Test {
+protected:
+  void SetUp() override { ASSERT_TRUE(I.eval(DelimitedLib).Ok); }
+  std::string run(const std::string &Src) { return I.evalToString(Src); }
+  Interp I;
+};
+
+} // namespace
+
+TEST_F(DelimitedTest, ResetWithoutShift) {
+  EXPECT_EQ(run("(reset* (lambda () 42))"), "42");
+  EXPECT_EQ(run("(+ 1 (reset* (lambda () (* 2 3))))"), "7");
+}
+
+TEST_F(DelimitedTest, ShiftDiscardsDelimitedContext) {
+  EXPECT_EQ(run("(+ 1 (reset* (lambda ()"
+                "  (+ 2 (shift* (lambda (k) 100))))))"),
+            "101");
+}
+
+TEST_F(DelimitedTest, ShiftInvokesOnce) {
+  EXPECT_EQ(run("(+ 1 (reset* (lambda ()"
+                "  (+ 2 (shift* (lambda (k) (k 3)))))))"),
+            "6");
+}
+
+TEST_F(DelimitedTest, ShiftInvokesTwice) {
+  // k = (lambda (v) (+ 2 v)) delimited; (k (k 3)) = 2+(2+3) = 7.
+  EXPECT_EQ(run("(+ 1 (reset* (lambda ()"
+                "  (+ 2 (shift* (lambda (k) (k (k 3))))))))"),
+            "8");
+}
+
+TEST_F(DelimitedTest, NestedResets) {
+  EXPECT_EQ(run("(reset* (lambda ()"
+                "  (+ 1 (reset* (lambda ()"
+                "    (+ 10 (shift* (lambda (k) (k 100)))))))))"),
+            "111");
+  // The inner shift only captures up to the inner reset.
+  EXPECT_EQ(run("(+ 1000 (reset* (lambda ()"
+                "  (+ 100 (reset* (lambda ()"
+                "    (shift* (lambda (k) 1))))))))"),
+            "1101");
+}
+
+TEST_F(DelimitedTest, ShiftReturningAFunction) {
+  // The classic: reset returns the delimited continuation itself.
+  EXPECT_EQ(run("(define k1 (reset* (lambda ()"
+                "  (+ 1 (shift* (lambda (k) k))))))"
+                "(list (k1 10) (k1 20) (k1 (k1 5)))"),
+            "(11 21 7)");
+}
+
+TEST_F(DelimitedTest, NondeterminismViaShift) {
+  // amb over shift/reset: collect all results of a two-way choice.
+  EXPECT_EQ(run("(define (choice xs)"
+                "  (shift* (lambda (k)"
+                "    (apply append (map (lambda (x) (k x)) xs)))))"
+                "(reset* (lambda ()"
+                "  (let ((x (choice '(1 2 3))))"
+                "    (let ((y (choice '(10 20))))"
+                "      (list (+ x y))))))"),
+            "(11 21 12 22 13 23)");
+}
+
+TEST_F(DelimitedTest, StateMonadViaShift) {
+  // A getter/setter state effect interpreted by the delimited context.
+  EXPECT_EQ(run("(define (get) (shift* (lambda (k) (lambda (s) ((k s) s)))))"
+                "(define (put s2)"
+                "  (shift* (lambda (k) (lambda (s) ((k 'ok) s2)))))"
+                "(define (run-state thunk s0)"
+                "  ((reset* (lambda ()"
+                "     (let ((r (thunk))) (lambda (s) (list r s)))))"
+                "   s0))"
+                "(run-state (lambda ()"
+                "             (let ((x (get)))"
+                "               (put (* x 10))"
+                "               (+ x (get))))"
+                "           7)"),
+            "(77 70)");
+}
+
+TEST_F(DelimitedTest, GeneratorsViaShift) {
+  EXPECT_EQ(run("(define (yield v) (shift* (lambda (k) (cons v (k #f)))))"
+                "(reset* (lambda ()"
+                "  (yield 1) (yield 2) (yield 3) '()))"),
+            "(1 2 3)");
+}
+
+TEST_F(DelimitedTest, WorksUnderHostileConfigs) {
+  for (int Variant = 0; Variant != 2; ++Variant) {
+    Config C;
+    if (Variant == 0) {
+      C.SegmentWords = 128;
+      C.InitialSegmentWords = 128;
+    } else {
+      C.CopyBoundWords = 16;
+      C.Promotion = PromotionStrategy::SharedFlag;
+    }
+    Interp Small(C);
+    ASSERT_TRUE(Small.eval(DelimitedLib).Ok);
+    EXPECT_EQ(Small.evalToString(
+                  "(define (choice xs)"
+                  "  (shift* (lambda (k)"
+                  "    (apply append (map (lambda (x) (k x)) xs)))))"
+                  "(reset* (lambda ()"
+                  "  (let ((x (choice '(1 2 3 4))))"
+                  "    (let ((y (choice '(1 2 3 4))))"
+                  "      (if (= (+ x y) 5) (list (list x y)) '())))))"),
+              "((1 4) (2 3) (3 2) (4 1))")
+        << "variant " << Variant;
+  }
+}
+
+TEST_F(DelimitedTest, InteroperatesWithOneShotEscapes) {
+  // A one-shot escape that jumps out of a reset altogether.
+  EXPECT_EQ(run("(call/1cc (lambda (out)"
+                "  (reset* (lambda ()"
+                "    (+ 1 (shift* (lambda (k) (out (k 10)))))))))"),
+            "11");
+}

@@ -1,0 +1,159 @@
+// dynamic-wind and its interaction with both continuation flavors.  The
+// paper maintains dynamic-wind support alongside one-shot continuations;
+// these tests pin the unwind/rewind ordering.
+
+#include "vm/Interp.h"
+
+#include <gtest/gtest.h>
+
+using namespace osc;
+
+namespace {
+
+std::string run(Interp &I, const std::string &Src) {
+  return I.evalToString(Src);
+}
+
+} // namespace
+
+TEST(DynamicWind, NormalFlow) {
+  Interp I;
+  EXPECT_EQ(run(I, "(define log '())"
+                   "(define (note x) (set! log (cons x log)))"
+                   "(define r (dynamic-wind"
+                   "            (lambda () (note 'before))"
+                   "            (lambda () (note 'during) 42)"
+                   "            (lambda () (note 'after))))"
+                   "(list r (reverse log))"),
+            "(42 (before during after))");
+}
+
+TEST(DynamicWind, ReturnsThunkValues) {
+  Interp I;
+  EXPECT_EQ(run(I, "(dynamic-wind (lambda () #f)"
+                   "              (lambda () (values 1 2))"
+                   "              (lambda () #f))"),
+            "1");
+  EXPECT_EQ(run(I, "(call-with-values"
+                   "  (lambda () (dynamic-wind (lambda () #f)"
+                   "                           (lambda () (values 1 2))"
+                   "                           (lambda () #f)))"
+                   "  list)"),
+            "(1 2)");
+}
+
+TEST(DynamicWind, EscapeRunsAfterThunk) {
+  Interp I;
+  EXPECT_EQ(run(I, "(define log '())"
+                   "(define (note x) (set! log (cons x log)))"
+                   "(call/cc (lambda (k)"
+                   "  (dynamic-wind"
+                   "    (lambda () (note 'in))"
+                   "    (lambda () (note 'body) (k 'escaped) (note 'no))"
+                   "    (lambda () (note 'out)))))"
+                   "(reverse log)"),
+            "(in body out)");
+}
+
+TEST(DynamicWind, OneShotEscapeRunsAfterThunk) {
+  Interp I;
+  EXPECT_EQ(run(I, "(define log '())"
+                   "(define (note x) (set! log (cons x log)))"
+                   "(call/1cc (lambda (k)"
+                   "  (dynamic-wind"
+                   "    (lambda () (note 'in))"
+                   "    (lambda () (note 'body) (k 'escaped) (note 'no))"
+                   "    (lambda () (note 'out)))))"
+                   "(reverse log)"),
+            "(in body out)");
+}
+
+TEST(DynamicWind, ReentryRunsBeforeThunk) {
+  Interp I;
+  // Jumping back *into* a dynamic extent re-runs the before thunk.
+  EXPECT_EQ(run(I, "(define log '())"
+                   "(define (note x) (set! log (cons x log)))"
+                   "(define k #f)"
+                   "(define n 0)"
+                   "(dynamic-wind"
+                   "  (lambda () (note 'in))"
+                   "  (lambda ()"
+                   "    (call/cc (lambda (c) (set! k c)))"
+                   "    (set! n (+ n 1)))"
+                   "  (lambda () (note 'out)))"
+                   "(if (< n 3) (k #f) (list n (reverse log)))"),
+            "(3 (in out in out in out))");
+}
+
+TEST(DynamicWind, NestedUnwindOrder) {
+  Interp I;
+  EXPECT_EQ(run(I, "(define log '())"
+                   "(define (note x) (set! log (cons x log)))"
+                   "(call/cc (lambda (k)"
+                   "  (dynamic-wind"
+                   "    (lambda () (note 'in1))"
+                   "    (lambda ()"
+                   "      (dynamic-wind"
+                   "        (lambda () (note 'in2))"
+                   "        (lambda () (k 'jump))"
+                   "        (lambda () (note 'out2))))"
+                   "    (lambda () (note 'out1)))))"
+                   "(reverse log)"),
+            "(in1 in2 out2 out1)");
+}
+
+TEST(DynamicWind, SharedTailNotUnwound) {
+  Interp I;
+  // Jumping between two points inside the same dynamic extent must not run
+  // that extent's before/after thunks.
+  EXPECT_EQ(run(I, "(define log '())"
+                   "(define (note x) (set! log (cons x log)))"
+                   "(define k #f)"
+                   "(define n 0)"
+                   "(dynamic-wind"
+                   "  (lambda () (note 'in))"
+                   "  (lambda ()"
+                   "    (call/cc (lambda (c) (set! k c)))"
+                   "    (set! n (+ n 1))"
+                   "    (if (< n 3) (k #f) #f))"
+                   "  (lambda () (note 'out)))"
+                   "(reverse log)"),
+            "(in out)");
+}
+
+TEST(DynamicWind, GeneratorAcrossWind) {
+  Interp I;
+  // A generator whose body sits inside a dynamic-wind: every suspension
+  // unwinds, every resumption rewinds.
+  EXPECT_EQ(run(I, "(define enters 0)"
+                   "(define exits 0)"
+                   "(define resume #f)"
+                   "(define (gen consume)"
+                   "  (dynamic-wind"
+                   "    (lambda () (set! enters (+ enters 1)))"
+                   "    (lambda ()"
+                   "      (for-each (lambda (x)"
+                   "                  (set! consume"
+                   "                        (call/cc (lambda (r)"
+                   "                                   (set! resume r)"
+                   "                                   (consume x)))))"
+                   "                '(1 2))"
+                   "      (consume 'eos))"
+                   "    (lambda () (set! exits (+ exits 1)))))"
+                   "(define (next)"
+                   "  (call/cc (lambda (k) (if resume (resume k) (gen k)))))"
+                   "(define a (next)) (define b (next)) (define c (next))"
+                   "(list a b c enters exits)"),
+            "(1 2 eos 3 3)");
+}
+
+TEST(DynamicWind, ErrorInsideExtentDoesNotCrash) {
+  Interp I;
+  // VM errors abort the evaluation; the after thunk cannot run (errors are
+  // not continuations), but the machine stays usable.
+  EXPECT_EQ(run(I, "(dynamic-wind (lambda () #f)"
+                   "              (lambda () (car 5))"
+                   "              (lambda () #f))"),
+            "error: car: not a pair: 5");
+  EXPECT_EQ(run(I, "(+ 1 2)"), "3");
+}

@@ -1,0 +1,180 @@
+// Engines (Dybvig & Hieb, "Engines from continuations") built on the VM
+// timer and one-shot continuations — the preemption substrate the paper's
+// thread systems rest on.  An engine runs a computation for a bounded
+// number of procedure calls; preemption captures the rest of the
+// computation as a one-shot continuation wrapped in a new engine.
+
+#include "vm/Interp.h"
+
+#include <gtest/gtest.h>
+
+using namespace osc;
+
+namespace {
+
+std::string run(Interp &I, const std::string &Src) {
+  return I.evalToString(Src);
+}
+
+} // namespace
+
+TEST(Engines, CompletesWithinBudget) {
+  Interp I;
+  EXPECT_EQ(run(I, "(define e (make-engine (lambda () (+ 40 2))))"
+                   "(e 1000 (lambda (left result) (list 'done result"
+                   "                                    (> left 0)))"
+                   "        (lambda (e2) 'expired))"),
+            "(done 42 #t)");
+}
+
+TEST(Engines, ExpiresAndResumes) {
+  Interp I;
+  EXPECT_EQ(run(I, "(define (fib n)"
+                   "  (if (< n 2) n (+ (fib (- n 1)) (fib (- n 2)))))"
+                   "(define result #f)"
+                   "(define expirations 0)"
+                   "(define (drive eng)"
+                   "  (eng 100"
+                   "       (lambda (left r) (set! result r) 'finished)"
+                   "       (lambda (e2)"
+                   "         (set! expirations (+ expirations 1))"
+                   "         (drive e2))))"
+                   "(drive (make-engine (lambda () (fib 15))))"
+                   "(list result (> expirations 3))"),
+            "(610 #t)");
+  // Each preemption is a one-shot capture + later zero-copy resume.
+  EXPECT_GT(I.stats().OneShotCaptures, 3u);
+}
+
+TEST(Engines, TicksRoughlyCountCalls) {
+  Interp I;
+  // A loop of n calls should survive with a budget comfortably above n
+  // and expire with one comfortably below.
+  EXPECT_EQ(run(I, "(define (loop i) (if (zero? i) 'ok (loop (- i 1))))"
+                   "((make-engine (lambda () (loop 50)))"
+                   " 500 (lambda (l r) r) (lambda (e) 'expired))"),
+            "ok");
+  EXPECT_EQ(run(I, "(define (loop i) (if (zero? i) 'ok (loop (- i 1))))"
+                   "((make-engine (lambda () (loop 5000)))"
+                   " 50 (lambda (l r) r) (lambda (e) 'expired))"),
+            "expired");
+}
+
+TEST(Engines, RoundRobinScheduler) {
+  Interp I;
+  // Two engines interleaved by a driver; both run to completion and their
+  // execution demonstrably interleaves.
+  EXPECT_EQ(
+      run(I,
+          "(define trace '())"
+          "(define (noisy-count tag n)"
+          "  (lambda ()"
+          "    (let loop ((i 0))"
+          "      (if (= i n)"
+          "          tag"
+          "          (begin (set! trace (cons tag trace)) (loop (+ i 1)))))))"
+          "(define (round-robin engines results)"
+          "  (if (null? engines)"
+          "      (reverse results)"
+          "      ((car engines) 40"
+          "       (lambda (left r)"
+          "         (round-robin (cdr engines) (cons r results)))"
+          "       (lambda (e2)"
+          "         (round-robin (append (cdr engines) (list e2))"
+          "                      results)))))"
+          "(define rs (round-robin (list (make-engine (noisy-count 'a 60))"
+          "                              (make-engine (noisy-count 'b 60)))"
+          "                        '()))"
+          ";; Interleaving: the trace must not be all-a-then-all-b.\n"
+          "(define (homogeneous-prefix l)"
+          "  (let loop ((l l) (n 0))"
+          "    (if (or (null? l) (null? (cdr l))"
+          "            (not (eq? (car l) (car (cdr l)))))"
+          "        (+ n 1)"
+          "        (loop (cdr l) (+ n 1)))))"
+          "(list rs (< (homogeneous-prefix (reverse trace)) 60))"),
+      "((a b) #t)");
+}
+
+TEST(Engines, PreemptedMidDeepRecursion) {
+  // Preemption while frames span multiple segments.
+  Config C;
+  C.SegmentWords = 256;
+  C.InitialSegmentWords = 256;
+  Interp I(C);
+  EXPECT_EQ(run(I, "(define (deep n)"
+                   "  (if (zero? n) 0 (+ 1 (deep (- n 1)))))"
+                   "(define (drive eng steps)"
+                   "  (eng 75"
+                   "       (lambda (l r) (list r steps))"
+                   "       (lambda (e2) (drive e2 (+ steps 1)))))"
+                   "(car (drive (make-engine (lambda () (deep 2000))) 0))"),
+            "2000");
+}
+
+TEST(Engines, TimerDisarmedBetweenRuns) {
+  Interp I;
+  // After an engine completes, the timer must not fire in ordinary code.
+  EXPECT_EQ(run(I, "((make-engine (lambda () 1))"
+                   " 10 (lambda (l r) r) (lambda (e) 'expired))"
+                   "(define (burn n) (if (zero? n) 'clean (burn (- n 1))))"
+                   "(burn 10000)"),
+            "clean");
+}
+
+TEST(Engines, RawTimerPrimitive) {
+  Interp I;
+  EXPECT_EQ(run(I, "(define fired #f)"
+                   "(define out #f)"
+                   "(%set-timer! 20 (lambda (k v)"
+                   "  (set! fired #t)"
+                   "  (k v)))" // Resume immediately.
+                   "(define (loop i) (if (zero? i) 'ok (loop (- i 1))))"
+                   "(set! out (loop 100))"
+                   "(list fired out)"),
+            "(#t ok)");
+}
+
+TEST(Engines, DynamicWindSuspendsWithTheEngine) {
+  Interp I;
+  // Preemption inside a dynamic-wind extent must not run the after thunk,
+  // must not leak the engine's winders into the scheduler, and must leave
+  // the extent intact when the engine resumes.
+  EXPECT_EQ(run(I, "(define log '())"
+                   "(define (note x) (set! log (cons x log)))"
+                   "(define (work)"
+                   "  (dynamic-wind"
+                   "    (lambda () (note 'in))"
+                   "    (lambda ()"
+                   "      (let loop ((i 0))"
+                   "        (if (= i 200) 'done (loop (+ i 1)))))"
+                   "    (lambda () (note 'out))))"
+                   "(define (drive eng n)"
+                   "  (eng 25"
+                   "       (lambda (l r) (list r n (reverse log)))"
+                   "       (lambda (e2)"
+                   "         (note 'sched)"   // Runs outside the extent.
+                   "         (drive e2 (+ n 1)))))"
+                   "(define result (drive (make-engine work) 0))"
+                   "(list (car result) (> (cadr result) 2)"
+                   "      (car (caddr result))"
+                   "      (car (reverse (caddr result))))"),
+            "(done #t in out)");
+}
+
+TEST(Engines, SchedulerWindersUnaffectedByPreemption) {
+  Interp I;
+  EXPECT_EQ(run(I, "(define trace '())"
+                   "(define (spin n) (if (zero? n) 'ok (spin (- n 1))))"
+                   "(dynamic-wind"
+                   "  (lambda () (set! trace (cons 'outer-in trace)))"
+                   "  (lambda ()"
+                   "    (let drive ((e (make-engine (lambda () (spin 300))))"
+                   "                (hops 0))"
+                   "      (e 20"
+                   "         (lambda (l r) (list r hops))"
+                   "         (lambda (e2) (drive e2 (+ hops 1))))))"
+                   "  (lambda () (set! trace (cons 'outer-out trace))))"
+                   "trace"),
+            "(outer-out outer-in)");
+}

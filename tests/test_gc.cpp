@@ -1,0 +1,184 @@
+// Garbage collector tests: liveness via roots, cycles, precise tracing of
+// continuation stack ranges, segment-cache discarding at GC, and
+// whole-interpreter integrity under GC pressure.
+
+#include "object/Heap.h"
+#include "object/ListUtil.h"
+#include "support/Stats.h"
+#include "vm/Interp.h"
+
+#include <gtest/gtest.h>
+
+using namespace osc;
+
+namespace {
+
+class GcTest : public ::testing::Test {
+protected:
+  GcTest() : H(S, /*GcThresholdBytes=*/1 << 30) {}
+  Stats S;
+  Heap H;
+};
+
+} // namespace
+
+TEST_F(GcTest, UnrootedObjectsAreFreed) {
+  for (int J = 0; J != 1000; ++J)
+    H.allocPair(Value::nil(), Value::nil());
+  uint64_t Before = S.GcBytesFreed;
+  H.collect();
+  EXPECT_GE(S.GcBytesFreed - Before, 1000 * sizeof(Pair));
+}
+
+TEST_F(GcTest, RootedObjectsSurvive) {
+  GCRoot R(H, Value::object(H.allocPair(Value::fixnum(1), Value::nil())));
+  H.collect();
+  EXPECT_EQ(car(R.get()).asFixnum(), 1);
+  // Reachability through the root keeps the whole structure alive.
+  castObj<Pair>(R.get())->Cdr =
+      Value::object(H.allocPair(Value::fixnum(2), Value::nil()));
+  H.collect();
+  EXPECT_EQ(car(cdr(R.get())).asFixnum(), 2);
+}
+
+TEST_F(GcTest, CyclesAreCollected) {
+  {
+    Pair *A = H.allocPair(Value::nil(), Value::nil());
+    Pair *B = H.allocPair(Value::nil(), Value::nil());
+    A->Cdr = Value::object(B);
+    B->Cdr = Value::object(A);
+  }
+  uint64_t Freed = S.GcBytesFreed;
+  H.collect();
+  EXPECT_GE(S.GcBytesFreed - Freed, 2 * sizeof(Pair));
+}
+
+TEST_F(GcTest, RootedCycleSurvives) {
+  Pair *A = H.allocPair(Value::fixnum(1), Value::nil());
+  Pair *B = H.allocPair(Value::fixnum(2), Value::object(A));
+  A->Cdr = Value::object(B);
+  GCRoot R(H, Value::object(A));
+  H.collect();
+  EXPECT_EQ(car(R.get()).asFixnum(), 1);
+  EXPECT_EQ(car(cdr(R.get())).asFixnum(), 2);
+}
+
+TEST_F(GcTest, SymbolsPersist) {
+  Symbol *Sym = H.intern("persistent");
+  Sym->Global = Value::fixnum(9);
+  H.collect();
+  EXPECT_EQ(H.intern("persistent"), Sym);
+  EXPECT_EQ(Sym->Global.asFixnum(), 9);
+}
+
+TEST_F(GcTest, ContinuationTracesOnlyItsOccupiedRange) {
+  // Build a continuation viewing a segment: slots inside [Start, Size)
+  // keep their referents alive, slots above do not.
+  StackSegment *Seg = H.allocSegment(32);
+  Pair *Kept = H.allocPair(Value::fixnum(1), Value::nil());
+  Pair *Dead = H.allocPair(Value::fixnum(2), Value::nil());
+  Seg->Slots[3] = Value::object(Kept);
+  Seg->Slots[20] = Value::object(Dead); // Above the sealed size.
+  Continuation *K = H.allocContinuation();
+  K->Seg = Value::object(Seg);
+  K->Start = 0;
+  K->Size = 10;
+  K->SegSize = 32;
+  K->RetCode = Value::fixnum(0);
+  GCRoot R(H, Value::object(K));
+
+  uint64_t Freed = S.GcBytesFreed;
+  H.collect();
+  // Kept survived; Dead was collected.
+  EXPECT_EQ(car(Seg->Slots[3]).asFixnum(), 1);
+  EXPECT_GE(S.GcBytesFreed - Freed, sizeof(Pair));
+}
+
+TEST_F(GcTest, ShotContinuationRetainsNothing) {
+  StackSegment *Seg = H.allocSegment(16);
+  Seg->Slots[2] = Value::object(H.allocPair(Value::fixnum(3), Value::nil()));
+  Continuation *K = H.allocContinuation();
+  K->Seg = Value::object(Seg);
+  K->Start = 0;
+  K->Size = -1; // Shot.
+  K->SegSize = -1;
+  K->RetCode = Value::fixnum(0);
+  GCRoot R(H, Value::object(K));
+  uint64_t Freed = S.GcBytesFreed;
+  H.collect();
+  EXPECT_GE(S.GcBytesFreed - Freed, sizeof(Pair));
+}
+
+TEST_F(GcTest, GrowthTriggersAndThresholdAdapts) {
+  Stats S2;
+  Heap Small(S2, /*GcThresholdBytes=*/64 * 1024);
+  GCRoot Keep(Small, Value::nil());
+  for (int J = 0; J != 10000; ++J) {
+    if (Small.needsGC())
+      Small.collect();
+    Keep.set(Value::object(
+        Small.allocPair(Value::fixnum(J), J % 100 ? Keep.get() : Value::nil())));
+  }
+  EXPECT_GT(S2.GcCount, 0u);
+}
+
+// --- Interpreter-level GC behavior -------------------------------------------
+
+TEST(GcInterp, SegmentCacheDiscardedAtCollection) {
+  Interp I;
+  I.eval("(define (spin n)"
+         "  (if (zero? n) 'done"
+         "      (begin (car (list (call/1cc (lambda (k) (k 1)))))"
+         "             (spin (- n 1)))))"
+         "(spin 100)");
+  ASSERT_GT(I.control().cacheSize(), 0u);
+  I.collect();
+  EXPECT_EQ(I.control().cacheSize(), 0u); // §3.2: GC discards the cache.
+}
+
+TEST(GcInterp, LiveContinuationsSurviveCollection) {
+  Interp I;
+  EXPECT_EQ(I.evalToString(
+                "(define k #f)"
+                "(define n 0)"
+                "(define (deep d)"
+                "  (if (zero? d) (call/cc (lambda (c) (set! k c) 0))"
+                "      (+ 1 (deep (- d 1)))))"
+                "(define r (deep 100))"
+                "(gc) (gc)"
+                "(set! n (+ n 1))"
+                "(if (< n 3) (k 0) (list r n))"),
+            "(100 3)");
+}
+
+TEST(GcInterp, HeapPressureDuringContinuationChurn) {
+  Config C;
+  C.GcThresholdBytes = 256 * 1024; // Frequent collections.
+  Interp I(C);
+  EXPECT_EQ(I.evalToString(
+                "(define (work n acc)"
+                "  (if (zero? n) acc"
+                "      (work (- n 1)"
+                "            (car (list (call/1cc (lambda (k)"
+                "                         (k (cons n acc)))))))))"
+                "(length (work 20000 '()))"),
+            "20000");
+  EXPECT_GT(I.stats().GcCount, 0u);
+}
+
+TEST(GcInterp, DormantOneShotSegmentsFreedWhenDropped) {
+  Interp I;
+  I.eval("(define parked '())"
+         "(define (loop i)"
+         "  (if (= i 20) 'ok"
+         "      (car (list (%call/1cc (lambda (k)"
+         "                   (set! parked (cons k parked))"
+         "                   (loop (+ i 1))))))))"
+         "(loop 0)");
+  I.collect();
+  uint64_t WhileParked = I.heap().segmentWordsInHeap();
+  I.eval("(set! parked '())");
+  I.collect();
+  uint64_t AfterDrop = I.heap().segmentWordsInHeap();
+  EXPECT_LT(AfterDrop, WhileParked);
+}

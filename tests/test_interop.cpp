@@ -1,0 +1,121 @@
+// Integration test for the paper's §2 interoperation scenario: "a Prolog
+// interpreter might use multi-shot continuations to support nondeterminism
+// while employing a thread system based on one-shot continuations at a
+// lower level."  Backtracking across thread-yield points re-returns
+// through scheduler one-shots, which is only sound because call/cc
+// promotes them (§3.3) — so this is the end-to-end test of promotion.
+
+#include "vm/Interp.h"
+
+#include <gtest/gtest.h>
+
+using namespace osc;
+
+namespace {
+
+const char *InteropLib = R"SCM(
+;; amb on multi-shot continuations.
+(define %fail #f)
+(define (amb-init! on-exhausted) (set! %fail on-exhausted))
+(define (amb-list choices)
+  (call/cc (lambda (k)
+    (let ((prev %fail))
+      (let try ((cs choices))
+        (if (null? cs)
+            (begin (set! %fail prev) (%fail))
+            (begin
+              (call/cc (lambda (retry)
+                (set! %fail (lambda () (retry #f)))
+                (k (car cs))))
+              (try (cdr cs)))))))))
+(define (require p) (if p #t (%fail)))
+
+;; Cooperative threads on one-shot continuations.
+(define %rq-front '())
+(define %rq-back '())
+(define (%rq-push! t) (set! %rq-back (cons t %rq-back)))
+(define (%rq-empty?) (and (null? %rq-front) (null? %rq-back)))
+(define (%rq-pop!)
+  (when (null? %rq-front)
+    (set! %rq-front (reverse %rq-back))
+    (set! %rq-back '()))
+  (let ((t (car %rq-front)))
+    (set! %rq-front (cdr %rq-front))
+    t))
+(define %sched-exit #f)
+(define (%schedule!) (if (%rq-empty?) (%sched-exit 'done) ((%rq-pop!))))
+(define (spawn! thunk) (%rq-push! (lambda () (thunk) (%schedule!))))
+(define (yield!)
+  ;; Save/restore the per-search failure continuation across suspension.
+  (let ((saved %fail))
+    (call/1cc (lambda (k)
+      (%rq-push! (lambda () (k #f)))
+      (%schedule!)))
+    (set! %fail saved)))
+(define (run-scheduler)
+  (call/1cc (lambda (exit)
+    (set! %sched-exit exit)
+    (%schedule!))))
+
+;; A search that yields between choice points: find pairs (x, y) from
+;; 0..n-1 with x + y = n and x > y, collecting every solution.
+(define (pair-search n)
+  (define out '())
+  (call/cc (lambda (done)
+    (amb-init! (lambda () (done (reverse out))))
+    (let ((x (amb-list (iota n))))
+      (yield!)                      ;; suspend inside the search
+      (let ((y (amb-list (iota n))))
+        (yield!)
+        (require (= (+ x y) n))
+        (require (> x y))
+        (set! out (cons (list x y) out))
+        (%fail))))))
+)SCM";
+
+} // namespace
+
+TEST(Interop, BacktrackingAcrossYieldsViaPromotion) {
+  Interp I;
+  ASSERT_TRUE(I.eval(InteropLib).Ok);
+  // Two searches interleave; each backtracks through dozens of yields.
+  EXPECT_EQ(I.evalToString("(define r1 #f)"
+                           "(define r2 #f)"
+                           "(spawn! (lambda () (set! r1 (pair-search 8))))"
+                           "(spawn! (lambda () (set! r2 (pair-search 6))))"
+                           "(run-scheduler)"
+                           "(list r1 r2)"),
+            "(((5 3) (6 2) (7 1)) ((4 2) (5 1)))");
+  // The soundness hinges on promotion: multi-shot captures promoted the
+  // scheduler's one-shot continuations before re-returning through them.
+  EXPECT_GT(I.stats().Promotions, 0u);
+  EXPECT_GT(I.stats().OneShotCaptures, 10u);
+  EXPECT_GT(I.stats().MultiShotInvokes, 10u);
+}
+
+TEST(Interop, SameUnderSharedFlagPromotion) {
+  Config C;
+  C.Promotion = PromotionStrategy::SharedFlag;
+  Interp I(C);
+  ASSERT_TRUE(I.eval(InteropLib).Ok);
+  EXPECT_EQ(I.evalToString("(define r #f)"
+                           "(spawn! (lambda () (set! r (pair-search 8))))"
+                           "(run-scheduler)"
+                           "r"),
+            "((5 3) (6 2) (7 1))");
+}
+
+TEST(Interop, SameUnderTinySegments) {
+  Config C;
+  C.SegmentWords = 128;
+  C.InitialSegmentWords = 128;
+  Interp I(C);
+  ASSERT_TRUE(I.eval(InteropLib).Ok);
+  EXPECT_EQ(I.evalToString("(define r1 #f)"
+                           "(define r2 #f)"
+                           "(spawn! (lambda () (set! r1 (pair-search 8))))"
+                           "(spawn! (lambda () (set! r2 (pair-search 6))))"
+                           "(run-scheduler)"
+                           "(list r1 r2)"),
+            "(((5 3) (6 2) (7 1)) ((4 2) (5 1)))");
+}

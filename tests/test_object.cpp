@@ -1,0 +1,184 @@
+// Unit tests for the tagged value representation, heap object layouts and
+// the list utilities.
+
+#include "object/Heap.h"
+#include "object/ListUtil.h"
+#include "object/Objects.h"
+#include "object/Value.h"
+#include "support/Stats.h"
+
+#include <gtest/gtest.h>
+
+using namespace osc;
+
+TEST(Value, FixnumRoundTrip) {
+  EXPECT_EQ(Value::fixnum(0).asFixnum(), 0);
+  EXPECT_EQ(Value::fixnum(42).asFixnum(), 42);
+  EXPECT_EQ(Value::fixnum(-42).asFixnum(), -42);
+  int64_t Big = (int64_t(1) << 60);
+  EXPECT_EQ(Value::fixnum(Big).asFixnum(), Big);
+  EXPECT_EQ(Value::fixnum(-Big).asFixnum(), -Big);
+  EXPECT_TRUE(Value::fixnum(7).isFixnum());
+  EXPECT_FALSE(Value::fixnum(7).isObject());
+  EXPECT_FALSE(Value::fixnum(7).isImm());
+}
+
+TEST(Value, Immediates) {
+  EXPECT_TRUE(Value::nil().isNil());
+  EXPECT_TRUE(Value::trueV().isTrue());
+  EXPECT_TRUE(Value::falseV().isFalse());
+  EXPECT_TRUE(Value::falseV().isBoolean());
+  EXPECT_TRUE(Value::undefined().isUndefined());
+  EXPECT_TRUE(Value::underflowMarker().isUnderflowMarker());
+  EXPECT_TRUE(Value::charV('x').isChar());
+  EXPECT_EQ(Value::charV('x').asChar(), uint32_t('x'));
+  // Truthiness: only #f is false.
+  EXPECT_FALSE(Value::falseV().isTruthy());
+  EXPECT_TRUE(Value::trueV().isTruthy());
+  EXPECT_TRUE(Value::nil().isTruthy());
+  EXPECT_TRUE(Value::fixnum(0).isTruthy());
+}
+
+TEST(Value, EmptyPatternIsZero) {
+  Value V;
+  EXPECT_EQ(V.raw(), 0u);
+  EXPECT_FALSE(V.isObject());
+  EXPECT_FALSE(V.isFixnum());
+  EXPECT_TRUE(V.isEmpty());
+  EXPECT_FALSE(Value::fixnum(0).isEmpty());
+}
+
+TEST(Value, DistinctImmediatesDiffer) {
+  EXPECT_FALSE(Value::nil().identical(Value::falseV()));
+  EXPECT_FALSE(Value::trueV().identical(Value::fixnum(1)));
+  EXPECT_FALSE(Value::charV('a').identical(Value::charV('b')));
+  EXPECT_TRUE(Value::charV('a').identical(Value::charV('a')));
+}
+
+namespace {
+
+class ObjectTest : public ::testing::Test {
+protected:
+  ObjectTest() : H(S) {}
+  Stats S;
+  Heap H;
+};
+
+} // namespace
+
+TEST_F(ObjectTest, PairLayout) {
+  Pair *P = H.allocPair(Value::fixnum(1), Value::fixnum(2));
+  Value V = Value::object(P);
+  EXPECT_TRUE(isObj<Pair>(V));
+  EXPECT_FALSE(isObj<Vector>(V));
+  EXPECT_EQ(car(V).asFixnum(), 1);
+  EXPECT_EQ(cdr(V).asFixnum(), 2);
+  EXPECT_EQ(dynObj<Vector>(V), nullptr);
+  EXPECT_NE(dynObj<Pair>(V), nullptr);
+}
+
+TEST_F(ObjectTest, SymbolInterning) {
+  Symbol *A = H.intern("foo");
+  Symbol *B = H.intern("foo");
+  Symbol *C = H.intern("bar");
+  EXPECT_EQ(A, B);
+  EXPECT_NE(A, C);
+  EXPECT_EQ(A->name(), "foo");
+  EXPECT_TRUE(A->Global.isUndefined());
+}
+
+TEST_F(ObjectTest, StringsAndVectors) {
+  String *Str = H.allocString("hello");
+  EXPECT_EQ(Str->view(), "hello");
+  EXPECT_EQ(Str->Len, 5u);
+  Vector *V = H.allocVector(3, Value::fixnum(7));
+  EXPECT_EQ(V->Len, 3u);
+  EXPECT_EQ(V->get(2).asFixnum(), 7);
+  V->set(1, Value::trueV());
+  EXPECT_TRUE(V->get(1).isTrue());
+  Vector *Empty = H.allocVector(0);
+  EXPECT_EQ(Empty->Len, 0u);
+}
+
+TEST_F(ObjectTest, SegmentsAreZeroFilled) {
+  StackSegment *Seg = H.allocSegment(64);
+  EXPECT_EQ(Seg->Capacity, 64u);
+  EXPECT_FALSE(Seg->Shared);
+  for (uint32_t I = 0; I != 64; ++I)
+    EXPECT_TRUE(Seg->Slots[I].isEmpty());
+}
+
+TEST_F(ObjectTest, ContinuationFlavorFields) {
+  Continuation *K = H.allocContinuation();
+  // Fresh objects look like the halt sentinel.
+  EXPECT_TRUE(K->isHalt());
+  EXPECT_FALSE(K->isShot());
+  K->RetCode = Value::fixnum(0); // Anything non-underflow.
+  K->Size = 10;
+  K->SegSize = 10;
+  EXPECT_FALSE(K->isOneShot()); // Equal sizes: multi-shot.
+  K->SegSize = 64;
+  EXPECT_TRUE(K->isOneShot()); // Differing sizes: one-shot.
+  K->Size = K->SegSize = -1;
+  EXPECT_TRUE(K->isShot());
+  EXPECT_FALSE(K->isOneShot());
+}
+
+TEST_F(ObjectTest, SharedFlagPromotesWithoutSizeChange) {
+  Continuation *K = H.allocContinuation();
+  K->RetCode = Value::fixnum(0);
+  K->Size = 10;
+  K->SegSize = 64;
+  Cell *Flag = H.allocCell(Value::falseV());
+  K->Flag = Value::object(Flag);
+  EXPECT_TRUE(K->isOneShot());
+  Flag->Val = Value::trueV(); // O(1) promotion of every sharer (§3.3).
+  EXPECT_FALSE(K->isOneShot());
+}
+
+TEST_F(ObjectTest, ListUtilities) {
+  Value L = listFromVector(
+      H, {Value::fixnum(1), Value::fixnum(2), Value::fixnum(3)});
+  EXPECT_EQ(listLength(L), 3);
+  EXPECT_TRUE(isProperList(L));
+  std::vector<Value> Out;
+  EXPECT_TRUE(listToVector(L, Out));
+  EXPECT_EQ(Out.size(), 3u);
+  EXPECT_EQ(Out[2].asFixnum(), 3);
+
+  Value Improper = cons(H, Value::fixnum(1), Value::fixnum(2));
+  EXPECT_EQ(listLength(Improper), -1);
+  EXPECT_FALSE(isProperList(Improper));
+
+  // Cyclic list must terminate.
+  Pair *P = H.allocPair(Value::fixnum(1), Value::nil());
+  P->Cdr = Value::object(P);
+  EXPECT_EQ(listLength(Value::object(P)), -1);
+}
+
+TEST_F(ObjectTest, SchemeEqualSemantics) {
+  Value A = listFromVector(H, {Value::fixnum(1), Value::fixnum(2)});
+  Value B = listFromVector(H, {Value::fixnum(1), Value::fixnum(2)});
+  EXPECT_FALSE(A.identical(B));
+  EXPECT_TRUE(schemeEqual(A, B));
+  EXPECT_FALSE(schemeEqual(A, cons(H, Value::fixnum(1), Value::nil())));
+  EXPECT_TRUE(schemeEqv(Value::object(H.allocFlonum(2.5)),
+                        Value::object(H.allocFlonum(2.5))));
+  EXPECT_FALSE(schemeEqv(Value::object(H.allocFlonum(2.5)),
+                         Value::object(H.allocFlonum(2.6))));
+}
+
+TEST_F(ObjectTest, AllocationAccounting) {
+  uint64_t Before = S.BytesAllocated;
+  uint64_t ObjsBefore = S.ObjectsAllocated;
+  H.allocPair(Value::nil(), Value::nil());
+  H.allocVector(100);
+  EXPECT_GT(S.BytesAllocated, Before + 100 * sizeof(Value));
+  EXPECT_EQ(S.ObjectsAllocated, ObjsBefore + 2);
+}
+
+TEST_F(ObjectTest, KindNames) {
+  EXPECT_STREQ(objKindName(ObjKind::Pair), "pair");
+  EXPECT_STREQ(objKindName(ObjKind::Continuation), "continuation");
+  EXPECT_STREQ(objKindName(ObjKind::StackSegment), "stack-segment");
+}

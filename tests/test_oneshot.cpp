@@ -1,0 +1,305 @@
+// One-shot continuation semantics (call/1cc, §2-3): single-use
+// enforcement, zero-copy reinstatement, promotion by call/cc (§3.3) under
+// both strategies, the segment cache (§3.2), seal displacement (§3.4), and
+// interoperation between one-shot and multi-shot abstractions.
+
+#include "vm/Interp.h"
+
+#include <gtest/gtest.h>
+
+using namespace osc;
+
+namespace {
+
+std::string run(Interp &I, const std::string &Src) {
+  return I.evalToString(Src);
+}
+
+} // namespace
+
+TEST(OneShot, BasicEscape) {
+  Interp I;
+  EXPECT_EQ(run(I, "(call/1cc (lambda (k) (k 42) 'unreached))"), "42");
+  EXPECT_EQ(run(I, "(+ 1 (call/1cc (lambda (k) 41)))"), "42");
+}
+
+TEST(OneShot, SecondInvocationIsAnError) {
+  Interp I;
+  EXPECT_EQ(run(I, "(define k #f)"
+                   "(define n 0)"
+                   "(call/1cc (lambda (c) (set! k c)))"
+                   "(set! n (+ n 1))"
+                   "(if (< n 2) (k #f) n)"),
+            "error: one-shot continuation invoked a second time");
+}
+
+TEST(OneShot, ImplicitThenExplicitIsAnError) {
+  Interp I;
+  // Returning from the receiver implicitly invokes the continuation;
+  // invoking k afterwards is the second shot.
+  EXPECT_EQ(run(I, "(define k #f)"
+                   "(call/1cc (lambda (c) (set! k c) 'first))"
+                   "(k 'again)"),
+            "error: one-shot continuation invoked a second time");
+}
+
+TEST(OneShot, ExplicitInvokeOnceIsFine) {
+  Interp I;
+  EXPECT_EQ(run(I, "(define (find-leaf obj pred)"
+                   "  (call/1cc (lambda (return)"
+                   "    (let search ((obj obj))"
+                   "      (if (pair? obj)"
+                   "          (begin (search (car obj)) (search (cdr obj)))"
+                   "          (if (pred obj) (return obj) #f))))))"
+                   "(find-leaf '((1 2) (3 (4 5))) even?)"),
+            "2");
+}
+
+TEST(OneShot, ZeroCopyReinstatement) {
+  Interp I;
+  uint64_t CopiedBefore = I.stats().WordsCopied;
+  run(I, "(define (escape-deep d)"
+         "  (call/1cc (lambda (k)"
+         "    (let loop ((i d)) (if (zero? i) (k 'out) (+ 1 (loop (- i 1))))))))"
+         "(define r (escape-deep 50))" // non-tail: a real capture
+         "r");
+  EXPECT_GE(I.stats().OneShotCaptures, 1u);
+  EXPECT_GE(I.stats().OneShotInvokes, 1u);
+  // The invocation itself copies nothing (Fig. 4); only overflow handling
+  // could copy, and 50 frames fit comfortably in the initial segment.
+  EXPECT_EQ(I.stats().WordsCopied, CopiedBefore);
+}
+
+TEST(OneShot, RawPrimitivePredicates) {
+  Interp I;
+  // Non-tail captures so a real one-shot continuation is sealed (tail
+  // captures at a segment base short-circuit to the link, §3.2).
+  EXPECT_EQ(run(I, "(car (list (%call/1cc"
+                   "  (lambda (k) (%continuation-one-shot? k)))))"),
+            "#t");
+  EXPECT_EQ(run(I, "(car (list (%call/1cc"
+                   "  (lambda (k) (%continuation-shot? k)))))"),
+            "#f");
+  // After an explicit invocation, the object is marked shot (sizes -1).
+  EXPECT_EQ(run(I, "(define k #f)"
+                   "(define r (%call/1cc (lambda (c) (set! k c) (c 'x))))"
+                   "(%continuation-shot? k)"),
+            "#t");
+}
+
+TEST(OneShot, SegmentCacheRecycles) {
+  Interp I;
+  run(I, "(define (spin n)"
+         "  (if (zero? n) 'done"
+         "      (begin (call/1cc (lambda (k) (k 1))) (spin (- n 1)))))"
+         "(spin 1000)");
+  // After warmup every capture's fresh segment comes from the cache: far
+  // fewer segment allocations than captures.
+  EXPECT_GE(I.stats().OneShotCaptures, 1000u);
+  EXPECT_GT(I.stats().SegmentCacheHits, 900u);
+  EXPECT_LT(I.stats().SegmentsAllocated, 50u);
+}
+
+TEST(OneShot, CacheDisabledAllocates) {
+  Config C;
+  C.SegmentCacheEnabled = false;
+  Interp I(C);
+  run(I, "(define (spin n)"
+         "  (if (zero? n) 'done"
+         "      (begin (call/1cc (lambda (k) (k 1))) (spin (- n 1)))))"
+         "(spin 1000)");
+  EXPECT_EQ(I.stats().SegmentCacheHits, 0u);
+  EXPECT_GT(I.stats().SegmentsAllocated, 1000u);
+}
+
+TEST(OneShot, PromotionByCallCC) {
+  Interp I;
+  // Capture a one-shot, then capture a multi-shot above it: the one-shot
+  // must be promoted so the multi-shot can be invoked repeatedly.
+  EXPECT_EQ(run(I, "(define k1 #f)"
+                   "(define km #f)"
+                   "(define n 0)"
+                   "(define (inner)"
+                   "  (%call/1cc (lambda (c) (set! k1 c)"
+                   "    (+ 100 (%call/cc (lambda (m) (set! km m) 0))))))"
+                   "(define r (inner))"
+                   "(set! n (+ n 1))"
+                   "(if (< n 3) (km n) (list r n))"),
+            "(102 3)");
+  EXPECT_GE(I.stats().Promotions, 1u);
+}
+
+TEST(OneShot, PromotedContinuationReportedMultiShot) {
+  Interp I;
+  EXPECT_EQ(run(I, "(define k1 #f)"
+                   "(%call/1cc (lambda (c)"
+                   "  (set! k1 c)"
+                   "  (%call/cc (lambda (m) m))"
+                   "  (%continuation-one-shot? k1)))"),
+            "#f");
+}
+
+TEST(OneShot, PromotionSharedFlagStrategy) {
+  Config C;
+  C.Promotion = PromotionStrategy::SharedFlag;
+  Interp I(C);
+  EXPECT_EQ(run(I, "(define k1 #f)"
+                   "(define km #f)"
+                   "(define n 0)"
+                   "(define (inner)"
+                   "  (%call/1cc (lambda (c) (set! k1 c)"
+                   "    (+ 100 (%call/cc (lambda (m) (set! km m) 0))))))"
+                   "(define r (inner))"
+                   "(set! n (+ n 1))"
+                   "(if (< n 3) (km n) (list r n))"),
+            "(102 3)");
+}
+
+TEST(OneShot, PromotionChainStopsAtMultiShot) {
+  Interp I;
+  // Build a chain with two one-shots below a multi-shot capture; the
+  // multi-shot capture promotes both, and the one below the first
+  // multi-shot is never walked again (the walk stops at a multi-shot).
+  run(I, "(define (layer thunk) (cons 'x (%call/1cc (lambda (k) (thunk)))))"
+         "(layer (lambda ()"
+         "  (layer (lambda ()"
+         "    (cons 'y (%call/cc (lambda (m) 'z)))))))");
+  EXPECT_GE(I.stats().OneShotCaptures, 2u);
+  EXPECT_GE(I.stats().Promotions, 2u);
+  uint64_t StepsAfterFirst = I.stats().PromotionWalkSteps;
+  // A second multi-shot capture right above finds a multi-shot immediately.
+  run(I, "(cons 'w (%call/cc (lambda (m) 'v)))");
+  EXPECT_LE(I.stats().PromotionWalkSteps - StepsAfterFirst, 2u);
+}
+
+TEST(OneShot, MixedOneShotAndMultiShotBacktracking) {
+  Interp I;
+  // A Prolog-ish amb on multi-shot continuations running inside a
+  // one-shot-based early-exit: both varieties in one program (§2).
+  EXPECT_EQ(
+      run(I,
+          "(define fail #f)"
+          "(define (amb . choices)"
+          "  (call/cc (lambda (k)"
+          "    (let ((old-fail fail))"
+          "      (let try ((cs choices))"
+          "        (if (null? cs)"
+          "            (begin (set! fail old-fail) (fail))"
+          "            (begin"
+          "              (call/cc (lambda (next)"
+          "                (set! fail (lambda () (next #f)))"
+          "                (k (car cs))))"
+          "              (try (cdr cs)))))))))"
+          "(define (require p) (if p #t (fail)))"
+          "(define result"
+          "  (call/1cc (lambda (done)"
+          "    (call/cc (lambda (top)"
+          "      (set! fail (lambda () (top 'exhausted)))"
+          "      (let ((x (amb 1 2 3 4 5)))"
+          "        (let ((y (amb 1 2 3 4 5)))"
+          "          (require (= (+ x y) 9))"
+          "          (require (> x y))"
+          "          (done (list x y)))))))))"
+          "result"),
+      "(5 4)");
+}
+
+TEST(OneShot, SealDisplacementLimitsResidentStack) {
+  // §3.4: with seal displacement, dormant one-shot continuations pin only
+  // a bounded amount of unoccupied segment space.
+  Config Plain;
+  Plain.SegmentWords = 2048;
+  Config Sealed = Plain;
+  Sealed.SealDisplacementWords = 128;
+
+  // Park 50 dormant one-shot continuations, thread-spawn style: each
+  // capture's receiver parks the continuation and continues forward with
+  // the next spawn (it does not return until the end, exactly like a
+  // thread creator that keeps running in the fresh/remainder segment).
+  // The measurement happens while all 50 are dormant; the value then
+  // unwinds through the chain of implicit invocations.
+  const char *Prog =
+      "(define parked '())"
+      "(define (loop i)"
+      "  (if (= i 50)"
+      "      (vm-live-segment-words)"
+      "      (car (list (%call/1cc (lambda (k)"
+      "                   (set! parked (cons k parked))"
+      "                   (loop (+ i 1))))))))"
+      "(loop 0)";
+
+  Interp IPlain(Plain);
+  Interp ISealed(Sealed);
+  std::string RPlain = run(IPlain, Prog);
+  std::string RSealed = run(ISealed, Prog);
+  long WordsPlain = std::stol(RPlain);
+  long WordsSealed = std::stol(RSealed);
+  // Every parked continuation encapsulates a whole segment without
+  // sealing; with sealing they share segments.
+  EXPECT_GT(WordsPlain, WordsSealed * 4) << RPlain << " vs " << RSealed;
+}
+
+TEST(OneShot, SealDisplacementSemanticsUnchanged) {
+  Config C;
+  C.SealDisplacementWords = 64;
+  Interp I(C);
+  EXPECT_EQ(run(I, "(define (find-leaf obj pred)"
+                   "  (call/1cc (lambda (return)"
+                   "    (let search ((obj obj))"
+                   "      (if (pair? obj)"
+                   "          (begin (search (car obj)) (search (cdr obj)))"
+                   "          (if (pred obj) (return obj) #f))))))"
+                   "(list (find-leaf '((1 2) (3 4)) even?)"
+                   "      (find-leaf '(1 (3 (5 8))) even?))"),
+            "(2 8)");
+  EXPECT_GE(I.stats().OneShotInvokes, 2u);
+}
+
+TEST(OneShot, CoroutinesPingPong) {
+  Interp I;
+  // A coroutine pair where every transfer is a one-shot continuation:
+  // each captured continuation is resumed exactly once.  The producer
+  // yields values to the consumer via paired call/1cc transfers.
+  EXPECT_EQ(run(I,
+                "(define producer-k #f)"
+                "(define consumer-k #f)"
+                "(define out '())"
+                "(define (yield v)"
+                "  (call/1cc (lambda (k)"
+                "    (set! producer-k k)"
+                "    (consumer-k v))))"
+                "(define (producer)"
+                "  (yield 1) (yield 2) (yield 3) (consumer-k 'eos))"
+                "(define (next)"
+                "  (call/1cc (lambda (k)"
+                "    (set! consumer-k k)"
+                "    (if producer-k (producer-k #f) (producer)))))"
+                "(let loop ()"
+                "  (let ((v (next)))"
+                "    (if (eq? v 'eos)"
+                "        (reverse out)"
+                "        (begin (set! out (cons v out)) (loop)))))"),
+            "(1 2 3)");
+  EXPECT_GE(I.stats().OneShotInvokes, 6u);
+}
+
+TEST(OneShot, NonLocalExitWithCleanState) {
+  Interp I;
+  EXPECT_EQ(run(I, "(define (product lst)"
+                   "  (call/1cc (lambda (exit)"
+                   "    (let loop ((l lst) (acc 1))"
+                   "      (cond ((null? l) acc)"
+                   "            ((zero? (car l)) (exit 0))"
+                   "            (else (loop (cdr l) (* acc (car l)))))))))"
+                   "(list (product '(1 2 3)) (product '(1 0 3)))"),
+            "(6 0)");
+}
+
+TEST(OneShot, CaptureInTailPositionUsesLink) {
+  Interp I;
+  EXPECT_EQ(run(I, "(define (f) (%call/1cc (lambda (k) 42)))"
+                   "(f)"),
+            "42");
+  EXPECT_GT(I.stats().EmptyCaptures, 0u);
+  EXPECT_EQ(I.stats().OneShotCaptures, 0u);
+}

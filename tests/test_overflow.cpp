@@ -1,0 +1,178 @@
+// Stack-segment overflow handling (§3.2): overflow as implicit call/cc vs
+// implicit call/1cc, copy-up hysteresis, interaction with explicitly
+// captured continuations, and the deep-recursion behavior the paper's §4
+// benchmark measures.
+
+#include "vm/Interp.h"
+
+#include <gtest/gtest.h>
+
+using namespace osc;
+
+namespace {
+
+std::string run(Interp &I, const std::string &Src) {
+  return I.evalToString(Src);
+}
+
+// A non-tail-recursive summation: every level holds a live frame, so depth
+// N needs N frames — the overflow machinery must chain segments.
+const char *DeepProg = "(define (deep n)"
+                       "  (if (zero? n) 0 (+ 1 (deep (- n 1)))))"
+                       "(deep 50000)";
+
+Config tinyConfig(OverflowPolicy P, uint32_t CopyUp = 8) {
+  Config C;
+  C.SegmentWords = 256;
+  C.InitialSegmentWords = 256;
+  C.Overflow = P;
+  C.OverflowCopyUpFrames = CopyUp;
+  return C;
+}
+
+} // namespace
+
+TEST(Overflow, DeepRecursionOneShotPolicy) {
+  Interp I(tinyConfig(OverflowPolicy::OneShot));
+  EXPECT_EQ(run(I, DeepProg), "50000");
+  EXPECT_GT(I.stats().Overflows, 100u);
+  EXPECT_GT(I.stats().Underflows, 100u);
+}
+
+TEST(Overflow, DeepRecursionMultiShotPolicy) {
+  Interp I(tinyConfig(OverflowPolicy::MultiShot));
+  EXPECT_EQ(run(I, DeepProg), "50000");
+  EXPECT_GT(I.stats().Overflows, 100u);
+}
+
+TEST(Overflow, OneShotPolicyCopiesLessThanMultiShot) {
+  Interp IOne(tinyConfig(OverflowPolicy::OneShot));
+  Interp IMulti(tinyConfig(OverflowPolicy::MultiShot));
+  run(IOne, DeepProg);
+  run(IMulti, DeepProg);
+  // Returning through a one-shot seal reinstates with zero copy; through a
+  // multi-shot seal it copies frames back.  §4: "overflow handling using
+  // one-shot continuations is 300% faster and allocates much less".
+  EXPECT_LT(IOne.stats().WordsCopied * 4, IMulti.stats().WordsCopied);
+}
+
+TEST(Overflow, OneShotPolicyReusesCachedSegments) {
+  Interp I(tinyConfig(OverflowPolicy::OneShot));
+  // Repeated descents: "after the first recursion, the one-shot version
+  // always finds fresh stack segments in the stack cache".
+  run(I, "(define (deep n) (if (zero? n) 0 (+ 1 (deep (- n 1)))))"
+         "(define (go k) (if (zero? k) 'done (begin (deep 2000)"
+         "                                          (go (- k 1)))))"
+         "(go 20)");
+  EXPECT_GT(I.stats().SegmentCacheHits, I.stats().SegmentsAllocated * 4);
+}
+
+TEST(Overflow, NaiveOneShotBouncesMoreThanHysteresis) {
+  // §3.2: without copy-up hysteresis an immediate return switches back to
+  // the full segment and the next call overflows again ("bouncing").  Run
+  // a short sawtooth at a sweep of fill depths so that some depth parks the
+  // oscillation right at the segment boundary.
+  const char *Sawtooth =
+      "(define (deep n) (if (zero? n) 0 (+ 1 (deep (- n 1)))))"
+      "(define (saw k) (if (zero? k) 0 (begin (deep 3) (saw (- k 1)))))"
+      "(define (fill n) (if (zero? n) (saw 500) (+ 1 (fill (- n 1)))))"
+      "(define (sweep d) (if (zero? d) 'done (begin (fill d)"
+      "                                             (sweep (- d 1)))))"
+      "(sweep 60)";
+  Interp INaive(tinyConfig(OverflowPolicy::OneShot, /*CopyUp=*/0));
+  Interp IHyst(tinyConfig(OverflowPolicy::OneShot, /*CopyUp=*/8));
+  run(INaive, Sawtooth);
+  run(IHyst, Sawtooth);
+  EXPECT_GT(INaive.stats().Overflows, IHyst.stats().Overflows * 2);
+}
+
+TEST(Overflow, ResultsIdenticalAcrossSegmentSizes) {
+  for (uint32_t Words : {96u, 200u, 1024u, 16384u}) {
+    for (OverflowPolicy P :
+         {OverflowPolicy::OneShot, OverflowPolicy::MultiShot}) {
+      Config C;
+      C.SegmentWords = Words;
+      C.InitialSegmentWords = Words;
+      C.Overflow = P;
+      Interp I(C);
+      EXPECT_EQ(run(I, "(define (deep n)"
+                       "  (if (zero? n) 0 (+ 1 (deep (- n 1)))))"
+                       "(deep 5000)"),
+                "5000")
+          << "segment words " << Words;
+    }
+  }
+}
+
+TEST(Overflow, ExplicitCaptureAcrossSegmentBoundary) {
+  // A continuation captured while the stack spans several segments must
+  // reinstate the whole logical stack (chained underflows).
+  for (OverflowPolicy P :
+       {OverflowPolicy::OneShot, OverflowPolicy::MultiShot}) {
+    Interp I(tinyConfig(P));
+    EXPECT_EQ(run(I, "(define k #f)"
+                     "(define n 0)"
+                     "(define (deep d)"
+                     "  (if (zero? d)"
+                     "      (call/cc (lambda (c) (set! k c) 0))"
+                     "      (+ 1 (deep (- d 1)))))"
+                     "(define r (deep 500))"
+                     "(set! n (+ n 1))"
+                     "(if (< n 3) (k 0) (list r n))"),
+              "(500 3)");
+  }
+}
+
+TEST(Overflow, OneShotCaptureAcrossSegmentBoundary) {
+  Interp I(tinyConfig(OverflowPolicy::OneShot));
+  EXPECT_EQ(run(I, "(define (escape)"
+                   "  (call/1cc (lambda (k)"
+                   "    (let loop ((d 2000))"
+                   "      (if (zero? d) (k 'out) (+ 1 (loop (- d 1))))))))"
+                   "(define r (escape))"
+                   "r"),
+            "out");
+}
+
+TEST(Overflow, PromotionOfImplicitOneShots) {
+  // Deep recursion under the one-shot policy leaves implicit one-shot
+  // continuations in the chain; call/cc must promote them so the captured
+  // continuation can be invoked repeatedly (§3.3).
+  Interp I(tinyConfig(OverflowPolicy::OneShot));
+  EXPECT_EQ(run(I, "(define k #f)"
+                   "(define n 0)"
+                   "(define (deep d)"
+                   "  (if (zero? d)"
+                   "      (call/cc (lambda (c) (set! k c) 0))"
+                   "      (+ 1 (deep (- d 1)))))"
+                   "(define r (deep 1000))"
+                   "(set! n (+ n 1))"
+                   "(if (< n 4) (k 0) (list r n))"),
+            "(1000 4)");
+  EXPECT_GT(I.stats().Promotions, 0u);
+}
+
+TEST(Overflow, HugeSingleFrame) {
+  // A frame larger than the segment size forces allocation of an oversized
+  // segment rather than looping on overflow.
+  Config C;
+  C.SegmentWords = 64;
+  C.InitialSegmentWords = 64;
+  Interp I(C);
+  // 80 live arguments in one call.
+  std::string Call = "(define (f . xs) (length xs)) (f";
+  for (int J = 0; J != 80; ++J)
+    Call += " " + std::to_string(J);
+  Call += ")";
+  EXPECT_EQ(run(I, Call), "80");
+}
+
+TEST(Overflow, MutualRecursionAcrossSegments) {
+  Interp I(tinyConfig(OverflowPolicy::OneShot));
+  EXPECT_EQ(run(I, "(define (ev? n) (if (zero? n) #t (begin (od? (- n 1)))))"
+                   "(define (od? n) (if (zero? n) #f (begin (ev? (- n 1)))))"
+                   "(define (sum n) (if (zero? n) 0 (+ (if (ev? n) 1 0)"
+                   "                                   (sum (- n 1)))))"
+                   "(sum 3000)"),
+            "1500");
+}

@@ -1,0 +1,114 @@
+// Coverage for the prelude library procedures and remaining R4RS-ish
+// behaviours not exercised by the focused suites.
+
+#include "vm/Interp.h"
+
+#include <gtest/gtest.h>
+
+using namespace osc;
+
+namespace {
+
+class PreludeTest : public ::testing::Test {
+protected:
+  std::string run(const std::string &Src) { return I.evalToString(Src); }
+  Interp I;
+};
+
+} // namespace
+
+TEST_F(PreludeTest, CxrCompositions) {
+  EXPECT_EQ(run("(caar '((1 2) 3))"), "1");
+  EXPECT_EQ(run("(cadr '(1 2 3))"), "2");
+  EXPECT_EQ(run("(cdar '((1 2) 3))"), "(2)");
+  EXPECT_EQ(run("(cddr '(1 2 3 4))"), "(3 4)");
+  EXPECT_EQ(run("(caddr '(1 2 3 4))"), "3");
+  EXPECT_EQ(run("(cadddr '(1 2 3 4))"), "4");
+}
+
+TEST_F(PreludeTest, ListUtilities) {
+  EXPECT_EQ(run("(last-pair '(1 2 3))"), "(3)");
+  EXPECT_EQ(run("(list-copy '(1 2 3))"), "(1 2 3)");
+  EXPECT_EQ(run("(define a '(1 2)) (eq? a (list-copy a))"), "#f");
+  EXPECT_EQ(run("(equal? a (list-copy a))"), "#t");
+  EXPECT_EQ(run("(vector-map (lambda (x) (* x x)) #(1 2 3))"), "#(1 4 9)");
+  EXPECT_EQ(run("(for-each (lambda (x) x) '())"), "#<unspecified>");
+}
+
+TEST_F(PreludeTest, CharPredicates) {
+  EXPECT_EQ(run("(char=? #\\a #\\a)"), "#t");
+  EXPECT_EQ(run("(char=? #\\a #\\b)"), "#f");
+  EXPECT_EQ(run("(char<? #\\a #\\b)"), "#t");
+  EXPECT_EQ(run("(char>? #\\b #\\a)"), "#t");
+  EXPECT_EQ(run("(char<=? #\\a #\\a)"), "#t");
+  EXPECT_EQ(run("(char>=? #\\a #\\b)"), "#f");
+}
+
+TEST_F(PreludeTest, StringListConversions) {
+  EXPECT_EQ(run("(string->list \"abc\")"), "(#\\a #\\b #\\c)");
+  EXPECT_EQ(run("(list->string '(#\\h #\\i))"), "\"hi\"");
+  EXPECT_EQ(run("(list->string (string->list \"round\"))"), "\"round\"");
+  EXPECT_EQ(run("(string->list \"\")"), "()");
+}
+
+TEST_F(PreludeTest, SortNumbers) {
+  EXPECT_EQ(run("(sort-numbers '(3 1 2))"), "(1 2 3)");
+  EXPECT_EQ(run("(sort-numbers '())"), "()");
+  EXPECT_EQ(run("(sort-numbers '(5 5 1))"), "(1 5 5)");
+  EXPECT_EQ(run("(sort-numbers '(2.5 1 3))"), "(1 2.5 3)");
+  EXPECT_EQ(run("(sort-numbers '(1 x))"),
+            "error: sort-numbers: not a number: x");
+}
+
+TEST_F(PreludeTest, FoldsAndFilters) {
+  EXPECT_EQ(run("(fold-left (lambda (acc x) (cons x acc)) '() '(1 2 3))"),
+            "(3 2 1)");
+  EXPECT_EQ(run("(fold-right (lambda (x acc) (cons x acc)) '() '(1 2 3))"),
+            "(1 2 3)");
+  EXPECT_EQ(run("(filter pair? '(1 (2) 3 (4)))"), "((2) (4))");
+  EXPECT_EQ(run("(map (lambda (p) (apply + p)) '((1 2) (3 4)))"), "(3 7)");
+}
+
+TEST_F(PreludeTest, GensymIsFresh) {
+  EXPECT_EQ(run("(eq? (gensym) (gensym))"), "#f");
+  EXPECT_EQ(run("(symbol? (gensym))"), "#t");
+}
+
+TEST_F(PreludeTest, NumberStringEdges) {
+  EXPECT_EQ(run("(number->string -42)"), "\"-42\"");
+  EXPECT_EQ(run("(string->number \"-42\")"), "-42");
+  EXPECT_EQ(run("(string->number \"2.5\")"), "2.5");
+  EXPECT_EQ(run("(string->number \"\")"), "#f");
+  EXPECT_EQ(run("(string->number \"12abc\")"), "#f");
+}
+
+TEST_F(PreludeTest, MixedNumericComparisons) {
+  EXPECT_EQ(run("(< 1 1.5 2)"), "#t");
+  EXPECT_EQ(run("(= 2 2.0)"), "#t");
+  EXPECT_EQ(run("(integer? 2.0)"), "#t");
+  EXPECT_EQ(run("(integer? 2.5)"), "#f");
+  EXPECT_EQ(run("(max 1 2.5 2)"), "2.5");
+  EXPECT_EQ(run("(/ 1 2)"), "0.5");
+  EXPECT_EQ(run("(/ 2.0)"), "0.5");
+}
+
+TEST_F(PreludeTest, IotaAndRanges) {
+  EXPECT_EQ(run("(iota 0)"), "()");
+  EXPECT_EQ(run("(iota 1)"), "(0)");
+  EXPECT_EQ(run("(apply + (iota 100))"), "4950");
+}
+
+TEST_F(PreludeTest, DeepPreludeFunctionsUnderTinySegments) {
+  Config C;
+  C.SegmentWords = 100;
+  C.InitialSegmentWords = 100;
+  Interp Small(C);
+  // map/filter/fold are non-tail-recursive: they must survive overflow.
+  EXPECT_EQ(Small.evalToString("(length (map (lambda (x) x) (iota 2000)))"),
+            "2000");
+  EXPECT_EQ(Small.evalToString("(length (filter even? (iota 2000)))"),
+            "1000");
+  EXPECT_EQ(Small.evalToString(
+                "(fold-right + 0 (iota 1000))"),
+            "499500");
+}

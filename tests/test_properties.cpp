@@ -1,0 +1,251 @@
+// Property-style sweeps: the observable semantics of the language must be
+// identical at every point of the configuration lattice (segment size x
+// copy bound x overflow policy x promotion strategy x seal displacement x
+// cache on/off).  Only the performance counters may differ.
+//
+// Each program below exercises a different slice of the control machinery;
+// INSTANTIATE_TEST_SUITE_P runs all programs against all configurations.
+
+#include "vm/Interp.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <tuple>
+#include <vector>
+
+using namespace osc;
+
+namespace {
+
+struct ConfigPoint {
+  const char *Name;
+  Config C;
+};
+
+std::vector<ConfigPoint> configLattice() {
+  std::vector<ConfigPoint> Points;
+  auto Add = [&](const char *Name, auto Mutate) {
+    Config C;
+    Mutate(C);
+    Points.push_back({Name, C});
+  };
+  Add("defaults", [](Config &) {});
+  Add("tiny-segments-oneshot", [](Config &C) {
+    C.SegmentWords = 128;
+    C.InitialSegmentWords = 128;
+    C.Overflow = OverflowPolicy::OneShot;
+  });
+  Add("tiny-segments-multishot", [](Config &C) {
+    C.SegmentWords = 128;
+    C.InitialSegmentWords = 128;
+    C.Overflow = OverflowPolicy::MultiShot;
+  });
+  Add("tiny-copy-bound", [](Config &C) { C.CopyBoundWords = 32; });
+  Add("no-cache", [](Config &C) { C.SegmentCacheEnabled = false; });
+  Add("shared-flag-promotion",
+      [](Config &C) { C.Promotion = PromotionStrategy::SharedFlag; });
+  Add("seal-displacement", [](Config &C) { C.SealDisplacementWords = 96; });
+  Add("hostile", [](Config &C) {
+    // Everything small and non-default at once.
+    C.SegmentWords = 96;
+    C.InitialSegmentWords = 96;
+    C.CopyBoundWords = 16;
+    C.Overflow = OverflowPolicy::OneShot;
+    C.OverflowCopyUpFrames = 1;
+    C.Promotion = PromotionStrategy::SharedFlag;
+    C.SealDisplacementWords = 24;
+    C.GcThresholdBytes = 64 * 1024;
+  });
+  Add("hostile-multishot", [](Config &C) {
+    C.SegmentWords = 96;
+    C.InitialSegmentWords = 96;
+    C.CopyBoundWords = 16;
+    C.Overflow = OverflowPolicy::MultiShot;
+    C.GcThresholdBytes = 64 * 1024;
+  });
+  Add("naive-overflow", [](Config &C) {
+    C.SegmentWords = 128;
+    C.InitialSegmentWords = 128;
+    C.Overflow = OverflowPolicy::OneShot;
+    C.OverflowCopyUpFrames = 0;
+  });
+  return Points;
+}
+
+struct Program {
+  const char *Name;
+  const char *Source;
+  const char *Expect;
+};
+
+const Program Programs[] = {
+    {"deep-recursion",
+     "(define (deep n) (if (zero? n) 0 (+ 1 (deep (- n 1))))) (deep 4000)",
+     "4000"},
+    {"tail-loop",
+     "(let loop ((i 0) (acc 1)) (if (= i 12) acc (loop (+ i 1) (* acc 2))))",
+     "4096"},
+    {"reentrant-callcc",
+     "(define k #f)"
+     "(define n 0)"
+     "(define (deep d)"
+     "  (if (zero? d) (call/cc (lambda (c) (set! k c) 0))"
+     "      (+ 1 (deep (- d 1)))))"
+     "(define r (deep 150))"
+     "(set! n (+ n 1))"
+     "(if (< n 4) (k 0) (list r n))",
+     "(150 4)"},
+    {"oneshot-escape",
+     "(define (find pred)"
+     "  (call/1cc (lambda (return)"
+     "    (let loop ((i 0))"
+     "      (if (> i 500) 'none"
+     "          (begin (if (pred i) (return i) #f) (loop (+ i 1))))))))"
+     "(list (find (lambda (i) (= (* i i) 144)))"
+     "      (find (lambda (i) (> i 1000))))",
+     "(12 none)"},
+    {"oneshot-then-promote",
+     "(define k1 #f) (define km #f) (define n 0)"
+     "(define (inner)"
+     "  (%call/1cc (lambda (c) (set! k1 c)"
+     "    (+ 100 (%call/cc (lambda (m) (set! km m) 0))))))"
+     "(define r (inner))"
+     "(set! n (+ n 1))"
+     "(if (< n 3) (km n) (list r n))",
+     "(102 3)"},
+    {"generator",
+     "(define resume #f)"
+     "(define (gen consume)"
+     "  (for-each (lambda (x)"
+     "              (set! consume (call/cc (lambda (r)"
+     "                                       (set! resume r)"
+     "                                       (consume x)))))"
+     "            '(1 2 3))"
+     "  (consume 'done))"
+     "(define (next)"
+     "  (call/cc (lambda (k) (if resume (resume k) (gen k)))))"
+     "(list (next) (next) (next) (next))",
+     "(1 2 3 done)"},
+    {"dynamic-wind-jumps",
+     "(define log '())"
+     "(define (note x) (set! log (cons x log)))"
+     "(define k #f) (define n 0)"
+     "(dynamic-wind"
+     "  (lambda () (note 'in))"
+     "  (lambda () (call/cc (lambda (c) (set! k c))) (set! n (+ n 1)))"
+     "  (lambda () (note 'out)))"
+     "(if (< n 3) (k #f) (reverse log))",
+     "(in out in out in out)"},
+    {"coroutine-transfer",
+     "(define producer-k #f) (define consumer-k #f) (define out '())"
+     "(define (yield v)"
+     "  (call/1cc (lambda (k) (set! producer-k k) (consumer-k v))))"
+     "(define (producer) (yield 'a) (yield 'b) (consumer-k 'eos))"
+     "(define (next)"
+     "  (call/1cc (lambda (k)"
+     "    (set! consumer-k k)"
+     "    (if producer-k (producer-k #f) (producer)))))"
+     "(let loop ()"
+     "  (let ((v (next)))"
+     "    (if (eq? v 'eos) (reverse out)"
+     "        (begin (set! out (cons v out)) (loop)))))",
+     "(a b)"},
+    {"multiple-values",
+     "(call-with-values"
+     "  (lambda () (call-with-values (lambda () (values 3 4))"
+     "                               (lambda (a b) (values (* a b) (+ a b)))))"
+     "  list)",
+     "(12 7)"},
+    {"gc-churn",
+     "(define (build n acc)"
+     "  (if (zero? n) acc (build (- n 1) (cons (list n) acc))))"
+     "(length (build 5000 '()))",
+     "5000"},
+    {"mixed-depth-continuations",
+     "(define ks '())"
+     "(define (save) (car (list (%call/1cc (lambda (k)"
+     "  (set! ks (cons k ks)) 1)))))"
+     "(define (spine d)"
+     "  (if (zero? d) (save) (+ (save) (spine (- d 1)))))"
+     "(spine 30)",
+     "31"},
+};
+
+class ConfigLattice
+    : public ::testing::TestWithParam<std::tuple<size_t, size_t>> {};
+
+TEST_P(ConfigLattice, SameResultEverywhere) {
+  auto [ProgIdx, CfgIdx] = GetParam();
+  const Program &P = Programs[ProgIdx];
+  std::vector<ConfigPoint> Lattice = configLattice();
+  const ConfigPoint &CP = Lattice[CfgIdx];
+  Interp I(CP.C);
+  EXPECT_EQ(I.evalToString(P.Source), P.Expect)
+      << "program " << P.Name << " under config " << CP.Name;
+}
+
+std::string latticeName(
+    const ::testing::TestParamInfo<std::tuple<size_t, size_t>> &Info) {
+  auto [ProgIdx, CfgIdx] = Info.param;
+  std::vector<ConfigPoint> Lattice = configLattice();
+  std::string N =
+      std::string(Programs[ProgIdx].Name) + "_" + Lattice[CfgIdx].Name;
+  for (char &C : N)
+    if (C == '-')
+      C = '_';
+  return N;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllPrograms, ConfigLattice,
+    ::testing::Combine(
+        ::testing::Range<size_t>(0, std::size(Programs)),
+        ::testing::Range<size_t>(0, configLattice().size())),
+    latticeName);
+
+// --- Cross-config counter invariants ----------------------------------------
+
+TEST(CounterInvariants, OneShotNeverCopiesOnInvoke) {
+  // Under any configuration, pure one-shot capture/invoke cycles that fit
+  // in one segment copy nothing.
+  for (const ConfigPoint &CP : configLattice()) {
+    if (CP.C.SegmentWords < 1024)
+      continue; // Overflow configs legitimately copy.
+    Interp I(CP.C);
+    uint64_t Before = I.stats().WordsCopied;
+    I.eval("(define (f) (car (list (call/1cc (lambda (k) (k 1)))))) "
+           "(define (spin n) (if (zero? n) 'ok (begin (f) (spin (- n 1)))))"
+           "(spin 200)");
+    EXPECT_EQ(I.stats().WordsCopied, Before) << CP.Name;
+  }
+}
+
+TEST(CounterInvariants, ShotDetectionUnderEveryConfig) {
+  for (const ConfigPoint &CP : configLattice()) {
+    Interp I(CP.C);
+    EXPECT_EQ(I.evalToString("(define k #f)"
+                             "(car (list (call/1cc (lambda (c)"
+                             "             (set! k c) (c 'once)))))"
+                             "(k 'twice)"),
+              "error: one-shot continuation invoked a second time")
+        << CP.Name;
+  }
+}
+
+TEST(CounterInvariants, InstructionCountsDeterministic) {
+  // Two identical runs under the same config execute the same instruction
+  // stream (the VM is deterministic; GC timing must not affect semantics).
+  Config C;
+  C.GcThresholdBytes = 128 * 1024;
+  const char *Prog = "(define (work n acc)"
+                     "  (if (zero? n) acc"
+                     "      (work (- n 1) (cons (list n n) acc))))"
+                     "(length (work 3000 '()))";
+  Interp A(C), B(C);
+  ASSERT_EQ(A.evalToString(Prog), "3000");
+  ASSERT_EQ(B.evalToString(Prog), "3000");
+  EXPECT_EQ(A.stats().Instructions, B.stats().Instructions);
+  EXPECT_EQ(A.stats().ProcedureCalls, B.stats().ProcedureCalls);
+}
+} // namespace

@@ -1,0 +1,287 @@
+// An R4RS-flavoured conformance battery: spec-style example expressions
+// across the implemented subset, in one place.  Complements the focused
+// suites with breadth.
+
+#include "vm/Interp.h"
+
+#include <gtest/gtest.h>
+
+using namespace osc;
+
+namespace {
+
+struct Case {
+  const char *Expr;
+  const char *Expect;
+};
+
+class R4RS : public ::testing::Test {
+protected:
+  void check(const Case *Cases, size_t N) {
+    for (size_t J = 0; J != N; ++J)
+      EXPECT_EQ(I.evalToString(Cases[J].Expr), Cases[J].Expect)
+          << Cases[J].Expr;
+  }
+  Interp I;
+};
+
+} // namespace
+
+TEST_F(R4RS, Booleans) {
+  const Case Cases[] = {
+      {"(boolean? #f)", "#t"},       {"(boolean? 0)", "#f"},
+      {"(boolean? '())", "#f"},      {"(not #t)", "#f"},
+      {"(not 3)", "#f"},             {"(not (list 3))", "#f"},
+      {"(not '())", "#f"},           {"(not 'nil)", "#f"},
+  };
+  check(Cases, std::size(Cases));
+}
+
+TEST_F(R4RS, EquivalencePredicates) {
+  const Case Cases[] = {
+      {"(eqv? 'a 'a)", "#t"},
+      {"(eqv? 'a 'b)", "#f"},
+      {"(eqv? 2 2)", "#t"},
+      {"(eqv? '() '())", "#t"},
+      {"(eqv? 100000000 100000000)", "#t"},
+      {"(eqv? (cons 1 2) (cons 1 2))", "#f"},
+      {"(eqv? (lambda () 1) (lambda () 2))", "#f"},
+      {"(eqv? #f 'nil)", "#f"},
+      {"(let ((p (lambda (x) x))) (eqv? p p))", "#t"},
+      {"(eq? 'a 'a)", "#t"},
+      {"(eq? (list 'a) (list 'a))", "#f"},
+      {"(eq? '() '())", "#t"},
+      {"(eq? car car)", "#t"},
+      {"(let ((x '(a))) (eq? x x))", "#t"},
+      {"(equal? 'a 'a)", "#t"},
+      {"(equal? '(a) '(a))", "#t"},
+      {"(equal? '(a (b) c) '(a (b) c))", "#t"},
+      {"(equal? \"abc\" \"abc\")", "#t"},
+      {"(equal? 2 2)", "#t"},
+      {"(equal? (make-vector 5 'a) (make-vector 5 'a))", "#t"},
+  };
+  check(Cases, std::size(Cases));
+}
+
+TEST_F(R4RS, PairsAndLists) {
+  const Case Cases[] = {
+      {"(pair? '(a . b))", "#t"},
+      {"(pair? '(a b c))", "#t"},
+      {"(pair? '())", "#f"},
+      {"(pair? '#(a b))", "#f"},
+      {"(cons 'a '())", "(a)"},
+      {"(cons '(a) '(b c d))", "((a) b c d)"},
+      {"(cons \"a\" '(b c))", "(\"a\" b c)"},
+      {"(cons 'a 3)", "(a . 3)"},
+      {"(cons '(a b) 'c)", "((a b) . c)"},
+      {"(car '(a b c))", "a"},
+      {"(car '((a) b c d))", "(a)"},
+      {"(car '(1 . 2))", "1"},
+      {"(cdr '((a) b c d))", "(b c d)"},
+      {"(cdr '(1 . 2))", "2"},
+      {"(list? '(a b c))", "#t"},
+      {"(list? '())", "#t"},
+      {"(list? '(a . b))", "#f"},
+      {"(list 'a (+ 3 4) 'c)", "(a 7 c)"},
+      {"(list)", "()"},
+      {"(length '(a b c))", "3"},
+      {"(length '(a (b) (c d e)))", "3"},
+      {"(length '())", "0"},
+      {"(append '(x) '(y))", "(x y)"},
+      {"(append '(a) '(b c d))", "(a b c d)"},
+      {"(append '(a (b)) '((c)))", "(a (b) (c))"},
+      {"(append '(a b) '(c . d))", "(a b c . d)"},
+      {"(append '() 'a)", "a"},
+      {"(reverse '(a b c))", "(c b a)"},
+      {"(reverse '(a (b c) d (e (f))))", "((e (f)) d (b c) a)"},
+      {"(list-ref '(a b c d) 2)", "c"},
+      {"(memq 'a '(a b c))", "(a b c)"},
+      {"(memq 'b '(a b c))", "(b c)"},
+      {"(memq 'a '(b c d))", "#f"},
+      {"(memq (list 'a) '(b (a) c))", "#f"},
+      {"(member (list 'a) '(b (a) c))", "((a) c)"},
+      {"(memv 101 '(100 101 102))", "(101 102)"},
+      {"(assq 'a '((a 1) (b 2) (c 3)))", "(a 1)"},
+      {"(assq 'b '((a 1) (b 2) (c 3)))", "(b 2)"},
+      {"(assq 'd '((a 1) (b 2) (c 3)))", "#f"},
+      {"(assq (list 'a) '(((a)) ((b)) ((c))))", "#f"},
+      {"(assoc (list 'a) '(((a)) ((b)) ((c))))", "((a))"},
+      {"(assv 5 '((2 3) (5 7) (11 13)))", "(5 7)"},
+  };
+  check(Cases, std::size(Cases));
+}
+
+TEST_F(R4RS, Symbols) {
+  const Case Cases[] = {
+      {"(symbol? 'foo)", "#t"},
+      {"(symbol? (car '(a b)))", "#t"},
+      {"(symbol? \"bar\")", "#f"},
+      {"(symbol? 'nil)", "#t"},
+      {"(symbol? '())", "#f"},
+      {"(symbol? #f)", "#f"},
+      {"(symbol->string 'flying-fish)", "\"flying-fish\""},
+      {"(eq? 'mISSISSIppi 'mississippi)", "#f"}, // We are case-sensitive.
+      {"(eq? (string->symbol \"bitBlt\") 'bitBlt)", "#t"},
+      {"(eq? 'JollyWog (string->symbol (symbol->string 'JollyWog)))", "#t"},
+  };
+  check(Cases, std::size(Cases));
+}
+
+TEST_F(R4RS, Numbers) {
+  const Case Cases[] = {
+      {"(+ 3 4)", "7"},
+      {"(+ 3)", "3"},
+      {"(+)", "0"},
+      {"(* 4)", "4"},
+      {"(*)", "1"},
+      {"(- 3 4)", "-1"},
+      {"(- 3 4 5)", "-6"},
+      {"(- 3)", "-3"},
+      {"(abs -7)", "7"},
+      {"(quotient 7 2)", "3"},
+      {"(remainder 7 2)", "1"},
+      {"(remainder -13 4)", "-1"},
+      {"(modulo -13 4)", "3"},
+      {"(modulo 13 -4)", "-3"},
+      {"(remainder 13 -4)", "1"},
+      {"(min 3 4)", "3"},
+      {"(max 3.9 4)", "4"},
+      {"(= 2 2)", "#t"},
+      {"(< 2 3)", "#t"},
+      {"(> 3 2)", "#t"},
+      {"(<= 2 2 3)", "#t"},
+      {"(>= 3 3 2)", "#t"},
+      {"(zero? 0)", "#t"},
+      {"(positive? 3)", "#t"},
+      {"(negative? -3)", "#t"},
+      {"(odd? 3)", "#t"},
+      {"(even? 2)", "#t"},
+      {"(number? 3)", "#t"},
+      {"(number? 'a)", "#f"},
+  };
+  check(Cases, std::size(Cases));
+}
+
+TEST_F(R4RS, ControlFeatures) {
+  const Case Cases[] = {
+      {"(procedure? car)", "#t"},
+      {"(procedure? 'car)", "#f"},
+      {"(procedure? (lambda (x) (* x x)))", "#t"},
+      {"(procedure? '(lambda (x) (* x x)))", "#f"},
+      {"(call-with-current-continuation procedure?)", "#t"},
+      {"(apply + (list 3 4))", "7"},
+      {"(map cadr '((a b) (d e) (g h)))", "(b e h)"},
+      {"(map (lambda (n) (* n n)) '(1 2 3 4 5))", "(1 4 9 16 25)"},
+      {"(map + '(1 2 3) '(4 5 6))", "(5 7 9)"},
+      {"(let ((v (make-vector 5 0)))"
+       "  (for-each (lambda (i) (vector-set! v i (* i i)))"
+       "            '(0 1 2 3 4))"
+       "  v)",
+       "#(0 1 4 9 16)"},
+      {"(call-with-current-continuation"
+       "  (lambda (exit)"
+       "    (for-each (lambda (x) (if (negative? x) (exit x) #f))"
+       "              '(54 0 37 -3 245 19))"
+       "    #t))",
+       "-3"},
+      {"(define list-length"
+       "  (lambda (obj)"
+       "    (call-with-current-continuation"
+       "      (lambda (return)"
+       "        (let r ((obj obj))"
+       "          (cond ((null? obj) 0)"
+       "                ((pair? obj) (+ (r (cdr obj)) 1))"
+       "                (else (return #f))))))))"
+       "(list (list-length '(1 2 3 4)) (list-length '(a b . c)))",
+       "(4 #f)"},
+  };
+  check(Cases, std::size(Cases));
+  // positive?/negative? are used above; define them if missing is not
+  // needed — they are natives... (ensured by the expectations passing).
+}
+
+TEST_F(R4RS, Conditionals) {
+  const Case Cases[] = {
+      {"(if (> 3 2) 'yes 'no)", "yes"},
+      {"(if (> 2 3) 'yes 'no)", "no"},
+      {"(if (> 3 2) (- 3 2) (+ 3 2))", "1"},
+      {"(cond ((> 3 2) 'greater) ((< 3 2) 'less))", "greater"},
+      {"(cond ((> 3 3) 'greater) ((< 3 3) 'less) (else 'equal))", "equal"},
+      {"(case (* 2 3) ((2 3 5 7) 'prime) ((1 4 6 8 9) 'composite))",
+       "composite"},
+      {"(case (car '(c d)) ((a) 'a) ((b) 'b))", "#<unspecified>"},
+      {"(and (= 2 2) (> 2 1))", "#t"},
+      {"(and (= 2 2) (< 2 1))", "#f"},
+      {"(and 1 2 'c '(f g))", "(f g)"},
+      {"(and)", "#t"},
+      {"(or (= 2 2) (> 2 1))", "#t"},
+      {"(or #f #f #f)", "#f"},
+      {"(or (memq 'b '(a b c)) (/ 3 0))", "(b c)"},
+  };
+  check(Cases, std::size(Cases));
+}
+
+TEST_F(R4RS, BindingConstructs) {
+  const Case Cases[] = {
+      {"(let ((x 2) (y 3)) (* x y))", "6"},
+      {"(let ((x 2) (y 3)) (let ((x 7) (z (+ x y))) (* z x)))", "35"},
+      {"(let ((x 2) (y 3)) (let* ((x 7) (z (+ x y))) (* z x)))", "70"},
+      {"(letrec ((even? (lambda (n) (if (zero? n) #t (odd? (- n 1)))))"
+       "         (odd? (lambda (n) (if (zero? n) #f (even? (- n 1))))))"
+       "  (even? 88))",
+       "#t"},
+      {"(define x 0)"
+       "(begin (set! x 5) (+ x 1))",
+       "6"},
+      {"(do ((vec (make-vector 5)) (i 0 (+ i 1)))"
+       "    ((= i 5) vec)"
+       "  (vector-set! vec i i))",
+       "#(0 1 2 3 4)"},
+      {"(let ((x '(1 3 5 7 9)))"
+       "  (do ((x x (cdr x)) (sum 0 (+ sum (car x))))"
+       "      ((null? x) sum)))",
+       "25"},
+      {"(let loop ((numbers '(3 -2 1 6 -5)) (nonneg '()) (neg '()))"
+       "  (cond ((null? numbers) (list nonneg neg))"
+       "        ((>= (car numbers) 0)"
+       "         (loop (cdr numbers) (cons (car numbers) nonneg) neg))"
+       "        (else"
+       "         (loop (cdr numbers) nonneg (cons (car numbers) neg)))))",
+       "((6 1 3) (-5 -2))"},
+  };
+  check(Cases, std::size(Cases));
+}
+
+TEST_F(R4RS, Quasiquotation) {
+  const Case Cases[] = {
+      {"`(list ,(+ 1 2) 4)", "(list 3 4)"},
+      {"(let ((name 'a)) `(list ,name ',name))",
+       "(list a (quote a))"},
+      {"`(a ,(+ 1 2) ,@(map abs '(4 -5 6)) b)", "(a 3 4 5 6 b)"},
+      {"`((foo ,(- 10 3)) ,@(cdr '(c)) . ,(car '(cons)))",
+       "((foo 7) . cons)"},
+      {"`(1 `(2 ,(3 4)))",
+       "(1 (quasiquote (2 (unquote (3 4)))))"},
+  };
+  check(Cases, std::size(Cases));
+}
+
+TEST_F(R4RS, VectorsAndStrings) {
+  const Case Cases[] = {
+      {"(vector 'a 'b 'c)", "#(a b c)"},
+      {"(vector-ref '#(1 1 2 3 5 8 13 21) 5)", "8"},
+      {"(let ((vec (vector 0 '(2 2 2 2) \"Anna\")))"
+       "  (vector-set! vec 1 '(\"Sue\" \"Sue\"))"
+       "  vec)",
+       "#(0 (\"Sue\" \"Sue\") \"Anna\")"},
+      {"(vector->list '#(dah dah didah))", "(dah dah didah)"},
+      {"(list->vector '(dididit dah))", "#(dididit dah)"},
+      {"(string-length \"\")", "0"},
+      {"(substring \"hello world\" 6 11)", "\"world\""},
+      {"(string-append \"\" \"a\" \"bc\")", "\"abc\""},
+      {"(string<? \"abc\" \"abd\")", "#t"},
+      {"(string=? \"abc\" \"abc\")", "#t"},
+      {"(string-ref \"hello\" 1)", "#\\e"},
+  };
+  check(Cases, std::size(Cases));
+}

@@ -1,0 +1,40 @@
+// End-to-end smoke tests: the interpreter boots (prelude loads) and basic
+// evaluation works.  Deeper per-module suites live in the sibling files.
+
+#include "vm/Interp.h"
+
+#include <gtest/gtest.h>
+
+using namespace osc;
+
+TEST(Smoke, Arithmetic) {
+  Interp I;
+  EXPECT_EQ(I.evalToString("(+ 1 2)"), "3");
+  EXPECT_EQ(I.evalToString("(* 6 7)"), "42");
+  EXPECT_EQ(I.evalToString("(- 10 4 3)"), "3");
+}
+
+TEST(Smoke, DefineAndCall) {
+  Interp I;
+  EXPECT_EQ(I.evalToString("(define (sq x) (* x x)) (sq 9)"), "81");
+}
+
+TEST(Smoke, TailRecursionDeep) {
+  Interp I;
+  EXPECT_EQ(I.evalToString("(define (loop n acc)"
+                           "  (if (zero? n) acc (loop (- n 1) (+ acc 1))))"
+                           "(loop 1000000 0)"),
+            "1000000");
+}
+
+TEST(Smoke, CallCCBasic) {
+  Interp I;
+  EXPECT_EQ(I.evalToString("(call/cc (lambda (k) (+ 1 (k 41))))"), "41");
+  EXPECT_EQ(I.evalToString("(+ 1 (call/cc (lambda (k) 41)))"), "42");
+}
+
+TEST(Smoke, Call1CCBasic) {
+  Interp I;
+  EXPECT_EQ(I.evalToString("(call/1cc (lambda (k) (k 7)))"), "7");
+  EXPECT_EQ(I.evalToString("(+ 1 (call/1cc (lambda (k) 41)))"), "42");
+}

@@ -1,0 +1,195 @@
+// Differential stress testing: pseudo-randomly generated control-heavy
+// programs must produce identical results under the default configuration
+// and under hostile configurations (tiny segments, tiny copy bounds, both
+// overflow policies, seal displacement, no cache).  The default config is
+// the reference; any divergence indicates a control-representation bug.
+
+#include "vm/Interp.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+using namespace osc;
+
+namespace {
+
+/// Deterministic PRNG (xorshift64*), independent of the host libc.
+class Rng {
+public:
+  explicit Rng(uint64_t Seed) : State(Seed ? Seed : 0x9e3779b97f4a7c15) {}
+  uint64_t next() {
+    State ^= State >> 12;
+    State ^= State << 25;
+    State ^= State >> 27;
+    return State * 0x2545f4914f6cdd1d;
+  }
+  uint32_t below(uint32_t N) { return static_cast<uint32_t>(next() % N); }
+
+private:
+  uint64_t State;
+};
+
+/// Generates a program that mixes deep non-tail recursion, tail loops,
+/// one-shot escapes from random depths, bounded multi-shot re-entry,
+/// list churn, and dynamic-wind, all feeding one integer checksum.
+std::string generateProgram(uint64_t Seed) {
+  Rng R(Seed);
+  std::string P;
+  P += "(define checksum 0)"
+       "(define (mix! v) (set! checksum (+ (* checksum 3) v)))";
+
+  // A pool of helper functions generated up front.
+  P += "(define (deep n) (if (zero? n) 0 (+ 1 (deep (- n 1)))))";
+  P += "(define (tloop i acc) (if (zero? i) acc (tloop (- i 1) "
+       "(+ acc 2))))";
+  P += "(define (escape-at d limit)"
+       "  (call/1cc (lambda (out)"
+       "    (let walk ((i 0))"
+       "      (if (= i limit) (out 'no)"
+       "          (begin (if (= i d) (out i) #f) (+ 1 (walk (+ i 1)))))))))";
+  P += "(define (reenter times seedv)"
+       "  (let ((k #f) (n 0) (acc seedv))"
+       "    (let ((v (call/cc (lambda (c) (set! k c) 1))))"
+       "      (set! n (+ n 1))"
+       "      (set! acc (+ acc v))"
+       "      (if (< n times) (k (+ v 1)) acc))))";
+  P += "(define (windy v)"
+       "  (let ((log 0))"
+       "    (dynamic-wind"
+       "      (lambda () (set! log (+ log 1)))"
+       "      (lambda () (* v log))"
+       "      (lambda () (set! log (+ log 10))))))";
+  P += "(define (churn n)"
+       "  (let loop ((i 0) (acc '()))"
+       "    (if (= i n) (length acc) (loop (+ i 1) (cons i acc)))))";
+  P += "(define (splitsum n)"
+       "  (call-with-values"
+       "    (lambda () (values (quotient n 2) (- n (quotient n 2))))"
+       "    (lambda (a b) (+ (* 3 a) b))))";
+  P += "(define (wind-escape n)"
+       "  (let ((log 0))"
+       "    (call/1cc (lambda (out)"
+       "      (dynamic-wind"
+       "        (lambda () (set! log (+ log 1)))"
+       "        (lambda () (if (> n 10) (out (* n log)) (* n 2)))"
+       "        (lambda () (set! log (+ log 100))))))))";
+  P += "(define (gen-consume lst)"
+       "  (let ((resume #f) (total 0))"
+       "    (define (next)"
+       "      (call/cc (lambda (k)"
+       "        (if resume (resume k)"
+       "            (let walk ((l lst) (ret k))"
+       "              (if (null? l)"
+       "                  (ret 'eos)"
+       "                  (walk (cdr l)"
+       "                        (call/cc (lambda (r)"
+       "                          (set! resume r)"
+       "                          (ret (car l)))))))))))"
+       "    (let loop ()"
+       "      (let ((v (next)))"
+       "        (if (eq? v 'eos) total"
+       "            (begin (set! total (+ total v)) (loop)))))))";
+
+  unsigned Steps = 6 + R.below(10);
+  for (unsigned S = 0; S != Steps; ++S) {
+    switch (R.below(9)) {
+    case 0:
+      P += "(mix! (deep " + std::to_string(20 + R.below(300)) + "))";
+      break;
+    case 1:
+      P += "(mix! (tloop " + std::to_string(10 + R.below(5000)) + " 0))";
+      break;
+    case 2: {
+      unsigned Limit = 5 + R.below(60);
+      unsigned D = R.below(Limit + 10);
+      P += "(mix! (let ((r (escape-at " + std::to_string(D) + " " +
+           std::to_string(Limit) + "))) (if (eq? r 'no) 7 r)))";
+      break;
+    }
+    case 3:
+      P += "(mix! (reenter " + std::to_string(2 + R.below(5)) + " " +
+           std::to_string(R.below(50)) + "))";
+      break;
+    case 4:
+      P += "(mix! (windy " + std::to_string(1 + R.below(9)) + "))";
+      break;
+    case 5:
+      P += "(mix! (churn " + std::to_string(R.below(800)) + "))";
+      break;
+    case 6:
+      P += "(mix! (splitsum " + std::to_string(1 + R.below(999)) + "))";
+      break;
+    case 7:
+      P += "(mix! (wind-escape " + std::to_string(R.below(40)) + "))";
+      break;
+    case 8: {
+      P += "(mix! (gen-consume (iota " + std::to_string(1 + R.below(25)) +
+           ")))";
+      break;
+    }
+    }
+  }
+  P += "checksum";
+  return P;
+}
+
+std::vector<Config> hostileConfigs() {
+  std::vector<Config> Cs;
+  {
+    Config C;
+    C.SegmentWords = 100;
+    C.InitialSegmentWords = 100;
+    C.Overflow = OverflowPolicy::OneShot;
+    C.OverflowCopyUpFrames = 3;
+    Cs.push_back(C);
+  }
+  {
+    Config C;
+    C.SegmentWords = 100;
+    C.InitialSegmentWords = 100;
+    C.Overflow = OverflowPolicy::MultiShot;
+    C.CopyBoundWords = 24;
+    Cs.push_back(C);
+  }
+  {
+    Config C;
+    C.SegmentWords = 160;
+    C.InitialSegmentWords = 160;
+    C.SealDisplacementWords = 40;
+    C.SegmentCacheEnabled = false;
+    C.Promotion = PromotionStrategy::SharedFlag;
+    C.GcThresholdBytes = 96 * 1024;
+    Cs.push_back(C);
+  }
+  return Cs;
+}
+
+class StressSeed : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(StressSeed, SameChecksumUnderHostileConfigs) {
+  uint64_t Seed = GetParam();
+  std::string Prog = generateProgram(Seed);
+
+  Interp Ref;
+  std::string Expected = Ref.evalToString(Prog);
+  ASSERT_TRUE(Expected.find("error") == std::string::npos)
+      << "seed " << Seed << " reference failed: " << Expected << "\n"
+      << Prog;
+
+  int CfgIdx = 0;
+  for (const Config &C : hostileConfigs()) {
+    Interp I(C);
+    EXPECT_EQ(I.evalToString(Prog), Expected)
+        << "seed " << Seed << " config " << CfgIdx << "\n"
+        << Prog;
+    ++CfgIdx;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, StressSeed,
+                         ::testing::Range<uint64_t>(1, 61));
+
+} // namespace

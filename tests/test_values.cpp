@@ -1,0 +1,143 @@
+// Multiple return values (Ashley & Dybvig style, maintained by the paper's
+// implementation): values/call-with-values in every position, interaction
+// with both continuation flavors and dynamic-wind.
+
+#include "vm/Interp.h"
+
+#include <gtest/gtest.h>
+
+using namespace osc;
+
+namespace {
+
+class ValuesTest : public ::testing::Test {
+protected:
+  std::string run(const std::string &Src) { return I.evalToString(Src); }
+  Interp I;
+};
+
+} // namespace
+
+TEST_F(ValuesTest, Basic) {
+  EXPECT_EQ(run("(call-with-values (lambda () (values 1 2 3)) +)"), "6");
+  EXPECT_EQ(run("(call-with-values (lambda () (values)) list)"), "()");
+  EXPECT_EQ(run("(call-with-values (lambda () (values 'x)) list)"), "(x)");
+  EXPECT_EQ(run("(call-with-values (lambda () 7) list)"), "(7)");
+}
+
+TEST_F(ValuesTest, ProducerIsANative) {
+  EXPECT_EQ(run("(call-with-values gensym symbol?)"), "#t");
+}
+
+TEST_F(ValuesTest, ConsumerIsVariadic) {
+  EXPECT_EQ(run("(call-with-values (lambda () (values 1 2 3 4 5))"
+                "                  (lambda args (length args)))"),
+            "5");
+}
+
+TEST_F(ValuesTest, ManyValues) {
+  EXPECT_EQ(run("(call-with-values"
+                "  (lambda () (apply values (iota 50)))"
+                "  (lambda args (apply + args)))"),
+            "1225");
+}
+
+TEST_F(ValuesTest, SingleValueContexts) {
+  // R4RS leaves this unspecified; we take the first value.
+  EXPECT_EQ(run("(+ 1 (values 10 20))"), "11");
+  EXPECT_EQ(run("(if (values #f #t) 'yes 'no)"), "no");
+}
+
+TEST_F(ValuesTest, NestedCwv) {
+  EXPECT_EQ(run("(call-with-values"
+                "  (lambda ()"
+                "    (call-with-values (lambda () (values 2 3))"
+                "                      (lambda (a b) (values b a (* a b)))))"
+                "  list)"),
+            "(3 2 6)");
+}
+
+TEST_F(ValuesTest, ValuesInTailOfLet) {
+  EXPECT_EQ(run("(call-with-values"
+                "  (lambda () (let ((x 1)) (values x (+ x 1))))"
+                "  list)"),
+            "(1 2)");
+}
+
+TEST_F(ValuesTest, ContinuationDeliversMultipleValues) {
+  EXPECT_EQ(run("(call-with-values"
+                "  (lambda () (call/cc (lambda (k) (k 'a 'b 'c))))"
+                "  list)"),
+            "(a b c)");
+  EXPECT_EQ(run("(call-with-values"
+                "  (lambda () (call/1cc (lambda (k) (k 1 2))))"
+                "  list)"),
+            "(1 2)");
+}
+
+TEST_F(ValuesTest, ContinuationWithZeroValues) {
+  EXPECT_EQ(run("(call-with-values"
+                "  (lambda () (call/cc (lambda (k) (k))))"
+                "  (lambda () 'none))"),
+            "none");
+}
+
+TEST_F(ValuesTest, CwvAcrossCapturedContinuation) {
+  // Capture inside a producer; re-entering re-runs the consumer.
+  EXPECT_EQ(run("(define k #f)"
+                "(define n 0)"
+                "(define r"
+                "  (call-with-values"
+                "    (lambda () (values (call/cc (lambda (c) (set! k c) 1))"
+                "                       10))"
+                "    +))"
+                "(set! n (+ n 1))"
+                "(if (< n 3) (k (* n 100)) (list r n))"),
+            "(210 3)");
+}
+
+TEST_F(ValuesTest, ThroughDynamicWind) {
+  EXPECT_EQ(run("(define order '())"
+                "(define (note x) (set! order (cons x order)))"
+                "(define r"
+                "  (call-with-values"
+                "    (lambda () (dynamic-wind (lambda () (note 'in))"
+                "                             (lambda () (values 1 2))"
+                "                             (lambda () (note 'out))))"
+                "    list))"
+                "(list r (reverse order))"),
+            "((1 2) (in out))");
+}
+
+TEST_F(ValuesTest, ValuesAsFirstClassProcedure) {
+  EXPECT_EQ(run("(call-with-values (lambda () (values 1 2)) values)"), "1");
+  EXPECT_EQ(run("(procedure? values)"), "#t");
+  EXPECT_EQ(run("(map (lambda (x) (call-with-values (lambda () (values x x))"
+                "                                   +))"
+                "     '(1 2 3))"),
+            "(2 4 6)");
+}
+
+TEST_F(ValuesTest, CwvAsCallCCReceiver) {
+  // Degenerate compositions still behave.
+  EXPECT_EQ(run("(call/cc (lambda (k)"
+                "  (call-with-values (lambda () (k 9)) list)))"),
+            "9");
+}
+
+TEST_F(ValuesTest, DeepCwvChain) {
+  // cwv frames interleaved with ordinary frames under tiny segments.
+  Config C;
+  C.SegmentWords = 128;
+  C.InitialSegmentWords = 128;
+  Interp Small(C);
+  EXPECT_EQ(Small.evalToString(
+                "(define (chain n)"
+                "  (if (zero? n)"
+                "      (values 0 0)"
+                "      (call-with-values (lambda () (chain (- n 1)))"
+                "                        (lambda (a b)"
+                "                          (values (+ a 1) (+ b 2))))))"
+                "(call-with-values (lambda () (chain 500)) list)"),
+            "(500 1000)");
+}
