@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_frame_overhead.dir/bench_frame_overhead.cpp.o"
+  "CMakeFiles/bench_frame_overhead.dir/bench_frame_overhead.cpp.o.d"
+  "bench_frame_overhead"
+  "bench_frame_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_frame_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_overflow.dir/bench_overflow.cpp.o"
+  "CMakeFiles/bench_overflow.dir/bench_overflow.cpp.o.d"
+  "bench_overflow"
+  "bench_overflow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_overflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

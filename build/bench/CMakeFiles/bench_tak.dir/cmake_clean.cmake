@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tak.dir/bench_tak.cpp.o"
+  "CMakeFiles/bench_tak.dir/bench_tak.cpp.o.d"
+  "bench_tak"
+  "bench_tak.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tak.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

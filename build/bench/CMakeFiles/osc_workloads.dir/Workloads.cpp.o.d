@@ -1,0 +1,3 @@
+bench/CMakeFiles/osc_workloads.dir/Workloads.cpp.o: \
+ /root/repo/bench/Workloads.cpp /usr/include/stdc-predef.h \
+ /root/repo/bench/Workloads.h

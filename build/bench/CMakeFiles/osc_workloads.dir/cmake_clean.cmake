@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/osc_workloads.dir/Workloads.cpp.o"
+  "CMakeFiles/osc_workloads.dir/Workloads.cpp.o.d"
+  "libosc_workloads.a"
+  "libosc_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/osc_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/backtracking.dir/backtracking.cpp.o"
+  "CMakeFiles/backtracking.dir/backtracking.cpp.o.d"
+  "backtracking"
+  "backtracking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/backtracking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

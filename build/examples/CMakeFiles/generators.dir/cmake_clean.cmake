@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/generators.dir/generators.cpp.o"
+  "CMakeFiles/generators.dir/generators.cpp.o.d"
+  "generators"
+  "generators.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/generators.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/logic.dir/logic.cpp.o"
+  "CMakeFiles/logic.dir/logic.cpp.o.d"
+  "logic"
+  "logic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/logic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/osc_run.dir/osc_run.cpp.o"
+  "CMakeFiles/osc_run.dir/osc_run.cpp.o.d"
+  "osc_run"
+  "osc_run.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/osc_run.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

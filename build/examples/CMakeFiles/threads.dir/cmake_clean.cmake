@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/threads.dir/threads.cpp.o"
+  "CMakeFiles/threads.dir/threads.cpp.o.d"
+  "threads"
+  "threads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/threads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

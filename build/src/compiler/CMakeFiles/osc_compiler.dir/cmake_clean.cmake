@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/osc_compiler.dir/Bytecode.cpp.o"
+  "CMakeFiles/osc_compiler.dir/Bytecode.cpp.o.d"
+  "CMakeFiles/osc_compiler.dir/CodeGen.cpp.o"
+  "CMakeFiles/osc_compiler.dir/CodeGen.cpp.o.d"
+  "CMakeFiles/osc_compiler.dir/Expander.cpp.o"
+  "CMakeFiles/osc_compiler.dir/Expander.cpp.o.d"
+  "libosc_compiler.a"
+  "libosc_compiler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/osc_compiler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

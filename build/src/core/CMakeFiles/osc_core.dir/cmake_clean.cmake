@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/osc_core.dir/ControlStack.cpp.o"
+  "CMakeFiles/osc_core.dir/ControlStack.cpp.o.d"
+  "libosc_core.a"
+  "libosc_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/osc_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/osc_object.dir/Heap.cpp.o"
+  "CMakeFiles/osc_object.dir/Heap.cpp.o.d"
+  "CMakeFiles/osc_object.dir/ListUtil.cpp.o"
+  "CMakeFiles/osc_object.dir/ListUtil.cpp.o.d"
+  "libosc_object.a"
+  "libosc_object.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/osc_object.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

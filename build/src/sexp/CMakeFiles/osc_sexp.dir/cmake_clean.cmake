@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/osc_sexp.dir/Printer.cpp.o"
+  "CMakeFiles/osc_sexp.dir/Printer.cpp.o.d"
+  "CMakeFiles/osc_sexp.dir/Reader.cpp.o"
+  "CMakeFiles/osc_sexp.dir/Reader.cpp.o.d"
+  "libosc_sexp.a"
+  "libosc_sexp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/osc_sexp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

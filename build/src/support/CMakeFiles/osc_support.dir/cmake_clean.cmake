@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/osc_support.dir/Diag.cpp.o"
+  "CMakeFiles/osc_support.dir/Diag.cpp.o.d"
+  "CMakeFiles/osc_support.dir/Stats.cpp.o"
+  "CMakeFiles/osc_support.dir/Stats.cpp.o.d"
+  "libosc_support.a"
+  "libosc_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/osc_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

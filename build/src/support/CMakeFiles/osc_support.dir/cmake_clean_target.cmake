@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libosc_support.a"
+)

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/osc_vm.dir/Interp.cpp.o"
+  "CMakeFiles/osc_vm.dir/Interp.cpp.o.d"
+  "CMakeFiles/osc_vm.dir/Prelude.cpp.o"
+  "CMakeFiles/osc_vm.dir/Prelude.cpp.o.d"
+  "CMakeFiles/osc_vm.dir/Primitives.cpp.o"
+  "CMakeFiles/osc_vm.dir/Primitives.cpp.o.d"
+  "CMakeFiles/osc_vm.dir/VM.cpp.o"
+  "CMakeFiles/osc_vm.dir/VM.cpp.o.d"
+  "libosc_vm.a"
+  "libosc_vm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/osc_vm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_stack.dir/test_core_stack.cpp.o"
+  "CMakeFiles/test_core_stack.dir/test_core_stack.cpp.o.d"
+  "test_core_stack"
+  "test_core_stack.pdb"
+  "test_core_stack[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_stack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

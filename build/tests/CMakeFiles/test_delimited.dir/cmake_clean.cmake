@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_delimited.dir/test_delimited.cpp.o"
+  "CMakeFiles/test_delimited.dir/test_delimited.cpp.o.d"
+  "test_delimited"
+  "test_delimited.pdb"
+  "test_delimited[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_delimited.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dynamic_wind.dir/test_dynamic_wind.cpp.o"
+  "CMakeFiles/test_dynamic_wind.dir/test_dynamic_wind.cpp.o.d"
+  "test_dynamic_wind"
+  "test_dynamic_wind.pdb"
+  "test_dynamic_wind[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dynamic_wind.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_oneshot.dir/test_oneshot.cpp.o"
+  "CMakeFiles/test_oneshot.dir/test_oneshot.cpp.o.d"
+  "test_oneshot"
+  "test_oneshot.pdb"
+  "test_oneshot[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_oneshot.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_overflow.cpp" "tests/CMakeFiles/test_overflow.dir/test_overflow.cpp.o" "gcc" "tests/CMakeFiles/test_overflow.dir/test_overflow.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/vm/CMakeFiles/osc_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/compiler/CMakeFiles/osc_compiler.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/osc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sexp/CMakeFiles/osc_sexp.dir/DependInfo.cmake"
+  "/root/repo/build/src/object/CMakeFiles/osc_object.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/osc_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_prelude.dir/test_prelude.cpp.o"
+  "CMakeFiles/test_prelude.dir/test_prelude.cpp.o.d"
+  "test_prelude"
+  "test_prelude.pdb"
+  "test_prelude[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_prelude.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

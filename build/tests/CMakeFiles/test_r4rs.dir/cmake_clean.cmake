@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_r4rs.dir/test_r4rs.cpp.o"
+  "CMakeFiles/test_r4rs.dir/test_r4rs.cpp.o.d"
+  "test_r4rs"
+  "test_r4rs.pdb"
+  "test_r4rs[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_r4rs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

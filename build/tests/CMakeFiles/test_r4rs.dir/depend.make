@@ -1,0 +1,2 @@
+# Empty dependencies file for test_r4rs.
+# This may be replaced when dependencies are built.

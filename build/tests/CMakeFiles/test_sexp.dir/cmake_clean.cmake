@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sexp.dir/test_sexp.cpp.o"
+  "CMakeFiles/test_sexp.dir/test_sexp.cpp.o.d"
+  "test_sexp"
+  "test_sexp.pdb"
+  "test_sexp[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sexp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+tests/CMakeFiles/test_threads.dir/__/bench/Workloads.cpp.o: \
+ /root/repo/bench/Workloads.cpp /usr/include/stdc-predef.h \
+ /root/repo/bench/Workloads.h

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_values.dir/test_values.cpp.o"
+  "CMakeFiles/test_values.dir/test_values.cpp.o.d"
+  "test_values"
+  "test_values.pdb"
+  "test_values[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_values.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

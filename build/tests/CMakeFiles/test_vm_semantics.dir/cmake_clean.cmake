@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_vm_semantics.dir/test_vm_semantics.cpp.o"
+  "CMakeFiles/test_vm_semantics.dir/test_vm_semantics.cpp.o.d"
+  "test_vm_semantics"
+  "test_vm_semantics.pdb"
+  "test_vm_semantics[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_vm_semantics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

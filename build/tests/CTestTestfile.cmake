@@ -1,0 +1,28 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_smoke[1]_include.cmake")
+include("/root/repo/build/tests/test_vm_semantics[1]_include.cmake")
+include("/root/repo/build/tests/test_continuations[1]_include.cmake")
+include("/root/repo/build/tests/test_oneshot[1]_include.cmake")
+include("/root/repo/build/tests/test_dynamic_wind[1]_include.cmake")
+include("/root/repo/build/tests/test_overflow[1]_include.cmake")
+include("/root/repo/build/tests/test_sexp[1]_include.cmake")
+include("/root/repo/build/tests/test_object[1]_include.cmake")
+include("/root/repo/build/tests/test_gc[1]_include.cmake")
+include("/root/repo/build/tests/test_compiler[1]_include.cmake")
+include("/root/repo/build/tests/test_core_stack[1]_include.cmake")
+include("/root/repo/build/tests/test_properties[1]_include.cmake")
+include("/root/repo/build/tests/test_engines[1]_include.cmake")
+include("/root/repo/build/tests/test_stress[1]_include.cmake")
+include("/root/repo/build/tests/test_interop[1]_include.cmake")
+include("/root/repo/build/tests/test_values[1]_include.cmake")
+include("/root/repo/build/tests/test_api[1]_include.cmake")
+include("/root/repo/build/tests/test_errors[1]_include.cmake")
+include("/root/repo/build/tests/test_prelude[1]_include.cmake")
+include("/root/repo/build/tests/test_delimited[1]_include.cmake")
+include("/root/repo/build/tests/test_r4rs[1]_include.cmake")
+include("/root/repo/build/tests/test_threads[1]_include.cmake")
