@@ -1,0 +1,42 @@
+;; A three-stage channel pipeline on native green threads: a generator, a
+;; mapper and a folder connected by bounded channels.  Back-pressure does
+;; the flow control — the generator outruns the mapper, fills its channel
+;; and parks until a slot frees; every park/resume is a zero-copy one-shot
+;; context switch inside the VM.
+;; Run: ./build/examples/osc_run --stats examples/scheme/chan-pipeline.scm
+
+(define raw (make-channel 4))       ; generator -> mapper
+(define mapped (make-channel 4))    ; mapper -> folder
+(define n 100)
+
+;; Stage 1: emit 1..n, then a 'done sentinel.
+(spawn (lambda ()
+         (let loop ((i 1))
+           (if (<= i n)
+               (begin (channel-send! raw i) (loop (+ i 1)))
+               (channel-send! raw 'done)))))
+
+;; Stage 2: square everything that flows past, forward the sentinel.
+(spawn (lambda ()
+         (let loop ()
+           (let ((v (channel-recv raw)))
+             (if (eq? v 'done)
+                 (channel-send! mapped 'done)
+                 (begin (channel-send! mapped (* v v)) (loop)))))))
+
+;; Stage 3: fold the squares into a checksum.
+(define folder
+  (spawn (lambda ()
+           (let loop ((sum 0))
+             (let ((v (channel-recv mapped)))
+               (if (eq? v 'done) sum (loop (+ sum v))))))))
+
+(define completed (scheduler-run))
+(define checksum (thread-join folder))
+
+(display "stages completed: ") (display completed) (newline)
+(display "checksum:         ") (display checksum) (newline)
+(display "channel blocks:   ") (display (vm-stat 'channel-blocks)) (newline)
+
+;; sum of squares 1..100 = n(n+1)(2n+1)/6 = 338350.
+(list completed checksum (= checksum 338350))

@@ -71,6 +71,14 @@ public:
   uint32_t capacity() const { return Cap; }
   Value link() const { return Link; }
 
+  /// Replaces the continuation below the current window.  Used by the
+  /// scheduler when starting a fresh green thread: the new chain is
+  /// detached from whatever computation happened to be current and rooted
+  /// at the shared thread-root guard instead, so the thread's eventual
+  /// return (or a capture at its base frame) is recognized as thread exit
+  /// rather than an underflow into an unrelated suspended computation.
+  void setLink(Value NewLink) { Link = NewLink; }
+
   /// (Re)initializes to an empty stack: a fresh initial segment whose base
   /// frame underflows into the halt continuation.  After reset the VM
   /// builds the initial frame via plantBaseFrame.

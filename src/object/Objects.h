@@ -172,6 +172,16 @@ enum class NativeSpecial : uint8_t {
   Call1CC,        ///< %call/1cc — one-shot capture
   CallWithValues, ///< %call-with-values
   Values,         ///< values
+  // Scheduler operations (src/sched): each may capture the current
+  // computation as a one-shot continuation and transfer control to another
+  // green thread, so they must run in the dispatch loop like call/1cc.
+  SchedRun,       ///< %sched-run — drive threads until all complete
+  SchedYield,     ///< %yield — voluntary context switch
+  SchedExit,      ///< %thread-exit — finish the current thread
+  SchedJoin,      ///< %join — block until a thread completes
+  SchedSleep,     ///< %sleep — suspend for N context switches
+  ChanSend,       ///< %chan-send — may block on a full channel
+  ChanRecv,       ///< %chan-recv — may block on an empty channel
 };
 
 struct Native : ObjHeader {

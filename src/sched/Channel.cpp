@@ -1,0 +1,12 @@
+#include "sched/Channel.h"
+
+#include "object/Heap.h"
+
+using namespace osc;
+
+void Channel::traceRoots(GCVisitor &V) {
+  for (Value &B : Buf)
+    V.visit(B);
+  for (PendingSend &P : WaitingSend)
+    V.visit(P.V);
+}

@@ -1,0 +1,132 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Bounded FIFO channels (CSP-style) for the green-thread scheduler.
+///
+/// A channel owns only data: a buffer of at most Capacity values plus two
+/// wait queues of thread ids.  Capacity 0 makes it a rendezvous channel —
+/// every send waits for a matching receive.  Deciding *who* runs next is the
+/// Scheduler's job and performing the control transfer is the VM's; the
+/// channel just answers "can this operation complete now, and whom does it
+/// wake?".  That split keeps the channel trivially testable and keeps all
+/// continuation handling in one place (the VM).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OSC_SCHED_CHANNEL_H
+#define OSC_SCHED_CHANNEL_H
+
+#include "object/Value.h"
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+
+namespace osc {
+
+class GCVisitor;
+
+class Channel {
+public:
+  Channel(uint32_t Id, uint32_t Capacity) : Id(Id), Cap(Capacity) {}
+
+  uint32_t id() const { return Id; }
+  uint32_t capacity() const { return Cap; }
+  size_t buffered() const { return Buf.size(); }
+  size_t waitingReceivers() const { return WaitingRecv.size(); }
+  size_t waitingSenders() const { return WaitingSend.size(); }
+
+  /// Outcome of the non-blocking half of a send.
+  struct SendResult {
+    enum Kind {
+      Delivered, ///< Handed directly to WokenReceiver; wake it with V.
+      Buffered,  ///< Stored in the buffer; nobody to wake.
+      MustBlock, ///< Buffer full and no receiver waiting.
+    } K;
+    uint32_t WokenReceiver = 0;
+  };
+
+  /// Attempts to send \p V without blocking.  A waiting receiver always
+  /// takes priority over the buffer so a value never queues behind an
+  /// already-parked consumer.
+  SendResult trySend(Value V) {
+    if (!WaitingRecv.empty()) {
+      uint32_t R = WaitingRecv.front();
+      WaitingRecv.pop_front();
+      return {SendResult::Delivered, R};
+    }
+    if (Buf.size() < Cap) {
+      Buf.push_back(V);
+      return {SendResult::Buffered, 0};
+    }
+    return {SendResult::MustBlock, 0};
+  }
+
+  /// Parks \p Tid as a blocked sender carrying \p V.  The value travels
+  /// with the waiter so FIFO order is preserved when receivers drain the
+  /// buffer and refill it from the send queue.
+  void blockSender(uint32_t Tid, Value V) { WaitingSend.push_back({Tid, V}); }
+
+  /// Outcome of the non-blocking half of a receive.
+  struct RecvResult {
+    enum Kind {
+      Got,       ///< V holds the received value.
+      MustBlock, ///< Channel empty and no sender waiting.
+    } K;
+    Value V;
+    bool WakeSender = false;  ///< A parked sender's value was accepted;
+                              ///< wake WokenSender (its send completed).
+    uint32_t WokenSender = 0;
+  };
+
+  /// Attempts to receive without blocking.  Draining one buffer slot pulls
+  /// the oldest parked sender's value into the buffer (capacity permitting
+  /// by construction), so message order is exactly send-completion order.
+  RecvResult tryRecv() {
+    if (!Buf.empty()) {
+      RecvResult R{RecvResult::Got, Buf.front(), false, 0};
+      Buf.pop_front();
+      if (!WaitingSend.empty()) {
+        PendingSend P = WaitingSend.front();
+        WaitingSend.pop_front();
+        Buf.push_back(P.V);
+        R.WakeSender = true;
+        R.WokenSender = P.Tid;
+      }
+      return R;
+    }
+    if (!WaitingSend.empty()) { // rendezvous (Cap == 0): take directly
+      PendingSend P = WaitingSend.front();
+      WaitingSend.pop_front();
+      return {RecvResult::Got, P.V, true, P.Tid};
+    }
+    return {RecvResult::MustBlock, Value(), false, 0};
+  }
+
+  void blockReceiver(uint32_t Tid) { WaitingRecv.push_back(Tid); }
+
+  /// Drops all parked waiters (scheduler abort after an error).  Buffered
+  /// values survive; values carried by aborted senders are lost with them.
+  void clearWaiters() {
+    WaitingRecv.clear();
+    WaitingSend.clear();
+  }
+
+  void traceRoots(GCVisitor &V);
+
+private:
+  struct PendingSend {
+    uint32_t Tid;
+    Value V;
+  };
+
+  uint32_t Id;
+  uint32_t Cap;
+  std::deque<Value> Buf;
+  std::deque<uint32_t> WaitingRecv;
+  std::deque<PendingSend> WaitingSend;
+};
+
+} // namespace osc
+
+#endif // OSC_SCHED_CHANNEL_H

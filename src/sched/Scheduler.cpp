@@ -1,0 +1,218 @@
+#include "sched/Scheduler.h"
+
+#include "object/Heap.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace osc;
+
+const char *osc::threadStateName(ThreadState St) {
+  switch (St) {
+  case ThreadState::Ready:
+    return "ready";
+  case ThreadState::Running:
+    return "running";
+  case ThreadState::Blocked:
+    return "blocked";
+  case ThreadState::Sleeping:
+    return "sleeping";
+  case ThreadState::Done:
+    return "done";
+  }
+  return "?";
+}
+
+uint32_t Scheduler::spawn(Value Thunk) {
+  auto T = std::make_unique<Thread>();
+  T->Id = static_cast<uint32_t>(Threads.size());
+  T->Thunk = Thunk;
+  Thread &Ref = *T;
+  Threads.push_back(std::move(T));
+  Live += 1;
+  S.ThreadsSpawned += 1;
+  enqueueReady(Ref);
+  return Ref.Id;
+}
+
+uint32_t Scheduler::blockedCount() const {
+  uint32_t N = 0;
+  for (const auto &T : Threads)
+    if (T->State == ThreadState::Blocked)
+      N += 1;
+  return N;
+}
+
+void Scheduler::beginRun(Value MainContinuation, int64_t PreemptInterval,
+                         Value BaseW) {
+  assert(!Active && "scheduler re-entered");
+  Active = true;
+  CurrentId = -1;
+  Interval = PreemptInterval;
+  CompletedThisRun = 0;
+  MainK = MainContinuation;
+  BaseWinders = BaseW;
+}
+
+void Scheduler::endRun() {
+  Active = false;
+  CurrentId = -1;
+  MainK = Value();
+  BaseWinders = Value();
+  MainCtx = SchedContext();
+}
+
+void Scheduler::abortRun() {
+  // Every thread that has not finished is in an unrecoverable state (its
+  // one-shot resume point may be gone); drop them all rather than resume
+  // into garbage.  Done threads keep their results for thread-join.
+  for (auto &T : Threads) {
+    if (T->State == ThreadState::Done)
+      continue;
+    T->State = ThreadState::Done;
+    T->Started = true;
+    T->Thunk = Value();
+    T->Resume = Value();
+    T->Wake = Value();
+    T->Result = Value::unspecified();
+    T->Ctx = SchedContext();
+    T->Joiners.clear();
+  }
+  Live = 0;
+  ReadyQ.clear();
+  Sleepers.clear();
+  for (auto &C : Channels)
+    C->clearWaiters();
+  endRun();
+}
+
+void Scheduler::enqueueReady(Thread &T) {
+  T.State = ThreadState::Ready;
+  ReadyQ.push_back(T.Id);
+  S.RunQueuePeak = std::max<uint64_t>(S.RunQueuePeak, ReadyQ.size());
+}
+
+void Scheduler::suspendCurrent(Value K, Value Wake, ThreadState NewState) {
+  Thread *T = current();
+  assert(T && T->State == ThreadState::Running && "no running thread");
+  T->Resume = K;
+  T->Wake = Wake;
+  CurrentId = -1;
+  switch (NewState) {
+  case ThreadState::Ready:
+    enqueueReady(*T);
+    break;
+  case ThreadState::Sleeping:
+    T->State = ThreadState::Sleeping;
+    Sleepers.push_back(T->Id);
+    break;
+  case ThreadState::Blocked:
+    T->State = ThreadState::Blocked;
+    break;
+  default:
+    assert(false && "invalid suspension state");
+  }
+}
+
+void Scheduler::wake(Thread &T, Value WakeValue) {
+  assert((T.State == ThreadState::Blocked ||
+          T.State == ThreadState::Sleeping) &&
+         "waking a thread that is not waiting");
+  if (T.State == ThreadState::Sleeping)
+    Sleepers.erase(std::find(Sleepers.begin(), Sleepers.end(), T.Id));
+  T.Wake = WakeValue;
+  enqueueReady(T);
+}
+
+void Scheduler::finishCurrent(Value Result) {
+  Thread *T = current();
+  assert(T && "no current thread to finish");
+  CurrentId = -1;
+  T->State = ThreadState::Done;
+  T->Thunk = Value();
+  T->Resume = Value();
+  T->Wake = Value();
+  T->Ctx = SchedContext();
+  T->Result = Result;
+  assert(Live > 0);
+  Live -= 1;
+  CompletedThisRun += 1;
+  // Joiners resume with the finished thread's result.
+  for (uint32_t J : T->Joiners) {
+    Thread *W = lookup(J);
+    if (W && W->State == ThreadState::Blocked)
+      wake(*W, Result);
+  }
+  T->Joiners.clear();
+}
+
+void Scheduler::ageSleepers(int64_t Ticks) {
+  if (Sleepers.empty())
+    return;
+  // Expired sleepers join the run queue in spawn order so wake-up order is
+  // deterministic regardless of when each went to sleep.
+  std::vector<uint32_t> Expired;
+  for (size_t I = 0; I != Sleepers.size();) {
+    Thread &T = *Threads[Sleepers[I]];
+    T.SleepLeft -= Ticks;
+    if (T.SleepLeft <= 0) {
+      Expired.push_back(T.Id);
+      Sleepers.erase(Sleepers.begin() + static_cast<ptrdiff_t>(I));
+    } else {
+      ++I;
+    }
+  }
+  std::sort(Expired.begin(), Expired.end());
+  for (uint32_t Id : Expired) {
+    Thread &T = *Threads[Id];
+    T.SleepLeft = 0;
+    T.Wake = Value::unspecified();
+    enqueueReady(T);
+  }
+}
+
+Scheduler::Next Scheduler::pickNext() {
+  assert(Active && CurrentId < 0 && "pickNext with a thread still running");
+  // The sleep clock ticks once per dispatch; with nothing else runnable it
+  // fast-forwards to the nearest wake-up instead of spinning.
+  ageSleepers(1);
+  if (ReadyQ.empty() && !Sleepers.empty()) {
+    int64_t Nearest = Threads[Sleepers.front()]->SleepLeft;
+    for (uint32_t Id : Sleepers)
+      Nearest = std::min(Nearest, Threads[Id]->SleepLeft);
+    ageSleepers(Nearest);
+  }
+  if (!ReadyQ.empty()) {
+    Thread &T = *Threads[ReadyQ.front()];
+    ReadyQ.pop_front();
+    T.State = ThreadState::Running;
+    CurrentId = T.Id;
+    return {T.Started ? Next::Resume : Next::Start, &T};
+  }
+  if (Live == 0)
+    return {Next::Finish, nullptr};
+  return {Next::Deadlock, nullptr};
+}
+
+uint32_t Scheduler::makeChannel(uint32_t Capacity) {
+  uint32_t Id = static_cast<uint32_t>(Channels.size());
+  Channels.push_back(std::make_unique<Channel>(Id, Capacity));
+  return Id;
+}
+
+void Scheduler::traceRoots(GCVisitor &V) {
+  for (auto &T : Threads) {
+    V.visit(T->Thunk);
+    V.visit(T->Resume);
+    V.visit(T->Wake);
+    V.visit(T->Result);
+    V.visit(T->Ctx.Winders);
+    V.visit(T->Ctx.TimerHandler);
+  }
+  V.visit(MainK);
+  V.visit(BaseWinders);
+  V.visit(MainCtx.Winders);
+  V.visit(MainCtx.TimerHandler);
+  for (auto &C : Channels)
+    C->traceRoots(V);
+}

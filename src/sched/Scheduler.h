@@ -1,0 +1,190 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A preemptive round-robin green-thread scheduler built on one-shot
+/// continuations (the paper's §4 "Multitasking" use case, made native).
+///
+/// This class is deliberately policy-only.  It owns the thread table, the
+/// ready queue, the sleeper list and the channels, and it decides what runs
+/// next — but it never touches the control stack.  The actual context
+/// switches (capturing the running computation as a one-shot continuation,
+/// reinstating another thread's) are performed by the VM, which calls in
+/// here through a narrow interface:
+///
+///   VM suspends the running thread  -> suspendCurrent(...)
+///   VM asks what to run next        -> pickNext()
+///   VM transfers control            -> captureOneShot / invoke (src/core)
+///
+/// Because suspension uses captureOneShot and resumption uses the one-shot
+/// invoke path, a steady-state context switch copies zero stack words: the
+/// whole current window is encapsulated by pointer swap and reinstated the
+/// same way.  tests/test_scheduler.cpp and bench/bench_scheduler.cpp assert
+/// exactly that (WordsCopied stays flat while ContextSwitches climbs).
+///
+/// Each thread also carries the dynamic context that must not leak across
+/// switches: the *winders* list (dynamic-wind) and the engine-timer
+/// registers, mirroring what the Scheme-level %engine-timer-handler
+/// documents.  Time for thread-sleep! is measured in context switches, not
+/// wall clock, so every test and benchmark is deterministic.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OSC_SCHED_SCHEDULER_H
+#define OSC_SCHED_SCHEDULER_H
+
+#include "object/Value.h"
+#include "sched/Channel.h"
+#include "support/Stats.h"
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <vector>
+
+namespace osc {
+
+class GCVisitor;
+
+/// The per-computation VM state a context switch must swap besides the
+/// control stack itself (which travels inside the captured continuation):
+/// the *winders* global and the engine-timer registers.  Saved when a
+/// computation is suspended, restored verbatim when it resumes.
+struct SchedContext {
+  Value Winders;             ///< Value of *winders* while suspended.
+  int64_t Fuel = -1;         ///< Engine-timer ticks left; -1 disarmed.
+  bool TimerExpired = false; ///< Pending unserviced expiry.
+  Value TimerHandler;        ///< Armed engine handler, or Empty.
+};
+
+enum class ThreadState : uint8_t { Ready, Running, Blocked, Sleeping, Done };
+
+/// Human-readable state name ("ready", "running", ...).
+const char *threadStateName(ThreadState St);
+
+class Scheduler {
+public:
+  struct Thread {
+    uint32_t Id = 0;
+    ThreadState State = ThreadState::Ready;
+    bool Started = false; ///< False until first dispatched (Thunk not yet run).
+    Value Thunk;          ///< Start thunk; cleared on first dispatch.
+    Value Resume; ///< One-shot continuation while suspended.  When the
+                  ///< suspension point was the thread's own base frame the
+                  ///< capture degenerates to the chain link — the shared
+                  ///< thread-root guard — and "resuming" means returning
+                  ///< Wake from the thread's root, i.e. exiting.
+    Value Wake;   ///< Value the suspended operation resumes with.
+    Value Result; ///< Exit value once Done.
+    SchedContext Ctx;      ///< Dynamic context saved while suspended.
+    int64_t SleepLeft = 0; ///< Remaining sleep, in context switches.
+    std::vector<uint32_t> Joiners; ///< Threads blocked in (thread-join this).
+  };
+
+  /// What the VM should transfer control to next.
+  struct Next {
+    enum Kind {
+      Start,    ///< Run T's thunk on a fresh chain.
+      Resume,   ///< Reinstate T's saved continuation with T's wake value.
+      Finish,   ///< All threads done: resume the suspended main computation.
+      Deadlock, ///< Nothing runnable but live threads remain blocked.
+    } K;
+    Thread *T = nullptr; ///< Valid for Start and Resume.
+  };
+
+  explicit Scheduler(Stats &S) : S(S) {}
+
+  // --- Spawning and lookup --------------------------------------------------
+
+  /// Creates a Ready thread that will run \p Thunk; returns its id.
+  /// Threads may be spawned before a run or by running threads.
+  uint32_t spawn(Value Thunk);
+  Thread *lookup(int64_t Id) {
+    if (Id < 0 || static_cast<size_t>(Id) >= Threads.size())
+      return nullptr;
+    return Threads[static_cast<size_t>(Id)].get();
+  }
+  Thread *current() { return CurrentId < 0 ? nullptr : lookup(CurrentId); }
+  bool inThread() const { return CurrentId >= 0; }
+
+  bool active() const { return Active; }
+  int64_t interval() const { return Interval; }
+  uint64_t completed() const { return CompletedThisRun; }
+  uint32_t liveCount() const { return Live; }
+  uint32_t blockedCount() const;
+  size_t readyCount() const { return ReadyQ.size(); }
+  size_t sleeperCount() const { return Sleepers.size(); }
+  Value baseWinders() const { return BaseWinders; }
+  Value mainK() const { return MainK; }
+  SchedContext &mainContext() { return MainCtx; }
+
+  // --- Run lifecycle --------------------------------------------------------
+
+  /// Enters a run: \p MainContinuation is the suspended caller of
+  /// scheduler-run, \p PreemptInterval the fuel per slice (<= 0 disables
+  /// preemption), \p BaseW the winder list fresh threads start under.
+  void beginRun(Value MainContinuation, int64_t PreemptInterval, Value BaseW);
+  /// Leaves a completed run; the main continuation must already have been
+  /// taken for reinstatement.  Thread records (and their results) survive
+  /// so thread-join works after the run.
+  void endRun();
+  /// Tears down after an error left the run half-switched: every non-Done
+  /// thread is dropped and all channel wait queues cleared.  Buffered
+  /// channel data survives; values carried by parked senders do not.
+  void abortRun();
+
+  // --- Switching policy (called by the VM around control transfers) --------
+
+  /// Parks the running thread as \p NewState with resumption state
+  /// (\p K, \p Wake).  Ready threads go to the back of the run queue;
+  /// Sleeping threads onto the sleeper list (SleepLeft must be set by the
+  /// caller); Blocked threads are tracked only by whoever will wake them.
+  void suspendCurrent(Value K, Value Wake, ThreadState NewState);
+  /// Makes a Blocked or Sleeping thread runnable with \p WakeValue.
+  void wake(Thread &T, Value WakeValue);
+  /// Marks the current thread Done with \p Result and wakes its joiners.
+  void finishCurrent(Value Result);
+  /// Picks the next transfer and, for Start/Resume, marks that thread
+  /// Running.  Each call ages sleepers by one tick; when only sleepers
+  /// remain the clock fast-forwards to the nearest wake-up.
+  Next pickNext();
+
+  // --- Channels -------------------------------------------------------------
+
+  uint32_t makeChannel(uint32_t Capacity);
+  Channel *channel(int64_t Id) {
+    if (Id < 0 || static_cast<size_t>(Id) >= Channels.size())
+      return nullptr;
+    return Channels[static_cast<size_t>(Id)].get();
+  }
+
+  // --- GC -------------------------------------------------------------------
+
+  /// Traced from VM::traceRoots (the scheduler is not its own provider).
+  void traceRoots(GCVisitor &V);
+
+private:
+  void enqueueReady(Thread &T);
+  /// Ages every sleeper by \p Ticks, moving the expired to the run queue in
+  /// spawn order (deterministic).
+  void ageSleepers(int64_t Ticks);
+
+  Stats &S;
+  std::vector<std::unique_ptr<Thread>> Threads; ///< Index == thread id.
+  std::deque<uint32_t> ReadyQ;
+  std::vector<uint32_t> Sleepers;
+  std::vector<std::unique_ptr<Channel>> Channels; ///< Index == channel id.
+
+  bool Active = false;
+  int64_t CurrentId = -1; ///< Running thread id, -1 when main runs.
+  int64_t Interval = 0;
+  uint32_t Live = 0; ///< Threads not yet Done.
+  uint64_t CompletedThisRun = 0;
+  Value MainK;       ///< Suspended scheduler-run caller.
+  Value BaseWinders; ///< Winder list fresh threads start under.
+  SchedContext MainCtx;
+};
+
+} // namespace osc
+
+#endif // OSC_SCHED_SCHEDULER_H

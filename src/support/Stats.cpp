@@ -28,6 +28,13 @@ std::string Stats::toString() const {
   OSC_STAT(Splits);
   OSC_STAT(Instructions);
   OSC_STAT(ProcedureCalls);
+  OSC_STAT(ContextSwitches);
+  OSC_STAT(PreemptiveSwitches);
+  OSC_STAT(VoluntaryYields);
+  OSC_STAT(ChannelBlocks);
+  OSC_STAT(RunQueuePeak);
+  OSC_STAT(ThreadsSpawned);
+  OSC_STAT(ChannelMessages);
 #undef OSC_STAT
   return OS.str();
 }

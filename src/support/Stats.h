@@ -51,6 +51,19 @@ struct Stats {
   uint64_t Instructions = 0;   ///< Bytecode instructions executed.
   uint64_t ProcedureCalls = 0; ///< CALL + TAILCALL of closures/natives.
 
+  // Scheduler (src/sched).  ContextSwitches counts every control transfer
+  // the scheduler performs (thread starts, resumes and the final return to
+  // the suspended main computation); the benchmark harness diffs it against
+  // WordsCopied to prove a steady-state native switch copies zero stack
+  // words (the paper's Figure 5 claim, machine-independently).
+  uint64_t ContextSwitches = 0;    ///< All scheduler control transfers.
+  uint64_t PreemptiveSwitches = 0; ///< Timer-forced (involuntary) switches.
+  uint64_t VoluntaryYields = 0;    ///< Explicit (yield) calls.
+  uint64_t ChannelBlocks = 0;      ///< send/recv suspensions on full/empty.
+  uint64_t RunQueuePeak = 0;       ///< High-water mark of the ready queue.
+  uint64_t ThreadsSpawned = 0;     ///< Green threads ever created.
+  uint64_t ChannelMessages = 0;    ///< Values accepted into a channel.
+
   /// Renders all counters, one "name value" pair per line.
   std::string toString() const;
 };

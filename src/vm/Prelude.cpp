@@ -159,6 +159,31 @@ const char *osc::preludeSource() {
            (%do-complete left result))))
      ticks success expire)))
 
+;; --- green threads (src/sched; native successor to engines) ------------------
+;;
+;; The native scheduler generalizes the engine timer: (spawn thunk) creates
+;; a green thread, (scheduler-run ticks) runs all spawned threads round-
+;; robin with a preemption slice of ticks procedure calls (0 = cooperative)
+;; and returns how many threads completed.  Context switches are one-shot
+;; captures performed inside the VM — no Scheme handler runs, and a steady-
+;; state switch copies no stack words.  Engines keep working unchanged on
+;; the raw timer; an engine running inside a thread is preempted by its own
+;; timer first (engine semantics win within its slice).
+;;
+;; Thread and channel handles are fixnums.  channel-try-recv returns #f on
+;; an empty channel, so a program that sends #f itself should wrap payloads
+;; (e.g. in a one-element list) or use the blocking channel-recv.
+
+(define spawn %spawn)
+(define (yield) (%yield))
+(define (thread-exit v) (%thread-exit v))
+(define (thread-join tid) (%join tid))
+(define (thread-sleep! ticks) (%sleep ticks))
+(define (scheduler-run . ticks)
+  (%sched-run (if (null? ticks) 0 (car ticks))))
+(define (channel-send! ch v) (%chan-send ch v))
+(define (channel-recv ch) (%chan-recv ch))
+
 (define (positive? x) (> x 0))
 (define (negative? x) (< x 0))
 

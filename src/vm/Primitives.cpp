@@ -1,6 +1,7 @@
 #include "vm/VM.h"
 
 #include "object/ListUtil.h"
+#include "sched/Scheduler.h"
 #include "sexp/Printer.h"
 
 #include <algorithm>
@@ -652,6 +653,20 @@ Value primVmStat(VM &Vm, Value *A, uint32_t) {
     V = St.ProcedureCalls;
   else if (N == "empty-captures")
     V = St.EmptyCaptures;
+  else if (N == "context-switches")
+    V = St.ContextSwitches;
+  else if (N == "preemptive-switches")
+    V = St.PreemptiveSwitches;
+  else if (N == "voluntary-yields")
+    V = St.VoluntaryYields;
+  else if (N == "channel-blocks")
+    V = St.ChannelBlocks;
+  else if (N == "run-queue-peak")
+    V = St.RunQueuePeak;
+  else if (N == "threads-spawned")
+    V = St.ThreadsSpawned;
+  else if (N == "channel-messages")
+    V = St.ChannelMessages;
   else
     return Vm.fail("vm-stat: unknown counter: " + std::string(N));
   return Value::fixnum(static_cast<int64_t>(V));
@@ -669,6 +684,80 @@ Value primVmChainLength(VM &Vm, Value *, uint32_t) {
 }
 Value primVmCacheSize(VM &Vm, Value *, uint32_t) {
   return Value::fixnum(static_cast<int64_t>(Vm.control().cacheSize()));
+}
+
+// --- Green threads and channels (src/sched) ---------------------------------
+//
+// Thread and channel handles are fixnum ids into the scheduler's tables:
+// cheap, printable and stable across a scheduler run.  The switching
+// operations (%yield, %join, ...) are specials dispatched in the VM loop;
+// the ones below never transfer control and are ordinary natives.
+
+Value primSpawn(VM &Vm, Value *A, uint32_t) {
+  if (!isObj<Closure>(A[0]) && !isObj<Native>(A[0]))
+    return Vm.fail("spawn: not a procedure: " + writeToString(A[0]));
+  return Value::fixnum(Vm.scheduler().spawn(A[0]));
+}
+Value primSelf(VM &Vm, Value *, uint32_t) {
+  Scheduler::Thread *T = Vm.scheduler().current();
+  return T ? Value::fixnum(T->Id) : Value::falseV();
+}
+Value primThreadState(VM &Vm, Value *A, uint32_t) {
+  Scheduler::Thread *T =
+      A[0].isFixnum() ? Vm.scheduler().lookup(A[0].asFixnum()) : nullptr;
+  if (!T)
+    return Vm.fail("thread-state: not a thread id: " + writeToString(A[0]));
+  return Value::object(Vm.heap().intern(threadStateName(T->State)));
+}
+Value primChanMake(VM &Vm, Value *A, uint32_t) {
+  if (!A[0].isFixnum() || A[0].asFixnum() < 0)
+    return Vm.fail("make-channel: capacity must be a non-negative fixnum");
+  return Value::fixnum(
+      Vm.scheduler().makeChannel(static_cast<uint32_t>(A[0].asFixnum())));
+}
+Value primChanTrySend(VM &Vm, Value *A, uint32_t) {
+  Channel *Ch =
+      A[0].isFixnum() ? Vm.scheduler().channel(A[0].asFixnum()) : nullptr;
+  if (!Ch)
+    return Vm.fail("channel-try-send!: not a channel: " + writeToString(A[0]));
+  Channel::SendResult R = Ch->trySend(A[1]);
+  if (R.K == Channel::SendResult::MustBlock)
+    return Value::falseV();
+  Vm.stats().ChannelMessages += 1;
+  if (R.K == Channel::SendResult::Delivered)
+    Vm.scheduler().wake(*Vm.scheduler().lookup(R.WokenReceiver), A[1]);
+  return Value::trueV();
+}
+Value primChanTryRecv(VM &Vm, Value *A, uint32_t) {
+  Channel *Ch =
+      A[0].isFixnum() ? Vm.scheduler().channel(A[0].asFixnum()) : nullptr;
+  if (!Ch)
+    return Vm.fail("channel-try-recv: not a channel: " + writeToString(A[0]));
+  Channel::RecvResult R = Ch->tryRecv();
+  if (R.K == Channel::RecvResult::MustBlock)
+    return Value::falseV();
+  if (R.WakeSender) {
+    Vm.stats().ChannelMessages += 1;
+    Vm.scheduler().wake(*Vm.scheduler().lookup(R.WokenSender),
+                        Value::unspecified());
+  }
+  // A #f payload is indistinguishable from "empty"; callers that send #f
+  // should wrap it (documented with the prelude shim).
+  return R.V;
+}
+Value primChanLength(VM &Vm, Value *A, uint32_t) {
+  Channel *Ch =
+      A[0].isFixnum() ? Vm.scheduler().channel(A[0].asFixnum()) : nullptr;
+  if (!Ch)
+    return Vm.fail("channel-length: not a channel: " + writeToString(A[0]));
+  return Value::fixnum(static_cast<int64_t>(Ch->buffered()));
+}
+Value primChanCapacity(VM &Vm, Value *A, uint32_t) {
+  Channel *Ch =
+      A[0].isFixnum() ? Vm.scheduler().channel(A[0].asFixnum()) : nullptr;
+  if (!Ch)
+    return Vm.fail("channel-capacity: not a channel: " + writeToString(A[0]));
+  return Value::fixnum(Ch->capacity());
 }
 
 Value noFn(VM &Vm, Value *, uint32_t) {
@@ -689,6 +778,16 @@ void osc::installPrimitives(VM &Vm) {
   Vm.defineNative("%call-with-values", noFn, 2, 2,
                   NativeSpecial::CallWithValues);
   Vm.defineNative("values", noFn, 0, -1, NativeSpecial::Values);
+
+  // Scheduler specials: these may park the calling computation and
+  // reinstate another green thread, so they run in the dispatch loop.
+  Vm.defineNative("%sched-run", noFn, 1, 1, NativeSpecial::SchedRun);
+  Vm.defineNative("%yield", noFn, 0, 0, NativeSpecial::SchedYield);
+  Vm.defineNative("%thread-exit", noFn, 1, 1, NativeSpecial::SchedExit);
+  Vm.defineNative("%join", noFn, 1, 1, NativeSpecial::SchedJoin);
+  Vm.defineNative("%sleep", noFn, 1, 1, NativeSpecial::SchedSleep);
+  Vm.defineNative("%chan-send", noFn, 2, 2, NativeSpecial::ChanSend);
+  Vm.defineNative("%chan-recv", noFn, 1, 1, NativeSpecial::ChanRecv);
 
   // Numbers.
   Def("+", primAdd, 0, -1);
@@ -826,4 +925,14 @@ void osc::installPrimitives(VM &Vm) {
   Def("vm-live-segment-words", primVmLiveSegmentWords, 0, 0);
   Def("vm-chain-length", primVmChainLength, 0, 0);
   Def("vm-cache-size", primVmCacheSize, 0, 0);
+
+  // Green threads and channels (non-switching halves).
+  Def("%spawn", primSpawn, 1, 1);
+  Def("current-thread", primSelf, 0, 0);
+  Def("thread-state", primThreadState, 1, 1);
+  Def("make-channel", primChanMake, 1, 1);
+  Def("channel-try-send!", primChanTrySend, 2, 2);
+  Def("channel-try-recv", primChanTryRecv, 1, 1);
+  Def("channel-length", primChanLength, 1, 1);
+  Def("channel-capacity", primChanCapacity, 1, 1);
 }

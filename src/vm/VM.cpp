@@ -3,6 +3,7 @@
 #include "compiler/Bytecode.h"
 #include "core/FrameWalk.h"
 #include "object/ListUtil.h"
+#include "sched/Scheduler.h"
 #include "sexp/Printer.h"
 #include "support/Diag.h"
 
@@ -24,6 +25,18 @@ VM::VM(Heap &H, Stats &S, const Config &Cfg)
                            Value::object(NoConsts), 0, false, /*MaxDepth=*/8,
                            StubInstrs, 2);
   CwvStub = Value::object(Stub);
+
+  Sched = std::make_unique<Scheduler>(S);
+  WindersSym = H.intern("*winders*");
+  // The thread-root guard: a permanently shot continuation shared by every
+  // green thread's chain as its bottom link.  Like the halt sentinel it has
+  // no segment and no link, so stack walkers stop at it; unlike halt it is
+  // recognized by identity, so a return (or base-frame capture) reaching it
+  // means "this thread's thunk finished" rather than "the program ended".
+  Continuation *Guard = H.allocContinuation();
+  Guard->Size = -1;
+  Guard->SegSize = -1;
+  ThreadGuard = Value::object(Guard);
 }
 
 VM::~VM() { H.removeRootProvider(this); }
@@ -62,7 +75,9 @@ void VM::traceRoots(GCVisitor &V) {
   V.visit(CwvStub);
   V.visit(FinalValue);
   V.visit(TimerHandler);
+  V.visit(ThreadGuard);
   V.visitRange(MultiVals.data(), MultiVals.size());
+  Sched->traceRoots(V);
 }
 
 // --- Small helpers -----------------------------------------------------------
@@ -218,18 +233,27 @@ bool VM::enterClosure(Closure *Cl, uint32_t NArgs) {
   S.ProcedureCalls += 1;
 
   if (TimerExpired) {
-    // Engine preemption at procedure entry: the frame is fully built and
-    // nothing has executed, so (code, pc=1) with the sealed stack is a
-    // complete representation of "run this procedure".  Tail loops are
-    // preempted here; non-tail code is also preempted at returns.
+    // Preemption at procedure entry: the frame is fully built and nothing
+    // has executed, so (code, pc=1) with the sealed stack is a complete
+    // representation of "run this procedure".  Tail loops are preempted
+    // here; non-tail code is also preempted at returns.
     TimerExpired = false;
     Fuel = -1;
-    Value Handler = TimerHandler;
-    TimerHandler = Value();
-    Value K = CS.captureOneShot(CS.Top, CurCodeVal, 1);
-    CS.beginBaseFrame(FrameHeaderWords + 2);
-    CS.plantBaseFrame();
-    enterCall(Handler, {K, Value::unspecified()}, Site{SiteKind::Tail, 0});
+    if (!TimerHandler.isEmpty()) {
+      // Engine: hand the capture to the Scheme handler.
+      Value Handler = TimerHandler;
+      TimerHandler = Value();
+      Value K = CS.captureOneShot(CS.Top, CurCodeVal, 1);
+      CS.beginBaseFrame(FrameHeaderWords + 2);
+      CS.plantBaseFrame();
+      enterCall(Handler, {K, Value::unspecified()}, Site{SiteKind::Tail, 0});
+    } else if (Sched->inThread()) {
+      // Scheduler: same capture, but the VM parks the thread and
+      // reinstates the next one directly — no Scheme handler runs.
+      S.PreemptiveSwitches += 1;
+      Value K = CS.captureOneShot(CS.Top, CurCodeVal, 1);
+      schedSuspendAndDispatch(K, Value::unspecified(), ThreadState::Ready);
+    }
   }
   return true;
 }
@@ -238,6 +262,17 @@ void VM::returnValues() {
   Value *Sl = CS.slots();
   Value RetC = Sl[CS.Fp + FrameRetCode];
   if (RetC.isUnderflowMarker()) {
+    if (CS.link().identical(ThreadGuard)) {
+      // A green thread returned from its root frame: the thunk is done and
+      // the returned value is the thread's result.
+      if (Sched->inThread()) {
+        Sched->finishCurrent(Acc);
+        schedDispatch();
+        return;
+      }
+      fail("thread root frame returned outside the scheduler");
+      return;
+    }
     auto *K = castObj<Continuation>(CS.link());
     if (K->isShot()) {
       fail("one-shot continuation invoked a second time (via return)");
@@ -286,24 +321,37 @@ void VM::invokeContinuationWithValues(Continuation *K,
   setValues(Vals.data(), static_cast<uint32_t>(Vals.size()));
 }
 
+void VM::siteCapturePoint(Site St, uint32_t &Boundary, Value &RetCode,
+                          int64_t &RetPc) {
+  if (St.Kind == SiteKind::NonTail) {
+    Boundary = CS.Fp + St.D;
+    RetCode = CurCodeVal;
+    RetPc = Pc;
+    return;
+  }
+  // Tail: the current frame is dead; its return address is the capture
+  // point.  At a segment base this degenerates to the empty-segment case.
+  Boundary = CS.Fp;
+  const Value *Sl = CS.slots();
+  RetCode = Sl[CS.Fp + FrameRetCode];
+  RetPc = Sl[CS.Fp + FrameRetPc].isFixnum()
+              ? Sl[CS.Fp + FrameRetPc].asFixnum()
+              : 0;
+}
+
+Value VM::captureSiteOneShot(Site St) {
+  uint32_t Boundary;
+  Value RetC;
+  int64_t RetP;
+  siteCapturePoint(St, Boundary, RetC, RetP);
+  return CS.captureOneShot(Boundary, RetC, RetP);
+}
+
 void VM::captureAndCall(bool OneShot, Value Receiver, Site St) {
   uint32_t Boundary;
   Value RetC;
   int64_t RetP;
-  if (St.Kind == SiteKind::NonTail) {
-    Boundary = CS.Fp + St.D;
-    RetC = CurCodeVal;
-    RetP = Pc;
-  } else {
-    // Tail: the current frame is dead; its return address is the capture
-    // point.  At a segment base this degenerates to the empty-segment case.
-    Boundary = CS.Fp;
-    Value *Sl = CS.slots();
-    RetC = Sl[CS.Fp + FrameRetCode];
-    RetP = Sl[CS.Fp + FrameRetPc].isFixnum()
-               ? Sl[CS.Fp + FrameRetPc].asFixnum()
-               : 0;
-  }
+  siteCapturePoint(St, Boundary, RetC, RetP);
   Value K = OneShot ? CS.captureOneShot(Boundary, RetC, RetP)
                     : CS.captureMultiShot(Boundary, RetC, RetP);
   // Call the receiver on a fresh base frame: returning from it underflows
@@ -412,6 +460,27 @@ void VM::enterCall(Value Callee, std::vector<Value> Args, Site St) {
       case NativeSpecial::CallWithValues:
         doCallWithValues(Args[0], Args[1], St);
         return;
+      case NativeSpecial::SchedRun:
+        schedRun(Args[0], St);
+        return;
+      case NativeSpecial::SchedYield:
+        schedYield(St);
+        return;
+      case NativeSpecial::SchedExit:
+        schedExit(Args[0]);
+        return;
+      case NativeSpecial::SchedJoin:
+        schedJoin(Args[0], St);
+        return;
+      case NativeSpecial::SchedSleep:
+        schedSleep(Args[0], St);
+        return;
+      case NativeSpecial::ChanSend:
+        chanSend(Args[0], Args[1], St);
+        return;
+      case NativeSpecial::ChanRecv:
+        chanRecv(Args[0], St);
+        return;
       }
       oscUnreachable("bad NativeSpecial");
     }
@@ -427,6 +496,287 @@ void VM::enterCall(Value Callee, std::vector<Value> Args, Site St) {
   }
 }
 
+// --- Green-thread scheduler glue (src/sched) --------------------------------
+//
+// The Scheduler object decides *what* runs next; every actual control
+// transfer happens here, built from the same two operations as call/1cc:
+// captureOneShot to park the running computation and the one-shot invoke
+// path to reinstate the next.  A steady-state switch is therefore a pair of
+// pointer swaps — WordsCopied does not move (bench/bench_scheduler.cpp and
+// the `sched` tests assert this).
+
+void VM::nativeReturn(Value V, Site St) {
+  // Mirrors how enterCall returns an ordinary native's result: either pop
+  // back to the caller's frame extent or perform a full tail return.
+  Acc = V;
+  NumValues = 1;
+  if (St.Kind == SiteKind::NonTail) {
+    CS.Top = CS.Fp + St.D;
+    return;
+  }
+  returnValues();
+}
+
+void VM::schedSaveContext(SchedContext &C) {
+  C.Winders = WindersSym->Global;
+  C.Fuel = Fuel;
+  C.TimerExpired = TimerExpired;
+  C.TimerHandler = TimerHandler;
+  Fuel = -1;
+  TimerExpired = false;
+  TimerHandler = Value();
+}
+
+void VM::schedRestoreContext(const SchedContext &C, bool FreshSlice) {
+  WindersSym->Global = C.Winders;
+  if (FreshSlice && C.TimerHandler.isEmpty()) {
+    // Ordinary thread: it gets a full preemption slice.  A context with an
+    // armed engine handler instead resumes under its own timer — an engine
+    // running inside a thread keeps its engine semantics.
+    TimerHandler = Value();
+    TimerExpired = false;
+    Fuel = Sched->interval() > 0 ? Sched->interval() : -1;
+    return;
+  }
+  Fuel = C.Fuel;
+  TimerExpired = C.TimerExpired;
+  TimerHandler = C.TimerHandler;
+}
+
+void VM::schedSuspendAndDispatch(Value K, Value Wake, ThreadState NewState) {
+  schedSaveContext(Sched->current()->Ctx);
+  Sched->suspendCurrent(K, Wake, NewState);
+  schedDispatch();
+}
+
+void VM::schedDispatch() {
+  for (;;) {
+    Scheduler::Next N = Sched->pickNext();
+    switch (N.K) {
+    case Scheduler::Next::Start: {
+      Scheduler::Thread &T = *N.T;
+      S.ContextSwitches += 1;
+      Value Thunk = T.Thunk;
+      T.Thunk = Value();
+      T.Started = true;
+      // Fresh dynamic context: the winder list scheduler-run was entered
+      // under and a full preemption slice.
+      WindersSym->Global = Sched->baseWinders();
+      TimerHandler = Value();
+      TimerExpired = false;
+      Fuel = Sched->interval() > 0 ? Sched->interval() : -1;
+      // The thread runs on a fresh chain rooted at the thread guard, so
+      // returning from the thunk is recognized as thread exit rather than
+      // an underflow into whatever computation was current before.
+      CS.beginBaseFrame(FrameHeaderWords + 2);
+      CS.setLink(ThreadGuard);
+      CS.plantBaseFrame();
+      enterCall(Thunk, {}, Site{SiteKind::Tail, 0});
+      return;
+    }
+    case Scheduler::Next::Resume: {
+      Scheduler::Thread &T = *N.T;
+      if (T.Resume.identical(ThreadGuard)) {
+        // The thread was suspended at its own base frame (its capture
+        // degenerated to the chain link): waking it means returning the
+        // wake value from the thread's root, i.e. the thread is done.
+        Value W = T.Wake;
+        Sched->finishCurrent(W);
+        continue;
+      }
+      S.ContextSwitches += 1;
+      Value K = T.Resume;
+      Value W = T.Wake;
+      T.Resume = Value();
+      T.Wake = Value();
+      schedRestoreContext(T.Ctx, /*FreshSlice=*/true);
+      T.Ctx = SchedContext();
+      invokeContinuationWithValues(castObj<Continuation>(K), {W});
+      return;
+    }
+    case Scheduler::Next::Finish: {
+      // Every thread completed: resume the suspended caller of
+      // scheduler-run with the number of threads that ran.
+      S.ContextSwitches += 1;
+      Value K = Sched->mainK();
+      Value Count = Value::fixnum(static_cast<int64_t>(Sched->completed()));
+      schedRestoreContext(Sched->mainContext(), /*FreshSlice=*/false);
+      Sched->endRun();
+      if (auto *Kc = dynObj<Continuation>(K)) {
+        invokeContinuationWithValues(Kc, {Count});
+        return;
+      }
+      fail("scheduler: lost the main continuation");
+      return;
+    }
+    case Scheduler::Next::Deadlock: {
+      uint32_t NBlocked = Sched->blockedCount();
+      Sched->abortRun();
+      fail("scheduler: deadlock: " + std::to_string(NBlocked) +
+           " thread(s) blocked with an empty run queue");
+      return;
+    }
+    }
+  }
+}
+
+void VM::schedRun(Value IntervalV, Site St) {
+  if (!IntervalV.isFixnum()) {
+    fail("scheduler-run: interval must be a fixnum, got " +
+         writeToString(IntervalV));
+    return;
+  }
+  if (Sched->active()) {
+    fail("scheduler-run: the scheduler is already running");
+    return;
+  }
+  if (Sched->readyCount() == 0) {
+    nativeReturn(Value::fixnum(0), St); // Nothing spawned: trivial run.
+    return;
+  }
+  Value MainK = captureSiteOneShot(St);
+  Sched->beginRun(MainK, IntervalV.asFixnum(), WindersSym->Global);
+  schedSaveContext(Sched->mainContext());
+  schedDispatch();
+}
+
+void VM::schedYield(Site St) {
+  if (!Sched->inThread()) {
+    nativeReturn(Value::unspecified(), St); // Harmless outside a run.
+    return;
+  }
+  S.VoluntaryYields += 1;
+  if (Sched->readyCount() == 0 && Sched->sleeperCount() == 0) {
+    nativeReturn(Value::unspecified(), St); // Nobody to switch to.
+    return;
+  }
+  Value K = captureSiteOneShot(St);
+  schedSuspendAndDispatch(K, Value::unspecified(), ThreadState::Ready);
+}
+
+void VM::schedExit(Value V) {
+  if (!Sched->inThread()) {
+    fail("thread-exit: no current thread");
+    return;
+  }
+  // Note: like an engine being killed, exiting skips any pending
+  // dynamic-wind after-thunks of the thread; the thread's winder list dies
+  // with it (docs/INTERNALS.md, § Scheduler).
+  Sched->finishCurrent(V);
+  schedDispatch();
+}
+
+void VM::schedJoin(Value TidV, Site St) {
+  Scheduler::Thread *T =
+      TidV.isFixnum() ? Sched->lookup(TidV.asFixnum()) : nullptr;
+  if (!T) {
+    fail("thread-join: not a thread id: " + writeToString(TidV));
+    return;
+  }
+  if (T->State == ThreadState::Done) {
+    nativeReturn(T->Result, St); // Join of a finished thread never blocks.
+    return;
+  }
+  if (!Sched->inThread()) {
+    fail("thread-join: thread " + std::to_string(T->Id) +
+         " has not finished and no scheduler is running "
+         "(call scheduler-run first)");
+    return;
+  }
+  if (T == Sched->current()) {
+    fail("thread-join: a thread cannot join itself");
+    return;
+  }
+  T->Joiners.push_back(Sched->current()->Id);
+  Value K = captureSiteOneShot(St);
+  schedSuspendAndDispatch(K, Value::unspecified(), ThreadState::Blocked);
+}
+
+void VM::schedSleep(Value TicksV, Site St) {
+  if (!TicksV.isFixnum() || TicksV.asFixnum() < 0) {
+    fail("thread-sleep!: expected a non-negative number of ticks, got " +
+         writeToString(TicksV));
+    return;
+  }
+  if (!Sched->inThread()) {
+    fail("thread-sleep!: no current thread");
+    return;
+  }
+  int64_t Ticks = TicksV.asFixnum();
+  if (Ticks == 0) {
+    nativeReturn(Value::unspecified(), St);
+    return;
+  }
+  Sched->current()->SleepLeft = Ticks;
+  Value K = captureSiteOneShot(St);
+  schedSuspendAndDispatch(K, Value::unspecified(), ThreadState::Sleeping);
+}
+
+void VM::chanSend(Value ChV, Value V, Site St) {
+  Channel *Ch = ChV.isFixnum() ? Sched->channel(ChV.asFixnum()) : nullptr;
+  if (!Ch) {
+    fail("channel-send!: not a channel: " + writeToString(ChV));
+    return;
+  }
+  Channel::SendResult R = Ch->trySend(V);
+  switch (R.K) {
+  case Channel::SendResult::Delivered: {
+    // A parked receiver takes the value directly; it becomes runnable and
+    // its channel-recv call will return V.
+    S.ChannelMessages += 1;
+    Scheduler::Thread *Rx = Sched->lookup(R.WokenReceiver);
+    Sched->wake(*Rx, V);
+    nativeReturn(Value::unspecified(), St);
+    return;
+  }
+  case Channel::SendResult::Buffered:
+    S.ChannelMessages += 1;
+    nativeReturn(Value::unspecified(), St);
+    return;
+  case Channel::SendResult::MustBlock: {
+    if (!Sched->inThread()) {
+      fail("channel-send!: channel " + std::to_string(Ch->id()) +
+           " is full and no scheduler is running");
+      return;
+    }
+    S.ChannelBlocks += 1;
+    Ch->blockSender(Sched->current()->Id, V);
+    Value K = captureSiteOneShot(St);
+    schedSuspendAndDispatch(K, Value::unspecified(), ThreadState::Blocked);
+    return;
+  }
+  }
+}
+
+void VM::chanRecv(Value ChV, Site St) {
+  Channel *Ch = ChV.isFixnum() ? Sched->channel(ChV.asFixnum()) : nullptr;
+  if (!Ch) {
+    fail("channel-recv: not a channel: " + writeToString(ChV));
+    return;
+  }
+  Channel::RecvResult R = Ch->tryRecv();
+  if (R.K == Channel::RecvResult::Got) {
+    if (R.WakeSender) {
+      // A parked sender's value was accepted (into the buffer, or directly
+      // on a rendezvous channel): its channel-send! call completes now.
+      S.ChannelMessages += 1;
+      Scheduler::Thread *Tx = Sched->lookup(R.WokenSender);
+      Sched->wake(*Tx, Value::unspecified());
+    }
+    nativeReturn(R.V, St);
+    return;
+  }
+  if (!Sched->inThread()) {
+    fail("channel-recv: channel " + std::to_string(Ch->id()) +
+         " is empty and no scheduler is running");
+    return;
+  }
+  S.ChannelBlocks += 1;
+  Ch->blockReceiver(Sched->current()->Id);
+  Value K = captureSiteOneShot(St);
+  schedSuspendAndDispatch(K, Value::unspecified(), ThreadState::Blocked);
+}
+
 // --- The interpreter loop ---------------------------------------------------------
 
 VM::RunResult VM::run(Code *Toplevel) {
@@ -439,6 +789,8 @@ VM::RunResult VM::run(Code *Toplevel) {
   Fuel = -1;
   TimerExpired = false;
   TimerHandler = Value();
+  if (Sched->active())
+    Sched->abortRun(); // A previous run died mid-switch; drop its threads.
 
   CS.reset();
   CS.beginBaseFrame(std::max(Toplevel->MaxDepth, 2u));
@@ -606,30 +958,43 @@ VM::RunResult VM::run(Code *Toplevel) {
       break;
     }
 
-    case Op::Return:
+    case Op::Return: {
       NumValues = 1;
       if (TimerExpired) {
-        // Engine preemption: capture the rest of the computation — "return
-        // Acc from this frame onward" — as a one-shot continuation and
-        // hand it to the timer handler along with the value.  Invoking
-        // (k v) later resumes the preempted computation.
+        // Preemption: capture the rest of the computation — "return Acc
+        // from this frame onward" — as a one-shot continuation.  Invoking
+        // (k v) later resumes the preempted computation returning v.
         TimerExpired = false;
         Fuel = -1;
-        Value Handler = TimerHandler;
-        TimerHandler = Value();
         Value V = Acc;
         Value RetC = Sl[CS.Fp + FrameRetCode];
         int64_t RetP = Sl[CS.Fp + FrameRetPc].isFixnum()
                            ? Sl[CS.Fp + FrameRetPc].asFixnum()
                            : 0;
-        Value K = CS.captureOneShot(CS.Fp, RetC, RetP);
-        CS.beginBaseFrame(FrameHeaderWords + 2);
-        CS.plantBaseFrame();
-        enterCall(Handler, {K, V}, Site{SiteKind::Tail, 0});
-        break;
+        if (!TimerHandler.isEmpty()) {
+          // Engine: the capture is handed to the Scheme timer handler.
+          Value Handler = TimerHandler;
+          TimerHandler = Value();
+          Value K = CS.captureOneShot(CS.Fp, RetC, RetP);
+          CS.beginBaseFrame(FrameHeaderWords + 2);
+          CS.plantBaseFrame();
+          enterCall(Handler, {K, V}, Site{SiteKind::Tail, 0});
+          break;
+        }
+        if (Sched->inThread()) {
+          // Scheduler: the VM itself parks the thread (to resume with V)
+          // and reinstates whatever runs next — no Scheme handler, no
+          // fresh base frame, zero stack words copied.
+          S.PreemptiveSwitches += 1;
+          Value K = CS.captureOneShot(CS.Fp, RetC, RetP);
+          schedSuspendAndDispatch(K, V, ThreadState::Ready);
+          break;
+        }
+        // Stale expiry of a disarmed timer: ignore it.
       }
       returnValues();
       break;
+    }
 
     case Op::CwvApply: {
       Value Consumer = Sl[CS.Fp + FrameArgs];

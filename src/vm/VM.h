@@ -21,11 +21,16 @@
 #include "object/Objects.h"
 #include "support/Stats.h"
 
+#include <memory>
 #include <string>
 #include <string_view>
 #include <vector>
 
 namespace osc {
+
+class Scheduler;
+struct SchedContext;
+enum class ThreadState : uint8_t;
 
 class VM : public RootProvider {
 public:
@@ -99,6 +104,18 @@ public:
   }
   int64_t remainingFuel() const { return Fuel; }
 
+  // --- Green-thread scheduler (src/sched) ------------------------------------
+  //
+  // The scheduler generalizes the engine timer into a full preemptive
+  // round-robin thread system: the same timer drives involuntary switches,
+  // but instead of calling a Scheme handler the VM itself captures the
+  // running thread with captureOneShot and reinstates the next one — a
+  // steady-state context switch copies zero stack words.  The Scheduler
+  // object holds policy (queues, thread table, channels); all control
+  // transfers happen here in the VM.
+
+  Scheduler &scheduler() { return *Sched; }
+
   /// Binds \p Name's global to \p V.
   void defineGlobal(std::string_view Name, Value V);
   /// Registers a native procedure under \p Name.
@@ -133,6 +150,32 @@ private:
   void returnValues();
   void captureAndCall(bool OneShot, Value Receiver, Site S);
   void doCallWithValues(Value Producer, Value Consumer, Site S);
+
+  // Scheduler glue (VM.cpp, "Green-thread scheduler" section).  The Site
+  // identifies the suspended operation's resume point, exactly as for
+  // call/1cc.
+  /// Computes the capture point of the pending call at \p S (shared with
+  /// captureAndCall).
+  void siteCapturePoint(Site S, uint32_t &Boundary, Value &RetCode,
+                        int64_t &RetPc);
+  /// Captures the rest of the current computation as a one-shot
+  /// continuation, as if the call at \p S were a call/1cc.
+  Value captureSiteOneShot(Site S);
+  /// Returns \p V from the native call at \p S without a context switch.
+  void nativeReturn(Value V, Site S);
+  void schedSaveContext(SchedContext &C);
+  void schedRestoreContext(const SchedContext &C, bool FreshSlice);
+  /// Parks the running thread and transfers control to whatever the
+  /// scheduler picks next.
+  void schedSuspendAndDispatch(Value K, Value Wake, ThreadState NewState);
+  void schedDispatch();
+  void schedRun(Value IntervalV, Site S);
+  void schedYield(Site S);
+  void schedExit(Value V);
+  void schedJoin(Value TidV, Site S);
+  void schedSleep(Value TicksV, Site S);
+  void chanSend(Value ChV, Value V, Site S);
+  void chanRecv(Value ChV, Site S);
   uint32_t calleeNeed(Value Callee, uint32_t NArgs) const;
   /// Walks the logical stack innermost-first: current window frames, then
   /// each continuation in the chain, bounded by \p MaxFrames.
@@ -169,6 +212,14 @@ private:
   std::string OutBuffer;
 
   Value CwvStub; ///< Code object whose pc=1 is the cwv resume point.
+
+  // Scheduler state.
+  std::unique_ptr<Scheduler> Sched;
+  Value ThreadGuard; ///< Shared shot continuation marking thread-chain
+                     ///< roots: a fresh thread's base frame links here, so
+                     ///< an underflow (or base-frame capture) that reaches
+                     ///< it is recognized as thread exit.
+  Symbol *WindersSym = nullptr; ///< Interned *winders*, swapped per thread.
 };
 
 /// Installs the standard primitive library into \p Vm (Primitives.cpp).
