@@ -13,6 +13,8 @@
 #ifndef OSC_CORE_CONFIG_H
 #define OSC_CORE_CONFIG_H
 
+#include "support/Fault.h"
+
 #include <cstdint>
 
 namespace osc {
@@ -67,6 +69,14 @@ struct Config {
   bool SegmentCacheEnabled = true;
   /// GC trigger: bytes allocated since the last collection.
   uint64_t GcThresholdBytes = 8u << 20;
+  /// Capacity (in records) of the VM's event tracer (support/Trace.h).
+  /// The buffer is allocated once at VM construction; recording is off
+  /// until trace-start! / Trace::start.
+  uint32_t TraceBufferEvents = 1u << 16;
+  /// Deterministic fault-injection schedule (support/Fault.h), honored by
+  /// Heap (forced GCs), ControlStack (failed segment allocations) and the
+  /// VM (forced timer expiries).  Disarmed by default.
+  FaultPlan Faults;
 };
 
 } // namespace osc

@@ -57,6 +57,10 @@ StackSegment *ControlStack::newSegment(uint32_t MinWords) {
       }
     }
   }
+  SegmentAllocs += 1;
+  if (Cfg.Faults.FailSegmentAlloc != 0 &&
+      SegmentAllocs == Cfg.Faults.FailSegmentAlloc)
+    throw SegmentAllocFault{SegmentAllocs, MinWords};
   S.SegmentsAllocated += 1;
   return H.allocSegment(MinWords);
 }
@@ -83,6 +87,7 @@ void ControlStack::promoteChain() {
       if (!FlagCell->Val.isTrue()) {
         FlagCell->Val = Value::trueV();
         S.Promotions += 1;
+        OSC_TRACE(Tr, TraceEvent::PromoteFlag);
       }
     CurrentFlag = Value::object(H.allocCell(Value::falseV()));
     return;
@@ -96,6 +101,7 @@ void ControlStack::promoteChain() {
       break;
     K->SegSize = K->Size;
     S.Promotions += 1;
+    OSC_TRACE(Tr, TraceEvent::Promote, static_cast<uint64_t>(K->Size));
     Cur = K->Link;
   }
 }
@@ -125,6 +131,7 @@ Value ControlStack::captureMultiShot(uint32_t Boundary, Value RetCode,
     // Tail-position capture with an empty segment: the link *is* the
     // continuation; no sealing, preserving proper tail recursion.
     S.EmptyCaptures += 1;
+    OSC_TRACE(Tr, TraceEvent::CaptureEmpty);
     return Link;
   }
   Continuation *K = makeContinuation(Boundary, RetCode, RetPc);
@@ -135,6 +142,7 @@ Value ControlStack::captureMultiShot(uint32_t Boundary, Value RetCode,
   Cap -= Boundary;
   Link = Value::object(K);
   S.MultiShotCaptures += 1;
+  OSC_TRACE(Tr, TraceEvent::CaptureMulti, Boundary);
   return Value::object(K);
 }
 
@@ -142,6 +150,7 @@ Value ControlStack::captureOneShot(uint32_t Boundary, Value RetCode,
                                    int64_t RetPc) {
   if (Boundary == 0) {
     S.EmptyCaptures += 1;
+    OSC_TRACE(Tr, TraceEvent::CaptureEmpty);
     return Link;
   }
   Continuation *K = makeContinuation(Boundary, RetCode, RetPc);
@@ -157,6 +166,7 @@ Value ControlStack::captureOneShot(uint32_t Boundary, Value RetCode,
     Seg->Shared = true; // K's view and the remainder share the buffer.
     Start += Boundary + SD;
     Cap -= Boundary + SD;
+    OSC_TRACE(Tr, TraceEvent::Seal, Boundary, SD);
   } else {
     // Fig. 2: encapsulate the entire segment; take a fresh one (usually
     // from the cache) as the current segment.
@@ -167,13 +177,20 @@ Value ControlStack::captureOneShot(uint32_t Boundary, Value RetCode,
   }
   Link = Value::object(K);
   S.OneShotCaptures += 1;
+  OSC_TRACE(Tr, TraceEvent::CaptureOneShot, Boundary,
+            static_cast<uint64_t>(K->SegSize));
   return Value::object(K);
 }
 
 void ControlStack::beginBaseFrame(uint32_t Need) {
   if (Cap < Need) {
-    discardCurrentWindow(nullptr);
-    Seg = newSegment(std::max(Cfg.SegmentWords, Need));
+    // Allocate before discarding so an injected allocation failure cannot
+    // leave the still-current buffer in the cache.  The released buffer can
+    // never satisfy this request (its capacity is Cap < Need <= MinWords),
+    // so the order does not change cache behavior.
+    StackSegment *Fresh = newSegment(std::max(Cfg.SegmentWords, Need));
+    discardCurrentWindow(Fresh);
+    Seg = Fresh;
     Start = 0;
     Cap = Seg->Capacity;
   }
@@ -190,6 +207,7 @@ CallFramePlan ControlStack::overflowRelocate(Value CurCode, int64_t RetPc,
                                              uint32_t CalleeNeed,
                                              bool HeaderLive) {
   S.Overflows += 1;
+  OSC_TRACE(Tr, TraceEvent::Overflow, Boundary, PendEnd - Boundary);
   Value *Old = slots();
 
   Continuation *K = nullptr;
@@ -335,6 +353,8 @@ void ControlStack::splitForCopyBound(Continuation *K) {
   K->SegSize = K->Size;
   K->Link = Value::object(K2);
   S.Splits += 1;
+  OSC_TRACE(Tr, TraceEvent::Split, static_cast<uint64_t>(K2->Size),
+            static_cast<uint64_t>(K->Size));
 }
 
 ResumePoint ControlStack::resumeInto(Continuation *K) {
@@ -369,9 +389,13 @@ ResumePoint ControlStack::invoke(Continuation *K) {
     splitForCopyBound(K);
     RP = resumeInto(K); // Splitting may have re-based K.
     if (K->Size > static_cast<int64_t>(Cap)) {
-      discardCurrentWindow(K->segment());
-      Seg = newSegment(
-          std::max<uint32_t>(Cfg.SegmentWords, K->Size + 64));
+      // Allocate before discarding (see beginBaseFrame).  The released
+      // buffer has capacity Cap < K->Size + 64 <= MinWords, so it could
+      // never have been the cache hit; behavior is unchanged.
+      StackSegment *Fresh =
+          newSegment(std::max<uint32_t>(Cfg.SegmentWords, K->Size + 64));
+      discardCurrentWindow(Fresh);
+      Seg = Fresh;
       Start = 0;
       Cap = Seg->Capacity;
     }
@@ -379,9 +403,12 @@ ResumePoint ControlStack::invoke(Continuation *K) {
     std::memcpy(slots(), K->slots(), K->Size * sizeof(Value));
     S.WordsCopied += K->Size;
     Link = K->Link;
+    OSC_TRACE(Tr, TraceEvent::InvokeMulti, static_cast<uint64_t>(K->Size));
   } else {
     // Fig. 4: discard the current segment and return to the saved one.
     S.OneShotInvokes += 1;
+    OSC_TRACE(Tr, TraceEvent::InvokeOneShot,
+              static_cast<uint64_t>(K->SegSize));
     discardCurrentWindow(K->segment());
     Seg = K->segment();
     Start = K->Start;
@@ -403,6 +430,7 @@ ResumePoint ControlStack::invoke(Continuation *K) {
 
 ResumePoint ControlStack::underflow() {
   S.Underflows += 1;
+  OSC_TRACE(Tr, TraceEvent::Underflow);
   auto *K = castObj<Continuation>(Link);
   ResumePoint RP;
   if (K->isHalt()) {
@@ -478,5 +506,7 @@ void ControlStack::traceRoots(GCVisitor &V) {
 
 void ControlStack::willCollect() {
   // §3.2: the storage manager discards cached stack segments.
+  if (!Cache.empty())
+    OSC_TRACE(Tr, TraceEvent::CacheDrop, Cache.size());
   Cache.clear();
 }

@@ -27,6 +27,7 @@
 #include "object/Heap.h"
 #include "object/Objects.h"
 #include "support/Stats.h"
+#include "support/Trace.h"
 
 #include <cstdint>
 #include <vector>
@@ -149,6 +150,15 @@ public:
 
   size_t cacheSize() const { return Cache.size(); }
 
+  // --- Observability --------------------------------------------------------
+
+  /// Points the stack at an event tracer (usually the owning VM's); null
+  /// detaches.  Never owned.
+  void setTrace(Trace *T) { Tr = T; }
+  /// Fresh-segment allocation requests to date (cache hits excluded); the
+  /// ordinal space FaultPlan::FailSegmentAlloc indexes.
+  uint64_t segmentAllocRequests() const { return SegmentAllocs; }
+
   // --- Introspection (tests, benchmarks) ------------------------------------
 
   /// Total words of stack-segment buffer reachable from the current chain,
@@ -186,6 +196,8 @@ private:
   Heap &H;
   Stats &S;
   const Config &Cfg;
+  Trace *Tr = nullptr;
+  uint64_t SegmentAllocs = 0; ///< Fresh-segment requests (fault ordinals).
 
   StackSegment *Seg = nullptr;
   uint32_t Start = 0;

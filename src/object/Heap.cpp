@@ -79,6 +79,8 @@ void *Heap::rawAlloc(size_t Bytes, ObjKind Kind) {
   S.BytesAllocated += Bytes;
   S.ObjectsAllocated += 1;
   BytesSinceGC += Bytes;
+  AllocsSinceGC += 1;
+  OSC_TRACE(Tr, TraceEvent::Alloc, static_cast<uint64_t>(Kind), Bytes);
   return Mem;
 }
 
@@ -270,6 +272,7 @@ void Heap::traceObject(ObjHeader *O, GCVisitor &V) {
 }
 
 void Heap::collect() {
+  OSC_TRACE(Tr, TraceEvent::GcStart, BytesSinceGC);
   for (RootProvider *P : RootProviders)
     P->willCollect();
 
@@ -310,6 +313,8 @@ void Heap::collect() {
   S.GcCount += 1;
   S.GcBytesFreed += Freed;
   BytesSinceGC = 0;
+  AllocsSinceGC = 0;
+  OSC_TRACE(Tr, TraceEvent::GcEnd, Live, Freed);
   // Grow the threshold if the live set dominates it, so steady-state
   // programs do not collect pathologically often.
   GcThresholdBytes = std::max(GcThresholdBytes, Live * 2);

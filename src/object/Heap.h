@@ -23,7 +23,9 @@
 
 #include "object/Objects.h"
 #include "object/Value.h"
+#include "support/Fault.h"
 #include "support/Stats.h"
+#include "support/Trace.h"
 
 #include <string_view>
 #include <unordered_map>
@@ -123,7 +125,19 @@ public:
   void addRootProvider(RootProvider *P);
   void removeRootProvider(RootProvider *P);
 
-  bool needsGC() const { return BytesSinceGC >= GcThresholdBytes; }
+  /// Points the heap at an event tracer (usually the owning VM's); null
+  /// detaches.  The heap never owns the tracer.
+  void setTrace(Trace *T) { Tr = T; }
+  /// Points the heap at a fault plan to honor (GcEveryNAllocs); null
+  /// detaches.  The plan must outlive the attachment.
+  void setFaultPlan(const FaultPlan *P) { Faults = P; }
+
+  bool needsGC() const {
+    if (BytesSinceGC >= GcThresholdBytes)
+      return true;
+    return Faults && Faults->GcEveryNAllocs != 0 &&
+           AllocsSinceGC >= Faults->GcEveryNAllocs;
+  }
   /// Runs a full mark-sweep collection.
   void collect();
 
@@ -144,8 +158,11 @@ private:
   void traceObject(ObjHeader *O, GCVisitor &V);
 
   Stats &S;
+  Trace *Tr = nullptr;               ///< Event tracer; may be null.
+  const FaultPlan *Faults = nullptr; ///< Injection schedule; may be null.
   uint64_t GcThresholdBytes;
   uint64_t BytesSinceGC = 0;
+  uint64_t AllocsSinceGC = 0;
   uint64_t LiveBytes = 0;
   ObjHeader *AllObjects = nullptr;
   std::vector<RootProvider *> RootProviders;

@@ -98,6 +98,8 @@ void Scheduler::suspendCurrent(Value K, Value Wake, ThreadState NewState) {
   T->Resume = K;
   T->Wake = Wake;
   CurrentId = -1;
+  OSC_TRACE(Tr, TraceEvent::SchedBlock, static_cast<uint64_t>(NewState),
+            T->Id);
   switch (NewState) {
   case ThreadState::Ready:
     enqueueReady(*T);
@@ -121,6 +123,7 @@ void Scheduler::wake(Thread &T, Value WakeValue) {
   if (T.State == ThreadState::Sleeping)
     Sleepers.erase(std::find(Sleepers.begin(), Sleepers.end(), T.Id));
   T.Wake = WakeValue;
+  OSC_TRACE(Tr, TraceEvent::SchedWake, T.Id);
   enqueueReady(T);
 }
 
@@ -187,10 +190,13 @@ Scheduler::Next Scheduler::pickNext() {
     ReadyQ.pop_front();
     T.State = ThreadState::Running;
     CurrentId = T.Id;
+    OSC_TRACE(Tr, TraceEvent::SchedSwitch, T.Started ? 1 : 0, T.Id);
     return {T.Started ? Next::Resume : Next::Start, &T};
   }
-  if (Live == 0)
+  if (Live == 0) {
+    OSC_TRACE(Tr, TraceEvent::SchedSwitch, 2);
     return {Next::Finish, nullptr};
+  }
   return {Next::Deadlock, nullptr};
 }
 

@@ -35,6 +35,7 @@
 #include "object/Value.h"
 #include "sched/Channel.h"
 #include "support/Stats.h"
+#include "support/Trace.h"
 
 #include <cstddef>
 #include <cstdint>
@@ -93,6 +94,10 @@ public:
   };
 
   explicit Scheduler(Stats &S) : S(S) {}
+
+  /// Points the scheduler at an event tracer (the owning VM's); null
+  /// detaches.  Never owned.
+  void setTrace(Trace *T) { Tr = T; }
 
   // --- Spawning and lookup --------------------------------------------------
 
@@ -170,6 +175,7 @@ private:
   void ageSleepers(int64_t Ticks);
 
   Stats &S;
+  Trace *Tr = nullptr;
   std::vector<std::unique_ptr<Thread>> Threads; ///< Index == thread id.
   std::deque<uint32_t> ReadyQ;
   std::vector<uint32_t> Sleepers;

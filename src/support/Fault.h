@@ -1,0 +1,65 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Deterministic fault injection for the control machinery.
+///
+/// The rare interleavings the paper's design must survive — a GC between
+/// capture and reinstatement, a segment allocation failing mid-overflow, a
+/// timer preemption inside dynamic-wind — almost never occur under the
+/// default tunables, so stress loops cannot be trusted to hit them.  A
+/// FaultPlan makes each of them a scheduled, replayable event: the plan is
+/// part of Config, honored by Heap (forced collections), ControlStack
+/// (failed segment allocations) and the VM (forced timer expiries), and
+/// every firing is a deterministic function of the program alone.
+///
+/// This header lives in the support layer so the object layer (Heap) can
+/// honor a plan without depending on core/Config.h.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OSC_SUPPORT_FAULT_H
+#define OSC_SUPPORT_FAULT_H
+
+#include <cstdint>
+#include <vector>
+
+namespace osc {
+
+/// A deterministic schedule of injected faults.  Default-constructed plans
+/// are fully disarmed and cost one predictable branch per checkpoint.
+struct FaultPlan {
+  /// Force a collection at the next GC safepoint once this many objects
+  /// have been allocated since the previous collection.  1 forces a GC at
+  /// effectively every safepoint.  0 disables.
+  uint64_t GcEveryNAllocs = 0;
+
+  /// Fail the Nth fresh stack-segment allocation (1-based, counted over
+  /// the ControlStack's lifetime; cache hits do not count, and the initial
+  /// segment allocated at construction/reset is request #1).  The failure
+  /// surfaces as a SegmentAllocFault, which the VM converts into an
+  /// ordinary trappable Scheme error.  0 disables.
+  uint64_t FailSegmentAlloc = 0;
+
+  /// Fire the engine/scheduler preemption timer at exactly these procedure
+  /// call ordinals (1-based, ascending, counted per VM::run), regardless of
+  /// the armed fuel.  The expiry is serviced through the normal machinery
+  /// (at the next Return or procedure entry), so this forces preemption at
+  /// chosen points inside dynamic-wind, mid-capture sequences, etc.
+  std::vector<uint64_t> PreemptAtCalls;
+
+  bool anyArmed() const {
+    return GcEveryNAllocs != 0 || FailSegmentAlloc != 0 ||
+           !PreemptAtCalls.empty();
+  }
+};
+
+/// Thrown by ControlStack when FaultPlan::FailSegmentAlloc fires; caught by
+/// VM::run and converted into a failed RunResult, leaving the VM usable.
+struct SegmentAllocFault {
+  uint64_t Ordinal;        ///< Which fresh-segment request failed (1-based).
+  uint32_t RequestedWords; ///< The MinWords the request asked for.
+};
+
+} // namespace osc
+
+#endif // OSC_SUPPORT_FAULT_H

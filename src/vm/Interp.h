@@ -72,6 +72,12 @@ public:
   ControlStack &control() { return M->control(); }
   Stats &stats() { return S; }
   const Config &config() const { return Cfg; }
+  /// The VM's control-event tracer (also reachable from Scheme via
+  /// trace-start! / trace-stop! / trace-dump).
+  Trace &trace() { return M->trace(); }
+  /// The live fault-injection plan; arm after construction so the prelude
+  /// load is not subjected to the faults.
+  FaultPlan &faults() { return M->faults(); }
 
   /// Forces a full garbage collection.
   void collect() { H->collect(); }

@@ -71,12 +71,14 @@ const char *osc::preludeSource() {
       (unless (eq? l tail)
         (set! *winders* (cdr l))
         ((cdr (car l)))
+        (%trace-wind 1)
         (f (cdr l))))
     ;; ...then rewind into the target extent.
     (let f ((l new))
       (unless (eq? l tail)
         (f (cdr l))
         ((car (car l)))
+        (%trace-wind 0)
         (set! *winders* l)))))
 
 (define (call-with-current-continuation p)
@@ -98,12 +100,14 @@ const char *osc::preludeSource() {
 
 (define (dynamic-wind before thunk after)
   (before)
+  (%trace-wind 0)
   (set! *winders* (cons (cons before after) *winders*))
   (call-with-values
    thunk
    (lambda results
      (set! *winders* (cdr *winders*))
      (after)
+     (%trace-wind 1)
      (apply values results))))
 
 (define call-with-values %call-with-values)

@@ -686,6 +686,46 @@ Value primVmCacheSize(VM &Vm, Value *, uint32_t) {
   return Value::fixnum(static_cast<int64_t>(Vm.control().cacheSize()));
 }
 
+// --- The event tracer (support/Trace.h) -------------------------------------
+
+Value primTraceStart(VM &Vm, Value *, uint32_t) {
+  Vm.trace().start();
+  return Value::unspecified();
+}
+Value primTraceStop(VM &Vm, Value *, uint32_t) {
+  Vm.trace().stop();
+  return Value::unspecified();
+}
+Value primTraceDump(VM &Vm, Value *A, uint32_t N) {
+  // (trace-dump) or (trace-dump 'text) -> one line per event;
+  // (trace-dump 'json) -> Chrome about:tracing JSON.
+  bool Json = false;
+  if (N == 1) {
+    auto *Sym = dynObj<Symbol>(A[0]);
+    if (!Sym || (Sym->name() != "text" && Sym->name() != "json"))
+      return Vm.fail("trace-dump: expected 'text or 'json");
+    Json = Sym->name() == "json";
+  }
+  // Note: while recording is on, building the string itself emits alloc
+  // events (visible in a later dump, not this one); stop first for a
+  // stable buffer.
+  std::string Dump = Json ? Vm.trace().toChromeJson() : Vm.trace().toString();
+  return Value::object(Vm.heap().allocString(Dump));
+}
+Value primTraceEventCount(VM &Vm, Value *, uint32_t) {
+  return Value::fixnum(static_cast<int64_t>(Vm.trace().emitted()));
+}
+Value primTraceWind(VM &Vm, Value *A, uint32_t) {
+  // Called by the prelude's dynamic-wind machinery: 0 = extent entered,
+  // nonzero = extent exited.  A plain flag-check native so the wind paths
+  // stay pure Scheme while still appearing in the event stream.
+  Trace &T = Vm.trace();
+  if (T.enabled())
+    T.emit(A[0].isFixnum() && A[0].asFixnum() != 0 ? TraceEvent::WindExit
+                                                   : TraceEvent::WindEnter);
+  return Value::unspecified();
+}
+
 // --- Green threads and channels (src/sched) ---------------------------------
 //
 // Thread and channel handles are fixnum ids into the scheduler's tables:
@@ -925,6 +965,11 @@ void osc::installPrimitives(VM &Vm) {
   Def("vm-live-segment-words", primVmLiveSegmentWords, 0, 0);
   Def("vm-chain-length", primVmChainLength, 0, 0);
   Def("vm-cache-size", primVmCacheSize, 0, 0);
+  Def("trace-start!", primTraceStart, 0, 0);
+  Def("trace-stop!", primTraceStop, 0, 0);
+  Def("trace-dump", primTraceDump, 0, 1);
+  Def("trace-event-count", primTraceEventCount, 0, 0);
+  Def("%trace-wind", primTraceWind, 1, 1);
 
   // Green threads and channels (non-switching halves).
   Def("%spawn", primSpawn, 1, 1);

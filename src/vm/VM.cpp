@@ -13,8 +13,16 @@
 using namespace osc;
 
 VM::VM(Heap &H, Stats &S, const Config &Cfg)
-    : H(H), S(S), Cfg(Cfg), CS(H, S, this->Cfg) {
+    : H(H), S(S), Cfg(Cfg), Tr(this->Cfg.TraceBufferEvents),
+      CS(H, S, this->Cfg) {
   H.addRootProvider(this);
+
+  // Distribute the tracer and the fault plan to the layers that honor
+  // them.  The heap's pointers are detached in ~VM: the VM owns both, and
+  // a heap can outlive its VM in embedding scenarios.
+  CS.setTrace(&Tr);
+  H.setTrace(&Tr);
+  H.setFaultPlan(&this->Cfg.Faults);
 
   // The call-with-values resume stub: returning into (stub, pc=1) lands on
   // CwvApply with the consumer in the stub frame's single slot.  Instrs[0]
@@ -27,6 +35,7 @@ VM::VM(Heap &H, Stats &S, const Config &Cfg)
   CwvStub = Value::object(Stub);
 
   Sched = std::make_unique<Scheduler>(S);
+  Sched->setTrace(&Tr);
   WindersSym = H.intern("*winders*");
   // The thread-root guard: a permanently shot continuation shared by every
   // green thread's chain as its bottom link.  Like the halt sentinel it has
@@ -39,7 +48,11 @@ VM::VM(Heap &H, Stats &S, const Config &Cfg)
   ThreadGuard = Value::object(Guard);
 }
 
-VM::~VM() { H.removeRootProvider(this); }
+VM::~VM() {
+  H.setTrace(nullptr);
+  H.setFaultPlan(nullptr);
+  H.removeRootProvider(this);
+}
 
 void VM::writeOutput(std::string_view Sv) {
   if (Capturing) {
@@ -348,6 +361,7 @@ Value VM::captureSiteOneShot(Site St) {
 }
 
 void VM::captureAndCall(bool OneShot, Value Receiver, Site St) {
+  OSC_TRACE(&Tr, OneShot ? TraceEvent::Call1CC : TraceEvent::CallCC);
   uint32_t Boundary;
   Value RetC;
   int64_t RetP;
@@ -789,16 +803,45 @@ VM::RunResult VM::run(Code *Toplevel) {
   Fuel = -1;
   TimerExpired = false;
   TimerHandler = Value();
+  PreemptTick = 0;
+  PreemptCursor = 0;
   if (Sched->active())
     Sched->abortRun(); // A previous run died mid-switch; drop its threads.
 
-  CS.reset();
-  CS.beginBaseFrame(std::max(Toplevel->MaxDepth, 2u));
-  CS.plantBaseFrame();
-  Cur = Toplevel;
-  CurCodeVal = Value::object(Toplevel);
-  Pc = 1; // Pc 0 holds the entry frame-size word.
+  try {
+    CS.reset();
+    CS.beginBaseFrame(std::max(Toplevel->MaxDepth, 2u));
+    CS.plantBaseFrame();
+    Cur = Toplevel;
+    CurCodeVal = Value::object(Toplevel);
+    Pc = 1; // Pc 0 holds the entry frame-size word.
+    interpLoop();
+  } catch (const SegmentAllocFault &F) {
+    // An injected allocation failure (FaultPlan::FailSegmentAlloc).  The
+    // control stack mutated nothing before throwing, so the next run's
+    // reset() starts from a consistent state; only this result is lost.
+    fail("stack segment allocation failed (injected fault at request #" +
+         std::to_string(F.Ordinal) + ", " +
+         std::to_string(F.RequestedWords) + " words)");
+    if (Sched->active())
+      Sched->abortRun();
+    Cur = nullptr; // The backtrace walk is not meaningful mid-surgery.
+  }
 
+  RunResult R;
+  if (Failed) {
+    R.Ok = false;
+    R.Error = ErrMsg;
+    if (Cur)
+      R.Backtrace = captureBacktrace();
+    return R;
+  }
+  R.Ok = true;
+  R.Val = FinalValue;
+  return R;
+}
+
+void VM::interpLoop() {
   while (!Failed && !Halted) {
     Value *Sl = CS.slots();
     const Vector *Ko = castObj<Vector>(Cur->Consts);
@@ -881,6 +924,11 @@ VM::RunResult VM::run(Code *Toplevel) {
       uint32_t D = Cur->Instrs[Pc++];
       if (Fuel > 0 && --Fuel == 0)
         TimerExpired = true; // Serviced at the next Return.
+      if (PreemptCursor < Cfg.Faults.PreemptAtCalls.size() &&
+          ++PreemptTick >= Cfg.Faults.PreemptAtCalls[PreemptCursor]) {
+        ++PreemptCursor;
+        TimerExpired = true; // Injected expiry; serviced like a real one.
+      }
       if (H.needsGC())
         H.collect();
       Value Callee = Acc;
@@ -923,6 +971,11 @@ VM::RunResult VM::run(Code *Toplevel) {
       uint32_t N = Cur->Instrs[Pc++];
       if (Fuel > 0 && --Fuel == 0)
         TimerExpired = true;
+      if (PreemptCursor < Cfg.Faults.PreemptAtCalls.size() &&
+          ++PreemptTick >= Cfg.Faults.PreemptAtCalls[PreemptCursor]) {
+        ++PreemptCursor;
+        TimerExpired = true;
+      }
       if (H.needsGC())
         H.collect();
       Sl = CS.slots();
@@ -1125,15 +1178,4 @@ VM::RunResult VM::run(Code *Toplevel) {
       break;
     }
   }
-
-  RunResult R;
-  if (Failed) {
-    R.Ok = false;
-    R.Error = ErrMsg;
-    R.Backtrace = captureBacktrace();
-    return R;
-  }
-  R.Ok = true;
-  R.Val = FinalValue;
-  return R;
 }

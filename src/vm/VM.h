@@ -19,7 +19,9 @@
 #include "core/ControlStack.h"
 #include "object/Heap.h"
 #include "object/Objects.h"
+#include "support/Fault.h"
 #include "support/Stats.h"
+#include "support/Trace.h"
 
 #include <memory>
 #include <string>
@@ -60,6 +62,15 @@ public:
   Stats &stats() { return S; }
   ControlStack &control() { return CS; }
   const Config &config() const { return Cfg; }
+  /// The VM's event tracer (support/Trace.h).  Owned here; the control
+  /// stack, heap and scheduler emit into it through pointers installed at
+  /// construction.  Off until start()/trace-start!.
+  Trace &trace() { return Tr; }
+  /// The live fault-injection schedule (support/Fault.h).  Mutable so tests
+  /// can arm faults after construction (e.g. relative to the segment
+  /// allocations the prelude already performed); the preemption schedule is
+  /// consumed per run.
+  FaultPlan &faults() { return Cfg.Faults; }
 
   /// Records a runtime error; the interpreter loop aborts at the next
   /// check.  Returns unspecified so natives can `return Vm.fail(...)`.
@@ -138,6 +149,9 @@ private:
     uint32_t D = 0;
   };
 
+  /// The dispatch loop body of run(); throws SegmentAllocFault out to run()
+  /// when FaultPlan::FailSegmentAlloc fires inside the control stack.
+  void interpLoop();
   bool enterClosure(Closure *Cl, uint32_t NArgs);
   /// Builds a frame for \p Site and enters \p Callee with \p Args.  The
   /// general path used for special natives, apply spreading, continuation
@@ -188,6 +202,7 @@ private:
   Heap &H;
   Stats &S;
   Config Cfg;
+  Trace Tr; ///< Before CS: hooks are installed right after CS constructs.
   ControlStack CS;
 
   // Registers.
@@ -207,6 +222,12 @@ private:
   int64_t Fuel = -1;        ///< Ticks left; -1 when disarmed.
   bool TimerExpired = false; ///< Set at 0; serviced at the next Return.
   Value TimerHandler;
+
+  // Fault-plan preemption schedule (Cfg.Faults.PreemptAtCalls): the call
+  // ordinal within the current run and the next schedule entry to fire.
+  // Both reset at each run().
+  uint64_t PreemptTick = 0;
+  size_t PreemptCursor = 0;
 
   bool Capturing = false;
   std::string OutBuffer;

@@ -1,0 +1,77 @@
+// The shared configuration lattice: every point a control-representation
+// test sweep should cover (segment size x copy bound x overflow policy x
+// promotion strategy x seal displacement x cache on/off).  Used by
+// test_properties.cpp (semantics identical at every point) and
+// test_differential.cpp (call/1cc == call/cc at every point); keep the two
+// sweeps over the exact same set.
+
+#ifndef OSC_TESTS_CONFIGLATTICE_H
+#define OSC_TESTS_CONFIGLATTICE_H
+
+#include "core/Config.h"
+
+#include <vector>
+
+namespace osc_test {
+
+struct ConfigPoint {
+  const char *Name;
+  osc::Config C;
+};
+
+inline std::vector<ConfigPoint> configLattice() {
+  using osc::Config;
+  using osc::OverflowPolicy;
+  using osc::PromotionStrategy;
+  std::vector<ConfigPoint> Points;
+  auto Add = [&](const char *Name, auto Mutate) {
+    Config C;
+    Mutate(C);
+    Points.push_back({Name, C});
+  };
+  Add("defaults", [](Config &) {});
+  Add("tiny-segments-oneshot", [](Config &C) {
+    C.SegmentWords = 128;
+    C.InitialSegmentWords = 128;
+    C.Overflow = OverflowPolicy::OneShot;
+  });
+  Add("tiny-segments-multishot", [](Config &C) {
+    C.SegmentWords = 128;
+    C.InitialSegmentWords = 128;
+    C.Overflow = OverflowPolicy::MultiShot;
+  });
+  Add("tiny-copy-bound", [](Config &C) { C.CopyBoundWords = 32; });
+  Add("no-cache", [](Config &C) { C.SegmentCacheEnabled = false; });
+  Add("shared-flag-promotion",
+      [](Config &C) { C.Promotion = PromotionStrategy::SharedFlag; });
+  Add("seal-displacement", [](Config &C) { C.SealDisplacementWords = 96; });
+  Add("hostile", [](Config &C) {
+    // Everything small and non-default at once.
+    C.SegmentWords = 96;
+    C.InitialSegmentWords = 96;
+    C.CopyBoundWords = 16;
+    C.Overflow = OverflowPolicy::OneShot;
+    C.OverflowCopyUpFrames = 1;
+    C.Promotion = PromotionStrategy::SharedFlag;
+    C.SealDisplacementWords = 24;
+    C.GcThresholdBytes = 64 * 1024;
+  });
+  Add("hostile-multishot", [](Config &C) {
+    C.SegmentWords = 96;
+    C.InitialSegmentWords = 96;
+    C.CopyBoundWords = 16;
+    C.Overflow = OverflowPolicy::MultiShot;
+    C.GcThresholdBytes = 64 * 1024;
+  });
+  Add("naive-overflow", [](Config &C) {
+    C.SegmentWords = 128;
+    C.InitialSegmentWords = 128;
+    C.Overflow = OverflowPolicy::OneShot;
+    C.OverflowCopyUpFrames = 0;
+  });
+  return Points;
+}
+
+} // namespace osc_test
+
+#endif // OSC_TESTS_CONFIGLATTICE_H

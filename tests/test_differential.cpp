@@ -1,0 +1,383 @@
+// The differential semantics oracle: for one-shot-respecting programs,
+// call/1cc and call/cc are interchangeable (Kobayashi–Kameyama; the
+// paper's §2 contract — one-shot continuations exist purely as a
+// representation optimization).  Every program here runs twice at every
+// point of the shared config lattice: once as written, once with the
+// prelude-level shim
+//
+//     (define %call/1cc %call/cc)
+//
+// which turns every call/1cc wrapper capture into a multi-shot capture at
+// runtime (the wrapper reads the global late).  Success flag, return
+// value, error text and all printed output must be byte-identical; only
+// the performance counters may differ.
+//
+// Registered under the ctest label "oracle".
+
+#include "ConfigLattice.h"
+#include "vm/Interp.h"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <tuple>
+#include <vector>
+
+using namespace osc;
+using osc_test::ConfigPoint;
+using osc_test::configLattice;
+
+namespace {
+
+struct Observed {
+  bool Ok = false;
+  std::string Val; ///< write-form of the result (empty on error).
+  std::string Err;
+  std::string Out; ///< Everything display/write/newline printed.
+};
+
+bool operator==(const Observed &A, const Observed &B) {
+  return A.Ok == B.Ok && A.Val == B.Val && A.Err == B.Err && A.Out == B.Out;
+}
+
+std::ostream &operator<<(std::ostream &OS, const Observed &O) {
+  return OS << "{ok=" << O.Ok << " val=" << O.Val << " err=" << O.Err
+            << " out=" << O.Out << "}";
+}
+
+Observed runOnce(const Config &C, const std::string &Source, bool Shimmed) {
+  Interp I(C);
+  I.captureOutput(true);
+  if (Shimmed) {
+    auto S = I.eval("(define %call/1cc %call/cc)");
+    EXPECT_TRUE(S.Ok) << S.Error;
+  }
+  auto R = I.eval(Source);
+  Observed O;
+  O.Ok = R.Ok;
+  if (R.Ok)
+    O.Val = I.valueToString(R.Val);
+  O.Err = R.Error;
+  O.Out = I.takeOutput();
+  return O;
+}
+
+struct Program {
+  const char *Name;
+  const char *Source;
+};
+
+// One-shot-respecting control-heavy programs: every captured call/1cc
+// continuation is invoked at most once.  (call/cc continuations may be
+// re-invoked freely — the shim only widens call/1cc.)
+const Program Programs[] = {
+    {"escape-value", "(call/1cc (lambda (k) (+ 1 (k 41) 1000)))"},
+    {"unused-k", "(call/1cc (lambda (k) 42))"},
+    {"escape-through-frames",
+     "(+ 1 (* 2 (call/1cc (lambda (k) (- (k 20) 999)))))"},
+    {"early-exit-search",
+     "(define (find pred)"
+     "  (call/1cc (lambda (return)"
+     "    (let loop ((i 0))"
+     "      (if (> i 500) 'none"
+     "          (begin (if (pred i) (return i) #f) (loop (+ i 1))))))))"
+     "(list (find (lambda (i) (= (* i i) 144)))"
+     "      (find (lambda (i) (> i 1000))))"},
+    {"product-short-circuit",
+     "(define (product l)"
+     "  (call/1cc (lambda (exit)"
+     "    (let loop ((l l) (acc 1))"
+     "      (cond ((null? l) acc)"
+     "            ((zero? (car l)) (exit 0))"
+     "            (else (loop (cdr l) (* acc (car l)))))))))"
+     "(list (product '(1 2 3 4)) (product '(1 2 0 4)))"},
+    {"deep-escape",
+     "(define (deep n exit)"
+     "  (if (zero? n) (exit 'bottom) (+ 1 (deep (- n 1) exit))))"
+     "(call/1cc (lambda (k) (deep 300 k)))"},
+    {"escape-prints",
+     "(display \"before \")"
+     "(call/1cc (lambda (k) (display \"inside \") (k 'x) "
+     "                      (display \"unreached\")))"
+     "(display \"after\")"
+     "(newline)"},
+    {"coroutine-pair",
+     "(define producer-k #f) (define consumer-k #f) (define out '())"
+     "(define (yield v)"
+     "  (call/1cc (lambda (k) (set! producer-k k) (consumer-k v))))"
+     "(define (producer) (yield 1) (yield 2) (yield 3) (consumer-k 'eos))"
+     "(define (next)"
+     "  (call/1cc (lambda (k)"
+     "    (set! consumer-k k)"
+     "    (if producer-k (producer-k #f) (producer)))))"
+     "(let loop ()"
+     "  (let ((v (next)))"
+     "    (if (eq? v 'eos) (reverse out)"
+     "        (begin (set! out (cons v out)) (loop)))))"},
+    {"samefringe-mini",
+     "(define (make-gen tree)"
+     "  (define caller #f) (define resume #f)"
+     "  (define (yield v)"
+     "    (call/1cc (lambda (k) (set! resume k) (caller v))))"
+     "  (define (walk t)"
+     "    (cond ((pair? t) (walk (car t)) (walk (cdr t)))"
+     "          ((null? t) #f)"
+     "          (else (yield t))))"
+     "  (lambda ()"
+     "    (call/1cc (lambda (back)"
+     "      (set! caller back)"
+     "      (if resume (resume #f)"
+     "          (begin (walk tree) (caller 'done)))))))"
+     "(define (same? t1 t2)"
+     "  (let ((g1 (make-gen t1)) (g2 (make-gen t2)))"
+     "    (let loop ()"
+     "      (let ((a (g1)) (b (g2)))"
+     "        (cond ((and (eq? a 'done) (eq? b 'done)) #t)"
+     "              ((or (eq? a 'done) (eq? b 'done)) #f)"
+     "              ((eqv? a b) (loop))"
+     "              (else #f))))))"
+     "(list (same? '((1 2) (3 4)) '(1 (2 3 (4))))"
+     "      (same? '(1 2 3) '(1 2 4)))"},
+    {"generator-restart",
+     "(define resume #f)"
+     "(define (gen consume)"
+     "  (for-each (lambda (x)"
+     "              (set! consume (call/1cc (lambda (r)"
+     "                                        (set! resume r)"
+     "                                        (consume x)))))"
+     "            '(a b c))"
+     "  (consume 'done))"
+     "(define (next)"
+     "  (call/1cc (lambda (k) (if resume (resume k) (gen k)))))"
+     "(list (next) (next) (next) (next))"},
+    {"wind-escape-order",
+     "(define log '())"
+     "(define (note x) (set! log (cons x log)))"
+     "(call/1cc (lambda (k)"
+     "  (dynamic-wind (lambda () (note 'in))"
+     "                (lambda () (note 'body) (k 'jumped))"
+     "                (lambda () (note 'out)))))"
+     "(reverse log)"},
+    {"wind-nested-escape",
+     "(define log '())"
+     "(define (note x) (set! log (cons x log)))"
+     "(call/1cc (lambda (k)"
+     "  (dynamic-wind (lambda () (note 'o-in))"
+     "                (lambda ()"
+     "                  (dynamic-wind (lambda () (note 'i-in))"
+     "                                (lambda () (k 'deep))"
+     "                                (lambda () (note 'i-out))))"
+     "                (lambda () (note 'o-out)))))"
+     "(reverse log)"},
+    {"wind-normal-through-1cc",
+     "(define log '())"
+     "(dynamic-wind"
+     "  (lambda () (set! log (cons 'in log)))"
+     "  (lambda () (call/1cc (lambda (k) (k 5))))"
+     "  (lambda () (set! log (cons 'out log))))"
+     "(reverse log)"},
+    {"engine-complete",
+     "(define e (make-engine (lambda () (+ 40 2))))"
+     "(e 1000 (lambda (left result) (list 'done result (> left 0)))"
+     "        (lambda (e2) 'expired))"},
+    {"engine-expire-resume",
+     "(define (fib n)"
+     "  (if (< n 2) n (+ (fib (- n 1)) (fib (- n 2)))))"
+     "(define expirations 0)"
+     "(define (drive eng)"
+     "  (eng 100"
+     "       (lambda (left r) r)"
+     "       (lambda (e2)"
+     "         (set! expirations (+ expirations 1))"
+     "         (drive e2))))"
+     "(list (drive (make-engine (lambda () (fib 13)))) (> expirations 2))"},
+    {"nested-loop-exit",
+     "(call/1cc (lambda (break)"
+     "  (let outer ((i 0))"
+     "    (if (= i 20) 'exhausted"
+     "        (begin"
+     "          (let inner ((j 0))"
+     "            (if (= j 20) #f"
+     "                (begin (if (= (* i j) 56) (break (list i j)) #f)"
+     "                       (inner (+ j 1)))))"
+     "          (outer (+ i 1)))))))"},
+    {"tree-find-leaf",
+     "(define (find-leaf pred tree)"
+     "  (call/1cc (lambda (found)"
+     "    (let walk ((t tree))"
+     "      (cond ((pair? t) (walk (car t)) (walk (cdr t)))"
+     "            ((null? t) #f)"
+     "            ((pred t) (found t))"
+     "            (else #f)))"
+     "    'none)))"
+     "(list (find-leaf even? '(1 (3 (5 8)) 9))"
+     "      (find-leaf (lambda (x) (> x 100)) '(1 (3 (5 8)) 9)))"},
+    {"mixed-with-multishot-amb",
+     "(define %fail #f)"
+     "(define (amb-list choices)"
+     "  (call/cc (lambda (k)"
+     "    (let ((prev %fail))"
+     "      (let try ((cs choices))"
+     "        (if (null? cs)"
+     "            (begin (set! %fail prev) (%fail))"
+     "            (begin"
+     "              (call/cc (lambda (retry)"
+     "                (set! %fail (lambda () (retry #f)))"
+     "                (k (car cs))))"
+     "              (try (cdr cs)))))))))"
+     "(call/1cc (lambda (return)"
+     "  (call/cc (lambda (top)"
+     "    (set! %fail (lambda () (top 'none)))"
+     "    (let ((x (amb-list '(1 2 3 4 5)))"
+     "          (y (amb-list '(1 2 3 4 5))))"
+     "      (if (and (= (+ x y) 7) (> x y)) (return (list x y))"
+     "          (%fail)))))))"},
+    {"escape-carries-values",
+     "(call-with-values"
+     "  (lambda () (call/1cc (lambda (k) (k (values 3 4)))))"
+     "  list)"},
+    {"deep-wind-stack",
+     "(define log '())"
+     "(define (note x) (set! log (cons x log)))"
+     "(define (nest d k)"
+     "  (if (zero? d) (k 'deepest)"
+     "      (dynamic-wind (lambda () (note d))"
+     "                    (lambda () (nest (- d 1) k))"
+     "                    (lambda () (note (- d))))))"
+     "(call/1cc (lambda (k) (nest 8 k)))"
+     "(reverse log)"},
+    {"fold-with-abort",
+     "(define (sum-until-neg l)"
+     "  (call/1cc (lambda (abort)"
+     "    (let loop ((l l) (acc 0))"
+     "      (cond ((null? l) acc)"
+     "            ((< (car l) 0) (abort (- acc)))"
+     "            (else (loop (cdr l) (+ acc (car l)))))))))"
+     "(list (sum-until-neg '(1 2 3)) (sum-until-neg '(5 6 -1 100)))"},
+    {"gc-churn-with-escapes",
+     "(define (build n)"
+     "  (call/1cc (lambda (done)"
+     "    (let loop ((i 0) (acc '()))"
+     "      (if (= i n) (done (length acc))"
+     "          (loop (+ i 1) (cons (list i i) acc)))))))"
+     "(list (build 500) (build 700))"},
+    {"sched-threads-with-escapes",
+     "(define (worker n)"
+     "  (lambda ()"
+     "    (call/1cc (lambda (exit)"
+     "      (let loop ((i 0) (acc 0))"
+     "        (if (> acc n) (exit acc)"
+     "            (begin (yield) (loop (+ i 1) (+ acc i)))))))))"
+     "(define t1 (spawn (worker 10)))"
+     "(define t2 (spawn (worker 20)))"
+     "(scheduler-run)"
+     "(list (thread-join t1) (thread-join t2))"},
+    {"channel-pingpong",
+     "(define ch (make-channel 0))"
+     "(define out '())"
+     "(spawn (lambda ()"
+     "         (channel-send! ch 'ping)"
+     "         (set! out (cons (channel-recv ch) out))))"
+     "(spawn (lambda ()"
+     "         (set! out (cons (channel-recv ch) out))"
+     "         (channel-send! ch 'pong)))"
+     "(scheduler-run)"
+     "(reverse out)"},
+    {"preempted-threads",
+     "(define (spin n) (if (zero? n) 'done (spin (- n 1))))"
+     "(spawn (lambda () (spin 300)))"
+     "(spawn (lambda () (spin 300)))"
+     "(scheduler-run 25)"},
+    {"reentrant-multishot-alongside",
+     // call/cc reentry stays legal beside 1cc escapes: the shim must not
+     // change how many times the multi-shot part re-enters.
+     "(define k #f) (define n 0)"
+     "(define (deep d) (if (zero? d) (call/cc (lambda (c) (set! k c) 0))"
+     "                     (+ 1 (deep (- d 1)))))"
+     "(define r (call/1cc (lambda (exit) (deep 100))))"
+     "(set! n (+ n 1))"
+     "(if (< n 3) (k 0) (list r n))"},
+};
+
+class Differential
+    : public ::testing::TestWithParam<std::tuple<size_t, size_t>> {};
+
+TEST_P(Differential, OneShotEqualsMultiShot) {
+  auto [ProgIdx, CfgIdx] = GetParam();
+  const Program &P = Programs[ProgIdx];
+  std::vector<ConfigPoint> Lattice = configLattice();
+  const ConfigPoint &CP = Lattice[CfgIdx];
+  Observed Native = runOnce(CP.C, P.Source, /*Shimmed=*/false);
+  Observed Shimmed = runOnce(CP.C, P.Source, /*Shimmed=*/true);
+  EXPECT_EQ(Native, Shimmed)
+      << "program " << P.Name << " under config " << CP.Name;
+}
+
+std::string diffName(
+    const ::testing::TestParamInfo<std::tuple<size_t, size_t>> &Info) {
+  auto [ProgIdx, CfgIdx] = Info.param;
+  std::vector<ConfigPoint> Lattice = configLattice();
+  std::string N =
+      std::string(Programs[ProgIdx].Name) + "_" + Lattice[CfgIdx].Name;
+  for (char &C : N)
+    if (C == '-')
+      C = '_';
+  return N;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllPrograms, Differential,
+    ::testing::Combine(
+        ::testing::Range<size_t>(0, std::size(Programs)),
+        ::testing::Range<size_t>(0, configLattice().size())),
+    diffName);
+
+// --- The shipped example programs ---------------------------------------------
+
+std::string readFile(const std::string &Path) {
+  std::ifstream In(Path);
+  EXPECT_TRUE(In.good()) << "cannot open " << Path;
+  std::ostringstream SS;
+  SS << In.rdbuf();
+  return SS.str();
+}
+
+class DifferentialExamples
+    : public ::testing::TestWithParam<std::tuple<const char *, size_t>> {};
+
+TEST_P(DifferentialExamples, OneShotEqualsMultiShot) {
+  auto [File, CfgIdx] = GetParam();
+  std::vector<ConfigPoint> Lattice = configLattice();
+  const ConfigPoint &CP = Lattice[CfgIdx];
+  std::string Source = readFile(std::string(OSC_EXAMPLES_DIR "/") + File);
+  ASSERT_FALSE(Source.empty());
+  Observed Native = runOnce(CP.C, Source, /*Shimmed=*/false);
+  Observed Shimmed = runOnce(CP.C, Source, /*Shimmed=*/true);
+  EXPECT_TRUE(Native.Ok) << File << ": " << Native.Err;
+  EXPECT_EQ(Native, Shimmed) << File << " under config " << CP.Name;
+}
+
+const char *ExampleFiles[] = {"samefringe.scm", "queens.scm",
+                              "fib-threads.scm", "chan-pipeline.scm"};
+
+std::string exampleName(
+    const ::testing::TestParamInfo<std::tuple<const char *, size_t>> &Info) {
+  auto [File, CfgIdx] = Info.param;
+  std::string N = File;
+  N = N.substr(0, N.find('.'));
+  N += "_" + std::string(configLattice()[CfgIdx].Name);
+  for (char &C : N)
+    if (C == '-' || C == '_')
+      C = '_';
+  return N;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllExamples, DifferentialExamples,
+    ::testing::Combine(::testing::ValuesIn(ExampleFiles),
+                       ::testing::Range<size_t>(0, configLattice().size())),
+    exampleName);
+
+} // namespace

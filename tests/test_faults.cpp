@@ -1,0 +1,268 @@
+// Deterministic fault injection (support/Fault.h): forced GCs at every
+// allocation, injected stack-segment allocation failures, and scripted
+// preemption-timer expiries.  Faults are armed *after* construction via
+// Interp::faults() so the prelude loads unmolested; segment-failure
+// ordinals are computed relative to segmentAllocRequests() for the same
+// reason.
+//
+// Run these under the asan-ubsan preset too: the segment-failure sweep is
+// specifically designed to catch dangling cache entries and half-switched
+// control state on the error path.
+
+#include "vm/Interp.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+using namespace osc;
+
+namespace {
+
+// --- Forced GC every allocation ------------------------------------------------
+
+struct GcProgram {
+  const char *Name;
+  const char *Source;
+  const char *Expect;
+};
+
+const GcProgram GcPrograms[] = {
+    {"reentrant-callcc",
+     "(define k #f) (define n 0)"
+     "(define (deep d) (if (zero? d) (call/cc (lambda (c) (set! k c) 0))"
+     "                     (+ 1 (deep (- d 1)))))"
+     "(define r (deep 60)) (set! n (+ n 1))"
+     "(if (< n 3) (k 0) (list r n))",
+     "(60 3)"},
+    {"oneshot-escape",
+     "(call/1cc (lambda (return)"
+     "  (let loop ((i 0))"
+     "    (if (= (* i i) 144) (return i) (loop (+ i 1))))))",
+     "12"},
+    {"coroutine-transfer",
+     "(define producer-k #f) (define consumer-k #f) (define out '())"
+     "(define (yield v)"
+     "  (call/1cc (lambda (k) (set! producer-k k) (consumer-k v))))"
+     "(define (producer) (yield 'a) (yield 'b) (consumer-k 'eos))"
+     "(define (next)"
+     "  (call/1cc (lambda (k)"
+     "    (set! consumer-k k)"
+     "    (if producer-k (producer-k #f) (producer)))))"
+     "(let loop ()"
+     "  (let ((v (next)))"
+     "    (if (eq? v 'eos) (reverse out)"
+     "        (begin (set! out (cons v out)) (loop)))))",
+     "(a b)"},
+    {"dynamic-wind-jumps",
+     "(define log '()) (define k #f) (define n 0)"
+     "(dynamic-wind"
+     "  (lambda () (set! log (cons 'in log)))"
+     "  (lambda () (call/cc (lambda (c) (set! k c))) (set! n (+ n 1)))"
+     "  (lambda () (set! log (cons 'out log))))"
+     "(if (< n 3) (k #f) (reverse log))",
+     "(in out in out in out)"},
+    {"generator",
+     "(define resume #f)"
+     "(define (gen consume)"
+     "  (for-each (lambda (x)"
+     "              (set! consume (call/cc (lambda (r)"
+     "                                       (set! resume r)"
+     "                                       (consume x)))))"
+     "            '(1 2 3))"
+     "  (consume 'done))"
+     "(define (next)"
+     "  (call/cc (lambda (k) (if resume (resume k) (gen k)))))"
+     "(list (next) (next) (next) (next))",
+     "(1 2 3 done)"},
+};
+
+class GcEveryAllocation : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(GcEveryAllocation, SemanticsUnchanged) {
+  // GC at literally every allocation is the harshest safepoint schedule
+  // the design permits; any unrooted live object or stale segment-cache
+  // entry dies here.  Results must match an unfaulted run exactly.
+  const GcProgram &P = GcPrograms[GetParam()];
+  Interp I;
+  I.faults().GcEveryNAllocs = 1;
+  uint64_t Before = I.stats().GcCount;
+  EXPECT_EQ(I.evalToString(P.Source), P.Expect) << P.Name;
+  EXPECT_GT(I.stats().GcCount, Before) << "fault plan never fired";
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPrograms, GcEveryAllocation,
+                         ::testing::Range<size_t>(0, std::size(GcPrograms)),
+                         [](const ::testing::TestParamInfo<size_t> &Info) {
+                           std::string N = GcPrograms[Info.param].Name;
+                           for (char &C : N)
+                             if (C == '-')
+                               C = '_';
+                           return N;
+                         });
+
+TEST(GcEveryAllocationTest, EveryFewAllocationsAlsoClean) {
+  for (uint64_t N : {2, 7, 31}) {
+    Interp I;
+    I.faults().GcEveryNAllocs = N;
+    EXPECT_EQ(I.evalToString("(define (build n acc)"
+                             "  (if (zero? n) acc"
+                             "      (build (- n 1) (cons (list n) acc))))"
+                             "(length (build 300 '()))"),
+              "300")
+        << "GcEveryNAllocs=" << N;
+  }
+}
+
+// --- Injected segment-allocation failures --------------------------------------
+
+// Deep non-tail recursion: overflows repeatedly, so it needs fresh
+// segments well past the prelude's appetite.
+const char *DeepProg =
+    "(define (deep n) (if (zero? n) 0 (+ 1 (deep (- n 1))))) (deep 4000)";
+
+Config smallSegments() {
+  Config C;
+  C.SegmentWords = 128;
+  C.InitialSegmentWords = 128;
+  return C;
+}
+
+TEST(SegmentAllocFailure, RaisesCatchableErrorAndStaysUsable) {
+  Interp I(smallSegments());
+  // Fail the 3rd fresh segment allocation after this point.
+  I.faults().FailSegmentAlloc = I.control().segmentAllocRequests() + 3;
+  auto R = I.eval(DeepProg);
+  ASSERT_FALSE(R.Ok);
+  EXPECT_NE(R.Error.find("segment allocation"), std::string::npos)
+      << R.Error;
+  // The fault is one-shot (a specific ordinal): the VM must be fully
+  // usable afterwards — simple evaluation, captures, and enough recursion
+  // to allocate fresh segments again.
+  EXPECT_EQ(I.evalToString("(+ 1 2)"), "3");
+  EXPECT_EQ(I.evalToString("(call/cc (lambda (k) (k 'alive)))"), "alive");
+  EXPECT_EQ(I.evalToString(DeepProg), "4000");
+}
+
+TEST(SegmentAllocFailure, SweepEveryEarlyOrdinal) {
+  // Fail the 1st, 2nd, ... 12th allocation in turn.  Wherever the failure
+  // lands — initial window, overflow, capture's fresh segment, invoke's
+  // grow path — the error must be clean and the interpreter must survive.
+  // Under asan this doubles as a leak/dangling-cache check.
+  for (uint64_t K = 1; K <= 12; ++K) {
+    Interp I(smallSegments());
+    I.faults().FailSegmentAlloc = I.control().segmentAllocRequests() + K;
+    auto R = I.eval(DeepProg);
+    if (!R.Ok) {
+      EXPECT_NE(R.Error.find("segment allocation"), std::string::npos)
+          << "K=" << K << ": " << R.Error;
+    }
+    I.faults().FailSegmentAlloc = 0;
+    EXPECT_EQ(I.evalToString("(+ 1 2)"), "3") << "K=" << K;
+    // Force a collection: any dangling cache entry left by the unwound
+    // allocation dies here, not silently later.
+    I.collect();
+    EXPECT_EQ(I.evalToString(DeepProg), "4000") << "K=" << K;
+  }
+}
+
+TEST(SegmentAllocFailure, FailureDuringCaptureHeavyProgram) {
+  const char *Prog =
+      "(define ks '())"
+      "(define (save) (car (list (%call/1cc (lambda (k)"
+      "  (set! ks (cons k ks)) 1)))))"
+      "(define (spine d)"
+      "  (if (zero? d) (save) (+ (save) (spine (- d 1)))))"
+      "(spine 40)";
+  for (uint64_t K = 1; K <= 8; ++K) {
+    Interp I(smallSegments());
+    I.faults().FailSegmentAlloc = I.control().segmentAllocRequests() + K;
+    auto R = I.eval(Prog);
+    if (!R.Ok) {
+      EXPECT_NE(R.Error.find("segment allocation"), std::string::npos)
+          << "K=" << K << ": " << R.Error;
+    }
+    I.faults().FailSegmentAlloc = 0;
+    EXPECT_EQ(I.evalToString("(+ 2 3)"), "5") << "K=" << K;
+  }
+}
+
+TEST(SegmentAllocFailure, ErrorReportsOrdinal) {
+  Interp I(smallSegments());
+  uint64_t Target = I.control().segmentAllocRequests() + 2;
+  I.faults().FailSegmentAlloc = Target;
+  auto R = I.eval(DeepProg);
+  ASSERT_FALSE(R.Ok);
+  EXPECT_NE(R.Error.find(std::to_string(Target)), std::string::npos)
+      << R.Error;
+}
+
+// --- Scripted preemption expiries ----------------------------------------------
+
+TEST(PreemptSchedule, ForcesDeterministicSwitches) {
+  // Two workers under a huge natural interval: without the injected
+  // schedule there would be no preemption at all; with it, the switches
+  // happen exactly at the scripted call ordinals — so two identically
+  // armed runs interleave identically.
+  const char *Prog = "(define (spin n) (if (zero? n) 'done (spin (- n 1))))"
+                     "(spawn (lambda () (spin 400)))"
+                     "(spawn (lambda () (spin 400)))"
+                     "(scheduler-run 1000000)";
+  auto RunOnce = [&](Interp &I) {
+    I.faults().PreemptAtCalls = {50, 100, 150, 200, 250, 300};
+    I.trace().start();
+    auto R = I.eval(Prog);
+    I.trace().stop();
+    EXPECT_TRUE(R.Ok) << R.Error;
+    return I.trace().toString();
+  };
+  Interp A, B;
+  std::string TA = RunOnce(A), TB = RunOnce(B);
+  EXPECT_GT(A.stats().PreemptiveSwitches, 0u);
+  EXPECT_EQ(A.stats().PreemptiveSwitches, B.stats().PreemptiveSwitches);
+  EXPECT_EQ(TA, TB);
+}
+
+TEST(PreemptSchedule, ExpiryOutsideSchedulerIsHarmless) {
+  // An injected expiry with no engine timer armed and no scheduler active
+  // must be swallowed by the stale-expiry path, not corrupt anything.
+  Interp I;
+  I.faults().PreemptAtCalls = {3, 6, 9};
+  EXPECT_EQ(I.evalToString("(define (f n) (if (zero? n) 'ok (f (- n 1))))"
+                           "(f 50)"),
+            "ok");
+}
+
+TEST(PreemptSchedule, ScheduleIsPerRun) {
+  // PreemptAtCalls ordinals restart at every toplevel run: the same plan
+  // fires again for a second eval.
+  Interp I;
+  I.faults().PreemptAtCalls = {20};
+  const char *Prog = "(define (spin n) (if (zero? n) 'done (spin (- n 1))))"
+                     "(spawn (lambda () (spin 100)))"
+                     "(spawn (lambda () (spin 100)))"
+                     "(scheduler-run 1000000)";
+  ASSERT_TRUE(I.eval(Prog).Ok);
+  uint64_t After1 = I.stats().PreemptiveSwitches;
+  EXPECT_GT(After1, 0u);
+  ASSERT_TRUE(I.eval(Prog).Ok);
+  EXPECT_GT(I.stats().PreemptiveSwitches, After1);
+}
+
+// --- Faults compose with tracing -----------------------------------------------
+
+TEST(FaultCompose, ForcedGcAppearsInTrace) {
+  Interp I;
+  I.faults().GcEveryNAllocs = 5;
+  I.trace().start();
+  ASSERT_TRUE(I.eval("(length (list 1 2 3 4 5))").Ok);
+  I.trace().stop();
+  bool SawGc = false;
+  for (const auto &R : I.trace().snapshot())
+    if (R.Kind == TraceEvent::GcStart)
+      SawGc = true;
+  EXPECT_TRUE(SawGc) << I.trace().toString();
+}
+
+} // namespace

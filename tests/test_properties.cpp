@@ -6,6 +6,7 @@
 // Each program below exercises a different slice of the control machinery;
 // INSTANTIATE_TEST_SUITE_P runs all programs against all configurations.
 
+#include "ConfigLattice.h"
 #include "vm/Interp.h"
 
 #include <gtest/gtest.h>
@@ -15,63 +16,10 @@
 #include <vector>
 
 using namespace osc;
+using osc_test::ConfigPoint;
+using osc_test::configLattice;
 
 namespace {
-
-struct ConfigPoint {
-  const char *Name;
-  Config C;
-};
-
-std::vector<ConfigPoint> configLattice() {
-  std::vector<ConfigPoint> Points;
-  auto Add = [&](const char *Name, auto Mutate) {
-    Config C;
-    Mutate(C);
-    Points.push_back({Name, C});
-  };
-  Add("defaults", [](Config &) {});
-  Add("tiny-segments-oneshot", [](Config &C) {
-    C.SegmentWords = 128;
-    C.InitialSegmentWords = 128;
-    C.Overflow = OverflowPolicy::OneShot;
-  });
-  Add("tiny-segments-multishot", [](Config &C) {
-    C.SegmentWords = 128;
-    C.InitialSegmentWords = 128;
-    C.Overflow = OverflowPolicy::MultiShot;
-  });
-  Add("tiny-copy-bound", [](Config &C) { C.CopyBoundWords = 32; });
-  Add("no-cache", [](Config &C) { C.SegmentCacheEnabled = false; });
-  Add("shared-flag-promotion",
-      [](Config &C) { C.Promotion = PromotionStrategy::SharedFlag; });
-  Add("seal-displacement", [](Config &C) { C.SealDisplacementWords = 96; });
-  Add("hostile", [](Config &C) {
-    // Everything small and non-default at once.
-    C.SegmentWords = 96;
-    C.InitialSegmentWords = 96;
-    C.CopyBoundWords = 16;
-    C.Overflow = OverflowPolicy::OneShot;
-    C.OverflowCopyUpFrames = 1;
-    C.Promotion = PromotionStrategy::SharedFlag;
-    C.SealDisplacementWords = 24;
-    C.GcThresholdBytes = 64 * 1024;
-  });
-  Add("hostile-multishot", [](Config &C) {
-    C.SegmentWords = 96;
-    C.InitialSegmentWords = 96;
-    C.CopyBoundWords = 16;
-    C.Overflow = OverflowPolicy::MultiShot;
-    C.GcThresholdBytes = 64 * 1024;
-  });
-  Add("naive-overflow", [](Config &C) {
-    C.SegmentWords = 128;
-    C.InitialSegmentWords = 128;
-    C.Overflow = OverflowPolicy::OneShot;
-    C.OverflowCopyUpFrames = 0;
-  });
-  return Points;
-}
 
 struct Program {
   const char *Name;

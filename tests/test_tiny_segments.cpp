@@ -1,0 +1,258 @@
+// Tiny-segment soak: the continuation, dynamic-wind, engine and scheduler
+// suites' core programs re-run with segments so small (32 words, 16-word
+// copy bound) that every non-trivial call overflows, every capture spans
+// multiple segments, and every multi-shot reinstatement splits.  Any
+// off-by-one in the boundary arithmetic that big segments would hide
+// surfaces here — across every overflow-policy x promotion-strategy
+// combination.
+
+#include "vm/Interp.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <tuple>
+#include <vector>
+
+using namespace osc;
+
+namespace {
+
+struct Combo {
+  const char *Name;
+  OverflowPolicy Overflow;
+  PromotionStrategy Promotion;
+};
+
+const Combo Combos[] = {
+    {"oneshot-linear", OverflowPolicy::OneShot, PromotionStrategy::Linear},
+    {"oneshot-sharedflag", OverflowPolicy::OneShot,
+     PromotionStrategy::SharedFlag},
+    {"multishot-linear", OverflowPolicy::MultiShot,
+     PromotionStrategy::Linear},
+    {"multishot-sharedflag", OverflowPolicy::MultiShot,
+     PromotionStrategy::SharedFlag},
+};
+
+struct Program {
+  const char *Name;
+  const char *Source;
+  const char *Expect;
+};
+
+// Drawn from test_continuations / test_dynamic_wind / test_engines /
+// test_scheduler: every control shape those suites pin, in miniature.
+const Program Programs[] = {
+    // Continuations.
+    {"deep-recursion",
+     "(define (deep n) (if (zero? n) 0 (+ 1 (deep (- n 1))))) (deep 600)",
+     "600"},
+    {"escape-upward",
+     "(call/cc (lambda (k) (+ 1 (k 'escaped) 1000)))", "escaped"},
+    {"oneshot-escape",
+     "(call/1cc (lambda (return)"
+     "  (let loop ((i 0))"
+     "    (if (= (* i i) 144) (return i) (loop (+ i 1))))))",
+     "12"},
+    {"reentrant-callcc",
+     "(define k #f) (define n 0)"
+     "(define (deep d) (if (zero? d) (call/cc (lambda (c) (set! k c) 0))"
+     "                     (+ 1 (deep (- d 1)))))"
+     "(define r (deep 80)) (set! n (+ n 1))"
+     "(if (< n 4) (k 0) (list r n))",
+     "(80 4)"},
+    {"generator",
+     "(define resume #f)"
+     "(define (gen consume)"
+     "  (for-each (lambda (x)"
+     "              (set! consume (call/cc (lambda (r)"
+     "                                       (set! resume r)"
+     "                                       (consume x)))))"
+     "            '(1 2 3))"
+     "  (consume 'done))"
+     "(define (next)"
+     "  (call/cc (lambda (k) (if resume (resume k) (gen k)))))"
+     "(list (next) (next) (next) (next))",
+     "(1 2 3 done)"},
+    {"coroutine-transfer",
+     "(define producer-k #f) (define consumer-k #f) (define out '())"
+     "(define (yield v)"
+     "  (call/1cc (lambda (k) (set! producer-k k) (consumer-k v))))"
+     "(define (producer) (yield 'a) (yield 'b) (consumer-k 'eos))"
+     "(define (next)"
+     "  (call/1cc (lambda (k)"
+     "    (set! consumer-k k)"
+     "    (if producer-k (producer-k #f) (producer)))))"
+     "(let loop ()"
+     "  (let ((v (next)))"
+     "    (if (eq? v 'eos) (reverse out)"
+     "        (begin (set! out (cons v out)) (loop)))))",
+     "(a b)"},
+    {"oneshot-then-promote",
+     "(define k1 #f) (define km #f) (define n 0)"
+     "(define (inner)"
+     "  (%call/1cc (lambda (c) (set! k1 c)"
+     "    (+ 100 (%call/cc (lambda (m) (set! km m) 0))))))"
+     "(define r (inner))"
+     "(set! n (+ n 1))"
+     "(if (< n 3) (km n) (list r n))",
+     "(102 3)"},
+    {"shot-detection",
+     "(define k #f)"
+     "(car (list (call/1cc (lambda (c) (set! k c) (c 'once)))))"
+     "(k 'twice)",
+     "error: one-shot continuation invoked a second time"},
+    {"deep-capture-deep-reinstate",
+     "(define k #f) (define n 0)"
+     "(define (deep d) (if (zero? d) (call/cc (lambda (c) (set! k c) 0))"
+     "                     (+ 1 (deep (- d 1)))))"
+     "(define first (deep 120))"
+     "(set! n (+ n 1))"
+     "(if (< n 3) (k 0) (list first n))",
+     "(120 3)"},
+    // dynamic-wind.
+    {"wind-normal",
+     "(define log '())"
+     "(define (note x) (set! log (cons x log)))"
+     "(define r (dynamic-wind (lambda () (note 'before))"
+     "                        (lambda () (note 'during) 42)"
+     "                        (lambda () (note 'after))))"
+     "(list r (reverse log))",
+     "(42 (before during after))"},
+    {"wind-escape",
+     "(define log '())"
+     "(define (note x) (set! log (cons x log)))"
+     "(call/cc (lambda (k)"
+     "  (dynamic-wind (lambda () (note 'in))"
+     "                (lambda () (k 'jumped))"
+     "                (lambda () (note 'out)))))"
+     "(reverse log)",
+     "(in out)"},
+    {"wind-reenter",
+     "(define log '())"
+     "(define (note x) (set! log (cons x log)))"
+     "(define k #f) (define n 0)"
+     "(dynamic-wind"
+     "  (lambda () (note 'in))"
+     "  (lambda () (call/cc (lambda (c) (set! k c))) (set! n (+ n 1)))"
+     "  (lambda () (note 'out)))"
+     "(if (< n 3) (k #f) (reverse log))",
+     "(in out in out in out)"},
+    {"wind-nested",
+     "(define log '())"
+     "(define (note x) (set! log (cons x log)))"
+     "(dynamic-wind"
+     "  (lambda () (note 'o-in))"
+     "  (lambda () (dynamic-wind (lambda () (note 'i-in))"
+     "                           (lambda () 'body)"
+     "                           (lambda () (note 'i-out))))"
+     "  (lambda () (note 'o-out)))"
+     "(reverse log)",
+     "(o-in i-in i-out o-out)"},
+    // Engines.
+    {"engine-completes",
+     "(define e (make-engine (lambda () (+ 40 2))))"
+     "(e 1000 (lambda (left result) result) (lambda (e2) 'expired))",
+     "42"},
+    {"engine-expire-resume",
+     "(define (fib n)"
+     "  (if (< n 2) n (+ (fib (- n 1)) (fib (- n 2)))))"
+     "(define (drive eng)"
+     "  (eng 40"
+     "       (lambda (left r) r)"
+     "       (lambda (e2) (drive e2))))"
+     "(drive (make-engine (lambda () (fib 10))))",
+     "55"},
+    // Scheduler.
+    {"sched-two-threads",
+     "(define t1 (spawn (lambda () (* 6 7))))"
+     "(define t2 (spawn (lambda () 'second)))"
+     "(scheduler-run)"
+     "(list (thread-join t1) (thread-join t2))",
+     "(42 second)"},
+    {"sched-yield-interleave",
+     "(define out '())"
+     "(define (worker tag)"
+     "  (lambda ()"
+     "    (let loop ((i 0))"
+     "      (if (= i 3) 'done"
+     "          (begin (set! out (cons (cons tag i) out))"
+     "                 (yield)"
+     "                 (loop (+ i 1)))))))"
+     "(spawn (worker 'a))"
+     "(spawn (worker 'b))"
+     "(scheduler-run)"
+     "(reverse out)",
+     "((a . 0) (b . 0) (a . 1) (b . 1) (a . 2) (b . 2))"},
+    {"sched-preemptive",
+     "(define (spin n) (if (zero? n) 'done (spin (- n 1))))"
+     "(spawn (lambda () (spin 500)))"
+     "(spawn (lambda () (spin 500)))"
+     "(scheduler-run 40)",
+     "2"},
+    {"sched-channel",
+     "(define ch (make-channel 0))"
+     "(spawn (lambda () (channel-send! ch 'ping) (channel-send! ch 'pong)))"
+     "(define got '())"
+     "(spawn (lambda ()"
+     "         (set! got (list (channel-recv ch) (channel-recv ch)))))"
+     "(scheduler-run)"
+     "got",
+     "(ping pong)"},
+};
+
+class TinySegments
+    : public ::testing::TestWithParam<std::tuple<size_t, size_t>> {
+protected:
+  static Config config(const Combo &Cb) {
+    Config C;
+    C.SegmentWords = 32;
+    C.InitialSegmentWords = 64;
+    C.CopyBoundWords = 16;
+    C.Overflow = Cb.Overflow;
+    C.Promotion = Cb.Promotion;
+    return C;
+  }
+};
+
+TEST_P(TinySegments, SameResultAsBigSegments) {
+  auto [ProgIdx, ComboIdx] = GetParam();
+  const Program &P = Programs[ProgIdx];
+  Interp I(config(Combos[ComboIdx]));
+  EXPECT_EQ(I.evalToString(P.Source), P.Expect)
+      << P.Name << " under " << Combos[ComboIdx].Name;
+}
+
+std::string tinyName(
+    const ::testing::TestParamInfo<std::tuple<size_t, size_t>> &Info) {
+  auto [ProgIdx, ComboIdx] = Info.param;
+  std::string N =
+      std::string(Programs[ProgIdx].Name) + "_" + Combos[ComboIdx].Name;
+  for (char &C : N)
+    if (C == '-')
+      C = '_';
+  return N;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllCombos, TinySegments,
+    ::testing::Combine(::testing::Range<size_t>(0, std::size(Programs)),
+                       ::testing::Range<size_t>(0, std::size(Combos))),
+    tinyName);
+
+TEST(TinySegmentsSoak, SegmentsActuallyChurn) {
+  // Sanity: the tiny configuration really does exercise the machinery —
+  // a run that never overflowed would make the whole suite vacuous.
+  Config C;
+  C.SegmentWords = 32;
+  C.InitialSegmentWords = 64;
+  C.CopyBoundWords = 16;
+  Interp I(C);
+  ASSERT_EQ(I.evalToString("(define (deep n) (if (zero? n) 0 "
+                           "(+ 1 (deep (- n 1))))) (deep 600)"),
+            "600");
+  EXPECT_GT(I.stats().Overflows, 10u);
+  EXPECT_GT(I.stats().Underflows, 10u);
+}
+
+} // namespace

@@ -1,0 +1,307 @@
+// The event tracer (support/Trace.h): golden event sequences for the
+// canonical capture/invoke/promote shapes, determinism of the full stream,
+// ring-buffer wraparound, zero interference with the instruction counter,
+// and the export formats.
+//
+// Golden tests filter out the heap events (alloc / gc-start / gc-end /
+// cache-drop): the control-event order is the contract; the allocation
+// stream is covered separately by the determinism test so unrelated
+// allocator changes do not invalidate every golden.
+
+#include "support/Trace.h"
+#include "vm/Interp.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+using namespace osc;
+
+namespace {
+
+bool isHeapEvent(TraceEvent E) {
+  return E == TraceEvent::Alloc || E == TraceEvent::GcStart ||
+         E == TraceEvent::GcEnd || E == TraceEvent::CacheDrop;
+}
+
+/// Names of the recorded control events, oldest first, heap noise removed.
+std::vector<std::string> controlEvents(Interp &I) {
+  std::vector<std::string> Out;
+  for (const Trace::Record &R : I.trace().snapshot())
+    if (!isHeapEvent(R.Kind))
+      Out.push_back(traceEventName(R.Kind));
+  return Out;
+}
+
+/// Runs \p Source (a single datum) with the tracer on, off again after.
+void traced(Interp &I, const char *Source) {
+  I.trace().start();
+  auto R = I.eval(Source);
+  I.trace().stop();
+  ASSERT_TRUE(R.Ok) << R.Error << "\n" << I.trace().toString();
+}
+
+// --- Golden sequences ---------------------------------------------------------
+
+TEST(TraceGolden, OneShotCaptureThenInvoke) {
+  Interp I;
+  traced(I, "(car (list (%call/1cc (lambda (c) (c 42)))))");
+  EXPECT_EQ(controlEvents(I),
+            (std::vector<std::string>{"call/1cc", "capture-oneshot",
+                                      "invoke-oneshot", "underflow"}))
+      << I.trace().toString();
+}
+
+TEST(TraceGolden, LinearPromotionBeforeMultiCapture) {
+  // A call/cc over a chain containing a dormant one-shot must promote it
+  // first (§3.3).  Under Linear the promotion is an explicit chain walk:
+  // the promote event appears between the call/cc and its capture-multi,
+  // and the later return through the promoted link reinstates it with the
+  // multi-shot (copying) protocol.
+  Config C;
+  C.Promotion = PromotionStrategy::Linear;
+  Interp I(C);
+  traced(I, "(+ 1 (%call/1cc (lambda (c) "
+            "       (+ 100 (%call/cc (lambda (m) 5))))))");
+  // After the receiver returns 5, control first returns through the
+  // multi-capture's own seal (underflow + invoke-multi of K2's chain
+  // position), then through the promoted former one-shot (a second
+  // copying reinstatement), then hits the halt sentinel.
+  EXPECT_EQ(controlEvents(I),
+            (std::vector<std::string>{"call/1cc", "capture-oneshot",
+                                      "call/cc", "promote", "capture-multi",
+                                      "underflow", "invoke-multi",
+                                      "underflow", "invoke-multi",
+                                      "underflow"}))
+      << I.trace().toString();
+}
+
+TEST(TraceGolden, SharedFlagPromotionIsOneFlagWrite) {
+  // Same program under SharedFlag: the whole chain is promoted by a single
+  // boxed-flag write — exactly one promote-flag event, no promote events,
+  // regardless of chain length.
+  Config C;
+  C.Promotion = PromotionStrategy::SharedFlag;
+  Interp I(C);
+  traced(I, "(+ 1 (%call/1cc (lambda (c) "
+            "       (+ 100 (%call/cc (lambda (m) 5))))))");
+  EXPECT_EQ(controlEvents(I),
+            (std::vector<std::string>{"call/1cc", "capture-oneshot",
+                                      "call/cc", "promote-flag",
+                                      "capture-multi", "underflow",
+                                      "invoke-multi", "underflow",
+                                      "invoke-multi", "underflow"}))
+      << I.trace().toString();
+}
+
+TEST(TraceGolden, SealDisplacementEmitsSeal) {
+  // §3.4: with a displacement bound, call/1cc seals in place instead of
+  // swapping segments; the trace shows the seal with its displacement.
+  Config C;
+  C.SealDisplacementWords = 64;
+  Interp I(C);
+  traced(I, "(car (list (%call/1cc (lambda (c) (c 7)))))");
+  std::vector<std::string> Ev = controlEvents(I);
+  ASSERT_GE(Ev.size(), 3u) << I.trace().toString();
+  EXPECT_EQ(Ev[0], "call/1cc");
+  EXPECT_EQ(Ev[1], "seal");
+  EXPECT_EQ(Ev[2], "capture-oneshot");
+  // The seal payload records (boundary, displacement).
+  for (const Trace::Record &R : I.trace().snapshot())
+    if (R.Kind == TraceEvent::Seal) {
+      EXPECT_EQ(R.NPayload, 2);
+      EXPECT_GT(R.Payload[0], 0u);
+      EXPECT_EQ(R.Payload[1], 64u);
+    }
+}
+
+TEST(TraceGolden, DynamicWindCrossings) {
+  Interp I;
+  traced(I, "(dynamic-wind (lambda () 'in) (lambda () 1) (lambda () 'out))");
+  std::vector<std::string> Ev = controlEvents(I);
+  EXPECT_EQ(Ev, (std::vector<std::string>{"wind-enter", "wind-exit",
+                                          "underflow"}))
+      << I.trace().toString();
+}
+
+TEST(TraceGolden, EscapeReplaysWindExits) {
+  // Escaping a dynamic-wind extent through a continuation runs the after
+  // thunk via %do-wind: the exit crossing must still appear exactly once.
+  Interp I;
+  traced(I, "(call/1cc (lambda (k) "
+            "  (dynamic-wind (lambda () 'in) (lambda () (k 9)) "
+            "                (lambda () 'out))))");
+  std::vector<std::string> Ev = controlEvents(I);
+  int Enters = 0, Exits = 0;
+  for (const std::string &E : Ev) {
+    if (E == "wind-enter")
+      ++Enters;
+    if (E == "wind-exit")
+      ++Exits;
+  }
+  EXPECT_EQ(Enters, 1) << I.trace().toString();
+  EXPECT_EQ(Exits, 1) << I.trace().toString();
+}
+
+TEST(TraceGolden, SchedulerRoundTrip) {
+  // One thread: dispatch start, thread runs to completion, scheduler
+  // finishes.  Payloads carry the switch kind and thread id.
+  Interp I;
+  I.trace().start();
+  auto R = I.eval("(spawn (lambda () 'done)) (scheduler-run)");
+  I.trace().stop();
+  ASSERT_TRUE(R.Ok) << R.Error;
+  std::vector<const Trace::Record *> Sched;
+  auto Snap = I.trace().snapshot();
+  for (const Trace::Record &Rec : Snap)
+    if (Rec.Kind == TraceEvent::SchedSwitch ||
+        Rec.Kind == TraceEvent::SchedBlock ||
+        Rec.Kind == TraceEvent::SchedWake)
+      Sched.push_back(&Rec);
+  ASSERT_EQ(Sched.size(), 2u) << I.trace().toString();
+  EXPECT_EQ(Sched[0]->Kind, TraceEvent::SchedSwitch);
+  EXPECT_EQ(Sched[0]->Payload[0], 0u); // start
+  EXPECT_EQ(Sched[0]->Payload[1], 0u); // thread 0
+  EXPECT_EQ(Sched[1]->Kind, TraceEvent::SchedSwitch);
+  EXPECT_EQ(Sched[1]->Payload[0], 2u); // finish
+}
+
+// --- Determinism ---------------------------------------------------------------
+
+TEST(TraceDeterminism, IdenticalRunsProduceIdenticalTraces) {
+  // The full stream — including every allocation — must be byte-identical
+  // across two fresh interpreters running the same program.  This is the
+  // acceptance criterion for "fully deterministic".
+  const char *Prog =
+      "(define k #f) (define n 0)"
+      "(define (deep d) (if (zero? d) (call/cc (lambda (c) (set! k c) 0))"
+      "                     (+ 1 (deep (- d 1)))))"
+      "(define r (deep 200)) (set! n (+ n 1))"
+      "(if (< n 3) (k 0) (list r n))";
+  Config C;
+  C.GcThresholdBytes = 256 * 1024; // Force a few GCs into the trace.
+  Interp A(C), B(C);
+  A.trace().start();
+  ASSERT_TRUE(A.eval(Prog).Ok);
+  A.trace().stop();
+  B.trace().start();
+  ASSERT_TRUE(B.eval(Prog).Ok);
+  B.trace().stop();
+  EXPECT_GT(A.trace().emitted(), 0u);
+  EXPECT_EQ(A.trace().toString(), B.trace().toString());
+}
+
+TEST(TraceDeterminism, SchedulerTraceIsDeterministic) {
+  const char *Prog = "(define (worker n) (lambda () "
+                     "  (let loop ((i 0)) (if (= i n) i "
+                     "    (begin (yield) (loop (+ i 1)))))))"
+                     "(spawn (worker 5)) (spawn (worker 3))"
+                     "(scheduler-run 10)";
+  Interp A, B;
+  A.trace().start();
+  ASSERT_TRUE(A.eval(Prog).Ok);
+  A.trace().stop();
+  B.trace().start();
+  ASSERT_TRUE(B.eval(Prog).Ok);
+  B.trace().stop();
+  EXPECT_EQ(A.trace().toString(), B.trace().toString());
+}
+
+// --- Ring buffer ---------------------------------------------------------------
+
+TEST(TraceRing, WraparoundKeepsNewestAndCountsDropped) {
+  Config C;
+  C.TraceBufferEvents = 16;
+  Interp I(C);
+  traced(I, "(let loop ((i 0) (acc '())) "
+            "  (if (= i 100) (length acc) (loop (+ i 1) (cons i acc))))");
+  const Trace &T = I.trace();
+  EXPECT_EQ(T.capacity(), 16u);
+  EXPECT_EQ(T.size(), 16u);
+  EXPECT_GT(T.emitted(), 16u);
+  EXPECT_EQ(T.dropped(), T.emitted() - 16);
+  auto Snap = T.snapshot();
+  ASSERT_EQ(Snap.size(), 16u);
+  // Oldest-first, consecutive, ending at the last emitted record.
+  for (size_t J = 1; J < Snap.size(); ++J)
+    EXPECT_EQ(Snap[J].Seq, Snap[J - 1].Seq + 1);
+  EXPECT_EQ(Snap.back().Seq, T.emitted() - 1);
+  EXPECT_NE(T.toString().find("dropped"), std::string::npos);
+}
+
+TEST(TraceRing, StartClearsPreviousRecording) {
+  Interp I;
+  traced(I, "(car (list (%call/1cc (lambda (c) (c 1)))))");
+  uint64_t First = I.trace().emitted();
+  EXPECT_GT(First, 0u);
+  I.trace().start();
+  I.trace().stop();
+  EXPECT_EQ(I.trace().emitted(), 0u);
+}
+
+// --- Non-interference ----------------------------------------------------------
+
+TEST(TraceOverhead, TracingDoesNotPerturbExecution) {
+  // Same program, tracer off vs on (armed from C++ so no extra Scheme
+  // datum): the executed instruction stream must be identical, and the
+  // result too.  Guards are pure C++; they execute no bytecode.
+  const char *Prog = "(define (tak x y z)"
+                     "  (if (not (< y x)) z"
+                     "      (tak (tak (- x 1) y z) (tak (- y 1) z x)"
+                     "           (tak (- z 1) x y))))"
+                     "(tak 14 10 4)";
+  Interp Off, On;
+  On.trace().start();
+  std::string ROff = Off.evalToString(Prog);
+  std::string ROn = On.evalToString(Prog);
+  On.trace().stop();
+  EXPECT_EQ(ROff, "5");
+  EXPECT_EQ(ROn, "5");
+  EXPECT_EQ(Off.stats().Instructions, On.stats().Instructions);
+  EXPECT_EQ(Off.stats().ProcedureCalls, On.stats().ProcedureCalls);
+}
+
+// --- Export formats ------------------------------------------------------------
+
+TEST(TraceExport, SchemeLevelDumpText) {
+  Interp I;
+  auto R = I.eval("(trace-start!)"
+                  "(car (list (%call/1cc (lambda (c) (c 42)))))"
+                  "(trace-stop!)"
+                  "(trace-dump)");
+  ASSERT_TRUE(R.Ok) << R.Error;
+  std::string Dump = I.valueToString(R.Val, /*Write=*/false);
+  EXPECT_NE(Dump.find("capture-oneshot"), std::string::npos) << Dump;
+  EXPECT_NE(Dump.find("invoke-oneshot"), std::string::npos) << Dump;
+}
+
+TEST(TraceExport, SchemeLevelEventCount) {
+  Interp I;
+  auto R = I.eval("(trace-start!)"
+                  "(%call/1cc (lambda (c) (c 1)))"
+                  "(trace-stop!)"
+                  "(trace-event-count)");
+  ASSERT_TRUE(R.Ok) << R.Error;
+  ASSERT_TRUE(R.Val.isFixnum());
+  EXPECT_GT(R.Val.asFixnum(), 0);
+}
+
+TEST(TraceExport, ChromeJsonShape) {
+  Interp I;
+  traced(I, "(car (list (%call/1cc (lambda (c) (c 42)))))");
+  std::string J = I.trace().toChromeJson();
+  EXPECT_EQ(J.find("{\"traceEvents\":["), 0u) << J;
+  EXPECT_NE(J.find("\"name\":\"capture-oneshot\""), std::string::npos) << J;
+  EXPECT_NE(J.find("\"ph\":\"i\""), std::string::npos) << J;
+  EXPECT_EQ(J.back(), '}') << J;
+}
+
+TEST(TraceExport, DumpRejectsUnknownFormat) {
+  Interp I;
+  auto R = I.eval("(trace-dump 'xml)");
+  EXPECT_FALSE(R.Ok);
+  EXPECT_NE(R.Error.find("trace-dump"), std::string::npos) << R.Error;
+}
+
+} // namespace
