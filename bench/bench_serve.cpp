@@ -1,0 +1,197 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The serving-layer benchmark: the continuation-per-request eval server
+/// under 64 concurrent in-flight requests, one-shot switching against the
+/// multi-shot baseline shim (Config::SchedOneShotSwitch = false).
+///
+/// Every request thread parks at least once (reading the request line) and
+/// usually twice (writing the reply); the claim carried up from the paper
+/// is that with one-shot switching each of those parks resumes with ZERO
+/// stack words copied, while the shimmed baseline pays a stack copy per
+/// park.  The harness aborts if either side of the comparison fails:
+///
+///   * one-shot column: WordsCopied must not move at all during serving;
+///   * baseline column: WordsCopied must grow, or the shim is not shimming.
+///
+/// It also asserts the server actually sustained >= 64 concurrent parked
+/// requests (IoWaitPeak), so the throughput number is measuring real
+/// concurrency and not a serialized accident.
+///
+/// Usage: bench_serve [--json <path>]     (OSC_BENCH_FAST=1 for a smoke run)
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+#include "serve/Client.h"
+#include "serve/Server.h"
+
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+using namespace osc;
+using namespace osc::bench;
+
+namespace {
+
+constexpr int Clients = 64;
+
+struct Column {
+  const char *Name = "";
+  bool OneShot = true;
+  uint64_t Requests = 0;
+  double Ms = 0;
+  uint64_t IoParks = 0;
+  uint64_t IoWakes = 0;
+  uint64_t IoWaitPeak = 0;
+  uint64_t WordsCopied = 0;
+  uint64_t Accepted = 0;
+
+  double requestsPerSec() const { return Ms > 0 ? Requests / (Ms / 1e3) : 0; }
+  double wordsPerRequest() const {
+    return Requests ? double(WordsCopied) / Requests : 0;
+  }
+};
+
+/// One full round: every client sends, then every client reads its reply.
+/// All `Clients` requests are in flight simultaneously between the two
+/// loops, which is what pushes IoWaitPeak to the client count.
+void oneRound(std::vector<Client> &Cs, int Round) {
+  for (int K = 0; K < Clients; ++K) {
+    bool Ok = Cs[K].sendLine(K % 2 ? "PING"
+                                   : "EVAL (+ " + std::to_string(K) + " " +
+                                         std::to_string(Round) + ")");
+    if (!Ok)
+      oscFatal("bench_serve: send failed");
+  }
+  for (int K = 0; K < Clients; ++K) {
+    std::string Reply;
+    if (!Cs[K].recvLine(Reply))
+      oscFatal("bench_serve: no reply");
+    std::string Want = K % 2 ? "PONG" : std::to_string(K + Round);
+    if (Reply != Want)
+      oscFatal(("bench_serve: bad reply: got " + Reply + " want " + Want)
+                   .c_str());
+  }
+}
+
+Column runColumn(const char *Name, bool OneShot, int Rounds) {
+  Server::Options O;
+  O.MaxInflight = Clients;
+  O.VmCfg.SchedOneShotSwitch = OneShot;
+  Server S(O);
+  if (!S.start())
+    oscFatal(("bench_serve: " + S.error()).c_str());
+
+  std::vector<Client> Cs(Clients);
+  std::string E;
+  for (int K = 0; K < Clients; ++K)
+    if (!Cs[K].connect(S.tcpPort(), E))
+      oscFatal(("bench_serve: connect: " + E).c_str());
+
+  oneRound(Cs, 0); // Warmup: all spawns and first parks behind us.
+  auto T0 = std::chrono::steady_clock::now();
+  for (int R = 1; R <= Rounds; ++R)
+    oneRound(Cs, R);
+  auto T1 = std::chrono::steady_clock::now();
+
+  for (Client &C : Cs)
+    C.close();
+  S.stop();
+  if (!S.result().Ok)
+    oscFatal(("bench_serve: server error: " + S.result().Error).c_str());
+
+  const Stats &St = S.stats();
+  const Stats &B = S.baseline();
+  Column Col;
+  Col.Name = Name;
+  Col.OneShot = OneShot;
+  Col.Requests = uint64_t(Rounds) * Clients;
+  Col.Ms = std::chrono::duration<double>(T1 - T0).count() * 1e3;
+  Col.IoParks = St.IoParks - B.IoParks;
+  Col.IoWakes = St.IoWakes - B.IoWakes;
+  Col.IoWaitPeak = St.IoWaitPeak;
+  Col.WordsCopied = St.WordsCopied - B.WordsCopied;
+  Col.Accepted = St.AcceptedConnections - B.AcceptedConnections;
+  return Col;
+}
+
+void writeJson(const std::string &Path, const std::vector<Column> &Cols) {
+  std::ofstream Out(Path);
+  if (!Out.good())
+    oscFatal(("bench_serve: cannot write " + Path).c_str());
+  Out << "{\n  \"name\": \"bench_serve\",\n  \"clients\": " << Clients
+      << ",\n  \"columns\": [\n";
+  for (size_t K = 0; K < Cols.size(); ++K) {
+    const Column &C = Cols[K];
+    Out << "    {\n"
+        << "      \"name\": \"" << C.Name << "\",\n"
+        << "      \"one_shot\": " << (C.OneShot ? "true" : "false") << ",\n"
+        << "      \"requests\": " << C.Requests << ",\n"
+        << "      \"elapsed_ms\": " << C.Ms << ",\n"
+        << "      \"requests_per_sec\": " << C.requestsPerSec() << ",\n"
+        << "      \"io_parks\": " << C.IoParks << ",\n"
+        << "      \"io_wakes\": " << C.IoWakes << ",\n"
+        << "      \"io_wait_peak\": " << C.IoWaitPeak << ",\n"
+        << "      \"words_copied\": " << C.WordsCopied << ",\n"
+        << "      \"words_per_request\": " << C.wordsPerRequest() << "\n"
+        << "    }" << (K + 1 < Cols.size() ? "," : "") << "\n";
+  }
+  Out << "  ]\n}\n";
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  std::string JsonPath;
+  for (int K = 1; K < Argc; ++K) {
+    std::string A = Argv[K];
+    if (A == "--json" && K + 1 < Argc)
+      JsonPath = Argv[++K];
+  }
+
+  const int Rounds = fastMode() ? 5 : 100;
+  std::printf("Eval server: %d clients, %d rounds, all requests in flight "
+              "between send and read.\n\n",
+              Clients, Rounds);
+
+  std::vector<Column> Cols;
+  Cols.push_back(runColumn("one-shot", /*OneShot=*/true, Rounds));
+  Cols.push_back(runColumn("multi-shot-shim", /*OneShot=*/false, Rounds));
+
+  std::printf("%-16s %10s %10s %12s %10s %12s %14s\n", "column", "requests",
+              "ms", "req/s", "io-parks", "wait-peak", "words/request");
+  for (const Column &C : Cols)
+    std::printf("%-16s %10llu %10.1f %12.0f %10llu %12llu %14.2f\n", C.Name,
+                static_cast<unsigned long long>(C.Requests), C.Ms,
+                C.requestsPerSec(),
+                static_cast<unsigned long long>(C.IoParks),
+                static_cast<unsigned long long>(C.IoWaitPeak),
+                C.wordsPerRequest());
+
+  const Column &One = Cols[0], &Shim = Cols[1];
+  if (One.IoWaitPeak < Clients)
+    oscFatal("bench_serve: never reached 64 concurrent parked requests; the "
+             "workload is not exercising concurrency");
+  if (One.WordsCopied != 0)
+    oscFatal("bench_serve: one-shot serving copied stack words; the "
+             "park/resume path has regressed");
+  if (Shim.WordsCopied == 0)
+    oscFatal("bench_serve: the multi-shot shim copied nothing; the baseline "
+             "is not exercising multi-shot resumption");
+  if (One.IoParks != One.IoWakes)
+    oscFatal("bench_serve: unbalanced parks/wakes");
+
+  std::printf("\nCheck passed: %llu one-shot parks copied 0 words; the "
+              "multi-shot shim paid %.2f words per request.\n",
+              static_cast<unsigned long long>(One.IoParks),
+              Shim.wordsPerRequest());
+  if (!JsonPath.empty()) {
+    writeJson(JsonPath, Cols);
+    std::printf("Wrote %s\n", JsonPath.c_str());
+  }
+  return 0;
+}

@@ -69,6 +69,17 @@ struct Config {
   bool SegmentCacheEnabled = true;
   /// GC trigger: bytes allocated since the last collection.
   uint64_t GcThresholdBytes = 8u << 20;
+  /// How long the scheduler waits in one poll(2) call when every runnable
+  /// thread is parked on I/O before declaring the run wedged.  External
+  /// peers (loopback clients) are real wall-clock actors, so unlike
+  /// channel-only deadlock this cannot be decided structurally.
+  int IoPollTimeoutMs = 10000;
+  /// When false, the scheduler's context-switch captures use multi-shot
+  /// continuations (capture is still cheap; every *reinstatement* copies
+  /// the suspended stack back word by word).  This is the call/cc baseline
+  /// column in bench_serve — the paper's Figure 5 comparison applied to
+  /// I/O parking.  Leave true for the real system.
+  bool SchedOneShotSwitch = true;
   /// Capacity (in records) of the VM's event tracer (support/Trace.h).
   /// The buffer is allocated once at VM construction; recording is off
   /// until trace-start! / Trace::start.

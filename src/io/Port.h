@@ -1,0 +1,126 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Non-blocking file-descriptor wrappers for the I/O reactor (src/io).
+///
+/// A Port owns one non-blocking fd — one end of a pipe or socketpair, a
+/// connected loopback TCP stream, or a listening socket — plus the line
+/// buffers the Scheme-visible protocol works in.  Ports expose only the
+/// *non-blocking halves* of each operation (fill the input buffer, flush
+/// the output buffer, accept one connection): whether a would-block result
+/// parks the calling green thread is the VM's decision, exactly as
+/// Channel::trySend / tryRecv leave blocking policy to the scheduler glue.
+///
+/// A port never touches a Value and never allocates on the Scheme heap, so
+/// the whole layer is testable without an interpreter.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OSC_IO_PORT_H
+#define OSC_IO_PORT_H
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace osc {
+
+class Port {
+public:
+  enum class Kind : uint8_t {
+    Stream,   ///< Bidirectional byte stream (pipe end, socketpair, TCP).
+    Listener, ///< Listening loopback TCP socket; only acceptConn applies.
+  };
+
+  /// Outcome of one non-blocking attempt.
+  enum class Io : uint8_t {
+    Progress,   ///< Bytes moved (or nothing was pending).
+    WouldBlock, ///< The fd is not ready; retry on readiness.
+    Eof,        ///< Peer closed its end (reads only).
+    Error,      ///< Hard failure; lastError() has the message.
+  };
+
+  Port(uint32_t Id, int Fd, Kind K) : Id(Id), Fd(Fd), K(K) {}
+  ~Port() { closeNow(); }
+  Port(const Port &) = delete;
+  Port &operator=(const Port &) = delete;
+
+  uint32_t id() const { return Id; }
+  int fd() const { return Fd; }
+  Kind kind() const { return K; }
+  bool closed() const { return Fd < 0; }
+  bool atEof() const { return SawEof; }
+  const std::string &lastError() const { return Err; }
+
+  /// Bound TCP port for listeners (0 otherwise); recorded by the creator.
+  uint16_t tcpPort() const { return TcpPort; }
+  void setTcpPort(uint16_t P) { TcpPort = P; }
+
+  // --- Buffered line input ---------------------------------------------------
+
+  /// Takes one complete line (without the terminator; a trailing \r is also
+  /// stripped) out of the input buffer.  After EOF or close the unterminated
+  /// tail, if any, counts as the final line.  Returns false when no line is
+  /// available yet.
+  bool takeLine(std::string &Out);
+
+  /// Reads everything currently available on the fd into the input buffer.
+  /// \p BytesIn is incremented by the bytes moved.
+  Io fillInput(uint64_t &BytesIn);
+
+  size_t inputBuffered() const { return InBuf.size(); }
+
+  // --- Buffered output -------------------------------------------------------
+
+  void queueOutput(std::string_view S) { OutBuf.append(S); }
+  bool outputPending() const { return !OutBuf.empty(); }
+
+  /// Writes as much of the output buffer as the fd accepts right now.
+  /// \p BytesOut is incremented by the bytes moved.
+  Io flushOutput(uint64_t &BytesOut);
+
+  // --- Listener --------------------------------------------------------------
+
+  /// Accepts one pending connection.  Returns the new non-blocking fd,
+  /// -1 when none is pending (would block), -2 on a hard error.
+  int acceptConn();
+
+  /// Flushes best-effort, then closes the fd.  Idempotent; buffered input
+  /// stays readable through takeLine (close behaves like EOF).
+  void closeNow();
+
+private:
+  uint32_t Id;
+  int Fd;
+  Kind K;
+  bool SawEof = false;
+  uint16_t TcpPort = 0;
+  std::string InBuf;
+  std::string OutBuf;
+  std::string Err;
+};
+
+// --- fd factories (all loopback/local; every fd comes back non-blocking) -----
+
+/// pipe(2).  Returns false and sets \p Err on failure.
+bool openPipePair(int &ReadFd, int &WriteFd, std::string &Err);
+
+/// socketpair(2), AF_UNIX stream: both ends bidirectional.
+bool openSocketPairFds(int &A, int &B, std::string &Err);
+
+/// Listening TCP socket bound to 127.0.0.1:\p Port (0 picks an ephemeral
+/// port; \p Port is updated to the bound one).  Returns the fd or -1.
+int openListener(uint16_t &Port, int Backlog, std::string &Err);
+
+/// *Blocking* loopback TCP connect — the host-side client half used by
+/// tests and benchmarks, never by the VM.  Returns the fd or -1.
+int connectLoopback(uint16_t Port, std::string &Err);
+
+/// Blocks up to \p TimeoutMs for \p Fd to become readable (\p ForWrite
+/// false) or writable.  Used for I/O performed by the main computation,
+/// where there is no scheduler to park in.  Negative timeout waits forever.
+bool pollOneFd(int Fd, bool ForWrite, int TimeoutMs);
+
+} // namespace osc
+
+#endif // OSC_IO_PORT_H

@@ -1,0 +1,124 @@
+#include "io/Reactor.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <csignal>
+
+#include <poll.h>
+
+using namespace osc;
+
+const char *osc::ioOpName(IoOp Op) {
+  switch (Op) {
+  case IoOp::ReadLine:
+    return "read-line";
+  case IoOp::Write:
+    return "write";
+  case IoOp::Accept:
+    return "accept";
+  }
+  return "?";
+}
+
+Reactor::Reactor() {
+  // A peer may close mid-write at any time; without this the default
+  // SIGPIPE disposition would kill the whole process instead of letting
+  // flushOutput report EPIPE.
+  static bool Ignored = false;
+  if (!Ignored) {
+    std::signal(SIGPIPE, SIG_IGN);
+    Ignored = true;
+  }
+}
+
+uint32_t Reactor::addPort(int Fd, Port::Kind K) {
+  uint32_t Id = static_cast<uint32_t>(Ports.size());
+  Ports.push_back(std::make_unique<Port>(Id, Fd, K));
+  return Id;
+}
+
+void Reactor::park(uint32_t Tid, uint32_t PortId, IoOp Op) {
+  Waiters.push_back({NextSeq++, Tid, PortId, Op});
+}
+
+std::vector<PendingIo> Reactor::takeReady(int TimeoutMs) {
+  std::vector<PendingIo> Ready;
+  if (Waiters.empty())
+    return Ready;
+
+  // One pollfd per distinct fd; a port with both a parked reader and a
+  // parked writer gets its events merged.  Closed ports are ready without
+  // asking the kernel — their waiters complete with EOF/error.
+  std::vector<pollfd> Pfds;
+  std::vector<char> IsReady(Waiters.size(), 0);
+  bool AnyClosed = false;
+  for (size_t I = 0; I < Waiters.size(); ++I) {
+    Port *P = port(Waiters[I].PortId);
+    if (!P || P->closed()) {
+      IsReady[I] = 1;
+      AnyClosed = true;
+      continue;
+    }
+    short Ev = Waiters[I].Op == IoOp::Write ? POLLOUT : POLLIN;
+    auto It = std::find_if(Pfds.begin(), Pfds.end(),
+                           [&](const pollfd &F) { return F.fd == P->fd(); });
+    if (It == Pfds.end()) {
+      pollfd F{};
+      F.fd = P->fd();
+      F.events = Ev;
+      Pfds.push_back(F);
+    } else {
+      It->events |= Ev;
+    }
+  }
+
+  if (!Pfds.empty()) {
+    // With a closed-port waiter already ready, just sample the kernel.
+    int Wait = AnyClosed ? 0 : TimeoutMs;
+    for (;;) {
+      int N = ::poll(Pfds.data(), static_cast<nfds_t>(Pfds.size()), Wait);
+      if (N >= 0)
+        break;
+      if (errno != EINTR)
+        return Ready; // Treat a hard poll failure as a timeout.
+    }
+    for (size_t I = 0; I < Waiters.size(); ++I) {
+      if (IsReady[I])
+        continue;
+      Port *P = port(Waiters[I].PortId);
+      auto It = std::find_if(Pfds.begin(), Pfds.end(),
+                             [&](const pollfd &F) { return F.fd == P->fd(); });
+      if (It == Pfds.end())
+        continue;
+      short Want = Waiters[I].Op == IoOp::Write ? POLLOUT : POLLIN;
+      // Error/hangup means the operation can finish too — with an
+      // EOF/error result rather than bytes.
+      if (It->revents & (Want | POLLERR | POLLHUP | POLLNVAL))
+        IsReady[I] = 1;
+    }
+  }
+
+  std::vector<PendingIo> Rest;
+  for (size_t I = 0; I < Waiters.size(); ++I)
+    (IsReady[I] ? Ready : Rest).push_back(Waiters[I]);
+  Waiters = std::move(Rest);
+
+  // poll(2) reports readiness in fd order, which the OS recycles
+  // nondeterministically; (port id, seq) is stable run to run.
+  std::sort(Ready.begin(), Ready.end(), [](const PendingIo &A, const PendingIo &B) {
+    if (A.PortId != B.PortId)
+      return A.PortId < B.PortId;
+    return A.Seq < B.Seq;
+  });
+  return Ready;
+}
+
+std::vector<PendingIo> Reactor::takeWaitersFor(uint32_t PortId) {
+  std::vector<PendingIo> Out, Rest;
+  for (const PendingIo &W : Waiters)
+    (W.PortId == PortId ? Out : Rest).push_back(W);
+  Waiters = std::move(Rest);
+  std::sort(Out.begin(), Out.end(),
+            [](const PendingIo &A, const PendingIo &B) { return A.Seq < B.Seq; });
+  return Out;
+}

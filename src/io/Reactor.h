@@ -1,0 +1,105 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The fd-readiness reactor: poll(2) + a deterministic waiter registry.
+///
+/// The reactor is to I/O what Channel is to message passing: it owns only
+/// data — the port table and the list of parked operations — and answers
+/// one question, "which parked operations can make progress now?".  Policy
+/// (who runs next) stays in the Scheduler and every control transfer stays
+/// in the VM: when a read/write/accept would block, the VM parks the green
+/// thread with captureOneShot and registers a PendingIo here; when the run
+/// queue drains, the VM asks takeReady() and wakes the returned threads —
+/// reinstating each continuation with zero words copied.
+///
+/// Determinism: poll(2) readiness arrives as an unordered fd set, so one
+/// poll batch is sorted by (port id, registration seq) before it is handed
+/// back.  Port ids are allocated in program order (unlike raw fd numbers,
+/// which depend on what the OS recycles), so two runs of the same program
+/// against the same peer behavior wake threads in the same order and
+/// produce byte-identical IoWait/IoReady traces.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OSC_IO_REACTOR_H
+#define OSC_IO_REACTOR_H
+
+#include "io/Port.h"
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace osc {
+
+/// What a parked thread is waiting to finish.
+enum class IoOp : uint8_t {
+  ReadLine, ///< io-read-line: a full line (or EOF) in the input buffer.
+  Write,    ///< io-write: the output buffer fully flushed.
+  Accept,   ///< io-accept: one pending connection.
+};
+
+const char *ioOpName(IoOp Op);
+
+/// One parked operation: which thread, which port, what it waits for, and
+/// the registration sequence number that breaks wake-order ties.  A re-park
+/// (readiness arrived but the operation still cannot finish, e.g. a partial
+/// line) keeps its original Seq so waiters on one port stay FIFO.
+struct PendingIo {
+  uint64_t Seq;
+  uint32_t Tid;
+  uint32_t PortId;
+  IoOp Op;
+};
+
+class Reactor {
+public:
+  /// Ignores SIGPIPE process-wide (once): broken-pipe writes must surface
+  /// as EPIPE errors on the port, not kill the host.
+  Reactor();
+  ~Reactor() = default;
+  Reactor(const Reactor &) = delete;
+  Reactor &operator=(const Reactor &) = delete;
+
+  // --- Port table (fixnum ids, like threads and channels) -------------------
+
+  uint32_t addPort(int Fd, Port::Kind K);
+  Port *port(int64_t Id) {
+    if (Id < 0 || static_cast<size_t>(Id) >= Ports.size())
+      return nullptr;
+    return Ports[static_cast<size_t>(Id)].get();
+  }
+  size_t portCount() const { return Ports.size(); }
+
+  // --- Waiter registry -------------------------------------------------------
+
+  /// Registers a fresh parked operation (new Seq).
+  void park(uint32_t Tid, uint32_t PortId, IoOp Op);
+  /// Re-registers \p P unchanged (original Seq) after a readiness event
+  /// that did not complete the operation.
+  void repark(const PendingIo &P) { Waiters.push_back(P); }
+  size_t waiterCount() const { return Waiters.size(); }
+
+  /// poll(2)s the waiters' fds for up to \p TimeoutMs (negative = forever)
+  /// and removes-and-returns every waiter whose fd is ready, sorted by
+  /// (port id, seq).  Empty result means the poll timed out (or there was
+  /// nothing to wait for).  Waiters on already-closed ports are always
+  /// ready (they complete with EOF/error).
+  std::vector<PendingIo> takeReady(int TimeoutMs);
+
+  /// Removes-and-returns every waiter parked on \p PortId, in Seq order —
+  /// io-close uses this to wake them before the fd goes away.
+  std::vector<PendingIo> takeWaitersFor(uint32_t PortId);
+
+  /// Drops all waiters (scheduler abort; parked threads are gone).
+  void clearWaiters() { Waiters.clear(); }
+
+private:
+  std::vector<std::unique_ptr<Port>> Ports; ///< Index == port id.
+  std::vector<PendingIo> Waiters;
+  uint64_t NextSeq = 0;
+};
+
+} // namespace osc
+
+#endif // OSC_IO_REACTOR_H

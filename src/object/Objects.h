@@ -182,6 +182,11 @@ enum class NativeSpecial : uint8_t {
   SchedSleep,     ///< %sleep — suspend for N context switches
   ChanSend,       ///< %chan-send — may block on a full channel
   ChanRecv,       ///< %chan-recv — may block on an empty channel
+  // Reactor operations (src/io): park the calling green thread on fd
+  // readiness with a one-shot capture, exactly like a channel block.
+  IoReadLine,     ///< %io-read-line — may park until a line arrives
+  IoWrite,        ///< %io-write — may park until the fd drains
+  IoAccept,       ///< %io-accept — may park until a connection arrives
 };
 
 struct Native : ObjHeader {

@@ -35,6 +35,31 @@ public:
   size_t buffered() const { return Buf.size(); }
   size_t waitingReceivers() const { return WaitingRecv.size(); }
   size_t waitingSenders() const { return WaitingSend.size(); }
+  bool closed() const { return Closed; }
+
+  struct PendingSend {
+    uint32_t Tid;
+    Value V;
+  };
+
+  /// Everyone parked at the moment of close, in park order.  The VM wakes
+  /// receivers with the EOF sentinel and senders with a trappable error;
+  /// the channel itself stays Value-policy-free.
+  struct CloseResult {
+    std::deque<uint32_t> Receivers;
+    std::deque<PendingSend> Senders;
+  };
+
+  /// Marks the channel closed and hands back every parked waiter.  Buffered
+  /// values remain receivable (receives drain the buffer, then see EOF);
+  /// further sends must be rejected by the caller via closed().
+  CloseResult close() {
+    Closed = true;
+    CloseResult R{std::move(WaitingRecv), std::move(WaitingSend)};
+    WaitingRecv.clear();
+    WaitingSend.clear();
+    return R;
+  }
 
   /// Outcome of the non-blocking half of a send.
   struct SendResult {
@@ -115,13 +140,9 @@ public:
   void traceRoots(GCVisitor &V);
 
 private:
-  struct PendingSend {
-    uint32_t Tid;
-    Value V;
-  };
-
   uint32_t Id;
   uint32_t Cap;
+  bool Closed = false;
   std::deque<Value> Buf;
   std::deque<uint32_t> WaitingRecv;
   std::deque<PendingSend> WaitingSend;

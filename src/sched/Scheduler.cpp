@@ -77,6 +77,7 @@ void Scheduler::abortRun() {
     T->Result = Value::unspecified();
     T->Ctx = SchedContext();
     T->Joiners.clear();
+    T->PendingError.clear();
   }
   Live = 0;
   ReadyQ.clear();

@@ -80,6 +80,9 @@ public:
     SchedContext Ctx;      ///< Dynamic context saved while suspended.
     int64_t SleepLeft = 0; ///< Remaining sleep, in context switches.
     std::vector<uint32_t> Joiners; ///< Threads blocked in (thread-join this).
+    std::string PendingError; ///< Nonempty: raise this instead of resuming
+                              ///< (e.g. the channel closed under a parked
+                              ///< send, or a parked write hit EPIPE).
   };
 
   /// What the VM should transfer control to next.

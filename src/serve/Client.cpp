@@ -1,0 +1,73 @@
+#include "serve/Client.h"
+
+#include "io/Port.h"
+
+#include <cerrno>
+#include <cstring>
+
+#include <unistd.h>
+
+using namespace osc;
+
+bool Client::connect(uint16_t Port, std::string &Err) {
+  close();
+  Fd = connectLoopback(Port, Err);
+  return Fd >= 0;
+}
+
+bool Client::sendLine(const std::string &Line) {
+  if (Fd < 0)
+    return false;
+  std::string Out = Line + "\n";
+  size_t Off = 0;
+  while (Off < Out.size()) {
+    ssize_t N = ::write(Fd, Out.data() + Off, Out.size() - Off);
+    if (N > 0) {
+      Off += static_cast<size_t>(N);
+      continue;
+    }
+    if (N < 0 && errno == EINTR)
+      continue;
+    return false;
+  }
+  return true;
+}
+
+bool Client::recvLine(std::string &Out, int TimeoutMs) {
+  if (Fd < 0)
+    return false;
+  for (;;) {
+    size_t Nl = Buf.find('\n');
+    if (Nl != std::string::npos) {
+      Out.assign(Buf, 0, Nl);
+      Buf.erase(0, Nl + 1);
+      if (!Out.empty() && Out.back() == '\r')
+        Out.pop_back();
+      return true;
+    }
+    if (!pollOneFd(Fd, /*ForWrite=*/false, TimeoutMs))
+      return false; // Timed out.
+    char Tmp[4096];
+    ssize_t N = ::read(Fd, Tmp, sizeof Tmp);
+    if (N > 0) {
+      Buf.append(Tmp, static_cast<size_t>(N));
+      continue;
+    }
+    if (N < 0 && errno == EINTR)
+      continue;
+    return false; // EOF (or hard error) before a complete line.
+  }
+}
+
+bool Client::request(const std::string &Line, std::string &Reply,
+                     int TimeoutMs) {
+  return sendLine(Line) && recvLine(Reply, TimeoutMs);
+}
+
+void Client::close() {
+  if (Fd >= 0) {
+    ::close(Fd);
+    Fd = -1;
+  }
+  Buf.clear();
+}

@@ -1,0 +1,161 @@
+#include "serve/Server.h"
+
+#include "io/Reactor.h"
+#include "serve/Client.h"
+
+using namespace osc;
+
+// The serving program.  Pure Scheme over the io/sched primitives so the
+// whole request path — accept, read, compute, write — runs on green
+// threads whose every wait is a parked one-shot continuation.  The host
+// binds *listener* (a listener port id), *max-inflight* and *preempt*
+// before evaluating this.
+const char *Server::serveSource() {
+  return R"scheme(
+;; Backpressure: a conn-loop takes a token before handling a request and
+;; returns it after, so at most *max-inflight* requests are in flight;
+;; the excess park in channel-send! like any other blocked sender.
+(define %tokens (make-channel *max-inflight*))
+
+(define (starts-with? s p)
+  (and (>= (string-length s) (string-length p))
+       (string=? (substring s 0 (string-length p)) p)))
+
+;; A tiny fixnum calculator: the EVAL payload is data, never code.  Any
+;; shape this does not recognize — unbound names, non-fixnum leaves, a
+;; zero divisor — folds to 'err.
+(define (safe-eval-list l)
+  (cond ((null? l) '())
+        ((pair? l)
+         (let ((h (safe-eval (car l))))
+           (if (eq? h 'err)
+               'err
+               (let ((t (safe-eval-list (cdr l))))
+                 (if (eq? t 'err) 'err (cons h t))))))
+        (else 'err)))
+
+(define (safe-eval e)
+  (cond
+    ((integer? e) e)
+    ((pair? e)
+     (let ((op (car e)) (args (safe-eval-list (cdr e))))
+       (cond
+         ((eq? args 'err) 'err)
+         ((eq? op '+) (apply + args))
+         ((eq? op '*) (apply * args))
+         ((and (eq? op '-) (pair? args)) (apply - args))
+         ((and (eq? op 'quotient) (pair? args) (pair? (cdr args))
+               (null? (cdr (cdr args))) (not (= 0 (car (cdr args)))))
+          (quotient (car args) (car (cdr args))))
+         ((and (eq? op 'remainder) (pair? args) (pair? (cdr args))
+               (null? (cdr (cdr args))) (not (= 0 (car (cdr args)))))
+          (remainder (car args) (car (cdr args))))
+         ((and (eq? op '<) (pair? args) (pair? (cdr args)))
+          (if (apply < args) 1 0))
+         ((and (eq? op '=) (pair? args) (pair? (cdr args)))
+          (if (apply = args) 1 0))
+         ((and (eq? op 'min) (pair? args)) (apply min args))
+         ((and (eq? op 'max) (pair? args)) (apply max args))
+         (else 'err))))
+    (else 'err)))
+
+(define (answer line)
+  (cond
+    ((string=? line "PING") "PONG")
+    ((starts-with? line "EVAL ")
+     (let ((d (string->datum (substring line 5 (string-length line)))))
+       (if (eof-object? d)
+           "ERR"
+           (let ((v (safe-eval d)))
+             (if (eq? v 'err) "ERR" (number->string v))))))
+    (else "ERR")))
+
+;; One green thread per request: it writes the reply (parking if the
+;; socket is full) and bumps the RequestsServed counter.
+(define (handle-request conn line)
+  (io-write conn (string-append (answer line) "\n"))
+  (serve-request-done!))
+
+;; One green thread per connection.  QUIT answers BYE and closes the
+;; listener, which wakes the parked acceptor with the EOF object.
+(define (conn-loop conn)
+  (let ((line (io-read-line conn)))
+    (cond
+      ((eof-object? line) (io-close conn))
+      ((string=? line "QUIT")
+       (io-write conn "BYE\n")
+       (io-close conn)
+       (io-close *listener*))
+      (else
+       (channel-send! %tokens 1)
+       (thread-join (spawn (lambda () (handle-request conn line))))
+       (channel-recv %tokens)
+       (conn-loop conn)))))
+
+(define (acceptor)
+  (let ((conn (io-accept *listener*)))
+    (if (eof-object? conn)
+        'closed
+        (begin
+          (spawn (lambda () (conn-loop conn)))
+          (acceptor)))))
+
+(spawn acceptor)
+(scheduler-run *preempt*)
+)scheme";
+}
+
+bool Server::start() {
+  if (Thr.joinable()) {
+    Err = "server already running";
+    return false;
+  }
+  I = std::make_unique<Interp>(Opt.VmCfg);
+
+  // The listener is created host-side so the bound (possibly ephemeral)
+  // port is known before the serving thread even starts; the Scheme
+  // program receives it as an already-open port id.
+  uint16_t P = Opt.Port;
+  std::string E;
+  int Fd = openListener(P, Opt.Backlog, E);
+  if (Fd < 0) {
+    Err = "io-listen: " + E;
+    I.reset();
+    return false;
+  }
+  VM &M = I->vm();
+  uint32_t Lid = M.reactor().addPort(Fd, Port::Kind::Listener);
+  M.reactor().port(Lid)->setTcpPort(P);
+  BoundPort = P;
+
+  I->defineGlobal("*listener*", Value::fixnum(Lid));
+  I->defineGlobal("*max-inflight*", Value::fixnum(Opt.MaxInflight));
+  I->defineGlobal("*preempt*", Value::fixnum(Opt.PreemptInterval));
+  Baseline = I->stats();
+
+  Thr = std::thread([this] { R = I->eval(serveSource()); });
+  return true;
+}
+
+void Server::stop() {
+  if (!Thr.joinable())
+    return;
+  // The graceful path is in-protocol: QUIT makes its connection thread
+  // close the listener, the acceptor sees EOF and exits, and once every
+  // connection is gone scheduler-run completes and eval returns.
+  Client C;
+  std::string E;
+  if (C.connect(BoundPort, E)) {
+    std::string Reply;
+    C.request("QUIT", Reply);
+    C.close();
+  }
+  Thr.join();
+}
+
+void Server::wait() {
+  if (Thr.joinable())
+    Thr.join();
+}
+
+Server::~Server() { stop(); }

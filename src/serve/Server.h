@@ -1,0 +1,98 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The continuation-per-request eval server (src/serve).
+///
+/// A Server embeds one Interp and runs a Scheme serving program inside it:
+/// an acceptor green thread io-accepts loopback connections, and every
+/// connection gets its own green thread speaking a newline-delimited
+/// protocol.  Each time a request thread waits for bytes it parks on a
+/// one-shot continuation; each wake reinstates it with zero stack words
+/// copied — the paper's cheap control transfer carrying a server's whole
+/// concurrency story.  Backpressure is the existing bounded Channel: the
+/// connection loop takes a token from a channel of capacity MaxInflight
+/// before spawning a handler and returns it after, so at most MaxInflight
+/// requests are in flight.
+///
+/// Protocol (one request per line, one reply line per request):
+///   PING            -> PONG
+///   EVAL <sexpr>    -> the fixnum result, or ERR (fixnum arithmetic only)
+///   QUIT            -> BYE, then the server closes its listener and stops
+///   anything else   -> ERR
+///
+/// Threading: the Scheme program runs on one std::thread (the VM is
+/// single-threaded); clients are other OS threads or processes talking TCP.
+/// stats() is safe to read only after stop() joined that thread.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OSC_SERVE_SERVER_H
+#define OSC_SERVE_SERVER_H
+
+#include "core/Config.h"
+#include "support/Stats.h"
+#include "vm/Interp.h"
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+
+namespace osc {
+
+class Server {
+public:
+  struct Options {
+    uint16_t Port = 0;          ///< 0 picks an ephemeral loopback port.
+    int MaxInflight = 64;       ///< Backpressure bound (channel capacity).
+    int64_t PreemptInterval = 0; ///< Scheduler slice; 0 = cooperative.
+    int Backlog = 128;
+    Config VmCfg;               ///< Control-representation knobs, incl. the
+                                ///< SchedOneShotSwitch baseline shim.
+  };
+
+  explicit Server(Options O) : Opt(std::move(O)) {}
+  ~Server();
+  Server(const Server &) = delete;
+  Server &operator=(const Server &) = delete;
+
+  /// Creates the interpreter and the listening socket and starts the
+  /// serving program on its own std::thread.  False (with error()) if the
+  /// socket could not be created.
+  bool start();
+  /// Connects, sends QUIT, waits for BYE and joins the serving thread.
+  /// Idempotent.  All client connections should be closed by then.
+  void stop();
+  /// Joins the serving thread without initiating shutdown: returns when
+  /// some client's QUIT (or a server error) ends the serving program.
+  void wait();
+
+  bool running() const { return Thr.joinable(); }
+  uint16_t tcpPort() const { return BoundPort; }
+  const std::string &error() const { return Err; }
+
+  /// Counters at start(), before any request ran: diff stats() against
+  /// this to measure only the serving work.
+  const Stats &baseline() const { return Baseline; }
+  /// Live counters.  Only safe to read after stop().
+  const Stats &stats() const { return I->stats(); }
+  /// The serving program's eval result.  Only meaningful after stop().
+  const Interp::Result &result() const { return R; }
+
+  /// The Scheme serving program (exposed for tests; expects the globals
+  /// *listener*, *max-inflight* and *preempt* to be bound).
+  static const char *serveSource();
+
+private:
+  Options Opt;
+  std::unique_ptr<Interp> I;
+  std::thread Thr;
+  Interp::Result R;
+  Stats Baseline;
+  uint16_t BoundPort = 0;
+  std::string Err;
+};
+
+} // namespace osc
+
+#endif // OSC_SERVE_SERVER_H

@@ -35,6 +35,14 @@ std::string Stats::toString() const {
   OSC_STAT(RunQueuePeak);
   OSC_STAT(ThreadsSpawned);
   OSC_STAT(ChannelMessages);
+  OSC_STAT(ChannelsClosed);
+  OSC_STAT(IoParks);
+  OSC_STAT(IoWakes);
+  OSC_STAT(IoWaitPeak);
+  OSC_STAT(BytesRead);
+  OSC_STAT(BytesWritten);
+  OSC_STAT(AcceptedConnections);
+  OSC_STAT(RequestsServed);
 #undef OSC_STAT
   return OS.str();
 }

@@ -63,6 +63,19 @@ struct Stats {
   uint64_t RunQueuePeak = 0;       ///< High-water mark of the ready queue.
   uint64_t ThreadsSpawned = 0;     ///< Green threads ever created.
   uint64_t ChannelMessages = 0;    ///< Values accepted into a channel.
+  uint64_t ChannelsClosed = 0;     ///< channel-close! calls that closed.
+
+  // I/O reactor (src/io) and serving layer (src/serve).  IoParks is the
+  // denominator of the serving layer's headline metric: WordsCopied delta
+  // divided by IoParks must be zero in steady state (each park/resume is a
+  // one-shot capture + one-shot invoke; nothing is memcpy'd).
+  uint64_t IoParks = 0;              ///< Threads parked awaiting readiness.
+  uint64_t IoWakes = 0;              ///< Parked threads handed back ready.
+  uint64_t IoWaitPeak = 0;           ///< High-water mark of parked threads.
+  uint64_t BytesRead = 0;            ///< Bytes moved fd -> input buffers.
+  uint64_t BytesWritten = 0;         ///< Bytes moved output buffers -> fd.
+  uint64_t AcceptedConnections = 0;  ///< Connections accepted by io-accept.
+  uint64_t RequestsServed = 0;       ///< serve-request-done! calls.
 
   /// Renders all counters, one "name value" pair per line.
   std::string toString() const;

@@ -52,6 +52,14 @@ const char *osc::traceEventName(TraceEvent E) {
     return "sched-block";
   case TraceEvent::SchedWake:
     return "sched-wake";
+  case TraceEvent::IoWait:
+    return "io-wait";
+  case TraceEvent::IoReady:
+    return "io-ready";
+  case TraceEvent::Accept:
+    return "accept";
+  case TraceEvent::ChanClose:
+    return "chan-close";
   }
   oscUnreachable("bad TraceEvent");
 }

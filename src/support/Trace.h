@@ -66,6 +66,17 @@ enum class TraceEvent : uint8_t {
                ///< p1=thread id (absent for finish).
   SchedBlock,  ///< Thread parked. p0=new ThreadState, p1=thread id.
   SchedWake,   ///< Blocked/sleeping thread made runnable. p0=thread id.
+
+  // I/O reactor (src/io).  Payloads carry port ids, never raw fds — fd
+  // numbers depend on what the OS recycles and would break run-to-run
+  // trace equality.
+  IoWait,    ///< Thread parked on fd readiness. p0=port id, p1=IoOp,
+             ///< p2=thread id.
+  IoReady,   ///< Parked operation completed and its thread woken.
+             ///< p0=port id, p1=IoOp, p2=thread id.
+  Accept,    ///< Connection accepted. p0=listener port id, p1=new port id.
+  ChanClose, ///< channel-close!. p0=channel id, p1=receivers woken,
+             ///< p2=senders woken.
 };
 
 /// Stable, kebab-case event name ("capture-multi", "sched-switch", ...).

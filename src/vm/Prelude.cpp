@@ -188,6 +188,21 @@ const char *osc::preludeSource() {
 (define (channel-send! ch v) (%chan-send ch v))
 (define (channel-recv ch) (%chan-recv ch))
 
+;; --- ports and the I/O reactor (src/io) --------------------------------------
+;;
+;; Port handles are fixnums like threads and channels.  Inside a green
+;; thread, io-read-line / io-write / io-accept park the thread on fd
+;; readiness (a one-shot capture; resuming copies no stack words); outside
+;; the scheduler they block the whole program.  io-read-line returns the
+;; EOF object at end of stream, io-accept returns it when the listener is
+;; closed, and channel-recv returns it on a closed, drained channel.
+
+(define (eof-object) *eof*)
+(define (eof-object? x) (eq? x *eof*))
+(define (io-read-line p) (%io-read-line p))
+(define (io-write p s) (%io-write p s))
+(define (io-accept p) (%io-accept p))
+
 (define (positive? x) (> x 0))
 (define (negative? x) (< x 0))
 

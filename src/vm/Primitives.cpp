@@ -1,8 +1,10 @@
 #include "vm/VM.h"
 
+#include "io/Reactor.h"
 #include "object/ListUtil.h"
 #include "sched/Scheduler.h"
 #include "sexp/Printer.h"
+#include "sexp/Reader.h"
 
 #include <algorithm>
 #include <chrono>
@@ -667,6 +669,22 @@ Value primVmStat(VM &Vm, Value *A, uint32_t) {
     V = St.ThreadsSpawned;
   else if (N == "channel-messages")
     V = St.ChannelMessages;
+  else if (N == "channels-closed")
+    V = St.ChannelsClosed;
+  else if (N == "io-parks")
+    V = St.IoParks;
+  else if (N == "io-wakes")
+    V = St.IoWakes;
+  else if (N == "io-wait-peak")
+    V = St.IoWaitPeak;
+  else if (N == "bytes-read")
+    V = St.BytesRead;
+  else if (N == "bytes-written")
+    V = St.BytesWritten;
+  else if (N == "accepted-connections")
+    V = St.AcceptedConnections;
+  else if (N == "requests-served")
+    V = St.RequestsServed;
   else
     return Vm.fail("vm-stat: unknown counter: " + std::string(N));
   return Value::fixnum(static_cast<int64_t>(V));
@@ -800,6 +818,156 @@ Value primChanCapacity(VM &Vm, Value *A, uint32_t) {
   return Value::fixnum(Ch->capacity());
 }
 
+Value primChanClose(VM &Vm, Value *A, uint32_t) {
+  Channel *Ch =
+      A[0].isFixnum() ? Vm.scheduler().channel(A[0].asFixnum()) : nullptr;
+  if (!Ch)
+    return Vm.fail("channel-close!: not a channel: " + writeToString(A[0]));
+  if (Ch->closed())
+    return Value::unspecified(); // Idempotent.
+  Channel::CloseResult R = Ch->close();
+  Vm.stats().ChannelsClosed += 1;
+  Trace &T = Vm.trace();
+  if (T.enabled())
+    T.emit(TraceEvent::ChanClose, Ch->id(), R.Receivers.size(),
+           R.Senders.size());
+  // Wake everyone parked on the channel, in park order: receivers resume
+  // with the EOF sentinel (the values their senders carried are handed
+  // out first by the normal refill path, so nothing is reordered), and
+  // senders are poisoned with a trappable error — their value has nowhere
+  // to go.
+  Scheduler &Sc = Vm.scheduler();
+  for (uint32_t Tid : R.Receivers)
+    Sc.wake(*Sc.lookup(Tid), Vm.eofObject());
+  for (const Channel::PendingSend &P : R.Senders) {
+    Scheduler::Thread *St = Sc.lookup(P.Tid);
+    St->PendingError = "channel-send!: channel " + std::to_string(Ch->id()) +
+                       " was closed while a send was parked";
+    Sc.wake(*St, Value::unspecified());
+  }
+  return Value::unspecified();
+}
+Value primChanClosedP(VM &Vm, Value *A, uint32_t) {
+  Channel *Ch =
+      A[0].isFixnum() ? Vm.scheduler().channel(A[0].asFixnum()) : nullptr;
+  if (!Ch)
+    return Vm.fail("channel-closed?: not a channel: " + writeToString(A[0]));
+  return Value::boolean(Ch->closed());
+}
+
+// --- Ports and the I/O reactor (src/io) --------------------------------------
+//
+// Port handles are fixnum ids into the reactor's table, mirroring thread
+// and channel handles.  The blocking operations (%io-read-line, %io-write,
+// %io-accept) are specials dispatched in the VM loop; everything below
+// never parks and runs as an ordinary native.
+
+Value primOpenPipe(VM &Vm, Value *, uint32_t) {
+  int R = -1, W = -1;
+  std::string Err;
+  if (!openPipePair(R, W, Err))
+    return Vm.fail("open-pipe: " + Err);
+  Reactor &Rx = Vm.reactor();
+  uint32_t Rid = Rx.addPort(R, Port::Kind::Stream);
+  uint32_t Wid = Rx.addPort(W, Port::Kind::Stream);
+  return cons(Vm.heap(), Value::fixnum(Rid), Value::fixnum(Wid));
+}
+Value primOpenSocketpair(VM &Vm, Value *, uint32_t) {
+  int A = -1, B = -1;
+  std::string Err;
+  if (!openSocketPairFds(A, B, Err))
+    return Vm.fail("open-socketpair: " + Err);
+  Reactor &Rx = Vm.reactor();
+  uint32_t Aid = Rx.addPort(A, Port::Kind::Stream);
+  uint32_t Bid = Rx.addPort(B, Port::Kind::Stream);
+  return cons(Vm.heap(), Value::fixnum(Aid), Value::fixnum(Bid));
+}
+Value primIoListen(VM &Vm, Value *A, uint32_t N) {
+  uint16_t Port16 = 0;
+  if (N == 1) {
+    if (!A[0].isFixnum() || A[0].asFixnum() < 0 || A[0].asFixnum() > 65535)
+      return Vm.fail("io-listen: port must be a fixnum in 0..65535");
+    Port16 = static_cast<uint16_t>(A[0].asFixnum());
+  }
+  std::string Err;
+  int Fd = openListener(Port16, /*Backlog=*/128, Err);
+  if (Fd < 0)
+    return Vm.fail("io-listen: " + Err);
+  uint32_t Id = Vm.reactor().addPort(Fd, Port::Kind::Listener);
+  Vm.reactor().port(Id)->setTcpPort(Port16);
+  return Value::fixnum(Id);
+}
+Port *portArg(VM &Vm, const char *Who, Value V) {
+  Port *P = V.isFixnum() ? Vm.reactor().port(V.asFixnum()) : nullptr;
+  if (!P)
+    Vm.fail(std::string(Who) + ": not a port: " + writeToString(V));
+  return P;
+}
+Value primIoTcpPort(VM &Vm, Value *A, uint32_t) {
+  Port *P = portArg(Vm, "io-tcp-port", A[0]);
+  if (!P)
+    return Value::unspecified();
+  return Value::fixnum(P->tcpPort());
+}
+Value primIoClose(VM &Vm, Value *A, uint32_t) {
+  Port *P = portArg(Vm, "io-close", A[0]);
+  if (!P)
+    return Value::unspecified();
+  Vm.ioClosePort(P);
+  return Value::unspecified();
+}
+Value primIoClosedP(VM &Vm, Value *A, uint32_t) {
+  Port *P = portArg(Vm, "io-closed?", A[0]);
+  if (!P)
+    return Value::unspecified();
+  return Value::boolean(P->closed());
+}
+Value primStringToDatum(VM &Vm, Value *A, uint32_t) {
+  auto *S = dynObj<String>(A[0]);
+  if (!S)
+    return Vm.fail("string->datum: not a string: " + writeToString(A[0]));
+  ReadResult R = readDatum(Vm.heap(), S->view());
+  // Both unreadable text and an empty string read as the EOF object, so
+  // protocol code can funnel every malformed request into one branch.
+  if (!R.Ok || R.AtEof)
+    return Vm.eofObject();
+  return R.Datum;
+}
+Value primServeRequestDone(VM &Vm, Value *, uint32_t) {
+  Vm.stats().RequestsServed += 1;
+  return Value::unspecified();
+}
+Value primSchedStats(VM &Vm, Value *, uint32_t) {
+  const Stats &St = Vm.stats();
+  Heap &H = Vm.heap();
+  Value L = Value::nil();
+  auto Add = [&](const char *Name, uint64_t V) {
+    Value P = cons(H, Value::object(H.intern(Name)),
+                   Value::fixnum(static_cast<int64_t>(V)));
+    L = cons(H, P, L);
+  };
+  // Pushed in reverse so the alist reads front-to-back in this order.
+  Add("words-copied", St.WordsCopied);
+  Add("one-shot-invokes", St.OneShotInvokes);
+  Add("one-shot-captures", St.OneShotCaptures);
+  Add("bytes-written", St.BytesWritten);
+  Add("bytes-read", St.BytesRead);
+  Add("requests-served", St.RequestsServed);
+  Add("accepted-connections", St.AcceptedConnections);
+  Add("io-wait-peak", St.IoWaitPeak);
+  Add("io-wakes", St.IoWakes);
+  Add("io-parks", St.IoParks);
+  Add("run-queue-peak", St.RunQueuePeak);
+  Add("channels-closed", St.ChannelsClosed);
+  Add("channel-messages", St.ChannelMessages);
+  Add("channel-blocks", St.ChannelBlocks);
+  Add("voluntary-yields", St.VoluntaryYields);
+  Add("preemptive-switches", St.PreemptiveSwitches);
+  Add("context-switches", St.ContextSwitches);
+  Add("threads-spawned", St.ThreadsSpawned);
+  return L;
+}
+
 Value noFn(VM &Vm, Value *, uint32_t) {
   return Vm.fail("special native invoked outside the dispatch loop");
 }
@@ -828,6 +996,11 @@ void osc::installPrimitives(VM &Vm) {
   Vm.defineNative("%sleep", noFn, 1, 1, NativeSpecial::SchedSleep);
   Vm.defineNative("%chan-send", noFn, 2, 2, NativeSpecial::ChanSend);
   Vm.defineNative("%chan-recv", noFn, 1, 1, NativeSpecial::ChanRecv);
+
+  // I/O specials: these may park the calling thread on fd readiness.
+  Vm.defineNative("%io-read-line", noFn, 1, 1, NativeSpecial::IoReadLine);
+  Vm.defineNative("%io-write", noFn, 2, 2, NativeSpecial::IoWrite);
+  Vm.defineNative("%io-accept", noFn, 1, 1, NativeSpecial::IoAccept);
 
   // Numbers.
   Def("+", primAdd, 0, -1);
@@ -980,4 +1153,20 @@ void osc::installPrimitives(VM &Vm) {
   Def("channel-try-recv", primChanTryRecv, 1, 1);
   Def("channel-length", primChanLength, 1, 1);
   Def("channel-capacity", primChanCapacity, 1, 1);
+  Def("channel-close!", primChanClose, 1, 1);
+  Def("channel-closed?", primChanClosedP, 1, 1);
+  Def("sched-stats", primSchedStats, 0, 0);
+
+  // Ports and the I/O reactor (non-parking halves).
+  Def("open-pipe", primOpenPipe, 0, 0);
+  Def("open-socketpair", primOpenSocketpair, 0, 0);
+  Def("io-listen", primIoListen, 0, 1);
+  Def("io-tcp-port", primIoTcpPort, 1, 1);
+  Def("io-close", primIoClose, 1, 1);
+  Def("io-closed?", primIoClosedP, 1, 1);
+  Def("string->datum", primStringToDatum, 1, 1);
+  Def("serve-request-done!", primServeRequestDone, 0, 0);
+
+  // The EOF sentinel (also what channel-recv yields on a closed channel).
+  Vm.defineGlobal("*eof*", Vm.eofObject());
 }

@@ -2,6 +2,7 @@
 
 #include "compiler/Bytecode.h"
 #include "core/FrameWalk.h"
+#include "io/Reactor.h"
 #include "object/ListUtil.h"
 #include "sched/Scheduler.h"
 #include "sexp/Printer.h"
@@ -46,6 +47,11 @@ VM::VM(Heap &H, Stats &S, const Config &Cfg)
   Guard->Size = -1;
   Guard->SegSize = -1;
   ThreadGuard = Value::object(Guard);
+
+  Rx = std::make_unique<Reactor>();
+  // The EOF sentinel is an interned symbol the reader cannot produce
+  // ("#<" is a read error), so (eq? x *eof*) is a safe end-of-stream test.
+  EofObj = Value::object(H.intern("#<eof>"));
 }
 
 VM::~VM() {
@@ -89,6 +95,7 @@ void VM::traceRoots(GCVisitor &V) {
   V.visit(FinalValue);
   V.visit(TimerHandler);
   V.visit(ThreadGuard);
+  V.visit(EofObj);
   V.visitRange(MultiVals.data(), MultiVals.size());
   Sched->traceRoots(V);
 }
@@ -264,7 +271,7 @@ bool VM::enterClosure(Closure *Cl, uint32_t NArgs) {
       // Scheduler: same capture, but the VM parks the thread and
       // reinstates the next one directly — no Scheme handler runs.
       S.PreemptiveSwitches += 1;
-      Value K = CS.captureOneShot(CS.Top, CurCodeVal, 1);
+      Value K = schedCapture(CS.Top, CurCodeVal, 1);
       schedSuspendAndDispatch(K, Value::unspecified(), ThreadState::Ready);
     }
   }
@@ -357,6 +364,12 @@ Value VM::captureSiteOneShot(Site St) {
   Value RetC;
   int64_t RetP;
   siteCapturePoint(St, Boundary, RetC, RetP);
+  return schedCapture(Boundary, RetC, RetP);
+}
+
+Value VM::schedCapture(uint32_t Boundary, Value RetC, int64_t RetP) {
+  if (!Cfg.SchedOneShotSwitch)
+    return CS.captureMultiShot(Boundary, RetC, RetP);
   return CS.captureOneShot(Boundary, RetC, RetP);
 }
 
@@ -495,6 +508,15 @@ void VM::enterCall(Value Callee, std::vector<Value> Args, Site St) {
       case NativeSpecial::ChanRecv:
         chanRecv(Args[0], St);
         return;
+      case NativeSpecial::IoReadLine:
+        ioReadLine(Args[0], St);
+        return;
+      case NativeSpecial::IoWrite:
+        ioWrite(Args[0], Args[1], St);
+        return;
+      case NativeSpecial::IoAccept:
+        ioAccept(Args[0], St);
+        return;
       }
       oscUnreachable("bad NativeSpecial");
     }
@@ -590,6 +612,15 @@ void VM::schedDispatch() {
     }
     case Scheduler::Next::Resume: {
       Scheduler::Thread &T = *N.T;
+      if (!T.PendingError.empty()) {
+        // The operation this thread was parked on failed underneath it
+        // (channel closed under a parked send, EPIPE under a parked
+        // write).  Raise it as the run's error, like any in-thread error.
+        std::string E = T.PendingError;
+        abortScheduler();
+        fail(E);
+        return;
+      }
       if (T.Resume.identical(ThreadGuard)) {
         // The thread was suspended at its own base frame (its capture
         // degenerated to the chain link): waking it means returning the
@@ -624,8 +655,20 @@ void VM::schedDispatch() {
       return;
     }
     case Scheduler::Next::Deadlock: {
+      if (Rx->waiterCount() > 0) {
+        // Not a structural deadlock: threads are parked on fd readiness,
+        // which an external peer (or another port in this program) can
+        // still provide.  Block in poll(2) until one wakes.
+        if (ioPollAndWake(Cfg.IoPollTimeoutMs))
+          continue;
+        size_t NParked = Rx->waiterCount();
+        abortScheduler();
+        fail("io: poll timed out with " + std::to_string(NParked) +
+             " thread(s) parked on I/O");
+        return;
+      }
       uint32_t NBlocked = Sched->blockedCount();
-      Sched->abortRun();
+      abortScheduler();
       fail("scheduler: deadlock: " + std::to_string(NBlocked) +
            " thread(s) blocked with an empty run queue");
       return;
@@ -732,6 +775,10 @@ void VM::chanSend(Value ChV, Value V, Site St) {
     fail("channel-send!: not a channel: " + writeToString(ChV));
     return;
   }
+  if (Ch->closed()) {
+    fail("channel-send!: channel " + std::to_string(Ch->id()) + " is closed");
+    return;
+  }
   Channel::SendResult R = Ch->trySend(V);
   switch (R.K) {
   case Channel::SendResult::Delivered: {
@@ -780,6 +827,12 @@ void VM::chanRecv(Value ChV, Site St) {
     nativeReturn(R.V, St);
     return;
   }
+  if (Ch->closed()) {
+    // A closed channel reads like a stream at end: the buffer (already
+    // drained above) then EOF forever.
+    nativeReturn(EofObj, St);
+    return;
+  }
   if (!Sched->inThread()) {
     fail("channel-recv: channel " + std::to_string(Ch->id()) +
          " is empty and no scheduler is running");
@@ -789,6 +842,253 @@ void VM::chanRecv(Value ChV, Site St) {
   Ch->blockReceiver(Sched->current()->Id);
   Value K = captureSiteOneShot(St);
   schedSuspendAndDispatch(K, Value::unspecified(), ThreadState::Blocked);
+}
+
+// --- I/O reactor glue (src/io) ----------------------------------------------
+//
+// The same park shape as a channel block, with fd readiness as the wake
+// condition: try the non-blocking half; if it would block inside a green
+// thread, register a PendingIo with the reactor, capture the rest of the
+// thread one-shot and dispatch away.  When the run queue drains the
+// dispatch loop polls the reactor, re-runs the non-blocking half of each
+// ready operation (ioComplete) and wakes its thread — a reinstatement
+// that, like every native context switch, copies zero stack words.  The
+// main computation (no scheduler) blocks inline in poll(2) instead.
+
+namespace {
+
+/// The port argument of an I/O primitive, or null after VM::fail.
+Port *ioPortArg(VM &Vm, const char *Who, Value PortV, Port::Kind Want) {
+  Port *P = PortV.isFixnum() ? Vm.reactor().port(PortV.asFixnum()) : nullptr;
+  if (!P) {
+    Vm.fail(std::string(Who) + ": not a port: " + writeToString(PortV));
+    return nullptr;
+  }
+  if (P->kind() != Want) {
+    Vm.fail(std::string(Who) + ": port " + std::to_string(P->id()) +
+            (Want == Port::Kind::Listener ? " is not a listener"
+                                          : " is a listener, not a stream"));
+    return nullptr;
+  }
+  return P;
+}
+
+} // namespace
+
+void VM::ioPark(Port *P, int OpRaw, Site St) {
+  S.IoParks += 1;
+  uint32_t Tid = Sched->current()->Id;
+  OSC_TRACE(&Tr, TraceEvent::IoWait, P->id(), static_cast<uint64_t>(OpRaw),
+            Tid);
+  Rx->park(Tid, P->id(), static_cast<IoOp>(OpRaw));
+  if (Rx->waiterCount() > S.IoWaitPeak)
+    S.IoWaitPeak = Rx->waiterCount();
+  Value K = captureSiteOneShot(St);
+  schedSuspendAndDispatch(K, Value::unspecified(), ThreadState::Blocked);
+}
+
+void VM::ioReadLine(Value PortV, Site St) {
+  Port *P = ioPortArg(*this, "io-read-line", PortV, Port::Kind::Stream);
+  if (!P)
+    return;
+  for (;;) {
+    std::string Line;
+    if (P->takeLine(Line)) {
+      nativeReturn(Value::object(H.allocString(Line)), St);
+      return;
+    }
+    if (P->closed() || P->atEof()) {
+      nativeReturn(EofObj, St);
+      return;
+    }
+    Port::Io R = P->fillInput(S.BytesRead);
+    if (R == Port::Io::Error) {
+      fail("io-read-line: port " + std::to_string(P->id()) + ": " +
+           P->lastError());
+      return;
+    }
+    if (R == Port::Io::WouldBlock) {
+      if (Sched->inThread()) {
+        ioPark(P, static_cast<int>(IoOp::ReadLine), St);
+        return;
+      }
+      if (!pollOneFd(P->fd(), /*ForWrite=*/false, Cfg.IoPollTimeoutMs)) {
+        fail("io-read-line: timed out waiting on port " +
+             std::to_string(P->id()));
+        return;
+      }
+    }
+    // Progress or Eof: retry takeLine on the refilled buffer.
+  }
+}
+
+void VM::ioWrite(Value PortV, Value StrV, Site St) {
+  Port *P = ioPortArg(*this, "io-write", PortV, Port::Kind::Stream);
+  if (!P)
+    return;
+  auto *Str = dynObj<String>(StrV);
+  if (!Str) {
+    fail("io-write: not a string: " + writeToString(StrV));
+    return;
+  }
+  P->queueOutput(Str->view());
+  for (;;) {
+    Port::Io R = P->flushOutput(S.BytesWritten);
+    if (R == Port::Io::Progress) {
+      nativeReturn(Value::unspecified(), St);
+      return;
+    }
+    if (R == Port::Io::Error) {
+      fail("io-write: port " + std::to_string(P->id()) + ": " +
+           P->lastError());
+      return;
+    }
+    if (Sched->inThread()) {
+      ioPark(P, static_cast<int>(IoOp::Write), St);
+      return;
+    }
+    if (!pollOneFd(P->fd(), /*ForWrite=*/true, Cfg.IoPollTimeoutMs)) {
+      fail("io-write: timed out waiting on port " + std::to_string(P->id()));
+      return;
+    }
+  }
+}
+
+void VM::ioAccept(Value PortV, Site St) {
+  Port *P = ioPortArg(*this, "io-accept", PortV, Port::Kind::Listener);
+  if (!P)
+    return;
+  for (;;) {
+    if (P->closed()) {
+      nativeReturn(EofObj, St); // Listener closed: the accept loop is over.
+      return;
+    }
+    int NewFd = P->acceptConn();
+    if (NewFd >= 0) {
+      uint32_t NewId = Rx->addPort(NewFd, Port::Kind::Stream);
+      S.AcceptedConnections += 1;
+      OSC_TRACE(&Tr, TraceEvent::Accept, P->id(), NewId);
+      nativeReturn(Value::fixnum(NewId), St);
+      return;
+    }
+    if (NewFd == -2) {
+      fail("io-accept: port " + std::to_string(P->id()) + ": " +
+           P->lastError());
+      return;
+    }
+    if (Sched->inThread()) {
+      ioPark(P, static_cast<int>(IoOp::Accept), St);
+      return;
+    }
+    if (!pollOneFd(P->fd(), /*ForWrite=*/false, Cfg.IoPollTimeoutMs)) {
+      fail("io-accept: timed out waiting on port " + std::to_string(P->id()));
+      return;
+    }
+  }
+}
+
+bool VM::ioComplete(const PendingIo &P) {
+  Scheduler::Thread *T = Sched->lookup(P.Tid);
+  if (!T || T->State != ThreadState::Blocked)
+    return false; // Stale waiter (its thread was dropped by an abort).
+  Port *Pt = Rx->port(P.PortId);
+
+  auto WakeWith = [&](Value V) {
+    S.IoWakes += 1;
+    OSC_TRACE(&Tr, TraceEvent::IoReady, P.PortId,
+              static_cast<uint64_t>(P.Op), P.Tid);
+    Sched->wake(*T, V);
+    return true;
+  };
+  auto Poison = [&](const std::string &E) {
+    T->PendingError = E;
+    return WakeWith(Value::unspecified());
+  };
+
+  switch (P.Op) {
+  case IoOp::ReadLine: {
+    std::string Line;
+    if (Pt->takeLine(Line))
+      return WakeWith(Value::object(H.allocString(Line)));
+    if (Pt->closed() || Pt->atEof())
+      return WakeWith(EofObj);
+    Port::Io R = Pt->fillInput(S.BytesRead);
+    if (Pt->takeLine(Line))
+      return WakeWith(Value::object(H.allocString(Line)));
+    if (R == Port::Io::Eof)
+      return WakeWith(EofObj); // No terminated tail either: end of stream.
+    if (R == Port::Io::Error)
+      return Poison("io-read-line: port " + std::to_string(Pt->id()) + ": " +
+                    Pt->lastError());
+    Rx->repark(P); // Bytes (or none) but no full line yet.
+    return false;
+  }
+  case IoOp::Write: {
+    if (Pt->closed())
+      return Poison("io-write: port " + std::to_string(Pt->id()) +
+                    " was closed while a write was parked");
+    Port::Io R = Pt->flushOutput(S.BytesWritten);
+    if (R == Port::Io::Progress)
+      return WakeWith(Value::unspecified());
+    if (R == Port::Io::Error)
+      return Poison("io-write: port " + std::to_string(Pt->id()) + ": " +
+                    Pt->lastError());
+    Rx->repark(P);
+    return false;
+  }
+  case IoOp::Accept: {
+    if (Pt->closed())
+      return WakeWith(EofObj);
+    int NewFd = Pt->acceptConn();
+    if (NewFd >= 0) {
+      uint32_t NewId = Rx->addPort(NewFd, Port::Kind::Stream);
+      S.AcceptedConnections += 1;
+      OSC_TRACE(&Tr, TraceEvent::Accept, Pt->id(), NewId);
+      return WakeWith(Value::fixnum(NewId));
+    }
+    if (NewFd == -2)
+      return Poison("io-accept: port " + std::to_string(Pt->id()) + ": " +
+                    Pt->lastError());
+    Rx->repark(P);
+    return false;
+  }
+  }
+  oscUnreachable("bad IoOp");
+}
+
+bool VM::ioPollAndWake(int TimeoutMs) {
+  while (Rx->waiterCount() > 0) {
+    std::vector<PendingIo> Ready = Rx->takeReady(TimeoutMs);
+    if (Ready.empty())
+      return false; // Timed out.
+    bool Woke = false;
+    for (const PendingIo &P : Ready)
+      Woke |= ioComplete(P);
+    if (Woke)
+      return true;
+    // Every ready operation re-parked (e.g. bytes arrived but no complete
+    // line): poll again for more.
+  }
+  return false;
+}
+
+void VM::ioClosePort(Port *P) {
+  if (!P)
+    return;
+  // Wake everyone parked on this port first: with the fd closed, each
+  // completion sees EOF (readers drain any buffered tail), and parked
+  // writers are poisoned with a trappable error.
+  std::vector<PendingIo> Ws = Rx->takeWaitersFor(P->id());
+  P->closeNow();
+  // A closed port never re-parks: every completion wakes (or the waiter
+  // was stale and its thread already gone).
+  for (const PendingIo &W : Ws)
+    ioComplete(W);
+}
+
+void VM::abortScheduler() {
+  Sched->abortRun();
+  Rx->clearWaiters(); // Their threads were just dropped.
 }
 
 // --- The interpreter loop ---------------------------------------------------------
@@ -806,7 +1106,7 @@ VM::RunResult VM::run(Code *Toplevel) {
   PreemptTick = 0;
   PreemptCursor = 0;
   if (Sched->active())
-    Sched->abortRun(); // A previous run died mid-switch; drop its threads.
+    abortScheduler(); // A previous run died mid-switch; drop its threads.
 
   try {
     CS.reset();
@@ -824,7 +1124,7 @@ VM::RunResult VM::run(Code *Toplevel) {
          std::to_string(F.Ordinal) + ", " +
          std::to_string(F.RequestedWords) + " words)");
     if (Sched->active())
-      Sched->abortRun();
+      abortScheduler();
     Cur = nullptr; // The backtrace walk is not meaningful mid-surgery.
   }
 
@@ -1039,7 +1339,7 @@ void VM::interpLoop() {
           // and reinstates whatever runs next — no Scheme handler, no
           // fresh base frame, zero stack words copied.
           S.PreemptiveSwitches += 1;
-          Value K = CS.captureOneShot(CS.Fp, RetC, RetP);
+          Value K = schedCapture(CS.Fp, RetC, RetP);
           schedSuspendAndDispatch(K, V, ThreadState::Ready);
           break;
         }

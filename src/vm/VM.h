@@ -33,6 +33,9 @@ namespace osc {
 class Scheduler;
 struct SchedContext;
 enum class ThreadState : uint8_t;
+class Reactor;
+class Port;
+struct PendingIo;
 
 class VM : public RootProvider {
 public:
@@ -127,6 +130,22 @@ public:
 
   Scheduler &scheduler() { return *Sched; }
 
+  // --- I/O reactor (src/io) --------------------------------------------------
+  //
+  // io-read-line / io-write / io-accept on a fd that is not ready park the
+  // running green thread exactly like a channel block: a one-shot capture,
+  // a PendingIo registered with the reactor, and a zero-copy reinstatement
+  // when poll(2) reports readiness.  Performed by the main computation
+  // (outside scheduler-run) the same operations block inline instead.
+
+  Reactor &reactor() { return *Rx; }
+  /// The interned EOF sentinel (what io-read-line yields at end of stream
+  /// and channel-recv yields on a closed empty channel).
+  Value eofObject() const { return EofObj; }
+  /// Wakes every thread parked on \p P (readers/acceptors complete with the
+  /// buffered tail or EOF; writers get a trappable error), then closes it.
+  void ioClosePort(Port *P);
+
   /// Binds \p Name's global to \p V.
   void defineGlobal(std::string_view Name, Value V);
   /// Registers a native procedure under \p Name.
@@ -175,6 +194,10 @@ private:
   /// Captures the rest of the current computation as a one-shot
   /// continuation, as if the call at \p S were a call/1cc.
   Value captureSiteOneShot(Site S);
+  /// The capture every scheduler context switch uses: one-shot normally,
+  /// multi-shot under the Config::SchedOneShotSwitch=false baseline shim
+  /// (whose reinstatements then copy the suspended frames back).
+  Value schedCapture(uint32_t Boundary, Value RetCode, int64_t RetPc);
   /// Returns \p V from the native call at \p S without a context switch.
   void nativeReturn(Value V, Site S);
   void schedSaveContext(SchedContext &C);
@@ -190,6 +213,23 @@ private:
   void schedSleep(Value TicksV, Site S);
   void chanSend(Value ChV, Value V, Site S);
   void chanRecv(Value ChV, Site S);
+
+  // Reactor glue (VM.cpp, "I/O reactor" section).
+  void ioReadLine(Value PortV, Site S);
+  void ioWrite(Value PortV, Value StrV, Site S);
+  void ioAccept(Value PortV, Site S);
+  /// Parks the current thread on (\p P, \p Op): registers the waiter,
+  /// captures the continuation at \p S one-shot and dispatches away.
+  void ioPark(Port *P, int OpRaw, Site S);
+  /// Retries the non-blocking half of a parked operation whose fd became
+  /// ready; wakes the thread with the result, or re-parks.  Returns true
+  /// when a thread was woken (or poisoned with a pending error).
+  bool ioComplete(const PendingIo &P);
+  /// Runs the reactor until at least one parked thread wakes; false on
+  /// poll timeout.
+  bool ioPollAndWake(int TimeoutMs);
+  /// abortRun plus dropping the reactor's waiters (their threads are gone).
+  void abortScheduler();
   uint32_t calleeNeed(Value Callee, uint32_t NArgs) const;
   /// Walks the logical stack innermost-first: current window frames, then
   /// each continuation in the chain, bounded by \p MaxFrames.
@@ -241,6 +281,10 @@ private:
                      ///< an underflow (or base-frame capture) that reaches
                      ///< it is recognized as thread exit.
   Symbol *WindersSym = nullptr; ///< Interned *winders*, swapped per thread.
+
+  // I/O reactor state.
+  std::unique_ptr<Reactor> Rx;
+  Value EofObj; ///< Interned "#<eof>" symbol (unreadable, so unforgeable).
 };
 
 /// Installs the standard primitive library into \p Vm (Primitives.cpp).

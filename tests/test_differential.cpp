@@ -290,6 +290,39 @@ const Program Programs[] = {
      "(spawn (lambda () (spin 300)))"
      "(spawn (lambda () (spin 300)))"
      "(scheduler-run 25)"},
+    {"io-pipe-escape",
+     // A call/1cc escape captured before an I/O park and invoked after
+     // the resume: the exit crosses a parked one-shot continuation.
+     "(define p (open-pipe))"
+     "(define rd (car p)) (define wr (cdr p))"
+     "(define (read-until-stop)"
+     "  (call/1cc (lambda (stop)"
+     "    (let loop ((acc 0))"
+     "      (let ((l (io-read-line rd)))"
+     "        (cond ((eof-object? l) (stop (- acc)))"
+     "              ((string=? l \"STOP\") (stop acc))"
+     "              (else (loop (+ acc (string-length l))))))))))"
+     "(define t (spawn read-until-stop))"
+     "(spawn (lambda ()"
+     "  (io-write wr \"abc\n\")"
+     "  (io-write wr \"de\n\")"
+     "  (io-write wr \"STOP\n\")"
+     "  (io-close wr)))"
+     "(scheduler-run)"
+     "(thread-join t)"},
+    {"channel-close-escape",
+     "(define ch (make-channel 1))"
+     "(define out '())"
+     "(spawn (lambda ()"
+     "  (call/1cc (lambda (done)"
+     "    (let loop ()"
+     "      (let ((v (channel-recv ch)))"
+     "        (if (eof-object? v) (done 'fin)"
+     "            (begin (set! out (cons v out)) (loop)))))))))"
+     "(spawn (lambda ()"
+     "  (channel-send! ch 1) (channel-send! ch 2) (channel-close! ch)))"
+     "(scheduler-run)"
+     "(reverse out)"},
     {"reentrant-multishot-alongside",
      // call/cc reentry stays legal beside 1cc escapes: the shim must not
      // change how many times the multi-shot part re-enters.

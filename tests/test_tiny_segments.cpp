@@ -199,6 +199,49 @@ const Program Programs[] = {
      "(scheduler-run)"
      "got",
      "(ping pong)"},
+    // A thread parked on I/O while its continuation spans several split
+    // 32-word segments: the one-shot resume must reinstate it
+    // byte-identically (the +1 tower proves every frame survived).
+    {"io-park-deep",
+     "(define p (open-pipe))"
+     "(define rd (car p)) (define wr (cdr p))"
+     "(define (deep n)"
+     "  (if (zero? n)"
+     "      (string-length (io-read-line rd))"
+     "      (+ 1 (deep (- n 1)))))"
+     "(define t (spawn (lambda () (deep 40))))"
+     "(spawn (lambda () (io-write wr \"hello\n\")))"
+     "(scheduler-run)"
+     "(thread-join t)",
+     "45"},
+    {"io-pipe-lines",
+     "(define p (open-pipe))"
+     "(define rd (car p)) (define wr (cdr p))"
+     "(define got '())"
+     "(define t (spawn (lambda ()"
+     "  (let loop ()"
+     "    (let ((l (io-read-line rd)))"
+     "      (if (eof-object? l) (reverse got)"
+     "          (begin (set! got (cons l got)) (loop))))))))"
+     "(spawn (lambda ()"
+     "  (io-write wr \"alpha\n\") (yield)"
+     "  (io-write wr \"beta\n\") (io-close wr)))"
+     "(scheduler-run)"
+     "(thread-join t)",
+     "(\"alpha\" \"beta\")"},
+    {"io-channel-close",
+     "(define ch (make-channel 2))"
+     "(channel-send! ch 'x)"
+     "(define drained '())"
+     "(spawn (lambda ()"
+     "  (let loop ()"
+     "    (let ((v (channel-recv ch)))"
+     "      (if (eof-object? v) 'done"
+     "          (begin (set! drained (cons v drained)) (loop)))))))"
+     "(spawn (lambda () (channel-send! ch 'y) (channel-close! ch)))"
+     "(scheduler-run)"
+     "(list drained (channel-closed? ch))",
+     "((y x) #t)"},
 };
 
 class TinySegments
