@@ -9,7 +9,7 @@
 #define OSC_BENCH_BENCHCOMMON_H
 
 #include "support/Diag.h"
-#include "vm/Interp.h"
+#include "osc.h"
 
 #include <cstdio>
 #include <cstdlib>

@@ -1,0 +1,206 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The sharded-pool benchmark: the same PING/EVAL traffic as bench_serve,
+/// but served by Pool with 1, 2 and 4 workers.  Each worker is a whole
+/// Interp + Reactor on its own OS thread, so throughput should scale
+/// near-linearly with the shard count — while the paper's invariant holds
+/// on every shard independently: zero stack words copied per steady-state
+/// park.
+///
+/// Two checks gate the run:
+///
+///   * per-shard zero-copy (always enforced): no worker in any column may
+///     copy a single stack word while serving;
+///   * scaling (enforced only with >= 5 hardware threads and not in
+///     OSC_BENCH_FAST mode): 4 workers must deliver >= 2.5x the
+///     single-worker throughput.  The ratio is always printed and always
+///     lands in the JSON, so constrained CI boxes still record it.
+///
+/// Usage: bench_pool [--json <path>]      (OSC_BENCH_FAST=1 for a smoke run)
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+#include "osc.h"
+
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+using namespace osc;
+using namespace osc::bench;
+
+namespace {
+
+constexpr int Clients = 64;
+
+struct Column {
+  int Workers = 0;
+  uint64_t Requests = 0;
+  double Ms = 0;
+  uint64_t IoParks = 0;
+  uint64_t WordsCopied = 0;
+  uint64_t Accepted = 0;
+  std::vector<uint64_t> ShardWordsCopied; ///< Per worker — all must be 0.
+  std::vector<uint64_t> ShardRequests;
+
+  double requestsPerSec() const { return Ms > 0 ? Requests / (Ms / 1e3) : 0; }
+};
+
+/// One full round: every client sends, then every client reads.  All
+/// `Clients` requests are in flight at once, spread across the shards.
+void oneRound(std::vector<Client> &Cs, int Round) {
+  for (int K = 0; K < Clients; ++K) {
+    bool Ok = Cs[K].sendLine(K % 2 ? "PING"
+                                   : "EVAL (+ " + std::to_string(K) + " " +
+                                         std::to_string(Round) + ")");
+    if (!Ok)
+      oscFatal("bench_pool: send failed");
+  }
+  for (int K = 0; K < Clients; ++K) {
+    std::string Reply;
+    if (!Cs[K].recvLine(Reply))
+      oscFatal("bench_pool: no reply");
+    std::string Want = K % 2 ? "PONG" : std::to_string(K + Round);
+    if (Reply != Want)
+      oscFatal(
+          ("bench_pool: bad reply: got " + Reply + " want " + Want).c_str());
+  }
+}
+
+Column runColumn(int Workers, int Rounds) {
+  Pool::Options O;
+  O.Workers = Workers;
+  O.MaxInflight = Clients;
+  Pool P(O);
+  if (!P.start())
+    oscFatal(("bench_pool: " + P.error().Message).c_str());
+
+  std::vector<Client> Cs(Clients);
+  std::string E;
+  for (int K = 0; K < Clients; ++K)
+    if (!Cs[K].connect(P.tcpPort(), E))
+      oscFatal(("bench_pool: connect: " + E).c_str());
+
+  oneRound(Cs, 0); // Warmup: every conn placed, spawned and parked once.
+  auto T0 = std::chrono::steady_clock::now();
+  for (int R = 1; R <= Rounds; ++R)
+    oneRound(Cs, R);
+  auto T1 = std::chrono::steady_clock::now();
+
+  for (Client &C : Cs)
+    C.close();
+  P.stop();
+  if (!P.error().ok())
+    oscFatal(("bench_pool: pool error: " + P.error().Message).c_str());
+
+  Column Col;
+  Col.Workers = Workers;
+  Col.Requests = uint64_t(Rounds) * Clients; // Timed rounds only.
+  Col.Ms = std::chrono::duration<double>(T1 - T0).count() * 1e3;
+  Stats::Snapshot D = P.snapshot() - P.baseline();
+  Col.IoParks = D.IoParks;
+  Col.WordsCopied = D.WordsCopied;
+  Col.Accepted = D.AcceptedConnections;
+  for (int W = 0; W < Workers; ++W) {
+    Stats::Snapshot S = P.snapshot(W) - P.baseline(W);
+    Col.ShardWordsCopied.push_back(S.WordsCopied);
+    Col.ShardRequests.push_back(S.RequestsServed);
+  }
+  return Col;
+}
+
+void writeJson(const std::string &Path, const std::vector<Column> &Cols,
+               double Scaling, bool ScalingEnforced) {
+  std::ofstream Out(Path);
+  if (!Out.good())
+    oscFatal(("bench_pool: cannot write " + Path).c_str());
+  Out << "{\n  \"name\": \"bench_pool\",\n  \"clients\": " << Clients
+      << ",\n  \"scaling_4v1\": " << Scaling
+      << ",\n  \"scaling_enforced\": " << (ScalingEnforced ? "true" : "false")
+      << ",\n  \"columns\": [\n";
+  for (size_t K = 0; K < Cols.size(); ++K) {
+    const Column &C = Cols[K];
+    Out << "    {\n"
+        << "      \"workers\": " << C.Workers << ",\n"
+        << "      \"requests\": " << C.Requests << ",\n"
+        << "      \"elapsed_ms\": " << C.Ms << ",\n"
+        << "      \"requests_per_sec\": " << C.requestsPerSec() << ",\n"
+        << "      \"io_parks\": " << C.IoParks << ",\n"
+        << "      \"accepted\": " << C.Accepted << ",\n"
+        << "      \"words_copied\": " << C.WordsCopied << ",\n"
+        << "      \"shard_words_copied\": [";
+    for (size_t W = 0; W < C.ShardWordsCopied.size(); ++W)
+      Out << (W ? ", " : "") << C.ShardWordsCopied[W];
+    Out << "],\n      \"shard_requests\": [";
+    for (size_t W = 0; W < C.ShardRequests.size(); ++W)
+      Out << (W ? ", " : "") << C.ShardRequests[W];
+    Out << "]\n    }" << (K + 1 < Cols.size() ? "," : "") << "\n";
+  }
+  Out << "  ]\n}\n";
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  std::string JsonPath;
+  for (int K = 1; K < Argc; ++K) {
+    std::string A = Argv[K];
+    if (A == "--json" && K + 1 < Argc)
+      JsonPath = Argv[++K];
+  }
+
+  const int Rounds = fastMode() ? 5 : 100;
+  const unsigned Cores = std::thread::hardware_concurrency();
+  std::printf("Sharded pool: %d clients, %d rounds per column, %u hardware "
+              "thread(s).\n\n",
+              Clients, Rounds, Cores);
+
+  std::vector<Column> Cols;
+  for (int W : {1, 2, 4})
+    Cols.push_back(runColumn(W, Rounds));
+
+  std::printf("%8s %10s %10s %12s %10s %14s\n", "workers", "requests", "ms",
+              "req/s", "io-parks", "words-copied");
+  for (const Column &C : Cols)
+    std::printf("%8d %10llu %10.1f %12.0f %10llu %14llu\n", C.Workers,
+                static_cast<unsigned long long>(C.Requests), C.Ms,
+                C.requestsPerSec(), static_cast<unsigned long long>(C.IoParks),
+                static_cast<unsigned long long>(C.WordsCopied));
+
+  // Per-shard zero-copy: the paper's invariant must hold on every worker
+  // of every column, not just in aggregate.
+  for (const Column &C : Cols)
+    for (size_t W = 0; W < C.ShardWordsCopied.size(); ++W)
+      if (C.ShardWordsCopied[W] != 0)
+        oscFatal(("bench_pool: worker " + std::to_string(W) + " of the " +
+                  std::to_string(C.Workers) +
+                  "-worker column copied stack words while serving")
+                     .c_str());
+
+  double Scaling = Cols[0].requestsPerSec() > 0
+                       ? Cols[2].requestsPerSec() / Cols[0].requestsPerSec()
+                       : 0;
+  // The scaling assertion needs real parallelism: 4 worker threads + the
+  // acceptor need at least 5 hardware threads to run concurrently, and
+  // fast mode's few rounds are all warmup noise.
+  const bool EnforceScaling = Cores >= 5 && !fastMode();
+  std::printf("\n4-worker vs 1-worker throughput: %.2fx (%s)\n", Scaling,
+              EnforceScaling ? "enforced: must be >= 2.5"
+                             : "informational on this machine");
+  if (EnforceScaling && Scaling < 2.5)
+    oscFatal("bench_pool: 4 workers delivered < 2.5x the single-worker "
+             "throughput; sharding has regressed");
+
+  std::printf("Check passed: every shard of every column served with 0 "
+              "stack words copied.\n");
+  if (!JsonPath.empty()) {
+    writeJson(JsonPath, Cols, Scaling, EnforceScaling);
+    std::printf("Wrote %s\n", JsonPath.c_str());
+  }
+  return 0;
+}

@@ -23,8 +23,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "BenchCommon.h"
-#include "serve/Client.h"
-#include "serve/Server.h"
+#include "osc.h"
 
 #include <chrono>
 #include <cstdio>
@@ -84,7 +83,7 @@ Column runColumn(const char *Name, bool OneShot, int Rounds) {
   O.VmCfg.SchedOneShotSwitch = OneShot;
   Server S(O);
   if (!S.start())
-    oscFatal(("bench_serve: " + S.error()).c_str());
+    oscFatal(("bench_serve: " + S.error().Message).c_str());
 
   std::vector<Client> Cs(Clients);
   std::string E;
@@ -104,8 +103,8 @@ Column runColumn(const char *Name, bool OneShot, int Rounds) {
   if (!S.result().Ok)
     oscFatal(("bench_serve: server error: " + S.result().Error).c_str());
 
-  const Stats &St = S.stats();
-  const Stats &B = S.baseline();
+  Stats::Snapshot St = S.snapshot();
+  const Stats::Snapshot &B = S.baseline();
   Column Col;
   Col.Name = Name;
   Col.OneShot = OneShot;

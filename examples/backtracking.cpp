@@ -10,7 +10,7 @@
 ///
 //===----------------------------------------------------------------------===//
 
-#include "vm/Interp.h"
+#include "osc.h"
 
 #include <cstdio>
 

@@ -17,7 +17,7 @@
 ///
 //===----------------------------------------------------------------------===//
 
-#include "serve/Server.h"
+#include "osc.h"
 
 #include <cstdio>
 #include <cstdlib>
@@ -32,7 +32,7 @@ int main(int argc, char **argv) {
 
   Server S(O);
   if (!S.start()) {
-    std::fprintf(stderr, "eval_server: %s\n", S.error().c_str());
+    std::fprintf(stderr, "eval_server: %s\n", S.error().Message.c_str());
     return 1;
   }
   std::printf("eval server listening on 127.0.0.1:%u\n", S.tcpPort());
@@ -45,8 +45,8 @@ int main(int argc, char **argv) {
     std::fprintf(stderr, "eval_server: %s\n", S.result().Error.c_str());
     return 1;
   }
-  const Stats &St = S.stats();
-  const Stats &B = S.baseline();
+  Stats::Snapshot St = S.snapshot();
+  const Stats::Snapshot &B = S.baseline();
   uint64_t Parks = St.IoParks - B.IoParks;
   std::printf("served %llu request(s) over %llu connection(s); "
               "%llu parks, %llu stack words copied.\n",

@@ -16,7 +16,7 @@
 ///
 //===----------------------------------------------------------------------===//
 
-#include "vm/Interp.h"
+#include "osc.h"
 
 #include <cstdio>
 

@@ -7,7 +7,7 @@
 ///
 //===----------------------------------------------------------------------===//
 
-#include "vm/Interp.h"
+#include "osc.h"
 
 #include <cstdio>
 

@@ -11,7 +11,7 @@
 ///
 //===----------------------------------------------------------------------===//
 
-#include "vm/Interp.h"
+#include "osc.h"
 
 #include <cstdio>
 #include <cstring>

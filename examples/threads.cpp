@@ -12,7 +12,7 @@
 ///
 //===----------------------------------------------------------------------===//
 
-#include "vm/Interp.h"
+#include "osc.h"
 
 #include <cstdio>
 

@@ -1,0 +1,43 @@
+#include "io/ConnQueue.h"
+
+#include <unistd.h>
+
+using namespace osc;
+
+ConnQueue::~ConnQueue() {
+  for (int Fd : Fds)
+    ::close(Fd);
+}
+
+bool ConnQueue::push(int Fd) {
+  std::lock_guard<std::mutex> L(Mu);
+  if (IsClosed)
+    return false;
+  Fds.push_back(Fd);
+  return true;
+}
+
+ConnQueue::Pop ConnQueue::pop() {
+  std::lock_guard<std::mutex> L(Mu);
+  if (!Fds.empty()) {
+    Pop Out{Fds.front(), false};
+    Fds.pop_front();
+    return Out;
+  }
+  return Pop{-1, IsClosed};
+}
+
+void ConnQueue::close() {
+  std::lock_guard<std::mutex> L(Mu);
+  IsClosed = true;
+}
+
+bool ConnQueue::closed() const {
+  std::lock_guard<std::mutex> L(Mu);
+  return IsClosed;
+}
+
+size_t ConnQueue::size() const {
+  std::lock_guard<std::mutex> L(Mu);
+  return Fds.size();
+}

@@ -1,0 +1,63 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Cross-thread connection handoff queue for the serving pool (src/serve).
+///
+/// The pool's accept thread pushes accepted fds; one worker VM pops them
+/// from its `io-take-conn` primitive.  This is the only mutex in the I/O
+/// path and it guards a few pointers per connection — every per-request
+/// park/wake stays lock-free on the worker's own thread.
+///
+/// Close semantics mirror Channel's channel-close!: after close() no new
+/// fd is accepted, but fds already queued drain first; pop() reports
+/// Closed only once the queue is empty.  Fds still queued at destruction
+/// are close(2)d — the queue owns an fd from push() until pop() hands it
+/// over.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OSC_IO_CONNQUEUE_H
+#define OSC_IO_CONNQUEUE_H
+
+#include <cstddef>
+#include <deque>
+#include <mutex>
+
+namespace osc {
+
+class ConnQueue {
+public:
+  /// Outcome of one pop attempt.
+  struct Pop {
+    int Fd = -1;         ///< Valid (>= 0) when a connection was dequeued.
+    bool Closed = false; ///< Queue closed *and* drained; no more ever.
+  };
+
+  ConnQueue() = default;
+  ~ConnQueue();
+  ConnQueue(const ConnQueue &) = delete;
+  ConnQueue &operator=(const ConnQueue &) = delete;
+
+  /// Enqueues a connection fd.  Returns false (without taking ownership)
+  /// when the queue is already closed.
+  bool push(int Fd);
+
+  /// Dequeues the oldest connection if any; otherwise reports whether the
+  /// queue is closed-and-drained ({-1, true}) or merely empty ({-1, false}).
+  Pop pop();
+
+  /// Stops accepting new fds.  Queued fds still drain via pop().
+  void close();
+
+  bool closed() const;
+  size_t size() const;
+
+private:
+  mutable std::mutex Mu;
+  std::deque<int> Fds;
+  bool IsClosed = false;
+};
+
+} // namespace osc
+
+#endif // OSC_IO_CONNQUEUE_H

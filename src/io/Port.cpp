@@ -17,12 +17,17 @@ std::string errnoMessage(const char *What) {
   return std::string(What) + ": " + std::strerror(errno);
 }
 
-bool setNonBlocking(int Fd) {
+} // namespace
+
+bool osc::makeNonBlocking(int Fd) {
   int Flags = ::fcntl(Fd, F_GETFL, 0);
   return Flags >= 0 && ::fcntl(Fd, F_SETFL, Flags | O_NONBLOCK) == 0;
 }
 
-} // namespace
+Port::Port(uint32_t Id, int Fd, Kind K, AdoptFd) : Id(Id), Fd(Fd), K(K) {
+  if (Fd >= 0 && !makeNonBlocking(Fd))
+    Err = errnoMessage("fcntl");
+}
 
 bool Port::takeLine(std::string &Out) {
   size_t Nl = InBuf.find('\n');
@@ -98,7 +103,7 @@ int Port::acceptConn() {
   for (;;) {
     int NewFd = ::accept(Fd, nullptr, nullptr);
     if (NewFd >= 0) {
-      if (!setNonBlocking(NewFd)) {
+      if (!makeNonBlocking(NewFd)) {
         ::close(NewFd);
         Err = errnoMessage("fcntl");
         return -2;
@@ -134,7 +139,7 @@ bool osc::openPipePair(int &ReadFd, int &WriteFd, std::string &Err) {
     Err = errnoMessage("pipe");
     return false;
   }
-  if (!setNonBlocking(Fds[0]) || !setNonBlocking(Fds[1])) {
+  if (!makeNonBlocking(Fds[0]) || !makeNonBlocking(Fds[1])) {
     Err = errnoMessage("fcntl");
     ::close(Fds[0]);
     ::close(Fds[1]);
@@ -151,7 +156,7 @@ bool osc::openSocketPairFds(int &A, int &B, std::string &Err) {
     Err = errnoMessage("socketpair");
     return false;
   }
-  if (!setNonBlocking(Fds[0]) || !setNonBlocking(Fds[1])) {
+  if (!makeNonBlocking(Fds[0]) || !makeNonBlocking(Fds[1])) {
     Err = errnoMessage("fcntl");
     ::close(Fds[0]);
     ::close(Fds[1]);
@@ -175,7 +180,7 @@ int osc::openListener(uint16_t &Port, int Backlog, std::string &Err) {
   Addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
   Addr.sin_port = htons(Port);
   if (::bind(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof Addr) != 0 ||
-      ::listen(Fd, Backlog) != 0 || !setNonBlocking(Fd)) {
+      ::listen(Fd, Backlog) != 0 || !makeNonBlocking(Fd)) {
     Err = errnoMessage("bind/listen");
     ::close(Fd);
     return -1;

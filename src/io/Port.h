@@ -30,6 +30,8 @@ public:
   enum class Kind : uint8_t {
     Stream,   ///< Bidirectional byte stream (pipe end, socketpair, TCP).
     Listener, ///< Listening loopback TCP socket; only acceptConn applies.
+    Wakeup,   ///< Read end of the reactor's cross-thread self-pipe; becomes
+              ///< readable when another thread calls Reactor::notify().
   };
 
   /// Outcome of one non-blocking attempt.
@@ -40,7 +42,18 @@ public:
     Error,      ///< Hard failure; lastError() has the message.
   };
 
+  /// Tag for the adopting constructor below.
+  struct AdoptFd {};
+
+  /// Wraps an fd the src/io factories created (already non-blocking).
   Port(uint32_t Id, int Fd, Kind K) : Id(Id), Fd(Fd), K(K) {}
+
+  /// Adopts a live fd that originated *outside* src/io — e.g. a connection
+  /// accepted on another thread and handed to this reactor.  Takes
+  /// ownership and switches the fd to non-blocking (every Port invariant
+  /// assumes O_NONBLOCK; an inherited blocking fd would stall the VM).
+  Port(uint32_t Id, int Fd, Kind K, AdoptFd);
+
   ~Port() { closeNow(); }
   Port(const Port &) = delete;
   Port &operator=(const Port &) = delete;
@@ -104,6 +117,9 @@ private:
 
 /// pipe(2).  Returns false and sets \p Err on failure.
 bool openPipePair(int &ReadFd, int &WriteFd, std::string &Err);
+
+/// Puts an existing fd into non-blocking mode.
+bool makeNonBlocking(int Fd);
 
 /// socketpair(2), AF_UNIX stream: both ends bidirectional.
 bool openSocketPairFds(int &A, int &B, std::string &Err);

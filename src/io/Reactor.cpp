@@ -5,6 +5,7 @@
 #include <csignal>
 
 #include <poll.h>
+#include <unistd.h>
 
 using namespace osc;
 
@@ -16,6 +17,8 @@ const char *osc::ioOpName(IoOp Op) {
     return "write";
   case IoOp::Accept:
     return "accept";
+  case IoOp::TakeConn:
+    return "take-conn";
   }
   return "?";
 }
@@ -31,10 +34,65 @@ Reactor::Reactor() {
   }
 }
 
+Reactor::~Reactor() {
+  if (WakeWriteFd >= 0)
+    ::close(WakeWriteFd);
+}
+
 uint32_t Reactor::addPort(int Fd, Port::Kind K) {
   uint32_t Id = static_cast<uint32_t>(Ports.size());
   Ports.push_back(std::make_unique<Port>(Id, Fd, K));
   return Id;
+}
+
+uint32_t Reactor::addAdoptedPort(int Fd, Port::Kind K) {
+  uint32_t Id = static_cast<uint32_t>(Ports.size());
+  Ports.push_back(std::make_unique<Port>(Id, Fd, K, Port::AdoptFd{}));
+  return Id;
+}
+
+bool Reactor::hasWaiter(IoOp Op) const {
+  for (const PendingIo &W : Waiters)
+    if (W.Op == Op)
+      return true;
+  return false;
+}
+
+bool Reactor::enableWakeup(std::string &Err) {
+  if (WakePortId >= 0)
+    return true;
+  int ReadFd = -1, WriteFd = -1;
+  if (!openPipePair(ReadFd, WriteFd, Err))
+    return false;
+  WakePortId = addPort(ReadFd, Port::Kind::Wakeup);
+  WakeWriteFd = WriteFd;
+  return true;
+}
+
+void Reactor::notify() {
+  if (WakeWriteFd < 0)
+    return;
+  char B = 1;
+  for (;;) {
+    ssize_t N = ::write(WakeWriteFd, &B, 1);
+    if (N >= 0 || errno != EINTR)
+      return; // EAGAIN: pipe full, already readable — mission accomplished.
+  }
+}
+
+void Reactor::drainWakeup() {
+  Port *P = WakePortId >= 0 ? port(WakePortId) : nullptr;
+  if (!P || P->closed())
+    return;
+  char Buf[256];
+  for (;;) {
+    ssize_t N = ::read(P->fd(), Buf, sizeof Buf);
+    if (N > 0)
+      continue;
+    if (N < 0 && errno == EINTR)
+      continue;
+    return; // Empty (EAGAIN) or EOF/error: nothing more to discard.
+  }
 }
 
 void Reactor::park(uint32_t Tid, uint32_t PortId, IoOp Op) {

@@ -37,6 +37,8 @@ enum class IoOp : uint8_t {
   ReadLine, ///< io-read-line: a full line (or EOF) in the input buffer.
   Write,    ///< io-write: the output buffer fully flushed.
   Accept,   ///< io-accept: one pending connection.
+  TakeConn, ///< io-take-conn: a handed-off fd in the pool's ConnQueue;
+            ///< parks on the wakeup port, not on a connection fd.
 };
 
 const char *ioOpName(IoOp Op);
@@ -57,13 +59,17 @@ public:
   /// Ignores SIGPIPE process-wide (once): broken-pipe writes must surface
   /// as EPIPE errors on the port, not kill the host.
   Reactor();
-  ~Reactor() = default;
+  ~Reactor();
   Reactor(const Reactor &) = delete;
   Reactor &operator=(const Reactor &) = delete;
 
   // --- Port table (fixnum ids, like threads and channels) -------------------
 
   uint32_t addPort(int Fd, Port::Kind K);
+
+  /// Adopts an fd created outside src/io (switched to non-blocking; see
+  /// Port's adopting constructor) into the port table.
+  uint32_t addAdoptedPort(int Fd, Port::Kind K);
   Port *port(int64_t Id) {
     if (Id < 0 || static_cast<size_t>(Id) >= Ports.size())
       return nullptr;
@@ -80,6 +86,9 @@ public:
   void repark(const PendingIo &P) { Waiters.push_back(P); }
   size_t waiterCount() const { return Waiters.size(); }
 
+  /// True when at least one parked operation is an \p Op.
+  bool hasWaiter(IoOp Op) const;
+
   /// poll(2)s the waiters' fds for up to \p TimeoutMs (negative = forever)
   /// and removes-and-returns every waiter whose fd is ready, sorted by
   /// (port id, seq).  Empty result means the poll timed out (or there was
@@ -94,10 +103,39 @@ public:
   /// Drops all waiters (scheduler abort; parked threads are gone).
   void clearWaiters() { Waiters.clear(); }
 
+  // --- Cross-thread wakeup (self-pipe) --------------------------------------
+  //
+  // A reactor normally belongs entirely to one VM thread; poll(2) only
+  // returns when one of *its own* fds goes ready.  The serving pool needs
+  // to hand work to a worker blocked in poll, so the reactor can own a
+  // self-pipe: the read end sits in the port table as a Kind::Wakeup port
+  // (pollable and parkable like any other), and notify() — the ONLY
+  // Reactor entry point that is safe from other threads — makes it
+  // readable by writing one byte to the write end.
+
+  /// Creates the self-pipe and its Wakeup port.  Idempotent.  Returns
+  /// false and sets \p Err on failure.
+  bool enableWakeup(std::string &Err);
+
+  /// Thread-safe: makes the wakeup port readable.  One byte per call; a
+  /// full pipe (EAGAIN) is fine — the port is already readable.
+  void notify();
+
+  /// Reads and discards everything buffered in the self-pipe.  Must be
+  /// called from the reactor's own thread *before* checking the condition
+  /// the notification advertised (drain-then-check, so a notify landing
+  /// after the check is never lost).
+  void drainWakeup();
+
+  /// Port id of the Wakeup port, or -1 when enableWakeup was never called.
+  int64_t wakeupPortId() const { return WakePortId; }
+
 private:
   std::vector<std::unique_ptr<Port>> Ports; ///< Index == port id.
   std::vector<PendingIo> Waiters;
   uint64_t NextSeq = 0;
+  int64_t WakePortId = -1; ///< Index of the Wakeup port, -1 if disabled.
+  int WakeWriteFd = -1;    ///< Write end of the self-pipe (reactor-owned).
 };
 
 } // namespace osc

@@ -187,6 +187,8 @@ enum class NativeSpecial : uint8_t {
   IoReadLine,     ///< %io-read-line — may park until a line arrives
   IoWrite,        ///< %io-write — may park until the fd drains
   IoAccept,       ///< %io-accept — may park until a connection arrives
+  IoTakeConn,     ///< %io-take-conn — may park until the pool hands off a
+                  ///< connection (or its ConnQueue closes)
 };
 
 struct Native : ObjHeader {

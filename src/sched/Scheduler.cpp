@@ -78,6 +78,7 @@ void Scheduler::abortRun() {
     T->Ctx = SchedContext();
     T->Joiners.clear();
     T->PendingError.clear();
+    T->PendingErrorKind = ErrorKind::Runtime;
   }
   Live = 0;
   ReadyQ.clear();

@@ -34,6 +34,7 @@
 
 #include "object/Value.h"
 #include "sched/Channel.h"
+#include "support/Error.h"
 #include "support/Stats.h"
 #include "support/Trace.h"
 
@@ -83,6 +84,8 @@ public:
     std::string PendingError; ///< Nonempty: raise this instead of resuming
                               ///< (e.g. the channel closed under a parked
                               ///< send, or a parked write hit EPIPE).
+    ErrorKind PendingErrorKind =
+        ErrorKind::Runtime; ///< Classification raised with PendingError.
   };
 
   /// What the VM should transfer control to next.

@@ -15,6 +15,11 @@ bool Client::connect(uint16_t Port, std::string &Err) {
   return Fd >= 0;
 }
 
+void Client::adopt(int NewFd) {
+  close();
+  Fd = NewFd;
+}
+
 bool Client::sendLine(const std::string &Line) {
   if (Fd < 0)
     return false;

@@ -35,6 +35,11 @@ public:
   /// Blocking connect to 127.0.0.1:\p Port.
   bool connect(uint16_t Port, std::string &Err);
 
+  /// Takes ownership of an already-connected fd (e.g. one end of a
+  /// socketpair handed to a specific pool worker), closing any previous
+  /// connection first.
+  void adopt(int NewFd);
+
   /// Writes \p Line plus a newline, retrying until everything is out.
   bool sendLine(const std::string &Line);
 

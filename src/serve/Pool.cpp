@@ -1,0 +1,227 @@
+#include "serve/Pool.h"
+
+#include "io/ConnQueue.h"
+#include "io/Port.h"
+#include "io/Reactor.h"
+#include "serve/Server.h"
+
+#include <cerrno>
+#include <sstream>
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+using namespace osc;
+
+// The worker program: the shared protocol core, an on-quit that tears
+// down nothing beyond the connection (pool shutdown is host-driven, by
+// closing the handoff queue), and a take-conn accept loop.
+const char *Pool::workerSource() {
+  static const std::string Src =
+      std::string(Server::protocolSource()) + R"scheme(
+(define (on-quit) 'ok)
+
+;; The shard's accept loop: every io-take-conn parks this green thread on
+;; the reactor's wakeup port until the host hands over a connection;
+;; EOF means the queue closed — wind down.
+(define (worker-loop)
+  (let ((conn (io-take-conn)))
+    (if (eof-object? conn)
+        'closed
+        (begin
+          (spawn (lambda () (conn-loop conn)))
+          (worker-loop)))))
+
+(spawn worker-loop)
+(scheduler-run *preempt*)
+)scheme";
+  return Src.c_str();
+}
+
+// Out of line so Worker's members (unique_ptr over the forward-declared
+// ConnQueue) only need a complete type here.
+Pool::Pool(Options O) : Opt(std::move(O)) {}
+
+bool Pool::start() {
+  if (running()) {
+    Err = {ErrorKind::Runtime, "pool already running"};
+    return false;
+  }
+  Ws.clear();
+  Stopping.store(false, std::memory_order_relaxed);
+  Err = Error();
+
+  if (Opt.Workers < 1) {
+    Err = {ErrorKind::Runtime, "pool needs at least one worker"};
+    return false;
+  }
+
+  uint16_t P = Opt.Port;
+  std::string E;
+  ListenFd = openListener(P, Opt.Backlog, E);
+  if (ListenFd < 0) {
+    Err = {ErrorKind::Io, "io-listen: " + E};
+    return false;
+  }
+  BoundPort = P;
+
+  const char *Program = Opt.Program ? Opt.Program : workerSource();
+  for (int N = 0; N != Opt.Workers; ++N) {
+    auto W = std::make_unique<Worker>();
+    W->I = std::make_unique<Interp>(Opt.VmCfg);
+    W->Q = std::make_unique<ConnQueue>();
+    if (!W->I->vm().attachConnQueue(W->Q.get(), E)) {
+      Err = {ErrorKind::Io, "worker " + std::to_string(N) + ": " + E};
+      Ws.clear();
+      ::close(ListenFd);
+      ListenFd = -1;
+      return false;
+    }
+    W->I->defineGlobal("*max-inflight*", Value::fixnum(Opt.MaxInflight));
+    W->I->defineGlobal("*preempt*", Value::fixnum(Opt.PreemptInterval));
+    if (Opt.TraceWorkers)
+      W->I->trace().start();
+    W->Base = W->I->snapshot();
+    Ws.push_back(std::move(W));
+  }
+
+  // Interps exist and queues are attached before any thread starts, so a
+  // worker thread never sees a half-built pool.
+  for (auto &W : Ws) {
+    Worker *Wp = W.get();
+    Wp->Thr = std::thread([Wp, Program] { Wp->R = Wp->I->eval(Program); });
+  }
+  Acceptor = std::thread([this] { acceptLoop(); });
+  return true;
+}
+
+void Pool::acceptLoop() {
+  // Poll with a short timeout instead of blocking in accept(2): closing a
+  // listener out from under a blocked accept is not a portable wakeup, a
+  // poll deadline is.
+  while (!Stopping.load(std::memory_order_relaxed)) {
+    if (!pollOneFd(ListenFd, /*ForWrite=*/false, /*TimeoutMs=*/50))
+      continue;
+    int Fd = ::accept(ListenFd, nullptr, nullptr);
+    if (Fd < 0) {
+      if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK ||
+          errno == ECONNABORTED)
+        continue;
+      return; // Listener gone (shutdown) or unrecoverable.
+    }
+    Error E = handoff(leastLoaded(), Fd);
+    if (E)
+      ::close(Fd);
+  }
+}
+
+int Pool::leastLoaded() const {
+  int Best = 0;
+  uint64_t BestLoad = ~uint64_t{0};
+  for (int N = 0; N != workers(); ++N) {
+    const Worker &W = *Ws[static_cast<size_t>(N)];
+    // Queue depth + live connections.  The counters are the shard's own
+    // relaxed atomics; a transiently stale read just means a slightly
+    // imperfect placement, never a lost connection.
+    const Stats &S = W.I->stats();
+    uint64_t Accepted = S.AcceptedConnections;
+    uint64_t Closed = S.ConnectionsClosed;
+    uint64_t Load = W.Q->size() + (Accepted > Closed ? Accepted - Closed : 0);
+    if (Load < BestLoad) {
+      BestLoad = Load;
+      Best = N;
+    }
+  }
+  return Best;
+}
+
+Error Pool::handoff(int Worker, int Fd) {
+  if (Worker < 0 || Worker >= workers())
+    return {ErrorKind::Runtime,
+            "handoff: no such worker: " + std::to_string(Worker)};
+  if (Stopping.load(std::memory_order_relaxed))
+    return {ErrorKind::ServerStopped, "pool is stopping"};
+  auto &W = *Ws[static_cast<size_t>(Worker)];
+  if (!W.Q->push(Fd))
+    return {ErrorKind::ServerStopped,
+            "worker " + std::to_string(Worker) + ": handoff queue closed"};
+  // The worker may be blocked in poll(2); make its wakeup port readable.
+  W.I->vm().reactor().notify();
+  return {};
+}
+
+void Pool::stop() {
+  if (Ws.empty())
+    return;
+  Stopping.store(true, std::memory_order_relaxed);
+  if (Acceptor.joinable())
+    Acceptor.join();
+  if (ListenFd >= 0) {
+    ::close(ListenFd);
+    ListenFd = -1;
+  }
+  // Close every handoff queue: each worker's take-conn loop drains what
+  // is left, then sees EOF and stops respawning conn threads; its
+  // scheduler run ends once in-flight connections finish.
+  for (auto &W : Ws) {
+    W->Q->close();
+    W->I->vm().reactor().notify();
+  }
+  for (auto &W : Ws)
+    if (W->Thr.joinable())
+      W->Thr.join();
+  if (Err.ok()) {
+    for (int N = 0; N != workers(); ++N) {
+      const Interp::Result &R = Ws[static_cast<size_t>(N)]->R;
+      if (!R.Ok) {
+        Err = {R.Kind, "worker " + std::to_string(N) + ": " + R.Error};
+        break;
+      }
+    }
+  }
+}
+
+Pool::~Pool() { stop(); }
+
+Stats::Snapshot Pool::snapshot() const {
+  Stats::Snapshot Sum;
+  for (auto &W : Ws)
+    Sum += W->I->snapshot();
+  return Sum;
+}
+
+Stats::Snapshot Pool::snapshot(int Worker) const {
+  return Ws.at(static_cast<size_t>(Worker))->I->snapshot();
+}
+
+Stats::Snapshot Pool::baseline() const {
+  Stats::Snapshot Sum;
+  for (auto &W : Ws)
+    Sum += W->Base;
+  return Sum;
+}
+
+Stats::Snapshot Pool::baseline(int Worker) const {
+  return Ws.at(static_cast<size_t>(Worker))->Base;
+}
+
+const Interp::Result &Pool::result(int Worker) const {
+  return Ws.at(static_cast<size_t>(Worker))->R;
+}
+
+std::string Pool::traceDump(int Worker) const {
+  // Tag every line with the shard id so concatenated dumps stay
+  // unambiguous; each shard numbers its own events from zero.
+  std::string Raw = Ws.at(static_cast<size_t>(Worker))->I->trace().toString();
+  std::string Tag = "w" + std::to_string(Worker) + " ";
+  std::string Out;
+  Out.reserve(Raw.size() + Tag.size() * 64);
+  std::istringstream In(Raw);
+  std::string Line;
+  while (std::getline(In, Line)) {
+    Out += Tag;
+    Out += Line;
+    Out += '\n';
+  }
+  return Out;
+}

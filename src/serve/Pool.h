@@ -1,0 +1,139 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A sharded serving pool: N workers, each a whole Interp + Reactor on its
+/// own OS thread, behind one accept path.
+///
+/// The VM is single-threaded by design — a continuation captured on one
+/// control stack means nothing on another — so the pool scales the
+/// continuation-per-request server the only way that preserves the paper's
+/// cost model: shard it.  Every worker runs the same Scheme serving program
+/// as the stand-alone Server (the protocol core is literally shared source;
+/// see Server::protocolSource), with one difference: instead of io-accept
+/// on a listener, a worker's accept loop calls io-take-conn, which parks on
+/// the reactor's cross-thread wakeup pipe until the pool's acceptor thread
+/// pushes an accepted fd onto that worker's handoff queue.
+///
+/// The handoff is the only cross-thread traffic.  The acceptor accepts on
+/// the shared listener, picks the least-loaded worker (handoff-queue depth
+/// plus live connections, from each shard's own counters), pushes the fd,
+/// and pokes that worker's Reactor::notify().  From there everything is
+/// shard-local: the wakeup port becomes readable, the parked worker thread
+/// resumes through the usual one-shot invoke path (zero words copied), and
+/// the connection lives out its life on that shard.  Per-shard traces stay
+/// deterministic because each worker has its own sequence numbering and
+/// fd numbers never enter a trace (port ids do).
+///
+/// Stats: each worker owns its Stats; Pool::snapshot() sums per-worker
+/// Snapshots, so throughput and the zero-copy invariant can be checked per
+/// shard or for the whole pool (bench/bench_pool.cpp does both).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OSC_SERVE_POOL_H
+#define OSC_SERVE_POOL_H
+
+#include "core/Config.h"
+#include "support/Error.h"
+#include "support/Stats.h"
+#include "vm/Interp.h"
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace osc {
+
+class ConnQueue;
+
+class Pool {
+public:
+  struct Options {
+    int Workers = 4;             ///< Shard count (each is one OS thread).
+    uint16_t Port = 0;           ///< 0 picks an ephemeral loopback port.
+    int MaxInflight = 64;        ///< Backpressure bound per worker.
+    int64_t PreemptInterval = 0; ///< Scheduler slice; 0 = cooperative.
+    int Backlog = 128;
+    Config VmCfg;         ///< Control-representation knobs (every worker).
+    const char *Program = nullptr; ///< Test hook: replaces workerSource().
+    bool TraceWorkers = false;     ///< Arm every worker's tracer at start.
+  };
+
+  explicit Pool(Options O);
+  ~Pool();
+  Pool(const Pool &) = delete;
+  Pool &operator=(const Pool &) = delete;
+
+  /// Creates the listener, the workers (each with its own Interp and
+  /// handoff queue) and the acceptor thread.  False (with error()) if any
+  /// piece could not be set up; no threads are left running on failure.
+  bool start();
+  /// Stops accepting, closes every handoff queue (each worker's take-conn
+  /// loop sees EOF and its program winds down once in-flight connections
+  /// drain), joins all threads.  Idempotent.  Clients should have closed
+  /// their connections by then, like Server::stop().
+  void stop();
+
+  bool running() const { return !Ws.empty() && Ws.front()->Thr.joinable(); }
+  uint16_t tcpPort() const { return BoundPort; }
+  int workers() const { return static_cast<int>(Ws.size()); }
+  /// The first failure, classified — setup problems (Io), a worker
+  /// program's own error after stop() ("worker N: ..."), or ServerStopped
+  /// for handoffs after stop.
+  const Error &error() const { return Err; }
+
+  /// Sum of every worker's counters (coherent per shard, summed across
+  /// shards).  Safe while running — each counter is a relaxed atomic —
+  /// but exact only after stop().
+  Stats::Snapshot snapshot() const;
+  /// One worker's counters.
+  Stats::Snapshot snapshot(int Worker) const;
+  /// Per-worker counters captured at start(), summed.
+  Stats::Snapshot baseline() const;
+  Stats::Snapshot baseline(int Worker) const;
+  /// A worker's eval result; only meaningful after stop().
+  const Interp::Result &result(int Worker) const;
+  /// A worker's trace, one "w<id> #seq name ..." line per event — tagged
+  /// so dumps from different shards can be told apart (and concatenated
+  /// without ambiguity).  Only meaningful after stop().
+  std::string traceDump(int Worker) const;
+
+  /// Hands an accepted connection to a specific worker, as the acceptor
+  /// thread does internally.  On success the pool owns \p Fd; on failure
+  /// (ServerStopped once the pool is stopping) the caller keeps it.
+  /// Exposed so tests can target a shard deterministically.
+  Error handoff(int Worker, int Fd);
+
+  /// The worker serving program: Server::protocolSource() plus a
+  /// take-conn accept loop (expects *max-inflight* and *preempt*).
+  static const char *workerSource();
+
+private:
+  struct Worker {
+    std::unique_ptr<Interp> I;
+    std::unique_ptr<ConnQueue> Q;
+    std::thread Thr;
+    Interp::Result R;
+    Stats::Snapshot Base;
+  };
+
+  void acceptLoop();
+  /// Queue depth plus live (accepted - closed) connections, from the
+  /// shard's own counters; ties break toward the lowest worker id.
+  int leastLoaded() const;
+
+  Options Opt;
+  std::vector<std::unique_ptr<Worker>> Ws;
+  std::thread Acceptor;
+  std::atomic<bool> Stopping{false};
+  int ListenFd = -1;
+  uint16_t BoundPort = 0;
+  Error Err;
+};
+
+} // namespace osc
+
+#endif // OSC_SERVE_POOL_H

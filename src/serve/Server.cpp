@@ -5,12 +5,14 @@
 
 using namespace osc;
 
-// The serving program.  Pure Scheme over the io/sched primitives so the
+// The protocol core.  Pure Scheme over the io/sched primitives so the
 // whole request path — accept, read, compute, write — runs on green
 // threads whose every wait is a parked one-shot continuation.  The host
-// binds *listener* (a listener port id), *max-inflight* and *preempt*
-// before evaluating this.
-const char *Server::serveSource() {
+// binds *max-inflight* and *preempt* before evaluating this; each
+// variant (Server's acceptor, Pool's take-conn worker) appends its own
+// accept loop plus an (on-quit) definition saying what a client's QUIT
+// tears down beyond its own connection.
+const char *Server::protocolSource() {
   return R"scheme(
 ;; Backpressure: a conn-loop takes a token before handling a request and
 ;; returns it after, so at most *max-inflight* requests are in flight;
@@ -76,8 +78,10 @@ const char *Server::serveSource() {
   (io-write conn (string-append (answer line) "\n"))
   (serve-request-done!))
 
-;; One green thread per connection.  QUIT answers BYE and closes the
-;; listener, which wakes the parked acceptor with the EOF object.
+;; One green thread per connection.  QUIT answers BYE, closes the
+;; connection, then runs the variant hook (Server: close the listener so
+;; the parked acceptor wakes with EOF; Pool: nothing — workers stop when
+;; the host closes their handoff queue).
 (define (conn-loop conn)
   (let ((line (io-read-line conn)))
     (cond
@@ -85,12 +89,21 @@ const char *Server::serveSource() {
       ((string=? line "QUIT")
        (io-write conn "BYE\n")
        (io-close conn)
-       (io-close *listener*))
+       (on-quit))
       (else
        (channel-send! %tokens 1)
        (thread-join (spawn (lambda () (handle-request conn line))))
        (channel-recv %tokens)
        (conn-loop conn)))))
+)scheme";
+}
+
+// The stand-alone server: accept from *listener* directly; QUIT closes
+// the listener, which ends the acceptor and (once connections drain) the
+// whole serving program.
+const char *Server::serveSource() {
+  static const std::string Src = std::string(protocolSource()) + R"scheme(
+(define (on-quit) (io-close *listener*))
 
 (define (acceptor)
   (let ((conn (io-accept *listener*)))
@@ -103,11 +116,12 @@ const char *Server::serveSource() {
 (spawn acceptor)
 (scheduler-run *preempt*)
 )scheme";
+  return Src.c_str();
 }
 
 bool Server::start() {
   if (Thr.joinable()) {
-    Err = "server already running";
+    Err = {ErrorKind::Runtime, "server already running"};
     return false;
   }
   I = std::make_unique<Interp>(Opt.VmCfg);
@@ -119,7 +133,7 @@ bool Server::start() {
   std::string E;
   int Fd = openListener(P, Opt.Backlog, E);
   if (Fd < 0) {
-    Err = "io-listen: " + E;
+    Err = {ErrorKind::Io, "io-listen: " + E};
     I.reset();
     return false;
   }
@@ -131,7 +145,8 @@ bool Server::start() {
   I->defineGlobal("*listener*", Value::fixnum(Lid));
   I->defineGlobal("*max-inflight*", Value::fixnum(Opt.MaxInflight));
   I->defineGlobal("*preempt*", Value::fixnum(Opt.PreemptInterval));
-  Baseline = I->stats();
+  Err = Error();
+  Base = I->snapshot();
 
   Thr = std::thread([this] { R = I->eval(serveSource()); });
   return true;
@@ -151,11 +166,16 @@ void Server::stop() {
     C.close();
   }
   Thr.join();
+  if (!R.Ok)
+    Err = R.error();
 }
 
 void Server::wait() {
-  if (Thr.joinable())
-    Thr.join();
+  if (!Thr.joinable())
+    return;
+  Thr.join();
+  if (!R.Ok)
+    Err = R.error();
 }
 
 Server::~Server() { stop(); }

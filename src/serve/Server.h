@@ -30,6 +30,7 @@
 #define OSC_SERVE_SERVER_H
 
 #include "core/Config.h"
+#include "support/Error.h"
 #include "support/Stats.h"
 #include "vm/Interp.h"
 
@@ -69,12 +70,19 @@ public:
 
   bool running() const { return Thr.joinable(); }
   uint16_t tcpPort() const { return BoundPort; }
-  const std::string &error() const { return Err; }
+  /// The last failure, classified: Io for socket setup problems, and the
+  /// serving program's own ErrorKind once the serving thread has been
+  /// joined (stop()/wait()).  ok() while everything is healthy.
+  const Error &error() const { return Err; }
 
-  /// Counters at start(), before any request ran: diff stats() against
-  /// this to measure only the serving work.
-  const Stats &baseline() const { return Baseline; }
-  /// Live counters.  Only safe to read after stop().
+  /// Counters captured at start(), before any request ran: diff
+  /// snapshot() against this to measure only the serving work.
+  const Stats::Snapshot &baseline() const { return Base; }
+  /// A coherent copy of the counters.  Only meaningful after stop() (the
+  /// serving thread owns the live Stats until then).
+  Stats::Snapshot snapshot() const { return I->snapshot(); }
+  /// Live counter reference — retained for source compatibility only.
+  [[deprecated("racy against the serving thread; use snapshot()")]]
   const Stats &stats() const { return I->stats(); }
   /// The serving program's eval result.  Only meaningful after stop().
   const Interp::Result &result() const { return R; }
@@ -82,15 +90,20 @@ public:
   /// The Scheme serving program (exposed for tests; expects the globals
   /// *listener*, *max-inflight* and *preempt* to be bound).
   static const char *serveSource();
+  /// The protocol core shared with Pool workers: backpressure tokens,
+  /// the safe fixnum evaluator, answer/handle-request and a conn-loop
+  /// whose QUIT branch calls the variant hook (on-quit).  Each variant
+  /// appends its own accept loop and on-quit definition.
+  static const char *protocolSource();
 
 private:
   Options Opt;
   std::unique_ptr<Interp> I;
   std::thread Thr;
   Interp::Result R;
-  Stats Baseline;
+  Stats::Snapshot Base;
   uint16_t BoundPort = 0;
-  std::string Err;
+  Error Err;
 };
 
 } // namespace osc

@@ -4,45 +4,33 @@
 
 using namespace osc;
 
-std::string Stats::toString() const {
+Stats::Snapshot Stats::snapshot() const {
+  Snapshot Out;
+#define OSC_STATS_FIELD(Name) Out.Name = Name.load();
+  OSC_STATS_COUNTERS(OSC_STATS_FIELD)
+#undef OSC_STATS_FIELD
+  return Out;
+}
+
+Stats::Snapshot &Stats::Snapshot::operator+=(const Snapshot &O) {
+#define OSC_STATS_FIELD(Name) Name += O.Name;
+  OSC_STATS_COUNTERS(OSC_STATS_FIELD)
+#undef OSC_STATS_FIELD
+  return *this;
+}
+
+Stats::Snapshot Stats::Snapshot::operator-(const Snapshot &O) const {
+  Snapshot Out;
+#define OSC_STATS_FIELD(Name) Out.Name = Name - O.Name;
+  OSC_STATS_COUNTERS(OSC_STATS_FIELD)
+#undef OSC_STATS_FIELD
+  return Out;
+}
+
+std::string Stats::Snapshot::toString() const {
   std::ostringstream OS;
-#define OSC_STAT(Name) OS << #Name << " " << Name << "\n"
-  OSC_STAT(BytesAllocated);
-  OSC_STAT(ObjectsAllocated);
-  OSC_STAT(GcCount);
-  OSC_STAT(GcBytesFreed);
-  OSC_STAT(ClosuresAllocated);
-  OSC_STAT(SegmentsAllocated);
-  OSC_STAT(SegmentCacheHits);
-  OSC_STAT(SegmentCacheReleases);
-  OSC_STAT(MultiShotCaptures);
-  OSC_STAT(OneShotCaptures);
-  OSC_STAT(MultiShotInvokes);
-  OSC_STAT(OneShotInvokes);
-  OSC_STAT(EmptyCaptures);
-  OSC_STAT(Promotions);
-  OSC_STAT(PromotionWalkSteps);
-  OSC_STAT(WordsCopied);
-  OSC_STAT(Underflows);
-  OSC_STAT(Overflows);
-  OSC_STAT(Splits);
-  OSC_STAT(Instructions);
-  OSC_STAT(ProcedureCalls);
-  OSC_STAT(ContextSwitches);
-  OSC_STAT(PreemptiveSwitches);
-  OSC_STAT(VoluntaryYields);
-  OSC_STAT(ChannelBlocks);
-  OSC_STAT(RunQueuePeak);
-  OSC_STAT(ThreadsSpawned);
-  OSC_STAT(ChannelMessages);
-  OSC_STAT(ChannelsClosed);
-  OSC_STAT(IoParks);
-  OSC_STAT(IoWakes);
-  OSC_STAT(IoWaitPeak);
-  OSC_STAT(BytesRead);
-  OSC_STAT(BytesWritten);
-  OSC_STAT(AcceptedConnections);
-  OSC_STAT(RequestsServed);
-#undef OSC_STAT
+#define OSC_STATS_FIELD(Name) OS << #Name << " " << Name << "\n";
+  OSC_STATS_COUNTERS(OSC_STATS_FIELD)
+#undef OSC_STATS_FIELD
   return OS.str();
 }

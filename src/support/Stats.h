@@ -10,75 +10,152 @@
 /// harness reports these machine-independent counters; they determine the
 /// shapes the paper's figures show (copy traffic, segment churn, allocation).
 ///
+/// Each counter has exactly one writer (the VM thread that owns the Stats
+/// block) but, since the serving Pool runs one interpreter per OS thread and
+/// aggregates load/stats while workers run, any thread may *read* one.
+/// Counter therefore wraps a relaxed atomic: increments stay a plain
+/// load+add+store (no lock-prefixed RMW on the per-instruction hot path —
+/// single-writer makes that exact), and cross-thread readers get tear-free
+/// values via snapshot().  Counters are approximate only in the sense that a
+/// concurrent snapshot sees some recent consistent-per-counter state, which
+/// is all load-balancing and progress reporting need.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef OSC_SUPPORT_STATS_H
 #define OSC_SUPPORT_STATS_H
 
+#include <atomic>
 #include <cstdint>
 #include <string>
 
 namespace osc {
 
+/// The single source of truth for the counter set.  X-macro so the Counter
+/// fields, the Snapshot fields and every whole-block operation (snapshot,
+/// aggregate, diff, print) can never drift apart.  Comments must be /* */:
+/// a // comment would eat the continuation backslash.
+// clang-format off
+#define OSC_STATS_COUNTERS(X)                                                  \
+  /* Heap. */                                                                  \
+  X(BytesAllocated)     /* Total bytes ever allocated. */                      \
+  X(ObjectsAllocated)   /* Total heap objects ever allocated. */               \
+  X(GcCount)            /* Collections performed. */                           \
+  X(GcBytesFreed)       /* Bytes reclaimed by all collections. */              \
+  X(ClosuresAllocated)  /* Closure objects created (S5: the stack model's      \
+                           Boyer allocates none). */                           \
+  /* Control stack (src/core). */                                              \
+  X(SegmentsAllocated)    /* Fresh stack segments from the heap. */            \
+  X(SegmentCacheHits)     /* Segments satisfied from the cache. */             \
+  X(SegmentCacheReleases) /* Segments returned to the cache. */                \
+  X(MultiShotCaptures)    /* call/cc captures (explicit). */                   \
+  X(OneShotCaptures)      /* call/1cc captures (explicit). */                  \
+  X(MultiShotInvokes)     /* Multi-shot reinstatements. */                     \
+  X(OneShotInvokes)       /* One-shot reinstatements. */                       \
+  X(EmptyCaptures)        /* Empty-segment capture short-circuits. */          \
+  X(Promotions)           /* One-shots promoted to multi-shot. */              \
+  X(PromotionWalkSteps)   /* Chain links visited while promoting. */           \
+  X(WordsCopied)          /* Stack words memcpy'd (reinstate + overflow). */   \
+  X(Underflows)           /* Returns past a segment base. */                   \
+  X(Overflows)            /* Segment overflows handled. */                     \
+  X(Splits)               /* Continuation splits (copy bound). */              \
+  /* VM. */                                                                    \
+  X(Instructions)         /* Bytecode instructions executed. */                \
+  X(ProcedureCalls)       /* CALL + TAILCALL of closures/natives. */           \
+  /* Scheduler (src/sched).  ContextSwitches counts every control transfer     \
+     the scheduler performs (thread starts, resumes and the final return to    \
+     the suspended main computation); the benchmark harness diffs it against   \
+     WordsCopied to prove a steady-state native switch copies zero stack       \
+     words (the paper's Figure 5 claim, machine-independently). */             \
+  X(ContextSwitches)      /* All scheduler control transfers. */               \
+  X(PreemptiveSwitches)   /* Timer-forced (involuntary) switches. */           \
+  X(VoluntaryYields)      /* Explicit (yield) calls. */                        \
+  X(ChannelBlocks)        /* send/recv suspensions on full/empty. */           \
+  X(RunQueuePeak)         /* High-water mark of the ready queue. */            \
+  X(ThreadsSpawned)       /* Green threads ever created. */                    \
+  X(ChannelMessages)      /* Values accepted into a channel. */                \
+  X(ChannelsClosed)       /* channel-close! calls that closed. */              \
+  /* I/O reactor (src/io) and serving layer (src/serve).  IoParks is the       \
+     denominator of the serving layer's headline metric: WordsCopied delta     \
+     divided by IoParks must be zero in steady state (each park/resume is a    \
+     one-shot capture + one-shot invoke; nothing is memcpy'd). */              \
+  X(IoParks)              /* Threads parked awaiting readiness. */             \
+  X(IoWakes)              /* Parked threads handed back ready. */              \
+  X(IoWaitPeak)           /* High-water mark of parked threads. */             \
+  X(BytesRead)            /* Bytes moved fd -> input buffers. */               \
+  X(BytesWritten)         /* Bytes moved output buffers -> fd. */              \
+  X(AcceptedConnections)  /* Connections accepted or adopted. */               \
+  X(ConnectionsClosed)    /* Stream ports closed (io-close / EOF teardown);    \
+                             Accepted - Closed = live connections, the pool's  \
+                             least-loaded signal. */                           \
+  X(RequestsServed)       /* serve-request-done! calls. */
+// clang-format on
+
 /// Counter block for one interpreter instance.  All counters are monotonic
-/// over the life of the instance; benchmarks snapshot/diff them.
+/// over the life of the instance (except high-water marks, which are
+/// monotonic too — they only ratchet up); benchmarks snapshot/diff them.
 struct Stats {
-  // Heap.
-  uint64_t BytesAllocated = 0;   ///< Total bytes ever allocated.
-  uint64_t ObjectsAllocated = 0; ///< Total heap objects ever allocated.
-  uint64_t GcCount = 0;          ///< Collections performed.
-  uint64_t GcBytesFreed = 0;     ///< Bytes reclaimed by all collections.
-  uint64_t ClosuresAllocated = 0; ///< Closure objects created (§5: the
-                                  ///< stack model's Boyer allocates none).
+  /// Single-writer relaxed-atomic counter.  The owning VM thread mutates
+  /// (plain read-modify-write expressed as two relaxed accesses, which is
+  /// race-free because there is exactly one writer); any thread may read.
+  /// Copyable so Stats itself stays copyable (copies are plain values).
+  class Counter {
+  public:
+    Counter() = default;
+    Counter(uint64_t N) : V(N) {}
+    Counter(const Counter &O) : V(O.load()) {}
+    Counter &operator=(const Counter &O) {
+      V.store(O.load(), std::memory_order_relaxed);
+      return *this;
+    }
+    Counter &operator=(uint64_t N) {
+      V.store(N, std::memory_order_relaxed);
+      return *this;
+    }
+    /// Owner-thread increment: NOT an atomic RMW (no lock prefix), safe
+    /// because each counter has exactly one writer.
+    Counter &operator+=(uint64_t N) {
+      V.store(V.load(std::memory_order_relaxed) + N,
+              std::memory_order_relaxed);
+      return *this;
+    }
+    operator uint64_t() const { return load(); }
+    uint64_t load() const { return V.load(std::memory_order_relaxed); }
 
-  // Control stack (src/core).
-  uint64_t SegmentsAllocated = 0;    ///< Fresh stack segments from the heap.
-  uint64_t SegmentCacheHits = 0;     ///< Segments satisfied from the cache.
-  uint64_t SegmentCacheReleases = 0; ///< Segments returned to the cache.
-  uint64_t MultiShotCaptures = 0;    ///< call/cc captures (explicit).
-  uint64_t OneShotCaptures = 0;      ///< call/1cc captures (explicit).
-  uint64_t MultiShotInvokes = 0;     ///< Multi-shot reinstatements.
-  uint64_t OneShotInvokes = 0;       ///< One-shot reinstatements.
-  uint64_t EmptyCaptures = 0;        ///< Empty-segment capture short-circuits.
-  uint64_t Promotions = 0;           ///< One-shots promoted to multi-shot.
-  uint64_t PromotionWalkSteps = 0;   ///< Chain links visited while promoting.
-  uint64_t WordsCopied = 0;  ///< Stack words memcpy'd (reinstate + overflow).
-  uint64_t Underflows = 0;   ///< Returns past a segment base.
-  uint64_t Overflows = 0;    ///< Segment overflows handled.
-  uint64_t Splits = 0;       ///< Continuation splits (copy bound).
+  private:
+    std::atomic<uint64_t> V{0};
+  };
 
-  // VM.
-  uint64_t Instructions = 0;   ///< Bytecode instructions executed.
-  uint64_t ProcedureCalls = 0; ///< CALL + TAILCALL of closures/natives.
+  /// A tear-free point-in-time copy: plain integers, trivially copyable,
+  /// safe to read, diff and sum from any thread.  This is the only shape
+  /// the embedding API hands out (Interp/Server/Pool all return Snapshot);
+  /// live Counter references stay internal.
+  struct Snapshot {
+#define OSC_STATS_FIELD(Name) uint64_t Name = 0;
+    OSC_STATS_COUNTERS(OSC_STATS_FIELD)
+#undef OSC_STATS_FIELD
 
-  // Scheduler (src/sched).  ContextSwitches counts every control transfer
-  // the scheduler performs (thread starts, resumes and the final return to
-  // the suspended main computation); the benchmark harness diffs it against
-  // WordsCopied to prove a steady-state native switch copies zero stack
-  // words (the paper's Figure 5 claim, machine-independently).
-  uint64_t ContextSwitches = 0;    ///< All scheduler control transfers.
-  uint64_t PreemptiveSwitches = 0; ///< Timer-forced (involuntary) switches.
-  uint64_t VoluntaryYields = 0;    ///< Explicit (yield) calls.
-  uint64_t ChannelBlocks = 0;      ///< send/recv suspensions on full/empty.
-  uint64_t RunQueuePeak = 0;       ///< High-water mark of the ready queue.
-  uint64_t ThreadsSpawned = 0;     ///< Green threads ever created.
-  uint64_t ChannelMessages = 0;    ///< Values accepted into a channel.
-  uint64_t ChannelsClosed = 0;     ///< channel-close! calls that closed.
+    /// Element-wise accumulate: Pool::snapshot() sums worker snapshots.
+    /// (High-water marks add too — an aggregate peak over independent
+    /// shards is at most the sum; callers wanting per-shard peaks read
+    /// the per-worker snapshots.)
+    Snapshot &operator+=(const Snapshot &O);
+    /// Element-wise difference against an earlier baseline.
+    Snapshot operator-(const Snapshot &O) const;
+    /// Renders all counters, one "name value" pair per line.
+    std::string toString() const;
+  };
 
-  // I/O reactor (src/io) and serving layer (src/serve).  IoParks is the
-  // denominator of the serving layer's headline metric: WordsCopied delta
-  // divided by IoParks must be zero in steady state (each park/resume is a
-  // one-shot capture + one-shot invoke; nothing is memcpy'd).
-  uint64_t IoParks = 0;              ///< Threads parked awaiting readiness.
-  uint64_t IoWakes = 0;              ///< Parked threads handed back ready.
-  uint64_t IoWaitPeak = 0;           ///< High-water mark of parked threads.
-  uint64_t BytesRead = 0;            ///< Bytes moved fd -> input buffers.
-  uint64_t BytesWritten = 0;         ///< Bytes moved output buffers -> fd.
-  uint64_t AcceptedConnections = 0;  ///< Connections accepted by io-accept.
-  uint64_t RequestsServed = 0;       ///< serve-request-done! calls.
+#define OSC_STATS_FIELD(Name) Counter Name;
+  OSC_STATS_COUNTERS(OSC_STATS_FIELD)
+#undef OSC_STATS_FIELD
+
+  /// Tear-free copy of every counter, callable from any thread while the
+  /// owning VM keeps running.
+  Snapshot snapshot() const;
 
   /// Renders all counters, one "name value" pair per line.
-  std::string toString() const;
+  std::string toString() const { return snapshot().toString(); }
 };
 
 } // namespace osc

@@ -28,6 +28,7 @@ Interp::Result Interp::eval(std::string_view Source) {
     Reader Rd(*H, Source);
     std::string Err;
     if (!Rd.readAll(Forms, Err)) {
+      Res.Kind = ErrorKind::Parse;
       Res.Error = Err;
       return Res;
     }
@@ -59,18 +60,21 @@ Interp::Result Interp::eval(std::string_view Source) {
   Value Expanded;
   std::string Err;
   if (!Ex.expandToplevel(Unit, Expanded, Err)) {
+    Res.Kind = ErrorKind::Parse;
     Res.Error = Err;
     return Res;
   }
   GCRoot ExpandedRoot(*H, Expanded);
   Code *C = Gen.compileToplevel(Expanded, Err);
   if (!C) {
+    Res.Kind = ErrorKind::Parse;
     Res.Error = Err;
     return Res;
   }
   GCRoot CodeRoot(*H, Value::object(C));
   VM::RunResult R = M->run(C);
   if (!R.Ok) {
+    Res.Kind = R.Kind == ErrorKind::None ? ErrorKind::Runtime : R.Kind;
     Res.Error = R.Error;
     Res.Backtrace = std::move(R.Backtrace);
     return Res;
@@ -98,6 +102,10 @@ std::string Interp::valueToString(Value V, bool Write) const {
 void Interp::defineNative(std::string_view Name, NativeFn Fn,
                           uint16_t MinArgs, int16_t MaxArgs) {
   M->defineNative(Name, Fn, MinArgs, MaxArgs);
+}
+
+void Interp::defineNatives(std::span<const NativeDef> Defs) {
+  M->defineNatives(Defs);
 }
 
 void Interp::defineGlobal(std::string_view Name, Value V) {

@@ -21,10 +21,12 @@
 #include "core/Config.h"
 #include "core/ControlStack.h"
 #include "object/Heap.h"
+#include "support/Error.h"
 #include "support/Stats.h"
 #include "vm/VM.h"
 
 #include <memory>
+#include <span>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -43,10 +45,17 @@ public:
   struct Result {
     bool Ok = false;
     Value Val;
+    /// Classification of the failure: Parse for reader / expander /
+    /// compiler errors (before any code ran), Runtime / Fault / Io for
+    /// execution errors, None on success.
+    ErrorKind Kind = ErrorKind::None;
     std::string Error;
     /// On runtime errors: innermost-first procedure names recovered by
     /// walking the stack via the frame-size words (§3.1).
     std::vector<std::string> Backtrace;
+
+    /// The failure as a structured osc::Error (Kind + Message).
+    osc::Error error() const { return {Kind, Error}; }
   };
 
   /// Reads every datum in \p Source and evaluates them in order; returns
@@ -64,6 +73,16 @@ public:
   /// Registers a host procedure callable from Scheme.
   void defineNative(std::string_view Name, NativeFn Fn, uint16_t MinArgs,
                     int16_t MaxArgs);
+  /// Registers a whole table of host procedures at once — the ergonomic
+  /// form for embedders with more than a couple of natives:
+  /// \code
+  ///   static const osc::NativeDef Natives[] = {
+  ///       {"host-add", hostAdd, 2, 2},
+  ///       {"host-log", hostLog, 1, -1},
+  ///   };
+  ///   I.defineNatives(Natives);
+  /// \endcode
+  void defineNatives(std::span<const NativeDef> Defs);
   /// Binds a global variable.
   void defineGlobal(std::string_view Name, Value V);
 
@@ -71,6 +90,10 @@ public:
   VM &vm() { return *M; }
   ControlStack &control() { return M->control(); }
   Stats &stats() { return S; }
+  /// A coherent point-in-time copy of every counter — the safe way to
+  /// observe stats (Snapshot is plain integers; it can be kept, diffed
+  /// with operator-, and summed with operator+= across interpreters).
+  Stats::Snapshot snapshot() const { return S.snapshot(); }
   const Config &config() const { return Cfg; }
   /// The VM's control-event tracer (also reachable from Scheme via
   /// trace-start! / trace-stop! / trace-dump).

@@ -203,6 +203,12 @@ const char *osc::preludeSource() {
 (define (io-write p s) (%io-write p s))
 (define (io-accept p) (%io-accept p))
 
+;; Pool workers take handed-off connections instead of accepting their own:
+;; io-take-conn parks until the host pushes an fd onto this worker's handoff
+;; queue, returning a fresh stream port id (or EOF once the queue is closed
+;; and drained).
+(define (io-take-conn) (%io-take-conn))
+
 (define (positive? x) (> x 0))
 (define (negative? x) (< x 0))
 

@@ -683,6 +683,8 @@ Value primVmStat(VM &Vm, Value *A, uint32_t) {
     V = St.BytesWritten;
   else if (N == "accepted-connections")
     V = St.AcceptedConnections;
+  else if (N == "connections-closed")
+    V = St.ConnectionsClosed;
   else if (N == "requests-served")
     V = St.RequestsServed;
   else
@@ -953,6 +955,7 @@ Value primSchedStats(VM &Vm, Value *, uint32_t) {
   Add("bytes-written", St.BytesWritten);
   Add("bytes-read", St.BytesRead);
   Add("requests-served", St.RequestsServed);
+  Add("connections-closed", St.ConnectionsClosed);
   Add("accepted-connections", St.AcceptedConnections);
   Add("io-wait-peak", St.IoWaitPeak);
   Add("io-wakes", St.IoWakes);
@@ -974,198 +977,202 @@ Value noFn(VM &Vm, Value *, uint32_t) {
 
 } // namespace
 
+// Specials are dispatched in the VM loop, never via Fn (noFn is a guard):
+// the control operators, plus every scheduler/reactor operation that may
+// park the calling computation and reinstate another green thread.
+static const NativeDef SpecialDefs[] = {
+    // Control.
+    {"apply", noFn, 2, -1, NativeSpecial::Apply},
+    {"%call/cc", noFn, 1, 1, NativeSpecial::CallCC},
+    {"%call/1cc", noFn, 1, 1, NativeSpecial::Call1CC},
+    {"%call-with-values", noFn, 2, 2, NativeSpecial::CallWithValues},
+    {"values", noFn, 0, -1, NativeSpecial::Values},
+    // Scheduler.
+    {"%sched-run", noFn, 1, 1, NativeSpecial::SchedRun},
+    {"%yield", noFn, 0, 0, NativeSpecial::SchedYield},
+    {"%thread-exit", noFn, 1, 1, NativeSpecial::SchedExit},
+    {"%join", noFn, 1, 1, NativeSpecial::SchedJoin},
+    {"%sleep", noFn, 1, 1, NativeSpecial::SchedSleep},
+    {"%chan-send", noFn, 2, 2, NativeSpecial::ChanSend},
+    {"%chan-recv", noFn, 1, 1, NativeSpecial::ChanRecv},
+    // I/O: may park the calling thread on fd readiness (or, for
+    // take-conn, on the pool's handoff wakeup).
+    {"%io-read-line", noFn, 1, 1, NativeSpecial::IoReadLine},
+    {"%io-write", noFn, 2, 2, NativeSpecial::IoWrite},
+    {"%io-accept", noFn, 1, 1, NativeSpecial::IoAccept},
+    {"%io-take-conn", noFn, 0, 0, NativeSpecial::IoTakeConn},
+};
+
+static const NativeDef PrimDefs[] = {
+    // Numbers.
+    {"+", primAdd, 0, -1},
+    {"-", primSub, 1, -1},
+    {"*", primMul, 0, -1},
+    {"/", primDiv, 1, -1},
+    {"quotient", primQuotient, 2, 2},
+    {"remainder", primRemainder, 2, 2},
+    {"modulo", primModulo, 2, 2},
+    {"<", primLt, 2, -1},
+    {"<=", primLe, 2, -1},
+    {">", primGt, 2, -1},
+    {">=", primGe, 2, -1},
+    {"=", primNumEq, 2, -1},
+    {"abs", primAbs, 1, 1},
+    {"min", primMin, 1, -1},
+    {"max", primMax, 1, -1},
+    {"even?", primEven, 1, 1},
+    {"odd?", primOdd, 1, 1},
+
+    // Predicates.
+    {"number?", primNumberP, 1, 1},
+    {"integer?", primIntegerP, 1, 1},
+    {"boolean?", primBooleanP, 1, 1},
+    {"symbol?", primSymbolP, 1, 1},
+    {"string?", primStringP, 1, 1},
+    {"char?", primCharP, 1, 1},
+    {"vector?", primVectorP, 1, 1},
+    {"procedure?", primProcedureP, 1, 1},
+    {"list?", primListP, 1, 1},
+    {"eqv?", primEqv, 2, 2},
+    {"equal?", primEqual, 2, 2},
+
+    // Pairs and lists (car/cdr/cons/eq?/null?/pair? are also natives so
+    // they exist as first-class procedures; calls are usually open-coded).
+    {"car",
+     [](VM &Vm, Value *A, uint32_t) {
+       if (auto *P = dynObj<Pair>(A[0]))
+         return P->Car;
+       return Vm.fail("car: not a pair: " + writeToString(A[0]));
+     },
+     1, 1},
+    {"cdr",
+     [](VM &Vm, Value *A, uint32_t) {
+       if (auto *P = dynObj<Pair>(A[0]))
+         return P->Cdr;
+       return Vm.fail("cdr: not a pair: " + writeToString(A[0]));
+     },
+     1, 1},
+    {"cons",
+     [](VM &Vm, Value *A, uint32_t) { return cons(Vm.heap(), A[0], A[1]); },
+     2, 2},
+    {"eq?",
+     [](VM &, Value *A, uint32_t) {
+       return Value::boolean(A[0].identical(A[1]));
+     },
+     2, 2},
+    {"null?",
+     [](VM &, Value *A, uint32_t) { return Value::boolean(A[0].isNil()); },
+     1, 1},
+    {"pair?",
+     [](VM &, Value *A, uint32_t) { return Value::boolean(isObj<Pair>(A[0])); },
+     1, 1},
+    {"not",
+     [](VM &, Value *A, uint32_t) { return Value::boolean(A[0].isFalse()); },
+     1, 1},
+    {"zero?",
+     [](VM &Vm, Value *A, uint32_t) {
+       if (A[0].isFixnum())
+         return Value::boolean(A[0].asFixnum() == 0);
+       if (auto *F = dynObj<Flonum>(A[0]))
+         return Value::boolean(F->D == 0.0);
+       return Vm.fail("zero?: not a number");
+     },
+     1, 1},
+    {"set-car!", primSetCar, 2, 2},
+    {"set-cdr!", primSetCdr, 2, 2},
+    {"list", primList, 0, -1},
+    {"length", primLength, 1, 1},
+    {"append", primAppend, 0, -1},
+    {"reverse", primReverse, 1, 1},
+    {"list-tail", primListTail, 2, 2},
+    {"list-ref", primListRef, 2, 2},
+    {"memq", primMemq, 2, 2},
+    {"memv", primMemv, 2, 2},
+    {"member", primMember, 2, 2},
+    {"assq", primAssq, 2, 2},
+    {"assv", primAssv, 2, 2},
+    {"assoc", primAssoc, 2, 2},
+
+    // Vectors.
+    {"make-vector", primMakeVector, 1, 2},
+    {"vector", primVector, 0, -1},
+    {"vector-length", primVectorLength, 1, 1},
+    {"vector-ref", primVectorRef, 2, 2},
+    {"vector-set!", primVectorSet, 3, 3},
+    {"vector->list", primVectorToList, 1, 1},
+    {"list->vector", primListToVector, 1, 1},
+    {"vector-fill!", primVectorFill, 2, 2},
+
+    // Strings / chars / symbols.
+    {"string-length", primStringLength, 1, 1},
+    {"string-append", primStringAppend, 0, -1},
+    {"substring", primSubstring, 3, 3},
+    {"string=?", primStringEq, 2, -1},
+    {"string<?", primStringLt, 2, 2},
+    {"string-ref", primStringRef, 2, 2},
+    {"string->symbol", primStringToSymbol, 1, 1},
+    {"symbol->string", primSymbolToString, 1, 1},
+    {"number->string", primNumberToString, 1, 1},
+    {"string->number", primStringToNumber, 1, 1},
+    {"char->integer", primCharToInteger, 1, 1},
+    {"integer->char", primIntegerToChar, 1, 1},
+    {"gensym", primGensym, 0, 0},
+    {"string->list", primStringToList, 1, 1},
+    {"list->string", primListToString, 1, 1},
+    {"sort-numbers", primSortNumeric, 1, 1},
+
+    // Output.
+    {"display", primDisplay, 1, 1},
+    {"write", primWrite, 1, 1},
+    {"newline", primNewline, 0, 0},
+
+    // Control / meta.
+    {"error", primError, 1, -1},
+    {"gc", primGc, 0, 0},
+    {"continuation?", primContinuationP, 1, 1},
+    {"%continuation-one-shot?", primContinuationOneShotP, 1, 1},
+    {"%continuation-shot?", primContinuationShotP, 1, 1},
+    {"current-time-ns", primCurrentTimeNs, 0, 0},
+    {"%set-timer!", primSetTimer, 2, 2},
+    {"%stop-timer!", primStopTimer, 0, 0},
+    {"vm-stat", primVmStat, 1, 1},
+    {"vm-resident-stack-words", primVmResidentStackWords, 0, 0},
+    {"vm-live-segment-words", primVmLiveSegmentWords, 0, 0},
+    {"vm-chain-length", primVmChainLength, 0, 0},
+    {"vm-cache-size", primVmCacheSize, 0, 0},
+    {"trace-start!", primTraceStart, 0, 0},
+    {"trace-stop!", primTraceStop, 0, 0},
+    {"trace-dump", primTraceDump, 0, 1},
+    {"trace-event-count", primTraceEventCount, 0, 0},
+    {"%trace-wind", primTraceWind, 1, 1},
+
+    // Green threads and channels (non-switching halves).
+    {"%spawn", primSpawn, 1, 1},
+    {"current-thread", primSelf, 0, 0},
+    {"thread-state", primThreadState, 1, 1},
+    {"make-channel", primChanMake, 1, 1},
+    {"channel-try-send!", primChanTrySend, 2, 2},
+    {"channel-try-recv", primChanTryRecv, 1, 1},
+    {"channel-length", primChanLength, 1, 1},
+    {"channel-capacity", primChanCapacity, 1, 1},
+    {"channel-close!", primChanClose, 1, 1},
+    {"channel-closed?", primChanClosedP, 1, 1},
+    {"sched-stats", primSchedStats, 0, 0},
+
+    // Ports and the I/O reactor (non-parking halves).
+    {"open-pipe", primOpenPipe, 0, 0},
+    {"open-socketpair", primOpenSocketpair, 0, 0},
+    {"io-listen", primIoListen, 0, 1},
+    {"io-tcp-port", primIoTcpPort, 1, 1},
+    {"io-close", primIoClose, 1, 1},
+    {"io-closed?", primIoClosedP, 1, 1},
+    {"string->datum", primStringToDatum, 1, 1},
+    {"serve-request-done!", primServeRequestDone, 0, 0},
+};
+
 void osc::installPrimitives(VM &Vm) {
-  auto Def = [&](const char *Name, NativeFn Fn, uint16_t Min, int16_t Max) {
-    Vm.defineNative(Name, Fn, Min, Max);
-  };
-
-  // Control specials (dispatched in the VM loop, never via Fn).
-  Vm.defineNative("apply", noFn, 2, -1, NativeSpecial::Apply);
-  Vm.defineNative("%call/cc", noFn, 1, 1, NativeSpecial::CallCC);
-  Vm.defineNative("%call/1cc", noFn, 1, 1, NativeSpecial::Call1CC);
-  Vm.defineNative("%call-with-values", noFn, 2, 2,
-                  NativeSpecial::CallWithValues);
-  Vm.defineNative("values", noFn, 0, -1, NativeSpecial::Values);
-
-  // Scheduler specials: these may park the calling computation and
-  // reinstate another green thread, so they run in the dispatch loop.
-  Vm.defineNative("%sched-run", noFn, 1, 1, NativeSpecial::SchedRun);
-  Vm.defineNative("%yield", noFn, 0, 0, NativeSpecial::SchedYield);
-  Vm.defineNative("%thread-exit", noFn, 1, 1, NativeSpecial::SchedExit);
-  Vm.defineNative("%join", noFn, 1, 1, NativeSpecial::SchedJoin);
-  Vm.defineNative("%sleep", noFn, 1, 1, NativeSpecial::SchedSleep);
-  Vm.defineNative("%chan-send", noFn, 2, 2, NativeSpecial::ChanSend);
-  Vm.defineNative("%chan-recv", noFn, 1, 1, NativeSpecial::ChanRecv);
-
-  // I/O specials: these may park the calling thread on fd readiness.
-  Vm.defineNative("%io-read-line", noFn, 1, 1, NativeSpecial::IoReadLine);
-  Vm.defineNative("%io-write", noFn, 2, 2, NativeSpecial::IoWrite);
-  Vm.defineNative("%io-accept", noFn, 1, 1, NativeSpecial::IoAccept);
-
-  // Numbers.
-  Def("+", primAdd, 0, -1);
-  Def("-", primSub, 1, -1);
-  Def("*", primMul, 0, -1);
-  Def("/", primDiv, 1, -1);
-  Def("quotient", primQuotient, 2, 2);
-  Def("remainder", primRemainder, 2, 2);
-  Def("modulo", primModulo, 2, 2);
-  Def("<", primLt, 2, -1);
-  Def("<=", primLe, 2, -1);
-  Def(">", primGt, 2, -1);
-  Def(">=", primGe, 2, -1);
-  Def("=", primNumEq, 2, -1);
-  Def("abs", primAbs, 1, 1);
-  Def("min", primMin, 1, -1);
-  Def("max", primMax, 1, -1);
-  Def("even?", primEven, 1, 1);
-  Def("odd?", primOdd, 1, 1);
-
-  // Predicates.
-  Def("number?", primNumberP, 1, 1);
-  Def("integer?", primIntegerP, 1, 1);
-  Def("boolean?", primBooleanP, 1, 1);
-  Def("symbol?", primSymbolP, 1, 1);
-  Def("string?", primStringP, 1, 1);
-  Def("char?", primCharP, 1, 1);
-  Def("vector?", primVectorP, 1, 1);
-  Def("procedure?", primProcedureP, 1, 1);
-  Def("list?", primListP, 1, 1);
-  Def("eqv?", primEqv, 2, 2);
-  Def("equal?", primEqual, 2, 2);
-
-  // Pairs and lists (car/cdr/cons/eq?/null?/pair? are also natives so they
-  // exist as first-class procedures; calls are usually open-coded).
-  Def("car", [](VM &Vm, Value *A, uint32_t) {
-        if (auto *P = dynObj<Pair>(A[0]))
-          return P->Car;
-        return Vm.fail("car: not a pair: " + writeToString(A[0]));
-      },
-      1, 1);
-  Def("cdr", [](VM &Vm, Value *A, uint32_t) {
-        if (auto *P = dynObj<Pair>(A[0]))
-          return P->Cdr;
-        return Vm.fail("cdr: not a pair: " + writeToString(A[0]));
-      },
-      1, 1);
-  Def("cons", [](VM &Vm, Value *A, uint32_t) {
-        return cons(Vm.heap(), A[0], A[1]);
-      },
-      2, 2);
-  Def("eq?", [](VM &, Value *A, uint32_t) {
-        return Value::boolean(A[0].identical(A[1]));
-      },
-      2, 2);
-  Def("null?", [](VM &, Value *A, uint32_t) {
-        return Value::boolean(A[0].isNil());
-      },
-      1, 1);
-  Def("pair?", [](VM &, Value *A, uint32_t) {
-        return Value::boolean(isObj<Pair>(A[0]));
-      },
-      1, 1);
-  Def("not", [](VM &, Value *A, uint32_t) {
-        return Value::boolean(A[0].isFalse());
-      },
-      1, 1);
-  Def("zero?", [](VM &Vm, Value *A, uint32_t) {
-        if (A[0].isFixnum())
-          return Value::boolean(A[0].asFixnum() == 0);
-        if (auto *F = dynObj<Flonum>(A[0]))
-          return Value::boolean(F->D == 0.0);
-        return Vm.fail("zero?: not a number");
-      },
-      1, 1);
-  Def("set-car!", primSetCar, 2, 2);
-  Def("set-cdr!", primSetCdr, 2, 2);
-  Def("list", primList, 0, -1);
-  Def("length", primLength, 1, 1);
-  Def("append", primAppend, 0, -1);
-  Def("reverse", primReverse, 1, 1);
-  Def("list-tail", primListTail, 2, 2);
-  Def("list-ref", primListRef, 2, 2);
-  Def("memq", primMemq, 2, 2);
-  Def("memv", primMemv, 2, 2);
-  Def("member", primMember, 2, 2);
-  Def("assq", primAssq, 2, 2);
-  Def("assv", primAssv, 2, 2);
-  Def("assoc", primAssoc, 2, 2);
-
-  // Vectors.
-  Def("make-vector", primMakeVector, 1, 2);
-  Def("vector", primVector, 0, -1);
-  Def("vector-length", primVectorLength, 1, 1);
-  Def("vector-ref", primVectorRef, 2, 2);
-  Def("vector-set!", primVectorSet, 3, 3);
-  Def("vector->list", primVectorToList, 1, 1);
-  Def("list->vector", primListToVector, 1, 1);
-  Def("vector-fill!", primVectorFill, 2, 2);
-
-  // Strings / chars / symbols.
-  Def("string-length", primStringLength, 1, 1);
-  Def("string-append", primStringAppend, 0, -1);
-  Def("substring", primSubstring, 3, 3);
-  Def("string=?", primStringEq, 2, -1);
-  Def("string<?", primStringLt, 2, 2);
-  Def("string-ref", primStringRef, 2, 2);
-  Def("string->symbol", primStringToSymbol, 1, 1);
-  Def("symbol->string", primSymbolToString, 1, 1);
-  Def("number->string", primNumberToString, 1, 1);
-  Def("string->number", primStringToNumber, 1, 1);
-  Def("char->integer", primCharToInteger, 1, 1);
-  Def("integer->char", primIntegerToChar, 1, 1);
-  Def("gensym", primGensym, 0, 0);
-  Def("string->list", primStringToList, 1, 1);
-  Def("list->string", primListToString, 1, 1);
-  Def("sort-numbers", primSortNumeric, 1, 1);
-
-  // Output.
-  Def("display", primDisplay, 1, 1);
-  Def("write", primWrite, 1, 1);
-  Def("newline", primNewline, 0, 0);
-
-  // Control / meta.
-  Def("error", primError, 1, -1);
-  Def("gc", primGc, 0, 0);
-  Def("continuation?", primContinuationP, 1, 1);
-  Def("%continuation-one-shot?", primContinuationOneShotP, 1, 1);
-  Def("%continuation-shot?", primContinuationShotP, 1, 1);
-  Def("current-time-ns", primCurrentTimeNs, 0, 0);
-  Def("%set-timer!", primSetTimer, 2, 2);
-  Def("%stop-timer!", primStopTimer, 0, 0);
-  Def("vm-stat", primVmStat, 1, 1);
-  Def("vm-resident-stack-words", primVmResidentStackWords, 0, 0);
-  Def("vm-live-segment-words", primVmLiveSegmentWords, 0, 0);
-  Def("vm-chain-length", primVmChainLength, 0, 0);
-  Def("vm-cache-size", primVmCacheSize, 0, 0);
-  Def("trace-start!", primTraceStart, 0, 0);
-  Def("trace-stop!", primTraceStop, 0, 0);
-  Def("trace-dump", primTraceDump, 0, 1);
-  Def("trace-event-count", primTraceEventCount, 0, 0);
-  Def("%trace-wind", primTraceWind, 1, 1);
-
-  // Green threads and channels (non-switching halves).
-  Def("%spawn", primSpawn, 1, 1);
-  Def("current-thread", primSelf, 0, 0);
-  Def("thread-state", primThreadState, 1, 1);
-  Def("make-channel", primChanMake, 1, 1);
-  Def("channel-try-send!", primChanTrySend, 2, 2);
-  Def("channel-try-recv", primChanTryRecv, 1, 1);
-  Def("channel-length", primChanLength, 1, 1);
-  Def("channel-capacity", primChanCapacity, 1, 1);
-  Def("channel-close!", primChanClose, 1, 1);
-  Def("channel-closed?", primChanClosedP, 1, 1);
-  Def("sched-stats", primSchedStats, 0, 0);
-
-  // Ports and the I/O reactor (non-parking halves).
-  Def("open-pipe", primOpenPipe, 0, 0);
-  Def("open-socketpair", primOpenSocketpair, 0, 0);
-  Def("io-listen", primIoListen, 0, 1);
-  Def("io-tcp-port", primIoTcpPort, 1, 1);
-  Def("io-close", primIoClose, 1, 1);
-  Def("io-closed?", primIoClosedP, 1, 1);
-  Def("string->datum", primStringToDatum, 1, 1);
-  Def("serve-request-done!", primServeRequestDone, 0, 0);
+  Vm.defineNatives(SpecialDefs);
+  Vm.defineNatives(PrimDefs);
 
   // The EOF sentinel (also what channel-recv yields on a closed channel).
   Vm.defineGlobal("*eof*", Vm.eofObject());

@@ -2,6 +2,7 @@
 
 #include "compiler/Bytecode.h"
 #include "core/FrameWalk.h"
+#include "io/ConnQueue.h"
 #include "io/Reactor.h"
 #include "object/ListUtil.h"
 #include "sched/Scheduler.h"
@@ -68,10 +69,13 @@ void VM::writeOutput(std::string_view Sv) {
   std::fwrite(Sv.data(), 1, Sv.size(), stdout);
 }
 
-Value VM::fail(const std::string &Msg) {
+Value VM::fail(const std::string &Msg) { return fail(Msg, ErrorKind::Runtime); }
+
+Value VM::fail(const std::string &Msg, ErrorKind Kind) {
   if (!Failed) {
     Failed = true;
     ErrMsg = Msg;
+    ErrKind = Kind;
   }
   return Value::unspecified();
 }
@@ -86,6 +90,11 @@ void VM::defineNative(std::string_view Name, NativeFn Fn, uint16_t MinArgs,
   Native *N =
       H.allocNative(Value::object(Sym), Fn, MinArgs, MaxArgs, Special);
   Sym->Global = Value::object(N);
+}
+
+void VM::defineNatives(std::span<const NativeDef> Defs) {
+  for (const NativeDef &D : Defs)
+    defineNative(D.Name, D.Fn, D.MinArgs, D.MaxArgs, D.Special);
 }
 
 void VM::traceRoots(GCVisitor &V) {
@@ -517,6 +526,9 @@ void VM::enterCall(Value Callee, std::vector<Value> Args, Site St) {
       case NativeSpecial::IoAccept:
         ioAccept(Args[0], St);
         return;
+      case NativeSpecial::IoTakeConn:
+        ioTakeConn(St);
+        return;
       }
       oscUnreachable("bad NativeSpecial");
     }
@@ -617,8 +629,9 @@ void VM::schedDispatch() {
         // (channel closed under a parked send, EPIPE under a parked
         // write).  Raise it as the run's error, like any in-thread error.
         std::string E = T.PendingError;
+        ErrorKind EK = T.PendingErrorKind;
         abortScheduler();
-        fail(E);
+        fail(E, EK);
         return;
       }
       if (T.Resume.identical(ThreadGuard)) {
@@ -661,10 +674,17 @@ void VM::schedDispatch() {
         // still provide.  Block in poll(2) until one wakes.
         if (ioPollAndWake(Cfg.IoPollTimeoutMs))
           continue;
+        if (ConnQ && !ConnQ->closed() && Rx->hasWaiter(IoOp::TakeConn)) {
+          // A pool worker idling on io-take-conn is not stuck: the accept
+          // thread can hand off a connection at any time.  Outwait the
+          // timeout instead of failing the shard.
+          continue;
+        }
         size_t NParked = Rx->waiterCount();
         abortScheduler();
         fail("io: poll timed out with " + std::to_string(NParked) +
-             " thread(s) parked on I/O");
+                 " thread(s) parked on I/O",
+             ErrorKind::Io);
         return;
       }
       uint32_t NBlocked = Sched->blockedCount();
@@ -861,13 +881,15 @@ namespace {
 Port *ioPortArg(VM &Vm, const char *Who, Value PortV, Port::Kind Want) {
   Port *P = PortV.isFixnum() ? Vm.reactor().port(PortV.asFixnum()) : nullptr;
   if (!P) {
-    Vm.fail(std::string(Who) + ": not a port: " + writeToString(PortV));
+    Vm.fail(std::string(Who) + ": not a port: " + writeToString(PortV),
+            ErrorKind::Io);
     return nullptr;
   }
   if (P->kind() != Want) {
     Vm.fail(std::string(Who) + ": port " + std::to_string(P->id()) +
-            (Want == Port::Kind::Listener ? " is not a listener"
-                                          : " is a listener, not a stream"));
+                (Want == Port::Kind::Listener ? " is not a listener"
+                                              : " is not a stream"),
+            ErrorKind::Io);
     return nullptr;
   }
   return P;
@@ -901,10 +923,13 @@ void VM::ioReadLine(Value PortV, Site St) {
       nativeReturn(EofObj, St);
       return;
     }
-    Port::Io R = P->fillInput(S.BytesRead);
+    uint64_t NIn = 0;
+    Port::Io R = P->fillInput(NIn);
+    S.BytesRead += NIn;
     if (R == Port::Io::Error) {
       fail("io-read-line: port " + std::to_string(P->id()) + ": " +
-           P->lastError());
+               P->lastError(),
+           ErrorKind::Io);
       return;
     }
     if (R == Port::Io::WouldBlock) {
@@ -914,7 +939,8 @@ void VM::ioReadLine(Value PortV, Site St) {
       }
       if (!pollOneFd(P->fd(), /*ForWrite=*/false, Cfg.IoPollTimeoutMs)) {
         fail("io-read-line: timed out waiting on port " +
-             std::to_string(P->id()));
+                 std::to_string(P->id()),
+             ErrorKind::Io);
         return;
       }
     }
@@ -933,14 +959,17 @@ void VM::ioWrite(Value PortV, Value StrV, Site St) {
   }
   P->queueOutput(Str->view());
   for (;;) {
-    Port::Io R = P->flushOutput(S.BytesWritten);
+    uint64_t NOut = 0;
+    Port::Io R = P->flushOutput(NOut);
+    S.BytesWritten += NOut;
     if (R == Port::Io::Progress) {
       nativeReturn(Value::unspecified(), St);
       return;
     }
     if (R == Port::Io::Error) {
       fail("io-write: port " + std::to_string(P->id()) + ": " +
-           P->lastError());
+               P->lastError(),
+           ErrorKind::Io);
       return;
     }
     if (Sched->inThread()) {
@@ -948,7 +977,8 @@ void VM::ioWrite(Value PortV, Value StrV, Site St) {
       return;
     }
     if (!pollOneFd(P->fd(), /*ForWrite=*/true, Cfg.IoPollTimeoutMs)) {
-      fail("io-write: timed out waiting on port " + std::to_string(P->id()));
+      fail("io-write: timed out waiting on port " + std::to_string(P->id()),
+           ErrorKind::Io);
       return;
     }
   }
@@ -973,7 +1003,8 @@ void VM::ioAccept(Value PortV, Site St) {
     }
     if (NewFd == -2) {
       fail("io-accept: port " + std::to_string(P->id()) + ": " +
-           P->lastError());
+               P->lastError(),
+           ErrorKind::Io);
       return;
     }
     if (Sched->inThread()) {
@@ -981,7 +1012,64 @@ void VM::ioAccept(Value PortV, Site St) {
       return;
     }
     if (!pollOneFd(P->fd(), /*ForWrite=*/false, Cfg.IoPollTimeoutMs)) {
-      fail("io-accept: timed out waiting on port " + std::to_string(P->id()));
+      fail("io-accept: timed out waiting on port " + std::to_string(P->id()),
+           ErrorKind::Io);
+      return;
+    }
+  }
+}
+
+bool VM::attachConnQueue(ConnQueue *Q, std::string &Err) {
+  if (Q && !Rx->enableWakeup(Err))
+    return false;
+  ConnQ = Q;
+  return true;
+}
+
+Value VM::ioTryTakeConn() {
+  // Drain *before* checking the queue: a notify() that lands after the
+  // pop() below leaves its byte in the pipe, so the next poll still wakes.
+  // Draining after would open a lost-wakeup window.
+  Rx->drainWakeup();
+  ConnQueue::Pop R = ConnQ->pop();
+  if (R.Fd >= 0) {
+    uint32_t NewId = Rx->addAdoptedPort(R.Fd, Port::Kind::Stream);
+    S.AcceptedConnections += 1;
+    // Same event as io-accept; p0 is the wakeup port standing in for the
+    // (remote) listener.  Port ids, never fds, so dumps stay deterministic.
+    OSC_TRACE(&Tr, TraceEvent::Accept,
+              static_cast<uint32_t>(Rx->wakeupPortId()), NewId);
+    if (ConnQ->size() > 0)
+      Rx->notify(); // The drain may have eaten other handoffs' bytes; re-arm.
+    return Value::fixnum(NewId);
+  }
+  if (R.Closed)
+    return EofObj;
+  return Value(); // Empty and still open: the caller parks.
+}
+
+void VM::ioTakeConn(Site St) {
+  if (!ConnQ || Rx->wakeupPortId() < 0) {
+    fail("io-take-conn: no connection queue attached", ErrorKind::Io);
+    return;
+  }
+  Port *Wk = Rx->port(Rx->wakeupPortId());
+  for (;;) {
+    Value V = ioTryTakeConn();
+    if (!V.isEmpty()) {
+      nativeReturn(V, St);
+      return;
+    }
+    if (Sched->inThread()) {
+      ioPark(Wk, static_cast<int>(IoOp::TakeConn), St);
+      return;
+    }
+    // Main computation: block inline on the wakeup pipe, like any other
+    // main-computation I/O.  The idle-worker exemption lives in the
+    // scheduler's Deadlock branch, not here: a bare main-loop take-conn
+    // honors the configured timeout.
+    if (!pollOneFd(Wk->fd(), /*ForWrite=*/false, Cfg.IoPollTimeoutMs)) {
+      fail("io-take-conn: timed out waiting for a handoff", ErrorKind::Io);
       return;
     }
   }
@@ -1002,6 +1090,7 @@ bool VM::ioComplete(const PendingIo &P) {
   };
   auto Poison = [&](const std::string &E) {
     T->PendingError = E;
+    T->PendingErrorKind = ErrorKind::Io;
     return WakeWith(Value::unspecified());
   };
 
@@ -1012,7 +1101,9 @@ bool VM::ioComplete(const PendingIo &P) {
       return WakeWith(Value::object(H.allocString(Line)));
     if (Pt->closed() || Pt->atEof())
       return WakeWith(EofObj);
-    Port::Io R = Pt->fillInput(S.BytesRead);
+    uint64_t NIn = 0;
+    Port::Io R = Pt->fillInput(NIn);
+    S.BytesRead += NIn;
     if (Pt->takeLine(Line))
       return WakeWith(Value::object(H.allocString(Line)));
     if (R == Port::Io::Eof)
@@ -1027,7 +1118,9 @@ bool VM::ioComplete(const PendingIo &P) {
     if (Pt->closed())
       return Poison("io-write: port " + std::to_string(Pt->id()) +
                     " was closed while a write was parked");
-    Port::Io R = Pt->flushOutput(S.BytesWritten);
+    uint64_t NOut = 0;
+    Port::Io R = Pt->flushOutput(NOut);
+    S.BytesWritten += NOut;
     if (R == Port::Io::Progress)
       return WakeWith(Value::unspecified());
     if (R == Port::Io::Error)
@@ -1050,6 +1143,16 @@ bool VM::ioComplete(const PendingIo &P) {
       return Poison("io-accept: port " + std::to_string(Pt->id()) + ": " +
                     Pt->lastError());
     Rx->repark(P);
+    return false;
+  }
+  case IoOp::TakeConn: {
+    if (!ConnQ)
+      return Poison("io-take-conn: the connection queue was detached while "
+                    "a take was parked");
+    Value V = ioTryTakeConn();
+    if (!V.isEmpty())
+      return WakeWith(V);
+    Rx->repark(P); // Spurious wakeup (another waiter won the race).
     return false;
   }
   }
@@ -1079,6 +1182,8 @@ void VM::ioClosePort(Port *P) {
   // completion sees EOF (readers drain any buffered tail), and parked
   // writers are poisoned with a trappable error.
   std::vector<PendingIo> Ws = Rx->takeWaitersFor(P->id());
+  if (P->kind() == Port::Kind::Stream && !P->closed())
+    S.ConnectionsClosed += 1;
   P->closeNow();
   // A closed port never re-parks: every completion wakes (or the waiter
   // was stale and its thread already gone).
@@ -1097,6 +1202,7 @@ VM::RunResult VM::run(Code *Toplevel) {
   Failed = false;
   Halted = false;
   ErrMsg.clear();
+  ErrKind = ErrorKind::None;
   FinalValue = Value::unspecified();
   Acc = Value::unspecified();
   NumValues = 1;
@@ -1121,8 +1227,9 @@ VM::RunResult VM::run(Code *Toplevel) {
     // control stack mutated nothing before throwing, so the next run's
     // reset() starts from a consistent state; only this result is lost.
     fail("stack segment allocation failed (injected fault at request #" +
-         std::to_string(F.Ordinal) + ", " +
-         std::to_string(F.RequestedWords) + " words)");
+             std::to_string(F.Ordinal) + ", " +
+             std::to_string(F.RequestedWords) + " words)",
+         ErrorKind::Fault);
     if (Sched->active())
       abortScheduler();
     Cur = nullptr; // The backtrace walk is not meaningful mid-surgery.
@@ -1132,6 +1239,7 @@ VM::RunResult VM::run(Code *Toplevel) {
   if (Failed) {
     R.Ok = false;
     R.Error = ErrMsg;
+    R.Kind = ErrKind == ErrorKind::None ? ErrorKind::Runtime : ErrKind;
     if (Cur)
       R.Backtrace = captureBacktrace();
     return R;

@@ -19,11 +19,13 @@
 #include "core/ControlStack.h"
 #include "object/Heap.h"
 #include "object/Objects.h"
+#include "support/Error.h"
 #include "support/Fault.h"
 #include "support/Stats.h"
 #include "support/Trace.h"
 
 #include <memory>
+#include <span>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -36,6 +38,18 @@ enum class ThreadState : uint8_t;
 class Reactor;
 class Port;
 struct PendingIo;
+class ConnQueue;
+
+/// One row of a native-procedure registration table (see
+/// VM::defineNatives): collapses the per-primitive defineNative
+/// boilerplate into data.
+struct NativeDef {
+  const char *Name;
+  NativeFn Fn;
+  uint16_t MinArgs;
+  int16_t MaxArgs; ///< -1 for variadic.
+  NativeSpecial Special = NativeSpecial::None;
+};
 
 class VM : public RootProvider {
 public:
@@ -48,6 +62,8 @@ public:
     bool Ok = false;
     Value Val;
     std::string Error;
+    /// Which layer rejected the work (support/Error.h); None when Ok.
+    ErrorKind Kind = ErrorKind::None;
     /// On error: innermost-first procedure names, reconstructed by walking
     /// the frames of the current window and the continuation chain using
     /// the frame-size words (§3.1 — the same mechanism exception handlers
@@ -78,6 +94,9 @@ public:
   /// Records a runtime error; the interpreter loop aborts at the next
   /// check.  Returns unspecified so natives can `return Vm.fail(...)`.
   Value fail(const std::string &Msg);
+  /// Same, with an explicit classification (the no-kind overload records
+  /// ErrorKind::Runtime).  First error wins, kind included.
+  Value fail(const std::string &Msg, ErrorKind Kind);
   bool failed() const { return Failed; }
 
   /// Writes \p S to the program's output: the capture buffer when capture
@@ -139,6 +158,12 @@ public:
   // (outside scheduler-run) the same operations block inline instead.
 
   Reactor &reactor() { return *Rx; }
+  /// Attaches the serving pool's fd handoff queue (never owned; null
+  /// detaches) and enables the reactor's cross-thread wakeup so notify()
+  /// can interrupt a poll.  io-take-conn pulls from this queue.  Returns
+  /// false and sets \p Err when the wakeup pipe cannot be created.
+  bool attachConnQueue(ConnQueue *Q, std::string &Err);
+  ConnQueue *connQueue() { return ConnQ; }
   /// The interned EOF sentinel (what io-read-line yields at end of stream
   /// and channel-recv yields on a closed empty channel).
   Value eofObject() const { return EofObj; }
@@ -152,6 +177,8 @@ public:
   void defineNative(std::string_view Name, NativeFn Fn, uint16_t MinArgs,
                     int16_t MaxArgs,
                     NativeSpecial Special = NativeSpecial::None);
+  /// Registers a whole table of natives at once.
+  void defineNatives(std::span<const NativeDef> Defs);
 
   // RootProvider:
   void traceRoots(GCVisitor &V) override;
@@ -218,6 +245,11 @@ private:
   void ioReadLine(Value PortV, Site S);
   void ioWrite(Value PortV, Value StrV, Site S);
   void ioAccept(Value PortV, Site S);
+  void ioTakeConn(Site S);
+  /// Pops one handed-off fd if available: adopts it into the port table
+  /// and returns the new port id as a fixnum; EOF object when the queue is
+  /// closed and drained; Empty when it is merely empty (caller parks).
+  Value ioTryTakeConn();
   /// Parks the current thread on (\p P, \p Op): registers the waiter,
   /// captures the continuation at \p S one-shot and dispatches away.
   void ioPark(Port *P, int OpRaw, Site S);
@@ -255,6 +287,7 @@ private:
 
   bool Failed = false;
   std::string ErrMsg;
+  ErrorKind ErrKind = ErrorKind::None;
   bool Halted = false;
   Value FinalValue;
 
@@ -285,6 +318,7 @@ private:
   // I/O reactor state.
   std::unique_ptr<Reactor> Rx;
   Value EofObj; ///< Interned "#<eof>" symbol (unreadable, so unforgeable).
+  ConnQueue *ConnQ = nullptr; ///< Pool fd handoff queue; never owned.
 };
 
 /// Installs the standard primitive library into \p Vm (Primitives.cpp).

@@ -1,8 +1,9 @@
 // Embedding-API tests: Interp construction, native registration, error
 // propagation, output capture, GC rooting from the host, multiple
-// instances, and the stats surface a host application relies on.
+// instances, and the stats surface a host application relies on —
+// everything through the public umbrella header, as an embedder would.
 
-#include "vm/Interp.h"
+#include "osc.h"
 
 #include <gtest/gtest.h>
 
@@ -171,4 +172,136 @@ TEST(Api, SchemeLevelStatsMatchHostStats) {
       I.eval("(- (vm-stat 'procedure-calls) before)");
   ASSERT_TRUE(R.Ok);
   EXPECT_GE(R.Val.asFixnum(), 1000);
+}
+
+// --- Structured errors (osc::Error / ErrorKind) ------------------------------
+
+TEST(Api, ErrorKindClassifiesParseErrors) {
+  Interp I;
+  // Reader, expander and compiler failures are all Parse: nothing ran.
+  Interp::Result R = I.eval("((((");
+  ASSERT_FALSE(R.Ok);
+  EXPECT_EQ(R.Kind, ErrorKind::Parse);
+  R = I.eval("(if)");
+  ASSERT_FALSE(R.Ok);
+  EXPECT_EQ(R.Kind, ErrorKind::Parse);
+  // The structured view carries both halves.
+  Error E = R.error();
+  EXPECT_FALSE(E.ok());
+  EXPECT_EQ(E.Kind, ErrorKind::Parse);
+  EXPECT_EQ(E.Message, R.Error);
+  EXPECT_STREQ(errorKindName(E.Kind), "parse");
+}
+
+TEST(Api, ErrorKindClassifiesRuntimeErrors) {
+  Interp I;
+  Interp::Result R = I.eval("(car 1)");
+  ASSERT_FALSE(R.Ok);
+  EXPECT_EQ(R.Kind, ErrorKind::Runtime);
+  R = I.eval("(error \"boom\")");
+  ASSERT_FALSE(R.Ok);
+  EXPECT_EQ(R.Kind, ErrorKind::Runtime);
+}
+
+TEST(Api, ErrorKindClassifiesIoErrors) {
+  Interp I;
+  Interp::Result R = I.eval("(io-read-line 999)");
+  ASSERT_FALSE(R.Ok);
+  EXPECT_EQ(R.Kind, ErrorKind::Io) << R.Error;
+  R = I.eval("(io-write 999 \"x\")");
+  ASSERT_FALSE(R.Ok);
+  EXPECT_EQ(R.Kind, ErrorKind::Io) << R.Error;
+}
+
+TEST(Api, ErrorKindClassifiesInjectedFaults) {
+  Config C;
+  C.SegmentWords = 64; // Small segments so deep recursion needs several.
+  Interp I(C);
+  I.faults().FailSegmentAlloc = 3;
+  Interp::Result R =
+      I.eval("(define (f n) (if (zero? n) 0 (+ 1 (f (- n 1))))) (f 10000)");
+  ASSERT_FALSE(R.Ok);
+  EXPECT_EQ(R.Kind, ErrorKind::Fault) << R.Error;
+}
+
+TEST(Api, SuccessHasNoErrorKind) {
+  Interp I;
+  Interp::Result R = I.eval("(+ 1 2)");
+  ASSERT_TRUE(R.Ok);
+  EXPECT_EQ(R.Kind, ErrorKind::None);
+  EXPECT_TRUE(R.error().ok());
+  // A fresh eval clears any prior classification.
+  ASSERT_FALSE(I.eval("(car 1)").Ok);
+  R = I.eval("(+ 2 2)");
+  ASSERT_TRUE(R.Ok);
+  EXPECT_EQ(R.Kind, ErrorKind::None);
+}
+
+// --- Stats snapshots ---------------------------------------------------------
+
+TEST(Api, SnapshotIsCoherentCopy) {
+  Interp I;
+  Stats::Snapshot Before = I.snapshot();
+  ASSERT_TRUE(I.eval("(define (f n) (if (zero? n) 0 (f (- n 1)))) (f 500)")
+                  .Ok);
+  Stats::Snapshot After = I.snapshot();
+  // The snapshot is a copy: re-evaluating does not mutate it.
+  uint64_t Calls = After.ProcedureCalls;
+  ASSERT_TRUE(I.eval("(f 500)").Ok);
+  EXPECT_EQ(After.ProcedureCalls, Calls);
+  Stats::Snapshot D = After - Before;
+  EXPECT_GE(D.ProcedureCalls, 500u);
+  EXPECT_GT(D.Instructions, 0u);
+  std::string Dump = D.toString();
+  EXPECT_NE(Dump.find("ProcedureCalls"), std::string::npos);
+}
+
+TEST(Api, SnapshotAggregation) {
+  // operator+= sums every counter — the pool uses exactly this to
+  // aggregate shards; here two independent interpreters stand in.
+  Interp A, B;
+  ASSERT_TRUE(A.eval("(vector-length (make-vector 100))").Ok);
+  ASSERT_TRUE(B.eval("(vector-length (make-vector 200))").Ok);
+  Stats::Snapshot SumAB = A.snapshot();
+  SumAB += B.snapshot();
+  EXPECT_EQ(SumAB.Instructions,
+            A.snapshot().Instructions + B.snapshot().Instructions);
+  EXPECT_EQ(SumAB.BytesAllocated,
+            A.snapshot().BytesAllocated + B.snapshot().BytesAllocated);
+}
+
+// --- Table-driven native registration ---------------------------------------
+
+namespace {
+
+Value hostDouble(VM &, Value *A, uint32_t) {
+  return Value::fixnum(A[0].asFixnum() * 2);
+}
+
+Value hostSum(VM &, Value *A, uint32_t N) {
+  int64_t S = 0;
+  for (uint32_t K = 0; K < N; ++K)
+    S += A[K].asFixnum();
+  return Value::fixnum(S);
+}
+
+} // namespace
+
+TEST(Api, DefineNativesTable) {
+  static const NativeDef Natives[] = {
+      {"host-double", hostDouble, 1, 1},
+      {"host-sum", hostSum, 0, -1},
+      {"host-negate",
+       [](VM &, Value *A, uint32_t) {
+         return Value::fixnum(-A[0].asFixnum());
+       },
+       1, 1},
+  };
+  Interp I;
+  I.defineNatives(Natives);
+  EXPECT_EQ(I.evalToString("(host-double 21)"), "42");
+  EXPECT_EQ(I.evalToString("(host-sum 1 2 3 4)"), "10");
+  EXPECT_EQ(I.evalToString("(host-negate 7)"), "-7");
+  // Arity errors still enforced per row.
+  EXPECT_FALSE(I.eval("(host-double 1 2)").Ok);
 }

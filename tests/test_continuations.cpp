@@ -2,7 +2,7 @@
 // generators, loops, interaction with the segment machinery under small
 // segment sizes, and the counters that Figs. 2-3 imply.
 
-#include "vm/Interp.h"
+#include "osc.h"
 
 #include <gtest/gtest.h>
 

@@ -3,7 +3,7 @@
 // POPL 94).  This is a demanding workout for multi-shot capture: every
 // shift captures, and captured subcontinuations are re-entered freely.
 
-#include "vm/Interp.h"
+#include "osc.h"
 
 #include <gtest/gtest.h>
 

@@ -15,7 +15,7 @@
 // Registered under the ctest label "oracle".
 
 #include "ConfigLattice.h"
-#include "vm/Interp.h"
+#include "osc.h"
 
 #include <gtest/gtest.h>
 

@@ -2,7 +2,7 @@
 // paper maintains dynamic-wind support alongside one-shot continuations;
 // these tests pin the unwind/rewind ordering.
 
-#include "vm/Interp.h"
+#include "osc.h"
 
 #include <gtest/gtest.h>
 

@@ -4,7 +4,7 @@
 // number of procedure calls; preemption captures the rest of the
 // computation as a one-shot continuation wrapped in a new engine.
 
-#include "vm/Interp.h"
+#include "osc.h"
 
 #include <gtest/gtest.h>
 

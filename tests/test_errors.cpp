@@ -2,7 +2,7 @@
 // diagnostic, abort only the current evaluation, and leave the machine —
 // including the control stack — in a usable state.
 
-#include "vm/Interp.h"
+#include "osc.h"
 
 #include <gtest/gtest.h>
 

@@ -9,7 +9,7 @@
 // specifically designed to catch dangling cache entries and half-switched
 // control state on the error path.
 
-#include "vm/Interp.h"
+#include "osc.h"
 
 #include <gtest/gtest.h>
 

@@ -5,7 +5,7 @@
 // through scheduler one-shots, which is only sound because call/cc
 // promotes them (§3.3) — so this is the end-to-end test of promotion.
 
-#include "vm/Interp.h"
+#include "osc.h"
 
 #include <gtest/gtest.h>
 

@@ -3,7 +3,7 @@
 // both strategies, the segment cache (§3.2), seal displacement (§3.4), and
 // interoperation between one-shot and multi-shot abstractions.
 
-#include "vm/Interp.h"
+#include "osc.h"
 
 #include <gtest/gtest.h>
 

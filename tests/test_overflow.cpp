@@ -3,7 +3,7 @@
 // captured continuations, and the deep-recursion behavior the paper's §4
 // benchmark measures.
 
-#include "vm/Interp.h"
+#include "osc.h"
 
 #include <gtest/gtest.h>
 

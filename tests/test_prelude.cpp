@@ -1,7 +1,7 @@
 // Coverage for the prelude library procedures and remaining R4RS-ish
 // behaviours not exercised by the focused suites.
 
-#include "vm/Interp.h"
+#include "osc.h"
 
 #include <gtest/gtest.h>
 

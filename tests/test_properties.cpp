@@ -7,7 +7,7 @@
 // INSTANTIATE_TEST_SUITE_P runs all programs against all configurations.
 
 #include "ConfigLattice.h"
-#include "vm/Interp.h"
+#include "osc.h"
 
 #include <gtest/gtest.h>
 

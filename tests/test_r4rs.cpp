@@ -2,7 +2,7 @@
 // across the implemented subset, in one place.  Complements the focused
 // suites with breadth.
 
-#include "vm/Interp.h"
+#include "osc.h"
 
 #include <gtest/gtest.h>
 

@@ -6,7 +6,7 @@
 // and never visible to other threads), and the paper's headline property:
 // a steady-state context switch copies zero stack words.
 
-#include "vm/Interp.h"
+#include "osc.h"
 
 #include <gtest/gtest.h>
 

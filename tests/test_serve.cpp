@@ -7,8 +7,7 @@
 //
 // Registered under the ctest label "serve".
 
-#include "serve/Client.h"
-#include "serve/Server.h"
+#include "osc.h"
 
 #include <gtest/gtest.h>
 
@@ -51,7 +50,7 @@ TEST(Serve, PingPong) {
   C.close();
   S.stop();
   EXPECT_TRUE(S.result().Ok) << S.result().Error;
-  EXPECT_EQ(S.stats().RequestsServed - S.baseline().RequestsServed, 2u);
+  EXPECT_EQ(S.snapshot().RequestsServed - S.baseline().RequestsServed, 2u);
 }
 
 TEST(Serve, EvalRequests) {
@@ -98,8 +97,8 @@ TEST(Serve, ManyConcurrentClients) {
     C.close();
   S.stop();
   ASSERT_TRUE(S.result().Ok) << S.result().Error;
-  const Stats &St = S.stats();
-  const Stats &B = S.baseline();
+  Stats::Snapshot St = S.snapshot();
+  const Stats::Snapshot &B = S.baseline();
   EXPECT_EQ(St.RequestsServed - B.RequestsServed, static_cast<uint64_t>(N));
   EXPECT_EQ(St.AcceptedConnections - B.AcceptedConnections,
             static_cast<uint64_t>(N) + 1); // +1: stop()'s QUIT connection.
@@ -121,8 +120,8 @@ TEST(Serve, ZeroCopySteadyStateParks) {
   C.close();
   S.stop();
   ASSERT_TRUE(S.result().Ok) << S.result().Error;
-  EXPECT_GT(S.stats().IoParks, S.baseline().IoParks);
-  EXPECT_EQ(S.stats().WordsCopied - S.baseline().WordsCopied, 0u);
+  EXPECT_GT(S.snapshot().IoParks, S.baseline().IoParks);
+  EXPECT_EQ(S.snapshot().WordsCopied - S.baseline().WordsCopied, 0u);
 }
 
 TEST(Serve, MultiShotBaselineCopiesOnEveryPark) {
@@ -140,7 +139,7 @@ TEST(Serve, MultiShotBaselineCopiesOnEveryPark) {
   C.close();
   S.stop();
   ASSERT_TRUE(S.result().Ok) << S.result().Error;
-  EXPECT_GT(S.stats().WordsCopied, S.baseline().WordsCopied);
+  EXPECT_GT(S.snapshot().WordsCopied, S.baseline().WordsCopied);
 }
 
 TEST(Serve, SequentialRequestsOnOneConnection) {
@@ -156,7 +155,7 @@ TEST(Serve, SequentialRequestsOnOneConnection) {
   C.close();
   S.stop();
   EXPECT_TRUE(S.result().Ok) << S.result().Error;
-  EXPECT_EQ(S.stats().RequestsServed - S.baseline().RequestsServed, 100u);
+  EXPECT_EQ(S.snapshot().RequestsServed - S.baseline().RequestsServed, 100u);
 }
 
 TEST(Serve, GracefulStopIsIdempotentAndOk) {

@@ -1,7 +1,7 @@
 // End-to-end smoke tests: the interpreter boots (prelude loads) and basic
 // evaluation works.  Deeper per-module suites live in the sibling files.
 
-#include "vm/Interp.h"
+#include "osc.h"
 
 #include <gtest/gtest.h>
 

@@ -4,7 +4,7 @@
 // overflow policies, seal displacement, no cache).  The default config is
 // the reference; any divergence indicates a control-representation bug.
 
-#include "vm/Interp.h"
+#include "osc.h"
 
 #include <gtest/gtest.h>
 

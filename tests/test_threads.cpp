@@ -5,7 +5,7 @@
 // vs no captures at all).
 
 #include "Workloads.h"
-#include "vm/Interp.h"
+#include "osc.h"
 
 #include <gtest/gtest.h>
 

@@ -6,7 +6,7 @@
 // surfaces here — across every overflow-policy x promotion-strategy
 // combination.
 
-#include "vm/Interp.h"
+#include "osc.h"
 
 #include <gtest/gtest.h>
 

@@ -2,7 +2,7 @@
 // implementation): values/call-with-values in every position, interaction
 // with both continuation flavors and dynamic-wind.
 
-#include "vm/Interp.h"
+#include "osc.h"
 
 #include <gtest/gtest.h>
 

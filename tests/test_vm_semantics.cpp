@@ -4,7 +4,7 @@
 // call runs on the segmented stack); dedicated continuation tests live in
 // test_continuations.cpp / test_oneshot.cpp.
 
-#include "vm/Interp.h"
+#include "osc.h"
 
 #include <gtest/gtest.h>
 
