@@ -36,8 +36,8 @@ struct CounterSnapshot {
   uint64_t Bytes, WordsCopied, OneShotInvokes, MultiShotInvokes, Overflows,
       SegAllocs, CacheHits, Instructions, Calls, Closures;
 
-  static CounterSnapshot take(const Interp &I, const Stats &S) {
-    (void)I;
+  static CounterSnapshot take(const Interp &I) {
+    Stats::Snapshot S = I.snapshot();
     return {S.BytesAllocated, S.WordsCopied,   S.OneShotInvokes,
             S.MultiShotInvokes, S.Overflows,   S.SegmentsAllocated,
             S.SegmentCacheHits, S.Instructions, S.ProcedureCalls,

@@ -208,11 +208,11 @@ void ablationInvokeCostVsDepth() {
                       "  (if (zero? n) 'ok (begin (dive " +
                       std::to_string(Depth) +
                       ") (spin (- n 1)))))");
-      CounterSnapshot Start = CounterSnapshot::take(I, I.stats());
+      CounterSnapshot Start = CounterSnapshot::take(I);
       auto T0 = std::chrono::steady_clock::now();
       mustEval(I, "(spin " + std::to_string(Ops) + ")");
       auto T1 = std::chrono::steady_clock::now();
-      CounterSnapshot D = Start.delta(CounterSnapshot::take(I, I.stats()));
+      CounterSnapshot D = Start.delta(CounterSnapshot::take(I));
       Ns[Idx] = std::chrono::duration<double>(T1 - T0).count() * 1e9 / Ops;
       Copied[Idx] = D.WordsCopied / Ops;
       ++Idx;

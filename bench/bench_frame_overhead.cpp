@@ -84,11 +84,11 @@ Overheads measure(const char *Setup, const std::string &Call) {
   Interp I;
   mustEval(I, Setup);
   mustEval(I, Call); // Warm up (and take one-time GC growth out).
-  CounterSnapshot Start = CounterSnapshot::take(I, I.stats());
+  CounterSnapshot Start = CounterSnapshot::take(I);
   auto T0 = std::chrono::steady_clock::now();
   mustEval(I, Call);
   auto T1 = std::chrono::steady_clock::now();
-  CounterSnapshot D = Start.delta(CounterSnapshot::take(I, I.stats()));
+  CounterSnapshot D = Start.delta(CounterSnapshot::take(I));
   Overheads O;
   O.BytesPerCall = static_cast<double>(D.Bytes) / D.Calls;
   O.InstrsPerCall = static_cast<double>(D.Instructions) / D.Calls;
@@ -128,11 +128,11 @@ int main() {
     mustEval(I, osc::workloads::boyer());
     mustEval(I, "(boyer-setup!)");
     mustEval(I, "(boyer-run)"); // Warm up.
-    CounterSnapshot Start = CounterSnapshot::take(I, I.stats());
+    CounterSnapshot Start = CounterSnapshot::take(I);
     auto T0 = std::chrono::steady_clock::now();
     Value R = mustEval(I, "(boyer-run)");
     auto T1 = std::chrono::steady_clock::now();
-    CounterSnapshot D = Start.delta(CounterSnapshot::take(I, I.stats()));
+    CounterSnapshot D = Start.delta(CounterSnapshot::take(I));
     if (!R.isTrue())
       oscFatal("boyer failed to prove its theorem");
     std::printf("%-10s %10s %12s %10s | closures/call = %.4f over %llu "

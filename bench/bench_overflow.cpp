@@ -47,12 +47,12 @@ PolicyResult runPolicy(OverflowPolicy P, int Reps, int Depth) {
   // First descent warms the cache ("after the first recursion...").
   mustEval(I, "(deep " + std::to_string(Depth) + ")");
 
-  CounterSnapshot Start = CounterSnapshot::take(I, I.stats());
+  CounterSnapshot Start = CounterSnapshot::take(I);
   auto T0 = std::chrono::steady_clock::now();
   mustEval(I, "(deep-repeat " + std::to_string(Reps) + " " +
                   std::to_string(Depth) + ")");
   auto T1 = std::chrono::steady_clock::now();
-  CounterSnapshot D = Start.delta(CounterSnapshot::take(I, I.stats()));
+  CounterSnapshot D = Start.delta(CounterSnapshot::take(I));
 
   PolicyResult R;
   R.MsPerRun = std::chrono::duration<double>(T1 - T0).count() * 1e3 / Reps;

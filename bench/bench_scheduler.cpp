@@ -57,16 +57,16 @@ struct Sample {
 Sample runNative(int Threads, int FibN, int Interval) {
   Interp I;
   mustEval(I, NativeSetup);
-  uint64_t Copied0 = I.stats().WordsCopied;
-  uint64_t Switch0 = I.stats().ContextSwitches;
+  uint64_t Copied0 = I.snapshot().WordsCopied;
+  uint64_t Switch0 = I.snapshot().ContextSwitches;
   auto T0 = std::chrono::steady_clock::now();
   mustEval(I, "(run-threads-native " + std::to_string(Threads) + " " +
                   std::to_string(FibN) + " " + std::to_string(Interval) + ")");
   auto T1 = std::chrono::steady_clock::now();
   Sample S;
   S.Ms = std::chrono::duration<double>(T1 - T0).count() * 1e3;
-  S.WordsCopied = I.stats().WordsCopied - Copied0;
-  S.Switches = I.stats().ContextSwitches - Switch0;
+  S.WordsCopied = I.snapshot().WordsCopied - Copied0;
+  S.Switches = I.snapshot().ContextSwitches - Switch0;
   return S;
 }
 
@@ -74,12 +74,12 @@ Sample runScheme(const std::string &Setup, const char *Runner, int Threads,
                  int FibN, int Interval) {
   Interp I;
   mustEval(I, Setup);
-  CounterSnapshot Start = CounterSnapshot::take(I, I.stats());
+  CounterSnapshot Start = CounterSnapshot::take(I);
   auto T0 = std::chrono::steady_clock::now();
   mustEval(I, "(" + std::string(Runner) + " " + std::to_string(Threads) + " " +
                   std::to_string(FibN) + " " + std::to_string(Interval) + ")");
   auto T1 = std::chrono::steady_clock::now();
-  CounterSnapshot D = Start.delta(CounterSnapshot::take(I, I.stats()));
+  CounterSnapshot D = Start.delta(CounterSnapshot::take(I));
   Sample S;
   S.Ms = std::chrono::duration<double>(T1 - T0).count() * 1e3;
   S.WordsCopied = D.WordsCopied;
@@ -113,13 +113,13 @@ int main() {
     for (int T = 0; T < Yielders; ++T)
       Setup += "(spawn (yielder " + std::to_string(Rounds) + "))";
     mustEval(I, Setup);
-    uint64_t Copied0 = I.stats().WordsCopied;
-    uint64_t Switch0 = I.stats().ContextSwitches;
+    uint64_t Copied0 = I.snapshot().WordsCopied;
+    uint64_t Switch0 = I.snapshot().ContextSwitches;
     auto T0 = std::chrono::steady_clock::now();
     mustEval(I, "(scheduler-run)");
     auto T1 = std::chrono::steady_clock::now();
-    uint64_t Switches = I.stats().ContextSwitches - Switch0;
-    uint64_t Copied = I.stats().WordsCopied - Copied0;
+    uint64_t Switches = I.snapshot().ContextSwitches - Switch0;
+    uint64_t Copied = I.snapshot().WordsCopied - Copied0;
     double Ns =
         std::chrono::duration<double>(T1 - T0).count() * 1e9 / Switches;
     std::printf("Steady-state native switch: %llu switches, %llu words "

@@ -36,13 +36,13 @@ void runTak(benchmark::State &State, const char *Call) {
   Interp I;
   mustEval(I, workloads::takVariants());
   uint64_t Ops = 0;
-  CounterSnapshot Start = CounterSnapshot::take(I, I.stats());
+  CounterSnapshot Start = CounterSnapshot::take(I);
   for (auto _ : State) {
     Value V = mustEval(I, Call);
     benchmark::DoNotOptimize(V);
     ++Ops;
   }
-  CounterSnapshot D = Start.delta(CounterSnapshot::take(I, I.stats()));
+  CounterSnapshot D = Start.delta(CounterSnapshot::take(I));
   State.counters["bytes/op"] =
       benchmark::Counter(static_cast<double>(D.Bytes) / Ops);
   State.counters["words-copied/op"] =
@@ -85,13 +85,13 @@ void printSummary() {
     Interp I;
     mustEval(I, workloads::takVariants());
     mustEval(I, Call); // Warm up.
-    CounterSnapshot Start = CounterSnapshot::take(I, I.stats());
+    CounterSnapshot Start = CounterSnapshot::take(I);
     auto T0 = std::chrono::steady_clock::now();
     constexpr int Reps = 25;
     for (int R = 0; R != Reps; ++R)
       mustEval(I, Call);
     auto T1 = std::chrono::steady_clock::now();
-    CounterSnapshot D = Start.delta(CounterSnapshot::take(I, I.stats()));
+    CounterSnapshot D = Start.delta(CounterSnapshot::take(I));
     VariantResult V;
     V.SecondsPerOp = std::chrono::duration<double>(T1 - T0).count() / Reps;
     V.BytesPerOp = static_cast<double>(D.Bytes) / Reps;

@@ -52,11 +52,11 @@ Sample runVariant(const char *Setup, const char *Runner, int Threads,
   std::string Call = "(" + std::string(Runner) + " " +
                      std::to_string(Threads) + " " + std::to_string(FibN) +
                      " " + std::to_string(Interval) + ")";
-  CounterSnapshot Start = CounterSnapshot::take(I, I.stats());
+  CounterSnapshot Start = CounterSnapshot::take(I);
   auto T0 = std::chrono::steady_clock::now();
   mustEval(I, Call);
   auto T1 = std::chrono::steady_clock::now();
-  CounterSnapshot D = Start.delta(CounterSnapshot::take(I, I.stats()));
+  CounterSnapshot D = Start.delta(CounterSnapshot::take(I));
   Sample S;
   S.Ms = std::chrono::duration<double>(T1 - T0).count() * 1e3;
   S.WordsCopied = D.WordsCopied;

@@ -39,13 +39,13 @@ void runTraced(benchmark::State &State, bool Enabled, size_t RingEvents) {
   if (Enabled)
     I.trace().start();
   uint64_t Ops = 0;
-  CounterSnapshot Start = CounterSnapshot::take(I, I.stats());
+  CounterSnapshot Start = CounterSnapshot::take(I);
   for (auto _ : State) {
     Value V = mustEval(I, takCall());
     benchmark::DoNotOptimize(V);
     ++Ops;
   }
-  CounterSnapshot D = Start.delta(CounterSnapshot::take(I, I.stats()));
+  CounterSnapshot D = Start.delta(CounterSnapshot::take(I));
   State.counters["instr/op"] =
       benchmark::Counter(static_cast<double>(D.Instructions) / Ops);
   State.counters["events/op"] =
@@ -80,7 +80,7 @@ void printSummary() {
     if (Enabled)
       I.trace().start();
     mustEval(I, takCall()); // Warm up.
-    uint64_t Instr0 = I.stats().Instructions;
+    uint64_t Instr0 = I.snapshot().Instructions;
     uint64_t Events0 = I.trace().emitted();
     auto T0 = std::chrono::steady_clock::now();
     const int Reps = fastMode() ? 5 : 25;
@@ -89,7 +89,7 @@ void printSummary() {
     auto T1 = std::chrono::steady_clock::now();
     Sample S;
     S.SecondsPerOp = std::chrono::duration<double>(T1 - T0).count() / Reps;
-    S.InstructionsPerOp = (I.stats().Instructions - Instr0) / Reps;
+    S.InstructionsPerOp = (I.snapshot().Instructions - Instr0) / Reps;
     S.EventsPerOp = (I.trace().emitted() - Events0) / Reps;
     return S;
   };

@@ -85,8 +85,31 @@ public:
 
   // --- Buffered output -------------------------------------------------------
 
-  void queueOutput(std::string_view S) { OutBuf.append(S); }
+  /// Appends to the output buffer.  Returns false — and queues nothing —
+  /// when the append would push the buffered-but-unsent output past the
+  /// cap (see setOutputCap): the caller must treat the port as a hopeless
+  /// slow client and drop it rather than buffer without bound.
+  bool queueOutput(std::string_view S) {
+    if (OutCap && OutBuf.size() + S.size() > OutCap)
+      return false;
+    OutBuf.append(S);
+    return true;
+  }
   bool outputPending() const { return !OutBuf.empty(); }
+
+  /// Hard cap in bytes on buffered output; 0 disables.
+  void setOutputCap(size_t Bytes) { OutCap = Bytes; }
+  size_t outputCap() const { return OutCap; }
+
+  // --- Per-port deadline -----------------------------------------------------
+  //
+  // Slow-client defense: when nonzero, every park on this port is armed
+  // with `now + DeadlineTicks` on the reactor's virtual tick clock, and a
+  // park that expires drops the connection (io-drop) instead of waiting
+  // forever.  Set from Scheme via io-set-deadline!.
+
+  void setDeadlineTicks(uint64_t T) { DeadlineTicks = T; }
+  uint64_t deadlineTicks() const { return DeadlineTicks; }
 
   /// Writes as much of the output buffer as the fd accepts right now.
   /// \p BytesOut is incremented by the bytes moved.
@@ -111,6 +134,8 @@ private:
   std::string InBuf;
   std::string OutBuf;
   std::string Err;
+  size_t OutCap = 0;           ///< Output-buffer hard cap; 0 = unbounded.
+  uint64_t DeadlineTicks = 0;  ///< Per-park deadline distance; 0 = none.
 };
 
 // --- fd factories (all loopback/local; every fd comes back non-blocking) -----

@@ -19,6 +19,8 @@ const char *osc::ioOpName(IoOp Op) {
     return "accept";
   case IoOp::TakeConn:
     return "take-conn";
+  case IoOp::Timer:
+    return "timer";
   }
   return "?";
 }
@@ -42,12 +44,14 @@ Reactor::~Reactor() {
 uint32_t Reactor::addPort(int Fd, Port::Kind K) {
   uint32_t Id = static_cast<uint32_t>(Ports.size());
   Ports.push_back(std::make_unique<Port>(Id, Fd, K));
+  Ports.back()->setOutputCap(DefaultOutCap);
   return Id;
 }
 
 uint32_t Reactor::addAdoptedPort(int Fd, Port::Kind K) {
   uint32_t Id = static_cast<uint32_t>(Ports.size());
   Ports.push_back(std::make_unique<Port>(Id, Fd, K, Port::AdoptFd{}));
+  Ports.back()->setOutputCap(DefaultOutCap);
   return Id;
 }
 
@@ -95,22 +99,42 @@ void Reactor::drainWakeup() {
   }
 }
 
-void Reactor::park(uint32_t Tid, uint32_t PortId, IoOp Op) {
-  Waiters.push_back({NextSeq++, Tid, PortId, Op});
+void Reactor::park(uint32_t Tid, uint32_t PortId, IoOp Op,
+                   uint64_t DeadlineTick, uint64_t ParkSeq) {
+  Waiters.push_back({NextSeq++, Tid, PortId, Op, DeadlineTick, ParkSeq});
 }
 
-std::vector<PendingIo> Reactor::takeReady(int TimeoutMs) {
+void Reactor::parkTimer(uint32_t Tid, uint64_t DeadlineTick, uint64_t ParkSeq) {
+  Waiters.push_back(
+      {NextSeq++, Tid, PendingIo::NoPort, IoOp::Timer, DeadlineTick, ParkSeq});
+}
+
+size_t Reactor::timedWaiterCount() const {
+  size_t N = 0;
+  for (const PendingIo &W : Waiters)
+    if (W.DeadlineTick)
+      ++N;
+  return N;
+}
+
+std::vector<PendingIo> Reactor::takeReady(int TimeoutMs,
+                                          std::vector<PendingIo> *Expired) {
   std::vector<PendingIo> Ready;
   if (Waiters.empty())
     return Ready;
 
   // One pollfd per distinct fd; a port with both a parked reader and a
   // parked writer gets its events merged.  Closed ports are ready without
-  // asking the kernel — their waiters complete with EOF/error.
+  // asking the kernel — their waiters complete with EOF/error.  Timer
+  // waiters have no fd at all; they only expire.
   std::vector<pollfd> Pfds;
   std::vector<char> IsReady(Waiters.size(), 0);
-  bool AnyClosed = false;
+  bool AnyClosed = false, AnyDeadline = false;
   for (size_t I = 0; I < Waiters.size(); ++I) {
+    if (Waiters[I].DeadlineTick)
+      AnyDeadline = true;
+    if (Waiters[I].Op == IoOp::Timer)
+      continue;
     Port *P = port(Waiters[I].PortId);
     if (!P || P->closed()) {
       IsReady[I] = 1;
@@ -130,9 +154,14 @@ std::vector<PendingIo> Reactor::takeReady(int TimeoutMs) {
     }
   }
 
-  if (!Pfds.empty()) {
-    // With a closed-port waiter already ready, just sample the kernel.
-    int Wait = AnyClosed ? 0 : TimeoutMs;
+  // With a closed-port waiter already ready, just sample the kernel.  An
+  // armed deadline clamps the wait to one tick so the virtual clock keeps
+  // flowing; a Timer-only waiter set still sleeps that one tick (there is
+  // nothing to poll, but a tick must take a tick).
+  int Wait = AnyClosed ? 0 : TimeoutMs;
+  if (AnyDeadline && (Wait < 0 || Wait > TickMs))
+    Wait = TickMs;
+  if (!Pfds.empty() || AnyDeadline) {
     for (;;) {
       int N = ::poll(Pfds.data(), static_cast<nfds_t>(Pfds.size()), Wait);
       if (N >= 0)
@@ -141,7 +170,7 @@ std::vector<PendingIo> Reactor::takeReady(int TimeoutMs) {
         return Ready; // Treat a hard poll failure as a timeout.
     }
     for (size_t I = 0; I < Waiters.size(); ++I) {
-      if (IsReady[I])
+      if (IsReady[I] || Waiters[I].Op == IoOp::Timer)
         continue;
       Port *P = port(Waiters[I].PortId);
       auto It = std::find_if(Pfds.begin(), Pfds.end(),
@@ -156,18 +185,32 @@ std::vector<PendingIo> Reactor::takeReady(int TimeoutMs) {
     }
   }
 
+  // One batch, one tick.  Expiry is checked against the advanced clock so
+  // a deadline of "now + 1 tick" can fire on the very next batch.
+  ++NowTick;
+  std::vector<char> IsExpired(Waiters.size(), 0);
+  if (Expired)
+    for (size_t I = 0; I < Waiters.size(); ++I)
+      if (!IsReady[I] && Waiters[I].DeadlineTick &&
+          Waiters[I].DeadlineTick <= NowTick)
+        IsExpired[I] = 1;
+
   std::vector<PendingIo> Rest;
   for (size_t I = 0; I < Waiters.size(); ++I)
-    (IsReady[I] ? Ready : Rest).push_back(Waiters[I]);
+    (IsReady[I] ? Ready : IsExpired[I] ? *Expired : Rest)
+        .push_back(Waiters[I]);
   Waiters = std::move(Rest);
 
   // poll(2) reports readiness in fd order, which the OS recycles
   // nondeterministically; (port id, seq) is stable run to run.
-  std::sort(Ready.begin(), Ready.end(), [](const PendingIo &A, const PendingIo &B) {
+  auto ByPortSeq = [](const PendingIo &A, const PendingIo &B) {
     if (A.PortId != B.PortId)
       return A.PortId < B.PortId;
     return A.Seq < B.Seq;
-  });
+  };
+  std::sort(Ready.begin(), Ready.end(), ByPortSeq);
+  if (Expired)
+    std::sort(Expired->begin(), Expired->end(), ByPortSeq);
   return Ready;
 }
 

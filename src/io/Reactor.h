@@ -39,6 +39,8 @@ enum class IoOp : uint8_t {
   Accept,   ///< io-accept: one pending connection.
   TakeConn, ///< io-take-conn: a handed-off fd in the pool's ConnQueue;
             ///< parks on the wakeup port, not on a connection fd.
+  Timer,    ///< fd-less deadline waiter (channel block under with-deadline);
+            ///< never fd-ready, only ever expires.
 };
 
 const char *ioOpName(IoOp Op);
@@ -47,11 +49,24 @@ const char *ioOpName(IoOp Op);
 /// the registration sequence number that breaks wake-order ties.  A re-park
 /// (readiness arrived but the operation still cannot finish, e.g. a partial
 /// line) keeps its original Seq so waiters on one port stay FIFO.
+///
+/// DeadlineTick arms the deadline wheel: the waiter expires (is handed back
+/// through takeReady's Expired list instead of completing) once the
+/// reactor's virtual tick clock reaches it.  Timer waiters additionally
+/// carry the parking thread's park generation (ParkSeq) so a timer whose
+/// thread already woke through the channel is recognized as stale and
+/// discarded instead of fired — timers are cancelled lazily, never
+/// searched for.
 struct PendingIo {
   uint64_t Seq;
   uint32_t Tid;
   uint32_t PortId;
   IoOp Op;
+  uint64_t DeadlineTick = 0; ///< 0 = no deadline; fires at NowTick >= this.
+  uint64_t ParkSeq = 0;      ///< Thread park generation (Timer validity).
+
+  /// PortId of fd-less Timer waiters.
+  static constexpr uint32_t NoPort = 0xffffffffu;
 };
 
 class Reactor {
@@ -70,6 +85,10 @@ public:
   /// Adopts an fd created outside src/io (switched to non-blocking; see
   /// Port's adopting constructor) into the port table.
   uint32_t addAdoptedPort(int Fd, Port::Kind K);
+
+  /// Output-buffer hard cap applied to every subsequently created port
+  /// (0 = unbounded).  Set once from Config::MaxOutputBufferBytes.
+  void setDefaultOutputCap(size_t Bytes) { DefaultOutCap = Bytes; }
   Port *port(int64_t Id) {
     if (Id < 0 || static_cast<size_t>(Id) >= Ports.size())
       return nullptr;
@@ -79,22 +98,51 @@ public:
 
   // --- Waiter registry -------------------------------------------------------
 
-  /// Registers a fresh parked operation (new Seq).
-  void park(uint32_t Tid, uint32_t PortId, IoOp Op);
-  /// Re-registers \p P unchanged (original Seq) after a readiness event
-  /// that did not complete the operation.
+  /// Registers a fresh parked operation (new Seq).  \p DeadlineTick of 0
+  /// parks without a deadline; otherwise the waiter expires once the
+  /// virtual tick clock reaches it.
+  void park(uint32_t Tid, uint32_t PortId, IoOp Op, uint64_t DeadlineTick = 0,
+            uint64_t ParkSeq = 0);
+  /// Registers an fd-less Timer waiter for a thread blocked outside the
+  /// reactor (channel wait under with-deadline).
+  void parkTimer(uint32_t Tid, uint64_t DeadlineTick, uint64_t ParkSeq);
+  /// Re-registers \p P unchanged (original Seq, original deadline) after a
+  /// readiness event that did not complete the operation.
   void repark(const PendingIo &P) { Waiters.push_back(P); }
   size_t waiterCount() const { return Waiters.size(); }
 
   /// True when at least one parked operation is an \p Op.
   bool hasWaiter(IoOp Op) const;
+  /// Waiters with an armed deadline (the IoWaitDeadlinePeak numerator).
+  size_t timedWaiterCount() const;
+
+  // --- The virtual tick clock (deadline wheel) -------------------------------
+  //
+  // Deadlines are measured in *virtual poll ticks*, not wall time: the
+  // clock advances exactly once per takeReady batch, so the tick at which
+  // a deadline fires is a function of the poll sequence and traces that
+  // include timeouts stay byte-identical run to run.  Wall time enters
+  // only as the per-batch poll clamp (tickMs) that keeps a tick roughly
+  // tickMs long when deadlines are armed.
+
+  uint64_t nowTick() const { return NowTick; }
+  int tickMs() const { return TickMs; }
+  void setTickMs(int Ms) { TickMs = Ms > 0 ? Ms : 1; }
 
   /// poll(2)s the waiters' fds for up to \p TimeoutMs (negative = forever)
   /// and removes-and-returns every waiter whose fd is ready, sorted by
   /// (port id, seq).  Empty result means the poll timed out (or there was
   /// nothing to wait for).  Waiters on already-closed ports are always
   /// ready (they complete with EOF/error).
-  std::vector<PendingIo> takeReady(int TimeoutMs);
+  ///
+  /// Each call with a non-empty waiter set advances the tick clock once;
+  /// when any waiter has an armed deadline the kernel wait is clamped to
+  /// tickMs() so ticks keep flowing, and waiters whose deadline has been
+  /// reached (and that are not fd-ready — readiness wins) are removed and
+  /// appended to \p Expired (same deterministic order) when it is non-null,
+  /// or silently kept for the next batch when it is null.
+  std::vector<PendingIo> takeReady(int TimeoutMs,
+                                   std::vector<PendingIo> *Expired = nullptr);
 
   /// Removes-and-returns every waiter parked on \p PortId, in Seq order —
   /// io-close uses this to wake them before the fd goes away.
@@ -132,8 +180,11 @@ public:
 
 private:
   std::vector<std::unique_ptr<Port>> Ports; ///< Index == port id.
+  size_t DefaultOutCap = 0; ///< queueOutput cap stamped on new ports.
   std::vector<PendingIo> Waiters;
   uint64_t NextSeq = 0;
+  uint64_t NowTick = 0; ///< Virtual tick clock; +1 per takeReady batch.
+  int TickMs = 5;       ///< Wall-ms clamp per batch when deadlines armed.
   int64_t WakePortId = -1; ///< Index of the Wakeup port, -1 if disabled.
   int WakeWriteFd = -1;    ///< Write end of the self-pipe (reactor-owned).
 };

@@ -242,6 +242,15 @@ struct Continuation : ObjHeader {
   Value Flag;    ///< Shared promotion flag Cell, or #f when unused.
 
   bool isShot() const { return Size < 0; }
+  /// Consumes the continuation *without* reinstating it — deadline
+  /// cancellation poisons a parked thread's resume point this way.  Same
+  /// marking a one-shot invoke leaves behind, so a poisoned park can never
+  /// be resumed (unlike a multi-shot cancellation, which could resurrect),
+  /// and the abandoned window is reclaimed by GC: zero words copied.
+  void markShot() {
+    Size = -1;
+    SegSize = -1;
+  }
   /// True for an un-promoted one-shot continuation.  With the shared-flag
   /// scheme a #t flag means "promoted" even though SegSize still differs.
   bool isOneShot() const {

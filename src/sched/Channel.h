@@ -130,6 +130,24 @@ public:
 
   void blockReceiver(uint32_t Tid) { WaitingRecv.push_back(Tid); }
 
+  /// Removes \p Tid from both wait queues (its deadline fired while it was
+  /// parked here, so nothing may deliver to or wake it anymore).  Returns
+  /// true when found; a removed sender's undelivered value is dropped with
+  /// it.
+  bool removeWaiter(uint32_t Tid) {
+    for (auto It = WaitingRecv.begin(); It != WaitingRecv.end(); ++It)
+      if (*It == Tid) {
+        WaitingRecv.erase(It);
+        return true;
+      }
+    for (auto It = WaitingSend.begin(); It != WaitingSend.end(); ++It)
+      if (It->Tid == Tid) {
+        WaitingSend.erase(It);
+        return true;
+      }
+    return false;
+  }
+
   /// Drops all parked waiters (scheduler abort after an error).  Buffered
   /// values survive; values carried by aborted senders are lost with them.
   void clearWaiters() {

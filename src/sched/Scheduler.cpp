@@ -79,6 +79,8 @@ void Scheduler::abortRun() {
     T->Joiners.clear();
     T->PendingError.clear();
     T->PendingErrorKind = ErrorKind::Runtime;
+    T->Deadlines.clear();
+    T->EscapeProc = Value();
   }
   Live = 0;
   ReadyQ.clear();
@@ -139,6 +141,8 @@ void Scheduler::finishCurrent(Value Result) {
   T->Wake = Value();
   T->Ctx = SchedContext();
   T->Result = Result;
+  T->Deadlines.clear();
+  T->EscapeProc = Value();
   assert(Live > 0);
   Live -= 1;
   CompletedThisRun += 1;
@@ -216,6 +220,9 @@ void Scheduler::traceRoots(GCVisitor &V) {
     V.visit(T->Result);
     V.visit(T->Ctx.Winders);
     V.visit(T->Ctx.TimerHandler);
+    V.visit(T->EscapeProc);
+    for (DeadlineRec &D : T->Deadlines)
+      V.visit(D.Proc);
   }
   V.visit(MainK);
   V.visit(BaseWinders);

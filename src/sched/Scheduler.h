@@ -66,6 +66,17 @@ const char *threadStateName(ThreadState St);
 
 class Scheduler {
 public:
+  /// One armed (with-deadline ...) extent on a thread's dynamic chain.
+  /// Records live on the thread, innermost last; they are pushed/popped by
+  /// the %deadline-push / %deadline-pop primitives from with-deadline's
+  /// dynamic-wind, so they stay balanced under any one-shot escape (the
+  /// unwind's after-thunks pop by Id, never by position).
+  struct DeadlineRec {
+    uint64_t Id;   ///< Unique handle %deadline-pop removes by.
+    uint64_t Tick; ///< Absolute virtual tick at which the extent expires.
+    Value Proc;    ///< Escape thunk: invokes the extent's one-shot k.
+  };
+
   struct Thread {
     uint32_t Id = 0;
     ThreadState State = ThreadState::Ready;
@@ -86,6 +97,15 @@ public:
                               ///< send, or a parked write hit EPIPE).
     ErrorKind PendingErrorKind =
         ErrorKind::Runtime; ///< Classification raised with PendingError.
+    std::vector<DeadlineRec> Deadlines; ///< Armed with-deadline extents,
+                                        ///< innermost last.
+    uint64_t ParkSeq = 0; ///< Park generation: bumped per deadline-armed
+                          ///< park so a stale reactor Timer waiter (its
+                          ///< thread already woke) is recognized and
+                          ///< discarded instead of fired.
+    Value EscapeProc;     ///< Set when a deadline fired while parked: the
+                          ///< dispatcher runs this thunk on a fresh chain
+                          ///< instead of reinstating the poisoned Resume.
   };
 
   /// What the VM should transfer control to next.
@@ -163,6 +183,14 @@ public:
   // --- Channels -------------------------------------------------------------
 
   uint32_t makeChannel(uint32_t Capacity);
+  /// Removes \p Tid from every channel wait queue — called when a deadline
+  /// fires for a channel-blocked thread, so no later send/recv/close can
+  /// try to wake the already-escaped thread.
+  void dropFromChannels(uint32_t Tid) {
+    for (auto &C : Channels)
+      if (C->removeWaiter(Tid))
+        return; // A thread blocks on at most one channel.
+  }
   Channel *channel(int64_t Id) {
     if (Id < 0 || static_cast<size_t>(Id) >= Channels.size())
       return nullptr;

@@ -5,6 +5,7 @@
 #include "io/Reactor.h"
 #include "serve/Server.h"
 
+#include <algorithm>
 #include <cerrno>
 #include <sstream>
 
@@ -29,7 +30,7 @@ const char *Pool::workerSource() {
     (if (eof-object? conn)
         'closed
         (begin
-          (spawn (lambda () (conn-loop conn)))
+          (admit-conn conn)
           (worker-loop)))))
 
 (spawn worker-loop)
@@ -77,8 +78,7 @@ bool Pool::start() {
       ListenFd = -1;
       return false;
     }
-    W->I->defineGlobal("*max-inflight*", Value::fixnum(Opt.MaxInflight));
-    W->I->defineGlobal("*preempt*", Value::fixnum(Opt.PreemptInterval));
+    defineWorkerGlobals(*W->I);
     if (Opt.TraceWorkers)
       W->I->trace().start();
     W->Base = W->I->snapshot();
@@ -89,10 +89,57 @@ bool Pool::start() {
   // worker thread never sees a half-built pool.
   for (auto &W : Ws) {
     Worker *Wp = W.get();
-    Wp->Thr = std::thread([Wp, Program] { Wp->R = Wp->I->eval(Program); });
+    Wp->Thr = std::thread([this, Wp, Program] { workerMain(*Wp, Program); });
   }
   Acceptor = std::thread([this] { acceptLoop(); });
   return true;
+}
+
+void Pool::defineWorkerGlobals(Interp &I) const {
+  I.defineGlobal("*max-inflight*", Value::fixnum(Opt.MaxInflight));
+  I.defineGlobal("*preempt*", Value::fixnum(Opt.PreemptInterval));
+  I.defineGlobal("*max-conns*", Value::fixnum(Opt.MaxConns));
+  I.defineGlobal("*conn-deadline-ms*", Value::fixnum(Opt.ConnDeadlineMs));
+}
+
+void Pool::workerMain(Worker &W, const char *Program) {
+  for (;;) {
+    W.R = W.I->eval(Program);
+    if (W.R.Ok || Stopping.load(std::memory_order_relaxed) ||
+        W.Restarts >= Opt.MaxWorkerRestarts)
+      return;
+    // The shard's program crashed.  Its Interp is unusable (the error may
+    // have left the scheduler half-switched), but the handoff queue — and
+    // every fd queued in it — is host-owned and survives: stand up a fresh
+    // Interp on the same queue and re-run the program, which drains the
+    // queued connections as if they had just been handed off.  In-flight
+    // connections died with the old Interp (their fds close with its port
+    // table).
+    auto Fresh = std::make_unique<Interp>(Opt.VmCfg);
+    std::string E;
+    if (!Fresh->vm().attachConnQueue(W.Q.get(), E))
+      return; // Keep the crash result; the shard is lost.
+    defineWorkerGlobals(*Fresh);
+    if (Opt.TraceWorkers)
+      Fresh->trace().start();
+    // Keep the shard's counters continuous: bank the dead Interp's totals
+    // (net of the fresh one's prelude work, so diffs against Base still
+    // measure only serving), and account the connections that died with
+    // it as closed so Accepted - Closed keeps meaning "live".
+    Stats::Snapshot Dead = W.I->snapshot();
+    Dead.ConnectionsClosed =
+        std::max(Dead.ConnectionsClosed, Dead.AcceptedConnections);
+    Stats::Snapshot FreshBase = Fresh->snapshot();
+    Fresh->vm().stats().WorkerRestarts += 1;
+    {
+      std::lock_guard<std::mutex> L(Mu);
+      W.Carry += Dead - FreshBase;
+      W.I = std::move(Fresh);
+      W.Restarts += 1;
+    }
+    // No notify() needed: if fds are queued, the new program's first
+    // io-take-conn pops one before ever parking.
+  }
 }
 
 void Pool::acceptLoop() {
@@ -118,6 +165,7 @@ void Pool::acceptLoop() {
 int Pool::leastLoaded() const {
   int Best = 0;
   uint64_t BestLoad = ~uint64_t{0};
+  std::lock_guard<std::mutex> L(Mu); // vs. workerMain swapping a shard's Interp
   for (int N = 0; N != workers(); ++N) {
     const Worker &W = *Ws[static_cast<size_t>(N)];
     // Queue depth + live connections.  The counters are the shard's own
@@ -146,6 +194,10 @@ Error Pool::handoff(int Worker, int Fd) {
     return {ErrorKind::ServerStopped,
             "worker " + std::to_string(Worker) + ": handoff queue closed"};
   // The worker may be blocked in poll(2); make its wakeup port readable.
+  // Under the lock because workerMain may be swapping this shard's Interp
+  // (a restart's first take-conn drains the queue without needing the
+  // poke, so whichever Interp the pointer resolves to is fine).
+  std::lock_guard<std::mutex> L(Mu);
   W.I->vm().reactor().notify();
   return {};
 }
@@ -163,9 +215,12 @@ void Pool::stop() {
   // Close every handoff queue: each worker's take-conn loop drains what
   // is left, then sees EOF and stops respawning conn threads; its
   // scheduler run ends once in-flight connections finish.
-  for (auto &W : Ws) {
-    W->Q->close();
-    W->I->vm().reactor().notify();
+  {
+    std::lock_guard<std::mutex> L(Mu); // vs. a shard mid-restart
+    for (auto &W : Ws) {
+      W->Q->close();
+      W->I->vm().reactor().notify();
+    }
   }
   for (auto &W : Ws)
     if (W->Thr.joinable())
@@ -185,13 +240,20 @@ Pool::~Pool() { stop(); }
 
 Stats::Snapshot Pool::snapshot() const {
   Stats::Snapshot Sum;
-  for (auto &W : Ws)
+  std::lock_guard<std::mutex> L(Mu);
+  for (auto &W : Ws) {
     Sum += W->I->snapshot();
+    Sum += W->Carry;
+  }
   return Sum;
 }
 
 Stats::Snapshot Pool::snapshot(int Worker) const {
-  return Ws.at(static_cast<size_t>(Worker))->I->snapshot();
+  std::lock_guard<std::mutex> L(Mu);
+  const auto &W = *Ws.at(static_cast<size_t>(Worker));
+  Stats::Snapshot S = W.I->snapshot();
+  S += W.Carry;
+  return S;
 }
 
 Stats::Snapshot Pool::baseline() const {

@@ -41,6 +41,7 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
@@ -57,6 +58,14 @@ public:
     int MaxInflight = 64;        ///< Backpressure bound per worker.
     int64_t PreemptInterval = 0; ///< Scheduler slice; 0 = cooperative.
     int Backlog = 128;
+    int MaxConns = 0;       ///< Per-shard admission cap (BUSY past it); 0 =
+                            ///< unlimited.  See Server::Options::MaxConns.
+    int ConnDeadlineMs = 0; ///< Per-connection park deadline per shard; 0 =
+                            ///< none.  See Server::Options::ConnDeadlineMs.
+    int MaxWorkerRestarts = 3; ///< Times a crashed worker program is
+                               ///< restarted on a fresh Interp (its handoff
+                               ///< queue and queued fds survive) before the
+                               ///< shard is given up on.
     Config VmCfg;         ///< Control-representation knobs (every worker).
     const char *Program = nullptr; ///< Test hook: replaces workerSource().
     bool TraceWorkers = false;     ///< Arm every worker's tracer at start.
@@ -118,9 +127,19 @@ private:
     std::thread Thr;
     Interp::Result R;
     Stats::Snapshot Base;
+    Stats::Snapshot Carry; ///< Counters accumulated from Interps this
+                           ///< shard lost to crashes (net of each fresh
+                           ///< Interp's own prelude work), so snapshots
+                           ///< stay continuous across restarts.
+    int Restarts = 0;
   };
 
   void acceptLoop();
+  /// Runs the shard's serving program, restarting it on a fresh Interp
+  /// (same handoff queue; queued fds drain into the new program) after a
+  /// crash, up to MaxWorkerRestarts times.
+  void workerMain(Worker &W, const char *Program);
+  void defineWorkerGlobals(Interp &I) const;
   /// Queue depth plus live (accepted - closed) connections, from the
   /// shard's own counters; ties break toward the lowest worker id.
   int leastLoaded() const;
@@ -129,6 +148,10 @@ private:
   std::vector<std::unique_ptr<Worker>> Ws;
   std::thread Acceptor;
   std::atomic<bool> Stopping{false};
+  /// Guards each Worker's Interp pointer: workerMain swaps it on restart
+  /// while the acceptor (leastLoaded/handoff) and snapshot() read through
+  /// it from other threads.
+  mutable std::mutex Mu;
   int ListenFd = -1;
   uint16_t BoundPort = 0;
   Error Err;

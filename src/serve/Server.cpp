@@ -95,6 +95,30 @@ const char *Server::protocolSource() {
        (thread-join (spawn (lambda () (handle-request conn line))))
        (channel-recv %tokens)
        (conn-loop conn)))))
+
+;; Overload protection.  %live-conns counts connections currently owned by
+;; a conn thread; admit-conn refuses new arrivals past *max-conns* with a
+;; fast BUSY line (shed, not queued — the client learns immediately) and
+;; arms the per-connection park deadline on the admitted ones, so a client
+;; that stalls a read or write past *conn-deadline-ms* is reaped by the
+;; reactor (the thread sees EOF / #f and unwinds normally).
+(define %live-conns 0)
+
+(define (conn-thread conn)
+  (set! %live-conns (+ %live-conns 1))
+  (conn-loop conn)
+  (set! %live-conns (- %live-conns 1)))
+
+(define (admit-conn conn)
+  (if (and (> *max-conns* 0) (>= %live-conns *max-conns*))
+      (begin
+        (serve-shed! conn)
+        (io-write conn "BUSY\n")
+        (io-close conn))
+      (begin
+        (if (> *conn-deadline-ms* 0)
+            (io-set-deadline! conn *conn-deadline-ms*))
+        (spawn (lambda () (conn-thread conn))))))
 )scheme";
 }
 
@@ -110,7 +134,7 @@ const char *Server::serveSource() {
     (if (eof-object? conn)
         'closed
         (begin
-          (spawn (lambda () (conn-loop conn)))
+          (admit-conn conn)
           (acceptor)))))
 
 (spawn acceptor)
@@ -145,6 +169,8 @@ bool Server::start() {
   I->defineGlobal("*listener*", Value::fixnum(Lid));
   I->defineGlobal("*max-inflight*", Value::fixnum(Opt.MaxInflight));
   I->defineGlobal("*preempt*", Value::fixnum(Opt.PreemptInterval));
+  I->defineGlobal("*max-conns*", Value::fixnum(Opt.MaxConns));
+  I->defineGlobal("*conn-deadline-ms*", Value::fixnum(Opt.ConnDeadlineMs));
   Err = Error();
   Base = I->snapshot();
 

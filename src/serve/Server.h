@@ -22,7 +22,7 @@
 ///
 /// Threading: the Scheme program runs on one std::thread (the VM is
 /// single-threaded); clients are other OS threads or processes talking TCP.
-/// stats() is safe to read only after stop() joined that thread.
+/// snapshot() is safe from any thread at any time.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -48,6 +48,14 @@ public:
     int MaxInflight = 64;       ///< Backpressure bound (channel capacity).
     int64_t PreemptInterval = 0; ///< Scheduler slice; 0 = cooperative.
     int Backlog = 128;
+    int MaxConns = 0;           ///< Admission cap: past this many live
+                                ///< connections new arrivals are refused
+                                ///< with a fast BUSY reply (RequestsShed).
+                                ///< 0 = unlimited.
+    int ConnDeadlineMs = 0;     ///< Per-connection park deadline: a client
+                                ///< that keeps a read or write parked
+                                ///< longer is dropped (ConnsReaped).
+                                ///< 0 = none.
     Config VmCfg;               ///< Control-representation knobs, incl. the
                                 ///< SchedOneShotSwitch baseline shim.
   };
@@ -81,9 +89,6 @@ public:
   /// A coherent copy of the counters.  Only meaningful after stop() (the
   /// serving thread owns the live Stats until then).
   Stats::Snapshot snapshot() const { return I->snapshot(); }
-  /// Live counter reference — retained for source compatibility only.
-  [[deprecated("racy against the serving thread; use snapshot()")]]
-  const Stats &stats() const { return I->stats(); }
   /// The serving program's eval result.  Only meaningful after stop().
   const Interp::Result &result() const { return R; }
 

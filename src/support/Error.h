@@ -27,7 +27,8 @@ enum class ErrorKind : uint8_t {
   Parse,         ///< Reader / expander / compiler rejected the source.
   Runtime,       ///< The program itself failed (type error, (error ...), ...).
   Fault,         ///< An injected FaultPlan event fired (tests only).
-  Io,            ///< A port / reactor / socket operation failed or timed out.
+  Io,            ///< A port / reactor / socket operation failed.
+  Timeout,       ///< A deadline expired (with-deadline, timed park, wedge).
   ServerStopped, ///< The server or pool is not running (or was stopped).
 };
 
@@ -44,6 +45,8 @@ inline const char *errorKindName(ErrorKind K) {
     return "fault";
   case ErrorKind::Io:
     return "io";
+  case ErrorKind::Timeout:
+    return "timeout";
   case ErrorKind::ServerStopped:
     return "server-stopped";
   }

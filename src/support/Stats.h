@@ -88,7 +88,15 @@ namespace osc {
   X(ConnectionsClosed)    /* Stream ports closed (io-close / EOF teardown);    \
                              Accepted - Closed = live connections, the pool's  \
                              least-loaded signal. */                           \
-  X(RequestsServed)       /* serve-request-done! calls. */
+  X(RequestsServed)       /* serve-request-done! calls. */                     \
+  /* Overload protection (deadline wheel + admission control).  Every         \
+     timeout cancellation is a poisoned one-shot invoke, so Timeouts adds     \
+     nothing to WordsCopied — the oracle pins that. */                        \
+  X(Timeouts)             /* Deadlines fired (parks + with-deadline). */      \
+  X(RequestsShed)         /* Connections refused with BUSY at admission. */   \
+  X(ConnsReaped)          /* Connections dropped (idle / slow / overflow). */ \
+  X(WorkerRestarts)       /* Pool workers auto-restarted after a crash. */    \
+  X(IoWaitDeadlinePeak)   /* High-water mark of deadline-armed waiters. */
 // clang-format on
 
 /// Counter block for one interpreter instance.  All counters are monotonic

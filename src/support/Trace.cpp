@@ -60,6 +60,12 @@ const char *osc::traceEventName(TraceEvent E) {
     return "accept";
   case TraceEvent::ChanClose:
     return "chan-close";
+  case TraceEvent::IoTimeout:
+    return "io-timeout";
+  case TraceEvent::IoDrop:
+    return "io-drop";
+  case TraceEvent::Shed:
+    return "shed";
   }
   oscUnreachable("bad TraceEvent");
 }

@@ -77,6 +77,12 @@ enum class TraceEvent : uint8_t {
   Accept,    ///< Connection accepted. p0=listener port id, p1=new port id.
   ChanClose, ///< channel-close!. p0=channel id, p1=receivers woken,
              ///< p2=senders woken.
+  IoTimeout, ///< A deadline fired on a parked wait. p0=port id (0 for a
+             ///< fd-less timer), p1=IoOp, p2=thread id.
+  IoDrop,    ///< Connection dropped by overload defense. p0=port id,
+             ///< p1=reason (0 output overflow, 1 deadline, 2 idle reap).
+  Shed,      ///< Admission control refused a connection with BUSY.
+             ///< p0=port id.
 };
 
 /// Stable, kebab-case event name ("capture-multi", "sched-switch", ...).

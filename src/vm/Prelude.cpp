@@ -209,6 +209,30 @@ const char *osc::preludeSource() {
 ;; and drained).
 (define (io-take-conn) (%io-take-conn))
 
+;; --- deadlines (the VM's deadline wheel) -------------------------------------
+;;
+;; (with-deadline ms thunk) runs thunk; if it blocks (channel wait or I/O
+;; park) past the deadline, the VM poisons the parked one-shot resume point
+;; (zero words copied, no possible resurrection) and runs the escape thunk
+;; registered here, which invokes the extent's one-shot k — so after-thunks
+;; of any dynamic-winds entered inside thunk run on the way out, including
+;; the one below that pops the deadline record (by id, so the pop survives
+;; any other escape).  The timeout object is an unforgeable sentinel like
+;; *eof*; CPU-bound code is never interrupted — deadlines fire only at the
+;; reactor's poll points.
+
+(define (timeout-object) *timeout*)
+(define (timeout-object? x) (eq? x *timeout*))
+
+(define (with-deadline ms thunk)
+  (call/1cc
+   (lambda (k)
+     (let ((id #f))
+       (dynamic-wind
+        (lambda () (set! id (%deadline-push ms (lambda () (k *timeout*)))))
+        thunk
+        (lambda () (%deadline-pop id)))))))
+
 (define (positive? x) (> x 0))
 (define (negative? x) (< x 0))
 

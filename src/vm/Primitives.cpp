@@ -687,6 +687,16 @@ Value primVmStat(VM &Vm, Value *A, uint32_t) {
     V = St.ConnectionsClosed;
   else if (N == "requests-served")
     V = St.RequestsServed;
+  else if (N == "timeouts")
+    V = St.Timeouts;
+  else if (N == "requests-shed")
+    V = St.RequestsShed;
+  else if (N == "conns-reaped")
+    V = St.ConnsReaped;
+  else if (N == "worker-restarts")
+    V = St.WorkerRestarts;
+  else if (N == "io-wait-deadline-peak")
+    V = St.IoWaitDeadlinePeak;
   else
     return Vm.fail("vm-stat: unknown counter: " + std::string(N));
   return Value::fixnum(static_cast<int64_t>(V));
@@ -939,6 +949,38 @@ Value primServeRequestDone(VM &Vm, Value *, uint32_t) {
   Vm.stats().RequestsServed += 1;
   return Value::unspecified();
 }
+Value primServeShed(VM &Vm, Value *A, uint32_t) {
+  // Admission control: the caller is about to refuse this connection with
+  // a fast BUSY reply.  Only the bookkeeping lives here; writing the reply
+  // and closing stay in Scheme so protocols can shape their own refusal.
+  Port *P = portArg(Vm, "serve-shed!", A[0]);
+  if (!P)
+    return Value::unspecified();
+  Vm.stats().RequestsShed += 1;
+  OSC_TRACE(&Vm.trace(), TraceEvent::Shed, P->id());
+  return Value::unspecified();
+}
+Value primIoSetDeadline(VM &Vm, Value *A, uint32_t) {
+  // (io-set-deadline! port ms): every subsequent park on the port must
+  // wake within ms (measured in virtual poll ticks) or the connection is
+  // reaped.  0 clears the deadline.
+  Port *P = portArg(Vm, "io-set-deadline!", A[0]);
+  if (!P)
+    return Value::unspecified();
+  if (!A[1].isFixnum() || A[1].asFixnum() < 0)
+    return Vm.fail("io-set-deadline!: milliseconds must be a non-negative "
+                   "fixnum, got " +
+                   writeToString(A[1]));
+  int64_t Ms = A[1].asFixnum();
+  P->setDeadlineTicks(Ms == 0 ? 0 : Vm.msToTicks(Ms));
+  return Value::unspecified();
+}
+Value primDeadlinePush(VM &Vm, Value *A, uint32_t) {
+  return Vm.deadlinePush(A[0], A[1]);
+}
+Value primDeadlinePop(VM &Vm, Value *A, uint32_t) {
+  return Vm.deadlinePop(A[0]);
+}
 Value primSchedStats(VM &Vm, Value *, uint32_t) {
   const Stats &St = Vm.stats();
   Heap &H = Vm.heap();
@@ -949,6 +991,11 @@ Value primSchedStats(VM &Vm, Value *, uint32_t) {
     L = cons(H, P, L);
   };
   // Pushed in reverse so the alist reads front-to-back in this order.
+  Add("io-wait-deadline-peak", St.IoWaitDeadlinePeak);
+  Add("worker-restarts", St.WorkerRestarts);
+  Add("conns-reaped", St.ConnsReaped);
+  Add("requests-shed", St.RequestsShed);
+  Add("timeouts", St.Timeouts);
   Add("words-copied", St.WordsCopied);
   Add("one-shot-invokes", St.OneShotInvokes);
   Add("one-shot-captures", St.OneShotCaptures);
@@ -1168,6 +1215,12 @@ static const NativeDef PrimDefs[] = {
     {"io-closed?", primIoClosedP, 1, 1},
     {"string->datum", primStringToDatum, 1, 1},
     {"serve-request-done!", primServeRequestDone, 0, 0},
+    {"serve-shed!", primServeShed, 1, 1},
+    {"io-set-deadline!", primIoSetDeadline, 2, 2},
+
+    // The deadline wheel (with-deadline's push/pop halves).
+    {"%deadline-push", primDeadlinePush, 2, 2},
+    {"%deadline-pop", primDeadlinePop, 1, 1},
 };
 
 void osc::installPrimitives(VM &Vm) {
@@ -1176,4 +1229,6 @@ void osc::installPrimitives(VM &Vm) {
 
   // The EOF sentinel (also what channel-recv yields on a closed channel).
   Vm.defineGlobal("*eof*", Vm.eofObject());
+  // The timeout sentinel with-deadline returns when the deadline fires.
+  Vm.defineGlobal("*timeout*", Vm.timeoutObject());
 }

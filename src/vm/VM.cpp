@@ -10,6 +10,7 @@
 #include "support/Diag.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cstring>
 
 using namespace osc;
@@ -50,9 +51,13 @@ VM::VM(Heap &H, Stats &S, const Config &Cfg)
   ThreadGuard = Value::object(Guard);
 
   Rx = std::make_unique<Reactor>();
+  Rx->setTickMs(this->Cfg.PollTickMs);
+  Rx->setDefaultOutputCap(this->Cfg.MaxOutputBufferBytes);
   // The EOF sentinel is an interned symbol the reader cannot produce
   // ("#<" is a read error), so (eq? x *eof*) is a safe end-of-stream test.
   EofObj = Value::object(H.intern("#<eof>"));
+  // Same trick for the with-deadline timeout sentinel.
+  TimeoutObj = Value::object(H.intern("#<timeout>"));
 }
 
 VM::~VM() {
@@ -105,6 +110,7 @@ void VM::traceRoots(GCVisitor &V) {
   V.visit(TimerHandler);
   V.visit(ThreadGuard);
   V.visit(EofObj);
+  V.visit(TimeoutObj);
   V.visitRange(MultiVals.data(), MultiVals.size());
   Sched->traceRoots(V);
 }
@@ -333,6 +339,21 @@ void VM::returnValues() {
 
 void VM::invokeContinuationWithValues(Continuation *K,
                                       const std::vector<Value> &Vals) {
+  if (Value::object(K).identical(ThreadGuard)) {
+    // The thread-root guard, handed out by a degenerate base-frame capture
+    // (captureOneShot's Boundary == 0 case: a call/1cc in tail position at
+    // the root of a thread's chain).  "The rest of the computation" is the
+    // thread returning from its thunk, so invoking it delivers the
+    // thread's result — not the program's (the guard is recognized by
+    // identity exactly so it is never confused with the halt sentinel).
+    if (Sched->inThread()) {
+      Sched->finishCurrent(Vals.empty() ? Value::unspecified() : Vals[0]);
+      schedDispatch();
+      return;
+    }
+    fail("thread-root continuation invoked outside the scheduler");
+    return;
+  }
   if (K->isHalt()) {
     Halted = true;
     FinalValue = Vals.empty() ? Value::unspecified() : Vals[0];
@@ -624,6 +645,26 @@ void VM::schedDispatch() {
     }
     case Scheduler::Next::Resume: {
       Scheduler::Thread &T = *N.T;
+      if (!T.EscapeProc.isEmpty()) {
+        // A deadline fired while this thread was parked.  Its one-shot
+        // resume point is already poisoned (markShot — it can never be
+        // reinstated), so instead of invoking it we run the armed escape
+        // thunk on a fresh guard-rooted chain under the thread's restored
+        // dynamic context: the thunk unwinds via the with-deadline
+        // extent's one-shot k, running pending after-thunks on the way.
+        S.ContextSwitches += 1;
+        Value Esc = T.EscapeProc;
+        T.EscapeProc = Value();
+        T.Resume = Value();
+        T.Wake = Value();
+        schedRestoreContext(T.Ctx, /*FreshSlice=*/true);
+        T.Ctx = SchedContext();
+        CS.beginBaseFrame(FrameHeaderWords + 2);
+        CS.setLink(ThreadGuard);
+        CS.plantBaseFrame();
+        enterCall(Esc, {}, Site{SiteKind::Tail, 0});
+        return;
+      }
       if (!T.PendingError.empty()) {
         // The operation this thread was parked on failed underneath it
         // (channel closed under a parked send, EPIPE under a parked
@@ -684,7 +725,7 @@ void VM::schedDispatch() {
         abortScheduler();
         fail("io: poll timed out with " + std::to_string(NParked) +
                  " thread(s) parked on I/O",
-             ErrorKind::Io);
+             ErrorKind::Timeout);
         return;
       }
       uint32_t NBlocked = Sched->blockedCount();
@@ -822,6 +863,7 @@ void VM::chanSend(Value ChV, Value V, Site St) {
     }
     S.ChannelBlocks += 1;
     Ch->blockSender(Sched->current()->Id, V);
+    armBlockTimer();
     Value K = captureSiteOneShot(St);
     schedSuspendAndDispatch(K, Value::unspecified(), ThreadState::Blocked);
     return;
@@ -860,6 +902,7 @@ void VM::chanRecv(Value ChV, Site St) {
   }
   S.ChannelBlocks += 1;
   Ch->blockReceiver(Sched->current()->Id);
+  armBlockTimer();
   Value K = captureSiteOneShot(St);
   schedSuspendAndDispatch(K, Value::unspecified(), ThreadState::Blocked);
 }
@@ -899,12 +942,24 @@ Port *ioPortArg(VM &Vm, const char *Who, Value PortV, Port::Kind Want) {
 
 void VM::ioPark(Port *P, int OpRaw, Site St) {
   S.IoParks += 1;
-  uint32_t Tid = Sched->current()->Id;
+  Scheduler::Thread *T = Sched->current();
+  uint32_t Tid = T->Id;
   OSC_TRACE(&Tr, TraceEvent::IoWait, P->id(), static_cast<uint64_t>(OpRaw),
             Tid);
-  Rx->park(Tid, P->id(), static_cast<IoOp>(OpRaw));
+  // Earliest of the thread's armed with-deadline extent and the port's own
+  // per-park deadline (slow-client defense); 0 parks untimed.
+  uint64_t Tick = currentDeadlineTick();
+  if (P->deadlineTicks()) {
+    uint64_t PortTick = Rx->nowTick() + P->deadlineTicks();
+    if (!Tick || PortTick < Tick)
+      Tick = PortTick;
+  }
+  T->ParkSeq += 1;
+  Rx->park(Tid, P->id(), static_cast<IoOp>(OpRaw), Tick, T->ParkSeq);
   if (Rx->waiterCount() > S.IoWaitPeak)
     S.IoWaitPeak = Rx->waiterCount();
+  if (Tick && Rx->timedWaiterCount() > S.IoWaitDeadlinePeak)
+    S.IoWaitDeadlinePeak = Rx->timedWaiterCount();
   Value K = captureSiteOneShot(St);
   schedSuspendAndDispatch(K, Value::unspecified(), ThreadState::Blocked);
 }
@@ -940,7 +995,7 @@ void VM::ioReadLine(Value PortV, Site St) {
       if (!pollOneFd(P->fd(), /*ForWrite=*/false, Cfg.IoPollTimeoutMs)) {
         fail("io-read-line: timed out waiting on port " +
                  std::to_string(P->id()),
-             ErrorKind::Io);
+             ErrorKind::Timeout);
         return;
       }
     }
@@ -957,7 +1012,16 @@ void VM::ioWrite(Value PortV, Value StrV, Site St) {
     fail("io-write: not a string: " + writeToString(StrV));
     return;
   }
-  P->queueOutput(Str->view());
+  if (!P->queueOutput(Str->view())) {
+    // The bounded output buffer is full: the peer is not draining what we
+    // already owe it.  Buffering without bound would let one slow client
+    // hold arbitrary memory, so the connection is dropped instead; the
+    // caller sees #f (a dropped connection is an expected overload
+    // outcome, not a run error).
+    ioDropPort(P, /*Reason=*/0);
+    nativeReturn(Value::boolean(false), St);
+    return;
+  }
   for (;;) {
     uint64_t NOut = 0;
     Port::Io R = P->flushOutput(NOut);
@@ -978,7 +1042,7 @@ void VM::ioWrite(Value PortV, Value StrV, Site St) {
     }
     if (!pollOneFd(P->fd(), /*ForWrite=*/true, Cfg.IoPollTimeoutMs)) {
       fail("io-write: timed out waiting on port " + std::to_string(P->id()),
-           ErrorKind::Io);
+           ErrorKind::Timeout);
       return;
     }
   }
@@ -1013,7 +1077,7 @@ void VM::ioAccept(Value PortV, Site St) {
     }
     if (!pollOneFd(P->fd(), /*ForWrite=*/false, Cfg.IoPollTimeoutMs)) {
       fail("io-accept: timed out waiting on port " + std::to_string(P->id()),
-           ErrorKind::Io);
+           ErrorKind::Timeout);
       return;
     }
   }
@@ -1069,7 +1133,8 @@ void VM::ioTakeConn(Site St) {
     // scheduler's Deadlock branch, not here: a bare main-loop take-conn
     // honors the configured timeout.
     if (!pollOneFd(Wk->fd(), /*ForWrite=*/false, Cfg.IoPollTimeoutMs)) {
-      fail("io-take-conn: timed out waiting for a handoff", ErrorKind::Io);
+      fail("io-take-conn: timed out waiting for a handoff",
+           ErrorKind::Timeout);
       return;
     }
   }
@@ -1159,18 +1224,206 @@ bool VM::ioComplete(const PendingIo &P) {
   oscUnreachable("bad IoOp");
 }
 
+// --- The deadline wheel (timed parks, with-deadline, slow-client reaping) ----
+
+uint64_t VM::msToTicks(int64_t Ms) const {
+  int64_t Per = Cfg.PollTickMs > 0 ? Cfg.PollTickMs : 1;
+  int64_t T = Ms / Per;
+  return T < 1 ? 1 : static_cast<uint64_t>(T);
+}
+
+Value VM::deadlinePush(Value MsV, Value Proc) {
+  if (!MsV.isFixnum() || MsV.asFixnum() < 0) {
+    fail("with-deadline: milliseconds must be a non-negative fixnum, got " +
+         writeToString(MsV));
+    return Value::unspecified();
+  }
+  uint64_t Id = ++NextDeadlineId;
+  // Outside a green thread there is no park to cancel, so the record is
+  // not armed — but a fresh id is still returned so the surrounding
+  // dynamic-wind's push/pop stays balanced.
+  if (Sched->inThread())
+    Sched->current()->Deadlines.push_back(
+        {Id, Rx->nowTick() + msToTicks(MsV.asFixnum()), Proc});
+  return Value::fixnum(static_cast<int64_t>(Id));
+}
+
+Value VM::deadlinePop(Value IdV) {
+  Scheduler::Thread *T = Sched->current();
+  if (!T || !IdV.isFixnum())
+    return Value::boolean(false);
+  uint64_t Id = static_cast<uint64_t>(IdV.asFixnum());
+  auto &Ds = T->Deadlines;
+  // By id, innermost first — never by position, so the pop survives any
+  // one-shot escape that already removed or reordered inner extents.
+  for (auto It = Ds.end(); It != Ds.begin();) {
+    --It;
+    if (It->Id == Id) {
+      Ds.erase(It);
+      return Value::boolean(true);
+    }
+  }
+  return Value::boolean(false);
+}
+
+uint64_t VM::currentDeadlineTick() {
+  Scheduler::Thread *T = Sched->current();
+  if (!T)
+    return 0;
+  uint64_t Min = 0;
+  for (const Scheduler::DeadlineRec &D : T->Deadlines)
+    if (!Min || D.Tick < Min)
+      Min = D.Tick;
+  return Min;
+}
+
+void VM::armBlockTimer() {
+  uint64_t Tick = currentDeadlineTick();
+  if (!Tick)
+    return;
+  // The thread is about to block on a channel — somewhere the reactor
+  // cannot see — under an armed with-deadline.  An fd-less Timer waiter
+  // carries the deadline into the poll loop; the park generation lets a
+  // timer whose thread already woke through the channel be discarded as
+  // stale at expiry (lazy cancellation: timers are never searched for).
+  Scheduler::Thread *T = Sched->current();
+  T->ParkSeq += 1;
+  Rx->parkTimer(T->Id, Tick, T->ParkSeq);
+  if (Rx->timedWaiterCount() > S.IoWaitDeadlinePeak)
+    S.IoWaitDeadlinePeak = Rx->timedWaiterCount();
+}
+
+bool VM::fireThreadDeadline(uint32_t Tid, uint32_t PortId, int OpRaw) {
+  Scheduler::Thread *T = Sched->lookup(Tid);
+  if (!T || T->State != ThreadState::Blocked)
+    return false;
+  // The record to honor: earliest expiry tick, innermost extent (highest
+  // id) on ties.  It is NOT popped here — the escape thunk unwinds through
+  // with-deadline's dynamic-wind, whose after-thunk pops it by id.
+  Scheduler::DeadlineRec *R = nullptr;
+  for (Scheduler::DeadlineRec &D : T->Deadlines)
+    if (D.Tick <= Rx->nowTick() &&
+        (!R || D.Tick < R->Tick || (D.Tick == R->Tick && D.Id > R->Id)))
+      R = &D;
+  S.Timeouts += 1;
+  OSC_TRACE(&Tr, TraceEvent::IoTimeout,
+            PortId == PendingIo::NoPort ? 0 : PortId,
+            static_cast<uint64_t>(OpRaw), Tid);
+  // Poison the parked resume point: mark the one-shot shot without
+  // reinstating it.  The abandoned suspension can never be resumed (the
+  // invoke path rejects shot continuations) and its stack window is
+  // reclaimed by GC — the cancellation copies zero words.
+  // (The thread-root guard is itself permanently shot, so a degenerate
+  // base-frame capture is naturally excluded.)
+  if (auto *K = dynObj<Continuation>(T->Resume); K && !K->isShot())
+    K->markShot();
+  T->Resume = Value();
+  // The thread may be parked in a channel's wait queue; nothing must
+  // deliver to or wake it after this point.
+  Sched->dropFromChannels(Tid);
+  if (R) {
+    T->EscapeProc = R->Proc;
+    Sched->wake(*T, Value::unspecified());
+  } else {
+    // No armed extent (a bare timed park, or the extents were already
+    // popped): surface a trappable run-level timeout instead.
+    T->PendingError = "io: deadline expired while parked on " +
+                      std::string(ioOpName(static_cast<IoOp>(OpRaw)));
+    T->PendingErrorKind = ErrorKind::Timeout;
+    Sched->wake(*T, Value::unspecified());
+  }
+  return true;
+}
+
+void VM::ioDropPort(Port *P, uint64_t Reason) {
+  if (!P || P->closed())
+    return;
+  OSC_TRACE(&Tr, TraceEvent::IoDrop, P->id(), Reason);
+  S.ConnsReaped += 1;
+  if (P->kind() == Port::Kind::Stream)
+    S.ConnectionsClosed += 1;
+  std::vector<PendingIo> Ws = Rx->takeWaitersFor(P->id());
+  P->closeNow();
+  // Unlike io-close (whose parked writers get poisoned — closing under a
+  // parked write is a program error there), a reaped connection is an
+  // expected overload outcome: readers wake with the buffered tail or
+  // EOF, writers with #f.
+  for (const PendingIo &W : Ws) {
+    Scheduler::Thread *T = Sched->lookup(W.Tid);
+    if (!T || T->State != ThreadState::Blocked)
+      continue;
+    S.IoWakes += 1;
+    OSC_TRACE(&Tr, TraceEvent::IoReady, W.PortId, static_cast<uint64_t>(W.Op),
+              W.Tid);
+    if (W.Op == IoOp::Write) {
+      Sched->wake(*T, Value::boolean(false));
+    } else {
+      std::string Line;
+      Sched->wake(*T, P->takeLine(Line) ? Value::object(H.allocString(Line))
+                                        : EofObj);
+    }
+  }
+}
+
+bool VM::ioExpire(const PendingIo &P) {
+  if (P.Op == IoOp::Timer) {
+    // Valid only if its thread is still in the same park it was armed for;
+    // otherwise the thread already woke through the channel and this timer
+    // is stale (lazily cancelled).
+    Scheduler::Thread *T = Sched->lookup(P.Tid);
+    if (!T || T->State != ThreadState::Blocked || T->ParkSeq != P.ParkSeq)
+      return false;
+    return fireThreadDeadline(P.Tid, PendingIo::NoPort,
+                              static_cast<int>(P.Op));
+  }
+  Scheduler::Thread *T = Sched->lookup(P.Tid);
+  if (!T || T->State != ThreadState::Blocked || T->ParkSeq != P.ParkSeq)
+    return false;
+  // An fd wait expired.  An armed with-deadline extent wins (the escape
+  // fires and the connection survives); otherwise this was the port's own
+  // deadline — slow-client defense — and the connection is reaped.
+  bool HasRecord = false;
+  for (const Scheduler::DeadlineRec &D : T->Deadlines)
+    if (D.Tick <= Rx->nowTick())
+      HasRecord = true;
+  Port *Pt = Rx->port(P.PortId);
+  if (!HasRecord && Pt && Pt->deadlineTicks()) {
+    S.Timeouts += 1;
+    OSC_TRACE(&Tr, TraceEvent::IoTimeout, P.PortId,
+              static_cast<uint64_t>(P.Op), P.Tid);
+    Rx->repark(P); // Rejoin the port's waiter list; the drop wakes it.
+    ioDropPort(Pt, /*Reason=*/1);
+    return true;
+  }
+  return fireThreadDeadline(P.Tid, P.PortId, static_cast<int>(P.Op));
+}
+
 bool VM::ioPollAndWake(int TimeoutMs) {
+  auto Start = std::chrono::steady_clock::now();
   while (Rx->waiterCount() > 0) {
-    std::vector<PendingIo> Ready = Rx->takeReady(TimeoutMs);
-    if (Ready.empty())
-      return false; // Timed out.
+    std::vector<PendingIo> Expired;
+    std::vector<PendingIo> Ready = Rx->takeReady(TimeoutMs, &Expired);
     bool Woke = false;
+    // Readiness first (it beat the deadline inside the batch), then expiry
+    // — both lists arrive in the reactor's deterministic order.
     for (const PendingIo &P : Ready)
       Woke |= ioComplete(P);
+    for (const PendingIo &P : Expired)
+      Woke |= ioExpire(P);
     if (Woke)
       return true;
-    // Every ready operation re-parked (e.g. bytes arrived but no complete
-    // line): poll again for more.
+    if (Ready.empty() && Expired.empty()) {
+      if (Rx->timedWaiterCount() == 0)
+        return false; // The full-length poll timed out.
+      // Deadlines armed: each batch was clamped to one tick, so keep
+      // ticking until the configured wall budget is spent.
+      auto Spent = std::chrono::duration_cast<std::chrono::milliseconds>(
+                       std::chrono::steady_clock::now() - Start)
+                       .count();
+      if (TimeoutMs >= 0 && Spent >= TimeoutMs)
+        return false;
+    }
+    // Events that woke nobody (re-parks, stale timers): poll again.
   }
   return false;
 }

@@ -167,6 +167,32 @@ public:
   /// The interned EOF sentinel (what io-read-line yields at end of stream
   /// and channel-recv yields on a closed empty channel).
   Value eofObject() const { return EofObj; }
+  /// The interned timeout sentinel (what with-deadline yields when its
+  /// extent expired; unreadable like the EOF object, so unforgeable).
+  Value timeoutObject() const { return TimeoutObj; }
+
+  // --- Deadline wheel (overload protection) ----------------------------------
+  //
+  // (with-deadline ms thunk) is pure prelude Scheme: call/1cc captures the
+  // extent's escape k, and dynamic-wind brackets the thunk with
+  // %deadline-push / %deadline-pop so the armed record stays balanced
+  // under any escape.  The record lives on the current green thread;
+  // when the thread parks, the earliest armed record's tick rides on the
+  // reactor waiter (or on an fd-less Timer waiter for channel blocks),
+  // and expiry poisons the parked one-shot and runs the escape thunk on a
+  // fresh chain — delivery is one markShot plus one one-shot invoke of k,
+  // zero words copied.
+
+  /// Converts wall milliseconds to virtual poll ticks (>= 1).
+  uint64_t msToTicks(int64_t Ms) const;
+  /// Arms a deadline record on the current thread: in \p Ms, run \p Proc.
+  /// Returns the record's fixnum id.  Outside a scheduler thread the
+  /// record is not armed (deadlines fire at reactor poll points, which
+  /// the main computation never reaches) — a fresh id is still returned
+  /// so push/pop stay balanced.
+  Value deadlinePush(Value MsV, Value Proc);
+  /// Disarms the record with id \p IdV if still armed (#t/#f).
+  Value deadlinePop(Value IdV);
   /// Wakes every thread parked on \p P (readers/acceptors complete with the
   /// buffered tail or EOF; writers get a trappable error), then closes it.
   void ioClosePort(Port *P);
@@ -257,8 +283,26 @@ private:
   /// ready; wakes the thread with the result, or re-parks.  Returns true
   /// when a thread was woken (or poisoned with a pending error).
   bool ioComplete(const PendingIo &P);
+  /// Handles a waiter whose deadline expired: fires the innermost armed
+  /// with-deadline record (escape delivery), or drops a port whose own
+  /// deadline lapsed, or poisons the thread with ErrorKind::Timeout.
+  /// Returns true when a thread was woken.
+  bool ioExpire(const PendingIo &P);
+  /// The armed tick of the current thread's earliest deadline record
+  /// (0 = none armed).
+  uint64_t currentDeadlineTick();
+  /// Registers an fd-less Timer waiter for the current thread's earliest
+  /// deadline record, if any — called just before a channel block parks.
+  void armBlockTimer();
+  /// Escape-or-poison delivery for thread \p Tid whose wait expired.
+  bool fireThreadDeadline(uint32_t Tid, uint32_t PortId, int OpRaw);
+  /// Overload defense: drops \p P (trace io-drop with \p Reason, count it
+  /// reaped+closed, wake its waiters against the closed fd).
+  void ioDropPort(Port *P, uint64_t Reason);
   /// Runs the reactor until at least one parked thread wakes; false on
-  /// poll timeout.
+  /// poll timeout.  The wall budget spans poll batches: with deadlines
+  /// armed each batch is clamped to one tick, and ticking continues until
+  /// a wake or \p TimeoutMs of wall time elapses.
   bool ioPollAndWake(int TimeoutMs);
   /// abortRun plus dropping the reactor's waiters (their threads are gone).
   void abortScheduler();
@@ -319,6 +363,10 @@ private:
   std::unique_ptr<Reactor> Rx;
   Value EofObj; ///< Interned "#<eof>" symbol (unreadable, so unforgeable).
   ConnQueue *ConnQ = nullptr; ///< Pool fd handoff queue; never owned.
+
+  // Deadline wheel state.
+  Value TimeoutObj; ///< Interned "#<timeout>" symbol (unforgeable).
+  uint64_t NextDeadlineId = 0; ///< Handle source for %deadline-push.
 };
 
 /// Installs the standard primitive library into \p Vm (Primitives.cpp).

@@ -332,6 +332,51 @@ const Program Programs[] = {
      "(define r (call/1cc (lambda (exit) (deep 100))))"
      "(set! n (+ n 1))"
      "(if (< n 3) (k 0) (list r n))"},
+    {"deadline-fires-on-blocked-recv",
+     // with-deadline is itself a call/1cc wrapper, so the shim widens the
+     // timeout escape to a multi-shot capture; the deadline is measured in
+     // virtual poll ticks, so which side wins never depends on wall time.
+     "(define ch (make-channel 0))"
+     "(define t (spawn (lambda ()"
+     "  (with-deadline 5 (lambda () (channel-recv ch))))))"
+     "(scheduler-run)"
+     "(timeout-object? (thread-join t))"},
+    {"deadline-inside-wind",
+     "(define log '())"
+     "(define (note x) (set! log (cons x log)))"
+     "(define ch (make-channel 0))"
+     "(define t (spawn (lambda ()"
+     "  (with-deadline 5 (lambda ()"
+     "    (dynamic-wind (lambda () (note 'in))"
+     "                  (lambda () (channel-recv ch))"
+     "                  (lambda () (note 'out))))))))"
+     "(scheduler-run)"
+     "(list (timeout-object? (thread-join t)) (reverse log))"},
+    {"deadline-vs-channel-close-race",
+     // The closer runs before the recv's first poll tick can elapse, so
+     // EOF must win the race against the (much longer) deadline — in both
+     // the one-shot and the widened capture world.
+     "(define ch (make-channel 0))"
+     "(define out '())"
+     "(define t (spawn (lambda ()"
+     "  (let ((r (with-deadline 1000 (lambda () (channel-recv ch)))))"
+     "    (set! out (list (timeout-object? r) (eof-object? r)))))))"
+     "(spawn (lambda () (channel-close! ch)))"
+     "(scheduler-run)"
+     "out"},
+    {"shed-under-load",
+     // Admission control in miniature: arrivals past the cap are shed.
+     // The shed path (serve-shed! + a refusal value) must be a pure
+     // counter/trace effect — byte-identical output under the shim.
+     "(define p (open-pipe))"
+     "(define out '())"
+     "(define (admit live) (if (>= live 3)"
+     "                         (begin (serve-shed! (car p)) 'busy)"
+     "                         'ok))"
+     "(let loop ((i 0))"
+     "  (if (< i 6)"
+     "      (begin (set! out (cons (admit i) out)) (loop (+ i 1)))))"
+     "(reverse out)"},
 };
 
 class Differential

@@ -242,6 +242,38 @@ const Program Programs[] = {
      "(scheduler-run)"
      "(list drained (channel-closed? ch))",
      "((y x) #t)"},
+    {"deadline-timeout",
+     // The timeout escape crosses the poisoned park: with 32-word
+     // segments the with-deadline capture and the parked one-shot both
+     // span segment boundaries.
+     "(define ch (make-channel 0))"
+     "(define t (spawn (lambda ()"
+     "  (with-deadline 5 (lambda () (channel-recv ch))))))"
+     "(scheduler-run)"
+     "(timeout-object? (thread-join t))",
+     "#t"},
+    {"deadline-inside-wind",
+     "(define log '())"
+     "(define (note x) (set! log (cons x log)))"
+     "(define ch (make-channel 0))"
+     "(define t (spawn (lambda ()"
+     "  (with-deadline 5 (lambda ()"
+     "    (dynamic-wind (lambda () (note 'in))"
+     "                  (lambda () (channel-recv ch))"
+     "                  (lambda () (note 'out))))))))"
+     "(scheduler-run)"
+     "(list (timeout-object? (thread-join t)) (reverse log))",
+     "(#t (in out))"},
+    {"deadline-vs-channel-close-race",
+     "(define ch (make-channel 0))"
+     "(define out '())"
+     "(define t (spawn (lambda ()"
+     "  (let ((r (with-deadline 1000 (lambda () (channel-recv ch)))))"
+     "    (set! out (list (timeout-object? r) (eof-object? r)))))))"
+     "(spawn (lambda () (channel-close! ch)))"
+     "(scheduler-run)"
+     "out",
+     "(#f #t)"},
 };
 
 class TinySegments

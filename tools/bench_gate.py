@@ -1,0 +1,148 @@
+#!/usr/bin/env python3
+"""Benchmark regression gate.
+
+Compares a benchmark's --json output against its checked-in baseline
+(bench_results/baselines/) and fails CI on counter regressions:
+
+  * the zero-copy invariant is absolute — any one-shot column reporting
+    words_copied above its baseline, or any per-shard words_copied above
+    zero, fails the gate;
+  * workload-shape counters (requests, accepted, clients, workers) must
+    match the baseline exactly — a drifted workload makes every other
+    comparison meaningless;
+  * scheduling-flavored counters (io_parks, io_wakes, io_wait_peak) only
+    warn, with a generous ratio, since they legitimately vary with host
+    timing;
+  * wall time (elapsed_ms, requests_per_sec) is warn-only by design:
+    shared CI runners are not a benchmarking environment.
+
+Columns are matched by their "name" field (bench_serve) or worker count
+(bench_pool).  A column present in the baseline but missing from the
+current run fails the gate — a silently dropped configuration would read
+as "nothing regressed".
+
+Usage: bench_gate.py --baseline <file.json> --current <file.json>
+Exit status: 0 clean (warnings allowed), 1 on any failure.
+"""
+
+import argparse
+import json
+import sys
+
+# Workload shape: must match the baseline exactly.
+HARD_EQ = ("clients", "workers", "requests", "accepted")
+
+# Host-timing-flavored counters: warn when current > baseline * ratio.
+WARN_RATIO = {"io_parks": 1.5, "io_wakes": 1.5, "io_wait_peak": 1.5}
+
+# Wall time: never gate, always report.
+WALL = ("elapsed_ms", "requests_per_sec")
+
+
+def column_key(col):
+    if "name" in col:
+        return col["name"]
+    if "workers" in col:
+        return "workers=%d" % col["workers"]
+    return "<unnamed>"
+
+
+def gate_column(key, base, cur, failures, warnings):
+    # The paper's invariant, end to end: one-shot serving copies no stack
+    # words.  Columns that are explicitly multi-shot (one_shot: false)
+    # are informational and exempt.
+    one_shot = cur.get("one_shot", True)
+    if one_shot and "words_copied" in cur:
+        b = base.get("words_copied", 0)
+        if cur["words_copied"] > b:
+            failures.append(
+                "%s: words_copied regressed: %d (baseline %d)"
+                % (key, cur["words_copied"], b)
+            )
+    for shard, words in enumerate(cur.get("shard_words_copied", [])):
+        if words > 0:
+            failures.append(
+                "%s: shard %d copied %d words (zero-copy invariant)"
+                % (key, shard, words)
+            )
+
+    for field in HARD_EQ:
+        if field in base and base[field] != cur.get(field):
+            failures.append(
+                "%s: %s = %r differs from baseline %r"
+                % (key, field, cur.get(field), base[field])
+            )
+
+    for field, ratio in WARN_RATIO.items():
+        if field in base and field in cur and base[field] > 0:
+            if cur[field] > base[field] * ratio:
+                warnings.append(
+                    "%s: %s = %d is >%.0f%% above baseline %d"
+                    % (key, field, cur[field], (ratio - 1) * 100, base[field])
+                )
+
+    for field in WALL:
+        if field in base and field in cur:
+            warnings.append(
+                "%s: %s = %.3g (baseline %.3g, informational)"
+                % (key, field, cur[field], base[field])
+            )
+
+
+def gate(base, cur):
+    failures, warnings = [], []
+    if base.get("name") != cur.get("name"):
+        failures.append(
+            "benchmark name mismatch: baseline %r vs current %r"
+            % (base.get("name"), cur.get("name"))
+        )
+        return failures, warnings
+
+    # Top-level workload shape (bench-wide fields like "clients").
+    for field in HARD_EQ:
+        if field in base and base[field] != cur.get(field):
+            failures.append(
+                "%s = %r differs from baseline %r"
+                % (field, cur.get(field), base[field])
+            )
+
+    base_cols = {column_key(c): c for c in base.get("columns", [])}
+    cur_cols = {column_key(c): c for c in cur.get("columns", [])}
+    for key, bcol in base_cols.items():
+        if key not in cur_cols:
+            failures.append("column %s missing from current run" % key)
+            continue
+        gate_column(key, bcol, cur_cols[key], failures, warnings)
+    for key in cur_cols:
+        if key not in base_cols:
+            warnings.append("column %s has no baseline (new configuration?)" % key)
+    return failures, warnings
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--baseline", required=True)
+    ap.add_argument("--current", required=True)
+    args = ap.parse_args()
+
+    with open(args.baseline) as f:
+        base = json.load(f)
+    with open(args.current) as f:
+        cur = json.load(f)
+
+    failures, warnings = gate(base, cur)
+    for w in warnings:
+        print("warning: %s" % w)
+    for f in failures:
+        print("FAIL: %s" % f)
+    if failures:
+        print(
+            "bench gate: %d failure(s) against %s" % (len(failures), args.baseline)
+        )
+        return 1
+    print("bench gate: %s clean (%d warnings)" % (cur.get("name"), len(warnings)))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
