@@ -29,6 +29,7 @@ unsigned osc::opOperandCount(Op O) {
   case Op::Frame:
   case Op::Return:
   case Op::CwvApply:
+  case Op::PromptPop:
   case Op::Add:
   case Op::Sub:
   case Op::Mul:
@@ -88,6 +89,8 @@ const char *osc::opName(Op O) {
     return "return";
   case Op::CwvApply:
     return "cwv-apply";
+  case Op::PromptPop:
+    return "prompt-pop";
   case Op::Add:
     return "add";
   case Op::Sub:

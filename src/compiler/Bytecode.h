@@ -61,6 +61,10 @@ enum class Op : uint32_t {
   /// Resume point of the call-with-values stub: apply the consumer stored
   /// in this frame to the values just returned
   CwvApply,
+  /// Resume point of the prompt stub planted by (reset tag thunk): pop the
+  /// PromptRecord whose id is in this frame's FramePromptId slot, then
+  /// return the value(s) that just arrived onward
+  PromptPop,
 
   // Open-coded primitives (binary ops pop one operand; acc is the right
   // operand and receives the result).

@@ -36,6 +36,12 @@ Expander::Expander(Heap &H) : H(H) {
   SList = S("list");
   SMemv = S("memv");
   SEqv = S("eqv?");
+  SReset = S("reset");
+  SShift = S("shift");
+  SAsync = S("async");
+  SResetProc = S("%reset-proc");
+  SShiftProc = S("%shift-proc");
+  SAsyncProc = S("%async");
 }
 
 Value Expander::fail(const std::string &Msg) {
@@ -202,6 +208,32 @@ Value Expander::expand(Value Form) {
       if (listLength(cdr(Form)) != 1)
         return fail("bad quasiquote");
       return expand(expandQuasi(car(cdr(Form)), 1));
+    }
+    if (Head.identical(SReset)) {
+      // (reset tag body...) => (%reset-proc tag (lambda () body...))
+      Value Rest = cdr(Form);
+      if (!isObj<Pair>(Rest) || !isObj<Pair>(cdr(Rest)))
+        return fail("reset expects a tag and a body");
+      Value Thunk = cons(H, SLambda, cons(H, Value::nil(), cdr(Rest)));
+      return expand(list3(SResetProc, car(Rest), Thunk));
+    }
+    if (Head.identical(SShift)) {
+      // (shift tag k body...) => (%shift-proc tag (lambda (k) body...))
+      Value Rest = cdr(Form);
+      if (!isObj<Pair>(Rest) || !isObj<Pair>(cdr(Rest)) ||
+          !isObj<Symbol>(car(cdr(Rest))) || !isObj<Pair>(cdr(cdr(Rest))))
+        return fail("shift expects a tag, a continuation name and a body");
+      Value Fn = cons(H, SLambda,
+                      cons(H, list1(car(cdr(Rest))), cdr(cdr(Rest))));
+      return expand(list3(SShiftProc, car(Rest), Fn));
+    }
+    if (Head.identical(SAsync)) {
+      // (async body...) => (%async (lambda () body...))
+      Value Body = cdr(Form);
+      if (!isObj<Pair>(Body))
+        return fail("async body is empty");
+      Value Thunk = cons(H, SLambda, cons(H, Value::nil(), Body));
+      return expand(list2(SAsyncProc, Thunk));
     }
     if (Head.identical(SDefine))
       return fail("define is only allowed at top level or body start");

@@ -11,6 +11,11 @@
 /// and else), case, and, or, when, unless, do, quasiquote, internal
 /// defines (rewritten to letrec*), and the (define (f . args) ...) sugar.
 ///
+/// Delimited-control sugar (the prelude supplies the %-procedures):
+///   (reset tag body...)   => (%reset-proc tag (lambda () body...))
+///   (shift tag k body...) => (%shift-proc tag (lambda (k) body...))
+///   (async body...)       => (%async (lambda () body...))
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef OSC_COMPILER_EXPANDER_H
@@ -64,7 +69,8 @@ private:
   Value SQuote, SQuasiquote, SUnquote, SUnquoteSplicing, SIf, SSet, SLambda,
       SBegin, SLet, SLetStar, SLetrec, SLetrecStar, SDefine, SCond, SCase,
       SAnd, SOr, SWhen, SUnless, SDo, SElse, SArrow, SNot, SCons, SAppend,
-      SListToVector, SList, SMemv, SEqv;
+      SListToVector, SList, SMemv, SEqv, SReset, SShift, SAsync, SResetProc,
+      SShiftProc, SAsyncProc;
 };
 
 } // namespace osc

@@ -1,0 +1,110 @@
+#include "control/Prompt.h"
+
+#include "support/Diag.h"
+
+using namespace osc;
+
+// --- PromptTable ---------------------------------------------------------------
+
+int64_t PromptTable::findLive(Value Tag, Value ChainHead) {
+  while (!Records.empty()) {
+    const PromptRecord &R = Records.back();
+    if (!chainReaches(ChainHead, R.Mark)) {
+      // Stranded by an undelimited escape (call/cc jumped past the stub
+      // without popping): the delimiter's extent is gone, so the record is
+      // dead weight.  Dropping here keeps the table a faithful mirror of
+      // the chain without making escapes pay to search for stubs.
+      Records.pop_back();
+      continue;
+    }
+    break;
+  }
+  for (size_t I = Records.size(); I != 0; --I) {
+    const PromptRecord &R = Records[I - 1];
+    if (R.Tag.identical(Tag) && chainReaches(ChainHead, R.Mark))
+      return static_cast<int64_t>(I - 1);
+  }
+  return -1;
+}
+
+void PromptTable::popThrough(uint64_t Id) {
+  for (size_t I = Records.size(); I != 0; --I) {
+    if (Records[I - 1].Id == Id) {
+      Records.resize(I - 1);
+      return;
+    }
+  }
+  // Absent: a stale stub returned after an escape already unwound past it
+  // and a later findLive() pruned the record.  Nothing to do.
+}
+
+std::vector<PromptRecord> PromptTable::takeAbove(size_t Idx) {
+  std::vector<PromptRecord> Out(Records.begin() + Idx + 1, Records.end());
+  Records.resize(Idx + 1);
+  return Out;
+}
+
+void PromptTable::traceRoots(GCVisitor &V) {
+  for (PromptRecord &R : Records) {
+    V.visit(R.Tag);
+    V.visit(R.Mark);
+    V.visit(R.Winders);
+  }
+}
+
+// --- Chain walks ---------------------------------------------------------------
+
+bool osc::chainReaches(Value ChainHead, Value Mark) {
+  Value Cur = ChainHead;
+  for (;;) {
+    if (Cur.identical(Mark))
+      return true;
+    auto *K = dynObj<Continuation>(Cur);
+    // Halt, the thread guard (a shared shot sentinel), and any shot member
+    // all end the walk: nothing beyond them is part of this computation.
+    if (!K || K->isHalt() || K->isShot())
+      return false;
+    Cur = K->Link;
+  }
+}
+
+DelimSlice osc::cutSliceToMark(ControlStack &CS, Value Head, Value Mark) {
+  DelimSlice Slice;
+  if (Head.identical(Mark))
+    return Slice; // Empty slice: shift in tail position at the delimiter.
+
+  Continuation *Prev = nullptr;
+  Value Cur = Head;
+  for (;;) {
+    auto *K = dynObj<Continuation>(Cur);
+    if (!K || K->isHalt() || K->isShot())
+      oscFatal("cutSliceToMark: mark vanished from a validated chain");
+    if (!K->isOneShot()) {
+      // Promoted or multi-shot: some other capture may still reference this
+      // member, so the splice must not rewrite its Link in place.  Deep-
+      // clone it into an exclusively-owned one-shot view (the only copying
+      // path in delimited capture; pure one-shot extents never take it).
+      Continuation *Clone = CS.cloneShared(K);
+      Slice.Remapped.emplace_back(K, Clone);
+      Slice.Cloned += 1;
+      K = Clone;
+      Cur = Value::object(K);
+    }
+    Slice.Members += 1;
+    if (Prev)
+      Prev->Link = Cur;
+    else
+      Slice.Top = Cur;
+    if (K->Link.identical(Mark)) {
+      Slice.Bottom = K;
+      return Slice;
+    }
+    Prev = K;
+    Cur = K->Link;
+  }
+}
+
+void osc::spliceOntoMark(DelimSlice &Slice, Value NewLink) {
+  if (Slice.Bottom)
+    Slice.Bottom->Link = NewLink;
+}

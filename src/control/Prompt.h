@@ -1,0 +1,117 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Delimited control on the one-shot substrate (src/control).
+///
+/// A *prompt* (the delimiter planted by `(reset tag thunk)`) is a marked
+/// boundary in the continuation chain: the PromptRecord remembers, by
+/// identity, the continuation the reset site captured one-shot — the Mark.
+/// Everything the program pushes inside the reset extent sits *above* the
+/// Mark in the chain, so `(shift tag k body)` can delimit its capture by
+/// cutting the chain exactly where a link equals the Mark, reusing the
+/// paper's Figure-3 split idiom (re-view, re-link — never copy) instead of
+/// copying frames out of the stack.
+///
+/// The records themselves live on a per-thread PromptTable (swapped with
+/// the scheduler context like *winders*); the matching stack frame is the
+/// prompt stub frame the VM builds above each reset's base frame, whose
+/// single slot holds the record id (core/FrameWalk.h::FramePromptId).
+/// Returning through the stub pops the record, and escapes that jump past
+/// the stub leave a stale record behind that findLive() later skips by
+/// re-walking the chain for the Mark.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OSC_CONTROL_PROMPT_H
+#define OSC_CONTROL_PROMPT_H
+
+#include "core/ControlStack.h"
+#include "object/Heap.h"
+#include "object/Objects.h"
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace osc {
+
+/// One active delimiter.  All Values are GC-traced via PromptTable.
+struct PromptRecord {
+  Value Tag;     ///< The reset's tag (compared by identity).
+  Value Mark;    ///< Continuation captured at the reset site: the boundary.
+  Value Winders; ///< *winders* at reset entry (shift unwinds back to it).
+  uint64_t Id;   ///< Matches the stub frame's FramePromptId slot.
+};
+
+/// The per-thread stack of active delimiters, innermost last.  The VM owns
+/// one live table; suspended green threads keep theirs in SchedContext.
+class PromptTable {
+public:
+  void push(const PromptRecord &R) { Records.push_back(R); }
+  void clear() { Records.clear(); }
+
+  bool empty() const { return Records.empty(); }
+  size_t size() const { return Records.size(); }
+  const PromptRecord &top() const { return Records.back(); }
+  const PromptRecord &at(size_t I) const { return Records[I]; }
+
+  /// Innermost record whose Tag is identical to \p Tag *and* whose Mark is
+  /// still reachable from \p ChainHead (records stranded by an undelimited
+  /// escape are dropped on the way).  Returns the index, or -1 if none.
+  int64_t findLive(Value Tag, Value ChainHead);
+
+  /// Pops records from the top until (and including) the one with \p Id.
+  /// No-op when \p Id is not present (a stale stub return after an escape
+  /// already unwound it).
+  void popThrough(uint64_t Id);
+
+  /// Removes and returns every record above index \p Idx (exclusive), in
+  /// stack order (outermost first).  They belong to the slice being cut.
+  std::vector<PromptRecord> takeAbove(size_t Idx);
+
+  void traceRoots(GCVisitor &V);
+
+private:
+  std::vector<PromptRecord> Records;
+};
+
+/// A delimited slice cut out of the chain by cutSliceToMark.
+struct DelimSlice {
+  Value Top;            ///< Topmost continuation, or Empty for an empty slice.
+  Continuation *Bottom = nullptr; ///< The member whose Link was the Mark
+                                  ///< (null when empty); spliceOntoMark
+                                  ///< rewrites its Link.
+  uint32_t Members = 0; ///< Chain members in the slice.
+  uint32_t Cloned = 0;  ///< How many were deep-cloned (0 in steady state).
+  /// (original, clone) for every member cloneShared replaced.  PromptRecords
+  /// cut out with the slice may name an original as their Mark; the caller
+  /// remaps them so the records stay live when the slice is spliced back.
+  std::vector<std::pair<Continuation *, Continuation *>> Remapped;
+};
+
+/// True when \p Mark is reachable from \p ChainHead by following links
+/// (stopping at halt / the thread guard / any shot member).
+bool chainReaches(Value ChainHead, Value Mark);
+
+/// Cuts the delimited slice between the current computation and \p Mark.
+///
+/// Pre: the caller already captured the current window (one-shot on the
+/// fast path) so CS.link() heads the chain, and \p Mark is reachable.
+/// Walks the chain from \p Head to the member linking to \p Mark; every
+/// member that is *not* an exclusively-owned one-shot (promoted, or
+/// captured multi-shot inside the extent) is deep-cloned via
+/// ControlStack::cloneShared so the later splice can rewrite the bottom
+/// link without mutating a continuation other captures may still hold.
+/// In the steady state (pure one-shot chain) this touches only headers:
+/// zero stack words move.  Afterwards the caller aborts to the prompt with
+/// CS.setLink(Mark).
+DelimSlice cutSliceToMark(ControlStack &CS, Value Head, Value Mark);
+
+/// Splices \p Slice back in front of \p NewLink (the continuation captured
+/// at the invoke site): the one-shot re-instatement half of the Figure-3
+/// idiom — a single link store.  Empty slices are a no-op.
+void spliceOntoMark(DelimSlice &Slice, Value NewLink);
+
+} // namespace osc
+
+#endif // OSC_CONTROL_PROMPT_H

@@ -91,6 +91,11 @@ struct Config {
   /// column in bench_serve — the paper's Figure 5 comparison applied to
   /// I/O parking.  Leave true for the real system.
   bool SchedOneShotSwitch = true;
+  /// When false, delimited capture (shift) uses multi-shot captures and the
+  /// slice cut deep-clones every chain member instead of relinking one-shot
+  /// views in place — the copying shim bench_control compares against to
+  /// assert the zero-copy steady state.  Leave true for the real system.
+  bool DelimOneShot = true;
   /// Capacity (in records) of the VM's event tracer (support/Trace.h).
   /// The buffer is allocated once at VM construction; recording is off
   /// until trace-start! / Trace::start.

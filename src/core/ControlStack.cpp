@@ -428,6 +428,28 @@ ResumePoint ControlStack::invoke(Continuation *K) {
   return RP;
 }
 
+Continuation *ControlStack::cloneShared(Continuation *K) {
+  assert(!K->isShot() && !K->isHalt() && "cloning a dead continuation");
+  uint32_t Words = static_cast<uint32_t>(K->Size);
+  // Allocate the header first: allocSegment zero-fills, so a GC between the
+  // two allocations (there is none today — collections run only at VM
+  // safepoints — but the order costs nothing) would see a consistent pair.
+  Continuation *C = H.allocContinuation();
+  StackSegment *Fresh = newSegment(Words + 1); // +1 keeps Size < SegSize.
+  std::memcpy(Fresh->Slots, K->slots(), Words * sizeof(Value));
+  S.WordsCopied += Words;
+  S.SliceClonedWords += Words;
+  C->Seg = Value::object(Fresh);
+  C->Start = 0;
+  C->Size = Words;
+  C->SegSize = Fresh->Capacity; // Strictly > Size: an unpromoted one-shot.
+  C->Link = K->Link;
+  C->RetCode = K->RetCode;
+  C->RetPc = K->RetPc;
+  C->Flag = Value::falseV(); // Exclusively owned: no shared promotion flag.
+  return C;
+}
+
 ResumePoint ControlStack::underflow() {
   S.Underflows += 1;
   OSC_TRACE(Tr, TraceEvent::Underflow);

@@ -139,6 +139,13 @@ public:
   /// halt continuation is reached.
   ResumePoint underflow();
 
+  /// Deep-clones a shared (promoted or multi-shot) continuation into an
+  /// exclusively-owned one-shot view on a fresh segment.  Delimited capture
+  /// uses this for chain members it cannot relink in place because other
+  /// captures may still reference them; the copy is counted in WordsCopied.
+  /// Pre: !K->isShot() && !K->isHalt().
+  Continuation *cloneShared(Continuation *K);
+
   /// Ensures the current window has at least \p NeedCap slots, relocating
   /// the live contents [0, Top) into a larger segment if not.  Used when a
   /// resumed frame's static extent exceeds the window it was reinstated

@@ -29,6 +29,11 @@ enum FrameSlot : uint32_t {
   FrameRetCode = 0, ///< Code object, or the underflow marker at a base.
   FrameRetPc = 1,   ///< Fixnum pc within RetCode.
   FrameArgs = 2,    ///< First argument.
+  /// In a *prompt stub frame* (the frame (reset tag thunk) builds under the
+  /// thunk, whose return point is the VM's PromptPop stub code) the single
+  /// argument slot holds the fixnum id of the PromptRecord the stub pops on
+  /// the way out.  Same offset as FrameArgs; the alias names the intent.
+  FramePromptId = FrameArgs,
 };
 
 /// Number of header words at the base of every frame.

@@ -189,6 +189,14 @@ enum class NativeSpecial : uint8_t {
   IoAccept,       ///< %io-accept — may park until a connection arrives
   IoTakeConn,     ///< %io-take-conn — may park until the pool hands off a
                   ///< connection (or its ConnQueue closes)
+  // Delimited control (src/control): prompts and slices manipulate the
+  // continuation chain directly, so like call/1cc they run in the dispatch
+  // loop rather than as plain natives.
+  Reset,          ///< %reset — plant a tagged prompt and call the thunk
+  Shift,          ///< %shift — cut the slice up to the nearest matching
+                  ///< prompt and call the receiver with it
+  DelimInvoke,    ///< %delim-invoke — splice a cut slice back in front of
+                  ///< the current continuation (one-shot)
 };
 
 struct Native : ObjHeader {

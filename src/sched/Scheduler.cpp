@@ -219,6 +219,7 @@ void Scheduler::traceRoots(GCVisitor &V) {
     V.visit(T->Wake);
     V.visit(T->Result);
     V.visit(T->Ctx.Winders);
+    T->Ctx.Prompts.traceRoots(V);
     V.visit(T->Ctx.TimerHandler);
     V.visit(T->EscapeProc);
     for (DeadlineRec &D : T->Deadlines)
@@ -227,6 +228,7 @@ void Scheduler::traceRoots(GCVisitor &V) {
   V.visit(MainK);
   V.visit(BaseWinders);
   V.visit(MainCtx.Winders);
+  MainCtx.Prompts.traceRoots(V);
   V.visit(MainCtx.TimerHandler);
   for (auto &C : Channels)
     C->traceRoots(V);

@@ -32,6 +32,7 @@
 #ifndef OSC_SCHED_SCHEDULER_H
 #define OSC_SCHED_SCHEDULER_H
 
+#include "control/Prompt.h"
 #include "object/Value.h"
 #include "sched/Channel.h"
 #include "support/Error.h"
@@ -54,6 +55,7 @@ class GCVisitor;
 /// computation is suspended, restored verbatim when it resumes.
 struct SchedContext {
   Value Winders;             ///< Value of *winders* while suspended.
+  PromptTable Prompts;       ///< Active delimiters while suspended.
   int64_t Fuel = -1;         ///< Engine-timer ticks left; -1 disarmed.
   bool TimerExpired = false; ///< Pending unserviced expiry.
   Value TimerHandler;        ///< Armed engine handler, or Empty.

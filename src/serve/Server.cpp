@@ -72,10 +72,39 @@ const char *Server::protocolSource() {
              (if (eq? v 'err) "ERR" (number->string v))))))
     (else "ERR")))
 
+;; STREAM (e1 e2 ...): one PART line per expression, then DONE.  The parts
+;; come out of a generator: each element's evaluation runs inside the
+;; generator's reset, parks at (yield v) as a one-shot delimited capture,
+;; and resumes with zero stack words copied when the writer loop asks for
+;; the next part — even when the io-write in between parked the whole
+;; connection thread (the suspended slice lives in the heap, not on the
+;; thread's chain, so it travels across scheduler switches for free).
+(define (handle-stream conn payload)
+  (let ((d (string->datum payload)))
+    (if (not (pair? d))
+        (io-write conn "ERR\n")
+        (let ((g (make-generator
+                  (lambda (v)
+                    (for-each (lambda (e) (yield (safe-eval e))) d)
+                    'done))))
+          (let loop ()
+            (let ((p (generator-next g)))
+              (if (eof-object? p)
+                  (io-write conn "DONE\n")
+                  (begin
+                    (io-write conn
+                              (string-append
+                               "PART "
+                               (if (eq? p 'err) "ERR" (number->string p))
+                               "\n"))
+                    (loop)))))))))
+
 ;; One green thread per request: it writes the reply (parking if the
 ;; socket is full) and bumps the RequestsServed counter.
 (define (handle-request conn line)
-  (io-write conn (string-append (answer line) "\n"))
+  (if (starts-with? line "STREAM ")
+      (handle-stream conn (substring line 7 (string-length line)))
+      (io-write conn (string-append (answer line) "\n")))
   (serve-request-done!))
 
 ;; One green thread per connection.  QUIT answers BYE, closes the

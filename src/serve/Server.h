@@ -14,9 +14,15 @@
 /// before spawning a handler and returns it after, so at most MaxInflight
 /// requests are in flight.
 ///
-/// Protocol (one request per line, one reply line per request):
+/// Protocol (one request per line; one reply line per request, except
+/// STREAM which replies with several):
 ///   PING            -> PONG
 ///   EVAL <sexpr>    -> the fixnum result, or ERR (fixnum arithmetic only)
+///   STREAM (e ...)  -> one "PART <result>" line per expression (ERR for a
+///                      bad element), then DONE; parts are produced lazily
+///                      by a generator built on the delimited-control layer
+///                      (src/control), so each element evaluates only when
+///                      its PART is about to be written
 ///   QUIT            -> BYE, then the server closes its listener and stops
 ///   anything else   -> ERR
 ///

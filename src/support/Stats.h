@@ -96,7 +96,15 @@ namespace osc {
   X(RequestsShed)         /* Connections refused with BUSY at admission. */   \
   X(ConnsReaped)          /* Connections dropped (idle / slow / overflow). */ \
   X(WorkerRestarts)       /* Pool workers auto-restarted after a crash. */    \
-  X(IoWaitDeadlinePeak)   /* High-water mark of deadline-armed waiters. */
+  X(IoWaitDeadlinePeak)   /* High-water mark of deadline-armed waiters. */    \
+  /* Delimited control (src/control).  SliceClonedWords isolates the only    \
+     copying path delimited capture has (deep-cloning shared chain members   \
+     before the splice may relink them); a pure one-shot extent keeps it at  \
+     zero, which bench_control asserts per yield. */                         \
+  X(PromptResets)         /* (reset tag thunk) prompts planted. */           \
+  X(SliceCaptures)        /* (shift tag k body) slices cut to a mark. */     \
+  X(SliceSplices)         /* Delimited k invokes that spliced a slice. */    \
+  X(SliceClonedWords)     /* Stack words copied by cloneShared. */
 // clang-format on
 
 /// Counter block for one interpreter instance.  All counters are monotonic

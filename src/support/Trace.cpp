@@ -66,6 +66,12 @@ const char *osc::traceEventName(TraceEvent E) {
     return "io-drop";
   case TraceEvent::Shed:
     return "shed";
+  case TraceEvent::Reset:
+    return "reset";
+  case TraceEvent::Shift:
+    return "shift";
+  case TraceEvent::Splice:
+    return "splice";
   }
   oscUnreachable("bad TraceEvent");
 }

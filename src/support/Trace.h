@@ -83,6 +83,14 @@ enum class TraceEvent : uint8_t {
              ///< p1=reason (0 output overflow, 1 deadline, 2 idle reap).
   Shed,      ///< Admission control refused a connection with BUSY.
              ///< p0=port id.
+
+  // Delimited control (src/control + src/vm).
+  Reset,  ///< Prompt planted. p0=record id.
+  Shift,  ///< Slice cut up to the nearest matching mark. p0=record id,
+          ///< p1=slice chain members, p2=members deep-cloned (0 in the
+          ///< one-shot steady state: zero stack words copied).
+  Splice, ///< Slice spliced back in front of the invoke-site continuation.
+          ///< p0=record id, p1=slice chain members (0 for an empty slice).
 };
 
 /// Stable, kebab-case event name ("capture-multi", "sched-switch", ...).

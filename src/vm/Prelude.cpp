@@ -179,7 +179,6 @@ const char *osc::preludeSource() {
 ;; (e.g. in a one-element list) or use the blocking channel-recv.
 
 (define spawn %spawn)
-(define (yield) (%yield))
 (define (thread-exit v) (%thread-exit v))
 (define (thread-join tid) (%join tid))
 (define (thread-sleep! ticks) (%sleep ticks))
@@ -232,6 +231,108 @@ const char *osc::preludeSource() {
         (lambda () (set! id (%deadline-push ms (lambda () (k *timeout*)))))
         thunk
         (lambda () (%deadline-pop id)))))))
+
+;; --- delimited control (src/control; tagged reset/shift) ---------------------
+;;
+;; (reset tag body...) plants a delimiter; (shift tag k body...) cuts the
+;; continuation up to the nearest live delimiter with an identical tag and
+;; binds k to a *one-shot* delimited continuation (invoking it twice is an
+;; error).  The cut reuses the paper's split idiom — headers are relinked,
+;; no stack words are copied — and the delimiter travels with k, so a
+;; resumed slice can shift again (what make-generator below relies on).
+;;
+;; Winder travel across the delimiter: the abort from the shift site to the
+;; reset runs the after-thunks of every dynamic-wind entered inside the
+;; extent; invoking k re-runs their before-thunks, rebased onto the invoke
+;; site's own winder chain.  The native %shift hands the receiver the
+;; winders saved at reset entry for exactly this purpose.
+
+(define (%reset-proc tag thunk) (%reset tag thunk))
+
+(define (%shift-proc tag f)
+  (let ((w-shift *winders*))
+    (%shift
+     tag
+     (lambda (dk w-reset)
+       ;; The slice's winders are the prefix of w-shift above w-reset,
+       ;; collected outermost-first for re-entry.
+       (let ((prefix (let loop ((l w-shift) (acc '()))
+                       (if (eq? l w-reset)
+                           acc
+                           (loop (cdr l) (cons (car l) acc))))))
+         ;; Abort direction: unwind out of the extent's winders.
+         (unless (eq? w-reset *winders*) (%do-wind w-reset))
+         (f (lambda (v)
+              ;; Re-entry direction: rewind the slice's winders on top of
+              ;; whatever the invoke site has wound.
+              (let loop ((p prefix))
+                (unless (null? p)
+                  ((car (car p)))
+                  (%trace-wind 0)
+                  (set! *winders* (cons (car p) *winders*))
+                  (loop (cdr p))))
+              (%delim-invoke dk v))))))))
+
+;; --- generators on reset/shift ----------------------------------------------
+;;
+;; (make-generator proc) returns a generator g; (generator-next g [v])
+;; resumes it, returning the next yielded value, or *eof* once proc
+;; returns.  Inside proc, (yield v) suspends — a one-shot capture to the
+;; generator's delimiter, zero stack words copied — and evaluates to the
+;; value passed to the resuming generator-next.  (yield) with no argument
+;; keeps its old meaning: the scheduler's cooperative yield.
+
+(define %generator-tag '%generator-prompt)
+
+(define (yield . v)
+  (if (null? v)
+      (%yield)
+      (shift %generator-tag k (cons k (car v)))))
+
+(define (make-generator proc)
+  ;; step is 'fresh, then the parked one-shot continuation, then 'done.
+  ;; A yield surfaces as (k . value); normal completion surfaces as #f
+  ;; (the wrapper below discards proc's result), so the two cannot clash.
+  (let ((step 'fresh))
+    (lambda (v)
+      (if (eq? step 'done)
+          *eof*
+          (let ((r (if (eq? step 'fresh)
+                       (reset %generator-tag (begin (proc v) #f))
+                       (step v))))
+            (if (pair? r)
+                (begin (set! step (car r)) (cdr r))
+                (begin (set! step 'done) *eof*)))))))
+
+(define (generator-next g . v)
+  (g (if (null? v) (if #f #f) (car v))))
+
+;; --- async/await on reset/shift + green threads ------------------------------
+;;
+;; (async body...) runs body in a fresh green thread under an %async-tag
+;; delimiter and immediately returns a *future* — a one-slot channel that
+;; eventually carries (list result).  Inside an async body, (await fut)
+;; shifts to the delimiter: the rest of the body parks as a one-shot
+;; continuation while the receiver blocks in channel-recv (the scheduler's
+;; park path; for reactor-backed channels this is the same ioPark point
+;; I/O uses), then splices the body back in with the settled value.
+;; Futures are single-consumption: await (or future-get) each one once.
+;; Only meaningful under (scheduler-run ...).
+
+(define %async-tag '%async-prompt)
+
+(define (%async thunk)
+  (let ((done (make-channel 1)))
+    (spawn (lambda ()
+             (let ((r (reset %async-tag (thunk))))
+               (channel-send! done (list r)))))
+    done))
+
+;; Blocking read of a future from outside any async body.
+(define (future-get fut) (car (channel-recv fut)))
+
+(define (await fut)
+  (shift %async-tag k (k (car (channel-recv fut)))))
 
 (define (positive? x) (> x 0))
 (define (negative? x) (< x 0))

@@ -697,6 +697,14 @@ Value primVmStat(VM &Vm, Value *A, uint32_t) {
     V = St.WorkerRestarts;
   else if (N == "io-wait-deadline-peak")
     V = St.IoWaitDeadlinePeak;
+  else if (N == "prompt-resets")
+    V = St.PromptResets;
+  else if (N == "slice-captures")
+    V = St.SliceCaptures;
+  else if (N == "slice-splices")
+    V = St.SliceSplices;
+  else if (N == "slice-cloned-words")
+    V = St.SliceClonedWords;
   else
     return Vm.fail("vm-stat: unknown counter: " + std::string(N));
   return Value::fixnum(static_cast<int64_t>(V));
@@ -1048,6 +1056,10 @@ static const NativeDef SpecialDefs[] = {
     {"%io-write", noFn, 2, 2, NativeSpecial::IoWrite},
     {"%io-accept", noFn, 1, 1, NativeSpecial::IoAccept},
     {"%io-take-conn", noFn, 0, 0, NativeSpecial::IoTakeConn},
+    // Delimited control (src/control): tagged prompts and one-shot slices.
+    {"%reset", noFn, 2, 2, NativeSpecial::Reset},
+    {"%shift", noFn, 2, 2, NativeSpecial::Shift},
+    {"%delim-invoke", noFn, 2, 2, NativeSpecial::DelimInvoke},
 };
 
 static const NativeDef PrimDefs[] = {

@@ -37,6 +37,15 @@ VM::VM(Heap &H, Stats &S, const Config &Cfg)
                            StubInstrs, 2);
   CwvStub = Value::object(Stub);
 
+  // The prompt resume stub: returning into (stub, pc=1) lands on PromptPop
+  // with the PromptRecord id in the stub frame's single slot
+  // (FramePromptId).  Same shape as the cwv stub: header + id = 3.
+  uint32_t PromptInstrs[2] = {3, static_cast<uint32_t>(Op::PromptPop)};
+  Code *PStub = H.allocCode(Value::object(H.intern("prompt-stub")),
+                            Value::object(NoConsts), 0, false, /*MaxDepth=*/8,
+                            PromptInstrs, 2);
+  PromptStub = Value::object(PStub);
+
   Sched = std::make_unique<Scheduler>(S);
   Sched->setTrace(&Tr);
   WindersSym = H.intern("*winders*");
@@ -106,6 +115,8 @@ void VM::traceRoots(GCVisitor &V) {
   V.visit(Acc);
   V.visit(CurCodeVal);
   V.visit(CwvStub);
+  V.visit(PromptStub);
+  Prompts.traceRoots(V);
   V.visit(FinalValue);
   V.visit(TimerHandler);
   V.visit(ThreadGuard);
@@ -458,6 +469,216 @@ void VM::doCallWithValues(Value Producer, Value Consumer, Site St) {
   enterCall(Producer, {}, Site{SiteKind::Tail, 0});
 }
 
+// --- Delimited control (src/control) ----------------------------------------
+//
+// A prompt is three things kept in sync: the Mark (the continuation below
+// the reset site, captured one-shot so planting a delimiter costs exactly
+// one Figure-2 capture), a PromptRecord on the per-thread table, and a
+// *prompt stub frame* — a base frame whose return point is PromptStub@1 and
+// whose single slot holds the record id, so a normal return through the
+// delimiter pops the record before underflowing into the Mark.  shift cuts
+// the chain where a link equals the Mark (src/control/Prompt.cpp): in the
+// steady state every member between shift and reset is an exclusively-owned
+// one-shot, so the cut is header relinking only — zero stack words move —
+// and the later splice is a single link store plus a one-shot invoke.
+
+namespace {
+
+/// Layout of the opaque delimited-continuation package %shift hands to its
+/// receiver (a Vector; the prelude wraps it in a procedure before user code
+/// can see it).
+enum DelimKSlot : uint32_t {
+  DkMarker = 0,   ///< The unforgeable #<delim-k> symbol.
+  DkTop,          ///< Slice top continuation, or Empty for an empty slice.
+  DkBottom,       ///< Slice bottom continuation, or Empty.
+  DkTag,          ///< The prompt's tag.
+  DkId,           ///< Fixnum PromptRecord id (reused at splice time).
+  DkWinders,      ///< *winders* at reset entry (for the record's re-push).
+  DkSaved,        ///< Vector of 4-tuples: records cut out with the slice.
+  DkShot,         ///< #t once invoked: delimited ks are one-shot.
+  DkOrigMark,     ///< The Mark the slice was cut from; saved records whose
+                  ///< Mark equals it are remapped onto the splice point.
+  DkSlotCount,
+};
+
+constexpr uint32_t DkSavedFields = 4; // Tag, Mark, Winders, Id per record.
+
+} // namespace
+
+void VM::enterWithPromptStub(uint64_t Id, Value Callee,
+                             std::vector<Value> Args) {
+  // The stub frame doubles as the fresh window's base frame: its header is
+  // the underflow marker (returning past it resumes the Mark, which is the
+  // window's link) and its one slot carries the record id for PromptPop.
+  uint32_t StubWords = FrameHeaderWords + 1;
+  CS.beginBaseFrame(StubWords + FrameHeaderWords + 2);
+  CS.plantBaseFrame();
+  Value *Sl = CS.slots();
+  Sl[FramePromptId] = Value::fixnum(static_cast<int64_t>(Id));
+  // Callee frame above the stub; its return resumes the stub at pc=1,
+  // exactly the doCallWithValues producer-frame pattern.
+  uint32_t CFp = StubWords;
+  Sl[CFp + FrameRetCode] = PromptStub;
+  Sl[CFp + FrameRetPc] = Value::fixnum(1);
+  CS.Fp = CFp;
+  CS.Top = CFp + FrameHeaderWords;
+  enterCall(Callee, std::move(Args), Site{SiteKind::Tail, 0});
+}
+
+void VM::doReset(Value Tag, Value Thunk, Site St) {
+  uint32_t Boundary;
+  Value RetC;
+  int64_t RetP;
+  siteCapturePoint(St, Boundary, RetC, RetP);
+  // The Mark: everything below the reset site.  One-shot on the real path;
+  // the Config::DelimOneShot=false shim captures multi-shot so every later
+  // reinstatement pays the Figure-3 copy — the baseline bench_control
+  // compares against.
+  Value Mark = Cfg.DelimOneShot ? CS.captureOneShot(Boundary, RetC, RetP)
+                                : CS.captureMultiShot(Boundary, RetC, RetP);
+  uint64_t Id = ++NextPromptId;
+  Prompts.push({Tag, Mark, WindersSym->Global, Id});
+  S.PromptResets += 1;
+  OSC_TRACE(&Tr, TraceEvent::Reset, Id);
+  enterWithPromptStub(Id, Thunk, {});
+}
+
+void VM::doShift(Value Tag, Value Receiver, Site St) {
+  // Find the innermost live prompt for this tag *before* capturing: the
+  // lookup validates that the record's Mark is still reachable from the
+  // current chain (stale records from undelimited escapes are pruned).
+  int64_t Idx = Prompts.findLive(Tag, CS.link());
+  if (Idx < 0) {
+    fail("shift: no reset for tag " + writeToString(Tag));
+    return;
+  }
+  PromptRecord R = Prompts.at(static_cast<size_t>(Idx));
+
+  uint32_t Boundary;
+  Value RetC;
+  int64_t RetP;
+  siteCapturePoint(St, Boundary, RetC, RetP);
+  Value KTop = Cfg.DelimOneShot ? CS.captureOneShot(Boundary, RetC, RetP)
+                                : CS.captureMultiShot(Boundary, RetC, RetP);
+  // After the capture the chain head is KTop; cut it down to the Mark and
+  // abort the current (fresh) window to the prompt.
+  DelimSlice Slice = cutSliceToMark(CS, KTop, R.Mark);
+  CS.setLink(R.Mark);
+
+  // Records above the found one belong to the slice (inner delimiters the
+  // captured extent contains); they travel inside the package and are
+  // re-pushed at splice time.  Marks naming a member that was deep-cloned
+  // are remapped onto the clone so they stay live.
+  std::vector<PromptRecord> Saved =
+      Prompts.takeAbove(static_cast<size_t>(Idx));
+  for (PromptRecord &SR : Saved)
+    for (const auto &[Orig, Clone] : Slice.Remapped)
+      if (SR.Mark.identical(Value::object(Orig)))
+        SR.Mark = Value::object(Clone);
+
+  Vector *SavedVec =
+      H.allocVector(static_cast<uint32_t>(Saved.size()) * DkSavedFields);
+  for (size_t I = 0; I != Saved.size(); ++I) {
+    SavedVec->Elems[I * DkSavedFields + 0] = Saved[I].Tag;
+    SavedVec->Elems[I * DkSavedFields + 1] = Saved[I].Mark;
+    SavedVec->Elems[I * DkSavedFields + 2] = Saved[I].Winders;
+    SavedVec->Elems[I * DkSavedFields + 3] =
+        Value::fixnum(static_cast<int64_t>(Saved[I].Id));
+  }
+
+  Vector *Dk = H.allocVector(DkSlotCount);
+  Dk->Elems[DkMarker] = Value::object(H.intern("#<delim-k>"));
+  Dk->Elems[DkTop] = Slice.Top;
+  Dk->Elems[DkBottom] =
+      Slice.Bottom ? Value::object(Slice.Bottom) : Value();
+  Dk->Elems[DkTag] = R.Tag;
+  Dk->Elems[DkId] = Value::fixnum(static_cast<int64_t>(R.Id));
+  Dk->Elems[DkWinders] = R.Winders;
+  Dk->Elems[DkSaved] = Value::object(SavedVec);
+  Dk->Elems[DkShot] = Value::falseV();
+  Dk->Elems[DkOrigMark] = R.Mark;
+
+  S.SliceCaptures += 1;
+  OSC_TRACE(&Tr, TraceEvent::Shift, R.Id, Slice.Members, Slice.Cloned);
+  // The receiver runs back at the prompt, under a fresh stub frame for the
+  // *same* record (the shift body stays delimited; its normal return pops
+  // the record and underflows into the Mark).  It gets the package and the
+  // reset-entry winders so the prelude can unwind the extent's after-thunks.
+  enterWithPromptStub(R.Id, Receiver, {Value::object(Dk), R.Winders});
+}
+
+void VM::doDelimInvoke(Value DkV, Value V, Site St) {
+  auto *Dk = dynObj<Vector>(DkV);
+  if (!Dk || Dk->Len != DkSlotCount ||
+      !Dk->Elems[DkMarker].identical(Value::object(H.intern("#<delim-k>")))) {
+    fail("%delim-invoke: not a delimited continuation: " +
+         writeToString(DkV));
+    return;
+  }
+  if (Dk->Elems[DkShot].isTrue()) {
+    // Delimited continuations inherit the substrate's one-shot discipline;
+    // the flag (not markShot) carries the check so the error is identical
+    // under the copying shim.
+    fail("delimited continuation invoked a second time");
+    return;
+  }
+  Dk->Elems[DkShot] = Value::trueV();
+  uint64_t Id = static_cast<uint64_t>(Dk->Elems[DkId].asFixnum());
+
+  if (Dk->Elems[DkTop].isEmpty()) {
+    // Empty slice: (shift t k ...) sat in tail position at its prompt, so
+    // "the rest of the extent" is the identity; re-establishing a prompt
+    // around an empty computation is unobservable.
+    S.SliceSplices += 1;
+    OSC_TRACE(&Tr, TraceEvent::Splice, Id, 0);
+    nativeReturn(V, St);
+    return;
+  }
+
+  uint32_t Boundary;
+  Value RetC;
+  int64_t RetP;
+  siteCapturePoint(St, Boundary, RetC, RetP);
+  if (Cfg.DelimOneShot)
+    CS.captureOneShot(Boundary, RetC, RetP);
+  else
+    CS.captureMultiShot(Boundary, RetC, RetP);
+  Value NewLink = CS.link(); // The continuation of the (k v) call itself.
+
+  // Re-establish the delimiter at the splice point: same tag, same id,
+  // reset-entry winders, but the Mark is *here* now — an inner shift after
+  // resumption cuts back to this invoke site.  Then the inner records the
+  // slice carried, innermost last, with dead-end Marks remapped too.
+  Prompts.push({Dk->Elems[DkTag], NewLink, Dk->Elems[DkWinders], Id});
+  auto *SavedVec = castObj<Vector>(Dk->Elems[DkSaved]);
+  for (uint32_t I = 0; I + DkSavedFields <= SavedVec->Len;
+       I += DkSavedFields) {
+    Value SMark = SavedVec->Elems[I + 1].identical(Dk->Elems[DkOrigMark])
+                      ? NewLink
+                      : SavedVec->Elems[I + 1];
+    Prompts.push({SavedVec->Elems[I + 0], SMark, SavedVec->Elems[I + 2],
+                  static_cast<uint64_t>(SavedVec->Elems[I + 3].asFixnum())});
+  }
+
+  // The one-shot reinstatement half of the Figure-3 idiom: one link store
+  // splices the whole slice in front of the invoke-site continuation, then
+  // the slice top resumes with a zero-copy invoke (it is marked shot on the
+  // way, poisoning reuse at the substrate level as well).
+  auto *Bottom = castObj<Continuation>(Dk->Elems[DkBottom]);
+  DelimSlice Slice;
+  Slice.Bottom = Bottom;
+  spliceOntoMark(Slice, NewLink);
+  S.SliceSplices += 1;
+  if (Tr.enabled()) {
+    uint32_t Members = 1;
+    for (Value C = Dk->Elems[DkTop]; !C.identical(Dk->Elems[DkBottom]);
+         ++Members)
+      C = castObj<Continuation>(C)->Link;
+    Tr.emit(TraceEvent::Splice, Id, Members);
+  }
+  invokeContinuationWithValues(castObj<Continuation>(Dk->Elems[DkTop]), {V});
+}
+
 void VM::enterCall(Value Callee, std::vector<Value> Args, Site St) {
   for (;;) {
     if (Failed || Halted)
@@ -550,6 +771,15 @@ void VM::enterCall(Value Callee, std::vector<Value> Args, Site St) {
       case NativeSpecial::IoTakeConn:
         ioTakeConn(St);
         return;
+      case NativeSpecial::Reset:
+        doReset(Args[0], Args[1], St);
+        return;
+      case NativeSpecial::Shift:
+        doShift(Args[0], Args[1], St);
+        return;
+      case NativeSpecial::DelimInvoke:
+        doDelimInvoke(Args[0], Args[1], St);
+        return;
       }
       oscUnreachable("bad NativeSpecial");
     }
@@ -588,6 +818,8 @@ void VM::nativeReturn(Value V, Site St) {
 
 void VM::schedSaveContext(SchedContext &C) {
   C.Winders = WindersSym->Global;
+  C.Prompts = std::move(Prompts);
+  Prompts.clear();
   C.Fuel = Fuel;
   C.TimerExpired = TimerExpired;
   C.TimerHandler = TimerHandler;
@@ -598,6 +830,7 @@ void VM::schedSaveContext(SchedContext &C) {
 
 void VM::schedRestoreContext(const SchedContext &C, bool FreshSlice) {
   WindersSym->Global = C.Winders;
+  Prompts = C.Prompts;
   if (FreshSlice && C.TimerHandler.isEmpty()) {
     // Ordinary thread: it gets a full preemption slice.  A context with an
     // armed engine handler instead resumes under its own timer — an engine
@@ -629,8 +862,9 @@ void VM::schedDispatch() {
       T.Thunk = Value();
       T.Started = true;
       // Fresh dynamic context: the winder list scheduler-run was entered
-      // under and a full preemption slice.
+      // under, no inherited prompts, and a full preemption slice.
       WindersSym->Global = Sched->baseWinders();
+      Prompts.clear();
       TimerHandler = Value();
       TimerExpired = false;
       Fuel = Sched->interval() > 0 ? Sched->interval() : -1;
@@ -1715,6 +1949,17 @@ void VM::interpLoop() {
       std::vector<Value> Vals;
       collectValues(Vals);
       enterCall(Consumer, std::move(Vals), Site{SiteKind::Tail, 0});
+      break;
+    }
+
+    case Op::PromptPop: {
+      // The prompt stub: the delimiter's extent completed normally.  Pop
+      // its record and pass the value(s) through — NumValues is left
+      // untouched, so multiple values flow out of a reset unchanged.
+      uint64_t Id =
+          static_cast<uint64_t>(Sl[CS.Fp + FramePromptId].asFixnum());
+      Prompts.popThrough(Id);
+      returnValues();
       break;
     }
 

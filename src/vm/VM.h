@@ -15,6 +15,7 @@
 #ifndef OSC_VM_VM_H
 #define OSC_VM_VM_H
 
+#include "control/Prompt.h"
 #include "core/Config.h"
 #include "core/ControlStack.h"
 #include "object/Heap.h"
@@ -237,6 +238,25 @@ private:
   void captureAndCall(bool OneShot, Value Receiver, Site S);
   void doCallWithValues(Value Producer, Value Consumer, Site S);
 
+  // Delimited control (VM.cpp, "Delimited control" section; src/control
+  // holds the chain-surgery half).  All three run in the dispatch loop.
+  /// (%reset tag thunk): capture one-shot at \p S (the Mark), push a
+  /// PromptRecord, and call \p Thunk on a fresh base with a prompt stub
+  /// frame (return point PromptStub@1) carrying the record id.
+  void doReset(Value Tag, Value Thunk, Site S);
+  /// (%shift tag receiver): cut the slice up to the innermost live prompt
+  /// for \p Tag, abort to its Mark, and call \p Receiver with the packaged
+  /// slice on a fresh stub frame for the same record.
+  void doShift(Value Tag, Value Receiver, Site S);
+  /// (%delim-invoke dk v): capture one-shot at \p S, splice \p Dk's slice
+  /// in front of it (re-pushing the prompt records the slice carries), and
+  /// resume the slice top with \p V.
+  void doDelimInvoke(Value Dk, Value V, Site S);
+  /// Plants a prompt stub frame (base frame + PromptStub@1 return point +
+  /// the record id in FramePromptId) and enters \p Callee on top of it.
+  void enterWithPromptStub(uint64_t Id, Value Callee,
+                           std::vector<Value> Args);
+
   // Scheduler glue (VM.cpp, "Green-thread scheduler" section).  The Site
   // identifies the suspended operation's resume point, exactly as for
   // call/1cc.
@@ -350,6 +370,15 @@ private:
   std::string OutBuffer;
 
   Value CwvStub; ///< Code object whose pc=1 is the cwv resume point.
+  Value PromptStub; ///< Code object whose pc=1 is the prompt-pop resume
+                    ///< point (the return address of every prompt stub
+                    ///< frame planted by doReset/doShift).
+
+  // Delimited-control state (src/control).  The live table belongs to the
+  // running green thread; schedSave/RestoreContext swap it with the
+  // thread's SchedContext exactly like *winders*.
+  PromptTable Prompts;
+  uint64_t NextPromptId = 0;
 
   // Scheduler state.
   std::unique_ptr<Scheduler> Sched;

@@ -1,0 +1,487 @@
+// The delimited-control subsystem (src/control): tagged reset/shift built
+// on the one-shot substrate, plus the generator and async/await prelude
+// layers.  Three kinds of coverage:
+//
+//   1. Semantics: value flow through reset/shift, tag selection, winder
+//      travel across the delimiter, one-shot reuse detection, and the
+//      prompt table's pruning behaviour under undelimited escapes.
+//   2. Representation: the capture-to-mark path relinks headers and never
+//      copies stack words in the one-shot steady state (SliceClonedWords
+//      and WordsCopied stay flat across generator yields), while the
+//      Config::DelimOneShot=false copying shim clones every member.
+//   3. Differential: every program here runs under DelimOneShot on and
+//      off at every point of the shared config lattice with byte-identical
+//      observable behaviour — the shim is the semantic oracle for the
+//      zero-copy path, mirroring what test_differential.cpp does for
+//      call/1cc vs call/cc.
+//
+// Registered under the ctest label "control".
+
+#include "ConfigLattice.h"
+#include "osc.h"
+#include "support/Trace.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <tuple>
+#include <vector>
+
+using namespace osc;
+using osc_test::ConfigPoint;
+using osc_test::configLattice;
+
+namespace {
+
+class ControlTest : public ::testing::Test {
+protected:
+  std::string run(const std::string &Src) { return I.evalToString(Src); }
+  Interp I;
+};
+
+// --- reset/shift semantics ------------------------------------------------------
+
+TEST_F(ControlTest, ResetWithoutShiftIsTransparent) {
+  EXPECT_EQ(run("(reset 'p 42)"), "42");
+  EXPECT_EQ(run("(+ 1 (reset 'p (* 2 3)))"), "7");
+  EXPECT_EQ(run("(reset 'p (reset 'q (+ 20 22)))"), "42");
+}
+
+TEST_F(ControlTest, ShiftAbortsToTheDelimiter) {
+  // The receiver's value becomes the reset's value; the delimited context
+  // (+ 2 _) is discarded when k is never invoked.
+  EXPECT_EQ(run("(+ 1 (reset 'p (+ 2 (shift 'p k 100))))"), "101");
+}
+
+TEST_F(ControlTest, InvokingKRunsTheSlice) {
+  EXPECT_EQ(run("(reset 'p (+ 1 (shift 'p k (k 10))))"), "11");
+  // The receiver continues around the invocation: k returns the slice's
+  // completion value into the receiver's own frame.
+  EXPECT_EQ(run("(reset 'p (+ 1 (shift 'p k (+ 100 (k 10)))))"), "111");
+}
+
+TEST_F(ControlTest, ShiftInTailPositionCapturesEmptySlice) {
+  EXPECT_EQ(run("(reset 'p (shift 'p k (k 42)))"), "42");
+  EXPECT_EQ(run("(+ 1 (reset 'p (shift 'p k 41)))"), "42");
+}
+
+TEST_F(ControlTest, TagsSelectTheDelimiter) {
+  // shift 'outer jumps past the inner 'inner delimiter entirely.
+  EXPECT_EQ(
+      run("(reset 'outer (+ 1 (reset 'inner (+ 10 (shift 'outer k (k 100))))))"),
+      "111");
+  EXPECT_EQ(
+      run("(reset 'outer (+ 1 (reset 'inner (+ 10 (shift 'outer k 100)))))"),
+      "100");
+  // Same-tag nesting picks the innermost delimiter.
+  EXPECT_EQ(run("(reset 'p (+ 1 (reset 'p (+ 10 (shift 'p k (k 100))))))"),
+            "111");
+}
+
+TEST_F(ControlTest, ShiftWithoutResetIsAnError) {
+  auto R = I.eval("(shift 'nope k 1)");
+  ASSERT_FALSE(R.Ok);
+  EXPECT_NE(R.Error.find("no reset for tag"), std::string::npos) << R.Error;
+}
+
+TEST_F(ControlTest, DelimitedContinuationIsOneShot) {
+  auto R = I.eval("(reset 'p (+ 1 (shift 'p k (k (k 10)))))");
+  ASSERT_FALSE(R.Ok);
+  EXPECT_NE(R.Error.find("invoked a second time"), std::string::npos)
+      << R.Error;
+}
+
+TEST_F(ControlTest, KSurvivesBeingInvokedAfterTheReceiverReturned) {
+  // The classic suspended-computation shape: the receiver smuggles k out,
+  // the reset returns, and k is invoked later from a different extent.
+  // The delimiter travels with k, so the slice's eventual value surfaces
+  // at the invoke site.
+  EXPECT_EQ(run("(define k* #f)"
+                "(define r1 (reset 'p (+ 1 (shift 'p k (set! k* k) 'parked))))"
+                "(list r1 (+ 100 (k* 10)))"),
+            "(parked 111)");
+}
+
+TEST_F(ControlTest, ResumedSliceCanShiftAgain) {
+  // After a splice the delimiter is re-established around the slice, so a
+  // second shift inside the resumed computation finds it (what generators
+  // depend on).
+  EXPECT_EQ(run("(define k* #f)"
+                "(reset 'p (+ 1 (shift 'p a (set! k* a) 'x)"
+                "             (shift 'p b (set! k* b) 0)))"
+                "(k* 10)"),
+            "0");
+}
+
+TEST_F(ControlTest, EscapePastThePromptPrunesItsRecord) {
+  // A call/1cc escape jumps out of the reset without returning through the
+  // prompt stub; the stranded record must not catch a later same-tag shift.
+  auto R = I.eval("(call/1cc (lambda (out)"
+                  "  (reset 'p (out 'escaped))))"
+                  "(shift 'p k 1)");
+  ASSERT_FALSE(R.Ok);
+  EXPECT_NE(R.Error.find("no reset for tag"), std::string::npos) << R.Error;
+}
+
+TEST_F(ControlTest, MultipleValuesFlowThroughReset) {
+  EXPECT_EQ(run("(call-with-values (lambda () (reset 'p (values 1 2 3)))"
+                "                  list)"),
+            "(1 2 3)");
+}
+
+// --- dynamic-wind across the delimiter ------------------------------------------
+
+TEST_F(ControlTest, ShiftRunsAfterThunksAndReentryRunsBeforeThunks) {
+  EXPECT_EQ(run("(define log '())"
+                "(define (note x) (set! log (cons x log)))"
+                "(define r"
+                "  (reset 'p"
+                "    (dynamic-wind"
+                "      (lambda () (note 'in))"
+                "      (lambda () (+ 1 (shift 'p k (note 'recv) (k 10))))"
+                "      (lambda () (note 'out)))))"
+                "(list r (reverse log))"),
+            "(11 (in out recv in out))");
+}
+
+TEST_F(ControlTest, AbortWithoutResumeOnlyUnwinds) {
+  EXPECT_EQ(run("(define log '())"
+                "(define (note x) (set! log (cons x log)))"
+                "(define r"
+                "  (reset 'p"
+                "    (dynamic-wind"
+                "      (lambda () (note 'in))"
+                "      (lambda () (shift 'p k 'aborted))"
+                "      (lambda () (note 'out)))))"
+                "(list r (reverse log))"),
+            "(aborted (in out))");
+}
+
+TEST_F(ControlTest, ReentryRebasesOntoTheInvokeSitesWinders) {
+  // k is invoked inside a *different* dynamic-wind: the slice's winders
+  // re-enter on top of the invoke site's, and unwinding on completion
+  // leaves the invoke site's extent intact.
+  EXPECT_EQ(run("(define log '())"
+                "(define (note x) (set! log (cons x log)))"
+                "(define k* #f)"
+                "(reset 'p"
+                "  (dynamic-wind"
+                "    (lambda () (note 'slice-in))"
+                "    (lambda () (shift 'p k (set! k* k) 'parked))"
+                "    (lambda () (note 'slice-out))))"
+                "(dynamic-wind"
+                "  (lambda () (note 'host-in))"
+                "  (lambda () (k* 7))"
+                "  (lambda () (note 'host-out)))"
+                "(reverse log)"),
+            "(slice-in slice-out host-in slice-in slice-out host-out)");
+}
+
+// --- generators -----------------------------------------------------------------
+
+TEST_F(ControlTest, GeneratorYieldsThenEof) {
+  EXPECT_EQ(run("(define g (make-generator"
+                "  (lambda (v) (yield 1) (yield 2) (yield 3) 'end)))"
+                "(list (generator-next g) (generator-next g)"
+                "      (generator-next g) (generator-next g)"
+                "      (generator-next g))"),
+            "(1 2 3 #<eof> #<eof>)");
+}
+
+TEST_F(ControlTest, GeneratorRoundTripsValuesBothWays) {
+  // (yield v) evaluates to the value handed to the resuming
+  // generator-next — a full two-way conversation.
+  EXPECT_EQ(run("(define g (make-generator"
+                "  (lambda (v)"
+                "    (let* ((a (yield (* v 2)))"
+                "           (b (yield (+ a 1))))"
+                "      (yield (list a b))))))"
+                "(list (generator-next g 5) (generator-next g 7)"
+                "      (generator-next g 9) (generator-next g))"),
+            "(10 8 (7 9) #<eof>)");
+}
+
+TEST_F(ControlTest, GeneratorsAreIndependent) {
+  EXPECT_EQ(run("(define (counter) (make-generator"
+                "  (lambda (v) (let loop ((i 0)) (yield i) (loop (+ i 1))))))"
+                "(define a (counter)) (define b (counter))"
+                "(list (generator-next a) (generator-next a)"
+                "      (generator-next b) (generator-next a)"
+                "      (generator-next b))"),
+            "(0 1 0 2 1)");
+}
+
+TEST_F(ControlTest, GeneratorsNest) {
+  // The inner generator's yields bind to the innermost live delimiter, so
+  // driving an inner generator from inside an outer one works.
+  EXPECT_EQ(run("(define (walk l) (make-generator"
+                "  (lambda (v) (for-each (lambda (x) (yield x)) l) 'done)))"
+                "(define g (make-generator"
+                "  (lambda (v)"
+                "    (let ((inner (walk '(1 2))))"
+                "      (let loop ()"
+                "        (let ((x (generator-next inner)))"
+                "          (unless (eof-object? x)"
+                "            (yield (* 10 x))"
+                "            (loop)))))"
+                "    'outer-done)))"
+                "(list (generator-next g) (generator-next g)"
+                "      (generator-next g))"),
+            "(10 20 #<eof>)");
+}
+
+TEST_F(ControlTest, YieldWithNoArgumentIsStillTheSchedulerYield) {
+  EXPECT_EQ(run("(define out '())"
+                "(define (worker tag)"
+                "  (lambda ()"
+                "    (set! out (cons tag out)) (yield)"
+                "    (set! out (cons tag out))))"
+                "(spawn (worker 'a)) (spawn (worker 'b))"
+                "(scheduler-run)"
+                "(reverse out)"),
+            "(a b a b)");
+}
+
+TEST_F(ControlTest, GeneratorSurvivesSchedulerParks) {
+  // The suspended slice lives in the heap, not on the thread's chain, so a
+  // generator keeps working across channel parks of its owning thread —
+  // the shape the server's STREAM verb relies on.
+  EXPECT_EQ(run("(define ch (make-channel 0))"
+                "(define out '())"
+                "(define g (make-generator"
+                "  (lambda (v) (yield 'a) (yield 'b) (yield 'c) 'fin)))"
+                "(spawn (lambda ()"
+                "  (let loop ()"
+                "    (let ((x (generator-next g)))"
+                "      (if (eof-object? x) (channel-close! ch)"
+                "          (begin (channel-send! ch x) (loop)))))))"
+                "(spawn (lambda ()"
+                "  (let loop ()"
+                "    (let ((x (channel-recv ch)))"
+                "      (unless (eof-object? x)"
+                "        (set! out (cons x out)) (loop))))))"
+                "(scheduler-run)"
+                "(reverse out)"),
+            "(a b c)");
+}
+
+// --- async/await ----------------------------------------------------------------
+
+TEST_F(ControlTest, AsyncBodyRunsUnderTheScheduler) {
+  EXPECT_EQ(run("(define f (async (+ 40 2)))"
+                "(scheduler-run)"
+                "(future-get f)"),
+            "42");
+}
+
+TEST_F(ControlTest, AwaitChainsFutures) {
+  EXPECT_EQ(run("(define f1 (async (+ 1 2)))"
+                "(define f2 (async (* (await f1) 10)))"
+                "(define f3 (async (+ (await f2) 7)))"
+                "(scheduler-run)"
+                "(future-get f3)"),
+            "37");
+}
+
+TEST_F(ControlTest, AwaitParksWithoutBlockingSiblings) {
+  // While one async body is parked in await, other threads keep running;
+  // the awaited value arrives from a plain worker thread.
+  EXPECT_EQ(run("(define ch (make-channel 0))"
+                "(define f (async (list 'got (await ch))))"
+                "(spawn (lambda () (channel-send! ch (list 99))))"
+                "(scheduler-run)"
+                "(future-get f)"),
+            "(got 99)");
+}
+
+TEST_F(ControlTest, MultipleAwaitsInOneBody) {
+  EXPECT_EQ(run("(define a (async 1))"
+                "(define b (async 2))"
+                "(define c (async (+ (await a) (await b))))"
+                "(scheduler-run)"
+                "(future-get c)"),
+            "3");
+}
+
+// --- representation: the zero-copy capture path ---------------------------------
+
+TEST(ControlRepresentation, SteadyStateYieldCopiesZeroWords) {
+  // After warm-up, each yield/next round trip is: one-shot capture, cut to
+  // the mark (header relinks only), splice (one link store), one-shot
+  // invoke.  No stack words move and nothing is cloned.
+  Interp I;
+  ASSERT_TRUE(I.eval("(define g (make-generator (lambda (v)"
+                     "  (let loop ((i 0)) (yield i) (loop (+ i 1))))))"
+                     "(generator-next g) (generator-next g)")
+                  .Ok);
+  uint64_t W0 = I.stats().WordsCopied;
+  uint64_t C0 = I.stats().SliceClonedWords;
+  uint64_t Cap0 = I.stats().SliceCaptures;
+  ASSERT_TRUE(I.eval("(let loop ((i 0))"
+                     "  (when (< i 200) (generator-next g) (loop (+ i 1))))")
+                  .Ok);
+  EXPECT_EQ(I.stats().WordsCopied, W0);
+  EXPECT_EQ(I.stats().SliceClonedWords, C0);
+  EXPECT_EQ(I.stats().SliceCaptures, Cap0 + 200);
+  EXPECT_GE(I.stats().SliceSplices, 200u);
+}
+
+TEST(ControlRepresentation, CopyingShimClonesEveryMember) {
+  // With DelimOneShot off, reset marks are captured multi-shot and every
+  // slice member fails the exclusively-owned test, so the same program
+  // pays real word copies — the contrast bench_control quantifies.
+  Config C;
+  C.DelimOneShot = false;
+  Interp I(C);
+  ASSERT_TRUE(I.eval("(define g (make-generator (lambda (v)"
+                     "  (let loop ((i 0)) (yield i) (loop (+ i 1))))))"
+                     "(generator-next g) (generator-next g)")
+                  .Ok);
+  uint64_t C0 = I.stats().SliceClonedWords;
+  ASSERT_TRUE(I.eval("(let loop ((i 0))"
+                     "  (when (< i 50) (generator-next g) (loop (+ i 1))))")
+                  .Ok);
+  EXPECT_GT(I.stats().SliceClonedWords, C0);
+}
+
+TEST(ControlRepresentation, CountersExposedThroughVmStat) {
+  Interp I;
+  EXPECT_EQ(I.evalToString("(reset 'p (shift 'p k (k 1)))"
+                           "(list (> (vm-stat 'prompt-resets) 0)"
+                           "      (> (vm-stat 'slice-captures) 0)"
+                           "      (> (vm-stat 'slice-splices) 0))"),
+            "(#t #t #t)");
+}
+
+TEST(ControlRepresentation, TraceRecordsResetShiftSplice) {
+  Interp I;
+  I.trace().start();
+  auto R = I.eval("(reset 'p (+ 1 (shift 'p k (k 10))))");
+  I.trace().stop();
+  ASSERT_TRUE(R.Ok) << R.Error;
+  bool SawReset = false, SawShift = false, SawSplice = false;
+  for (const Trace::Record &Rec : I.trace().snapshot()) {
+    if (Rec.Kind == TraceEvent::Reset)
+      SawReset = true;
+    if (Rec.Kind == TraceEvent::Shift) {
+      SawShift = true;
+      EXPECT_EQ(Rec.Payload[2], 0u) << "steady-state shift cloned a member";
+    }
+    if (Rec.Kind == TraceEvent::Splice)
+      SawSplice = true;
+  }
+  EXPECT_TRUE(SawReset && SawShift && SawSplice) << I.trace().toString();
+}
+
+// --- differential: DelimOneShot on == off across the lattice --------------------
+
+struct Observed {
+  bool Ok = false;
+  std::string Val;
+  std::string Err;
+  std::string Out;
+};
+
+bool operator==(const Observed &A, const Observed &B) {
+  return A.Ok == B.Ok && A.Val == B.Val && A.Err == B.Err && A.Out == B.Out;
+}
+
+std::ostream &operator<<(std::ostream &OS, const Observed &O) {
+  return OS << "{ok=" << O.Ok << " val=" << O.Val << " err=" << O.Err
+            << " out=" << O.Out << "}";
+}
+
+Observed runOnce(Config C, const std::string &Source, bool OneShot) {
+  C.DelimOneShot = OneShot;
+  Interp I(C);
+  I.captureOutput(true);
+  auto R = I.eval(Source);
+  Observed O;
+  O.Ok = R.Ok;
+  if (R.Ok)
+    O.Val = I.valueToString(R.Val);
+  O.Err = R.Error;
+  O.Out = I.takeOutput();
+  return O;
+}
+
+struct Program {
+  const char *Name;
+  const char *Source;
+};
+
+const Program DelimPrograms[] = {
+    {"value-flow",
+     "(list (reset 'p (+ 1 (shift 'p k (k 10))))"
+     "      (+ 1 (reset 'p (+ 2 (shift 'p k 100))))"
+     "      (reset 'p (+ 1 (shift 'p k (+ 100 (k 10))))))"},
+    {"nested-tags",
+     "(list (reset 'a (+ 1 (reset 'b (+ 10 (shift 'a k (k 100))))))"
+     "      (reset 'a (+ 1 (reset 'b (+ 10 (shift 'b k (k 100))))))"
+     "      (reset 'p (+ 1 (reset 'p (+ 10 (shift 'p k (k 100)))))))"},
+    {"wind-crossing",
+     "(define log '())"
+     "(define (note x) (set! log (cons x log)))"
+     "(define r (reset 'p (dynamic-wind"
+     "  (lambda () (note 'in))"
+     "  (lambda () (+ 1 (shift 'p k (note 'recv) (k 10))))"
+     "  (lambda () (note 'out)))))"
+     "(list r (reverse log))"},
+    {"parked-slice-generator",
+     "(define g (make-generator (lambda (v)"
+     "  (let loop ((i 0) (acc 0))"
+     "    (if (= i 5) acc (loop (+ i 1) (+ acc (yield i))))))))"
+     "(define parts '())"
+     "(let loop ((x (generator-next g 0)))"
+     "  (if (eof-object? x) (reverse parts)"
+     "      (begin (set! parts (cons x parts))"
+     "             (loop (generator-next g (* 2 x))))))"},
+    {"one-shot-reuse-error",
+     "(display (reset 'p (+ 1 (shift 'p k (k 1)))))"
+     "(reset 'p (+ 1 (shift 'p k (k (k 10)))))"},
+    {"async-await-pipeline",
+     "(define f1 (async (+ 1 2)))"
+     "(define f2 (async (* (await f1) 10)))"
+     "(define sink '())"
+     "(spawn (lambda () (set! sink (future-get f2))))"
+     "(scheduler-run)"
+     "sink"},
+    {"escape-prunes-prompt",
+     "(display (call/1cc (lambda (out) (reset 'p (out 'gone)))))"
+     "(newline)"
+     "(shift 'p k 1)"},
+};
+
+class DelimDifferential
+    : public ::testing::TestWithParam<std::tuple<size_t, size_t>> {};
+
+TEST_P(DelimDifferential, OneShotEqualsCopyingShim) {
+  auto [ProgIdx, CfgIdx] = GetParam();
+  const Program &P = DelimPrograms[ProgIdx];
+  std::vector<ConfigPoint> Lattice = configLattice();
+  const ConfigPoint &CP = Lattice[CfgIdx];
+  Observed Fast = runOnce(CP.C, P.Source, /*OneShot=*/true);
+  Observed Shim = runOnce(CP.C, P.Source, /*OneShot=*/false);
+  EXPECT_EQ(Fast, Shim) << "program " << P.Name << " under config "
+                        << CP.Name;
+}
+
+std::string delimName(
+    const ::testing::TestParamInfo<std::tuple<size_t, size_t>> &Info) {
+  auto [ProgIdx, CfgIdx] = Info.param;
+  std::string N = std::string(DelimPrograms[ProgIdx].Name) + "_" +
+                  configLattice()[CfgIdx].Name;
+  for (char &C : N)
+    if (C == '-')
+      C = '_';
+  return N;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllPrograms, DelimDifferential,
+    ::testing::Combine(
+        ::testing::Range<size_t>(0, std::size(DelimPrograms)),
+        ::testing::Range<size_t>(0, configLattice().size())),
+    delimName);
+
+} // namespace

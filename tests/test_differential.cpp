@@ -364,6 +364,55 @@ const Program Programs[] = {
      "(spawn (lambda () (channel-close! ch)))"
      "(scheduler-run)"
      "out"},
+    {"delim-nested-tagged-resets",
+     // Tagged delimiters (src/control) alongside the call/1cc wrapper the
+     // shim widens: tag selection and slice splicing must not depend on
+     // how the surrounding one-shot escapes are represented.
+     "(call/1cc (lambda (exit)"
+     "  (list (reset 'a (+ 1 (reset 'b (+ 10 (shift 'a k (k 100))))))"
+     "        (reset 'a (+ 1 (reset 'b (+ 10 (shift 'b k (k 100))))))"
+     "        (reset 'p (+ 1 (reset 'p (+ 10 (shift 'p k 100))))))))"},
+    {"delim-shift-under-wind",
+     "(define log '())"
+     "(define (note x) (set! log (cons x log)))"
+     "(define r"
+     "  (reset 'p"
+     "    (dynamic-wind"
+     "      (lambda () (note 'in))"
+     "      (lambda () (+ 1 (shift 'p k (note 'recv) (k 10))))"
+     "      (lambda () (note 'out)))))"
+     "(list r (reverse log))"},
+    {"delim-one-shot-reuse-error",
+     // The second (k ...) must fail identically whether or not the shim
+     // widened every call/1cc in the surrounding prelude machinery.
+     "(display (reset 'p (+ 1 (shift 'p k (k 1))))) (newline)"
+     "(reset 'p (+ 1 (shift 'p k (k (k 10)))))"},
+    {"delim-escape-through-prompt",
+     // A call/1cc escape (widened by the shim) jumping out of a live
+     // reset extent: the stranded prompt record must be pruned the same
+     // way in both worlds, so the later shift errors identically.
+     "(display (call/1cc (lambda (out)"
+     "  (reset 'p (+ 1 (out 'jumped))))))"
+     "(newline)"
+     "(shift 'p k 1)"},
+    {"delim-generator-roundtrip",
+     "(define g (make-generator"
+     "  (lambda (v)"
+     "    (let loop ((i 0) (acc v))"
+     "      (if (= i 4) acc (loop (+ i 1) (+ acc (yield (* acc 2)))))))))"
+     "(define out '())"
+     "(let loop ((x (generator-next g 1)))"
+     "  (if (eof-object? x) (reverse out)"
+     "      (begin (set! out (cons x out))"
+     "             (loop (generator-next g 1)))))"},
+    {"delim-async-await-with-escape",
+     // await parks through the same machinery with-deadline poisons; an
+     // async pipeline inside a call/1cc extent must settle identically.
+     "(call/1cc (lambda (done)"
+     "  (let* ((f1 (async (+ 20 1)))"
+     "         (f2 (async (* (await f1) 2))))"
+     "    (scheduler-run)"
+     "    (done (future-get f2)))))"},
     {"shed-under-load",
      // Admission control in miniature: arrivals past the cap are shed.
      // The shed path (serve-shed! + a refusal value) must be a pure

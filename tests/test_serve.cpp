@@ -75,6 +75,76 @@ TEST(Serve, EvalRequests) {
   EXPECT_TRUE(S.result().Ok) << S.result().Error;
 }
 
+TEST(Serve, StreamRepliesPartByPart) {
+  Server S(options());
+  mustStart(S);
+  Client C;
+  std::string E;
+  ASSERT_TRUE(C.connect(S.tcpPort(), E)) << E;
+  // One request, several reply lines, produced lazily by a generator on
+  // the serving side (src/control): one PART per expression, then DONE.
+  ASSERT_TRUE(C.sendLine("STREAM ((+ 1 2) (* 6 7) (quotient 9 2))"));
+  std::string L;
+  ASSERT_TRUE(C.recvLine(L));
+  EXPECT_EQ(L, "PART 3");
+  ASSERT_TRUE(C.recvLine(L));
+  EXPECT_EQ(L, "PART 42");
+  ASSERT_TRUE(C.recvLine(L));
+  EXPECT_EQ(L, "PART 4");
+  ASSERT_TRUE(C.recvLine(L));
+  EXPECT_EQ(L, "DONE");
+  // Bad elements fold to "PART ERR" without aborting the stream; the
+  // connection then keeps serving normal requests.
+  ASSERT_TRUE(C.sendLine("STREAM (7 (launch-missiles) (+ 2 2))"));
+  ASSERT_TRUE(C.recvLine(L));
+  EXPECT_EQ(L, "PART 7");
+  ASSERT_TRUE(C.recvLine(L));
+  EXPECT_EQ(L, "PART ERR");
+  ASSERT_TRUE(C.recvLine(L));
+  EXPECT_EQ(L, "PART 4");
+  ASSERT_TRUE(C.recvLine(L));
+  EXPECT_EQ(L, "DONE");
+  EXPECT_EQ(ask(C, "PING"), "PONG");
+  // A malformed payload is one ERR line, not a stream.
+  EXPECT_EQ(ask(C, "STREAM oops"), "ERR");
+  C.close();
+  S.stop();
+  EXPECT_TRUE(S.result().Ok) << S.result().Error;
+}
+
+TEST(Serve, StreamKeepsTheZeroCopyInvariant) {
+  // The generator behind STREAM must not erode the serving layer's
+  // steady-state guarantee: warm the connection up, then stream many
+  // parts and require that not one stack word moved.
+  Server S(options());
+  mustStart(S);
+  Client C;
+  std::string E;
+  ASSERT_TRUE(C.connect(S.tcpPort(), E)) << E;
+  ASSERT_EQ(ask(C, "PING"), "PONG"); // Warmup: conn thread parked once.
+  std::string Req = "STREAM (";
+  for (int K = 0; K < 32; ++K)
+    Req += "(+ " + std::to_string(K) + " 1) ";
+  Req += ")";
+  uint64_t W0 = 0;
+  {
+    // The serving thread owns the live Stats; sample through snapshot().
+    W0 = S.snapshot().WordsCopied;
+  }
+  ASSERT_TRUE(C.sendLine(Req));
+  std::string L;
+  for (int K = 0; K < 32; ++K) {
+    ASSERT_TRUE(C.recvLine(L));
+    ASSERT_EQ(L, "PART " + std::to_string(K + 1));
+  }
+  ASSERT_TRUE(C.recvLine(L));
+  EXPECT_EQ(L, "DONE");
+  EXPECT_EQ(S.snapshot().WordsCopied, W0);
+  C.close();
+  S.stop();
+  EXPECT_TRUE(S.result().Ok) << S.result().Error;
+}
+
 TEST(Serve, ManyConcurrentClients) {
   // 64 clients all send before any reads: every request is in flight at
   // once, so the server holds 64+ parked continuations simultaneously.

@@ -274,6 +274,38 @@ const Program Programs[] = {
      "(scheduler-run)"
      "out",
      "(#f #t)"},
+    // Delimited control (src/control): with 32-word segments the extent
+    // between reset and shift overflows many times, so the capture-to-mark
+    // cut walks a chain of several members and the splice relinks them all.
+    {"delim-capture-across-segments",
+     "(define (deep n)"
+     "  (if (zero? n) (shift 'p k (+ 1000 (k 0))) (+ 1 (deep (- n 1)))))"
+     "(reset 'p (deep 60))",
+     "1060"},
+    {"delim-generator-deep-yields",
+     // Each yield cuts a slice whose members span segment boundaries; each
+     // next splices them back.  The +1 towers prove every frame survived
+     // both directions, repeatedly.
+     "(define g (make-generator"
+     "  (lambda (v)"
+     "    (define (deep n) (if (zero? n) (yield 'mark) (+ 1 (deep (- n 1)))))"
+     "    (yield (list (deep 40) (deep 50))))))"
+     "(generator-next g)"
+     "(generator-next g 0)"
+     "(generator-next g 0)",
+     "(40 50)"},
+    {"delim-nested-resets-deep",
+     // An outer-tag shift from under an inner delimiter, both extents deep
+     // enough to overflow: the cut must pass straight through the inner
+     // prompt's stub frame and mark.
+     "(define (deep n f)"
+     "  (if (zero? n) (f) (+ 1 (deep (- n 1) f))))"
+     "(reset 'outer"
+     "  (deep 30 (lambda ()"
+     "    (reset 'inner"
+     "      (deep 30 (lambda ()"
+     "        (shift 'outer k (k 0))))))))",
+     "60"},
 };
 
 class TinySegments
