@@ -1,20 +1,24 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// The delimited-control benchmark: a generator pumping values through
-/// (yield v) / (generator-next g), measured once on the one-shot
-/// capture-to-mark path (Config::DelimOneShot, the default) and once on
-/// the copying shim (DelimOneShot=false: reset marks are captured
-/// multi-shot, so every slice member must be deep-cloned before its link
-/// can be rewritten).
+/// The delimited-control benchmark: two workloads on the capture-to-mark
+/// path, each measured once one-shot (Config::DelimOneShot, the default)
+/// and once on the copying shim (DelimOneShot=false: reset marks are
+/// captured multi-shot, so every slice member must be deep-cloned before
+/// its link can be rewritten).
+///
+///   * generator — values pumped through (yield v) / (generator-next g);
+///   * handler   — (perform 'bench 'tick i) dispatched from a deep call
+///     chain to a (with-handler ...) clause that immediately resumes:
+///     the effect-handler steady state of a request loop.
 ///
 /// The claim checked with exact counters, not timings: a steady-state
-/// yield/next round trip on the one-shot path copies ZERO stack words —
-/// the cut relinks continuation headers up to the delimiter's mark and
-/// the splice is a single link store.  The harness aborts if WordsCopied
-/// moves at all during the one-shot runs, and also aborts if the shim
-/// column does NOT copy (a shim that stopped copying would make the
-/// comparison vacuous).
+/// yield/next or perform/resume round trip on the one-shot path copies
+/// ZERO stack words — the cut relinks continuation headers up to the
+/// delimiter's mark and the splice is a single link store.  The harness
+/// aborts if WordsCopied moves at all during the one-shot runs, and also
+/// aborts if a shim column does NOT copy (a shim that stopped copying
+/// would make the comparison vacuous).
 ///
 /// Usage: bench_control [--json <path>]   (OSC_BENCH_FAST=1 for a smoke run)
 ///
@@ -51,16 +55,17 @@ const char *Setup =
 
 struct Column {
   std::string Name;
+  std::string Op = "yield"; ///< "yield" or "perform": names the JSON keys.
   bool OneShot = true;
-  uint64_t Yields = 0;
+  uint64_t Ops = 0;
   double Ms = 0;
   uint64_t WordsCopied = 0;      ///< Steady-state total (post-warmup).
   uint64_t SliceClonedWords = 0; ///< Subset of WordsCopied due to cloning.
   uint64_t SliceCaptures = 0;
   uint64_t SliceSplices = 0;
 
-  double wordsPerYield() const {
-    return Yields ? double(WordsCopied) / double(Yields) : 0;
+  double wordsPerOp() const {
+    return Ops ? double(WordsCopied) / double(Ops) : 0;
   }
 };
 
@@ -80,8 +85,55 @@ Column runColumn(bool OneShot, int Depth, int Yields) {
 
   Column Col;
   Col.Name = OneShot ? "generator-oneshot" : "generator-copying-shim";
+  Col.Op = "yield";
   Col.OneShot = OneShot;
-  Col.Yields = uint64_t(Yields);
+  Col.Ops = uint64_t(Yields);
+  Col.Ms = std::chrono::duration<double>(T1 - T0).count() * 1e3;
+  Col.WordsCopied = D.WordsCopied;
+  Col.SliceClonedWords = D.SliceClonedWords;
+  Col.SliceCaptures = D.SliceCaptures;
+  Col.SliceSplices = D.SliceSplices;
+  return Col;
+}
+
+/// The effect-handler steady state: a resuming clause, performs arriving
+/// from \p Depth frames below the delimiter.  Each perform cuts the slice
+/// to the handler's mark and each resume splices it back — the exact
+/// request-loop shape the serving layer runs.
+const char *HandlerSetup =
+    "(define (deep-perform n i)"
+    "  (if (zero? n)"
+    "      (perform 'bench 'tick i)"
+    "      (+ 1 (deep-perform (- n 1) i))))"
+    "(define (burst depth n)"
+    "  (with-handler 'bench ((tick k a) (k a))"
+    "    (let loop ((i 0) (acc 0))"
+    "      (if (= i n) acc"
+    "          (loop (+ i 1) (+ acc (deep-perform depth i)))))))";
+
+Column runHandlerColumn(bool OneShot, int Depth, int Performs) {
+  Config C;
+  C.DelimOneShot = OneShot;
+  Interp I(C);
+  mustEval(I, HandlerSetup);
+  mustEval(I, "(burst " + std::to_string(Depth) + " 3)"); // Warmup.
+
+  Stats::Snapshot S0 = I.snapshot();
+  auto T0 = std::chrono::steady_clock::now();
+  mustEval(I, "(burst " + std::to_string(Depth) + " " +
+              std::to_string(Performs) + ")");
+  auto T1 = std::chrono::steady_clock::now();
+  Stats::Snapshot D = I.snapshot() - S0;
+
+  if (D.Performs != uint64_t(Performs))
+    oscFatal("bench_control: the handler column did not perform the "
+             "requested number of operations; the workload drifted");
+
+  Column Col;
+  Col.Name = OneShot ? "handler-oneshot" : "handler-copying-shim";
+  Col.Op = "perform";
+  Col.OneShot = OneShot;
+  Col.Ops = uint64_t(Performs);
   Col.Ms = std::chrono::duration<double>(T1 - T0).count() * 1e3;
   Col.WordsCopied = D.WordsCopied;
   Col.SliceClonedWords = D.SliceClonedWords;
@@ -100,10 +152,11 @@ void writeJson(const std::string &Path, const std::vector<Column> &Cols) {
     Out << "    {\n"
         << "      \"name\": \"" << C.Name << "\",\n"
         << "      \"one_shot\": " << (C.OneShot ? "true" : "false") << ",\n"
-        << "      \"yields\": " << C.Yields << ",\n"
+        << "      \"" << C.Op << "s\": " << C.Ops << ",\n"
         << "      \"elapsed_ms\": " << C.Ms << ",\n"
         << "      \"words_copied\": " << C.WordsCopied << ",\n"
-        << "      \"words_copied_per_yield\": " << C.wordsPerYield() << ",\n"
+        << "      \"words_copied_per_" << C.Op << "\": " << C.wordsPerOp()
+        << ",\n"
         << "      \"slice_cloned_words\": " << C.SliceClonedWords << ",\n"
         << "      \"slice_captures\": " << C.SliceCaptures << ",\n"
         << "      \"slice_splices\": " << C.SliceSplices << "\n    }"
@@ -123,36 +176,45 @@ int main(int Argc, char **Argv) {
   }
 
   const int Depth = 24;
-  const int Yields = fastMode() ? 2000 : 100000;
-  std::printf("Delimited control: %d yields through a depth-%d generator.\n\n",
-              Yields, Depth);
+  const int Ops = fastMode() ? 2000 : 100000;
+  std::printf("Delimited control: %d yields through a depth-%d generator, "
+              "%d performs from depth %d under a resuming handler.\n\n",
+              Ops, Depth, Ops, Depth);
 
   std::vector<Column> Cols;
-  Cols.push_back(runColumn(/*OneShot=*/true, Depth, Yields));
-  Cols.push_back(runColumn(/*OneShot=*/false, Depth, Yields));
+  Cols.push_back(runColumn(/*OneShot=*/true, Depth, Ops));
+  Cols.push_back(runColumn(/*OneShot=*/false, Depth, Ops));
+  Cols.push_back(runHandlerColumn(/*OneShot=*/true, Depth, Ops));
+  Cols.push_back(runHandlerColumn(/*OneShot=*/false, Depth, Ops));
 
-  std::printf("%24s %10s %10s %14s %12s\n", "column", "yields", "ms",
-              "words-copied", "words/yield");
+  std::printf("%24s %10s %10s %14s %12s\n", "column", "ops", "ms",
+              "words-copied", "words/op");
   for (const Column &C : Cols)
     std::printf("%24s %10llu %10.1f %14llu %12.2f\n", C.Name.c_str(),
-                static_cast<unsigned long long>(C.Yields), C.Ms,
+                static_cast<unsigned long long>(C.Ops), C.Ms,
                 static_cast<unsigned long long>(C.WordsCopied),
-                C.wordsPerYield());
+                C.wordsPerOp());
 
   // The paper's invariant, delimited edition: zero words copied per yield
-  // in the one-shot steady state.
-  if (Cols[0].WordsCopied != 0)
-    oscFatal("bench_control: the one-shot column copied stack words; the "
-             "capture-to-mark path has regressed to copying");
-  // And the contrast must be real: the shim exists to show what the
+  // and per perform/resume in the one-shot steady state — and the
+  // contrast must be real: each shim column exists to show what the
   // one-shot representation saves.
-  if (Cols[1].WordsCopied == 0)
-    oscFatal("bench_control: the copying shim copied nothing; the "
-             "comparison is measuring two identical paths");
+  for (const Column &C : Cols) {
+    if (C.OneShot && C.WordsCopied != 0)
+      oscFatal(("bench_control: the " + C.Name +
+                " column copied stack words; the capture-to-mark path has "
+                "regressed to copying")
+                   .c_str());
+    if (!C.OneShot && C.WordsCopied == 0)
+      oscFatal(("bench_control: the " + C.Name +
+                " column copied nothing; the comparison is measuring two "
+                "identical paths")
+                   .c_str());
+  }
 
-  std::printf("\nCheck passed: one-shot yields copied 0 stack words "
-              "(shim paid %.2f words/yield).\n",
-              Cols[1].wordsPerYield());
+  std::printf("\nCheck passed: one-shot yields and performs copied 0 stack "
+              "words (shim paid %.2f words/yield, %.2f words/perform).\n",
+              Cols[1].wordsPerOp(), Cols[3].wordsPerOp());
   if (!JsonPath.empty()) {
     writeJson(JsonPath, Cols);
     std::printf("Wrote %s\n", JsonPath.c_str());

@@ -42,6 +42,14 @@ Expander::Expander(Heap &H) : H(H) {
   SResetProc = S("%reset-proc");
   SShiftProc = S("%shift-proc");
   SAsyncProc = S("%async");
+  SWithHandler = S("with-handler");
+  SWithShallowHandler = S("with-shallow-handler");
+  SNursery = S("nursery");
+  SWithHandlerProc = S("%with-handler-proc");
+  SPerformProc = S("%perform-proc");
+  SNurseryScope = S("%nursery-scope");
+  SEq = S("eq?");
+  SApply = S("apply");
 }
 
 Value Expander::fail(const std::string &Msg) {
@@ -234,6 +242,18 @@ Value Expander::expand(Value Form) {
         return fail("async body is empty");
       Value Thunk = cons(H, SLambda, cons(H, Value::nil(), Body));
       return expand(list2(SAsyncProc, Thunk));
+    }
+    if (Head.identical(SWithHandler))
+      return expandWithHandler(Form, /*Shallow=*/false);
+    if (Head.identical(SWithShallowHandler))
+      return expandWithHandler(Form, /*Shallow=*/true);
+    if (Head.identical(SNursery)) {
+      // (nursery body...) => (%nursery-scope (lambda () body...))
+      Value Body = cdr(Form);
+      if (!isObj<Pair>(Body))
+        return fail("nursery body is empty");
+      Value Thunk = cons(H, SLambda, cons(H, Value::nil(), Body));
+      return expand(list2(SNurseryScope, Thunk));
     }
     if (Head.identical(SDefine))
       return fail("define is only allowed at top level or body start");
@@ -557,6 +577,72 @@ Value Expander::expandDo(Value Form) {
       cons(H, SLet,
            cons(H, Loop, cons(H, listFromVector(H, Bindings), list1(IfForm))));
   return expand(NamedLet);
+}
+
+Value Expander::expandWithHandler(Value Form, bool Shallow) {
+  // (with-handler tag ((op k . formals) clause-body...)... body...)
+  //   => (let ((t tag))
+  //        (%with-handler-proc t
+  //          (lambda (op k args)
+  //            (if (eq? op 'op1) (apply (lambda (k . formals) ...) k args)
+  //                ...
+  //                (k (%perform-proc t op args))))   ; forward unlisted ops
+  //          (lambda () body...)
+  //          'shallow?))
+  // Clauses are consumed greedily while the next form has clause shape and
+  // at least one form remains after it (the protected body).
+  const char *Name = Shallow ? "with-shallow-handler" : "with-handler";
+  Value Rest = cdr(Form);
+  if (!isObj<Pair>(Rest) || !isObj<Pair>(cdr(Rest)))
+    return fail(std::string(Name) + " expects a tag, clauses and a body");
+  Value TagExpr = car(Rest);
+  std::vector<Value> Forms;
+  if (!listToVector(cdr(Rest), Forms))
+    return fail(std::string(Name) + ": improper form list");
+
+  auto IsClause = [&](Value C) {
+    if (!isObj<Pair>(C) || !isObj<Pair>(cdr(C)))
+      return false; // Needs an (op k ...) head and a non-empty body.
+    Value Head = car(C);
+    return isObj<Pair>(Head) && isObj<Symbol>(car(Head)) &&
+           isObj<Pair>(cdr(Head)) && isObj<Symbol>(car(cdr(Head)));
+  };
+
+  std::vector<Value> Clauses;
+  size_t I = 0;
+  while (I + 1 < Forms.size() && IsClause(Forms[I]))
+    Clauses.push_back(Forms[I++]);
+  if (Clauses.empty())
+    return fail(std::string(Name) +
+                " needs at least one ((op k args...) body...) clause");
+  std::vector<Value> Body(Forms.begin() + I, Forms.end());
+
+  Value TagV = Value::object(gensym("htag"));
+  Value OpV = Value::object(gensym("op"));
+  Value KV = Value::object(gensym("k"));
+  Value ArgsV = Value::object(gensym("args"));
+
+  // Unlisted op: re-perform for the same tag — the handler's own record is
+  // already popped, so this reaches the next handler out — and resume our
+  // slice with its answer.  An outer abortive clause never resumes it.
+  Value Dispatch = list2(KV, list4(SPerformProc, TagV, OpV, ArgsV));
+  for (auto It = Clauses.rbegin(); It != Clauses.rend(); ++It) {
+    Value C = *It;
+    Value OpSym = car(car(C));
+    Value Lam = cons(H, SLambda, cons(H, cdr(car(C)), cdr(C)));
+    Value ApplyForm = list4(SApply, Lam, KV, ArgsV);
+    Value Test = list3(SEq, OpV, list2(SQuote, OpSym));
+    Dispatch = list4(SIf, Test, ApplyForm, Dispatch);
+  }
+  Value Handler =
+      cons(H, SLambda, cons(H, list3(OpV, KV, ArgsV), list1(Dispatch)));
+  Value Thunk =
+      cons(H, SLambda, cons(H, Value::nil(), listFromVector(H, Body)));
+  Value Call = cons(H, SWithHandlerProc,
+                    list4(TagV, Handler, Thunk,
+                          list2(SQuote, Value::boolean(Shallow))));
+  return expand(
+      cons(H, SLet, cons(H, list1(list2(TagV, TagExpr)), list1(Call))));
 }
 
 Value Expander::expandQuasi(Value Tmpl, int Depth) {

@@ -15,6 +15,11 @@
 ///   (reset tag body...)   => (%reset-proc tag (lambda () body...))
 ///   (shift tag k body...) => (%shift-proc tag (lambda (k) body...))
 ///   (async body...)       => (%async (lambda () body...))
+///   (with-handler tag ((op k args...) cbody...)... body...)
+///                         => (%with-handler-proc tag <dispatcher>
+///                                                (lambda () body...) '#f)
+///   (with-shallow-handler ...)  same, with the shallow flag '#t
+///   (nursery body...)     => (%nursery-scope (lambda () body...))
 ///
 //===----------------------------------------------------------------------===//
 
@@ -51,6 +56,10 @@ private:
   Value expandOr(Value Args);
   Value expandDo(Value Form);
   Value expandQuasi(Value Tmpl, int Depth);
+  /// (with-handler tag clause... body...) and its shallow variant: builds
+  /// the dispatcher lambda over the clauses and hands everything to the
+  /// prelude's %with-handler-proc.
+  Value expandWithHandler(Value Form, bool Shallow);
   Value expandList(Value Forms); ///< Expands each element of a list.
 
   Value fail(const std::string &Msg); ///< Records the first error.
@@ -70,7 +79,8 @@ private:
       SBegin, SLet, SLetStar, SLetrec, SLetrecStar, SDefine, SCond, SCase,
       SAnd, SOr, SWhen, SUnless, SDo, SElse, SArrow, SNot, SCons, SAppend,
       SListToVector, SList, SMemv, SEqv, SReset, SShift, SAsync, SResetProc,
-      SShiftProc, SAsyncProc;
+      SShiftProc, SAsyncProc, SWithHandler, SWithShallowHandler, SNursery,
+      SWithHandlerProc, SPerformProc, SNurseryScope, SEq, SApply;
 };
 
 } // namespace osc

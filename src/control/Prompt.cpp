@@ -6,7 +6,8 @@ using namespace osc;
 
 // --- PromptTable ---------------------------------------------------------------
 
-int64_t PromptTable::findLive(Value Tag, Value ChainHead) {
+int64_t PromptTable::findLive(Value Tag, Value ChainHead,
+                              bool RequireHandler) {
   while (!Records.empty()) {
     const PromptRecord &R = Records.back();
     if (!chainReaches(ChainHead, R.Mark)) {
@@ -21,7 +22,8 @@ int64_t PromptTable::findLive(Value Tag, Value ChainHead) {
   }
   for (size_t I = Records.size(); I != 0; --I) {
     const PromptRecord &R = Records[I - 1];
-    if (R.Tag.identical(Tag) && chainReaches(ChainHead, R.Mark))
+    if (R.Tag.identical(Tag) && !(RequireHandler && R.Handler.isEmpty()) &&
+        chainReaches(ChainHead, R.Mark))
       return static_cast<int64_t>(I - 1);
   }
   return -1;
@@ -49,6 +51,7 @@ void PromptTable::traceRoots(GCVisitor &V) {
     V.visit(R.Tag);
     V.visit(R.Mark);
     V.visit(R.Winders);
+    V.visit(R.Handler);
   }
 }
 
@@ -75,15 +78,25 @@ DelimSlice osc::cutSliceToMark(ControlStack &CS, Value Head, Value Mark) {
 
   Continuation *Prev = nullptr;
   Value Cur = Head;
+  bool CloneRest = false;
   for (;;) {
     auto *K = dynObj<Continuation>(Cur);
     if (!K || K->isHalt() || K->isShot())
       oscFatal("cutSliceToMark: mark vanished from a validated chain");
-    if (!K->isOneShot()) {
-      // Promoted or multi-shot: some other capture may still reference this
-      // member, so the splice must not rewrite its Link in place.  Deep-
-      // clone it into an exclusively-owned one-shot view (the only copying
-      // path in delimited capture; pure one-shot extents never take it).
+    if (!K->isOneShot() || K->ByValue || CloneRest) {
+      // Promoted, multi-shot, or aliased by a dormant first-class k: some
+      // other capture may still reference this member, so the splice must
+      // not rewrite its Link in place.  Deep-clone it into an exclusively-
+      // owned one-shot view (the only copying path in delimited capture;
+      // pure one-shot extents never take it).  And because an alias reaches
+      // everything below the member through its Link, sharing is suffix-
+      // closed: once one member is cloned, the rest of the slice down to
+      // the bottom (whose Link the splice rewrites) must be cloned too, so
+      // the alias keeps returning through the capture-time chain.
+      // (Promotion already has this shape — promoteChain promotes the whole
+      // chain below a multi-shot capture — so CloneRest only changes
+      // behavior for the by-value case.)
+      CloneRest = true;
       Continuation *Clone = CS.cloneShared(K);
       Slice.Remapped.emplace_back(K, Clone);
       Slice.Cloned += 1;

@@ -36,11 +36,24 @@
 namespace osc {
 
 /// One active delimiter.  All Values are GC-traced via PromptTable.
+///
+/// A plain reset leaves Handler Empty.  with-handler installs the same
+/// boundary plus a handler procedure: perform searches only records whose
+/// Handler is non-Empty, cuts the slice to the Mark exactly like shift,
+/// pops this record (the handler body runs *outside* its own delimiter,
+/// so an unhandled op inside the handler forwards outward and a clause
+/// that never invokes k is abortive for free), and calls Handler with the
+/// op, the one-shot delimited k and the argument list.  Shallow marks a
+/// handler whose resumption does NOT reinstall it: invoking the captured
+/// k re-pushes the boundary with Handler cleared, so the next perform in
+/// the resumed slice dispatches to the next handler out.
 struct PromptRecord {
   Value Tag;     ///< The reset's tag (compared by identity).
   Value Mark;    ///< Continuation captured at the reset site: the boundary.
   Value Winders; ///< *winders* at reset entry (shift unwinds back to it).
   uint64_t Id;   ///< Matches the stub frame's FramePromptId slot.
+  Value Handler; ///< Effect-handler procedure, or Empty for a plain reset.
+  bool Shallow = false; ///< Shallow mode: k's re-push clears Handler.
 };
 
 /// The per-thread stack of active delimiters, innermost last.  The VM owns
@@ -57,8 +70,11 @@ public:
 
   /// Innermost record whose Tag is identical to \p Tag *and* whose Mark is
   /// still reachable from \p ChainHead (records stranded by an undelimited
-  /// escape are dropped on the way).  Returns the index, or -1 if none.
-  int64_t findLive(Value Tag, Value ChainHead);
+  /// escape are dropped on the way).  With \p RequireHandler, only records
+  /// carrying a non-Empty Handler match — perform must never target a
+  /// plain reset that happens to share the tag.  Returns the index, or -1
+  /// if none.
+  int64_t findLive(Value Tag, Value ChainHead, bool RequireHandler = false);
 
   /// Pops records from the top until (and including) the one with \p Id.
   /// No-op when \p Id is not present (a stale stub return after an escape

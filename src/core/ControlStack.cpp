@@ -119,6 +119,7 @@ Continuation *ControlStack::makeContinuation(uint32_t Boundary, Value RetCode,
   K->RetCode = RetCode;
   K->RetPc = RetPc;
   K->Flag = Value::falseV();
+  K->ByValue = false;
   return K;
 }
 
@@ -447,6 +448,7 @@ Continuation *ControlStack::cloneShared(Continuation *K) {
   C->RetCode = K->RetCode;
   C->RetPc = K->RetPc;
   C->Flag = Value::falseV(); // Exclusively owned: no shared promotion flag.
+  C->ByValue = false;        // The clone has no first-class alias.
   return C;
 }
 

@@ -223,3 +223,11 @@ std::vector<PendingIo> Reactor::takeWaitersFor(uint32_t PortId) {
             [](const PendingIo &A, const PendingIo &B) { return A.Seq < B.Seq; });
   return Out;
 }
+
+void Reactor::dropWaitersFor(uint32_t Tid) {
+  Waiters.erase(std::remove_if(Waiters.begin(), Waiters.end(),
+                               [Tid](const PendingIo &W) {
+                                 return W.Tid == Tid;
+                               }),
+                Waiters.end());
+}

@@ -148,6 +148,12 @@ public:
   /// io-close uses this to wake them before the fd goes away.
   std::vector<PendingIo> takeWaitersFor(uint32_t PortId);
 
+  /// Silently discards every waiter belonging to thread \p Tid (fd waits
+  /// and Timer waiters alike).  Thread cancellation uses this: the thread
+  /// is being retired without ever resuming, so nothing may complete or
+  /// expire on its behalf later.
+  void dropWaitersFor(uint32_t Tid);
+
   /// Drops all waiters (scheduler abort; parked threads are gone).
   void clearWaiters() { Waiters.clear(); }
 

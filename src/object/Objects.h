@@ -197,6 +197,13 @@ enum class NativeSpecial : uint8_t {
                   ///< prompt and call the receiver with it
   DelimInvoke,    ///< %delim-invoke — splice a cut slice back in front of
                   ///< the current continuation (one-shot)
+  // Effect handlers (src/control): the same boundary machinery as
+  // reset/shift, plus a handler procedure on the record.
+  WithHandler,    ///< %with-handler — plant a tagged prompt carrying a
+                  ///< handler procedure and call the thunk
+  Perform,        ///< %perform — cut the slice up to the nearest matching
+                  ///< *handler* record, pop it, and run the handler at
+                  ///< the boundary with the op, a one-shot k and the args
 };
 
 struct Native : ObjHeader {
@@ -248,6 +255,14 @@ struct Continuation : ObjHeader {
                  ///< the distinguished halt continuation.
   int64_t RetPc; ///< Resume pc within RetCode.
   Value Flag;    ///< Shared promotion flag Cell, or #f when unused.
+  /// True when this member escaped to the program as a first-class k
+  /// (call/1cc receiver, engine timer handler).  Such a member is shared
+  /// between the live chain and the captured value even though it is
+  /// one-shot, so a delimited cut must clone rather than relink it — the
+  /// dormant k still expects to return through the capture-time chain.
+  /// Internal one-shot captures (prompt marks, scheduler parks) never set
+  /// it and keep the zero-copy cut.
+  bool ByValue = false;
 
   bool isShot() const { return Size < 0; }
   /// Consumes the continuation *without* reinstating it — deadline

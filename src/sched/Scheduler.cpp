@@ -155,6 +155,51 @@ void Scheduler::finishCurrent(Value Result) {
   T->Joiners.clear();
 }
 
+bool Scheduler::cancel(Thread &T, Value Result) {
+  if (T.State == ThreadState::Done || T.State == ThreadState::Running)
+    return false;
+  switch (T.State) {
+  case ThreadState::Ready:
+    // Either parked voluntarily or never started; drop its queue slot so
+    // the dispatcher cannot pick the retired thread.
+    ReadyQ.erase(std::find(ReadyQ.begin(), ReadyQ.end(), T.Id));
+    break;
+  case ThreadState::Sleeping:
+    Sleepers.erase(std::find(Sleepers.begin(), Sleepers.end(), T.Id));
+    break;
+  case ThreadState::Blocked:
+    // Tracked only by whoever would wake it; the caller already detached
+    // it from channels and the reactor, so nobody holds its id now.
+    break;
+  default:
+    break;
+  }
+  OSC_TRACE(Tr, TraceEvent::NurseryCancel, T.Id);
+  T.State = ThreadState::Done;
+  T.Started = true;
+  T.Thunk = Value();
+  T.Resume = Value(); // The one-shot resume point is poisoned, never run.
+  T.Wake = Value();
+  T.Ctx = SchedContext();
+  T.Result = Result;
+  T.PendingError.clear();
+  T.PendingErrorKind = ErrorKind::Runtime;
+  T.Deadlines.clear();
+  T.EscapeProc = Value();
+  assert(Live > 0);
+  Live -= 1;
+  CompletedThisRun += 1;
+  S.NurseryCancels += 1;
+  // Joiners observe the cancellation result, exactly as for a normal exit.
+  for (uint32_t J : T.Joiners) {
+    Thread *W = lookup(J);
+    if (W && W->State == ThreadState::Blocked)
+      wake(*W, Result);
+  }
+  T.Joiners.clear();
+  return true;
+}
+
 void Scheduler::ageSleepers(int64_t Ticks) {
   if (Sleepers.empty())
     return;
@@ -219,6 +264,7 @@ void Scheduler::traceRoots(GCVisitor &V) {
     V.visit(T->Wake);
     V.visit(T->Result);
     V.visit(T->Ctx.Winders);
+    V.visit(T->Ctx.Nursery);
     T->Ctx.Prompts.traceRoots(V);
     V.visit(T->Ctx.TimerHandler);
     V.visit(T->EscapeProc);
@@ -228,6 +274,7 @@ void Scheduler::traceRoots(GCVisitor &V) {
   V.visit(MainK);
   V.visit(BaseWinders);
   V.visit(MainCtx.Winders);
+  V.visit(MainCtx.Nursery);
   MainCtx.Prompts.traceRoots(V);
   V.visit(MainCtx.TimerHandler);
   for (auto &C : Channels)

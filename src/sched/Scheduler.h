@@ -55,6 +55,9 @@ class GCVisitor;
 /// computation is suspended, restored verbatim when it resumes.
 struct SchedContext {
   Value Winders;             ///< Value of *winders* while suspended.
+  Value Nursery;             ///< Value of *nursery* while suspended (the
+                             ///< enclosing structured-concurrency scope,
+                             ///< or #f).  Swapped exactly like *winders*.
   PromptTable Prompts;       ///< Active delimiters while suspended.
   int64_t Fuel = -1;         ///< Engine-timer ticks left; -1 disarmed.
   bool TimerExpired = false; ///< Pending unserviced expiry.
@@ -177,6 +180,14 @@ public:
   void wake(Thread &T, Value WakeValue);
   /// Marks the current thread Done with \p Result and wakes its joiners.
   void finishCurrent(Value Result);
+  /// Retires a *non-running* thread as Done with \p Result without ever
+  /// resuming it: removes it from the ready queue or sleeper list (blocked
+  /// threads are tracked only by their waker — the caller must have
+  /// already detached them from channels and the reactor), drops its
+  /// poisoned resume state and wakes its joiners with \p Result.  The
+  /// nursery teardown path (VM::threadCancel) drives this.  Returns false
+  /// when \p T is already Done or is the running thread.
+  bool cancel(Thread &T, Value Result);
   /// Picks the next transfer and, for Start/Resume, marks that thread
   /// Running.  Each call ages sleepers by one tick; when only sleepers
   /// remain the clock fast-forwards to the nearest wake-up.

@@ -100,18 +100,28 @@ const char *Server::protocolSource() {
                     (loop)))))))))
 
 ;; One green thread per request: it writes the reply (parking if the
-;; socket is full) and bumps the RequestsServed counter.
+;; socket is full) and bumps the RequestsServed counter.  The counter is
+;; bumped *before* the reply goes out: once a client has seen the reply the
+;; request is guaranteed counted, even if a QUIT racing in on the same
+;; connection tears the handler down right after (nursery teardown below).
 (define (handle-request conn line)
+  (serve-request-done!)
   (if (starts-with? line "STREAM ")
       (handle-stream conn (substring line 7 (string-length line)))
-      (io-write conn (string-append (answer line) "\n")))
-  (serve-request-done!))
+      (io-write conn (string-append (answer line) "\n"))))
 
-;; One green thread per connection.  QUIT answers BYE, closes the
+;; One green thread per connection, one per request under the connection's
+;; nursery.  The reader takes a token and spawns the handler WITHOUT
+;; joining it (requests pipeline; a serial request/reply client sees no
+;; difference), so the connection owns a task tree: when the reader exits
+;; — QUIT, client EOF, or the reactor reaping a slow/idle connection and
+;; waking the parked read with EOF — the nursery scope closes and every
+;; still-parked handler is cancelled by one-shot poisoning, in spawn
+;; order, byte-identically run to run.  QUIT answers BYE, closes the
 ;; connection, then runs the variant hook (Server: close the listener so
 ;; the parked acceptor wakes with EOF; Pool: nothing — workers stop when
 ;; the host closes their handoff queue).
-(define (conn-loop conn)
+(define (conn-loop conn bump)
   (let ((line (io-read-line conn)))
     (cond
       ((eof-object? line) (io-close conn))
@@ -121,21 +131,33 @@ const char *Server::protocolSource() {
        (on-quit))
       (else
        (channel-send! %tokens 1)
-       (thread-join (spawn (lambda () (handle-request conn line))))
-       (channel-recv %tokens)
-       (conn-loop conn)))))
+       (bump 1)
+       (spawn (lambda ()
+                (handle-request conn line)
+                (channel-recv %tokens)
+                (bump -1)))
+       (conn-loop conn bump)))))
 
 ;; Overload protection.  %live-conns counts connections currently owned by
 ;; a conn thread; admit-conn refuses new arrivals past *max-conns* with a
 ;; fast BUSY line (shed, not queued — the client learns immediately) and
 ;; arms the per-connection park deadline on the admitted ones, so a client
 ;; that stalls a read or write past *conn-deadline-ms* is reaped by the
-;; reactor (the thread sees EOF / #f and unwinds normally).
+;; reactor (the thread sees EOF / #f and unwinds normally, cancelling its
+;; whole request tree on the way).
 (define %live-conns 0)
 
 (define (conn-thread conn)
   (set! %live-conns (+ %live-conns 1))
-  (conn-loop conn)
+  (let ((pending 0))
+    (nursery
+     (conn-loop conn (lambda (d) (set! pending (+ pending d)))))
+    ;; Reclaim tokens orphaned by cancelled handlers: pending counts this
+    ;; connection's un-returned tokens, and sends/recvs balance globally,
+    ;; so the buffer holds at least that many — try-recv never parks.
+    (let drain ((k pending))
+      (if (> k 0)
+          (begin (channel-try-recv %tokens) (drain (- k 1))))))
   (set! %live-conns (- %live-conns 1)))
 
 (define (admit-conn conn)

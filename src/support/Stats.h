@@ -104,7 +104,16 @@ namespace osc {
   X(PromptResets)         /* (reset tag thunk) prompts planted. */           \
   X(SliceCaptures)        /* (shift tag k body) slices cut to a mark. */     \
   X(SliceSplices)         /* Delimited k invokes that spliced a slice. */    \
-  X(SliceClonedWords)     /* Stack words copied by cloneShared. */
+  X(SliceClonedWords)     /* Stack words copied by cloneShared. */           \
+  /* Effect handlers + structured concurrency.  Performs rides the same     \
+     cut/splice path as shift, so the zero-copy claim extends verbatim:     \
+     WordsCopied stays flat per perform+resume (bench_control asserts it   \
+     against the DelimOneShot=false copying shim). */                      \
+  X(HandlersInstalled)    /* (with-handler ...) prompts planted. */        \
+  X(Performs)             /* (perform tag op ...) dispatches. */           \
+  X(NurseryCancels)       /* Green threads cancelled by nursery escape     \
+                             poisoning (scope exit / child failure /       \
+                             connection reap). */
 // clang-format on
 
 /// Counter block for one interpreter instance.  All counters are monotonic

@@ -72,6 +72,12 @@ const char *osc::traceEventName(TraceEvent E) {
     return "shift";
   case TraceEvent::Splice:
     return "splice";
+  case TraceEvent::Handle:
+    return "handle";
+  case TraceEvent::Perform:
+    return "perform";
+  case TraceEvent::NurseryCancel:
+    return "nursery-cancel";
   }
   oscUnreachable("bad TraceEvent");
 }

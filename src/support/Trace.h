@@ -91,6 +91,17 @@ enum class TraceEvent : uint8_t {
           ///< one-shot steady state: zero stack words copied).
   Splice, ///< Slice spliced back in front of the invoke-site continuation.
           ///< p0=record id, p1=slice chain members (0 for an empty slice).
+
+  // Effect handlers + structured concurrency (src/control + src/sched).
+  Handle,        ///< Handler prompt planted by with-handler. p0=record id,
+                 ///< p1=1 for shallow mode, 0 for deep.
+  Perform,       ///< perform cut the slice to its handler's mark and
+                 ///< dispatched. p0=record id, p1=slice chain members,
+                 ///< p2=members deep-cloned (0 in the one-shot steady
+                 ///< state).
+  NurseryCancel, ///< A nursery poisoned and retired a child green thread
+                 ///< (scope exit, child failure, or connection teardown).
+                 ///< p0=thread id.
 };
 
 /// Stable, kebab-case event name ("capture-multi", "sched-switch", ...).

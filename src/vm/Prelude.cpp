@@ -273,6 +273,105 @@ const char *osc::preludeSource() {
                   (loop (cdr p))))
               (%delim-invoke dk v))))))))
 
+;; --- effect handlers (src/control veneer over the prompt machinery) ----------
+;;
+;; (with-handler tag ((op k args...) body...)... body...) installs a handler
+;; on the same PromptTable reset uses; (perform tag op args...) cuts the
+;; slice up to the innermost matching handler exactly like shift — headers
+;; relinked, zero stack words copied — pops the handler's record (so the
+;; clause runs *outside* its own delimiter: never invoking k aborts for
+;; free, and an unlisted op forwards to the next handler out) and runs the
+;; matching clause with k bound to the one-shot continuation of the perform
+;; site.  Deep handlers (the default) reinstall themselves when k is
+;; invoked; with-shallow-handler resumes bare.  k is one-shot: a second
+;; invocation fails like any delimited continuation.
+;;
+;; Winder travel matches reset/shift: the abort from the perform site runs
+;; the after-thunks of every dynamic-wind entered inside the extent, and
+;; invoking k re-runs their before-thunks rebased onto the invoke site.
+
+(define (%with-handler-proc tag handler thunk shallow)
+  (%with-handler tag handler thunk shallow))
+
+(define (%perform-proc tag op args)
+  (let ((w-perform *winders*))
+    (%perform
+     tag
+     (lambda (handler dk w-entry)
+       ;; The slice's winders are the prefix of w-perform above w-entry,
+       ;; collected outermost-first for re-entry (the %shift-proc pattern).
+       (let ((prefix (let loop ((l w-perform) (acc '()))
+                       (if (eq? l w-entry)
+                           acc
+                           (loop (cdr l) (cons (car l) acc))))))
+         ;; Abort direction: unwind out of the extent's winders.
+         (unless (eq? w-entry *winders*) (%do-wind w-entry))
+         (handler op
+                  (lambda (v)
+                    ;; Re-entry direction: rewind the slice's winders on top
+                    ;; of whatever the invoke site has wound.
+                    (let loop ((p prefix))
+                      (unless (null? p)
+                        ((car (car p)))
+                        (%trace-wind 0)
+                        (set! *winders* (cons (car p) *winders*))
+                        (loop (cdr p))))
+                    (%delim-invoke dk v))
+                  args))))))
+
+(define (perform tag op . args)
+  (%perform-proc tag op args))
+
+;; --- structured concurrency: nurseries (src/sched veneer) --------------------
+;;
+;; (nursery body...) opens a scope; (spawn thunk) inside it enrolls the
+;; child, and child scopes enroll themselves in their parent.  When the
+;; scope exits — normally, by escape, or because its own thread is being
+;; torn down — every still-live descendant is cancelled innermost-scope
+;; first, each in spawn order, by deadline-style poisoning: the child's
+;; parked one-shot resume point is marked shot (never reinstated, zero
+;; words copied) and its joiners wake with 'cancelled.  (nursery-fail v)
+;; inside a child cancels all of its siblings immediately and exits the
+;; child with (cons '%nursery-failed v).
+;;
+;; *nursery* is the running green thread's innermost open scope (or #f);
+;; the VM swaps it at every context switch exactly like *winders*.  %spawn
+;; itself does the enrollment and makes the child inherit the spawner's
+;; scope (VM::spawnThread), so the tree structure follows spawning, not
+;; scheduling, and spawn stays a single native call.
+
+(define *nursery* #f)
+
+(define (%nursery-make) (vector '() '() #t))
+
+(define (%nursery-cancel-all! n)
+  (vector-set! n 2 #f)
+  ;; Sub-scopes die before this scope's own children; both lists were
+  ;; consed, so reverse restores deterministic spawn order.
+  (for-each %nursery-cancel-all! (reverse (vector-ref n 1)))
+  (for-each (lambda (tid) (%thread-cancel! tid))
+            (reverse (vector-ref n 0)))
+  (vector-set! n 0 '())
+  (vector-set! n 1 '()))
+
+(define (%nursery-scope thunk)
+  (let ((n (%nursery-make))
+        (outer *nursery*))
+    (if outer (vector-set! outer 1 (cons n (vector-ref outer 1))))
+    (dynamic-wind
+     (lambda () (set! *nursery* n))
+     thunk
+     (lambda ()
+       (set! *nursery* outer)
+       (%nursery-cancel-all! n)))))
+
+(define (nursery-fail v)
+  (let ((n *nursery*))
+    (if n (%nursery-cancel-all! n))
+    (thread-exit (cons '%nursery-failed v))))
+
+(define (thread-cancel! tid) (%thread-cancel! tid))
+
 ;; --- generators on reset/shift ----------------------------------------------
 ;;
 ;; (make-generator proc) returns a generator g; (generator-next g [v])

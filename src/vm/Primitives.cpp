@@ -705,6 +705,12 @@ Value primVmStat(VM &Vm, Value *A, uint32_t) {
     V = St.SliceSplices;
   else if (N == "slice-cloned-words")
     V = St.SliceClonedWords;
+  else if (N == "handlers-installed")
+    V = St.HandlersInstalled;
+  else if (N == "performs")
+    V = St.Performs;
+  else if (N == "nursery-cancels")
+    V = St.NurseryCancels;
   else
     return Vm.fail("vm-stat: unknown counter: " + std::string(N));
   return Value::fixnum(static_cast<int64_t>(V));
@@ -774,11 +780,16 @@ Value primTraceWind(VM &Vm, Value *A, uint32_t) {
 Value primSpawn(VM &Vm, Value *A, uint32_t) {
   if (!isObj<Closure>(A[0]) && !isObj<Native>(A[0]))
     return Vm.fail("spawn: not a procedure: " + writeToString(A[0]));
-  return Value::fixnum(Vm.scheduler().spawn(A[0]));
+  return Vm.spawnThread(A[0]);
 }
 Value primSelf(VM &Vm, Value *, uint32_t) {
   Scheduler::Thread *T = Vm.scheduler().current();
   return T ? Value::fixnum(T->Id) : Value::falseV();
+}
+Value primThreadCancel(VM &Vm, Value *A, uint32_t) {
+  // Never transfers control (the target is by definition not the running
+  // thread), so it stays an ordinary native; the VM does the poisoning.
+  return Vm.threadCancel(A[0]);
 }
 Value primThreadState(VM &Vm, Value *A, uint32_t) {
   Scheduler::Thread *T =
@@ -1060,6 +1071,10 @@ static const NativeDef SpecialDefs[] = {
     {"%reset", noFn, 2, 2, NativeSpecial::Reset},
     {"%shift", noFn, 2, 2, NativeSpecial::Shift},
     {"%delim-invoke", noFn, 2, 2, NativeSpecial::DelimInvoke},
+    // Effect handlers: the veneer over the prompt machinery.
+    // (%with-handler tag handler thunk shallow) / (%perform tag receiver).
+    {"%with-handler", noFn, 4, 4, NativeSpecial::WithHandler},
+    {"%perform", noFn, 2, 2, NativeSpecial::Perform},
 };
 
 static const NativeDef PrimDefs[] = {
@@ -1207,6 +1222,7 @@ static const NativeDef PrimDefs[] = {
 
     // Green threads and channels (non-switching halves).
     {"%spawn", primSpawn, 1, 1},
+    {"%thread-cancel!", primThreadCancel, 1, 1},
     {"current-thread", primSelf, 0, 0},
     {"thread-state", primThreadState, 1, 1},
     {"make-channel", primChanMake, 1, 1},

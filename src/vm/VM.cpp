@@ -49,6 +49,7 @@ VM::VM(Heap &H, Stats &S, const Config &Cfg)
   Sched = std::make_unique<Scheduler>(S);
   Sched->setTrace(&Tr);
   WindersSym = H.intern("*winders*");
+  NurserySym = H.intern("*nursery*");
   // The thread-root guard: a permanently shot continuation shared by every
   // green thread's chain as its bottom link.  Like the halt sentinel it has
   // no segment and no link, so stack walkers stop at it; unlike halt it is
@@ -290,6 +291,8 @@ bool VM::enterClosure(Closure *Cl, uint32_t NArgs) {
       Value Handler = TimerHandler;
       TimerHandler = Value();
       Value K = CS.captureOneShot(CS.Top, CurCodeVal, 1);
+      if (auto *KC = dynObj<Continuation>(K))
+        KC->ByValue = true; // The k escapes to the Scheme handler.
       CS.beginBaseFrame(FrameHeaderWords + 2);
       CS.plantBaseFrame();
       enterCall(Handler, {K, Value::unspecified()}, Site{SiteKind::Tail, 0});
@@ -422,6 +425,12 @@ void VM::captureAndCall(bool OneShot, Value Receiver, Site St) {
   siteCapturePoint(St, Boundary, RetC, RetP);
   Value K = OneShot ? CS.captureOneShot(Boundary, RetC, RetP)
                     : CS.captureMultiShot(Boundary, RetC, RetP);
+  // The k escapes to the program: the member now has a first-class alias,
+  // so a later delimited cut through it must clone instead of relink
+  // (Prompt.cpp).  This also covers the empty-capture short-circuit,
+  // where the returned k IS an existing chain member.
+  if (auto *KC = dynObj<Continuation>(K))
+    KC->ByValue = true;
   // Call the receiver on a fresh base frame: returning from it underflows
   // into the captured continuation — the implicit invocation of Fig. 2.
   CS.beginBaseFrame(FrameHeaderWords + 1);
@@ -494,14 +503,20 @@ enum DelimKSlot : uint32_t {
   DkTag,          ///< The prompt's tag.
   DkId,           ///< Fixnum PromptRecord id (reused at splice time).
   DkWinders,      ///< *winders* at reset entry (for the record's re-push).
-  DkSaved,        ///< Vector of 4-tuples: records cut out with the slice.
+  DkSaved,        ///< Vector of 6-tuples: records cut out with the slice.
   DkShot,         ///< #t once invoked: delimited ks are one-shot.
   DkOrigMark,     ///< The Mark the slice was cut from; saved records whose
                   ///< Mark equals it are remapped onto the splice point.
+  DkHandler,      ///< Handler the splice re-pushes with the record: the
+                  ///< record's own for shift and deep handlers, Empty for
+                  ///< plain resets and for a perform on a shallow handler
+                  ///< (the resumed slice loses that handler).
+  DkShallow,      ///< Shallow flag re-pushed with the record.
   DkSlotCount,
 };
 
-constexpr uint32_t DkSavedFields = 4; // Tag, Mark, Winders, Id per record.
+// Tag, Mark, Winders, Id, Handler, Shallow per carried record.
+constexpr uint32_t DkSavedFields = 6;
 
 } // namespace
 
@@ -525,6 +540,45 @@ void VM::enterWithPromptStub(uint64_t Id, Value Callee,
   enterCall(Callee, std::move(Args), Site{SiteKind::Tail, 0});
 }
 
+Vector *VM::packDelimK(const PromptRecord &R, const DelimSlice &Slice,
+                       std::vector<PromptRecord> &Saved,
+                       Value RepushHandler) {
+  // Marks naming a member that was deep-cloned are remapped onto the clone
+  // so they stay live inside the package.
+  for (PromptRecord &SR : Saved)
+    for (const auto &[Orig, Clone] : Slice.Remapped)
+      if (SR.Mark.identical(Value::object(Orig)))
+        SR.Mark = Value::object(Clone);
+
+  Vector *SavedVec =
+      H.allocVector(static_cast<uint32_t>(Saved.size()) * DkSavedFields);
+  for (size_t I = 0; I != Saved.size(); ++I) {
+    SavedVec->Elems[I * DkSavedFields + 0] = Saved[I].Tag;
+    SavedVec->Elems[I * DkSavedFields + 1] = Saved[I].Mark;
+    SavedVec->Elems[I * DkSavedFields + 2] = Saved[I].Winders;
+    SavedVec->Elems[I * DkSavedFields + 3] =
+        Value::fixnum(static_cast<int64_t>(Saved[I].Id));
+    SavedVec->Elems[I * DkSavedFields + 4] = Saved[I].Handler;
+    SavedVec->Elems[I * DkSavedFields + 5] =
+        Saved[I].Shallow ? Value::trueV() : Value::falseV();
+  }
+
+  Vector *Dk = H.allocVector(DkSlotCount);
+  Dk->Elems[DkMarker] = Value::object(H.intern("#<delim-k>"));
+  Dk->Elems[DkTop] = Slice.Top;
+  Dk->Elems[DkBottom] =
+      Slice.Bottom ? Value::object(Slice.Bottom) : Value();
+  Dk->Elems[DkTag] = R.Tag;
+  Dk->Elems[DkId] = Value::fixnum(static_cast<int64_t>(R.Id));
+  Dk->Elems[DkWinders] = R.Winders;
+  Dk->Elems[DkSaved] = Value::object(SavedVec);
+  Dk->Elems[DkShot] = Value::falseV();
+  Dk->Elems[DkOrigMark] = R.Mark;
+  Dk->Elems[DkHandler] = RepushHandler;
+  Dk->Elems[DkShallow] = R.Shallow ? Value::trueV() : Value::falseV();
+  return Dk;
+}
+
 void VM::doReset(Value Tag, Value Thunk, Site St) {
   uint32_t Boundary;
   Value RetC;
@@ -537,7 +591,7 @@ void VM::doReset(Value Tag, Value Thunk, Site St) {
   Value Mark = Cfg.DelimOneShot ? CS.captureOneShot(Boundary, RetC, RetP)
                                 : CS.captureMultiShot(Boundary, RetC, RetP);
   uint64_t Id = ++NextPromptId;
-  Prompts.push({Tag, Mark, WindersSym->Global, Id});
+  Prompts.push({Tag, Mark, WindersSym->Global, Id, Value(), false});
   S.PromptResets += 1;
   OSC_TRACE(&Tr, TraceEvent::Reset, Id);
   enterWithPromptStub(Id, Thunk, {});
@@ -567,36 +621,11 @@ void VM::doShift(Value Tag, Value Receiver, Site St) {
 
   // Records above the found one belong to the slice (inner delimiters the
   // captured extent contains); they travel inside the package and are
-  // re-pushed at splice time.  Marks naming a member that was deep-cloned
-  // are remapped onto the clone so they stay live.
+  // re-pushed at splice time.
   std::vector<PromptRecord> Saved =
       Prompts.takeAbove(static_cast<size_t>(Idx));
-  for (PromptRecord &SR : Saved)
-    for (const auto &[Orig, Clone] : Slice.Remapped)
-      if (SR.Mark.identical(Value::object(Orig)))
-        SR.Mark = Value::object(Clone);
 
-  Vector *SavedVec =
-      H.allocVector(static_cast<uint32_t>(Saved.size()) * DkSavedFields);
-  for (size_t I = 0; I != Saved.size(); ++I) {
-    SavedVec->Elems[I * DkSavedFields + 0] = Saved[I].Tag;
-    SavedVec->Elems[I * DkSavedFields + 1] = Saved[I].Mark;
-    SavedVec->Elems[I * DkSavedFields + 2] = Saved[I].Winders;
-    SavedVec->Elems[I * DkSavedFields + 3] =
-        Value::fixnum(static_cast<int64_t>(Saved[I].Id));
-  }
-
-  Vector *Dk = H.allocVector(DkSlotCount);
-  Dk->Elems[DkMarker] = Value::object(H.intern("#<delim-k>"));
-  Dk->Elems[DkTop] = Slice.Top;
-  Dk->Elems[DkBottom] =
-      Slice.Bottom ? Value::object(Slice.Bottom) : Value();
-  Dk->Elems[DkTag] = R.Tag;
-  Dk->Elems[DkId] = Value::fixnum(static_cast<int64_t>(R.Id));
-  Dk->Elems[DkWinders] = R.Winders;
-  Dk->Elems[DkSaved] = Value::object(SavedVec);
-  Dk->Elems[DkShot] = Value::falseV();
-  Dk->Elems[DkOrigMark] = R.Mark;
+  Vector *Dk = packDelimK(R, Slice, Saved, /*RepushHandler=*/R.Handler);
 
   S.SliceCaptures += 1;
   OSC_TRACE(&Tr, TraceEvent::Shift, R.Id, Slice.Members, Slice.Cloned);
@@ -605,6 +634,73 @@ void VM::doShift(Value Tag, Value Receiver, Site St) {
   // the record and underflows into the Mark).  It gets the package and the
   // reset-entry winders so the prelude can unwind the extent's after-thunks.
   enterWithPromptStub(R.Id, Receiver, {Value::object(Dk), R.Winders});
+}
+
+void VM::doWithHandler(Value Tag, Value Handler, Value Thunk, Value Shallow,
+                       Site St) {
+  // Identical to doReset except the record carries the handler procedure
+  // (and the shallow-mode flag), making it a perform target.  Same Mark
+  // capture, same stub frame, same one-shot/copying-shim split.
+  uint32_t Boundary;
+  Value RetC;
+  int64_t RetP;
+  siteCapturePoint(St, Boundary, RetC, RetP);
+  Value Mark = Cfg.DelimOneShot ? CS.captureOneShot(Boundary, RetC, RetP)
+                                : CS.captureMultiShot(Boundary, RetC, RetP);
+  uint64_t Id = ++NextPromptId;
+  bool Sh = Shallow.isTrue();
+  Prompts.push({Tag, Mark, WindersSym->Global, Id, Handler, Sh});
+  S.HandlersInstalled += 1;
+  OSC_TRACE(&Tr, TraceEvent::Handle, Id, Sh ? 1 : 0);
+  enterWithPromptStub(Id, Thunk, {});
+}
+
+void VM::doPerform(Value Tag, Value Receiver, Site St) {
+  // Only records carrying a handler match: plain resets sharing the tag
+  // are transparent to perform, so prompts and handlers nest freely.
+  int64_t Idx = Prompts.findLive(Tag, CS.link(), /*RequireHandler=*/true);
+  if (Idx < 0) {
+    fail("perform: no handler for tag " + writeToString(Tag));
+    return;
+  }
+  PromptRecord R = Prompts.at(static_cast<size_t>(Idx));
+
+  uint32_t Boundary;
+  Value RetC;
+  int64_t RetP;
+  siteCapturePoint(St, Boundary, RetC, RetP);
+  Value KTop = Cfg.DelimOneShot ? CS.captureOneShot(Boundary, RetC, RetP)
+                                : CS.captureMultiShot(Boundary, RetC, RetP);
+  // Cut exactly like shift: the slice is the extent between the perform
+  // site and the with-handler boundary, relinked — not copied — in the
+  // one-shot steady state.
+  DelimSlice Slice = cutSliceToMark(CS, KTop, R.Mark);
+  CS.setLink(R.Mark);
+
+  // Inner delimiters travel with the slice; the handler record itself is
+  // POPPED (shift0 discipline).  The handler body therefore runs outside
+  // its own delimiter: a clause that never invokes k is abortive for free,
+  // and a re-perform inside the handler forwards to the next handler out.
+  std::vector<PromptRecord> Saved =
+      Prompts.takeAbove(static_cast<size_t>(Idx));
+  Prompts.popThrough(R.Id);
+
+  // Deep handlers resume under themselves: the splice re-pushes the record
+  // with its handler intact.  Shallow handlers resume bare — decided here
+  // at cut time, so the splice needs no mode dispatch.
+  Vector *Dk = packDelimK(R, Slice, Saved,
+                          /*RepushHandler=*/R.Shallow ? Value() : R.Handler);
+
+  S.Performs += 1;
+  S.SliceCaptures += 1;
+  OSC_TRACE(&Tr, TraceEvent::Perform, R.Id, Slice.Members, Slice.Cloned);
+  // The receiver runs at the prompt on a fresh *plain* base frame — no
+  // stub, because the record is gone: a normal return from the handler IS
+  // the with-handler form's return, underflowing straight into the Mark.
+  CS.beginBaseFrame(FrameHeaderWords + 3);
+  CS.plantBaseFrame();
+  enterCall(Receiver, {R.Handler, Value::object(Dk), R.Winders},
+            Site{SiteKind::Tail, 0});
 }
 
 void VM::doDelimInvoke(Value DkV, Value V, Site St) {
@@ -647,9 +743,13 @@ void VM::doDelimInvoke(Value DkV, Value V, Site St) {
 
   // Re-establish the delimiter at the splice point: same tag, same id,
   // reset-entry winders, but the Mark is *here* now — an inner shift after
-  // resumption cuts back to this invoke site.  Then the inner records the
-  // slice carried, innermost last, with dead-end Marks remapped too.
-  Prompts.push({Dk->Elems[DkTag], NewLink, Dk->Elems[DkWinders], Id});
+  // resumption cuts back to this invoke site.  DkHandler rides along, which
+  // is what makes deep handlers deep: resuming a deep handler's k puts the
+  // handler back over the slice, while a shallow handler's k (and a plain
+  // shift's k over a reset) re-pushes a bare prompt.  Then the inner
+  // records the slice carried, innermost last, dead-end Marks remapped too.
+  Prompts.push({Dk->Elems[DkTag], NewLink, Dk->Elems[DkWinders], Id,
+                Dk->Elems[DkHandler], Dk->Elems[DkShallow].isTrue()});
   auto *SavedVec = castObj<Vector>(Dk->Elems[DkSaved]);
   for (uint32_t I = 0; I + DkSavedFields <= SavedVec->Len;
        I += DkSavedFields) {
@@ -657,7 +757,8 @@ void VM::doDelimInvoke(Value DkV, Value V, Site St) {
                       ? NewLink
                       : SavedVec->Elems[I + 1];
     Prompts.push({SavedVec->Elems[I + 0], SMark, SavedVec->Elems[I + 2],
-                  static_cast<uint64_t>(SavedVec->Elems[I + 3].asFixnum())});
+                  static_cast<uint64_t>(SavedVec->Elems[I + 3].asFixnum()),
+                  SavedVec->Elems[I + 4], SavedVec->Elems[I + 5].isTrue()});
   }
 
   // The one-shot reinstatement half of the Figure-3 idiom: one link store
@@ -780,6 +881,12 @@ void VM::enterCall(Value Callee, std::vector<Value> Args, Site St) {
       case NativeSpecial::DelimInvoke:
         doDelimInvoke(Args[0], Args[1], St);
         return;
+      case NativeSpecial::WithHandler:
+        doWithHandler(Args[0], Args[1], Args[2], Args[3], St);
+        return;
+      case NativeSpecial::Perform:
+        doPerform(Args[0], Args[1], St);
+        return;
       }
       oscUnreachable("bad NativeSpecial");
     }
@@ -818,6 +925,7 @@ void VM::nativeReturn(Value V, Site St) {
 
 void VM::schedSaveContext(SchedContext &C) {
   C.Winders = WindersSym->Global;
+  C.Nursery = NurserySym->Global;
   C.Prompts = std::move(Prompts);
   Prompts.clear();
   C.Fuel = Fuel;
@@ -830,6 +938,7 @@ void VM::schedSaveContext(SchedContext &C) {
 
 void VM::schedRestoreContext(const SchedContext &C, bool FreshSlice) {
   WindersSym->Global = C.Winders;
+  NurserySym->Global = C.Nursery.isEmpty() ? Value::falseV() : C.Nursery;
   Prompts = C.Prompts;
   if (FreshSlice && C.TimerHandler.isEmpty()) {
     // Ordinary thread: it gets a full preemption slice.  A context with an
@@ -862,8 +971,12 @@ void VM::schedDispatch() {
       T.Thunk = Value();
       T.Started = true;
       // Fresh dynamic context: the winder list scheduler-run was entered
-      // under, no inherited prompts, and a full preemption slice.
+      // under, the nursery the spawner held at spawn time (spawnThread
+      // stashed it in the child's saved context), no inherited prompts,
+      // and a full preemption slice.
       WindersSym->Global = Sched->baseWinders();
+      NurserySym->Global =
+          T.Ctx.Nursery.isEmpty() ? Value::falseV() : T.Ctx.Nursery;
       Prompts.clear();
       TimerHandler = Value();
       TimerExpired = false;
@@ -1062,6 +1175,48 @@ void VM::schedSleep(Value TicksV, Site St) {
   Sched->current()->SleepLeft = Ticks;
   Value K = captureSiteOneShot(St);
   schedSuspendAndDispatch(K, Value::unspecified(), ThreadState::Sleeping);
+}
+
+Value VM::spawnThread(Value Thunk) {
+  uint32_t Tid = Sched->spawn(Thunk);
+  Scheduler::Thread *T = Sched->lookup(Tid);
+  // Structured concurrency happens at spawn time, not start time: the child
+  // inherits the spawner's *nursery* through its saved context (the Start
+  // dispatch installs it), and an open nursery records the child so the
+  // scope's exit can cancel it.  Doing this here rather than in a prelude
+  // wrapper keeps spawn a single native call — programs that never open a
+  // nursery execute exactly the same call sequence as before.
+  Value N = NurserySym->Global;
+  T->Ctx.Nursery = N;
+  if (auto *Rec = dynObj<Vector>(N);
+      Rec && Rec->Len >= 3 && Rec->Elems[2].isTrue())
+    Rec->Elems[0] =
+        Value::object(H.allocPair(Value::fixnum(Tid), Rec->Elems[0]));
+  return Value::fixnum(Tid);
+}
+
+Value VM::threadCancel(Value TidV) {
+  Scheduler::Thread *T =
+      TidV.isFixnum() ? Sched->lookup(TidV.asFixnum()) : nullptr;
+  if (!T) {
+    fail("%thread-cancel!: not a thread id: " + writeToString(TidV));
+    return Value();
+  }
+  if (T->State == ThreadState::Done || T == Sched->current())
+    return Value::boolean(false);
+  // Deadline-style poisoning (fireThreadDeadline's idiom): mark the parked
+  // one-shot resume point shot without reinstating it.  The abandoned
+  // suspension can never run again and its stack window is reclaimed by GC
+  // — the cancellation copies zero words.
+  if (auto *K = dynObj<Continuation>(T->Resume); K && !K->isShot())
+    K->markShot();
+  // Detach from every structure that could still wake or complete it:
+  // channel wait queues and the reactor's waiter registry (fd waits and
+  // armed Timer records alike).
+  Sched->dropFromChannels(T->Id);
+  Rx->dropWaitersFor(T->Id);
+  Value Cancelled = Value::object(H.intern("cancelled"));
+  return Value::boolean(Sched->cancel(*T, Cancelled));
 }
 
 void VM::chanSend(Value ChV, Value V, Site St) {
@@ -1924,6 +2079,8 @@ void VM::interpLoop() {
           Value Handler = TimerHandler;
           TimerHandler = Value();
           Value K = CS.captureOneShot(CS.Fp, RetC, RetP);
+          if (auto *KC = dynObj<Continuation>(K))
+            KC->ByValue = true; // The k escapes to the Scheme handler.
           CS.beginBaseFrame(FrameHeaderWords + 2);
           CS.plantBaseFrame();
           enterCall(Handler, {K, V}, Site{SiteKind::Tail, 0});

@@ -150,6 +150,22 @@ public:
 
   Scheduler &scheduler() { return *Sched; }
 
+  /// (%spawn thunk): creates the green thread and, when the spawner holds
+  /// an open nursery, records the child in it and arranges for the child
+  /// to inherit it (structured concurrency at spawn time, in one native
+  /// call).  Returns the thread id as a fixnum.
+  Value spawnThread(Value Thunk);
+
+  /// (%thread-cancel! tid): deadline-style poisoning of a parked/ready
+  /// green thread — marks its one-shot resume point shot (never
+  /// reinstated; zero words copied), removes it from every wait structure
+  /// (ready queue, sleepers, channels, reactor) and retires it as Done
+  /// with the 'cancelled symbol, waking joiners.  #t if the thread was
+  /// retired, #f if it was already done or is the running thread.  The
+  /// nursery layer (prelude) drives this for scope teardown; public so
+  /// the plain %thread-cancel! native can reach it.
+  Value threadCancel(Value TidV);
+
   // --- I/O reactor (src/io) --------------------------------------------------
   //
   // io-read-line / io-write / io-accept on a fd that is not ready park the
@@ -256,6 +272,28 @@ private:
   /// the record id in FramePromptId) and enters \p Callee on top of it.
   void enterWithPromptStub(uint64_t Id, Value Callee,
                            std::vector<Value> Args);
+  /// Packs a cut slice into the opaque delimited-continuation vector
+  /// %shift/%perform hand their receivers (layout: DelimKSlot in VM.cpp).
+  /// Remaps \p Saved records' Marks onto deep clones first.
+  /// \p RepushHandler is what the splice re-pushes as the record's handler:
+  /// the record's own for shift and deep handlers, Empty for a perform on a
+  /// shallow handler (the resumed slice loses that handler).
+  Vector *packDelimK(const PromptRecord &R, const DelimSlice &Slice,
+                     std::vector<PromptRecord> &Saved, Value RepushHandler);
+
+  // Effect handlers (same section of VM.cpp; the veneer over the prompt
+  // machinery above).  Both run in the dispatch loop.
+  /// (%with-handler tag handler thunk shallow): doReset, except the record
+  /// carries \p Handler (and the shallow-mode flag) so perform can find it.
+  void doWithHandler(Value Tag, Value Handler, Value Thunk, Value Shallow,
+                     Site S);
+  /// (%perform tag receiver): cut the slice up to the innermost live
+  /// *handler* record for \p Tag, pop that record (the handler runs
+  /// outside its own delimiter), abort to its Mark, and call \p Receiver
+  /// with the record's handler, the packaged slice and the reset-entry
+  /// winders on a fresh plain base frame — its normal return IS the
+  /// with-handler form's return.
+  void doPerform(Value Tag, Value Receiver, Site S);
 
   // Scheduler glue (VM.cpp, "Green-thread scheduler" section).  The Site
   // identifies the suspended operation's resume point, exactly as for
@@ -387,6 +425,9 @@ private:
                      ///< an underflow (or base-frame capture) that reaches
                      ///< it is recognized as thread exit.
   Symbol *WindersSym = nullptr; ///< Interned *winders*, swapped per thread.
+  Symbol *NurserySym = nullptr; ///< Interned *nursery*, swapped per thread
+                                ///< (the prelude's current-nursery pointer
+                                ///< is dynamic state like *winders*).
 
   // I/O reactor state.
   std::unique_ptr<Reactor> Rx;

@@ -1,0 +1,509 @@
+// The control-operator fuzzing oracle shared by test_control_fuzz.cpp.
+//
+// A seeded generator produces well-formed random nests of every control
+// form the VM exposes — reset/shift (tagged, resuming and abortive),
+// with-handler/perform (deep and shallow), dynamic-wind, call/cc,
+// call/1cc, generators, async/await — as integer-valued expressions that
+// also print, so success flag, value, error text, output AND the
+// filtered control-event trace are all observable.  The oracle runs each
+// program under the one-shot delimited representation and under the
+// Config::DelimOneShot=false copying shim and demands byte-identical
+// observations; a shrinker reduces any mismatch to a minimal tree by
+// subtree deletion and hoisting.
+//
+// Everything here is deterministic: the same seed always yields the same
+// program, so a failure message's (seed, config) pair is a complete
+// reproducer.
+
+#ifndef OSC_TESTS_CONTROLFUZZ_H
+#define OSC_TESTS_CONTROLFUZZ_H
+
+#include "osc.h"
+#include "support/Trace.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace osc_fuzz {
+
+// --- deterministic PRNG (splitmix64) -----------------------------------------
+
+struct Rng {
+  uint64_t State;
+  explicit Rng(uint64_t Seed) : State(Seed) {}
+  uint64_t next() {
+    State += 0x9e3779b97f4a7c15ull;
+    uint64_t Z = State;
+    Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebull;
+    return Z ^ (Z >> 31);
+  }
+  uint32_t below(uint32_t N) { return static_cast<uint32_t>(next() % N); }
+  bool chance(uint32_t Pct) { return below(100) < Pct; }
+};
+
+// --- program trees -----------------------------------------------------------
+
+enum class FKind {
+  Lit,            ///< small integer
+  Add,            ///< (+ a b)
+  Sub,            ///< (- a b)
+  Seq,            ///< (begin a b)
+  Display,        ///< (begin (display a) (newline) b)
+  Reset,          ///< (reset 'tN body)
+  ShiftResume,    ///< (shift 'tN k (+ a (k b))) — k used exactly once
+  ShiftAbort,     ///< (shift 'tN k a) — k never used
+  HandlerDeep,    ///< (with-handler 'hN clauses... body)
+  HandlerShallow, ///< (with-shallow-handler 'hN clauses... body)
+  Perform,        ///< (perform 'hN 'opM arg)
+  Wind,           ///< (dynamic-wind before body after), thunks print
+  Esc1cc,         ///< (call/1cc (lambda (k) ...)) — escape once or unused
+  EscCc,          ///< (call/cc  (lambda (k) ...)) — same shape
+  GenDrive,       ///< make-generator with two yields, driven to eof, summed
+  AsyncRun,       ///< (let ((f (async body))) (scheduler-run) (future-get f))
+};
+
+constexpr int NumFKinds = static_cast<int>(FKind::AsyncRun) + 1;
+
+struct FNode {
+  FKind K = FKind::Lit;
+  int Lit = 1; ///< literal value (Lit)
+  int Tag = 0; ///< reset/handler tag index
+  int Op = 0;  ///< operation index (Perform), variant flag (Esc1cc/EscCc)
+  int Uid = 0; ///< uniquifies bound names and print markers
+  int NClauses = 1; ///< handler clause count (1 or 2)
+  std::vector<FNode> Kids;
+};
+
+inline size_t countForms(const FNode &N) {
+  size_t C = 1;
+  for (const FNode &K : N.Kids)
+    C += countForms(K);
+  return C;
+}
+
+inline void renderInto(const FNode &N, std::string &S) {
+  auto U = std::to_string(N.Uid);
+  switch (N.K) {
+  case FKind::Lit:
+    S += std::to_string(N.Lit);
+    return;
+  case FKind::Add:
+  case FKind::Sub:
+    S += N.K == FKind::Add ? "(+ " : "(- ";
+    renderInto(N.Kids[0], S);
+    S += " ";
+    renderInto(N.Kids[1], S);
+    S += ")";
+    return;
+  case FKind::Seq:
+    S += "(begin ";
+    renderInto(N.Kids[0], S);
+    S += " ";
+    renderInto(N.Kids[1], S);
+    S += ")";
+    return;
+  case FKind::Display:
+    S += "(begin (display ";
+    renderInto(N.Kids[0], S);
+    S += ") (newline) ";
+    renderInto(N.Kids[1], S);
+    S += ")";
+    return;
+  case FKind::Reset:
+    S += "(reset 't" + std::to_string(N.Tag) + " ";
+    renderInto(N.Kids[0], S);
+    S += ")";
+    return;
+  case FKind::ShiftResume:
+    S += "(shift 't" + std::to_string(N.Tag) + " j" + U + " (+ ";
+    renderInto(N.Kids[0], S);
+    S += " (j" + U + " ";
+    renderInto(N.Kids[1], S);
+    S += ")))";
+    return;
+  case FKind::ShiftAbort:
+    S += "(shift 't" + std::to_string(N.Tag) + " j" + U + " ";
+    renderInto(N.Kids[0], S);
+    S += ")";
+    return;
+  case FKind::HandlerDeep:
+  case FKind::HandlerShallow:
+    // Kids: [0]=body, [1]=op0 resume augend, ([2]=op1 abort value).
+    S += N.K == FKind::HandlerDeep ? "(with-handler 'h" : "(with-shallow-handler 'h";
+    S += std::to_string(N.Tag);
+    S += " ((op0 j" + U + " a" + U + ") (j" + U + " (+ a" + U + " ";
+    renderInto(N.Kids[1], S);
+    S += ")))";
+    if (N.NClauses > 1) {
+      S += " ((op1 q" + U + " b" + U + ") (+ b" + U + " ";
+      renderInto(N.Kids[2], S);
+      S += "))";
+    }
+    S += " ";
+    renderInto(N.Kids[0], S);
+    S += ")";
+    return;
+  case FKind::Perform:
+    S += "(perform 'h" + std::to_string(N.Tag) + " 'op" +
+         std::to_string(N.Op) + " ";
+    renderInto(N.Kids[0], S);
+    S += ")";
+    return;
+  case FKind::Wind:
+    S += "(dynamic-wind (lambda () (display 'i" + U +
+         ")) (lambda () ";
+    renderInto(N.Kids[0], S);
+    S += ") (lambda () (display 'o" + U + ")))";
+    return;
+  case FKind::Esc1cc:
+  case FKind::EscCc: {
+    const char *Form = N.K == FKind::Esc1cc ? "(call/1cc" : "(call/cc";
+    if (N.Op == 0) {
+      // k unused: the capture is pure cost.
+      S += std::string(Form) + " (lambda (j" + U + ") ";
+      renderInto(N.Kids[0], S);
+      S += "))";
+    } else {
+      // One-shot-respecting escape through a pending (+ _).
+      S += std::string(Form) + " (lambda (j" + U + ") (+ ";
+      renderInto(N.Kids[0], S);
+      S += " (j" + U + " ";
+      renderInto(N.Kids[1], S);
+      S += "))))";
+    }
+    return;
+  }
+  case FKind::GenDrive:
+    // Two yields then a final value, driven to eof and summed.  Yield
+    // arguments may themselves shift/perform through the generator's
+    // delimiter — the saved-prompt path in packDelimK.
+    S += "(let ((g" + U + " (make-generator (lambda (v" + U + ") (yield ";
+    renderInto(N.Kids[0], S);
+    S += ") (yield ";
+    renderInto(N.Kids[1], S);
+    S += ") ";
+    renderInto(N.Kids[2], S);
+    S += "))))" //
+         " (let lp" + U + " ((x" + U + " (generator-next g" + U + ")) (s" + U +
+         " 0)) (if (eof-object? x" + U + ") s" + U + " (lp" + U +
+         " (generator-next g" + U + ") (+ s" + U + " x" + U + ")))))";
+    return;
+  case FKind::AsyncRun:
+    S += "(let ((f" + U + " (async ";
+    renderInto(N.Kids[0], S);
+    S += "))) (scheduler-run) (future-get f" + U + "))";
+    return;
+  }
+}
+
+inline std::string render(const FNode &N) {
+  std::string S;
+  renderInto(N, S);
+  return S;
+}
+
+// --- generation --------------------------------------------------------------
+
+struct GenCtx {
+  std::vector<int> ResetTags;   ///< tags with a live enclosing reset
+  std::vector<int> HandlerTags; ///< tags with a live enclosing handler
+  int Depth = 0;
+  bool TopLevel = true; ///< AsyncRun only here (scheduler-run must not nest)
+};
+
+inline FNode genExpr(Rng &R, GenCtx Ctx, int &Budget, int &Uid);
+
+inline FNode genLit(Rng &R) {
+  FNode N;
+  N.K = FKind::Lit;
+  N.Lit = static_cast<int>(R.below(9)) + 1;
+  return N;
+}
+
+inline FNode genExpr(Rng &R, GenCtx Ctx, int &Budget, int &Uid) {
+  if (Budget <= 1 || Ctx.Depth >= 7)
+    return genLit(R);
+  Budget -= 1;
+  GenCtx Inner = Ctx;
+  Inner.Depth += 1;
+  Inner.TopLevel = false;
+
+  // Weighted pick over the applicable productions.
+  struct Choice {
+    FKind K;
+    int Weight;
+  };
+  std::vector<Choice> Cs = {
+      {FKind::Lit, 10},        {FKind::Add, 14},
+      {FKind::Sub, 6},         {FKind::Seq, 4},
+      {FKind::Display, 7},     {FKind::Reset, 10},
+      {FKind::HandlerDeep, 10}, {FKind::HandlerShallow, 4},
+      {FKind::Wind, 8},        {FKind::Esc1cc, 5},
+      {FKind::EscCc, 3},       {FKind::GenDrive, 5},
+  };
+  if (!Ctx.ResetTags.empty()) {
+    Cs.push_back({FKind::ShiftResume, 9});
+    Cs.push_back({FKind::ShiftAbort, 4});
+  }
+  if (!Ctx.HandlerTags.empty())
+    Cs.push_back({FKind::Perform, 12});
+  if (Ctx.TopLevel)
+    Cs.push_back({FKind::AsyncRun, 8});
+
+  int Total = 0;
+  for (const Choice &C : Cs)
+    Total += C.Weight;
+  int Pick = static_cast<int>(R.below(static_cast<uint32_t>(Total)));
+  FKind K = FKind::Lit;
+  for (const Choice &C : Cs) {
+    Pick -= C.Weight;
+    if (Pick < 0) {
+      K = C.K;
+      break;
+    }
+  }
+
+  FNode N;
+  N.K = K;
+  N.Uid = Uid++;
+  switch (K) {
+  case FKind::Lit:
+    return genLit(R);
+  case FKind::Add:
+  case FKind::Sub:
+  case FKind::Seq:
+  case FKind::Display:
+    N.Kids.push_back(genExpr(R, Inner, Budget, Uid));
+    N.Kids.push_back(genExpr(R, Inner, Budget, Uid));
+    return N;
+  case FKind::Reset: {
+    N.Tag = static_cast<int>(R.below(3));
+    GenCtx Body = Inner;
+    Body.ResetTags.push_back(N.Tag);
+    N.Kids.push_back(genExpr(R, Body, Budget, Uid));
+    return N;
+  }
+  case FKind::ShiftResume:
+    N.Tag = Ctx.ResetTags[R.below(static_cast<uint32_t>(Ctx.ResetTags.size()))];
+    // The receiver body runs outside the delimiter it just cut away, but
+    // outer delimiters are still live: reuse the *outer* context minus
+    // nothing (the innermost matching reset is consumed at runtime; a
+    // nested same-tag shift in the receiver would bind further out, which
+    // is legal and must agree across representations).
+    N.Kids.push_back(genExpr(R, Inner, Budget, Uid));
+    N.Kids.push_back(genExpr(R, Inner, Budget, Uid));
+    return N;
+  case FKind::ShiftAbort:
+    N.Tag = Ctx.ResetTags[R.below(static_cast<uint32_t>(Ctx.ResetTags.size()))];
+    N.Kids.push_back(genExpr(R, Inner, Budget, Uid));
+    return N;
+  case FKind::HandlerDeep:
+  case FKind::HandlerShallow: {
+    N.Tag = static_cast<int>(R.below(3));
+    N.NClauses = R.chance(40) ? 2 : 1;
+    GenCtx Body = Inner;
+    Body.HandlerTags.push_back(N.Tag);
+    N.Kids.push_back(genExpr(R, Body, Budget, Uid)); // body
+    // Clause expressions run outside the handler's own delimiter.
+    N.Kids.push_back(genExpr(R, Inner, Budget, Uid)); // op0 resume augend
+    if (N.NClauses > 1)
+      N.Kids.push_back(genExpr(R, Inner, Budget, Uid)); // op1 abort value
+    return N;
+  }
+  case FKind::Perform:
+    N.Tag =
+        Ctx.HandlerTags[R.below(static_cast<uint32_t>(Ctx.HandlerTags.size()))];
+    // op0 always resumes, op1 aborts where a 2-clause handler catches it
+    // and forwards outward (possibly to a "no handler" error — which must
+    // be identical in both worlds too).
+    N.Op = static_cast<int>(R.below(2));
+    N.Kids.push_back(genExpr(R, Inner, Budget, Uid));
+    return N;
+  case FKind::Wind:
+    N.Kids.push_back(genExpr(R, Inner, Budget, Uid));
+    return N;
+  case FKind::Esc1cc:
+  case FKind::EscCc:
+    N.Op = R.chance(70) ? 1 : 0;
+    N.Kids.push_back(genExpr(R, Inner, Budget, Uid));
+    if (N.Op == 1)
+      N.Kids.push_back(genExpr(R, Inner, Budget, Uid));
+    return N;
+  case FKind::GenDrive:
+    N.Kids.push_back(genExpr(R, Inner, Budget, Uid));
+    N.Kids.push_back(genExpr(R, Inner, Budget, Uid));
+    N.Kids.push_back(genExpr(R, Inner, Budget, Uid));
+    return N;
+  case FKind::AsyncRun: {
+    // The async body runs on a fresh green thread with an empty prompt
+    // table: enclosing resets/handlers are unreachable from it.
+    GenCtx Body = Inner;
+    Body.ResetTags.clear();
+    Body.HandlerTags.clear();
+    N.Kids.push_back(genExpr(R, Body, Budget, Uid));
+    return N;
+  }
+  }
+  return genLit(R);
+}
+
+/// One whole fuzz program for \p Seed: a single integer-valued expression
+/// built from up to ~16 forms.
+inline FNode genProgram(uint64_t Seed) {
+  Rng R(Seed);
+  int Budget = 4 + static_cast<int>(R.below(13));
+  int Uid = 0;
+  return genExpr(R, GenCtx{}, Budget, Uid);
+}
+
+// --- the oracle --------------------------------------------------------------
+
+/// Everything the differential oracle compares.  Trace holds only the
+/// control-semantic events (reset/shift/splice/handle/perform/wind) by
+/// name — representation events (captures, clones, segment traffic)
+/// legitimately differ between the two worlds.
+struct Observed {
+  bool Ok = false;
+  std::string Val;
+  std::string Err;
+  std::string Out;
+  std::string Trace;
+};
+
+inline bool operator==(const Observed &A, const Observed &B) {
+  return A.Ok == B.Ok && A.Val == B.Val && A.Err == B.Err && A.Out == B.Out &&
+         A.Trace == B.Trace;
+}
+
+inline bool operator!=(const Observed &A, const Observed &B) {
+  return !(A == B);
+}
+
+inline std::string describe(const Observed &O) {
+  return "{ok=" + std::to_string(O.Ok) + " val=" + O.Val + " err=" + O.Err +
+         " out=" + O.Out + " trace=[" + O.Trace + "]}";
+}
+
+inline bool isSemanticEvent(osc::TraceEvent E) {
+  switch (E) {
+  case osc::TraceEvent::Reset:
+  case osc::TraceEvent::Shift:
+  case osc::TraceEvent::Splice:
+  case osc::TraceEvent::Handle:
+  case osc::TraceEvent::Perform:
+  case osc::TraceEvent::WindEnter:
+  case osc::TraceEvent::WindExit:
+    return true;
+  default:
+    return false;
+  }
+}
+
+/// Runs \p Source under \p C with DelimOneShot forced to \p OneShot.
+/// \p PreludePatch, when non-empty, is evaluated first — the seeded-bug
+/// test uses it to sabotage one world.
+inline Observed runOnce(osc::Config C, const std::string &Source, bool OneShot,
+                        const std::string &PreludePatch = "") {
+  C.DelimOneShot = OneShot;
+  osc::Interp I(C);
+  I.captureOutput(true);
+  if (!PreludePatch.empty()) {
+    auto P = I.eval(PreludePatch);
+    if (!P.Ok)
+      return {false, "", "prelude patch failed: " + P.Error, "", ""};
+  }
+  I.trace().start();
+  auto R = I.eval(Source);
+  I.trace().stop();
+  Observed O;
+  O.Ok = R.Ok;
+  if (R.Ok)
+    O.Val = I.valueToString(R.Val);
+  O.Err = R.Error;
+  O.Out = I.takeOutput();
+  for (const osc::Trace::Record &Rec : I.trace().snapshot())
+    if (isSemanticEvent(Rec.Kind)) {
+      O.Trace += osc::traceEventName(Rec.Kind);
+      O.Trace += " ";
+    }
+  return O;
+}
+
+/// True when the one-shot representation and the copying shim disagree on
+/// \p Source under \p C — the property the fuzzer hunts for.  \p BugPatch
+/// sabotages the one-shot world only.
+inline bool mismatches(const osc::Config &C, const std::string &Source,
+                       const std::string &BugPatch = "") {
+  Observed Fast = runOnce(C, Source, /*OneShot=*/true, BugPatch);
+  Observed Shim = runOnce(C, Source, /*OneShot=*/false);
+  return Fast != Shim;
+}
+
+// --- shrinking ---------------------------------------------------------------
+
+inline FNode *nodeAt(FNode &Root, const std::vector<int> &Path) {
+  FNode *N = &Root;
+  for (int I : Path)
+    N = &N->Kids[static_cast<size_t>(I)];
+  return N;
+}
+
+inline void collectPaths(const FNode &N, std::vector<int> &Cur,
+                         std::vector<std::vector<int>> &Out) {
+  Out.push_back(Cur);
+  for (size_t I = 0; I != N.Kids.size(); ++I) {
+    Cur.push_back(static_cast<int>(I));
+    collectPaths(N.Kids[I], Cur, Out);
+    Cur.pop_back();
+  }
+}
+
+/// Greedy delta-debugging on the tree: repeatedly try to replace any node
+/// by the literal 1, then by any of its children, keeping every
+/// replacement under which \p StillFails(render(tree)) holds.  Runs to a
+/// fixpoint; the result is 1-minimal under these two operations.
+template <typename PredT> inline FNode shrink(FNode Program, PredT StillFails) {
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    std::vector<std::vector<int>> Paths;
+    std::vector<int> Cur;
+    collectPaths(Program, Cur, Paths);
+    for (const auto &Path : Paths) {
+      FNode *N = nodeAt(Program, Path);
+      if (N->K == FKind::Lit)
+        continue;
+      // Try the whole subtree -> 1.
+      FNode Saved = *N;
+      FNode Lit;
+      Lit.K = FKind::Lit;
+      Lit.Lit = 1;
+      *N = Lit;
+      if (StillFails(render(Program))) {
+        Changed = true;
+        break; // paths into the old subtree are stale; restart the scan
+      }
+      *N = Saved;
+      // Try hoisting each child over its parent.
+      bool Hoisted = false;
+      for (size_t I = 0; I != Saved.Kids.size(); ++I) {
+        *N = Saved.Kids[I];
+        if (StillFails(render(Program))) {
+          Changed = true;
+          Hoisted = true;
+          break;
+        }
+        *N = Saved;
+      }
+      if (Hoisted)
+        break;
+    }
+  }
+  return Program;
+}
+
+} // namespace osc_fuzz
+
+#endif // OSC_TESTS_CONTROLFUZZ_H

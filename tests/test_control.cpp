@@ -177,6 +177,58 @@ TEST_F(ControlTest, ReentryRebasesOntoTheInvokeSitesWinders) {
             "(slice-in slice-out host-in slice-in slice-out host-out)");
 }
 
+TEST(ControlGCTest, PromptRecordsSurviveACollectionMidExtent) {
+  // The prompt table is a GC root: a collection fired while a handler
+  // extent is live must keep the record's tag, mark, winders and handler
+  // values alive (PromptTable::traceRoots), or the later perform would
+  // dispatch through freed objects.  A small threshold forces several
+  // collections inside the extent before the perform runs.
+  // The heap re-arms its threshold to 2x live bytes after every
+  // collection, so the loop has to outgrow what the prelude load left
+  // armed — hence the generous iteration count; the GcCount delta below
+  // keeps the test honest.
+  Config C;
+  C.GcThresholdBytes = 32 * 1024;
+  Interp I(C);
+  Stats::Snapshot S0 = I.snapshot();
+  EXPECT_EQ(I.evalToString("(with-handler 'gc ((op k a) (k (+ a 1)))"
+                           "  (let loop ((i 0) (acc 0))"
+                           "    (if (= i 50000)"
+                           "        (perform 'gc 'op acc)"
+                           "        (loop (+ i 1) (+ acc (length (list i i i)))))))"),
+            "150001");
+  EXPECT_GT((I.snapshot() - S0).GcCount, 0u)
+      << "the workload never collected inside the extent";
+}
+
+TEST_F(ControlTest, DormantFirstClassKSurvivesADelimitedCut) {
+  // Found by the control fuzzer (ControlFuzz.h seed 96534540, shrunk):
+  // call/1cc captures j inside the reset extent, then a shift cuts a
+  // slice whose frames j still points into.  Relinking those frames under
+  // the receiver would silently retarget j — invoking it must instead
+  // escape through the capture-time chain, so the reset returns 1 to
+  // toplevel and the receiver's pending (+ 1 _) is abandoned.  The cut
+  // detects the first-class alias (Continuation::ByValue) and clones the
+  // shared suffix of the slice, exactly like the multi-shot shim.
+  EXPECT_EQ(run("(reset 't0"
+                "  (call/1cc (lambda (j)"
+                "    (+ (shift 't0 s (+ 1 (s 1)))"
+                "       (j 1)))))"),
+            "1");
+}
+
+TEST_F(ControlTest, NestedDormantKsForceSuffixCloning) {
+  // Sharing is suffix-closed: both nested call/1cc members sit in the cut
+  // slice, and the dormant outer j1 must still reach the reset's return
+  // point after the inner frames were spliced and run.
+  EXPECT_EQ(run("(reset 't0"
+                "  (call/1cc (lambda (j1)"
+                "    (call/1cc (lambda (j2)"
+                "      (+ (shift 't0 s (+ 1 (s 1)))"
+                "         (j1 5)))))))"),
+            "5");
+}
+
 // --- generators -----------------------------------------------------------------
 
 TEST_F(ControlTest, GeneratorYieldsThenEof) {
@@ -303,6 +355,163 @@ TEST_F(ControlTest, MultipleAwaitsInOneBody) {
             "3");
 }
 
+// --- effect handlers (with-handler / perform) -----------------------------------
+//
+// The handler veneer is a shift0 variant: doPerform pops the handler's own
+// prompt record before running the clause, so clauses run *outside* their
+// own delimiter — abortive operations are just clauses that never invoke
+// k, and an unmatched operation forwards outward by re-performing.
+
+TEST_F(ControlTest, HandlerResumesTheSlice) {
+  EXPECT_EQ(run("(with-handler 'io ((get k) (k 42))"
+                "  (+ 1 (perform 'io 'get)))"),
+            "43");
+  // Operation arguments flow into the clause's formals.
+  EXPECT_EQ(run("(with-handler 'st ((add k a b) (k (+ a b)))"
+                "  (* 2 (perform 'st 'add 3 4)))"),
+            "14");
+}
+
+TEST_F(ControlTest, DeepHandlerStaysInstalledAcrossPerforms) {
+  // Deep mode: the splice re-pushes the handler with the slice, so every
+  // perform in the body finds it again.
+  EXPECT_EQ(run("(with-handler 'c ((tick k) (k 1))"
+                "  (+ (perform 'c 'tick) (perform 'c 'tick)"
+                "     (perform 'c 'tick)))"),
+            "3");
+}
+
+TEST_F(ControlTest, AbortiveOperationDiscardsTheSlice) {
+  // The clause never invokes k: its value is the with-handler form's
+  // value, and the (+ 2 _) slice is simply dropped.
+  EXPECT_EQ(run("(+ 1 (with-handler 't ((bail k v) v)"
+                "       (+ 2 (perform 't 'bail 100))))"),
+            "101");
+}
+
+TEST_F(ControlTest, NormalReturnIsTheBodyValue) {
+  EXPECT_EQ(run("(with-handler 'u ((op k) (k 1)) 'plain)"), "plain");
+  EXPECT_EQ(run("(+ 1 (with-handler 'u ((op k) (k 1)) (+ 20 21)))"), "42");
+}
+
+TEST_F(ControlTest, ShallowHandlerHandlesExactlyOnce) {
+  // Shallow mode: the handler is consumed by the first perform; the
+  // second one forwards to the next matching handler out.
+  EXPECT_EQ(run("(with-handler 'tag ((op k) (k 'outer))"
+                "  (with-shallow-handler 'tag ((op k) (k 'once))"
+                "    (cons (perform 'tag 'op) (perform 'tag 'op))))"),
+            "(once . outer)");
+}
+
+TEST_F(ControlTest, UnmatchedOperationForwardsOutward) {
+  // The inner handler has no 'pong clause: the dispatcher re-performs to
+  // the outer handler and resumes the inner k with its answer.
+  EXPECT_EQ(run("(with-handler 'fx ((pong k) (k 'from-outer))"
+                "  (with-handler 'fx ((ping k) (k 'inner-ping))"
+                "    (list (perform 'fx 'ping) (perform 'fx 'pong))))"),
+            "(inner-ping from-outer)");
+}
+
+TEST_F(ControlTest, TagsSelectTheHandler) {
+  // Distinct tags route independently even when nested.
+  EXPECT_EQ(run("(with-handler 'a ((op k) (k 'handled-a))"
+                "  (with-handler 'b ((op k) (k 'handled-b))"
+                "    (list (perform 'a 'op) (perform 'b 'op))))"),
+            "(handled-a handled-b)");
+  // Plain resets with the same tag are transparent to perform: it binds
+  // to handlers only, cutting straight through the reset's prompt.
+  EXPECT_EQ(run("(with-handler 'p ((op k) (k 7))"
+                "  (reset 'p (+ 1 (perform 'p 'op))))"),
+            "8");
+}
+
+TEST_F(ControlTest, ClausesRunOutsideTheirOwnDelimiter) {
+  // shift0 discipline: a perform from inside a clause must find the
+  // *outer* handler, never the one whose clause is running.
+  EXPECT_EQ(run("(with-handler 'e ((op k) (k 'outer-answer))"
+                "  (with-handler 'e ((op k) (k (perform 'e 'op)))"
+                "    (perform 'e 'op)))"),
+            "outer-answer");
+}
+
+TEST_F(ControlTest, PerformWithoutHandlerIsAnError) {
+  auto R = I.eval("(perform 'nobody 'op 1)");
+  ASSERT_FALSE(R.Ok);
+  EXPECT_NE(R.Error.find("no handler for tag"), std::string::npos) << R.Error;
+  // A plain reset with the right tag is not a handler.
+  auto R2 = I.eval("(reset 'p (perform 'p 'op))");
+  ASSERT_FALSE(R2.Ok);
+  EXPECT_NE(R2.Error.find("no handler for tag"), std::string::npos)
+      << R2.Error;
+}
+
+TEST_F(ControlTest, HandlerContinuationIsOneShot) {
+  auto R = I.eval("(with-handler 'd ((op k) (k (k 1)))"
+                  "  (+ 1 (perform 'd 'op)))");
+  ASSERT_FALSE(R.Ok);
+  EXPECT_NE(R.Error.find("invoked a second time"), std::string::npos)
+      << R.Error;
+}
+
+TEST_F(ControlTest, HandlerKSurvivesTheFormReturning) {
+  // The clause smuggles k out and returns; the with-handler form settles
+  // on the clause's value, and k is invoked later from a fresh extent —
+  // the suspended slice completes there, like a parked generator.
+  EXPECT_EQ(run("(define k* #f)"
+                "(define r1 (with-handler 'p ((op k) (set! k* k) 'parked)"
+                "             (+ 1 (perform 'p 'op))))"
+                "(list r1 (+ 100 (k* 10)))"),
+            "(parked 111)");
+}
+
+TEST_F(ControlTest, PerformRunsAfterThunksOnAbort) {
+  // Winder travel matches shift: cutting the slice runs the after-thunks
+  // of every dynamic-wind between the perform and the handler.
+  EXPECT_EQ(run("(define log '())"
+                "(define (note x) (set! log (cons x log)))"
+                "(define r (with-handler 'a ((bail k v) (note 'clause) v)"
+                "  (dynamic-wind"
+                "    (lambda () (note 'in))"
+                "    (lambda () (perform 'a 'bail 'done))"
+                "    (lambda () (note 'out)))))"
+                "(list r (reverse log))"),
+            "(done (in out clause))");
+}
+
+TEST_F(ControlTest, ResumeRerunsBeforeThunks) {
+  EXPECT_EQ(run("(define log '())"
+                "(define (note x) (set! log (cons x log)))"
+                "(define r (with-handler 'b ((get k) (note 'clause) (k 5))"
+                "  (dynamic-wind"
+                "    (lambda () (note 'in))"
+                "    (lambda () (+ 1 (perform 'b 'get)))"
+                "    (lambda () (note 'out)))))"
+                "(list r (reverse log))"),
+            "(6 (in out clause in out))");
+}
+
+TEST_F(ControlTest, HandlerTagIsComparedByIdentity) {
+  // The tag expression is evaluated once; any value works as a tag as
+  // long as the perform presents the same (eq?) value.
+  EXPECT_EQ(run("(define t (list 'fresh))"
+                "(with-handler t ((op k) (k 'found))"
+                "  (perform t 'op))"),
+            "found");
+}
+
+TEST_F(ControlTest, HandlersComposeWithGenerators) {
+  // A generator body performing effects interpreted outside the
+  // generator: two distinct delimiters interleave their slices.
+  EXPECT_EQ(run("(define g (make-generator (lambda (v)"
+                "  (yield (perform 'env 'get))"
+                "  (yield (perform 'env 'get))"
+                "  'done)))"
+                "(define n 0)"
+                "(with-handler 'env ((get k) (set! n (+ n 10)) (k n))"
+                "  (list (generator-next g) (generator-next g)))"),
+            "(10 20)");
+}
+
 // --- representation: the zero-copy capture path ---------------------------------
 
 TEST(ControlRepresentation, SteadyStateYieldCopiesZeroWords) {
@@ -371,6 +580,82 @@ TEST(ControlRepresentation, TraceRecordsResetShiftSplice) {
       SawSplice = true;
   }
   EXPECT_TRUE(SawReset && SawShift && SawSplice) << I.trace().toString();
+}
+
+TEST(ControlRepresentation, SteadyStatePerformCopiesZeroWords) {
+  // The handler analogue of the generator invariant: after warm-up, each
+  // perform-and-resume round trip cuts the slice to the handler's mark by
+  // header relinking and splices it back with a link store — no stack
+  // words move, nothing is cloned.  bench_control quantifies the same
+  // loop; tools/bench_gate.py enforces it on every bench run.
+  Interp I;
+  ASSERT_TRUE(I.eval("(define (burst n)"
+                     "  (with-handler 'tick ((tick k) (k #t))"
+                     "    (let loop ((i 0))"
+                     "      (if (< i n)"
+                     "          (begin (perform 'tick 'tick) (loop (+ i 1)))"
+                     "          i))))"
+                     "(burst 2)")
+                  .Ok);
+  uint64_t W0 = I.stats().WordsCopied;
+  uint64_t C0 = I.stats().SliceClonedWords;
+  uint64_t Cap0 = I.stats().SliceCaptures;
+  ASSERT_TRUE(I.eval("(burst 200)").Ok);
+  EXPECT_EQ(I.stats().WordsCopied, W0);
+  EXPECT_EQ(I.stats().SliceClonedWords, C0);
+  EXPECT_EQ(I.stats().SliceCaptures, Cap0 + 200);
+}
+
+TEST(ControlRepresentation, CopyingShimClonesEveryPerform) {
+  // Same program under the DelimOneShot=false shim: every cut clones its
+  // members, so SliceClonedWords must grow — the contrast the zero-copy
+  // claim is measured against.
+  Config C;
+  C.DelimOneShot = false;
+  Interp I(C);
+  ASSERT_TRUE(I.eval("(define (burst n)"
+                     "  (with-handler 'tick ((tick k) (k #t))"
+                     "    (let loop ((i 0))"
+                     "      (if (< i n)"
+                     "          (begin (perform 'tick 'tick) (loop (+ i 1)))"
+                     "          i))))"
+                     "(burst 2)")
+                  .Ok);
+  uint64_t C0 = I.stats().SliceClonedWords;
+  ASSERT_TRUE(I.eval("(burst 50)").Ok);
+  EXPECT_GT(I.stats().SliceClonedWords, C0);
+}
+
+TEST(ControlRepresentation, HandlerCountersExposedThroughVmStat) {
+  Interp I;
+  EXPECT_EQ(I.evalToString(
+                "(with-handler 'h ((op k) (k 1)) (perform 'h 'op)"
+                "                                (perform 'h 'op))"
+                "(list (vm-stat 'handlers-installed) (vm-stat 'performs))"),
+            "(1 2)");
+}
+
+TEST(ControlRepresentation, TraceRecordsHandleAndPerform) {
+  Interp I;
+  I.trace().start();
+  auto R = I.eval("(with-handler 'h ((op k) (k 10))"
+                  "  (+ 1 (perform 'h 'op)))");
+  I.trace().stop();
+  ASSERT_TRUE(R.Ok) << R.Error;
+  bool SawHandle = false, SawPerform = false, SawSplice = false;
+  for (const Trace::Record &Rec : I.trace().snapshot()) {
+    if (Rec.Kind == TraceEvent::Handle) {
+      SawHandle = true;
+      EXPECT_EQ(Rec.Payload[1], 0u) << "deep handler traced as shallow";
+    }
+    if (Rec.Kind == TraceEvent::Perform) {
+      SawPerform = true;
+      EXPECT_EQ(Rec.Payload[2], 0u) << "steady-state perform cloned a member";
+    }
+    if (Rec.Kind == TraceEvent::Splice)
+      SawSplice = true;
+  }
+  EXPECT_TRUE(SawHandle && SawPerform && SawSplice) << I.trace().toString();
 }
 
 // --- differential: DelimOneShot on == off across the lattice --------------------
@@ -450,6 +735,56 @@ const Program DelimPrograms[] = {
      "(display (call/1cc (lambda (out) (reset 'p (out 'gone)))))"
      "(newline)"
      "(shift 'p k 1)"},
+    {"handler-state-effect",
+     // get/put interpreted by a deep handler holding mutable state: every
+     // perform cuts and splices under both representations.
+     "(define cell 0)"
+     "(with-handler 'st ((get k) (k cell))"
+     "              ((put k v) (set! cell v) (k 'ok))"
+     "  (perform 'st 'put 10)"
+     "  (let ((a (perform 'st 'get)))"
+     "    (perform 'st 'put (* a 3))"
+     "    (list a (perform 'st 'get))))"},
+    {"handler-abort-through-winders",
+     "(define log '())"
+     "(define (note x) (set! log (cons x log)))"
+     "(define r (with-handler 'x ((bail k v) (note 'clause) v)"
+     "  (dynamic-wind (lambda () (note 'in))"
+     "                (lambda () (perform 'x 'bail 'stopped))"
+     "                (lambda () (note 'out)))))"
+     "(list r (reverse log))"},
+    {"shallow-handler-chain",
+     "(with-handler 'tag ((op k) (k 'deep))"
+     "  (with-shallow-handler 'tag ((op k) (k 'shallow))"
+     "    (list (perform 'tag 'op) (perform 'tag 'op)"
+     "          (perform 'tag 'op))))"},
+    {"handler-forwarding-double-error",
+     // First form prints, second must fail identically: k is one-shot in
+     // both worlds (the shim clones slices but keeps the contract).
+     "(display (with-handler 'f ((op k) (k 1)) (perform 'f 'op)))"
+     "(newline)"
+     "(with-handler 'f ((op k) (k (k 1))) (perform 'f 'op))"},
+    {"handler-under-generator",
+     "(define g (make-generator (lambda (v)"
+     "  (yield (perform 'env 'get)) (yield (perform 'env 'get)) 'done)))"
+     "(define n 0)"
+     "(with-handler 'env ((get k) (set! n (+ n 10)) (k n))"
+     "  (list (generator-next g) (generator-next g)))"},
+    {"nursery-cancels-parked-children",
+     "(define out '())"
+     "(define (note x) (set! out (cons x out)))"
+     "(define tids '())"
+     "(spawn (lambda ()"
+     "  (nursery"
+     "   (set! tids (cons (spawn (lambda ()"
+     "     (note 'c1) (channel-recv (make-channel 0)) (note 'never))) tids))"
+     "   (set! tids (cons (spawn (lambda ()"
+     "     (note 'c2) (channel-recv (make-channel 0)) (note 'never))) tids))"
+     "   (yield)"
+     "   (note 'scope-end))))"
+     "(scheduler-run)"
+     "(list (reverse out) (map thread-state (reverse tids))"
+     "      (vm-stat 'nursery-cancels))"},
 };
 
 class DelimDifferential

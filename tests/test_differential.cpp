@@ -426,6 +426,86 @@ const Program Programs[] = {
      "  (if (< i 6)"
      "      (begin (set! out (cons (admit i) out)) (loop (+ i 1)))))"
      "(reverse out)"},
+    // Effect handlers + nurseries on the same substrate: every perform's
+    // cut/splice and every nursery teardown rides the one-shot machinery
+    // the shim widens, so the whole handler surface must be observably
+    // shim-invariant too.
+    {"handler-resume-and-abort",
+     "(list (with-handler 'io ((get k) (k 42)) (+ 1 (perform 'io 'get)))"
+     "      (+ 1 (with-handler 't ((bail k v) v)"
+     "             (+ 2 (perform 't 'bail 100)))))"},
+    {"handler-state-cell",
+     "(define cell 1)"
+     "(with-handler 'st ((get k) (k cell))"
+     "              ((put k v) (set! cell v) (k 'ok))"
+     "  (perform 'st 'put (* (perform 'st 'get) 7))"
+     "  (perform 'st 'get))"},
+    {"handler-shallow-consumes",
+     "(with-handler 'tag ((op k) (k 'deep))"
+     "  (with-shallow-handler 'tag ((op k) (k 'shallow))"
+     "    (list (perform 'tag 'op) (perform 'tag 'op))))"},
+    {"handler-forwarding-unmatched-op",
+     "(with-handler 'fx ((pong k) (k 'outer-pong))"
+     "  (with-handler 'fx ((ping k) (k 'inner-ping))"
+     "    (list (perform 'fx 'ping) (perform 'fx 'pong))))"},
+    {"handler-winder-travel",
+     "(define log '())"
+     "(define (note x) (set! log (cons x log)))"
+     "(define r (with-handler 'w ((get k) (note 'clause) (k 3))"
+     "  (dynamic-wind (lambda () (note 'in))"
+     "                (lambda () (+ 1 (perform 'w 'get)))"
+     "                (lambda () (note 'out)))))"
+     "(list r (reverse log))"},
+    {"handler-escape-through-extent",
+     // A call/1cc escape (widened by the shim) jumping out of a live
+     // with-handler extent: the stranded handler record must be pruned
+     // identically, so the later perform errors the same way.
+     "(display (call/1cc (lambda (out)"
+     "  (with-handler 'p ((op k) (k 1)) (out 'jumped)))))"
+     "(newline)"
+     "(perform 'p 'op)"},
+    {"handler-one-shot-reuse-error",
+     "(display (with-handler 'd ((op k) (k 1)) (perform 'd 'op)))"
+     "(newline)"
+     "(with-handler 'd ((op k) (k (k 1))) (perform 'd 'op))"},
+    {"handler-parked-k-across-threads",
+     // The clause parks k in a global; a different green thread resumes
+     // it.  The slice lives in the heap, so it travels across the context
+     // switch for free in the one-shot world — and must behave the same
+     // when the shim makes every park a copying capture.
+     "(define k* #f)"
+     "(define out '())"
+     "(spawn (lambda ()"
+     "  (set! out (cons (with-handler 'p ((op k) (set! k* k) 'parked)"
+     "                    (+ 1 (perform 'p 'op)))"
+     "                  out))))"
+     "(spawn (lambda () (set! out (cons (k* 10) out))))"
+     "(scheduler-run)"
+     "(reverse out)"},
+    {"nursery-scope-teardown",
+     "(define out '())"
+     "(define (note x) (set! out (cons x out)))"
+     "(define kids '())"
+     "(spawn (lambda ()"
+     "  (nursery"
+     "   (set! kids (cons (spawn (lambda ()"
+     "     (note 'c1) (channel-recv (make-channel 0)))) kids))"
+     "   (set! kids (cons (spawn (lambda ()"
+     "     (note 'c2) (thread-sleep! 500))) kids))"
+     "   (yield)"
+     "   (note 'end))))"
+     "(scheduler-run)"
+     "(list (reverse out) (map thread-join (reverse kids))"
+     "      (vm-stat 'nursery-cancels))"},
+    {"nursery-fail-cancels-siblings",
+     "(define sib #f)"
+     "(spawn (lambda ()"
+     "  (nursery"
+     "   (set! sib (spawn (lambda () (channel-recv (make-channel 0)))))"
+     "   (spawn (lambda () (nursery-fail 'boom)))"
+     "   (yield) (yield) (yield))))"
+     "(scheduler-run)"
+     "(list (thread-state sib) (thread-join sib))"},
 };
 
 class Differential

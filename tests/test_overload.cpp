@@ -412,6 +412,99 @@ TEST(Overload, PoolShedsAndReapsUnderMixedLoad) {
   }
 }
 
+// --- Reap tears down the connection's task tree ------------------------------
+
+TEST(Overload, ReapedConnectionCancelsItsTaskTree) {
+  // The serving shape in miniature, deterministic end to end: a conn
+  // thread owns a nursery, every in-flight "request" is a child parked on
+  // a channel (one behind a sub-scope of its own), and the connection's
+  // read is deadlined.  The reactor wakes the read with EOF, the conn
+  // thread unwinds, and the scope exit cancels the whole tree — innermost
+  // scope first, spawn order within each — with zero stack words copied
+  // and a byte-identical trace across runs.
+  auto Run = [](std::string &Dump, Stats::Snapshot &Delta) {
+    Interp I;
+    Stats::Snapshot B = I.snapshot();
+    I.trace().start();
+    auto R = I.eval(
+        "(define ch (make-channel 0))"
+        "(define p (open-pipe))"
+        "(io-set-deadline! (car p) 5)"
+        "(define line 'unset)"
+        "(spawn (lambda ()"
+        "  (nursery"
+        "   (spawn (lambda () (channel-recv ch)))"
+        "   (spawn (lambda () (channel-recv ch)))"
+        "   (spawn (lambda ()"
+        "     (nursery"
+        "      (spawn (lambda () (channel-recv ch)))"
+        "      (channel-recv ch))))"
+        "   (set! line (io-read-line (car p))))))"
+        "(scheduler-run)"
+        "(eof-object? line)");
+    ASSERT_TRUE(R.Ok) << R.Error;
+    EXPECT_EQ(I.valueToString(R.Val), "#t");
+    I.trace().stop();
+    Dump = I.trace().toString();
+    Delta = I.snapshot() - B;
+  };
+  std::string A, B;
+  Stats::Snapshot DA, DB;
+  Run(A, DA);
+  if (::testing::Test::HasFatalFailure())
+    return;
+  Run(B, DB);
+  if (::testing::Test::HasFatalFailure())
+    return;
+  // Three direct children plus the grandchild inside the sub-scope.
+  EXPECT_EQ(DA.NurseryCancels, 4u);
+  EXPECT_EQ(DA.Timeouts, 1u);
+  EXPECT_EQ(DA.ConnsReaped, 1u);
+  EXPECT_EQ(DA.WordsCopied, 0u);
+  // Byte-identical run to run: teardown is ordered by the nursery's
+  // lists and the reactor's tick clock, never by wall time.
+  EXPECT_EQ(A, B) << "cancellation trace differs between identical runs";
+  EXPECT_NE(A.find("io-timeout"), std::string::npos) << A;
+  EXPECT_NE(A.find("nursery-cancel"), std::string::npos) << A;
+}
+
+TEST(Overload, PipelinedRequestsAllServedThenReapReclaimsTokens) {
+  // The pipelined conn-loop: one connection fires five EVALs without
+  // waiting, every reply comes back in order, and after the client goes
+  // silent the deadline reaps the connection — the nursery scope closes
+  // with no live handlers and the orphan-token drain leaves the books
+  // balanced, so a later client is served normally.
+  Server::Options O;
+  O.ConnDeadlineMs = 100;
+  O.MaxInflight = 2;
+  Server S(O);
+  ASSERT_TRUE(S.start()) << S.error();
+  Client C;
+  std::string E;
+  ASSERT_TRUE(C.connect(S.tcpPort(), E)) << E;
+  for (int K = 0; K < 5; ++K)
+    ASSERT_TRUE(C.sendLine("EVAL (+ " + std::to_string(K) + " 100)"));
+  for (int K = 0; K < 5; ++K) {
+    std::string Reply;
+    ASSERT_TRUE(C.recvLine(Reply)) << "reply " << K;
+    EXPECT_EQ(Reply, std::to_string(K + 100));
+  }
+  // Silent now: the per-connection deadline reaps us.
+  std::string Reply;
+  EXPECT_FALSE(C.recvLine(Reply, /*TimeoutMs=*/10000));
+  C.close();
+  Client C2;
+  ASSERT_TRUE(C2.connect(S.tcpPort(), E)) << E;
+  EXPECT_EQ(ask(C2, "PING"), "PONG");
+  EXPECT_EQ(ask(C2, "QUIT"), "BYE");
+  C2.close();
+  S.wait();
+  ASSERT_TRUE(S.result().Ok) << S.result().Error;
+  Stats::Snapshot D = S.snapshot() - S.baseline();
+  EXPECT_EQ(D.RequestsServed, 6u);
+  EXPECT_GE(D.ConnsReaped, 1u);
+}
+
 TEST(Overload, ReapTraceIsDeterministic) {
   // Two identical reap runs produce byte-identical per-worker traces:
   // deadlines are measured on the reactor's virtual tick clock, so the

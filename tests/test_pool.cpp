@@ -157,6 +157,14 @@ TEST(Pool, WorkerCrashPropagatesErrorKind) {
   O.Program = "(car 1)";
   Pool P(O);
   mustStart(P);
+  // Gate on the observable counter delta rather than racing stop()
+  // against the restart sequence: the shard crashes on every (re)start,
+  // so once WorkerRestarts reaches the cap the final failure is recorded
+  // and stop() below never depends on crash/join timing.
+  ASSERT_TRUE(spinUntil([&] {
+    return (P.snapshot(0) - P.baseline(0)).WorkerRestarts >=
+           static_cast<uint64_t>(O.MaxWorkerRestarts);
+  }));
   P.stop();
   EXPECT_FALSE(P.error().ok());
   EXPECT_EQ(P.error().Kind, ErrorKind::Runtime);

@@ -7,8 +7,12 @@
 // a steady-state context switch copies zero stack words.
 
 #include "osc.h"
+#include "support/Trace.h"
 
 #include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
 
 using namespace osc;
 
@@ -535,4 +539,210 @@ TEST(Scheduler, EngineRunsInsideAThread) {
                    "(scheduler-run)"
                    "(list result (> expirations 0) (> other 0))"),
             "(144 #t #t)");
+}
+
+// --- Cancellation and nurseries ----------------------------------------------
+//
+// thread-cancel! retires a non-running thread by deadline-style poisoning:
+// the parked one-shot resume point is marked shot (never reinstated, zero
+// stack words copied), the thread is detached from whatever structure
+// would have woken it, and its joiners wake with 'cancelled.  Nurseries
+// (prelude) drive the same primitive for scope teardown.
+
+TEST(Cancel, ReadyThreadNeverRuns) {
+  Interp I;
+  EXPECT_EQ(run(I, "(define ran #f)"
+                   "(define t (spawn (lambda () (yield) (set! ran #t))))"
+                   "(spawn (lambda () (thread-cancel! t)))"
+                   "(scheduler-run)"
+                   "(list ran (thread-state t) (thread-join t))"),
+            "(#f done cancelled)");
+}
+
+TEST(Cancel, BlockedOnChannelCopiesZeroWords) {
+  Interp I;
+  Stats::Snapshot B = I.snapshot();
+  EXPECT_EQ(run(I, "(define ch (make-channel 0))"
+                   "(define t (spawn (lambda () (channel-recv ch))))"
+                   "(spawn (lambda () (yield) (thread-cancel! t)))"
+                   "(scheduler-run)"
+                   "(list (thread-state t) (thread-join t))"),
+            "(done cancelled)");
+  Stats::Snapshot A = I.snapshot();
+  EXPECT_EQ(A.WordsCopied - B.WordsCopied, 0u);
+  EXPECT_EQ(A.NurseryCancels - B.NurseryCancels, 1u);
+}
+
+TEST(Cancel, SleepingThreadIsRemovedFromTheWheel) {
+  Interp I;
+  EXPECT_EQ(run(I, "(define t (spawn (lambda () (thread-sleep! 1000) 'woke)))"
+                   "(spawn (lambda () (yield) (thread-cancel! t)))"
+                   "(scheduler-run)"
+                   "(thread-join t)"),
+            "cancelled");
+}
+
+TEST(Cancel, ParkedSenderLeavesChannelConsistent) {
+  // Cancel a sender parked on a full bounded channel, then drain: the
+  // cancelled send must not deliver, and the channel keeps working.
+  Interp I;
+  EXPECT_EQ(run(I, "(define ch (make-channel 1))"
+                   "(channel-send! ch 'first)"
+                   "(define t (spawn (lambda () (channel-send! ch 'ghost))))"
+                   "(spawn (lambda () (yield) (thread-cancel! t)))"
+                   "(scheduler-run)"
+                   "(define r1 (channel-recv ch))"
+                   "(channel-send! ch 'second)"
+                   "(list r1 (channel-recv ch) (channel-try-recv ch))"),
+            "(first second #f)");
+}
+
+TEST(Cancel, CancelSelfAndDoneAreRefused) {
+  Interp I;
+  EXPECT_EQ(run(I, "(define done-t (spawn (lambda () 'x)))"
+                   "(scheduler-run)"
+                   "(define self-result 'unset)"
+                   "(spawn (lambda ()"
+                   "  (set! self-result (thread-cancel! (current-thread)))))"
+                   "(scheduler-run)"
+                   "(list (thread-cancel! done-t) self-result)"),
+            "(#f #f)");
+}
+
+TEST(Cancel, JoinersWakeWithCancelled) {
+  // Two threads already joined on the victim: cancellation completes the
+  // join like a normal exit would, with the 'cancelled value.
+  Interp I;
+  EXPECT_EQ(run(I, "(define ch (make-channel 0))"
+                   "(define victim (spawn (lambda () (channel-recv ch))))"
+                   "(define a (spawn (lambda () (list 'a (thread-join victim)))))"
+                   "(define b (spawn (lambda () (list 'b (thread-join victim)))))"
+                   "(spawn (lambda () (yield) (thread-cancel! victim)))"
+                   "(scheduler-run)"
+                   "(list (thread-join a) (thread-join b))"),
+            "((a cancelled) (b cancelled))");
+}
+
+TEST(Nursery, ScopeExitCancelsParkedChildren) {
+  Interp I;
+  EXPECT_EQ(run(I, "(define out '())"
+                   "(define (note x) (set! out (cons x out)))"
+                   "(spawn (lambda ()"
+                   "  (nursery"
+                   "   (spawn (lambda ()"
+                   "     (note 'c1) (channel-recv (make-channel 0)) (note 'n1)))"
+                   "   (spawn (lambda ()"
+                   "     (note 'c2) (channel-recv (make-channel 0)) (note 'n2)))"
+                   "   (yield)"
+                   "   (note 'scope-end))))"
+                   "(scheduler-run)"
+                   "(list (reverse out) (vm-stat 'nursery-cancels))"),
+            "((c1 c2 scope-end) 2)");
+}
+
+TEST(Nursery, CompletedChildrenAreNotCancelled) {
+  Interp I;
+  EXPECT_EQ(run(I, "(define t #f)"
+                   "(spawn (lambda ()"
+                   "  (nursery"
+                   "   (set! t (spawn (lambda () 'finished)))"
+                   "   (yield))))"
+                   "(scheduler-run)"
+                   "(list (thread-join t) (vm-stat 'nursery-cancels))"),
+            "(finished 0)");
+}
+
+TEST(Nursery, ChildrenInheritTheScope) {
+  // A child's own spawn enrolls the grandchild in the same nursery, so
+  // closing the scope reaps the whole tree, not just direct children.
+  Interp I;
+  EXPECT_EQ(run(I, "(define gc #f)"
+                   "(spawn (lambda ()"
+                   "  (nursery"
+                   "   (spawn (lambda ()"
+                   "     (set! gc (spawn (lambda ()"
+                   "       (channel-recv (make-channel 0)))))))"
+                   "   (yield) (yield))))"
+                   "(scheduler-run)"
+                   "(list (thread-state gc) (thread-join gc))"),
+            "(done cancelled)");
+}
+
+TEST(Nursery, NestedScopesCancelInnermostFirst) {
+  // The inner nursery closes with its own children when the outer scope
+  // ends; the NurseryCancel trace records the order: inner child before
+  // outer child, each in spawn order.
+  Interp I;
+  I.trace().start();
+  EXPECT_EQ(run(I, "(define inner-tid #f) (define outer-tid #f)"
+                   "(spawn (lambda ()"
+                   "  (nursery"
+                   "   (set! outer-tid (spawn (lambda ()"
+                   "     (channel-recv (make-channel 0)))))"
+                   "   (nursery"
+                   "    (set! inner-tid (spawn (lambda ()"
+                   "      (channel-recv (make-channel 0)))))"
+                   "    (yield) (yield)))))"
+                   "(scheduler-run)"
+                   "(list (thread-state inner-tid) (thread-state outer-tid)"
+                   "      (< inner-tid outer-tid))"),
+            "(done done #f)");
+  I.trace().stop();
+  std::vector<uint64_t> CancelledTids;
+  for (const Trace::Record &R : I.trace().snapshot())
+    if (R.Kind == TraceEvent::NurseryCancel)
+      CancelledTids.push_back(R.Payload[0]);
+  ASSERT_EQ(CancelledTids.size(), 2u) << I.trace().toString();
+  // The inner child has the higher tid (spawned later) but dies first.
+  EXPECT_GT(CancelledTids[0], CancelledTids[1]);
+}
+
+TEST(Nursery, FailCancelsSiblingsImmediately) {
+  Interp I;
+  EXPECT_EQ(run(I, "(define sib #f)"
+                   "(define t (spawn (lambda ()"
+                   "  (nursery"
+                   "   (set! sib (spawn (lambda ()"
+                   "     (channel-recv (make-channel 0)))))"
+                   "   (spawn (lambda () (nursery-fail 'boom)))"
+                   "   (yield) (yield) (yield)))))"
+                   "(scheduler-run)"
+                   "(thread-state sib)"),
+            "done");
+}
+
+TEST(Nursery, SpawnOutsideAnyScopeIsUnmanaged) {
+  Interp I;
+  EXPECT_EQ(run(I, "(define t (spawn (lambda () 'free)))"
+                   "(scheduler-run)"
+                   "(list (thread-join t) (vm-stat 'nursery-cancels))"),
+            "(free 0)");
+}
+
+TEST(Nursery, CancellationTraceIsDeterministic) {
+  // Two identical runs produce byte-identical traces: teardown is driven
+  // by the scheduler's deterministic queues, never wall-clock time.
+  auto Run = [](std::string &Dump) {
+    Interp I;
+    I.trace().start();
+    ASSERT_TRUE(I.eval("(spawn (lambda ()"
+                       "  (nursery"
+                       "   (spawn (lambda () (channel-recv (make-channel 0))))"
+                       "   (spawn (lambda () (thread-sleep! 500)))"
+                       "   (spawn (lambda () (channel-recv (make-channel 0))))"
+                       "   (yield))))"
+                       "(scheduler-run)")
+                    .Ok);
+    I.trace().stop();
+    Dump = I.trace().toString();
+  };
+  std::string A, B;
+  Run(A);
+  if (::testing::Test::HasFatalFailure())
+    return;
+  Run(B);
+  if (::testing::Test::HasFatalFailure())
+    return;
+  EXPECT_EQ(A, B);
+  EXPECT_NE(A.find("nursery-cancel"), std::string::npos) << A;
 }

@@ -306,6 +306,53 @@ const Program Programs[] = {
      "      (deep 30 (lambda ()"
      "        (shift 'outer k (k 0))))))))",
      "60"},
+    // Effect handlers under the same duress: each perform cuts a
+    // multi-segment slice to the handler's mark; the resume splices it
+    // back with every frame intact.
+    {"handler-resume-across-segments",
+     "(define (deep n)"
+     "  (if (zero? n) (perform 'h 'get) (+ 1 (deep (- n 1)))))"
+     "(with-handler 'h ((get k) (k 1000))"
+     "  (deep 60))",
+     "1060"},
+    {"handler-abort-across-segments",
+     // The abort unwinds 50 overflowed frames plus a dynamic-wind; the
+     // after-thunk must run exactly once on the way to the clause.
+     "(define hits 0)"
+     "(define (deep n)"
+     "  (if (zero? n) (perform 'h 'bail 'gone) (+ 1 (deep (- n 1)))))"
+     "(define r (with-handler 'h ((bail k v) v)"
+     "  (dynamic-wind"
+     "    (lambda () #f)"
+     "    (lambda () (deep 50))"
+     "    (lambda () (set! hits (+ hits 1))))))"
+     "(list r hits)",
+     "(gone 1)"},
+    {"handler-repeated-deep-performs",
+     // Deep mode re-establishes the handler on every splice; five rounds
+     // of 40-frame cut/splice cycles must all line up.
+     "(define (deep n)"
+     "  (if (zero? n) (perform 'c 'tick) (+ 1 (deep (- n 1)))))"
+     "(with-handler 'c ((tick k) (k 0))"
+     "  (let loop ((i 0) (acc 0))"
+     "    (if (= i 5) acc (loop (+ i 1) (+ acc (deep 40))))))",
+     "200"},
+    {"nursery-cancels-deep-parked-children",
+     // Each child parks at the bottom of a 40-frame recursion spanning
+     // many 32-word segments; cancellation poisons the parked one-shot
+     // without ever walking or copying those segments.
+     "(define ch (make-channel 0))"
+     "(define (deep n)"
+     "  (if (zero? n) (channel-recv ch) (+ 1 (deep (- n 1)))))"
+     "(define kids '())"
+     "(spawn (lambda ()"
+     "  (nursery"
+     "   (set! kids (cons (spawn (lambda () (deep 40))) kids))"
+     "   (set! kids (cons (spawn (lambda () (deep 40))) kids))"
+     "   (yield))))"
+     "(scheduler-run)"
+     "(map thread-join (reverse kids))",
+     "(cancelled cancelled)"},
 };
 
 class TinySegments

@@ -30,7 +30,7 @@ import json
 import sys
 
 # Workload shape: must match the baseline exactly.
-HARD_EQ = ("clients", "workers", "requests", "accepted")
+HARD_EQ = ("clients", "workers", "requests", "accepted", "yields", "performs")
 
 # Host-timing-flavored counters: warn when current > baseline * ratio.
 WARN_RATIO = {"io_parks": 1.5, "io_wakes": 1.5, "io_wait_peak": 1.5}

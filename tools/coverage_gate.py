@@ -1,0 +1,154 @@
+#!/usr/bin/env python3
+"""Line-coverage gate over raw gcov JSON output.
+
+Walks a gcov-instrumented build tree (the "coverage" CMake preset) for
+.gcda files, asks gcov for JSON intermediate records, aggregates executed
+vs executable lines per source file, and
+
+  * fails when the aggregate line coverage of --filter (default
+    src/control) is below --min percent;
+  * optionally writes an lcov-format tracefile (--lcov-out) so CI can
+    upload a browsable artifact without needing gcovr or lcov installed.
+
+Only first-party sources under --source-root are counted; system headers
+and third-party code are skipped.  A filter that matches no files fails
+the gate — "no data" must never read as "covered".
+
+Usage:
+  coverage_gate.py --build-dir build-coverage [--source-root .]
+                   [--filter src/control] [--min 90]
+                   [--lcov-out coverage.info]
+Exit status: 0 clean, 1 on any failure.
+"""
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+
+
+def find_gcda(build_dir):
+    for root, _dirs, files in os.walk(build_dir):
+        for f in files:
+            if f.endswith(".gcda"):
+                yield os.path.join(root, f)
+
+
+def gcov_json(gcda, gcov="gcov"):
+    """One gcov run; returns the parsed JSON records (possibly several)."""
+    gcda = os.path.realpath(gcda)
+    out = subprocess.run(
+        [gcov, "--stdout", "--json-format", gcda],
+        capture_output=True,
+        cwd=os.path.dirname(gcda),
+    )
+    if out.returncode != 0:
+        return []
+    records = []
+    for line in out.stdout.splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            records.append(json.loads(line))
+        except json.JSONDecodeError:
+            continue
+    return records
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--build-dir", required=True)
+    ap.add_argument("--source-root", default=".")
+    ap.add_argument("--filter", default="src/control",
+                    help="path prefix (relative to --source-root) the "
+                         "--min floor applies to")
+    ap.add_argument("--min", type=float, default=90.0)
+    ap.add_argument("--lcov-out", default=None)
+    ap.add_argument("--gcov", default="gcov")
+    args = ap.parse_args()
+
+    root = os.path.realpath(args.source_root)
+
+    # file -> {line -> hit count}; merged across every test binary that
+    # linked the object.
+    lines = {}
+    gcda_seen = 0
+    for gcda in find_gcda(args.build_dir):
+        gcda_seen += 1
+        for rec in gcov_json(gcda):
+            for f in rec.get("files", []):
+                path = os.path.realpath(
+                    os.path.join(os.path.dirname(gcda), f.get("file", "")))
+                if not path.startswith(root + os.sep):
+                    continue
+                rel = os.path.relpath(path, root)
+                if rel.startswith("build"):
+                    continue  # generated TUs in the build tree
+                per = lines.setdefault(rel, {})
+                for ln in f.get("lines", []):
+                    n = ln.get("line_number")
+                    per[n] = per.get(n, 0) + int(ln.get("count", 0))
+
+    if gcda_seen == 0:
+        print("coverage gate: no .gcda files under %s — did the tests run "
+              "on the instrumented build?" % args.build_dir)
+        return 1
+
+    # Per-directory rollup for the report; per-file detail for the gate's
+    # target prefix.
+    def pct(hit, total):
+        return 100.0 * hit / total if total else 0.0
+
+    by_dir = {}
+    for rel, per in sorted(lines.items()):
+        d = os.path.dirname(rel)
+        hit = sum(1 for c in per.values() if c > 0)
+        by_dir.setdefault(d, [0, 0])
+        by_dir[d][0] += hit
+        by_dir[d][1] += len(per)
+
+    print("%-28s %10s %10s %8s" % ("directory", "lines", "covered", "pct"))
+    for d, (hit, total) in sorted(by_dir.items()):
+        print("%-28s %10d %10d %7.1f%%" % (d, total, hit, pct(hit, total)))
+
+    target_hit = target_total = 0
+    print("\nfiles under %s:" % args.filter)
+    for rel, per in sorted(lines.items()):
+        if not (rel == args.filter or rel.startswith(args.filter + os.sep)):
+            continue
+        hit = sum(1 for c in per.values() if c > 0)
+        target_hit += hit
+        target_total += len(per)
+        print("  %-34s %6d/%-6d %6.1f%%"
+              % (rel, hit, len(per), pct(hit, len(per))))
+
+    if args.lcov_out:
+        with open(args.lcov_out, "w") as out:
+            out.write("TN:\n")
+            for rel, per in sorted(lines.items()):
+                out.write("SF:%s\n" % os.path.join(root, rel))
+                for n in sorted(per):
+                    out.write("DA:%d,%d\n" % (n, per[n]))
+                out.write("LF:%d\n" % len(per))
+                out.write("LH:%d\n" % sum(1 for c in per.values() if c > 0))
+                out.write("end_of_record\n")
+        print("\nWrote %s (%d files)" % (args.lcov_out, len(lines)))
+
+    if target_total == 0:
+        print("coverage gate: filter %r matched no instrumented files"
+              % args.filter)
+        return 1
+    covered = pct(target_hit, target_total)
+    print("\n%s line coverage: %.1f%% (%d/%d), floor %.1f%%"
+          % (args.filter, covered, target_hit, target_total, args.min))
+    if covered < args.min:
+        print("coverage gate: FAIL — below the floor")
+        return 1
+    print("coverage gate: clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
