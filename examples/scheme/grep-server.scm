@@ -1,0 +1,84 @@
+;; A miniature MATCH/STREAM service, entirely inside one VM: a socketpair
+;; stands in for the network, the "server" green thread runs a streaming
+;; grep — each line the client sends is a chunk fed to an incremental
+;; regex matcher, answered in lock-step with AGAIN until the match
+;; decides.  The matcher's between-chunk state lives in a heap object
+;; (a #<regex-stream>), so the server thread parks on a plain one-shot
+;; continuation while it waits — suspending a half-fed match costs zero
+;; copied stack words, the same invariant the TCP MATCH/STREAM verb
+;; (src/serve) keeps.
+;; Run: ./build/examples/osc_run --stats examples/scheme/grep-server.scm
+
+(define sp (open-socketpair))
+(define server-end (car sp))
+(define client-end (cdr sp))
+
+;; The server: first line is the pattern, every further line a chunk.
+;; One reply per chunk: AGAIN / FOUND <s> <e> / NOMATCH; END forces the
+;; end-of-input decision.  The matcher is driven from a generator so
+;; each reply is a one-shot capture to the generator's delimiter —
+;; the exact shape of the real verb's handler.
+(define (match-reply r)
+  (if (pair? r)
+      (string-append "FOUND " (number->string (car r))
+                     " " (number->string (cdr r)))
+      "NOMATCH"))
+
+(define server
+  (spawn
+   (lambda ()
+     (let ((re (regex-try-compile (io-read-line server-end))))
+       (if (not re)
+           (begin (io-write server-end "ERR\n") 'bad-pattern)
+           (let ((g (make-generator
+                     (lambda (v)
+                       (let ((st (regex-stream re)))
+                         (let loop ()
+                           (let ((chunk (io-read-line server-end)))
+                             (cond
+                               ((eof-object? chunk) 'eof)
+                               ((string=? chunk "END")
+                                (yield (match-reply (regex-stream-end! st)))
+                                'done)
+                               (else
+                                (let ((r (regex-stream-feed! st chunk)))
+                                  (if r
+                                      (begin (yield (match-reply r)) 'done)
+                                      (begin (yield "AGAIN")
+                                             (loop)))))))))))))
+             (let drive ((replies 0))
+               (let ((reply (generator-next g)))
+                 (if (eof-object? reply)
+                     replies
+                     (begin (io-write server-end
+                                      (string-append reply "\n"))
+                            (drive (+ replies 1))))))))))))
+
+;; The client: a pattern, then chunks that only complete a match across
+;; a chunk boundary ("nee" + "dle"), reading the lock-step replies.
+(define client
+  (spawn
+   (lambda ()
+     (define (send line) (io-write client-end (string-append line "\n")))
+     (send "nee+dle")
+     (send "a haystack, mostly")
+     (let ((r1 (io-read-line client-end)))
+       (send "with a nee")
+       (let ((r2 (io-read-line client-end)))
+         (send "dle inside")
+         (let ((r3 (io-read-line client-end)))
+           (io-close client-end)
+           (list r1 r2 r3)))))))
+
+(scheduler-run)
+
+(define replies (thread-join client))
+(display "chunk 1:  ") (display (car replies)) (newline)
+(display "chunk 2:  ") (display (car (cdr replies))) (newline)
+(display "chunk 3:  ") (display (car (cdr (cdr replies)))) (newline)
+(display "feeds:    ") (display (vm-stat 'regex-stream-feeds)) (newline)
+(display "io parks: ") (display (> (vm-stat 'io-parks) 0)) (newline)
+(display "zero-copy parks: ")
+(display (if (= (vm-stat 'words-copied) 0) "yes" "no")) (newline)
+
+(list (thread-join server) replies)

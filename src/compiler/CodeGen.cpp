@@ -326,14 +326,21 @@ private:
     Value Rest = cdr(E);
     compileExpr(car(Rest), C, false);
     uint32_t ElseJump = emitJump(C, Op::JumpIfFalse);
+    // Both arms start from the same stack depth.  A tail-position arm may
+    // leave C.Depth inflated (a let in tail position skips its SetTop —
+    // the Return makes it moot), and Call bakes the compile-time depth
+    // into the instruction, so the other arm must not inherit it.
+    uint32_t BranchDepth = C.Depth;
     compileExpr(car(cdr(Rest)), C, Tail);
     if (Tail) {
       patchJump(C, ElseJump);
+      C.Depth = BranchDepth;
       compileExpr(car(cdr(cdr(Rest))), C, true);
       return;
     }
     uint32_t EndJump = emitJump(C, Op::Jump);
     patchJump(C, ElseJump);
+    C.Depth = BranchDepth;
     compileExpr(car(cdr(cdr(Rest))), C, false);
     patchJump(C, EndJump);
   }

@@ -32,6 +32,10 @@ const char *osc::objKindName(ObjKind K) {
     return "continuation";
   case ObjKind::StackSegment:
     return "stack-segment";
+  case ObjKind::RegexProg:
+    return "regex";
+  case ObjKind::RegexStream:
+    return "regex-stream";
   }
   oscUnreachable("bad ObjKind");
 }
@@ -158,6 +162,34 @@ Native *Heap::allocNative(Value Name, NativeFn Fn, uint16_t MinArgs,
   return N;
 }
 
+RegexProg *Heap::allocRegexProg(Value Pattern, const uint32_t *Instrs,
+                                uint32_t NInstrs) {
+  size_t Bytes =
+      sizeof(RegexProg) + (NInstrs ? NInstrs - 1 : 0) * sizeof(uint32_t);
+  auto *P = static_cast<RegexProg *>(rawAlloc(Bytes, ObjKind::RegexProg));
+  P->Pattern = Pattern;
+  P->NInstrs = NInstrs;
+  std::memcpy(P->Instrs, Instrs, NInstrs * sizeof(uint32_t));
+  return P;
+}
+
+RegexStream *Heap::allocRegexStream(Value Prog, uint32_t Cap) {
+  size_t Bytes =
+      sizeof(RegexStream) + (Cap ? Cap - 1 : 0) * sizeof(RegexThread);
+  auto *M = static_cast<RegexStream *>(rawAlloc(Bytes, ObjKind::RegexStream));
+  M->Prog = Prog;
+  M->Offset = 0;
+  M->BestStart = -1;
+  M->BestEnd = -1;
+  M->Steps = 0;
+  M->Mode = 0;
+  M->Decided = 0;
+  M->SpawnDead = false;
+  M->NThreads = 0;
+  M->Cap = Cap;
+  return M;
+}
+
 Continuation *Heap::allocContinuation() {
   auto *K = static_cast<Continuation *>(
       rawAlloc(sizeof(Continuation), ObjKind::Continuation));
@@ -266,6 +298,13 @@ void Heap::traceObject(ObjHeader *O, GCVisitor &V) {
   case ObjKind::StackSegment:
     // Segments carry no intrinsic children; live slot ranges are scanned by
     // whoever views them (continuations above, the control stack root).
+    return;
+  case ObjKind::RegexProg:
+    V.visit(static_cast<RegexProg *>(O)->Pattern);
+    return;
+  case ObjKind::RegexStream:
+    // Thread entries are plain pc/offset integers, not Values.
+    V.visit(static_cast<RegexStream *>(O)->Prog);
     return;
   }
   oscUnreachable("bad ObjKind in traceObject");

@@ -114,6 +114,12 @@ public:
   Native *allocNative(Value Name, NativeFn Fn, uint16_t MinArgs,
                       int16_t MaxArgs, NativeSpecial Special);
   Continuation *allocContinuation();
+  /// Allocates a compiled regex program; copies \p Instrs inline.
+  RegexProg *allocRegexProg(Value Pattern, const uint32_t *Instrs,
+                            uint32_t NInstrs);
+  /// Allocates a streaming matcher with room for \p Cap blocked threads
+  /// (one per program instruction suffices; the engine dedups by pc).
+  RegexStream *allocRegexStream(Value Prog, uint32_t Cap);
   /// Allocates a zero-filled stack segment of \p Capacity slots.
   StackSegment *allocSegment(uint32_t Capacity);
 

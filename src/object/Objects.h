@@ -39,6 +39,8 @@ enum class ObjKind : uint8_t {
   Native,
   Continuation,
   StackSegment,
+  RegexProg,
+  RegexStream,
 };
 
 /// Returns a human-readable name for \p K ("pair", "vector", ...).
@@ -213,6 +215,48 @@ struct Native : ObjHeader {
   uint16_t MinArgs;
   int16_t MaxArgs; ///< -1 for variadic.
   NativeSpecial Special;
+};
+
+// --- Compiled regular expressions (src/regex) --------------------------------
+
+/// A compiled regex program: the source pattern (for printing and
+/// diagnostics) plus the flat bytecode emitted by regex::compile, stored
+/// inline exactly like Code stores its instruction words.  Immutable
+/// after allocation, so one program can back any number of concurrent
+/// matchers.
+struct RegexProg : ObjHeader {
+  static constexpr ObjKind ClassKind = ObjKind::RegexProg;
+  Value Pattern; ///< The source pattern String.
+  uint32_t NInstrs;
+  uint32_t Instrs[1]; ///< Inline bytecode words.
+};
+
+/// One blocked NFA thread of a streaming matcher: the instruction it
+/// waits at and the absolute input offset its match attempt started at.
+struct RegexThread {
+  uint32_t Pc;
+  int64_t Start;
+};
+
+/// The persistent state of one incremental (streaming) matcher: the
+/// program, the live thread list carried across chunk boundaries, and
+/// the best-match-so-far bookkeeping.  regex::Machine is the engine's
+/// flat view of these fields; the primitives copy in/out around each
+/// feed.  Thread Start offsets are plain integers, so the GC only has
+/// the Prog reference to trace.
+struct RegexStream : ObjHeader {
+  static constexpr ObjKind ClassKind = ObjKind::RegexStream;
+  Value Prog;        ///< The RegexProg being run.
+  uint64_t Offset;   ///< Absolute bytes scanned so far.
+  int64_t BestStart; ///< Leftmost match start; -1 while none.
+  int64_t BestEnd;
+  uint64_t Steps;   ///< Cumulative thread-state visits.
+  uint8_t Mode;     ///< regex::Mode.
+  uint8_t Decided;  ///< regex::Decision.
+  bool SpawnDead;   ///< '^'-anchored: spawns past offset 0 are dead.
+  uint32_t NThreads;
+  uint32_t Cap;              ///< Thread capacity (== program NInstrs).
+  RegexThread Threads[1];    ///< Inline, Cap entries.
 };
 
 // --- The segmented control stack (data half) ---------------------------------

@@ -61,6 +61,43 @@ const char *Server::protocolSource() {
          (else 'err))))
     (else 'err)))
 
+;; MATCH <pattern> <text>: whole-payload regex search.  The pattern ends
+;; at the first space that is neither inside a [...] class nor preceded
+;; by a backslash — so a literal space in a pattern is spelled [ ] or
+;; "\ "; everything after the separator, spaces included, is the text.
+;; Bad patterns answer ERR via regex-try-compile — a client typo must
+;; not unwind the connection thread.
+(define (pattern-split s)
+  (let loop ((i 0) (in-class #f) (esc #f))
+    (if (>= i (string-length s))
+        #f
+        (let ((c (substring s i (+ i 1))))
+          (cond
+            (esc (loop (+ i 1) in-class #f))
+            ((string=? c "\\") (loop (+ i 1) in-class #t))
+            ((and in-class (string=? c "]")) (loop (+ i 1) #f #f))
+            ((and (not in-class) (string=? c "[")) (loop (+ i 1) #t #f))
+            ((and (not in-class) (string=? c " ")) i)
+            (else (loop (+ i 1) in-class #f)))))))
+
+(define (match-reply r)
+  (if (pair? r)
+      (string-append "FOUND " (number->string (car r)) " "
+                     (number->string (cdr r)))
+      "NOMATCH"))
+
+(define (handle-match payload)
+  (let ((sp (pattern-split payload)))
+    (if (not sp)
+        "ERR"
+        (let ((re (regex-try-compile (substring payload 0 sp))))
+          (if (not re)
+              "ERR"
+              (let ((r (regex-search
+                        re (substring payload (+ sp 1)
+                                      (string-length payload)))))
+                (if r (match-reply r) "NOMATCH")))))))
+
 (define (answer line)
   (cond
     ((string=? line "PING") "PONG")
@@ -70,6 +107,8 @@ const char *Server::protocolSource() {
            "ERR"
            (let ((v (safe-eval d)))
              (if (eq? v 'err) "ERR" (number->string v))))))
+    ((starts-with? line "MATCH ")
+     (handle-match (substring line 6 (string-length line))))
     (else "ERR")))
 
 ;; STREAM (e1 e2 ...): one PART line per expression, then DONE.  The parts
@@ -98,6 +137,46 @@ const char *Server::protocolSource() {
                                (if (eq? p 'err) "ERR" (number->string p))
                                "\n"))
                     (loop)))))))))
+
+;; MATCH/STREAM <pattern>: incremental regex over chunks the client
+;; sends as lines after the verb.  Lock-step: every chunk line gets a
+;; reply — AGAIN while the matcher is undecided, FOUND s e / NOMATCH the
+;; moment it settles (an END line forces the decision at end-of-input).
+;; The matcher is driven from a generator exactly like STREAM's parts:
+;; the body reads a chunk inside the generator's reset, feeds the
+;; RegexStream, and parks at (yield reply) as a one-shot delimited
+;; capture; the drive loop below resumes it with zero stack words copied
+;; after each io-write.  The io-read-line inside the body parks the
+;; whole connection thread with the suspended slice riding in the heap,
+;; so a slow client is reaped by the ordinary *conn-deadline-ms* clock:
+;; the parked read wakes with EOF, the generator returns, and the verb
+;; unwinds exactly like an EOF'd conn-loop.
+(define (handle-match-stream conn pat)
+  (let ((re (regex-try-compile pat)))
+    (if (not re)
+        (io-write conn "ERR\n")
+        (let ((g (make-generator
+                  (lambda (v)
+                    (let ((st (regex-stream re)))
+                      (let loop ()
+                        (let ((chunk (io-read-line conn)))
+                          (cond
+                            ((eof-object? chunk) 'eof)
+                            ((string=? chunk "END")
+                             (yield (match-reply (regex-stream-end! st)))
+                             'done)
+                            (else
+                             (let ((r (regex-stream-feed! st chunk)))
+                               (if r
+                                   (begin (yield (match-reply r)) 'done)
+                                   (begin (yield "AGAIN") (loop)))))))))))))
+          (let drive ()
+            (let ((reply (generator-next g)))
+              (if (eof-object? reply)
+                  'done
+                  (begin
+                    (io-write conn (string-append reply "\n"))
+                    (drive)))))))))
 
 ;; One green thread per request: it writes the reply (parking if the
 ;; socket is full) and bumps the RequestsServed counter.  The counter is
@@ -129,6 +208,15 @@ const char *Server::protocolSource() {
        (io-write conn "BYE\n")
        (io-close conn)
        (on-quit))
+      ;; MATCH/STREAM runs inline, not spawned: the handler reads chunk
+      ;; lines off this very connection, so a spawned copy would race the
+      ;; pipelined reader for bytes.  The conn resumes normal dispatch
+      ;; when the verb settles (or the connection is reaped mid-stream,
+      ;; in which case the recursive io-read-line sees EOF and unwinds).
+      ((starts-with? line "MATCH/STREAM ")
+       (serve-request-done!)
+       (handle-match-stream conn (substring line 13 (string-length line)))
+       (conn-loop conn bump))
       (else
        (channel-send! %tokens 1)
        (bump 1)

@@ -180,6 +180,19 @@ void printValue(std::ostringstream &OS, Value V, bool Write, unsigned Depth) {
   case ObjKind::StackSegment:
     OS << "#<stack-segment " << castObj<StackSegment>(V)->Capacity << '>';
     return;
+  case ObjKind::RegexProg: {
+    auto *P = castObj<RegexProg>(V);
+    OS << "#<regex";
+    if (isObj<String>(P->Pattern))
+      OS << " \"" << castObj<String>(P->Pattern)->view() << '"';
+    OS << '>';
+    return;
+  }
+  case ObjKind::RegexStream: {
+    auto *M = castObj<RegexStream>(V);
+    OS << "#<regex-stream offset=" << M->Offset << '>';
+    return;
+  }
   }
   oscUnreachable("bad ObjKind in printValue");
 }

@@ -113,7 +113,16 @@ namespace osc {
   X(Performs)             /* (perform tag op ...) dispatches. */           \
   X(NurseryCancels)       /* Green threads cancelled by nursery escape     \
                              poisoning (scope exit / child failure /       \
-                             connection reap). */
+                             connection reap). */                          \
+  /* Regex engine (src/regex).  RegexSteps counts Pike-VM thread-state    \
+     visits; dedup-by-pc bounds it by (bytes + 1) * program size, the     \
+     machine-independent linearity witness bench_regex gates the          \
+     pathological (a?)^n a^n column on. */                                \
+  X(RegexCompiles)        /* Patterns compiled to bytecode. */            \
+  X(RegexExecs)           /* match/search/stream runs started. */         \
+  X(RegexStreamFeeds)     /* Chunks fed to streaming matchers. */         \
+  X(RegexBytesScanned)    /* Input bytes the executor consumed. */        \
+  X(RegexSteps)           /* Thread-state visits (linearity bound). */
 // clang-format on
 
 /// Counter block for one interpreter instance.  All counters are monotonic

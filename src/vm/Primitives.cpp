@@ -711,6 +711,16 @@ Value primVmStat(VM &Vm, Value *A, uint32_t) {
     V = St.Performs;
   else if (N == "nursery-cancels")
     V = St.NurseryCancels;
+  else if (N == "regex-compiles")
+    V = St.RegexCompiles;
+  else if (N == "regex-execs")
+    V = St.RegexExecs;
+  else if (N == "regex-stream-feeds")
+    V = St.RegexStreamFeeds;
+  else if (N == "regex-bytes-scanned")
+    V = St.RegexBytesScanned;
+  else if (N == "regex-steps")
+    V = St.RegexSteps;
   else
     return Vm.fail("vm-stat: unknown counter: " + std::string(N));
   return Value::fixnum(static_cast<int64_t>(V));
@@ -1254,6 +1264,7 @@ static const NativeDef PrimDefs[] = {
 void osc::installPrimitives(VM &Vm) {
   Vm.defineNatives(SpecialDefs);
   Vm.defineNatives(PrimDefs);
+  installRegexPrimitives(Vm);
 
   // The EOF sentinel (also what channel-recv yields on a closed channel).
   Vm.defineGlobal("*eof*", Vm.eofObject());

@@ -442,6 +442,10 @@ private:
 /// Installs the standard primitive library into \p Vm (Primitives.cpp).
 void installPrimitives(VM &Vm);
 
+/// Installs the regex subsystem's natives (RegexPrims.cpp); called by
+/// installPrimitives.
+void installRegexPrimitives(VM &Vm);
+
 /// Source text of the Scheme prelude (Prelude.cpp): list utilities,
 /// dynamic-wind, the call/cc and call/1cc wrappers, derived procedures.
 const char *preludeSource();

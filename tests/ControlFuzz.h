@@ -62,9 +62,28 @@ enum class FKind {
   EscCc,          ///< (call/cc  (lambda (k) ...)) — same shape
   GenDrive,       ///< make-generator with two yields, driven to eof, summed
   AsyncRun,       ///< (let ((f (async body))) (scheduler-run) (future-get f))
+  RegexSearch,    ///< (+ kid <span-sum of a fixed regex-search>) — exercises
+                  ///< regex heap objects (and their GC tracing) inside
+                  ///< arbitrary control nests; Op picks the pattern/text pair
 };
 
-constexpr int NumFKinds = static_cast<int>(FKind::AsyncRun) + 1;
+constexpr int NumFKinds = static_cast<int>(FKind::RegexSearch) + 1;
+
+/// The RegexSearch pattern/text pairs, indexed by FNode::Op.  Spans are
+/// fixed, so the leaf's value is a compile-time-known integer: matches
+/// contribute start+end, a miss contributes 0.
+struct RegexCase {
+  const char *Pat;
+  const char *Text;
+};
+constexpr RegexCase RegexCases[] = {
+    {"a+b", "zzaab"},    // (2 . 5)  -> 7
+    {"[0-9]+", "x42y"},  // (1 . 3)  -> 4
+    {"q", "nope"},       // #f       -> 0
+    {"^ab?c$", "ac"},    // (0 . 2)  -> 2
+};
+constexpr int NumRegexCases =
+    static_cast<int>(sizeof(RegexCases) / sizeof(RegexCases[0]));
 
 struct FNode {
   FKind K = FKind::Lit;
@@ -195,6 +214,15 @@ inline void renderInto(const FNode &N, std::string &S) {
     renderInto(N.Kids[0], S);
     S += "))) (scheduler-run) (future-get f" + U + "))";
     return;
+  case FKind::RegexSearch: {
+    const RegexCase &RC = RegexCases[N.Op % NumRegexCases];
+    S += "(+ ";
+    renderInto(N.Kids[0], S);
+    S += " (let ((m" + U + " (regex-search (regex-compile \"" +
+         std::string(RC.Pat) + "\") \"" + RC.Text + "\")))" //
+         " (if (pair? m" + U + ") (+ (car m" + U + ") (cdr m" + U + ")) 0)))";
+    return;
+  }
   }
 }
 
@@ -242,6 +270,7 @@ inline FNode genExpr(Rng &R, GenCtx Ctx, int &Budget, int &Uid) {
       {FKind::HandlerDeep, 10}, {FKind::HandlerShallow, 4},
       {FKind::Wind, 8},        {FKind::Esc1cc, 5},
       {FKind::EscCc, 3},       {FKind::GenDrive, 5},
+      {FKind::RegexSearch, 4},
   };
   if (!Ctx.ResetTags.empty()) {
     Cs.push_back({FKind::ShiftResume, 9});
@@ -345,6 +374,10 @@ inline FNode genExpr(Rng &R, GenCtx Ctx, int &Budget, int &Uid) {
     N.Kids.push_back(genExpr(R, Body, Budget, Uid));
     return N;
   }
+  case FKind::RegexSearch:
+    N.Op = static_cast<int>(R.below(static_cast<uint32_t>(NumRegexCases)));
+    N.Kids.push_back(genExpr(R, Inner, Budget, Uid));
+    return N;
   }
   return genLit(R);
 }

@@ -506,6 +506,87 @@ const Program Programs[] = {
      "   (yield) (yield) (yield))))"
      "(scheduler-run)"
      "(list (thread-state sib) (thread-join sib))"},
+    // The regex subsystem rides the same substrate: natives never park,
+    // but streams are fed from parked threads, driven by generators, and
+    // escaped out of via call/1cc — all shapes the shim must not perturb.
+    {"regex-scan-with-escape",
+     // call/1cc escape out of a match-scanning loop the moment the
+     // running total crosses a threshold.
+     "(define re (regex-compile \"[0-9]+\"))"
+     "(define (first-long-run text)"
+     "  (call/1cc (lambda (found)"
+     "    (let loop ((at 0))"
+     "      (let ((m (regex-search re (substring text at"
+     "                                           (string-length text)))))"
+     "        (if m"
+     "            (let ((w (- (cdr m) (car m))))"
+     "              (if (> w 2) (found (+ at (car m)))"
+     "                  (loop (+ at (cdr m)))))"
+     "            'none))))))"
+     "(list (first-long-run \"a1 b22 c333 d4444\")"
+     "      (first-long-run \"x1 y2\"))"},
+    {"regex-try-compile-fallback",
+     "(define (grep pat text)"
+     "  (let ((re (regex-try-compile pat)))"
+     "    (if re (regex-search re text) 'bad-pattern)))"
+     "(list (grep \"a(b|c)+d\" \"zzacbcbd!\")"
+     "      (grep \"a(b|cd\" \"whatever\")"
+     "      (grep \"x{2,3}\" \"wxxxy\"))"},
+    {"regex-stream-across-threads",
+     // Producer thread channel-feeds chunks; consumer feeds the stream.
+     // Every handoff parks both sides through the machinery the shim
+     // turns into copying captures — the decision must not move.
+     "(define re (regex-compile \"end\\\\.\"))"
+     "(define ch (make-channel 0))"
+     "(define st (regex-stream re))"
+     "(define t (spawn (lambda ()"
+     "  (let loop ((r #f))"
+     "    (let ((c (channel-recv ch)))"
+     "      (if (eof-object? c) (list r (regex-stream-offset st))"
+     "          (loop (or r (regex-stream-feed! st c)))))))))"
+     "(spawn (lambda ()"
+     "  (for-each (lambda (c) (channel-send! ch c))"
+     "            '(\"the e\" \"n\" \"d. trailer\"))"
+     "  (channel-close! ch)))"
+     "(scheduler-run)"
+     "(thread-join t)"},
+    {"regex-stream-generator",
+     // The MATCH/STREAM shape in miniature: a generator feeds a stream
+     // and yields each verdict; the driver pulls until decided.
+     "(define re (regex-compile \"ab+c\"))"
+     "(define g (make-generator"
+     "  (lambda (chunks)"
+     "    (let ((st (regex-stream re)))"
+     "      (let loop ((cs chunks))"
+     "        (if (null? cs) (regex-stream-end! st)"
+     "            (let ((r (regex-stream-feed! st (car cs))))"
+     "              (if r r (begin (yield 'again) (loop (cdr cs)))))))))))"
+     "(let loop ((v (generator-next g '(\"xxa\" \"bb\" \"bcyy\")))"
+     "           (acc '()))"
+     "  (if (or (pair? v) (eof-object? v)) (cons v (reverse acc))"
+     "      (loop (generator-next g #f) (cons v acc))))"},
+    {"regex-under-handler",
+     // The clause re-performs: each search result travels through a
+     // cut/splice round trip before the body sees it.
+     "(define re (regex-compile \"w[aeiou]rd\"))"
+     "(with-handler 'grep ((scan k text) (k (regex-search re text)))"
+     "  (list (perform 'grep 'scan \"a word here\")"
+     "        (perform 'grep 'scan \"no luck\")"
+     "        (perform 'grep 'scan \"wyrd?\")))"},
+    {"regex-stream-one-shot-reuse-error",
+     // A mid-stream suspension is a one-shot continuation; resuming it
+     // completes the match across the chunk boundary, and a second
+     // invoke of the spent resume must error identically in both worlds.
+     "(define re (regex-compile \"zz\"))"
+     "(define saved #f)"
+     "(display (reset 'p"
+     "  (let ((st (regex-stream re)))"
+     "    (regex-stream-feed! st \"az\")"
+     "    (shift 'p k (set! saved k) 'suspended)"
+     "    (regex-stream-feed! st \"za\"))))"
+     "(newline)"
+     "(display (saved 'resume)) (newline)"
+     "(saved 'resume)"},
 };
 
 class Differential

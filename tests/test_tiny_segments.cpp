@@ -353,6 +353,52 @@ const Program Programs[] = {
      "(scheduler-run)"
      "(map thread-join (reverse kids))",
      "(cancelled cancelled)"},
+    // Regex streaming under the same duress.  The natives never park, but
+    // the threads and generators that drive them do — with 32-word
+    // segments every chunk handoff crosses split segments.
+    {"regex-stream-deep-feeder",
+     // The feeder sits at the bottom of a 40-frame tower when it parks on
+     // the channel; each resume reinstates the tower, then feeds.
+     "(define re (regex-compile \"se+k\"))"
+     "(define ch (make-channel 0))"
+     "(define st (regex-stream re))"
+     "(define (deep n)"
+     "  (if (zero? n)"
+     "      (let loop ((r #f))"
+     "        (let ((c (channel-recv ch)))"
+     "          (if (eof-object? c) r (loop (or r (regex-stream-feed! st c))))))"
+     "      (car (cons (deep (- n 1)) n))))"
+     "(define t (spawn (lambda () (deep 40))))"
+     "(spawn (lambda ()"
+     "  (for-each (lambda (c) (channel-send! ch c)) '(\"xse\" \"ee\" \"eky\"))"
+     "  (channel-close! ch)))"
+     "(scheduler-run)"
+     "(thread-join t)",
+     "(1 . 7)"},
+    {"regex-generator-verdicts",
+     // A generator feeds byte-at-a-time chunks and yields each interim
+     // verdict; every yield/next is a cut/splice over tiny segments.
+     "(define re (regex-compile \"ab*c$\"))"
+     "(define g (make-generator"
+     "  (lambda (chunks)"
+     "    (let ((st (regex-stream re)))"
+     "      (for-each (lambda (c) (yield (regex-stream-feed! st c))) chunks)"
+     "      (yield (regex-stream-end! st))))))"
+     "(let loop ((v (generator-next g '(\"a\" \"b\" \"b\" \"c\")))"
+     "           (acc '()))"
+     "  (if (eof-object? v) (reverse acc)"
+     "      (loop (generator-next g #f) (cons v acc))))",
+     "(#f #f #f #f (0 . 4))"},
+    {"regex-search-from-handler-clause",
+     // The clause runs the search, so the result rides the resume's
+     // splice across segment boundaries from 30 frames down.
+     "(define re (regex-compile \"n[0-9]+\"))"
+     "(define (deep n text)"
+     "  (if (zero? n) (perform 'rx 'scan text)"
+     "      (car (cons (deep (- n 1) text) n))))"
+     "(with-handler 'rx ((scan k text) (k (regex-search re text)))"
+     "  (list (deep 30 \"abn42z\") (deep 30 \"none\")))",
+     "((2 . 5) #f)"},
 };
 
 class TinySegments

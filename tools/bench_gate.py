@@ -7,9 +7,13 @@ Compares a benchmark's --json output against its checked-in baseline
   * the zero-copy invariant is absolute — any one-shot column reporting
     words_copied above its baseline, or any per-shard words_copied above
     zero, fails the gate;
-  * workload-shape counters (requests, accepted, clients, workers) must
-    match the baseline exactly — a drifted workload makes every other
-    comparison meaningless;
+  * workload-shape counters (requests, accepted, clients, workers,
+    bytes, chunks, n) must match the baseline exactly — a drifted
+    workload makes every other comparison meaningless;
+  * a baseline may name extra exact-equality fields in a top-level
+    "hard_eq" list; these apply to its one-shot columns only (bench_regex
+    uses this to pin words_copied to exactly zero — a *decrease* from a
+    nonzero baseline would mean the column stopped measuring parks);
   * scheduling-flavored counters (io_parks, io_wakes, io_wait_peak) only
     warn, with a generous ratio, since they legitimately vary with host
     timing;
@@ -30,7 +34,17 @@ import json
 import sys
 
 # Workload shape: must match the baseline exactly.
-HARD_EQ = ("clients", "workers", "requests", "accepted", "yields", "performs")
+HARD_EQ = (
+    "clients",
+    "workers",
+    "requests",
+    "accepted",
+    "yields",
+    "performs",
+    "bytes",
+    "chunks",
+    "n",
+)
 
 # Host-timing-flavored counters: warn when current > baseline * ratio.
 WARN_RATIO = {"io_parks": 1.5, "io_wakes": 1.5, "io_wait_peak": 1.5}
@@ -47,7 +61,7 @@ def column_key(col):
     return "<unnamed>"
 
 
-def gate_column(key, base, cur, failures, warnings):
+def gate_column(key, base, cur, failures, warnings, extra_hard_eq=()):
     # The paper's invariant, end to end: one-shot serving copies no stack
     # words.  Columns that are explicitly multi-shot (one_shot: false)
     # are informational and exempt.
@@ -72,6 +86,18 @@ def gate_column(key, base, cur, failures, warnings):
                 "%s: %s = %r differs from baseline %r"
                 % (key, field, cur.get(field), base[field])
             )
+
+    # Baseline-declared exact-equality fields: one-shot columns only (a
+    # copying shim's counts legitimately vary with scheduling), and
+    # stricter than the words_copied <= baseline check above — equality
+    # catches a column that silently stopped measuring.
+    if one_shot:
+        for field in extra_hard_eq:
+            if field in base and base[field] != cur.get(field):
+                failures.append(
+                    "%s: %s = %r must equal baseline %r (hard_eq)"
+                    % (key, field, cur.get(field), base[field])
+                )
 
     for field, ratio in WARN_RATIO.items():
         if field in base and field in cur and base[field] > 0:
@@ -106,13 +132,14 @@ def gate(base, cur):
                 % (field, cur.get(field), base[field])
             )
 
+    extra_hard_eq = tuple(base.get("hard_eq", ()))
     base_cols = {column_key(c): c for c in base.get("columns", [])}
     cur_cols = {column_key(c): c for c in cur.get("columns", [])}
     for key, bcol in base_cols.items():
         if key not in cur_cols:
             failures.append("column %s missing from current run" % key)
             continue
-        gate_column(key, bcol, cur_cols[key], failures, warnings)
+        gate_column(key, bcol, cur_cols[key], failures, warnings, extra_hard_eq)
     for key in cur_cols:
         if key not in base_cols:
             warnings.append("column %s has no baseline (new configuration?)" % key)

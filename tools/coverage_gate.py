@@ -6,7 +6,8 @@ Walks a gcov-instrumented build tree (the "coverage" CMake preset) for
 vs executable lines per source file, and
 
   * fails when the aggregate line coverage of --filter (default
-    src/control) is below --min percent;
+    src/control) is below --min percent; additional per-directory floors
+    stack via repeatable --floor prefix=min (e.g. --floor src/regex=85);
   * optionally writes an lcov-format tracefile (--lcov-out) so CI can
     upload a browsable artifact without needing gcovr or lcov installed.
 
@@ -17,6 +18,7 @@ the gate — "no data" must never read as "covered".
 Usage:
   coverage_gate.py --build-dir build-coverage [--source-root .]
                    [--filter src/control] [--min 90]
+                   [--floor src/regex=85]...
                    [--lcov-out coverage.info]
 Exit status: 0 clean, 1 on any failure.
 """
@@ -65,6 +67,10 @@ def main():
                     help="path prefix (relative to --source-root) the "
                          "--min floor applies to")
     ap.add_argument("--min", type=float, default=90.0)
+    ap.add_argument("--floor", action="append", default=[],
+                    metavar="PREFIX=MIN",
+                    help="extra floor, repeatable: a path prefix and its "
+                         "minimum percent, e.g. src/regex=85")
     ap.add_argument("--lcov-out", default=None)
     ap.add_argument("--gcov", default="gcov")
     args = ap.parse_args()
@@ -113,16 +119,28 @@ def main():
     for d, (hit, total) in sorted(by_dir.items()):
         print("%-28s %10d %10d %7.1f%%" % (d, total, hit, pct(hit, total)))
 
-    target_hit = target_total = 0
-    print("\nfiles under %s:" % args.filter)
-    for rel, per in sorted(lines.items()):
-        if not (rel == args.filter or rel.startswith(args.filter + os.sep)):
-            continue
-        hit = sum(1 for c in per.values() if c > 0)
-        target_hit += hit
-        target_total += len(per)
-        print("  %-34s %6d/%-6d %6.1f%%"
-              % (rel, hit, len(per), pct(hit, len(per))))
+    floors = [(args.filter, args.min)]
+    for spec in args.floor:
+        prefix, _, minimum = spec.partition("=")
+        if not minimum:
+            print("coverage gate: malformed --floor %r (want prefix=min)"
+                  % spec)
+            return 1
+        floors.append((prefix, float(minimum)))
+
+    totals = {}
+    for prefix, _minimum in floors:
+        target_hit = target_total = 0
+        print("\nfiles under %s:" % prefix)
+        for rel, per in sorted(lines.items()):
+            if not (rel == prefix or rel.startswith(prefix + os.sep)):
+                continue
+            hit = sum(1 for c in per.values() if c > 0)
+            target_hit += hit
+            target_total += len(per)
+            print("  %-34s %6d/%-6d %6.1f%%"
+                  % (rel, hit, len(per), pct(hit, len(per))))
+        totals[prefix] = (target_hit, target_total)
 
     if args.lcov_out:
         with open(args.lcov_out, "w") as out:
@@ -136,15 +154,22 @@ def main():
                 out.write("end_of_record\n")
         print("\nWrote %s (%d files)" % (args.lcov_out, len(lines)))
 
-    if target_total == 0:
-        print("coverage gate: filter %r matched no instrumented files"
-              % args.filter)
-        return 1
-    covered = pct(target_hit, target_total)
-    print("\n%s line coverage: %.1f%% (%d/%d), floor %.1f%%"
-          % (args.filter, covered, target_hit, target_total, args.min))
-    if covered < args.min:
-        print("coverage gate: FAIL — below the floor")
+    failed = False
+    print("")
+    for prefix, minimum in floors:
+        target_hit, target_total = totals[prefix]
+        if target_total == 0:
+            print("coverage gate: filter %r matched no instrumented files"
+                  % prefix)
+            failed = True
+            continue
+        covered = pct(target_hit, target_total)
+        print("%s line coverage: %.1f%% (%d/%d), floor %.1f%%"
+              % (prefix, covered, target_hit, target_total, minimum))
+        if covered < minimum:
+            print("coverage gate: FAIL — %s below the floor" % prefix)
+            failed = True
+    if failed:
         return 1
     print("coverage gate: clean")
     return 0
