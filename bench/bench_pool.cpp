@@ -2,20 +2,32 @@
 ///
 /// \file
 /// The sharded-pool benchmark: the same PING/EVAL traffic as bench_serve,
-/// but served by Pool with 1, 2 and 4 workers.  Each worker is a whole
-/// Interp + Reactor on its own OS thread, so throughput should scale
-/// near-linearly with the shard count — while the paper's invariant holds
-/// on every shard independently: zero stack words copied per steady-state
-/// park.
+/// but served by Pool with 1, 2 and 4 workers over both accept paths.
+/// Each worker is a whole Interp + Reactor on its own OS thread, so
+/// throughput should scale near-linearly with the shard count — while the
+/// paper's invariant holds on every shard independently: zero stack words
+/// copied per steady-state park.
+///
+/// Columns:
+///
+///   * reuseport w1/w2/w4 at 64 clients — the scaling series on the
+///     default accept path (every shard owns a SO_REUSEPORT listener and
+///     accepts in-shard, no cross-thread handoff);
+///   * reuseport w4 at 256 clients — admission burst, worker count fixed;
+///   * central w1/w4 at 64 clients — the fallback path (one acceptor
+///     thread batching fds into per-shard MPSC queues), kept measured so
+///     a regression in either path is visible against the other.
 ///
 /// Two checks gate the run:
 ///
 ///   * per-shard zero-copy (always enforced): no worker in any column may
 ///     copy a single stack word while serving;
-///   * scaling (enforced only with >= 5 hardware threads and not in
-///     OSC_BENCH_FAST mode): 4 workers must deliver >= 2.5x the
-///     single-worker throughput.  The ratio is always printed and always
-///     lands in the JSON, so constrained CI boxes still record it.
+///   * scaling (policy: always >= 2.5x, measurable only with >= 5
+///     hardware threads and not in OSC_BENCH_FAST mode): 4 reuseport
+///     workers must deliver >= 2.5x the single-worker throughput.  The
+///     ratio is always printed and always lands in the JSON with a
+///     "scaling_measurable" capability flag, so constrained CI boxes
+///     still record it and the gate knows not to trust it there.
 ///
 /// Usage: bench_pool [--json <path>]      (OSC_BENCH_FAST=1 for a smoke run)
 ///
@@ -37,6 +49,7 @@ using namespace osc::bench;
 namespace {
 
 struct Column {
+  ListenMode Mode = ListenMode::ReusePort;
   int Workers = 0;
   int Clients = 0;
   uint64_t Requests = 0;
@@ -44,10 +57,15 @@ struct Column {
   uint64_t IoParks = 0;
   uint64_t WordsCopied = 0;
   uint64_t Accepted = 0;
+  uint64_t AcceptBatches = 0;
   std::vector<uint64_t> ShardWordsCopied; ///< Per worker — all must be 0.
   std::vector<uint64_t> ShardRequests;
 
   double requestsPerSec() const { return Ms > 0 ? Requests / (Ms / 1e3) : 0; }
+  std::string name() const {
+    return "w" + std::to_string(Workers) + "-c" + std::to_string(Clients) +
+           "-" + listenModeName(Mode);
+  }
 };
 
 /// One full round: every client sends, then every client reads.  All
@@ -72,13 +90,19 @@ void oneRound(std::vector<Client> &Cs, int Round) {
   }
 }
 
-Column runColumn(int Workers, int Clients, int Rounds) {
-  Pool::Options O;
+Column runColumn(ListenMode Mode, int Workers, int Clients, int Rounds) {
+  ServeOptions O;
+  O.Mode = Mode;
   O.Workers = Workers;
   O.MaxInflight = Clients;
   Pool P(O);
   if (!P.start())
     oscFatal(("bench_pool: " + P.error().Message).c_str());
+  if (P.listenMode() != Mode)
+    oscFatal(("bench_pool: requested " + std::string(listenModeName(Mode)) +
+              " but pool fell back to " +
+              std::string(listenModeName(P.listenMode())))
+                 .c_str());
 
   std::vector<Client> Cs(Clients);
   std::string E;
@@ -99,6 +123,7 @@ Column runColumn(int Workers, int Clients, int Rounds) {
     oscFatal(("bench_pool: pool error: " + P.error().Message).c_str());
 
   Column Col;
+  Col.Mode = Mode;
   Col.Workers = Workers;
   Col.Clients = Clients;
   Col.Requests = uint64_t(Rounds) * Clients; // Timed rounds only.
@@ -107,6 +132,7 @@ Column runColumn(int Workers, int Clients, int Rounds) {
   Col.IoParks = D.IoParks;
   Col.WordsCopied = D.WordsCopied;
   Col.Accepted = D.AcceptedConnections;
+  Col.AcceptBatches = D.AcceptBatches;
   for (int W = 0; W < Workers; ++W) {
     Stats::Snapshot S = P.snapshot(W) - P.baseline(W);
     Col.ShardWordsCopied.push_back(S.WordsCopied);
@@ -116,20 +142,36 @@ Column runColumn(int Workers, int Clients, int Rounds) {
 }
 
 void writeJson(const std::string &Path, const std::vector<Column> &Cols,
-               double Scaling, bool ScalingEnforced) {
+               double Scaling, double ScalingCentral, bool Measurable,
+               unsigned Cores) {
   std::ofstream Out(Path);
   if (!Out.good())
     oscFatal(("bench_pool: cannot write " + Path).c_str());
-  Out << "{\n  \"name\": \"bench_pool\",\n  \"scaling_4v1\": " << Scaling
-      << ",\n  \"scaling_enforced\": " << (ScalingEnforced ? "true" : "false")
-      << ",\n  \"columns\": [\n";
+  // Policy vs capability: scaling_enforced + scaling_min state the
+  // standing requirement (4 reuseport workers >= 2.5x one), while
+  // scaling_measurable records whether *this* host could test it
+  // (>= 5 hardware threads, not a fast-mode smoke).  The gate fails a
+  // measurable run below the floor and merely records the ratio
+  // elsewhere — dropping the policy on a small box would read as
+  // "nothing to enforce".
+  Out << "{\n  \"name\": \"bench_pool\",\n"
+      << "  \"cores\": " << Cores << ",\n"
+      << "  \"scaling_4v1\": " << Scaling << ",\n"
+      << "  \"scaling_4v1_central\": " << ScalingCentral << ",\n"
+      << "  \"scaling_min\": 2.5,\n"
+      << "  \"scaling_enforced\": true,\n"
+      << "  \"scaling_measurable\": " << (Measurable ? "true" : "false")
+      << ",\n"
+      << "  \"hard_eq\": [\"listen_mode\"],\n"
+      << "  \"columns\": [\n";
   for (size_t K = 0; K < Cols.size(); ++K) {
     const Column &C = Cols[K];
-    // Columns are keyed by "name" in the regression gate: worker count
-    // alone stopped being unique once the 256-client burst column joined
-    // the three 64-client scaling columns.
+    // Columns are keyed by "name" in the regression gate; the name folds
+    // in workers, clients and the accept path, each of which changes
+    // what the numbers mean.
     Out << "    {\n"
-        << "      \"name\": \"w" << C.Workers << "-c" << C.Clients << "\",\n"
+        << "      \"name\": \"" << C.name() << "\",\n"
+        << "      \"listen_mode\": \"" << listenModeName(C.Mode) << "\",\n"
         << "      \"workers\": " << C.Workers << ",\n"
         << "      \"clients\": " << C.Clients << ",\n"
         << "      \"requests\": " << C.Requests << ",\n"
@@ -137,6 +179,7 @@ void writeJson(const std::string &Path, const std::vector<Column> &Cols,
         << "      \"requests_per_sec\": " << C.requestsPerSec() << ",\n"
         << "      \"io_parks\": " << C.IoParks << ",\n"
         << "      \"accepted\": " << C.Accepted << ",\n"
+        << "      \"accept_batches\": " << C.AcceptBatches << ",\n"
         << "      \"words_copied\": " << C.WordsCopied << ",\n"
         << "      \"shard_words_copied\": [";
     for (size_t W = 0; W < C.ShardWordsCopied.size(); ++W)
@@ -164,21 +207,29 @@ int main(int Argc, char **Argv) {
   std::printf("Sharded pool: %d rounds per column, %u hardware thread(s).\n\n",
               Rounds, Cores);
 
-  // Three 64-client columns measure shard scaling; the 4x256 column holds
-  // the worker count fixed and quadruples the concurrent connections, so
-  // it stresses admission and the handoff queues rather than throughput
-  // (256 parked conn threads per run, most of them idle at any instant).
+  // The reuseport 64-client series measures shard scaling on the default
+  // accept path; the 4x256 column holds the worker count fixed and
+  // quadruples the concurrent connections, stressing admission rather
+  // than throughput.  The central columns measure the fallback path's
+  // acceptor + handoff overhead at both ends of the worker range.
   std::vector<Column> Cols;
   for (int W : {1, 2, 4})
-    Cols.push_back(runColumn(W, /*Clients=*/64, Rounds));
-  Cols.push_back(runColumn(/*Workers=*/4, /*Clients=*/256, Rounds));
+    Cols.push_back(runColumn(ListenMode::ReusePort, W, /*Clients=*/64, Rounds));
+  Cols.push_back(
+      runColumn(ListenMode::ReusePort, /*Workers=*/4, /*Clients=*/256, Rounds));
+  for (int W : {1, 4})
+    Cols.push_back(
+        runColumn(ListenMode::CentralAcceptor, W, /*Clients=*/64, Rounds));
 
-  std::printf("%8s %8s %10s %10s %12s %10s %14s\n", "workers", "clients",
-              "requests", "ms", "req/s", "io-parks", "words-copied");
+  std::printf("%18s %8s %10s %10s %12s %10s %10s %14s\n", "column", "clients",
+              "requests", "ms", "req/s", "io-parks", "batches",
+              "words-copied");
   for (const Column &C : Cols)
-    std::printf("%8d %8d %10llu %10.1f %12.0f %10llu %14llu\n", C.Workers,
-                C.Clients, static_cast<unsigned long long>(C.Requests), C.Ms,
+    std::printf("%18s %8d %10llu %10.1f %12.0f %10llu %10llu %14llu\n",
+                C.name().c_str(), C.Clients,
+                static_cast<unsigned long long>(C.Requests), C.Ms,
                 C.requestsPerSec(), static_cast<unsigned long long>(C.IoParks),
+                static_cast<unsigned long long>(C.AcceptBatches),
                 static_cast<unsigned long long>(C.WordsCopied));
 
   // Per-shard zero-copy: the paper's invariant must hold on every worker
@@ -186,29 +237,34 @@ int main(int Argc, char **Argv) {
   for (const Column &C : Cols)
     for (size_t W = 0; W < C.ShardWordsCopied.size(); ++W)
       if (C.ShardWordsCopied[W] != 0)
-        oscFatal(("bench_pool: worker " + std::to_string(W) + " of the " +
-                  std::to_string(C.Workers) +
-                  "-worker column copied stack words while serving")
+        oscFatal(("bench_pool: worker " + std::to_string(W) + " of column " +
+                  C.name() + " copied stack words while serving")
                      .c_str());
 
   double Scaling = Cols[0].requestsPerSec() > 0
                        ? Cols[2].requestsPerSec() / Cols[0].requestsPerSec()
                        : 0;
-  // The scaling assertion needs real parallelism: 4 worker threads + the
-  // acceptor need at least 5 hardware threads to run concurrently, and
-  // fast mode's few rounds are all warmup noise.
-  const bool EnforceScaling = Cores >= 5 && !fastMode();
-  std::printf("\n4-worker vs 1-worker throughput: %.2fx (%s)\n", Scaling,
-              EnforceScaling ? "enforced: must be >= 2.5"
-                             : "informational on this machine");
-  if (EnforceScaling && Scaling < 2.5)
-    oscFatal("bench_pool: 4 workers delivered < 2.5x the single-worker "
-             "throughput; sharding has regressed");
+  double ScalingCentral = Cols[4].requestsPerSec() > 0
+                              ? Cols[5].requestsPerSec() / Cols[4].requestsPerSec()
+                              : 0;
+  // The policy (>= 2.5x) stands everywhere; the measurement needs real
+  // parallelism — 4 worker threads plus the client thread — and fast
+  // mode's few rounds are all warmup noise.  On smaller hosts the ratio
+  // is recorded as informational and the JSON says so.
+  const bool Measurable = Cores >= 5 && !fastMode();
+  std::printf("\n4-worker vs 1-worker throughput: reuseport %.2fx, "
+              "central %.2fx (floor 2.5x, %s)\n",
+              Scaling, ScalingCentral,
+              Measurable ? "measurable on this host"
+                         : "not measurable on this host");
+  if (Measurable && Scaling < 2.5)
+    oscFatal("bench_pool: 4 reuseport workers delivered < 2.5x the "
+             "single-worker throughput; sharding has regressed");
 
   std::printf("Check passed: every shard of every column served with 0 "
               "stack words copied.\n");
   if (!JsonPath.empty()) {
-    writeJson(JsonPath, Cols, Scaling, EnforceScaling);
+    writeJson(JsonPath, Cols, Scaling, ScalingCentral, Measurable, Cores);
     std::printf("Wrote %s\n", JsonPath.c_str());
   }
   return 0;

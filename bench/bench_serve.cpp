@@ -78,7 +78,7 @@ void oneRound(std::vector<Client> &Cs, int Round) {
 }
 
 Column runColumn(const char *Name, bool OneShot, int Rounds) {
-  Server::Options O;
+  ServeOptions O;
   O.MaxInflight = Clients;
   O.VmCfg.SchedOneShotSwitch = OneShot;
   Server S(O);

@@ -26,7 +26,7 @@
 using namespace osc;
 
 int main(int argc, char **argv) {
-  Server::Options O;
+  ServeOptions O;
   if (argc > 1)
     O.Port = static_cast<uint16_t>(std::atoi(argv[1]));
 

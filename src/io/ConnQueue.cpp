@@ -5,39 +5,52 @@
 using namespace osc;
 
 ConnQueue::~ConnQueue() {
-  for (int Fd : Fds)
+  // Destruction is single-threaded (the pool joins every producer and the
+  // consumer first), so plain walks are safe here.
+  for (int Fd : Drained)
     ::close(Fd);
+  Node *N = Head.load(std::memory_order_relaxed);
+  while (N) {
+    Node *Next = N->Next;
+    ::close(N->Fd);
+    delete N;
+    N = Next;
+  }
 }
 
 bool ConnQueue::push(int Fd) {
-  std::lock_guard<std::mutex> L(Mu);
-  if (IsClosed)
+  if (IsClosed.load(std::memory_order_acquire))
     return false;
-  Fds.push_back(Fd);
+  Node *N = new Node{nullptr, Fd};
+  N->Next = Head.load(std::memory_order_relaxed);
+  while (!Head.compare_exchange_weak(N->Next, N, std::memory_order_release,
+                                     std::memory_order_relaxed)) {
+  }
+  Count.fetch_add(1, std::memory_order_relaxed);
   return true;
 }
 
 ConnQueue::Pop ConnQueue::pop() {
-  std::lock_guard<std::mutex> L(Mu);
-  if (!Fds.empty()) {
-    Pop Out{Fds.front(), false};
-    Fds.pop_front();
+  if (Drained.empty()) {
+    // Swap the whole pending chain out in one exchange, then reverse the
+    // LIFO chain into the private buffer so pops come out FIFO.  Oldest
+    // push is deepest in the chain, so walking it back-to-front lands it
+    // at the *end* of Drained — pops take from the back.
+    Node *Chain = Head.exchange(nullptr, std::memory_order_acquire);
+    while (Chain) {
+      Drained.push_back(Chain->Fd);
+      Node *Next = Chain->Next;
+      delete Chain;
+      Chain = Next;
+    }
+  }
+  if (!Drained.empty()) {
+    Pop Out{Drained.back(), false};
+    Drained.pop_back();
+    Count.fetch_sub(1, std::memory_order_relaxed);
     return Out;
   }
-  return Pop{-1, IsClosed};
-}
-
-void ConnQueue::close() {
-  std::lock_guard<std::mutex> L(Mu);
-  IsClosed = true;
-}
-
-bool ConnQueue::closed() const {
-  std::lock_guard<std::mutex> L(Mu);
-  return IsClosed;
-}
-
-size_t ConnQueue::size() const {
-  std::lock_guard<std::mutex> L(Mu);
-  return Fds.size();
+  // Empty: closed only counts once the shared chain was seen empty too
+  // (the exchange above), so close-then-drain ordering holds.
+  return Pop{-1, IsClosed.load(std::memory_order_acquire)};
 }

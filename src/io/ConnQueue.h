@@ -1,27 +1,34 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// Cross-thread connection handoff queue for the serving pool (src/serve).
+/// Lock-free cross-thread connection handoff queue for the serving pool
+/// (src/serve).
 ///
-/// The pool's accept thread pushes accepted fds; one worker VM pops them
-/// from its `io-take-conn` primitive.  This is the only mutex in the I/O
-/// path and it guards a few pointers per connection — every per-request
-/// park/wake stays lock-free on the worker's own thread.
+/// Producers (the pool's acceptor thread in CentralAcceptor mode, any
+/// host thread calling Pool::handoff) push accepted fds; exactly one
+/// consumer — the worker VM's `io-take-conn` primitive — pops them.  The
+/// queue is an MPSC Treiber stack with consumer-side batch reversal:
+/// push is one compare-exchange on the head pointer, pop swaps the whole
+/// pending chain out with a single exchange and drains it in FIFO order
+/// from a consumer-private buffer.  No mutex anywhere, so the acceptor
+/// never blocks behind a shard and a shard never blocks behind the
+/// acceptor; per-request park/wake traffic stays entirely on the
+/// worker's own thread.
 ///
 /// Close semantics mirror Channel's channel-close!: after close() no new
 /// fd is accepted, but fds already queued drain first; pop() reports
-/// Closed only once the queue is empty.  Fds still queued at destruction
-/// are close(2)d — the queue owns an fd from push() until pop() hands it
-/// over.
+/// Closed only once both the shared chain and the consumer buffer are
+/// empty.  Fds still queued at destruction are close(2)d — the queue
+/// owns an fd from push() until pop() hands it over.
 ///
 //===----------------------------------------------------------------------===//
 
 #ifndef OSC_IO_CONNQUEUE_H
 #define OSC_IO_CONNQUEUE_H
 
+#include <atomic>
 #include <cstddef>
-#include <deque>
-#include <mutex>
+#include <vector>
 
 namespace osc {
 
@@ -38,24 +45,35 @@ public:
   ConnQueue(const ConnQueue &) = delete;
   ConnQueue &operator=(const ConnQueue &) = delete;
 
-  /// Enqueues a connection fd.  Returns false (without taking ownership)
-  /// when the queue is already closed.
+  /// Enqueues a connection fd.  Any thread.  Returns false (without
+  /// taking ownership) when the queue is already closed.
   bool push(int Fd);
 
   /// Dequeues the oldest connection if any; otherwise reports whether the
   /// queue is closed-and-drained ({-1, true}) or merely empty ({-1, false}).
+  /// Single consumer: only the owning worker thread may call this.
   Pop pop();
 
   /// Stops accepting new fds.  Queued fds still drain via pop().
-  void close();
+  void close() { IsClosed.store(true, std::memory_order_release); }
 
-  bool closed() const;
-  size_t size() const;
+  bool closed() const { return IsClosed.load(std::memory_order_acquire); }
+
+  /// Approximate depth (pushes minus pops), readable from any thread —
+  /// the acceptor's load signal.  Transient staleness only ever costs a
+  /// slightly imperfect placement.
+  size_t size() const { return Count.load(std::memory_order_relaxed); }
 
 private:
-  mutable std::mutex Mu;
-  std::deque<int> Fds;
-  bool IsClosed = false;
+  struct Node {
+    Node *Next = nullptr;
+    int Fd = -1;
+  };
+
+  std::atomic<Node *> Head{nullptr}; ///< LIFO chain of un-drained pushes.
+  std::atomic<bool> IsClosed{false};
+  std::atomic<size_t> Count{0};
+  std::vector<int> Drained; ///< Consumer-private FIFO buffer (oldest last).
 };
 
 } // namespace osc

@@ -167,7 +167,8 @@ bool osc::openSocketPairFds(int &A, int &B, std::string &Err) {
   return true;
 }
 
-int osc::openListener(uint16_t &Port, int Backlog, std::string &Err) {
+int osc::openListener(uint16_t &Port, int Backlog, std::string &Err,
+                      bool ReusePort) {
   int Fd = ::socket(AF_INET, SOCK_STREAM, 0);
   if (Fd < 0) {
     Err = errnoMessage("socket");
@@ -175,6 +176,19 @@ int osc::openListener(uint16_t &Port, int Backlog, std::string &Err) {
   }
   int One = 1;
   ::setsockopt(Fd, SOL_SOCKET, SO_REUSEADDR, &One, sizeof One);
+  if (ReusePort) {
+#ifdef SO_REUSEPORT
+    if (::setsockopt(Fd, SOL_SOCKET, SO_REUSEPORT, &One, sizeof One) != 0) {
+      Err = errnoMessage("setsockopt(SO_REUSEPORT)");
+      ::close(Fd);
+      return -1;
+    }
+#else
+    Err = "SO_REUSEPORT is not available on this platform";
+    ::close(Fd);
+    return -1;
+#endif
+  }
   sockaddr_in Addr{};
   Addr.sin_family = AF_INET;
   Addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);

@@ -151,7 +151,12 @@ bool openSocketPairFds(int &A, int &B, std::string &Err);
 
 /// Listening TCP socket bound to 127.0.0.1:\p Port (0 picks an ephemeral
 /// port; \p Port is updated to the bound one).  Returns the fd or -1.
-int openListener(uint16_t &Port, int Backlog, std::string &Err);
+/// With \p ReusePort true the socket is bound with SO_REUSEPORT so several
+/// listeners (one per pool shard) can share one port and let the kernel
+/// load-balance accepts across them; if the option cannot be set the call
+/// fails rather than silently binding exclusively.
+int openListener(uint16_t &Port, int Backlog, std::string &Err,
+                 bool ReusePort = false);
 
 /// *Blocking* loopback TCP connect — the host-side client half used by
 /// tests and benchmarks, never by the VM.  Returns the fd or -1.

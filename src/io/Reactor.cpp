@@ -73,6 +73,27 @@ bool Reactor::enableWakeup(std::string &Err) {
   return true;
 }
 
+bool Reactor::enableWakeupFrom(int ReadFd, int WriteFd, std::string &Err) {
+  if (WakePortId >= 0)
+    return true;
+  int Rd = ::dup(ReadFd);
+  if (Rd < 0) {
+    Err = "dup(wakeup read fd) failed";
+    return false;
+  }
+  int Wr = ::dup(WriteFd);
+  if (Wr < 0) {
+    Err = "dup(wakeup write fd) failed";
+    ::close(Rd);
+    return false;
+  }
+  // The dup shares the original's file description, including O_NONBLOCK
+  // set by openPipePair; the adopting Port constructor re-asserts it.
+  WakePortId = addAdoptedPort(Rd, Port::Kind::Wakeup);
+  WakeWriteFd = Wr;
+  return true;
+}
+
 void Reactor::notify() {
   if (WakeWriteFd < 0)
     return;

@@ -171,6 +171,15 @@ public:
   /// false and sets \p Err on failure.
   bool enableWakeup(std::string &Err);
 
+  /// Like enableWakeup, but over a pipe the *host* owns: both fds are
+  /// dup(2)'d into the reactor (the Wakeup port adopts the duped read
+  /// end, the duped write end backs notify()), so the pipe itself
+  /// outlives this reactor.  The serving pool uses this to keep one
+  /// wakeup pipe per shard across worker restarts: the acceptor writes
+  /// to the host's fd without ever touching — or locking against — the
+  /// shard's current Reactor instance.  Idempotent per reactor.
+  bool enableWakeupFrom(int ReadFd, int WriteFd, std::string &Err);
+
   /// Thread-safe: makes the wakeup port readable.  One byte per call; a
   /// full pipe (EAGAIN) is fine — the port is already readable.
   void notify();

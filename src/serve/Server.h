@@ -36,6 +36,7 @@
 #define OSC_SERVE_SERVER_H
 
 #include "core/Config.h"
+#include "serve/ServeOptions.h"
 #include "support/Error.h"
 #include "support/Stats.h"
 #include "vm/Interp.h"
@@ -49,24 +50,13 @@ namespace osc {
 
 class Server {
 public:
-  struct Options {
-    uint16_t Port = 0;          ///< 0 picks an ephemeral loopback port.
-    int MaxInflight = 64;       ///< Backpressure bound (channel capacity).
-    int64_t PreemptInterval = 0; ///< Scheduler slice; 0 = cooperative.
-    int Backlog = 128;
-    int MaxConns = 0;           ///< Admission cap: past this many live
-                                ///< connections new arrivals are refused
-                                ///< with a fast BUSY reply (RequestsShed).
-                                ///< 0 = unlimited.
-    int ConnDeadlineMs = 0;     ///< Per-connection park deadline: a client
-                                ///< that keeps a read or write parked
-                                ///< longer is dropped (ConnsReaped).
-                                ///< 0 = none.
-    Config VmCfg;               ///< Control-representation knobs, incl. the
-                                ///< SchedOneShotSwitch baseline shim.
-  };
+  /// Deprecated alias, kept for one release: the server now shares one
+  /// options surface with Pool.  A Server is behaviorally a 1-worker
+  /// pool, so the pool-only knobs (Workers, Mode, MaxWorkerRestarts,
+  /// Program, TraceWorkers) are simply ignored here.
+  using Options [[deprecated("use osc::ServeOptions")]] = ServeOptions;
 
-  explicit Server(Options O) : Opt(std::move(O)) {}
+  explicit Server(ServeOptions O) : Opt(std::move(O)) {}
   ~Server();
   Server(const Server &) = delete;
   Server &operator=(const Server &) = delete;
@@ -108,7 +98,7 @@ public:
   static const char *protocolSource();
 
 private:
-  Options Opt;
+  ServeOptions Opt;
   std::unique_ptr<Interp> I;
   std::thread Thr;
   Interp::Result R;

@@ -85,6 +85,10 @@ namespace osc {
   X(BytesRead)            /* Bytes moved fd -> input buffers. */               \
   X(BytesWritten)         /* Bytes moved output buffers -> fd. */              \
   X(AcceptedConnections)  /* Connections accepted or adopted. */               \
+  X(AcceptBatches)        /* Park-wakes that delivered >= 1 connection         \
+                             (io-accept / io-take-conn resumes); non-parking   \
+                             accepts join the current batch, so Accepted /     \
+                             Batches is the mean accept batch size. */         \
   X(ConnectionsClosed)    /* Stream ports closed (io-close / EOF teardown);    \
                              Accepted - Closed = live connections, the pool's  \
                              least-loaded signal. */                           \

@@ -683,6 +683,8 @@ Value primVmStat(VM &Vm, Value *A, uint32_t) {
     V = St.BytesWritten;
   else if (N == "accepted-connections")
     V = St.AcceptedConnections;
+  else if (N == "accept-batches")
+    V = St.AcceptBatches;
   else if (N == "connections-closed")
     V = St.ConnectionsClosed;
   else if (N == "requests-served")
@@ -963,6 +965,34 @@ Value primIoClosedP(VM &Vm, Value *A, uint32_t) {
     return Value::unspecified();
   return Value::boolean(P->closed());
 }
+Value primIoTryAccept(VM &Vm, Value *A, uint32_t) {
+  // (io-try-accept listener): the non-parking half of io-accept — one
+  // pending connection's fresh port id, #f when the backlog is empty,
+  // the EOF object when the listener is closed.  The ReusePort worker's
+  // shutdown path drains its backlog with this before closing the
+  // listener, so connections the kernel already completed get served
+  // instead of reset.
+  Port *P = portArg(Vm, "io-try-accept", A[0]);
+  if (!P)
+    return Value::unspecified();
+  if (P->kind() != Port::Kind::Listener)
+    return Vm.fail("io-try-accept: not a listener: " + writeToString(A[0]),
+                   ErrorKind::Io);
+  if (P->closed())
+    return Vm.eofObject();
+  int NewFd = P->acceptConn();
+  if (NewFd >= 0) {
+    uint32_t NewId = Vm.reactor().addPort(NewFd, Port::Kind::Stream);
+    Vm.stats().AcceptedConnections += 1;
+    OSC_TRACE(&Vm.trace(), TraceEvent::Accept, P->id(), NewId);
+    return Value::fixnum(NewId);
+  }
+  if (NewFd == -2)
+    return Vm.fail("io-try-accept: port " + std::to_string(P->id()) + ": " +
+                       P->lastError(),
+                   ErrorKind::Io);
+  return Value::boolean(false);
+}
 Value primStringToDatum(VM &Vm, Value *A, uint32_t) {
   auto *S = dynObj<String>(A[0]);
   if (!S)
@@ -1032,6 +1062,7 @@ Value primSchedStats(VM &Vm, Value *, uint32_t) {
   Add("bytes-read", St.BytesRead);
   Add("requests-served", St.RequestsServed);
   Add("connections-closed", St.ConnectionsClosed);
+  Add("accept-batches", St.AcceptBatches);
   Add("accepted-connections", St.AcceptedConnections);
   Add("io-wait-peak", St.IoWaitPeak);
   Add("io-wakes", St.IoWakes);
@@ -1251,6 +1282,7 @@ static const NativeDef PrimDefs[] = {
     {"io-tcp-port", primIoTcpPort, 1, 1},
     {"io-close", primIoClose, 1, 1},
     {"io-closed?", primIoClosedP, 1, 1},
+    {"io-try-accept", primIoTryAccept, 1, 1},
     {"string->datum", primStringToDatum, 1, 1},
     {"serve-request-done!", primServeRequestDone, 0, 0},
     {"serve-shed!", primServeShed, 1, 1},

@@ -1479,6 +1479,14 @@ bool VM::attachConnQueue(ConnQueue *Q, std::string &Err) {
   return true;
 }
 
+bool VM::attachConnQueue(ConnQueue *Q, int WakeReadFd, int WakeWriteFd,
+                         std::string &Err) {
+  if (Q && !Rx->enableWakeupFrom(WakeReadFd, WakeWriteFd, Err))
+    return false;
+  ConnQ = Q;
+  return true;
+}
+
 Value VM::ioTryTakeConn() {
   // Drain *before* checking the queue: a notify() that lands after the
   // pop() below leaves its byte in the pipe, so the next poll still wakes.
@@ -1590,6 +1598,7 @@ bool VM::ioComplete(const PendingIo &P) {
     if (NewFd >= 0) {
       uint32_t NewId = Rx->addPort(NewFd, Port::Kind::Stream);
       S.AcceptedConnections += 1;
+      S.AcceptBatches += 1;
       OSC_TRACE(&Tr, TraceEvent::Accept, Pt->id(), NewId);
       return WakeWith(Value::fixnum(NewId));
     }
@@ -1604,8 +1613,15 @@ bool VM::ioComplete(const PendingIo &P) {
       return Poison("io-take-conn: the connection queue was detached while "
                     "a take was parked");
     Value V = ioTryTakeConn();
-    if (!V.isEmpty())
+    if (!V.isEmpty()) {
+      // One park-wake that delivered a connection = one batch; handoffs
+      // taken without re-parking (the loop in ioTakeConn / the non-empty
+      // tries above) ride the same batch, so Accepted/Batches measures
+      // how many fds each wakeup carried.
+      if (V.isFixnum())
+        S.AcceptBatches += 1;
       return WakeWith(V);
+    }
     Rx->repark(P); // Spurious wakeup (another waiter won the race).
     return false;
   }

@@ -180,6 +180,12 @@ public:
   /// can interrupt a poll.  io-take-conn pulls from this queue.  Returns
   /// false and sets \p Err when the wakeup pipe cannot be created.
   bool attachConnQueue(ConnQueue *Q, std::string &Err);
+  /// Same, but wires the wakeup to a *host-owned* pipe (see
+  /// Reactor::enableWakeupFrom): the pool allocates one pipe per shard and
+  /// re-attaches it across worker restarts, so the acceptor's notify fd
+  /// never dangles when a crashed worker's reactor is torn down.
+  bool attachConnQueue(ConnQueue *Q, int WakeReadFd, int WakeWriteFd,
+                       std::string &Err);
   ConnQueue *connQueue() { return ConnQ; }
   /// The interned EOF sentinel (what io-read-line yields at end of stream
   /// and channel-recv yields on a closed empty channel).

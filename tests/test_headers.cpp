@@ -16,13 +16,46 @@ TEST(Headers, UmbrellaExposesTheEmbeddingSurface) {
   // Everything docs/EMBEDDING.md names must be reachable from osc.h
   // alone.  Compile-time: these types exist and have the promised shape.
   static_assert(std::is_constructible_v<Interp, const Config &>);
-  static_assert(std::is_constructible_v<Server, Server::Options>);
-  static_assert(std::is_constructible_v<Pool, Pool::Options>);
+  static_assert(std::is_constructible_v<Server, ServeOptions>);
+  static_assert(std::is_constructible_v<Pool, ServeOptions>);
   static_assert(std::is_default_constructible_v<Client>);
   static_assert(std::is_default_constructible_v<Stats::Snapshot>);
   static_assert(std::is_default_constructible_v<Error>);
   static_assert(std::is_default_constructible_v<NativeDef>);
   SUCCEED();
+}
+
+TEST(Headers, ServeOptionsIsTheOneOptionsSurface) {
+  // Both serving fronts take the same struct, and the pool-only knobs
+  // have the documented defaults (ReusePort is the default accept path).
+  ServeOptions O;
+  EXPECT_EQ(O.Workers, 1);
+  EXPECT_EQ(O.Mode, ListenMode::ReusePort);
+  EXPECT_EQ(O.MaxWorkerRestarts, 3);
+  EXPECT_STREQ(listenModeName(ListenMode::ReusePort), "reuseport");
+  EXPECT_STREQ(listenModeName(ListenMode::CentralAcceptor), "central");
+}
+
+TEST(Headers, DeprecatedOptionsAliasesStillCompile) {
+  // The pre-ServeOptions spellings must keep working for one release:
+  // same struct, same fields, constructible into either front.
+#if defined(__GNUC__) || defined(__clang__)
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+#endif
+  static_assert(std::is_same_v<Server::Options, ServeOptions>);
+  static_assert(std::is_same_v<Pool::Options, ServeOptions>);
+  Server::Options SO;
+  SO.MaxInflight = 8;
+  Pool::Options PO;
+  PO.Workers = 2;
+  static_assert(std::is_constructible_v<Server, Server::Options>);
+  static_assert(std::is_constructible_v<Pool, Pool::Options>);
+  EXPECT_EQ(SO.MaxInflight, 8);
+  EXPECT_EQ(PO.Workers, 2);
+#if defined(__GNUC__) || defined(__clang__)
+#pragma GCC diagnostic pop
+#endif
 }
 
 TEST(Headers, ErrorKindNamesAreStable) {

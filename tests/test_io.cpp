@@ -400,8 +400,14 @@ TEST(SchedStats, AlistCarriesTheCounters) {
                    "      (= (stat 'io-parks) (stat 'io-wakes))"
                    "      (stat 'words-copied)"
                    "      (>= (stat 'bytes-written) 3)"
-                   "      (> (stat 'one-shot-invokes) 0))"),
-            "(2 #t #t 0 #t #t)");
+                   "      (> (stat 'one-shot-invokes) 0)"
+                   // The accept-path counters ride in the same alist (and
+                   // vm-stat) even off the serving stack: nothing accepted
+                   // here, so both are present and zero.
+                   "      (stat 'accepted-connections)"
+                   "      (stat 'accept-batches)"
+                   "      (vm-stat 'accept-batches))"),
+            "(2 #t #t 0 #t #t 0 0 0)");
 }
 
 TEST(SchedStats, MatchesVmStat) {

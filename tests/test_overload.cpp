@@ -175,7 +175,7 @@ TEST(Overload, OutputCapDropsConnection) {
 TEST(Overload, ServerReapsSlowClient) {
   // A client that connects and never sends a byte: the per-connection
   // deadline reaps it and the client sees the close as EOF.
-  Server::Options O;
+  ServeOptions O;
   O.ConnDeadlineMs = 30;
   Server S(O);
   ASSERT_TRUE(S.start()) << S.error();
@@ -200,7 +200,7 @@ TEST(Overload, ServerReapsSlowClient) {
 // --- Admission control -------------------------------------------------------
 
 TEST(Overload, ServerShedsPastMaxConns) {
-  Server::Options O;
+  ServeOptions O;
   O.MaxConns = 1;
   Server S(O);
   ASSERT_TRUE(S.start()) << S.error();
@@ -235,7 +235,7 @@ TEST(Overload, PoolShedsPastMaxConns) {
   // Same admission logic, shard-local: the worker programs share the
   // protocol core.  Direct handoff makes the arrival order — and with it
   // the shed count — fully deterministic.
-  Pool::Options O;
+  ServeOptions O;
   O.Workers = 1;
   O.MaxConns = 1;
   Pool P(O);
@@ -292,7 +292,7 @@ const char *FragileWorker = R"scheme(
 } // namespace
 
 TEST(Overload, PoolRestartsCrashedWorkerAndDrainsQueue) {
-  Pool::Options O;
+  ServeOptions O;
   O.Workers = 1;
   O.Program = FragileWorker;
   Pool P(O);
@@ -335,7 +335,7 @@ TEST(Overload, PoolRestartsCrashedWorkerAndDrainsQueue) {
 }
 
 TEST(Overload, PoolGivesUpAfterMaxRestarts) {
-  Pool::Options O;
+  ServeOptions O;
   O.Workers = 1;
   O.MaxWorkerRestarts = 2;
   O.Program = "(car 'boom)";
@@ -361,7 +361,7 @@ TEST(Overload, PoolShedsAndReapsUnderMixedLoad) {
   // per shard.
   constexpr int Workers = 4;
   constexpr int Fast = 64;
-  Pool::Options O;
+  ServeOptions O;
   O.Workers = Workers;
   // Long enough that no fast client's park ever expires before its PING
   // (or our close) arrives, even on a loaded CI box; the slow clients
@@ -474,7 +474,7 @@ TEST(Overload, PipelinedRequestsAllServedThenReapReclaimsTokens) {
   // silent the deadline reaps the connection — the nursery scope closes
   // with no live handlers and the orphan-token drain leaves the books
   // balanced, so a later client is served normally.
-  Server::Options O;
+  ServeOptions O;
   O.ConnDeadlineMs = 100;
   O.MaxInflight = 2;
   Server S(O);
@@ -511,14 +511,19 @@ TEST(Overload, ReapTraceIsDeterministic) {
   // park → io-timeout → io-drop → io-ready sequence does not depend on
   // wall-clock jitter.
   auto Run = [](std::string &Dump) {
-    Pool::Options O;
+    ServeOptions O;
     O.Workers = 1;
     O.ConnDeadlineMs = 30;
     O.TraceWorkers = true;
     Pool P(O);
     ASSERT_TRUE(P.start()) << P.error();
-    ASSERT_TRUE(spinUntil(
-        [&] { return (P.snapshot(0) - P.baseline(0)).IoParks >= 1; }));
+    // Both startup parks (ReusePort: acceptor on the shard listener,
+    // taker on take-conn) must land before the handoff, or the take
+    // races between inline and park-wake and the traces diverge.
+    uint64_t StartParks = P.listenMode() == ListenMode::ReusePort ? 2 : 1;
+    ASSERT_TRUE(spinUntil([&] {
+      return (P.snapshot(0) - P.baseline(0)).IoParks >= StartParks;
+    }));
     int Sp[2];
     ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, Sp), 0);
     ASSERT_TRUE(P.handoff(0, Sp[0]).ok());

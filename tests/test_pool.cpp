@@ -24,10 +24,12 @@ using namespace osc;
 
 namespace {
 
-Pool::Options options(int Workers) {
-  Pool::Options O;
+ServeOptions options(int Workers,
+                     ListenMode Mode = ListenMode::ReusePort) {
+  ServeOptions O;
   O.Workers = Workers;
   O.MaxInflight = 64;
+  O.Mode = Mode;
   return O;
 }
 
@@ -71,15 +73,27 @@ void askWorkerDirect(Pool &P, int Worker, const std::string &Line,
   C.close();
 }
 
-} // namespace
-
-TEST(Pool, PingAcrossPoolTcp) {
-  // 64 clients against 4 shards, all requests in flight at once.  The
-  // acceptor spreads connections by load; each shard serves its own with
-  // zero words copied per park.
+/// 64 clients against 4 shards, all requests in flight at once — over
+/// either accept path.  ReusePort: the kernel spreads connections across
+/// the shards' own listeners; CentralAcceptor: the acceptor thread
+/// spreads them by load.  Either way each shard serves its own with zero
+/// words copied per park.
+void pingBurst(ListenMode Mode) {
   constexpr int N = 64;
-  Pool P(options(4));
+  Pool P(options(4, Mode));
   mustStart(P);
+  ASSERT_EQ(P.listenMode(), Mode);
+  // Wait for every shard's startup parks (ReusePort: acceptor on the
+  // listener + taker on take-conn; central: the worker loop's take-conn)
+  // before the burst, so each shard's first delivery is a park-wake and
+  // the AcceptBatches bounds below are deterministic — without the gate a
+  // fast burst can beat the acceptor to io-accept and complete every
+  // accept inline (batches legitimately 0).
+  uint64_t StartParks = Mode == ListenMode::ReusePort ? 2 : 1;
+  for (int W = 0; W < P.workers(); ++W)
+    ASSERT_TRUE(spinUntil([&] {
+      return (P.snapshot(W) - P.baseline(W)).IoParks >= StartParks;
+    })) << "worker " << W;
   std::vector<Client> Cs(N);
   std::string E;
   for (int K = 0; K < N; ++K)
@@ -99,7 +113,25 @@ TEST(Pool, PingAcrossPoolTcp) {
 
   Stats::Snapshot D = P.snapshot() - P.baseline();
   EXPECT_EQ(D.RequestsServed, static_cast<uint64_t>(N));
+  // Per-shard accept counts sum to the burst exactly — every connection
+  // was accepted on (or handed to) exactly one shard.
+  uint64_t PerShard = 0;
+  for (int W = 0; W < P.workers(); ++W)
+    PerShard += (P.snapshot(W) - P.baseline(W)).AcceptedConnections;
+  EXPECT_EQ(PerShard, static_cast<uint64_t>(N));
   EXPECT_EQ(D.AcceptedConnections, static_cast<uint64_t>(N));
+  // Batching: each delivery wake accounts for >= 1 accepted connection.
+  // The startup-park gate above guarantees each shard's first delivery
+  // is a park-wake, so every shard that accepted anything has a batch;
+  // inline accepts join the current batch, hence Batches <= Accepted.
+  EXPECT_GE(D.AcceptBatches, 1u);
+  EXPECT_LE(D.AcceptBatches, D.AcceptedConnections);
+  for (int W = 0; W < P.workers(); ++W) {
+    Stats::Snapshot S = P.snapshot(W) - P.baseline(W);
+    if (S.AcceptedConnections > 0)
+      EXPECT_GE(S.AcceptBatches, 1u) << "worker " << W;
+    EXPECT_LE(S.AcceptBatches, S.AcceptedConnections) << "worker " << W;
+  }
   // The headline invariant, per shard: serving parked and resumed on
   // every worker without copying a single stack word.
   for (int W = 0; W < P.workers(); ++W) {
@@ -107,6 +139,14 @@ TEST(Pool, PingAcrossPoolTcp) {
     EXPECT_GT(S.IoParks, 0u) << "worker " << W << " never parked";
     EXPECT_EQ(S.WordsCopied, 0u) << "worker " << W << " copied stack words";
   }
+}
+
+} // namespace
+
+TEST(Pool, PingAcrossPoolTcp) { pingBurst(ListenMode::ReusePort); }
+
+TEST(Pool, PingAcrossPoolTcpCentralAcceptor) {
+  pingBurst(ListenMode::CentralAcceptor);
 }
 
 TEST(Pool, HandoffTargetsSpecificWorker) {
@@ -153,7 +193,7 @@ TEST(Pool, WorkerCrashPropagatesErrorKind) {
   // A worker program that dies immediately: the pool reports the failure
   // through the same structured Error the embedding API uses, tagged
   // with the shard that crashed.
-  Pool::Options O = options(2);
+  ServeOptions O = options(2);
   O.Program = "(car 1)";
   Pool P(O);
   mustStart(P);
@@ -189,11 +229,16 @@ TEST(Pool, HandoffAfterStopIsServerStopped) {
   ::close(Sp[1]);
 }
 
-TEST(Pool, CleanStopWithInflightRequests) {
-  // stop() is initiated while requests are still in flight; the pool
-  // must drain them (every client gets its reply) and shut down clean.
+namespace {
+
+/// stop() is initiated while requests are still in flight; the pool must
+/// drain them (every client gets its reply) and shut down clean.  In
+/// ReusePort mode this exercises the shutdown drain: connections the
+/// kernel completed but no shard accepted yet are admitted (io-try-accept)
+/// before the listeners close.
+void cleanStopInflight(ListenMode Mode) {
   constexpr int N = 16;
-  Pool P(options(4));
+  Pool P(options(4, Mode));
   mustStart(P);
   std::vector<Client> Cs(N);
   std::string E;
@@ -205,7 +250,7 @@ TEST(Pool, CleanStopWithInflightRequests) {
   std::thread Stopper([&P] { P.stop(); });
   for (int K = 0; K < N; ++K) {
     std::string Reply;
-    ASSERT_TRUE(Cs[K].recvLine(Reply)) << "client " << K;
+    EXPECT_TRUE(Cs[K].recvLine(Reply)) << "client " << K;
     EXPECT_EQ(Reply, std::to_string(K + 10));
   }
   for (Client &C : Cs)
@@ -216,25 +261,93 @@ TEST(Pool, CleanStopWithInflightRequests) {
             static_cast<uint64_t>(N));
 }
 
+} // namespace
+
+TEST(Pool, CleanStopWithInflightRequests) {
+  cleanStopInflight(ListenMode::ReusePort);
+}
+
+TEST(Pool, CleanStopWithInflightRequestsCentralAcceptor) {
+  cleanStopInflight(ListenMode::CentralAcceptor);
+}
+
+TEST(Pool, ReusePortWorkerRestartRebindsItsListener) {
+  // A 1-worker ReusePort pool whose program serves exactly one connection
+  // per run, then crashes: every restart must re-bind the shard's
+  // listener on the same port, so a fresh client reaches the fresh
+  // Interp.  The taker mirrors the real worker's shutdown path so stop()
+  // stays prompt.
+  ServeOptions O;
+  O.Workers = 1;
+  O.Mode = ListenMode::ReusePort;
+  O.Program = R"scheme(
+(define (acceptor)
+  (let ((conn (io-accept *listener*)))
+    (if (eof-object? conn)
+        'closed
+        (begin
+          (io-write conn "HI\n")
+          (io-close conn)
+          (car 1)))))
+(define (taker)
+  (let ((conn (io-take-conn)))
+    (if (eof-object? conn)
+        (io-close *listener*)
+        (taker))))
+(spawn acceptor)
+(spawn taker)
+(scheduler-run *preempt*)
+)scheme";
+  Pool P(O);
+  mustStart(P);
+  ASSERT_EQ(P.listenMode(), ListenMode::ReusePort);
+  for (int Round = 0; Round < 2; ++Round) {
+    // A connect can race the crash window (old listener closed, new one
+    // just bound): retry until the live listener answers.
+    ASSERT_TRUE(spinUntil([&] {
+      Client C;
+      std::string E, Reply;
+      if (!C.connect(P.tcpPort(), E))
+        return false;
+      return C.recvLine(Reply, 2000) && Reply == "HI";
+    })) << "round " << Round;
+  }
+  // Both serves crashed the worker; both restarts re-bound the listener.
+  ASSERT_TRUE(spinUntil([&] {
+    return (P.snapshot(0) - P.baseline(0)).WorkerRestarts >= 2;
+  }));
+  P.stop();
+  ASSERT_TRUE(P.error().ok()) << P.error();
+  EXPECT_GE((P.snapshot() - P.baseline()).WorkerRestarts, 2u);
+}
+
 namespace {
 
 /// Runs a fixed two-worker workload where every worker-side transition is
 /// gated on observable counter changes, so the shard's event order — and
-/// therefore its trace — is a function of the program alone.  Returns the
-/// two tagged dumps.
-void tracedRun(std::vector<std::string> &Dumps) {
-  Pool::Options O;
+/// therefore its trace — is a function of the program alone.  The
+/// connections go through handoff (which both modes serve) rather than
+/// TCP, because ReusePort's kernel balancing would make *placement*
+/// nondeterministic; what the test pins is each shard's own event order.
+/// Returns the two tagged dumps.
+void tracedRun(ListenMode Mode, std::vector<std::string> &Dumps) {
+  ServeOptions O;
   O.Workers = 2;
   O.MaxInflight = 4;
+  O.Mode = Mode;
   O.TraceWorkers = true;
   Pool P(O);
   ASSERT_TRUE(P.start()) << P.error();
 
+  // A ReusePort shard parks one extra thread at startup (its acceptor,
+  // on the shard listener) on top of the taker's take-conn park, so
+  // every park gate below shifts by one.
+  uint64_t G = Mode == ListenMode::ReusePort ? 1 : 0;
   for (int W = 0; W < 2; ++W) {
     // Wait for the shard's take-conn park before handing over, so the
     // take never short-circuits.
     ASSERT_TRUE(spinUntil([&] {
-      return (P.snapshot(W) - P.baseline(W)).IoParks >= 1;
+      return (P.snapshot(W) - P.baseline(W)).IoParks >= 1 + G;
     })) << "worker " << W;
     int Sp[2];
     ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, Sp), 0);
@@ -243,7 +356,7 @@ void tracedRun(std::vector<std::string> &Dumps) {
     // has parked on its next take, so the PING below always finds a
     // parked reader.
     ASSERT_TRUE(spinUntil([&] {
-      return (P.snapshot(W) - P.baseline(W)).IoParks >= 3;
+      return (P.snapshot(W) - P.baseline(W)).IoParks >= 3 + G;
     })) << "worker " << W;
     Client C;
     C.adopt(Sp[1]);
@@ -252,7 +365,7 @@ void tracedRun(std::vector<std::string> &Dumps) {
     // for that park (the shard's 4th) before closing, so EOF always finds
     // a parked reader instead of racing an inline read.
     ASSERT_TRUE(spinUntil([&] {
-      return (P.snapshot(W) - P.baseline(W)).IoParks >= 4;
+      return (P.snapshot(W) - P.baseline(W)).IoParks >= 4 + G;
     })) << "worker " << W;
     C.close();
     ASSERT_TRUE(spinUntil([&] {
@@ -265,15 +378,16 @@ void tracedRun(std::vector<std::string> &Dumps) {
     Dumps.push_back(P.traceDump(W));
 }
 
-} // namespace
-
-TEST(Pool, DeterministicPerWorkerTraces) {
+/// The determinism contract, per mode: two identical runs produce
+/// byte-identical per-shard dumps, and the two shards (same workload)
+/// produce identical dumps modulo the shard tag.
+void checkDeterministicTraces(ListenMode Mode) {
   std::vector<std::string> A, B;
-  tracedRun(A);
-  if (HasFatalFailure())
+  tracedRun(Mode, A);
+  if (testing::Test::HasFatalFailure())
     return;
-  tracedRun(B);
-  if (HasFatalFailure())
+  tracedRun(Mode, B);
+  if (testing::Test::HasFatalFailure())
     return;
   ASSERT_EQ(A.size(), 2u);
   ASSERT_EQ(B.size(), 2u);
@@ -294,4 +408,14 @@ TEST(Pool, DeterministicPerWorkerTraces) {
   while ((Pos = W1.find("w1 ", Pos)) != std::string::npos)
     W1.replace(Pos, 3, "w0 ");
   EXPECT_EQ(W0, W1);
+}
+
+} // namespace
+
+TEST(Pool, DeterministicPerWorkerTraces) {
+  checkDeterministicTraces(ListenMode::ReusePort);
+}
+
+TEST(Pool, DeterministicPerWorkerTracesCentralAcceptor) {
+  checkDeterministicTraces(ListenMode::CentralAcceptor);
 }

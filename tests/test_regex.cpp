@@ -26,8 +26,8 @@ protected:
   Interp I;
 };
 
-Server::Options serverOptions() {
-  Server::Options O;
+ServeOptions serverOptions() {
+  ServeOptions O;
   O.MaxInflight = 64;
   return O;
 }
@@ -322,7 +322,7 @@ TEST(RegexServe, MatchStreamKeepsTheZeroCopyInvariant) {
 
 TEST(RegexServe, MatchVerbsOnPool) {
   // The verbs ride protocolSource, so every pool shard serves them too.
-  Pool::Options O;
+  ServeOptions O;
   O.Workers = 3;
   Pool P(O);
   ASSERT_TRUE(P.start()) << P.error();
@@ -356,7 +356,7 @@ TEST(RegexServe, ReapedMidStreamClientUnwindsTheVerb) {
   // A client opens MATCH/STREAM, sends one chunk, then stalls past the
   // connection deadline: the reactor reaps it, the generator's parked
   // read wakes with EOF, and the verb unwinds without copying a word.
-  Server::Options O = serverOptions();
+  ServeOptions O = serverOptions();
   O.ConnDeadlineMs = 50;
   Server S(O);
   mustStart(S);

@@ -18,8 +18,8 @@ using namespace osc;
 
 namespace {
 
-Server::Options options() {
-  Server::Options O;
+ServeOptions options() {
+  ServeOptions O;
   O.MaxInflight = 64;
   return O;
 }
@@ -197,7 +197,7 @@ TEST(Serve, ZeroCopySteadyStateParks) {
 TEST(Serve, MultiShotBaselineCopiesOnEveryPark) {
   // The shimmed baseline column: identical traffic, but every park is a
   // multi-shot capture, so reinstatement pays stack copies.
-  Server::Options O = options();
+  ServeOptions O = options();
   O.VmCfg.SchedOneShotSwitch = false;
   Server S(O);
   mustStart(S);
@@ -243,7 +243,7 @@ TEST(Serve, GracefulStopIsIdempotentAndOk) {
 TEST(Serve, PreemptiveSchedulingStillServes) {
   // A preemption slice forces timer-driven switches on top of the I/O
   // parks; replies must be unaffected.
-  Server::Options O = options();
+  ServeOptions O = options();
   O.PreemptInterval = 50;
   Server S(O);
   mustStart(S);

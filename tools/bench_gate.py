@@ -33,12 +33,15 @@ import argparse
 import json
 import sys
 
-# Workload shape: must match the baseline exactly.
+# Workload shape: must match the baseline exactly.  listen_mode is shape
+# too — a column silently measured on the other accept path would make
+# its numbers incomparable with its baseline.
 HARD_EQ = (
     "clients",
     "workers",
     "requests",
     "accepted",
+    "listen_mode",
     "yields",
     "performs",
     "bytes",
@@ -130,6 +133,27 @@ def gate(base, cur):
             failures.append(
                 "%s = %r differs from baseline %r"
                 % (field, cur.get(field), base[field])
+            )
+
+    # Scaling is policy, not timing: when the baseline declares
+    # scaling_enforced, a current run that was *measurable* (enough
+    # hardware threads, not a fast-mode smoke — the bench reports this
+    # itself) must meet the floor, and falling short is a hard failure.
+    # A non-measurable run only records the ratio; the policy stands but
+    # cannot be tested on that host.
+    if base.get("scaling_enforced") and "scaling_4v1" in cur:
+        floor = cur.get("scaling_min", base.get("scaling_min", 2.5))
+        ratio = cur["scaling_4v1"]
+        if cur.get("scaling_measurable"):
+            if ratio < floor:
+                failures.append(
+                    "scaling_4v1 = %.2fx is below the enforced floor %.2fx"
+                    % (ratio, floor)
+                )
+        else:
+            warnings.append(
+                "scaling_4v1 = %.2fx recorded but not measurable on this "
+                "host (floor %.2fx stands)" % (ratio, floor)
             )
 
     extra_hard_eq = tuple(base.get("hard_eq", ()))
