@@ -1,0 +1,273 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The dispatch benchmark: logical instructions retired per second for
+/// classic call-heavy workloads (fib, tak, ack) plus a global-read/write
+/// loop, each measured at four corners of the dispatch lattice:
+///
+///   * switch-bare    — portable switch loop, no fusion, no inline caches;
+///   * switch-ic      — switch loop plus inline caches;
+///   * threaded-bare  — computed-goto loop alone;
+///   * threaded-full  — computed goto + superinstructions + inline caches
+///                      (the shipping default).
+///
+/// Logical instruction counts are dispatch-invariant by construction — a
+/// fused pair retires two, caches retire nothing — so the instructions
+/// field is exact, identical across all four columns (the binary aborts
+/// otherwise), and pinned to baseline via the gate's hard_eq list.  The
+/// mips field is wall clock and therefore warn-only in CI; outside fast
+/// mode the binary self-gates the headline claim instead: threaded-full
+/// must retire instructions no slower than switch-bare on every workload,
+/// and at least 1.25x faster on fib and tak.
+///
+/// Usage: bench_dispatch [--json <path>]  (OSC_BENCH_FAST=1 for a smoke run)
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+#include "compiler/Bytecode.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+using namespace osc;
+using namespace osc::bench;
+
+namespace {
+
+struct Mode {
+  const char *Name;
+  bool Threaded;
+  uint32_t Fuse;
+  bool Caches;
+};
+
+const Mode ModeTab[] = {
+    {"switch-bare", false, 0, false},
+    {"switch-ic", false, 0, true},
+    {"threaded-bare", true, 0, false},
+    {"threaded-full", true, FuseAll, true},
+};
+
+struct Workload {
+  const char *Name;
+  const char *Setup;  ///< Definitions, evaluated before the warmup.
+  const char *Warmup; ///< Small run: segments grown, caches primed.
+  const char *Timed;  ///< The measured expression (fast-mode variant below).
+  const char *TimedFast;
+  const char *Expect; ///< write-form result of Timed / TimedFast.
+  const char *ExpectFast;
+  int N, NFast; ///< Workload size, recorded as column shape.
+};
+
+const Workload Workloads[] = {
+    {"fib",
+     "(define (fib n) (if (< n 2) n (+ (fib (- n 1)) (fib (- n 2)))))",
+     "(fib 12)", "(fib 27)", "(fib 18)", "196418", "2584", 27, 18},
+    {"tak",
+     "(define (tak x y z)"
+     "  (if (< y x)"
+     "      (tak (tak (- x 1) y z) (tak (- y 1) z x) (tak (- z 1) x y))"
+     "      z))"
+     "(define (rep n acc)"
+     "  (if (zero? n) acc (rep (- n 1) (+ acc (tak 18 12 6)))))",
+     "(tak 12 8 4)", "(rep 25 0)", "(rep 1 0)", "175", "7", 25, 1},
+    {"ack",
+     "(define (ack m n)"
+     "  (cond ((zero? m) (+ n 1))"
+     "        ((zero? n) (ack (- m 1) 1))"
+     "        (else (ack (- m 1) (ack m (- n 1))))))",
+     "(ack 2 3)", "(ack 3 6)", "(ack 2 5)", "509", "13", 6, 5},
+    {"global-loop",
+     "(define g 0)"
+     "(define (gloop n acc)"
+     "  (if (zero? n) acc"
+     "      (begin (set! g (+ g 1)) (gloop (- n 1) (+ acc g)))))",
+     "(begin (set! g 0) (gloop 100 0))",
+     "(begin (set! g 0) (gloop 300000 0))",
+     "(begin (set! g 0) (gloop 5000 0))", "45000150000", "12502500", 300000,
+     5000},
+};
+
+struct Column {
+  std::string Name; ///< "<workload>/<mode>" — the gate's column key.
+  const Workload *W = nullptr;
+  const Mode *M = nullptr;
+  uint64_t Instructions = 0;
+  uint64_t CacheHits = 0;
+  uint64_t CacheMisses = 0;
+  double Ms = 0;
+
+  double mips() const { return Ms > 0 ? Instructions / Ms / 1e3 : 0; }
+};
+
+Column runColumn(const Workload &W, const Mode &M) {
+  Config C;
+  C.ThreadedDispatch = M.Threaded;
+  C.Superinstructions = M.Fuse;
+  C.InlineCaches = M.Caches;
+  Interp I(C);
+  mustEval(I, W.Setup);
+  mustEval(I, W.Warmup);
+
+  // Best of three: every Timed expression is re-runnable (pure, or it
+  // resets its own state), so repeats retire identical instruction
+  // counts and the minimum wall clock discards scheduler noise and any
+  // first-run cold-start (page faults, branch-predictor warmup).
+  const char *Timed = fastMode() ? W.TimedFast : W.Timed;
+  const char *Expect = fastMode() ? W.ExpectFast : W.Expect;
+  const int Reps = fastMode() ? 1 : 3;
+  Column Col;
+  Col.Name = std::string(W.Name) + "/" + M.Name;
+  Col.W = &W;
+  Col.M = &M;
+  for (int R = 0; R < Reps; ++R) {
+    Stats::Snapshot S0 = I.snapshot();
+    auto T0 = std::chrono::steady_clock::now();
+    Value V = mustEval(I, Timed);
+    auto T1 = std::chrono::steady_clock::now();
+    Stats::Snapshot D = I.snapshot() - S0;
+    double Ms = std::chrono::duration<double>(T1 - T0).count() * 1e3;
+
+    if (I.valueToString(V) != Expect)
+      oscFatal(("bench_dispatch: " + Col.Name + " computed " +
+                I.valueToString(V) + ", expected " + Expect +
+                "; the workload drifted")
+                   .c_str());
+    if (R == 0) {
+      Col.Instructions = D.Instructions;
+      Col.CacheHits = D.CacheHits;
+      Col.CacheMisses = D.CacheMisses;
+      Col.Ms = Ms;
+    } else {
+      if (D.Instructions != Col.Instructions)
+        oscFatal(("bench_dispatch: " + Col.Name +
+                  " retired a different instruction count on a repeat run; "
+                  "the workload is not re-runnable")
+                     .c_str());
+      Col.Ms = std::min(Col.Ms, Ms);
+    }
+  }
+  return Col;
+}
+
+void writeJson(const std::string &Path, const std::vector<Column> &Cols,
+               double SpeedupFib, double SpeedupTak) {
+  std::ofstream Out(Path);
+  if (!Out.good())
+    oscFatal(("bench_dispatch: cannot write " + Path).c_str());
+  Out << "{\n  \"name\": \"bench_dispatch\",\n"
+      << "  \"hard_eq\": [\"instructions\"],\n"
+      << "  \"speedup_enforced\": true,\n"
+      << "  \"speedup_min\": 1.25,\n"
+      << "  \"speedup_measurable\": " << (fastMode() ? "false" : "true")
+      << ",\n"
+      << "  \"speedup_fib\": " << SpeedupFib << ",\n"
+      << "  \"speedup_tak\": " << SpeedupTak << ",\n"
+      << "  \"columns\": [\n";
+  for (size_t K = 0; K < Cols.size(); ++K) {
+    const Column &C = Cols[K];
+    Out << "    {\n"
+        << "      \"name\": \"" << C.Name << "\",\n"
+        << "      \"workload\": \"" << C.W->Name << "\",\n"
+        << "      \"dispatch_mode\": \""
+        << (C.M->Threaded ? "threaded" : "switch") << "\",\n"
+        << "      \"superinstructions\": " << C.M->Fuse << ",\n"
+        << "      \"inline_caches\": " << (C.M->Caches ? "true" : "false")
+        << ",\n"
+        << "      \"n\": " << (fastMode() ? C.W->NFast : C.W->N) << ",\n"
+        << "      \"instructions\": " << C.Instructions << ",\n"
+        << "      \"cache_hits\": " << C.CacheHits << ",\n"
+        << "      \"cache_misses\": " << C.CacheMisses << ",\n"
+        << "      \"elapsed_ms\": " << C.Ms << ",\n"
+        << "      \"mips\": " << C.mips() << "\n    }"
+        << (K + 1 < Cols.size() ? "," : "") << "\n";
+  }
+  Out << "  ]\n}\n";
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  std::string JsonPath;
+  for (int K = 1; K < Argc; ++K) {
+    std::string A = Argv[K];
+    if (A == "--json" && K + 1 < Argc)
+      JsonPath = Argv[++K];
+  }
+
+  std::printf("Dispatch: instructions/sec across the dispatch lattice "
+              "(%s mode).\n\n",
+              fastMode() ? "fast/smoke" : "full");
+
+  std::vector<Column> Cols;
+  for (const Workload &W : Workloads)
+    for (const Mode &M : ModeTab)
+      Cols.push_back(runColumn(W, M));
+
+  std::printf("%24s %14s %10s %10s %12s %12s\n", "column", "instructions",
+              "ms", "mips", "cache-hits", "cache-miss");
+  for (const Column &C : Cols)
+    std::printf("%24s %14llu %10.2f %10.1f %12llu %12llu\n", C.Name.c_str(),
+                static_cast<unsigned long long>(C.Instructions), C.Ms,
+                C.mips(), static_cast<unsigned long long>(C.CacheHits),
+                static_cast<unsigned long long>(C.CacheMisses));
+
+  // Logical instruction counts are the dispatch contract: all four
+  // columns of a workload must retire exactly the same count, or the
+  // modes have diverged and every other number is meaningless.
+  for (const Workload &W : Workloads) {
+    uint64_t Ref = 0;
+    for (const Column &C : Cols) {
+      if (C.W != &W)
+        continue;
+      if (Ref == 0)
+        Ref = C.Instructions;
+      else if (C.Instructions != Ref)
+        oscFatal(("bench_dispatch: " + C.Name +
+                  " retired a different logical instruction count than its "
+                  "siblings; the dispatch modes have diverged")
+                     .c_str());
+    }
+  }
+
+  auto Mips = [&](const char *W, const char *M) {
+    std::string Key = std::string(W) + "/" + M;
+    for (const Column &C : Cols)
+      if (C.Name == Key)
+        return C.mips();
+    oscFatal(("bench_dispatch: missing column " + Key).c_str());
+    return 0.0;
+  };
+  double SpeedupFib = Mips("fib", "threaded-full") / Mips("fib", "switch-bare");
+  double SpeedupTak = Mips("tak", "threaded-full") / Mips("tak", "switch-bare");
+
+  if (!fastMode()) {
+    // Wall-clock self-gates only outside fast mode: smoke workloads are
+    // too small to time, and CI runners gate on the JSON shape instead.
+    for (const Workload &W : Workloads)
+      if (Mips(W.Name, "threaded-full") < Mips(W.Name, "switch-bare"))
+        oscFatal(("bench_dispatch: threaded-full is slower than switch-bare "
+                  "on " +
+                  std::string(W.Name))
+                     .c_str());
+    if (SpeedupFib < 1.25 || SpeedupTak < 1.25)
+      oscFatal("bench_dispatch: threaded+superinstructions+caches is below "
+               "the 1.25x instructions/sec floor over the bare switch loop");
+  }
+
+  std::printf("\nthreaded-full over switch-bare: %.2fx on fib, %.2fx on tak "
+              "(floor 1.25x%s).\n",
+              SpeedupFib, SpeedupTak,
+              fastMode() ? ", not gated in fast mode" : "");
+  if (!JsonPath.empty()) {
+    writeJson(JsonPath, Cols, SpeedupFib, SpeedupTak);
+    std::printf("Wrote %s\n", JsonPath.c_str());
+  }
+  return 0;
+}

@@ -7,124 +7,53 @@
 
 using namespace osc;
 
-unsigned osc::opOperandCount(Op O) {
+namespace {
+
+struct OpInfo {
+  const char *Mnemonic;
+  unsigned NOperands;
+};
+
+constexpr OpInfo OpInfos[] = {
+#define OSC_OP_INFO(Name, Mnemonic, NOperands) {Mnemonic, NOperands},
+    OSC_OPCODES(OSC_OP_INFO)
+#undef OSC_OP_INFO
+};
+
+static_assert(sizeof(OpInfos) / sizeof(OpInfos[0]) == NumOpcodes,
+              "opcode info table out of sync with the opcode list");
+
+/// True if \p O's first operand indexes the constant vector (drives the
+/// disassembler's "; <literal>" annotation).
+bool firstOperandIsConst(Op O) {
   switch (O) {
   case Op::Const:
-  case Op::GetLocal:
-  case Op::GetLocalCell:
-  case Op::SetLocalCell:
   case Op::GetGlobal:
   case Op::SetGlobal:
   case Op::DefGlobal:
-  case Op::MakeCell:
-  case Op::Jump:
-  case Op::JumpIfFalse:
-  case Op::SetTop:
-  case Op::TailCall:
-    return 1;
-  case Op::MakeClosure:
-  case Op::Call:
-    return 2;
-  case Op::Push:
-  case Op::Frame:
-  case Op::Return:
-  case Op::CwvApply:
-  case Op::PromptPop:
-  case Op::Add:
-  case Op::Sub:
-  case Op::Mul:
-  case Op::NumLt:
-  case Op::NumLe:
-  case Op::NumGt:
-  case Op::NumGe:
-  case Op::NumEq:
-  case Op::Cons:
-  case Op::Car:
-  case Op::Cdr:
-  case Op::IsNull:
-  case Op::IsPair:
-  case Op::Not:
-  case Op::IsZero:
-  case Op::IsEq:
-    return 0;
+  case Op::ConstPush:
+  case Op::GetGlobalCall:
+  case Op::GetGlobalTailCall:
+    return true;
+  default:
+    return false;
   }
-  oscUnreachable("bad opcode");
+}
+
+} // namespace
+
+unsigned osc::opOperandCount(Op O) {
+  uint32_t I = static_cast<uint32_t>(O);
+  if (I >= NumOpcodes)
+    oscUnreachable("bad opcode");
+  return OpInfos[I].NOperands;
 }
 
 const char *osc::opName(Op O) {
-  switch (O) {
-  case Op::Const:
-    return "const";
-  case Op::GetLocal:
-    return "get-local";
-  case Op::GetLocalCell:
-    return "get-local-cell";
-  case Op::SetLocalCell:
-    return "set-local-cell";
-  case Op::GetGlobal:
-    return "get-global";
-  case Op::SetGlobal:
-    return "set-global";
-  case Op::DefGlobal:
-    return "def-global";
-  case Op::Push:
-    return "push";
-  case Op::MakeCell:
-    return "make-cell";
-  case Op::MakeClosure:
-    return "make-closure";
-  case Op::Jump:
-    return "jump";
-  case Op::JumpIfFalse:
-    return "jump-if-false";
-  case Op::SetTop:
-    return "set-top";
-  case Op::Frame:
-    return "frame";
-  case Op::Call:
-    return "call";
-  case Op::TailCall:
-    return "tail-call";
-  case Op::Return:
-    return "return";
-  case Op::CwvApply:
-    return "cwv-apply";
-  case Op::PromptPop:
-    return "prompt-pop";
-  case Op::Add:
-    return "add";
-  case Op::Sub:
-    return "sub";
-  case Op::Mul:
-    return "mul";
-  case Op::NumLt:
-    return "num<";
-  case Op::NumLe:
-    return "num<=";
-  case Op::NumGt:
-    return "num>";
-  case Op::NumGe:
-    return "num>=";
-  case Op::NumEq:
-    return "num=";
-  case Op::Cons:
-    return "cons";
-  case Op::Car:
-    return "car";
-  case Op::Cdr:
-    return "cdr";
-  case Op::IsNull:
-    return "null?";
-  case Op::IsPair:
-    return "pair?";
-  case Op::Not:
-    return "not";
-  case Op::IsZero:
-    return "zero?";
-  case Op::IsEq:
-    return "eq?";
-  }
-  oscUnreachable("bad opcode");
+  uint32_t I = static_cast<uint32_t>(O);
+  if (I >= NumOpcodes)
+    oscUnreachable("bad opcode");
+  return OpInfos[I].Mnemonic;
 }
 
 std::string osc::disassemble(const Code *C) {
@@ -133,7 +62,10 @@ std::string osc::disassemble(const Code *C) {
   if (isObj<Symbol>(C->Name))
     OS << " " << castObj<Symbol>(C->Name)->name();
   OS << " params=" << C->NParams << (C->HasRest ? "+rest" : "")
-     << " maxdepth=" << C->MaxDepth << "\n";
+     << " maxdepth=" << C->MaxDepth;
+  if (C->NCaches)
+    OS << " caches=" << C->NCaches;
+  OS << "\n";
   const Vector *Consts = castObj<Vector>(C->Consts);
   OS << "  0: <entry-frame-size " << C->Instrs[0] << ">\n";
   uint32_t Pc = 1;
@@ -143,8 +75,7 @@ std::string osc::disassemble(const Code *C) {
     unsigned NOps = opOperandCount(O);
     for (unsigned I = 1; I <= NOps; ++I)
       OS << " " << C->Instrs[Pc + I];
-    if (O == Op::Const || O == Op::GetGlobal || O == Op::SetGlobal ||
-        O == Op::DefGlobal)
+    if (firstOperandIsConst(O))
       OS << "    ; " << writeToString(Consts->get(C->Instrs[Pc + 1]));
     OS << "\n";
     Pc += 1 + NOps;

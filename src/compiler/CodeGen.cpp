@@ -35,6 +35,7 @@ struct FnCtx {
   std::vector<uint32_t> Instrs;
   std::vector<Value> Consts;
   std::unordered_map<uint64_t, uint32_t> ConstIndex;
+  uint32_t NCaches = 0; ///< Inline-cache slots handed out so far.
   uint32_t Depth = FrameHeaderWords;
   uint32_t MaxDepth = FrameHeaderWords;
 
@@ -60,7 +61,7 @@ struct PrimSpec {
 
 class Compiler {
 public:
-  explicit Compiler(Heap &H) : H(H) {
+  Compiler(Heap &H, uint32_t FuseMask) : H(H), FuseMask(FuseMask) {
     auto S = [&](const char *N) { return H.intern(N); };
     SQuote = S("quote");
     SIf = S("if");
@@ -108,6 +109,13 @@ private:
     C.Instrs.push_back(A);
     C.Instrs.push_back(B);
   }
+  void emit3(FnCtx &C, Op O, uint32_t A, uint32_t B, uint32_t D) {
+    emit2(C, O, A, B);
+    C.Instrs.push_back(D);
+  }
+  /// Hands out the next inline-cache slot index.  Always emitted: the
+  /// bytecode shape is independent of whether the VM uses the slots.
+  uint32_t cacheIndex(FnCtx &C) { return C.NCaches++; }
   uint32_t emitJump(FnCtx &C, Op O) {
     emit(C, O);
     C.Instrs.push_back(0);
@@ -268,7 +276,7 @@ private:
       emit1(C, R.Boxed ? Op::GetLocalCell : Op::GetLocal, R.Offset);
       return;
     }
-    emit1(C, Op::GetGlobal, constIndex(C, Value::object(S)));
+    emit2(C, Op::GetGlobal, constIndex(C, Value::object(S)), cacheIndex(C));
   }
 
   void compileExpr(Value E, FnCtx &C, bool Tail) {
@@ -359,7 +367,7 @@ private:
       assert(R.Boxed && "assignment analysis must box assigned locals");
       emit1(C, Op::SetLocalCell, R.Offset);
     } else {
-      emit1(C, Op::SetGlobal, constIndex(C, Value::object(S)));
+      emit2(C, Op::SetGlobal, constIndex(C, Value::object(S)), cacheIndex(C));
     }
     emitConst(C, Value::unspecified());
     maybeReturn(C, Tail);
@@ -544,7 +552,7 @@ private:
         C.bumpDepth();
       }
       compileExpr(Operator, C, false);
-      emit1(C, Op::TailCall, NArgs);
+      emit2(C, Op::TailCall, cacheIndex(C), NArgs);
       C.Depth -= NArgs;
       return;
     }
@@ -558,7 +566,9 @@ private:
       C.bumpDepth();
     }
     compileExpr(Operator, C, false);
-    emit2(C, Op::Call, NArgs, D);
+    // D is the last operand word: the return pc points just past it, so
+    // Instrs[RetPc - 1] recovers the frame-size word (§3.1).
+    emit3(C, Op::Call, cacheIndex(C), NArgs, D);
     C.Depth = D;
   }
 
@@ -600,17 +610,127 @@ private:
     compileExpr(E, C, Tail);
   }
 
+  // --- Superinstruction fusion (peephole) -------------------------------------
+
+  /// Looks up the fusion rule for the adjacent pair (\p A, \p B) under the
+  /// enabled mask.  Returns false when the pair has no enabled rule.
+  bool fuseRule(Op A, Op B, Op &Fused) const {
+    struct Rule {
+      Op A, B, Fused;
+      uint32_t Bit;
+    };
+    // One row per FuseRule bit, in bit order.
+    static constexpr Rule Rules[] = {
+        {Op::GetLocal, Op::Push, Op::GetLocalPush, FuseGetLocalPush},
+        {Op::Const, Op::Push, Op::ConstPush, FuseConstPush},
+        {Op::GetGlobal, Op::Call, Op::GetGlobalCall, FuseGetGlobalCall},
+        {Op::GetGlobal, Op::TailCall, Op::GetGlobalTailCall,
+         FuseGetGlobalTailCall},
+        {Op::NumLt, Op::JumpIfFalse, Op::LtJumpIfFalse, FuseLtJumpIfFalse},
+        {Op::NumLe, Op::JumpIfFalse, Op::LeJumpIfFalse, FuseLeJumpIfFalse},
+        {Op::NumGt, Op::JumpIfFalse, Op::GtJumpIfFalse, FuseGtJumpIfFalse},
+        {Op::NumGe, Op::JumpIfFalse, Op::GeJumpIfFalse, FuseGeJumpIfFalse},
+        {Op::NumEq, Op::JumpIfFalse, Op::NumEqJumpIfFalse,
+         FuseNumEqJumpIfFalse},
+        {Op::IsZero, Op::JumpIfFalse, Op::ZeroJumpIfFalse,
+         FuseZeroJumpIfFalse},
+        {Op::IsNull, Op::JumpIfFalse, Op::NullJumpIfFalse,
+         FuseNullJumpIfFalse},
+        {Op::GetLocal, Op::Return, Op::GetLocalReturn, FuseGetLocalReturn},
+    };
+    for (const Rule &R : Rules)
+      if (R.A == A && R.B == B && (FuseMask & R.Bit)) {
+        Fused = R.Fused;
+        return true;
+      }
+    return false;
+  }
+
+  /// Rewrites \p C.Instrs, greedily fusing enabled adjacent pairs left to
+  /// right.  Correctness constraints:
+  ///   * a pair is skipped when its second instruction is a jump target —
+  ///     fusing would erase an entry point;
+  ///   * Jump/JumpIfFalse targets (including the targets carried by fused
+  ///     conditional branches) are relocated through an old-pc -> new-pc
+  ///     map built while copying;
+  ///   * return points need no map: a call's return pc is "just past the
+  ///     call", which exists in the new stream by construction, and every
+  ///     fused call keeps D as its last word so Instrs[RetPc-1] holds;
+  ///   * the entry frame-size word Instrs[0] and all depth/index operands
+  ///     are not pcs and pass through untouched.
+  void fuseSuperinstructions(FnCtx &C) {
+    if (!FuseMask || C.Instrs.size() <= 1)
+      return;
+    std::vector<uint32_t> &In = C.Instrs;
+    const uint32_t End = static_cast<uint32_t>(In.size());
+
+    std::unordered_set<uint32_t> Targets;
+    for (uint32_t Pc = 1; Pc < End;
+         Pc += 1 + opOperandCount(static_cast<Op>(In[Pc]))) {
+      Op O = static_cast<Op>(In[Pc]);
+      if (O == Op::Jump || O == Op::JumpIfFalse)
+        Targets.insert(In[Pc + 1]);
+    }
+
+    std::vector<uint32_t> Out;
+    Out.reserve(In.size());
+    Out.push_back(In[0]);
+    // OldToNew[p] = index in Out of the instruction that began at old pc p
+    // (meaningful only at old instruction starts; index End maps the
+    // one-past-the-end target patchJump can produce).
+    std::vector<uint32_t> OldToNew(End + 1, 0);
+    std::vector<uint32_t> Relocs; ///< Out indices holding old jump targets.
+
+    uint32_t Pc = 1;
+    while (Pc < End) {
+      OldToNew[Pc] = static_cast<uint32_t>(Out.size());
+      Op O = static_cast<Op>(In[Pc]);
+      unsigned NOps = opOperandCount(O);
+      uint32_t NextPc = Pc + 1 + NOps;
+      Op Fused;
+      if (NextPc < End && !Targets.count(NextPc) &&
+          fuseRule(O, static_cast<Op>(In[NextPc]), Fused)) {
+        Op B = static_cast<Op>(In[NextPc]);
+        unsigned BOps = opOperandCount(B);
+        Out.push_back(static_cast<uint32_t>(Fused));
+        // First instruction's operands, verbatim (off / k / k+gci).
+        for (unsigned I = 1; I <= NOps; ++I)
+          Out.push_back(In[Pc + I]);
+        // Second instruction's operands: jump targets get relocated.
+        if (B == Op::JumpIfFalse)
+          Relocs.push_back(static_cast<uint32_t>(Out.size()));
+        for (unsigned I = 1; I <= BOps; ++I)
+          Out.push_back(In[NextPc + I]);
+        Pc = NextPc + 1 + BOps;
+        continue;
+      }
+      Out.push_back(In[Pc]);
+      if (O == Op::Jump || O == Op::JumpIfFalse)
+        Relocs.push_back(static_cast<uint32_t>(Out.size()));
+      for (unsigned I = 1; I <= NOps; ++I)
+        Out.push_back(In[Pc + I]);
+      Pc = NextPc;
+    }
+    OldToNew[End] = static_cast<uint32_t>(Out.size());
+
+    for (uint32_t At : Relocs)
+      Out[At] = OldToNew[Out[At]];
+    In = std::move(Out);
+  }
+
   Code *finishCode(FnCtx &C, Value Name, uint32_t NParams, bool HasRest) {
+    fuseSuperinstructions(C);
     Vector *Consts =
         H.allocVector(static_cast<uint32_t>(C.Consts.size()), Value::nil());
     for (uint32_t I = 0; I != C.Consts.size(); ++I)
       Consts->set(I, C.Consts[I]);
     return H.allocCode(Name, Value::object(Consts), NParams, HasRest,
                        C.MaxDepth, C.Instrs.data(),
-                       static_cast<uint32_t>(C.Instrs.size()));
+                       static_cast<uint32_t>(C.Instrs.size()), C.NCaches);
   }
 
   Heap &H;
+  uint32_t FuseMask;
   bool Failed = false;
   std::string Error;
   Symbol *SQuote, *SIf, *SSet, *SLambda, *SBegin, *SLet, *SDefine;
@@ -619,9 +739,12 @@ private:
 
 } // namespace
 
-CodeGen::CodeGen(Heap &H) : H(H) {}
+// Config.h states the default fusion mask as a literal (it cannot include
+// this layer); keep the two in lockstep.
+static_assert(osc::FuseAll == 0xfffu,
+              "FuseAll drifted from Config::Superinstructions' default");
 
 Code *CodeGen::compileToplevel(Value Form, std::string &Error) {
-  Compiler C(H);
+  Compiler C(H, FuseMask);
   return C.run(Form, Error);
 }

@@ -13,13 +13,21 @@
 ///   * MaxDepth: the static maximum frame extent, used by the VM for the
 ///     segment-overflow check;
 ///   * assignment conversion: assigned bindings live in heap cells so flat
-///     closures can share mutable state.
+///     closures can share mutable state;
+///   * inline-cache indices: every GetGlobal/SetGlobal/Call/TailCall site
+///     gets a dense per-code cache-slot index, emitted unconditionally so
+///     the bytecode shape never depends on Config::InlineCaches;
+///   * superinstruction fusion: a peephole pass over the finished stream
+///     fuses the opcode pairs enabled in Config::Superinstructions,
+///     relocating jump targets and never fusing across a jump target (the
+///     second instruction of a fused pair ceases to be an entry point).
 ///
 //===----------------------------------------------------------------------===//
 
 #ifndef OSC_COMPILER_CODEGEN_H
 #define OSC_COMPILER_CODEGEN_H
 
+#include "core/Config.h"
 #include "object/Heap.h"
 #include "object/Value.h"
 
@@ -31,7 +39,10 @@ struct Code;
 
 class CodeGen {
 public:
-  explicit CodeGen(Heap &H);
+  /// \p Cfg supplies the fusion mask (Config::Superinstructions); the
+  /// default-config overload keeps every rule on, the production setting.
+  CodeGen(Heap &H, const Config &Cfg) : H(H), FuseMask(Cfg.Superinstructions) {}
+  explicit CodeGen(Heap &H) : H(H), FuseMask(Config().Superinstructions) {}
 
   /// Compiles one fully expanded top-level form into a zero-argument code
   /// object.  Returns nullptr and fills \p Error on failure.
@@ -39,6 +50,7 @@ public:
 
 private:
   Heap &H;
+  uint32_t FuseMask; ///< Enabled FuseRule bits (compiler/Bytecode.h).
 };
 
 } // namespace osc

@@ -91,6 +91,23 @@ struct Config {
   /// column in bench_serve — the paper's Figure 5 comparison applied to
   /// I/O parking.  Leave true for the real system.
   bool SchedOneShotSwitch = true;
+  /// When true (and the compiler supports computed goto) the VM dispatch
+  /// loop is token-threaded: one indirect branch per handler instead of
+  /// one shared switch branch.  Semantically invisible — the differential
+  /// oracle runs both modes byte-identically — so leave true except when
+  /// ablating dispatch cost (bench_dispatch's switch columns).
+  bool ThreadedDispatch = true;
+  /// Bitmask of peephole fusion rules (FuseRule in compiler/Bytecode.h).
+  /// Each enabled bit lets the compiler fuse one high-frequency opcode
+  /// pair into a superinstruction.  The emitted bytecode is a function of
+  /// this mask; execution semantics never are.
+  uint32_t Superinstructions = 0xfffu; // FuseAll
+  /// Monomorphic inline caches for global references (per-site resolved
+  /// cell, invalidated by a generation counter on any global definition)
+  /// and closure-call sites (last callee + precomputed frame need,
+  /// invalidated by GC).  Toggles runtime behavior only: cache-index
+  /// operands are always present in the bytecode.
+  bool InlineCaches = true;
   /// When false, delimited capture (shift) uses multi-shot captures and the
   /// slice cut deep-clones every chain member instead of relinking one-shot
   /// views in place — the copying shim bench_control compares against to

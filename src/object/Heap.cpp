@@ -138,8 +138,12 @@ Closure *Heap::allocClosure(Value CodeVal, uint32_t NFree) {
 
 Code *Heap::allocCode(Value Name, Value Consts, uint32_t NParams, bool HasRest,
                       uint32_t MaxDepth, const uint32_t *Instrs,
-                      uint32_t NInstrs) {
+                      uint32_t NInstrs, uint32_t NCaches) {
   size_t Bytes = sizeof(Code) + (NInstrs ? NInstrs - 1 : 0) * sizeof(uint32_t);
+  // Inline-cache slots follow the instruction words at CacheSlot alignment
+  // (Code::caches()); the alignof slop covers the round-up.
+  if (NCaches)
+    Bytes += NCaches * sizeof(CacheSlot) + alignof(CacheSlot);
   auto *C = static_cast<Code *>(rawAlloc(Bytes, ObjKind::Code));
   C->Name = Name;
   C->Consts = Consts;
@@ -147,7 +151,10 @@ Code *Heap::allocCode(Value Name, Value Consts, uint32_t NParams, bool HasRest,
   C->HasRest = HasRest;
   C->MaxDepth = MaxDepth;
   C->NInstrs = NInstrs;
+  C->NCaches = NCaches;
   std::memcpy(C->Instrs, Instrs, NInstrs * sizeof(uint32_t));
+  if (NCaches)
+    std::memset(C->caches(), 0, NCaches * sizeof(CacheSlot));
   return C;
 }
 

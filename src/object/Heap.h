@@ -110,7 +110,8 @@ public:
   Vector *allocVector(uint32_t Len, Value Fill = Value::unspecified());
   Closure *allocClosure(Value CodeVal, uint32_t NFree);
   Code *allocCode(Value Name, Value Consts, uint32_t NParams, bool HasRest,
-                  uint32_t MaxDepth, const uint32_t *Instrs, uint32_t NInstrs);
+                  uint32_t MaxDepth, const uint32_t *Instrs, uint32_t NInstrs,
+                  uint32_t NCaches = 0);
   Native *allocNative(Value Name, NativeFn Fn, uint16_t MinArgs,
                       int16_t MaxArgs, NativeSpecial Special);
   Continuation *allocContinuation();

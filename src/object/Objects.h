@@ -125,6 +125,20 @@ struct Vector : ObjHeader {
 
 // --- Code and procedures -----------------------------------------------------
 
+/// One monomorphic inline-cache slot, embedded in the Code allocation
+/// right after the instruction words.  The VM fills and probes these when
+/// Config::InlineCaches is on; Key == 0 means empty.  GC does NOT trace
+/// cache slots — keys are weak by construction: a global-site key is the
+/// Symbol already pinned by the code's constant vector, and a call-site
+/// key is only trusted while Gen still equals the GC epoch it was filled
+/// in (the heap is non-moving, so an address can only be recycled after a
+/// collection, which bumps the epoch and invalidates the slot).
+struct CacheSlot {
+  uint64_t Key; ///< Cached resolution identity (Symbol* / callee bits).
+  uint64_t Gen; ///< Generation the fill is valid for (global gen / GC epoch).
+  uint64_t Aux; ///< Per-kind payload: the callee's frame Need for call sites.
+};
+
 /// Compiled bytecode for one lambda.
 ///
 /// The instruction stream is a flat array of 32-bit words.  Frame-size words
@@ -140,7 +154,17 @@ struct Code : ObjHeader {
   uint32_t MaxDepth; ///< Static max words this code pushes above its frame
                      ///< base, used for the segment-overflow check.
   uint32_t NInstrs;
+  uint32_t NCaches;   ///< Inline-cache slots following the instructions.
   uint32_t Instrs[1]; ///< Inline instruction words.
+
+  /// The inline-cache slot array: after the instruction words, rounded up
+  /// to CacheSlot alignment.  Heap::allocCode sizes the allocation with
+  /// the same formula.
+  CacheSlot *caches() {
+    uintptr_t P = reinterpret_cast<uintptr_t>(Instrs + NInstrs);
+    uintptr_t A = alignof(CacheSlot);
+    return reinterpret_cast<CacheSlot *>((P + A - 1) & ~(A - 1));
+  }
 
   /// The frame-size word for the call whose return point is \p RetPc: the
   /// number of words in the caller's frame below the callee's frame base.

@@ -60,8 +60,13 @@ namespace osc {
   X(Overflows)            /* Segment overflows handled. */                     \
   X(Splits)               /* Continuation splits (copy bound). */              \
   /* VM. */                                                                    \
-  X(Instructions)         /* Bytecode instructions executed. */                \
+  X(Instructions)         /* Bytecode instructions executed.  Fused            \
+                             superinstructions count as the pair they          \
+                             replace, so the total is invariant across         \
+                             dispatch modes and fusion masks. */               \
   X(ProcedureCalls)       /* CALL + TAILCALL of closures/natives. */           \
+  X(CacheHits)            /* Inline-cache hits (global refs + call sites). */  \
+  X(CacheMisses)          /* Inline-cache misses (slow path + refill). */      \
   /* Scheduler (src/sched).  ContextSwitches counts every control transfer     \
      the scheduler performs (thread starts, resumes and the final return to    \
      the suspended main computation); the benchmark harness diffs it against   \

@@ -78,6 +78,8 @@ const char *osc::traceEventName(TraceEvent E) {
     return "perform";
   case TraceEvent::NurseryCancel:
     return "nursery-cancel";
+  case TraceEvent::Cache:
+    return "cache";
   }
   oscUnreachable("bad TraceEvent");
 }

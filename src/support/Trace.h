@@ -102,6 +102,13 @@ enum class TraceEvent : uint8_t {
   NurseryCancel, ///< A nursery poisoned and retired a child green thread
                  ///< (scope exit, child failure, or connection teardown).
                  ///< p0=thread id.
+
+  // VM dispatch (src/vm).
+  Cache, ///< Inline-cache probe. p0=site kind (0 get-global, 1 set-global,
+         ///< 2 call, 3 tail-call), p1=1 hit / 0 miss, p2=cache index.
+         ///< Deterministic per config point, but config-dependent (off when
+         ///< Config::InlineCaches is off), so trace-comparing sweeps filter
+         ///< it out like heap events.
 };
 
 /// Stable, kebab-case event name ("capture-multi", "sched-switch", ...).

@@ -56,7 +56,7 @@ Interp::Result Interp::eval(std::string_view Source) {
   GCRoot UnitRoot(*H, Unit);
 
   Expander Ex(*H);
-  CodeGen Gen(*H);
+  CodeGen Gen(*H, Cfg);
   Value Expanded;
   std::string Err;
   if (!Ex.expandToplevel(Unit, Expanded, Err)) {

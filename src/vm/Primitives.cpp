@@ -653,6 +653,10 @@ Value primVmStat(VM &Vm, Value *A, uint32_t) {
     V = St.Instructions;
   else if (N == "procedure-calls")
     V = St.ProcedureCalls;
+  else if (N == "cache-hits")
+    V = St.CacheHits;
+  else if (N == "cache-misses")
+    V = St.CacheMisses;
   else if (N == "empty-captures")
     V = St.EmptyCaptures;
   else if (N == "context-switches")

@@ -97,6 +97,7 @@ Value VM::fail(const std::string &Msg, ErrorKind Kind) {
 
 void VM::defineGlobal(std::string_view Name, Value V) {
   H.intern(Name)->Global = V;
+  ++GlobalGen; // A definition; invalidates global-site inline caches.
 }
 
 void VM::defineNative(std::string_view Name, NativeFn Fn, uint16_t MinArgs,
@@ -105,6 +106,7 @@ void VM::defineNative(std::string_view Name, NativeFn Fn, uint16_t MinArgs,
   Native *N =
       H.allocNative(Value::object(Sym), Fn, MinArgs, MaxArgs, Special);
   Sym->Global = Value::object(N);
+  ++GlobalGen; // A definition; invalidates global-site inline caches.
 }
 
 void VM::defineNatives(std::span<const NativeDef> Defs) {
@@ -252,10 +254,10 @@ uint32_t VM::buildFrame(Site St, const Value *Args, uint32_t NArgs,
   return NewFp;
 }
 
-bool VM::enterClosure(Closure *Cl, uint32_t NArgs) {
+bool VM::enterClosure(Closure *Cl, uint32_t NArgs, bool ArityChecked) {
   Code *C = Cl->code();
   uint32_t Req = C->NParams;
-  if (NArgs < Req || (!C->HasRest && NArgs > Req)) {
+  if (!ArityChecked && (NArgs < Req || (!C->HasRest && NArgs > Req))) {
     fail(arityMessage(Value::object(Cl), NArgs));
     return false;
   }
@@ -1907,354 +1909,46 @@ VM::RunResult VM::run(Code *Toplevel) {
   return R;
 }
 
+
+// --- The dispatch loop -------------------------------------------------------
+//
+// Both loop bodies below are generated from vm/VMDispatch.inc; see that
+// file for the shared-handler structure and the mode-invariance rules.
+
+// Computed goto (the GNU labels-as-values extension) backs the threaded
+// loop; where it is unavailable — or explicitly disabled with
+// -DOSC_NO_COMPUTED_GOTO — both Config::ThreadedDispatch settings run the
+// portable switch loop, which is semantically identical.
+#if defined(__GNUC__) && !defined(OSC_NO_COMPUTED_GOTO)
+#define OSC_COMPUTED_GOTO 1
+#else
+#define OSC_COMPUTED_GOTO 0
+#endif
+
 void VM::interpLoop() {
-  while (!Failed && !Halted) {
-    Value *Sl = CS.slots();
-    const Vector *Ko = castObj<Vector>(Cur->Consts);
-    assert(Pc >= 0 && static_cast<uint32_t>(Pc) < Cur->NInstrs &&
-           "pc out of range");
-    Op O = static_cast<Op>(Cur->Instrs[Pc++]);
-    S.Instructions += 1;
-
-    switch (O) {
-    case Op::Const:
-      Acc = Ko->Elems[Cur->Instrs[Pc++]];
-      break;
-    case Op::GetLocal:
-      Acc = Sl[CS.Fp + Cur->Instrs[Pc++]];
-      break;
-    case Op::GetLocalCell:
-      Acc = castObj<Cell>(Sl[CS.Fp + Cur->Instrs[Pc++]])->Val;
-      break;
-    case Op::SetLocalCell:
-      castObj<Cell>(Sl[CS.Fp + Cur->Instrs[Pc++]])->Val = Acc;
-      break;
-    case Op::GetGlobal: {
-      auto *Sym = castObj<Symbol>(Ko->Elems[Cur->Instrs[Pc++]]);
-      if (Sym->Global.isUndefined()) {
-        fail("unbound variable: " + std::string(Sym->name()));
-        break;
-      }
-      Acc = Sym->Global;
-      break;
-    }
-    case Op::SetGlobal: {
-      auto *Sym = castObj<Symbol>(Ko->Elems[Cur->Instrs[Pc++]]);
-      if (Sym->Global.isUndefined()) {
-        fail("set! of unbound variable: " + std::string(Sym->name()));
-        break;
-      }
-      Sym->Global = Acc;
-      break;
-    }
-    case Op::DefGlobal:
-      castObj<Symbol>(Ko->Elems[Cur->Instrs[Pc++]])->Global = Acc;
-      break;
-    case Op::Push:
-      assert(CS.Top < CS.capacity() && "push past window capacity");
-      Sl[CS.Top++] = Acc;
-      break;
-    case Op::MakeCell: {
-      uint32_t Off = Cur->Instrs[Pc++];
-      Sl[CS.Fp + Off] = Value::object(H.allocCell(Sl[CS.Fp + Off]));
-      break;
-    }
-    case Op::MakeClosure: {
-      Value CodeV = Ko->Elems[Cur->Instrs[Pc++]];
-      uint32_t NFree = Cur->Instrs[Pc++];
-      Closure *Cl = H.allocClosure(CodeV, NFree);
-      for (uint32_t I = 0; I != NFree; ++I)
-        Cl->Free[I] = Sl[CS.Top - NFree + I];
-      CS.Top -= NFree;
-      Acc = Value::object(Cl);
-      break;
-    }
-    case Op::Jump:
-      Pc = Cur->Instrs[Pc];
-      break;
-    case Op::JumpIfFalse: {
-      uint32_t Target = Cur->Instrs[Pc++];
-      if (Acc.isFalse())
-        Pc = Target;
-      break;
-    }
-    case Op::SetTop:
-      CS.Top = CS.Fp + Cur->Instrs[Pc++];
-      break;
-    case Op::Frame:
-      CS.Top += FrameHeaderWords;
-      break;
-
-    case Op::Call: {
-      uint32_t N = Cur->Instrs[Pc++];
-      uint32_t D = Cur->Instrs[Pc++];
-      if (Fuel > 0 && --Fuel == 0)
-        TimerExpired = true; // Serviced at the next Return.
-      if (PreemptCursor < Cfg.Faults.PreemptAtCalls.size() &&
-          ++PreemptTick >= Cfg.Faults.PreemptAtCalls[PreemptCursor]) {
-        ++PreemptCursor;
-        TimerExpired = true; // Injected expiry; serviced like a real one.
-      }
-      if (H.needsGC())
-        H.collect();
-      Value Callee = Acc;
-      if (auto *Cl = dynObj<Closure>(Callee)) {
-        uint32_t Need = calleeNeed(Callee, N);
-        CallFramePlan Plan = CS.prepareCall(CurCodeVal, Pc, D, N, Need);
-        Value *Sl2 = CS.slots();
-        if (Plan.BaseFrame) {
-          Sl2[Plan.NewFp + FrameRetCode] = Value::underflowMarker();
-          Sl2[Plan.NewFp + FrameRetPc] = Value::fixnum(0);
-        } else {
-          Sl2[Plan.NewFp + FrameRetCode] = CurCodeVal;
-          Sl2[Plan.NewFp + FrameRetPc] = Value::fixnum(Pc);
-        }
-        CS.Fp = Plan.NewFp;
-        CS.Top = Plan.NewFp + FrameHeaderWords + N;
-        enterClosure(Cl, N);
-        break;
-      }
-      if (auto *Nat = dynObj<Native>(Callee);
-          Nat && Nat->Special == NativeSpecial::None) {
-        if (N < Nat->MinArgs ||
-            (Nat->MaxArgs >= 0 && N > static_cast<uint32_t>(Nat->MaxArgs))) {
-          fail(arityMessage(Callee, N));
-          break;
-        }
-        S.ProcedureCalls += 1;
-        Acc = Nat->Fn(*this, Sl + CS.Fp + D + FrameHeaderWords, N);
-        NumValues = 1;
-        CS.Top = CS.Fp + D;
-        break;
-      }
-      std::vector<Value> Args(Sl + CS.Fp + D + FrameHeaderWords,
-                              Sl + CS.Fp + D + FrameHeaderWords + N);
-      enterCall(Callee, std::move(Args), Site{SiteKind::NonTail, D});
-      break;
-    }
-
-    case Op::TailCall: {
-      uint32_t N = Cur->Instrs[Pc++];
-      if (Fuel > 0 && --Fuel == 0)
-        TimerExpired = true;
-      if (PreemptCursor < Cfg.Faults.PreemptAtCalls.size() &&
-          ++PreemptTick >= Cfg.Faults.PreemptAtCalls[PreemptCursor]) {
-        ++PreemptCursor;
-        TimerExpired = true;
-      }
-      if (H.needsGC())
-        H.collect();
-      Sl = CS.slots();
-      std::memmove(Sl + CS.Fp + FrameHeaderWords, Sl + CS.Top - N,
-                   N * sizeof(Value));
-      CS.Top = CS.Fp + FrameHeaderWords + N;
-      Value Callee = Acc;
-      if (auto *Cl = dynObj<Closure>(Callee)) {
-        uint32_t Need = calleeNeed(Callee, N);
-        CallFramePlan Plan = CS.prepareTailCall(N, Need);
-        CS.Fp = Plan.NewFp;
-        CS.Top = Plan.NewFp + FrameHeaderWords + N;
-        enterClosure(Cl, N);
-        break;
-      }
-      if (auto *Nat = dynObj<Native>(Callee);
-          Nat && Nat->Special == NativeSpecial::None) {
-        if (N < Nat->MinArgs ||
-            (Nat->MaxArgs >= 0 && N > static_cast<uint32_t>(Nat->MaxArgs))) {
-          fail(arityMessage(Callee, N));
-          break;
-        }
-        S.ProcedureCalls += 1;
-        Acc = Nat->Fn(*this, CS.slots() + CS.Fp + FrameHeaderWords, N);
-        NumValues = 1;
-        if (!Failed)
-          returnValues();
-        break;
-      }
-      std::vector<Value> Args(Sl + CS.Fp + FrameHeaderWords,
-                              Sl + CS.Fp + FrameHeaderWords + N);
-      enterCall(Callee, std::move(Args), Site{SiteKind::Tail, 0});
-      break;
-    }
-
-    case Op::Return: {
-      NumValues = 1;
-      if (TimerExpired) {
-        // Preemption: capture the rest of the computation — "return Acc
-        // from this frame onward" — as a one-shot continuation.  Invoking
-        // (k v) later resumes the preempted computation returning v.
-        TimerExpired = false;
-        Fuel = -1;
-        Value V = Acc;
-        Value RetC = Sl[CS.Fp + FrameRetCode];
-        int64_t RetP = Sl[CS.Fp + FrameRetPc].isFixnum()
-                           ? Sl[CS.Fp + FrameRetPc].asFixnum()
-                           : 0;
-        if (!TimerHandler.isEmpty()) {
-          // Engine: the capture is handed to the Scheme timer handler.
-          Value Handler = TimerHandler;
-          TimerHandler = Value();
-          Value K = CS.captureOneShot(CS.Fp, RetC, RetP);
-          if (auto *KC = dynObj<Continuation>(K))
-            KC->ByValue = true; // The k escapes to the Scheme handler.
-          CS.beginBaseFrame(FrameHeaderWords + 2);
-          CS.plantBaseFrame();
-          enterCall(Handler, {K, V}, Site{SiteKind::Tail, 0});
-          break;
-        }
-        if (Sched->inThread()) {
-          // Scheduler: the VM itself parks the thread (to resume with V)
-          // and reinstates whatever runs next — no Scheme handler, no
-          // fresh base frame, zero stack words copied.
-          S.PreemptiveSwitches += 1;
-          Value K = schedCapture(CS.Fp, RetC, RetP);
-          schedSuspendAndDispatch(K, V, ThreadState::Ready);
-          break;
-        }
-        // Stale expiry of a disarmed timer: ignore it.
-      }
-      returnValues();
-      break;
-    }
-
-    case Op::CwvApply: {
-      Value Consumer = Sl[CS.Fp + FrameArgs];
-      std::vector<Value> Vals;
-      collectValues(Vals);
-      enterCall(Consumer, std::move(Vals), Site{SiteKind::Tail, 0});
-      break;
-    }
-
-    case Op::PromptPop: {
-      // The prompt stub: the delimiter's extent completed normally.  Pop
-      // its record and pass the value(s) through — NumValues is left
-      // untouched, so multiple values flow out of a reset unchanged.
-      uint64_t Id =
-          static_cast<uint64_t>(Sl[CS.Fp + FramePromptId].asFixnum());
-      Prompts.popThrough(Id);
-      returnValues();
-      break;
-    }
-
-    // --- Open-coded primitives ------------------------------------------
-
-    case Op::Add:
-    case Op::Sub:
-    case Op::Mul:
-    case Op::NumLt:
-    case Op::NumLe:
-    case Op::NumGt:
-    case Op::NumGe:
-    case Op::NumEq: {
-      Value L = Sl[CS.Top - 1];
-      --CS.Top;
-      Value R = Acc;
-      if (L.isFixnum() && R.isFixnum()) {
-        int64_t A = L.asFixnum(), B = R.asFixnum();
-        switch (O) {
-        case Op::Add:
-          Acc = Value::fixnum(A + B);
-          break;
-        case Op::Sub:
-          Acc = Value::fixnum(A - B);
-          break;
-        case Op::Mul:
-          Acc = Value::fixnum(A * B);
-          break;
-        case Op::NumLt:
-          Acc = Value::boolean(A < B);
-          break;
-        case Op::NumLe:
-          Acc = Value::boolean(A <= B);
-          break;
-        case Op::NumGt:
-          Acc = Value::boolean(A > B);
-          break;
-        case Op::NumGe:
-          Acc = Value::boolean(A >= B);
-          break;
-        default:
-          Acc = Value::boolean(A == B);
-          break;
-        }
-        break;
-      }
-      if (!isNumber(L) || !isNumber(R)) {
-        fail(std::string(opName(O)) + ": not a number: " +
-             writeToString(isNumber(L) ? R : L));
-        break;
-      }
-      double A = asDouble(L), B = asDouble(R);
-      switch (O) {
-      case Op::Add:
-        Acc = Value::object(H.allocFlonum(A + B));
-        break;
-      case Op::Sub:
-        Acc = Value::object(H.allocFlonum(A - B));
-        break;
-      case Op::Mul:
-        Acc = Value::object(H.allocFlonum(A * B));
-        break;
-      case Op::NumLt:
-        Acc = Value::boolean(A < B);
-        break;
-      case Op::NumLe:
-        Acc = Value::boolean(A <= B);
-        break;
-      case Op::NumGt:
-        Acc = Value::boolean(A > B);
-        break;
-      case Op::NumGe:
-        Acc = Value::boolean(A >= B);
-        break;
-      default:
-        Acc = Value::boolean(A == B);
-        break;
-      }
-      break;
-    }
-
-    case Op::Cons: {
-      Value L = Sl[CS.Top - 1];
-      --CS.Top;
-      Acc = cons(H, L, Acc);
-      break;
-    }
-    case Op::IsEq: {
-      Value L = Sl[CS.Top - 1];
-      --CS.Top;
-      Acc = Value::boolean(L.identical(Acc));
-      break;
-    }
-    case Op::Car:
-      if (auto *P = dynObj<Pair>(Acc))
-        Acc = P->Car;
-      else
-        fail("car: not a pair: " + writeToString(Acc));
-      break;
-    case Op::Cdr:
-      if (auto *P = dynObj<Pair>(Acc))
-        Acc = P->Cdr;
-      else
-        fail("cdr: not a pair: " + writeToString(Acc));
-      break;
-    case Op::IsNull:
-      Acc = Value::boolean(Acc.isNil());
-      break;
-    case Op::IsPair:
-      Acc = Value::boolean(isObj<Pair>(Acc));
-      break;
-    case Op::Not:
-      Acc = Value::boolean(Acc.isFalse());
-      break;
-    case Op::IsZero:
-      if (Acc.isFixnum())
-        Acc = Value::boolean(Acc.asFixnum() == 0);
-      else if (auto *F = dynObj<Flonum>(Acc))
-        Acc = Value::boolean(F->D == 0.0);
-      else
-        fail("zero?: not a number: " + writeToString(Acc));
-      break;
-    }
-  }
+#if OSC_COMPUTED_GOTO
+  if (Cfg.ThreadedDispatch)
+    return interpLoopThreaded();
+#endif
+  interpLoopSwitch();
 }
+
+void VM::interpLoopSwitch() {
+#define OSC_DISPATCH_THREADED 0
+#include "vm/VMDispatch.inc"
+#undef OSC_DISPATCH_THREADED
+}
+
+#if OSC_COMPUTED_GOTO
+
+void VM::interpLoopThreaded() {
+#define OSC_DISPATCH_THREADED 1
+#include "vm/VMDispatch.inc"
+#undef OSC_DISPATCH_THREADED
+}
+
+#else
+
+void VM::interpLoopThreaded() { interpLoopSwitch(); }
+
+#endif

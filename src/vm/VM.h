@@ -246,8 +246,25 @@ private:
 
   /// The dispatch loop body of run(); throws SegmentAllocFault out to run()
   /// when FaultPlan::FailSegmentAlloc fires inside the control stack.
+  /// Selects one of the two loop instantiations below by
+  /// Config::ThreadedDispatch; both are generated from VMDispatch.inc and
+  /// execute byte-identically (same instruction boundaries, same fault
+  /// points, same Stats::Instructions), differing only in dispatch
+  /// mechanics.
   void interpLoop();
-  bool enterClosure(Closure *Cl, uint32_t NArgs);
+  /// Portable `switch` dispatch: one indirect branch shared by every
+  /// opcode.  The differential-oracle baseline.
+  void interpLoopSwitch();
+  /// Computed-goto (direct-threaded) dispatch: a label table indexed by
+  /// opcode, one indirect branch *per handler* so the branch predictor
+  /// learns per-opcode successor distributions (the MoarVM/interp.c
+  /// idiom).  Falls back to the switch loop where the GNU labels-as-values
+  /// extension is unavailable.
+  void interpLoopThreaded();
+  /// \p ArityChecked is set by the call-site inline-cache hit path: a hit
+  /// proves the same closure was entered from this site with the same
+  /// static argument count before, so the arity re-check is skipped.
+  bool enterClosure(Closure *Cl, uint32_t NArgs, bool ArityChecked = false);
   /// Builds a frame for \p Site and enters \p Callee with \p Args.  The
   /// general path used for special natives, apply spreading, continuation
   /// receivers and cwv; the hot paths in the loop bypass it.
@@ -398,6 +415,12 @@ private:
   ErrorKind ErrKind = ErrorKind::None;
   bool Halted = false;
   Value FinalValue;
+
+  /// Global-binding generation: bumped by every *definition* (DefGlobal,
+  /// defineGlobal, defineNative) but not by set!.  A global-site inline
+  /// cache filled under one generation is invalidated by the next
+  /// definition; starts at 1 so a zeroed CacheSlot (Gen 0) never hits.
+  uint64_t GlobalGen = 1;
 
   // Engine timer state.
   int64_t Fuel = -1;        ///< Ticks left; -1 when disarmed.

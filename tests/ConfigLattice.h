@@ -1,6 +1,7 @@
 // The shared configuration lattice: every point a control-representation
 // test sweep should cover (segment size x copy bound x overflow policy x
-// promotion strategy x seal displacement x cache on/off).  Used by
+// promotion strategy x seal displacement x cache on/off x dispatch mode x
+// superinstruction mask x inline caches).  Used by
 // test_properties.cpp (semantics identical at every point) and
 // test_differential.cpp (call/1cc == call/cc at every point); keep the two
 // sweeps over the exact same set.
@@ -68,6 +69,26 @@ inline std::vector<ConfigPoint> configLattice() {
     C.InitialSegmentWords = 128;
     C.Overflow = OverflowPolicy::OneShot;
     C.OverflowCopyUpFrames = 0;
+  });
+  // Dispatch lattice: the threaded/switch loops, the superinstruction
+  // fusion mask, and the inline caches must all be observationally
+  // equivalent — same results, same logical instruction counts, same
+  // fault boundaries.  (The defaults point above is threaded + full
+  // fusion + caches.)
+  Add("switch-dispatch", [](Config &C) { C.ThreadedDispatch = false; });
+  Add("no-superinstructions", [](Config &C) { C.Superinstructions = 0; });
+  Add("sparse-superinstructions",
+      [](Config &C) { C.Superinstructions = 0x555u; });
+  Add("no-inline-caches", [](Config &C) { C.InlineCaches = false; });
+  Add("switch-bare", [](Config &C) {
+    // Every dispatch feature off at once, on tiny segments so the
+    // control machinery is exercised too.
+    C.ThreadedDispatch = false;
+    C.Superinstructions = 0;
+    C.InlineCaches = false;
+    C.SegmentWords = 128;
+    C.InitialSegmentWords = 128;
+    C.Overflow = OverflowPolicy::OneShot;
   });
   return Points;
 }

@@ -34,6 +34,12 @@ protected:
   }
 
   Code *compile(const std::string &Src, std::string &Err) {
+    return compileMasked(Src, Config().Superinstructions, Err);
+  }
+
+  /// Compiles with an explicit superinstruction fusion mask (0 = unfused).
+  Code *compileMasked(const std::string &Src, uint32_t FuseMask,
+                      std::string &Err) {
     // Wrap every datum in one (begin ...) unit, as Interp::eval does.
     Reader Rd(H, Src);
     std::vector<Value> Forms;
@@ -47,7 +53,9 @@ protected:
     Value Expanded;
     if (!Ex.expandToplevel(Unit, Expanded, Err))
       return nullptr;
-    CodeGen Gen(H);
+    Config Cfg;
+    Cfg.Superinstructions = FuseMask;
+    CodeGen Gen(H, Cfg);
     return Gen.compileToplevel(Expanded, Err);
   }
 
@@ -117,28 +125,36 @@ TEST_F(CompilerTest, ExpanderSyntaxErrors) {
 }
 
 TEST_F(CompilerTest, FrameSizeWordPrecedesReturnPoint) {
-  // For every Call instruction [Call n D] at index i, the word at the
-  // return point minus one (i+2) must be D, and D must be at least the
-  // frame header size.  This is the §3.1 invariant stack walking needs.
+  // For every non-tail call instruction — plain [Call ci n D] or the fused
+  // [GetGlobalCall k gci ci n D] — the frame-size word D is the *last*
+  // operand, so the word at the return point minus one is D, and D is at
+  // least the frame header size.  This is the §3.1 invariant stack walking
+  // needs, and it must hold under every fusion mask.
   std::string Err;
-  Code *C = compile("(define (g x) x)(+ (g 1) (g (g 2)))", Err);
-  ASSERT_NE(C, nullptr) << Err;
-  // Instrs[0] is the entry frame-size word; decoding starts at pc 1.
-  EXPECT_EQ(C->frameSizeAt(1), FrameHeaderWords);
-  unsigned CallsSeen = 0;
-  for (uint32_t Pc = 1; Pc < C->NInstrs;) {
-    Op O = static_cast<Op>(C->Instrs[Pc]);
-    if (O == Op::Call) {
-      uint32_t D = C->Instrs[Pc + 2];
-      int64_t RetPc = Pc + 3;
-      EXPECT_EQ(C->frameSizeAt(RetPc), D);
-      EXPECT_GE(D, 2u);
-      EXPECT_LE(D, C->MaxDepth);
-      ++CallsSeen;
+  for (uint32_t Mask : {0u, static_cast<uint32_t>(FuseAll)}) {
+    Code *C = compileMasked("(define (g x) x)(+ (g 1) (g (g 2)))", Mask, Err);
+    ASSERT_NE(C, nullptr) << Err;
+    // Instrs[0] is the entry frame-size word; decoding starts at pc 1.
+    EXPECT_EQ(C->frameSizeAt(1), FrameHeaderWords);
+    unsigned CallsSeen = 0;
+    for (uint32_t Pc = 1; Pc < C->NInstrs;) {
+      Op O = static_cast<Op>(C->Instrs[Pc]);
+      unsigned NOps = opOperandCount(O);
+      if (O == Op::Call || O == Op::GetGlobalCall) {
+        uint32_t D = C->Instrs[Pc + NOps]; // The last operand word.
+        int64_t RetPc = Pc + 1 + NOps;
+        EXPECT_EQ(C->frameSizeAt(RetPc), D);
+        EXPECT_GE(D, 2u);
+        EXPECT_LE(D, C->MaxDepth);
+        ++CallsSeen;
+      }
+      Pc += 1 + NOps;
     }
-    Pc += 1 + opOperandCount(O);
+    // All three calls to g survive either way: unfused as Call, fused as
+    // GetGlobalCall (the callee is a global reference directly before the
+    // call, the highest-frequency call shape).
+    EXPECT_GE(CallsSeen, 3u) << "mask=" << Mask;
   }
-  EXPECT_GE(CallsSeen, 3u);
 }
 
 TEST_F(CompilerTest, TailCallsEmitted) {

@@ -1,0 +1,501 @@
+// Dispatch-layer tests: threaded vs switch dispatch equivalence (same
+// results, same logical instruction counts, same preemption and GC
+// boundaries), superinstruction fusion (fused bytecode shape, jump-target
+// relocation under every mask), and the monomorphic inline caches
+// (hit/miss counters, redefinition invalidation, polymorphic call-site
+// fallback, GC-epoch invalidation, and invalidation reaching a parked
+// one-shot capture).
+
+#include "compiler/Bytecode.h"
+#include "compiler/CodeGen.h"
+#include "compiler/Expander.h"
+#include "object/Heap.h"
+#include "sexp/Reader.h"
+#include "support/Stats.h"
+#include "vm/Interp.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <vector>
+
+using namespace osc;
+
+namespace {
+
+// --- Mode sweep: every dispatch config must be observationally identical -------
+
+struct DispatchMode {
+  const char *Name;
+  bool Threaded;
+  uint32_t Fuse;
+  bool Caches;
+};
+
+// The 2x3x2 dispatch lattice (dispatch loop x fusion mask x inline
+// caches).  "threaded-full" is the shipping default; "switch-bare" is the
+// all-off baseline the others must match.
+const DispatchMode Modes[] = {
+    {"threaded-full", true, FuseAll, true},
+    {"threaded-sparse", true, 0x555u, true},
+    {"threaded-nofuse", true, 0, true},
+    {"threaded-nocache", true, FuseAll, false},
+    {"switch-full", false, FuseAll, true},
+    {"switch-sparse", false, 0x555u, false},
+    {"switch-nofuse", false, 0, true},
+    {"switch-bare", false, 0, false},
+};
+
+Config modeConfig(const DispatchMode &M) {
+  Config C;
+  C.ThreadedDispatch = M.Threaded;
+  C.Superinstructions = M.Fuse;
+  C.InlineCaches = M.Caches;
+  return C;
+}
+
+struct Program {
+  const char *Name;
+  const char *Src;
+  const char *Expect;
+};
+
+// A battery chosen to cross every fused pair and cache site with the
+// control machinery: deep non-tail recursion (get-global+call), tail
+// loops (get-global+tail-call), list walks (null?+jump-if-false),
+// comparisons (num<+jump-if-false), one-shot escapes, and a parked
+// one-shot capture resumed after a cache-invalidating redefinition.
+const Program Programs[] = {
+    {"fib",
+     "(define (fib n) (if (< n 2) n (+ (fib (- n 1)) (fib (- n 2)))))"
+     "(fib 15)",
+     "610"},
+    {"tail-loop",
+     "(define (loop i acc) (if (= i 0) acc (loop (- i 1) (+ acc i))))"
+     "(loop 100 0)",
+     "5050"},
+    {"list-walk",
+     "(define (len l) (if (null? l) 0 (+ 1 (len (cdr l)))))"
+     "(len '(a b c d e))",
+     "5"},
+    {"global-heavy",
+     "(define x 0)"
+     "(define (bump n) (if (zero? n) x (begin (set! x (+ x 1))"
+     "                                        (bump (- n 1)))))"
+     "(bump 50)",
+     "50"},
+    {"oneshot-escape",
+     "(call/1cc (lambda (return)"
+     "  (let loop ((i 0))"
+     "    (if (= (* i i) 144) (return i) (loop (+ i 1))))))",
+     "12"},
+    {"parked-capture-redefine",
+     "(define k #f)"
+     "(define x 1)"
+     "(define (probe out)"
+     "  (+ (call/1cc (lambda (c) (set! k c) (out 'parked))) x))"
+     "(define first (call/cc (lambda (out) (probe out))))"
+     "(define x 100)"
+     "(if k (let ((c k)) (set! k #f) (c 5)) (list first x))",
+     "(105 100)"},
+};
+
+TEST(DispatchModes, ResultsAndInstructionCountsAgree) {
+  for (const Program &P : Programs) {
+    uint64_t BaseInstrs = 0;
+    for (const DispatchMode &M : Modes) {
+      Interp I(modeConfig(M));
+      EXPECT_EQ(I.evalToString(P.Src), P.Expect)
+          << P.Name << " under " << M.Name;
+      // Logical instruction counts (prelude included) are part of the
+      // dispatch contract: fused pairs retire two, caches change nothing.
+      uint64_t N = I.snapshot().Instructions;
+      if (&M == &Modes[0])
+        BaseInstrs = N;
+      else
+        EXPECT_EQ(N, BaseInstrs) << P.Name << " under " << M.Name;
+    }
+  }
+}
+
+TEST(DispatchModes, ErrorPathsAgree) {
+  // A failure inside the *first* half of a fused pair (unbound global
+  // before a call, non-number before a fused compare) must report the
+  // same error, backtrace depth, and instruction count in every mode.
+  const char *Bad[] = {
+      "(define (f) (no-such-global 1 2))(f)",
+      "(define (g n) (if (< n 'a) 1 2))(g 3)",
+      "(define (h n) (if (zero? 'x) 1 2))(h 0)",
+  };
+  for (const char *Src : Bad) {
+    std::string BaseErr;
+    uint64_t BaseInstrs = 0;
+    for (const DispatchMode &M : Modes) {
+      Interp I(modeConfig(M));
+      Interp::Result R = I.eval(Src);
+      EXPECT_FALSE(R.Ok) << Src << " under " << M.Name;
+      uint64_t N = I.snapshot().Instructions;
+      if (&M == &Modes[0]) {
+        BaseErr = R.Error;
+        BaseInstrs = N;
+      } else {
+        EXPECT_EQ(R.Error, BaseErr) << Src << " under " << M.Name;
+        EXPECT_EQ(N, BaseInstrs) << Src << " under " << M.Name;
+      }
+    }
+  }
+}
+
+TEST(DispatchModes, PreemptionAndGcBoundariesInvariant) {
+  // Scripted preemption (by procedure-call ordinal) and forced GC (by
+  // allocation ordinal) must fire at identical logical points in every
+  // mode: same preemptive-switch count, same instruction count, and a
+  // byte-identical control trace between the threaded and switch loops
+  // at fixed fusion/cache settings.
+  const char *Prog =
+      "(define (spin n) (if (zero? n) 'done (spin (- n 1))))"
+      "(spawn (lambda () (spin 200)))"
+      "(spawn (lambda () (spin 200)))"
+      "(scheduler-run 1000000)";
+  struct Run {
+    std::string Result, TraceStr;
+    uint64_t Instrs = 0, Switches = 0;
+  };
+  auto RunOnce = [&](const DispatchMode &M) {
+    Interp I(modeConfig(M));
+    I.faults().PreemptAtCalls = {25, 60, 125};
+    I.faults().GcEveryNAllocs = 50;
+    I.trace().start();
+    Run R;
+    R.Result = I.evalToString(Prog);
+    I.trace().stop();
+    R.TraceStr = I.trace().toString();
+    R.Instrs = I.snapshot().Instructions;
+    R.Switches = I.stats().PreemptiveSwitches;
+    return R;
+  };
+  std::vector<Run> Runs;
+  for (const DispatchMode &M : Modes)
+    Runs.push_back(RunOnce(M));
+  for (size_t K = 1; K != Runs.size(); ++K) {
+    EXPECT_EQ(Runs[K].Result, Runs[0].Result) << Modes[K].Name;
+    EXPECT_EQ(Runs[K].Instrs, Runs[0].Instrs) << Modes[K].Name;
+    EXPECT_EQ(Runs[K].Switches, Runs[0].Switches) << Modes[K].Name;
+  }
+  EXPECT_GT(Runs[0].Switches, 0u);
+  // Threaded vs switch at identical fusion/cache settings: the traces
+  // (which include cache hit/miss events when caches are on) must be
+  // byte-identical.  Mode pairs: full<->full, nofuse<->nofuse.
+  EXPECT_EQ(Runs[0].TraceStr, Runs[4].TraceStr)
+      << "threaded-full vs switch-full";
+  EXPECT_EQ(Runs[2].TraceStr, Runs[6].TraceStr)
+      << "threaded-nofuse vs switch-nofuse";
+}
+
+// --- Superinstruction fusion: bytecode shape and jump relocation ---------------
+
+class FusionTest : public ::testing::Test {
+protected:
+  FusionTest() : H(S) {}
+
+  Code *compileMasked(const std::string &Src, uint32_t FuseMask,
+                      std::string &Err) {
+    Reader Rd(H, Src);
+    std::vector<Value> Forms;
+    if (!Rd.readAll(Forms, Err))
+      return nullptr;
+    Value Unit = Value::nil();
+    for (auto It = Forms.rbegin(); It != Forms.rend(); ++It)
+      Unit = Value::object(H.allocPair(*It, Unit));
+    Unit = Value::object(H.allocPair(Value::object(H.intern("begin")), Unit));
+    Expander Ex(H);
+    Value Expanded;
+    if (!Ex.expandToplevel(Unit, Expanded, Err))
+      return nullptr;
+    Config Cfg;
+    Cfg.Superinstructions = FuseMask;
+    CodeGen Gen(H, Cfg);
+    return Gen.compileToplevel(Expanded, Err);
+  }
+
+  std::string disasmMasked(const std::string &Src, uint32_t Mask) {
+    std::string Err;
+    Code *C = compileMasked(Src, Mask, Err);
+    if (!C)
+      return "error: " + Err;
+    return disasmTree(C);
+  }
+
+  std::string disasmTree(const Code *C) {
+    std::string Out = disassemble(C);
+    const Vector *Consts = castObj<Vector>(C->Consts);
+    for (uint32_t I = 0; I != Consts->Len; ++I)
+      if (isObj<Code>(Consts->get(I)))
+        Out += disasmTree(castObj<Code>(Consts->get(I)));
+    return Out;
+  }
+
+  static bool isJumpOp(Op O) {
+    switch (O) {
+    case Op::Jump:
+    case Op::JumpIfFalse:
+    case Op::LtJumpIfFalse:
+    case Op::LeJumpIfFalse:
+    case Op::GtJumpIfFalse:
+    case Op::GeJumpIfFalse:
+    case Op::NumEqJumpIfFalse:
+    case Op::ZeroJumpIfFalse:
+    case Op::NullJumpIfFalse:
+      return true;
+    default:
+      return false;
+    }
+  }
+
+  /// Every jump target in \p C (and recursively in nested code objects)
+  /// must land on an instruction boundary — the relocation pass's whole
+  /// job when fusion shifts pcs.
+  void checkJumpTargets(const Code *C) {
+    std::set<uint32_t> Boundaries;
+    uint32_t Pc = 1; // Instrs[0] is the entry frame-size word.
+    while (Pc < C->NInstrs) {
+      Boundaries.insert(Pc);
+      Op O = static_cast<Op>(C->Instrs[Pc]);
+      Pc += 1 + opOperandCount(O);
+    }
+    ASSERT_EQ(Pc, C->NInstrs) << "instruction stream does not tile";
+    Boundaries.insert(C->NInstrs); // One-past-end is a legal target.
+    for (uint32_t P = 1; P < C->NInstrs;) {
+      Op O = static_cast<Op>(C->Instrs[P]);
+      if (isJumpOp(O)) {
+        uint32_t T = C->Instrs[P + 1];
+        EXPECT_TRUE(Boundaries.count(T))
+            << opName(O) << " at pc " << P << " targets " << T
+            << ", not an instruction boundary";
+      }
+      P += 1 + opOperandCount(O);
+    }
+    const Vector *Consts = castObj<Vector>(C->Consts);
+    for (uint32_t I = 0; I != Consts->Len; ++I)
+      if (isObj<Code>(Consts->get(I)))
+        checkJumpTargets(castObj<Code>(Consts->get(I)));
+  }
+
+  Stats S;
+  Heap H;
+};
+
+TEST_F(FusionTest, FusedMnemonicsAppearUnderFullMask) {
+  const char *Src =
+      "(define (fib n) (if (< n 2) n (+ (fib (- n 1)) (fib (- n 2)))))"
+      "(define (loop i) (if (zero? i) 'done (loop (- i 1))))"
+      "(define (id x) x)"
+      "(define (g a b) (+ a b))"
+      "(g 1 2)";
+  std::string Fused = disasmMasked(Src, FuseAll);
+  EXPECT_NE(Fused.find("get-global+call"), std::string::npos) << Fused;
+  EXPECT_NE(Fused.find("get-global+tail-call"), std::string::npos) << Fused;
+  EXPECT_NE(Fused.find("num<+jump-if-false"), std::string::npos) << Fused;
+  EXPECT_NE(Fused.find("zero?+jump-if-false"), std::string::npos) << Fused;
+  EXPECT_NE(Fused.find("get-local+push"), std::string::npos) << Fused;
+  EXPECT_NE(Fused.find("const+push"), std::string::npos) << Fused;
+  EXPECT_NE(Fused.find("get-local+return"), std::string::npos) << Fused;
+
+  std::string Plain = disasmMasked(Src, 0);
+  EXPECT_EQ(Plain.find("+jump-if-false"), std::string::npos) << Plain;
+  EXPECT_EQ(Plain.find("get-global+"), std::string::npos) << Plain;
+  EXPECT_EQ(Plain.find("get-local+"), std::string::npos) << Plain;
+}
+
+TEST_F(FusionTest, MaskBitsAreIndependent) {
+  // Each FuseRule bit enables exactly its own pair.
+  const char *Src = "(define (loop i) (if (zero? i) 'done (loop (- i 1))))"
+                    "(loop 3)";
+  std::string OnlyTail = disasmMasked(Src, FuseGetGlobalTailCall);
+  EXPECT_NE(OnlyTail.find("get-global+tail-call"), std::string::npos)
+      << OnlyTail;
+  EXPECT_EQ(OnlyTail.find("zero?+jump-if-false"), std::string::npos)
+      << OnlyTail;
+  std::string OnlyZero = disasmMasked(Src, FuseZeroJumpIfFalse);
+  EXPECT_EQ(OnlyZero.find("get-global+tail-call"), std::string::npos)
+      << OnlyZero;
+  EXPECT_NE(OnlyZero.find("zero?+jump-if-false"), std::string::npos)
+      << OnlyZero;
+}
+
+TEST_F(FusionTest, JumpTargetsRelocatedUnderEveryMask) {
+  const char *Srcs[] = {
+      "(define (fib n) (if (< n 2) n (+ (fib (- n 1)) (fib (- n 2)))))"
+      "(fib 6)",
+      "(define (classify n)"
+      "  (cond ((< n 0) 'neg) ((= n 0) 'zero) ((< n 10) 'small) (else 'big)))"
+      "(list (classify -1) (classify 0) (classify 5) (classify 50))",
+      "(define (len l) (if (null? l) 0 (+ 1 (len (cdr l))))) (len '(a b))",
+      "(let loop ((i 0) (acc '()))"
+      "  (if (>= i 4) acc (loop (+ i 1) (cons (and (> i 0) (or (< i 3) 'x))"
+      "                                       acc))))",
+  };
+  for (uint32_t Mask : {0u, 0x555u, 0xAAAu, static_cast<uint32_t>(FuseAll)}) {
+    for (const char *Src : Srcs) {
+      std::string Err;
+      Code *C = compileMasked(Src, Mask, Err);
+      ASSERT_NE(C, nullptr) << Err << " mask=" << Mask;
+      checkJumpTargets(C);
+    }
+  }
+}
+
+TEST_F(FusionTest, FusionShrinksTheInstructionStream) {
+  // The fusable pairs live in fib's body (the nested code object), not
+  // the def-global toplevel wrapper.
+  auto InnerCode = [](Code *C) -> Code * {
+    const Vector *Consts = castObj<Vector>(C->Consts);
+    for (uint32_t I = 0; I != Consts->Len; ++I)
+      if (isObj<Code>(Consts->get(I)))
+        return castObj<Code>(Consts->get(I));
+    return nullptr;
+  };
+  std::string Err;
+  const char *Src =
+      "(define (fib n) (if (< n 2) n (+ (fib (- n 1)) (fib (- n 2)))))";
+  Code *Plain = InnerCode(compileMasked(Src, 0, Err));
+  ASSERT_NE(Plain, nullptr) << Err;
+  Code *Fused = InnerCode(compileMasked(Src, FuseAll, Err));
+  ASSERT_NE(Fused, nullptr) << Err;
+  EXPECT_LT(Fused->NInstrs, Plain->NInstrs);
+}
+
+// --- Inline caches -------------------------------------------------------------
+
+TEST(InlineCache, GlobalSitesHitAndRedefinitionInvalidates) {
+  Interp I;
+  ASSERT_TRUE(I.eval("(define x 1)"
+                     "(define (sum n acc)"
+                     "  (if (zero? n) acc (sum (- n 1) (+ acc x))))")
+                  .Ok);
+  Stats::Snapshot S0 = I.snapshot();
+  EXPECT_EQ(I.evalToString("(sum 50 0)"), "50");
+  Stats::Snapshot D1 = I.snapshot() - S0;
+  // Each iteration probes the x read and the sum callee; both are
+  // monomorphic, so nearly every probe hits.
+  EXPECT_GT(D1.CacheHits, 40u);
+
+  // Redefinition bumps the global generation: the next read through the
+  // same cached site must miss once, observe the new binding, refill,
+  // and then hit again.
+  ASSERT_TRUE(I.eval("(define x 2)").Ok);
+  Stats::Snapshot S1 = I.snapshot();
+  EXPECT_EQ(I.evalToString("(sum 50 0)"), "100");
+  Stats::Snapshot D2 = I.snapshot() - S1;
+  EXPECT_GT(D2.CacheMisses, 0u);
+  EXPECT_GT(D2.CacheHits, 40u);
+}
+
+TEST(InlineCache, SetGlobalWritesThroughCachedSite) {
+  // set! uses the same global cache slot as reads but does NOT invalidate
+  // anyone (definedness, not value, is what the cache asserts).
+  Interp I;
+  ASSERT_TRUE(I.eval("(define x 0)"
+                     "(define (bump n)"
+                     "  (if (zero? n) x"
+                     "      (begin (set! x (+ x 1)) (bump (- n 1)))))")
+                  .Ok);
+  Stats::Snapshot S0 = I.snapshot();
+  EXPECT_EQ(I.evalToString("(bump 50)"), "50");
+  Stats::Snapshot D = I.snapshot() - S0;
+  EXPECT_GT(D.CacheHits, 50u);
+}
+
+TEST(InlineCache, PolymorphicCallSiteFallsBack) {
+  // A call site that alternates between two callees defeats the
+  // monomorphic cache: every probe misses, and the slow path must keep
+  // producing correct results.
+  Interp I;
+  Stats::Snapshot S0 = I.snapshot();
+  EXPECT_EQ(I.evalToString(
+                "(define (apply-it f x) (f x))"
+                "(define (add1 n) (+ n 1))"
+                "(define (dub n) (* n 2))"
+                "(define (go i acc use-a)"
+                "  (if (zero? i) acc"
+                "      (go (- i 1) (+ acc (apply-it (if use-a add1 dub) i))"
+                "          (not use-a))))"
+                "(go 40 0 #t)"),
+            "1240");
+  Stats::Snapshot D = I.snapshot() - S0;
+  EXPECT_GE(D.CacheMisses, 40u);
+}
+
+TEST(InlineCache, CallCacheInvalidatedAcrossGc) {
+  // Call-site caches are keyed on the GC epoch: a collection strands
+  // every filled slot (one miss each), after which they refill and hit.
+  Interp I;
+  ASSERT_TRUE(I.eval("(define (id x) x)"
+                     "(define (go n)"
+                     "  (if (zero? n) 'ok (begin (id n) (go (- n 1)))))")
+                  .Ok);
+  EXPECT_EQ(I.evalToString("(go 20)"), "ok");
+  Stats::Snapshot S0 = I.snapshot();
+  I.collect();
+  EXPECT_EQ(I.evalToString("(go 20)"), "ok");
+  Stats::Snapshot D = I.snapshot() - S0;
+  EXPECT_GT(D.CacheMisses, 0u);
+  EXPECT_GT(D.CacheHits, 0u);
+}
+
+TEST(InlineCache, ForcedGcEveryAllocationParity) {
+  // Under a forced collection at every allocation, caches must neither
+  // change results nor the logical instruction count vs caches-off.
+  const char *Prog =
+      "(define out '())"
+      "(define (note v) (set! out (cons v out)))"
+      "(define (deep d) (if (zero? d) (call/1cc (lambda (c) (c 7)))"
+      "                     (+ 1 (deep (- d 1)))))"
+      "(note (deep 20)) (note (deep 5)) (reverse out)";
+  auto RunOnce = [&](bool Caches, uint64_t &Instrs) {
+    Config Cfg;
+    Cfg.InlineCaches = Caches;
+    Interp I(Cfg);
+    I.faults().GcEveryNAllocs = 1;
+    std::string R = I.evalToString(Prog);
+    Instrs = I.snapshot().Instructions;
+    return R;
+  };
+  uint64_t WithIC = 0, WithoutIC = 0;
+  std::string A = RunOnce(true, WithIC);
+  std::string B = RunOnce(false, WithoutIC);
+  EXPECT_EQ(A, "(27 12)");
+  EXPECT_EQ(A, B);
+  EXPECT_EQ(WithIC, WithoutIC);
+}
+
+TEST(InlineCache, InvalidationReachesParkedOneShotCapture) {
+  // A one-shot continuation captured while a cached global site is hot,
+  // parked across a redefinition, then resumed: the resumed read goes
+  // through the same Code object's cache slot and must see the new
+  // binding (generation mismatch forces the miss path).
+  Interp I;
+  EXPECT_EQ(I.evalToString(
+                "(define k #f)"
+                "(define x 1)"
+                "(define (probe out)"
+                "  (+ (call/1cc (lambda (c) (set! k c) (out 'parked))) x))"
+                "(define first (call/cc (lambda (out) (probe out))))"
+                "(define x 100)"
+                "(if k (let ((c k)) (set! k #f) (c 5)) 'resumed)"),
+            "resumed");
+  EXPECT_EQ(I.evalToString("(list first x)"), "(105 100)");
+}
+
+TEST(InlineCache, CountersExposedThroughVmStat) {
+  Interp I;
+  EXPECT_EQ(I.evalToString("(define (f) 1) (f) (f)"
+                           "(and (>= (vm-stat 'cache-hits) 0)"
+                           "     (>= (vm-stat 'cache-misses) 0)"
+                           "     (> (+ (vm-stat 'cache-hits)"
+                           "           (vm-stat 'cache-misses)) 0))"),
+            "#t");
+}
+
+} // namespace

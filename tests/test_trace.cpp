@@ -4,9 +4,11 @@
 // and the export formats.
 //
 // Golden tests filter out the heap events (alloc / gc-start / gc-end /
-// cache-drop): the control-event order is the contract; the allocation
-// stream is covered separately by the determinism test so unrelated
-// allocator changes do not invalidate every golden.
+// cache-drop) and the inline-cache probe events (cache): the control-event
+// order is the contract; the allocation stream is covered separately by
+// the determinism test so unrelated allocator changes do not invalidate
+// every golden, and cache hit/miss sequences depend on Config knobs the
+// goldens deliberately ignore.
 
 #include "support/Trace.h"
 #include "vm/Interp.h"
@@ -22,7 +24,8 @@ namespace {
 
 bool isHeapEvent(TraceEvent E) {
   return E == TraceEvent::Alloc || E == TraceEvent::GcStart ||
-         E == TraceEvent::GcEnd || E == TraceEvent::CacheDrop;
+         E == TraceEvent::GcEnd || E == TraceEvent::CacheDrop ||
+         E == TraceEvent::Cache;
 }
 
 /// Names of the recorded control events, oldest first, heap noise removed.

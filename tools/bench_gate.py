@@ -8,8 +8,9 @@ Compares a benchmark's --json output against its checked-in baseline
     words_copied above its baseline, or any per-shard words_copied above
     zero, fails the gate;
   * workload-shape counters (requests, accepted, clients, workers,
-    bytes, chunks, n) must match the baseline exactly — a drifted
-    workload makes every other comparison meaningless;
+    bytes, chunks, n, dispatch_mode, superinstructions, inline_caches)
+    must match the baseline exactly — a drifted workload makes every
+    other comparison meaningless;
   * a baseline may name extra exact-equality fields in a top-level
     "hard_eq" list; these apply to its one-shot columns only (bench_regex
     uses this to pin words_copied to exactly zero — a *decrease* from a
@@ -17,8 +18,12 @@ Compares a benchmark's --json output against its checked-in baseline
   * scheduling-flavored counters (io_parks, io_wakes, io_wait_peak) only
     warn, with a generous ratio, since they legitimately vary with host
     timing;
-  * wall time (elapsed_ms, requests_per_sec) is warn-only by design:
-    shared CI runners are not a benchmarking environment.
+  * wall time (elapsed_ms, requests_per_sec, mips) is warn-only by
+    design: shared CI runners are not a benchmarking environment.  The
+    exception is declared policy: a baseline with speedup_enforced (or
+    scaling_enforced) makes the bench's own speedup_* (scaling_4v1)
+    ratios hard floors whenever the run reports them as measurable —
+    fast-mode smoke runs record the ratio but cannot test it.
 
 Columns are matched by their "name" field (bench_serve) or worker count
 (bench_pool).  A column present in the baseline but missing from the
@@ -47,13 +52,16 @@ HARD_EQ = (
     "bytes",
     "chunks",
     "n",
+    "dispatch_mode",
+    "superinstructions",
+    "inline_caches",
 )
 
 # Host-timing-flavored counters: warn when current > baseline * ratio.
 WARN_RATIO = {"io_parks": 1.5, "io_wakes": 1.5, "io_wait_peak": 1.5}
 
 # Wall time: never gate, always report.
-WALL = ("elapsed_ms", "requests_per_sec")
+WALL = ("elapsed_ms", "requests_per_sec", "mips")
 
 
 def column_key(col):
@@ -155,6 +163,30 @@ def gate(base, cur):
                 "scaling_4v1 = %.2fx recorded but not measurable on this "
                 "host (floor %.2fx stands)" % (ratio, floor)
             )
+
+    # Speedup floors work the same way (bench_dispatch): the baseline
+    # declares speedup_enforced, the bench reports one or more speedup_*
+    # ratios plus whether wall clock was measurable on this run (fast-mode
+    # smoke runs are not).  Measurable runs must meet the floor; others
+    # record the ratio and the policy stands untested.
+    if base.get("speedup_enforced"):
+        floor = cur.get("speedup_min", base.get("speedup_min", 1.25))
+        skip = ("speedup_min", "speedup_enforced", "speedup_measurable")
+        for field in sorted(cur):
+            if not field.startswith("speedup_") or field in skip:
+                continue
+            ratio = cur[field]
+            if cur.get("speedup_measurable"):
+                if ratio < floor:
+                    failures.append(
+                        "%s = %.2fx is below the enforced floor %.2fx"
+                        % (field, ratio, floor)
+                    )
+            else:
+                warnings.append(
+                    "%s = %.2fx recorded but not measurable on this "
+                    "host (floor %.2fx stands)" % (field, ratio, floor)
+                )
 
     extra_hard_eq = tuple(base.get("hard_eq", ()))
     base_cols = {column_key(c): c for c in base.get("columns", [])}
